@@ -1,0 +1,23 @@
+"""Shared benchmark helpers: result capture and table emission."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+@pytest.fixture
+def emit_table():
+    """Fixture handing tests the table emitter."""
+    return emit

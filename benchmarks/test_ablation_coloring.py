@@ -1,0 +1,61 @@
+"""Ablation A2: coloring strategy.
+
+The paper uses *exact* minimum coloring (Coudert-style) inside the
+merge loop.  This bench compares it against plain greedy DSATUR and a
+seeded random assignment on the idct routine (whose conflict graph is
+the interesting one) and on the A1 stress workload.
+"""
+
+from repro.experiments.report import ExperimentSeries
+from repro.layout.algorithm import DataLayoutPlanner, LayoutConfig
+from repro.sim.config import EMBEDDED_TIMING
+from repro.sim.executor import TraceExecutor
+from repro.workloads.mpeg import IdctRoutine
+
+STRATEGIES = ("exact", "greedy", "random")
+
+
+def run_strategy(run, strategy, columns=2):
+    config = LayoutConfig(
+        columns=columns,
+        column_bytes=512,
+        merge_strategy=strategy,
+        split_oversized=False,
+        seed=7,
+    )
+    assignment = DataLayoutPlanner(config).plan(run)
+    result = TraceExecutor(EMBEDDED_TIMING).run(run.trace, assignment)
+    return result, assignment
+
+
+def test_coloring_strategy_ablation(benchmark, emit_table):
+    """Exact coloring should dominate greedy and random on cycles."""
+    run = IdctRoutine().record()
+
+    def sweep():
+        return {
+            strategy: run_strategy(run, strategy)
+            for strategy in STRATEGIES
+        }
+
+    outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    series = ExperimentSeries(
+        name="ablation-A2-coloring-strategy",
+        x_label="strategy",
+        x_values=list(STRATEGIES),
+        notes=["idct routine, 2 cache columns, no scratchpad"],
+    )
+    series.add(
+        "cycles", [outcomes[s][0].cycles for s in STRATEGIES]
+    )
+    series.add(
+        "misses", [outcomes[s][0].misses for s in STRATEGIES]
+    )
+    series.add(
+        "predicted_W", [outcomes[s][1].predicted_cost for s in STRATEGIES]
+    )
+    emit_table("ablation_A2_coloring", series.to_table())
+
+    cycles = {s: outcomes[s][0].cycles for s in STRATEGIES}
+    assert cycles["exact"] <= cycles["random"], cycles
+    assert cycles["exact"] <= cycles["greedy"], cycles

@@ -1,0 +1,61 @@
+"""Ablation A5: subarray vertices versus whole-variable vertices.
+
+The paper's Step 1 splits arrays larger than a column into subarrays;
+its footnote 2 nevertheless assigns variables to single columns.  On
+frame-structured code the subarray vertices interact badly with the
+interval-based MIN weights: a frame-sized temporary's subarrays form a
+lifetime clique (every subarray's [first, last] interval spans the
+middle of the run even though their accesses are disjoint), which
+drives the merge heuristic into co-locating genuinely-conflicting
+streams.  The Figure 4 experiments therefore color whole variables;
+this bench documents the difference.
+"""
+
+from repro.experiments.report import ExperimentSeries
+from repro.layout.algorithm import DataLayoutPlanner, LayoutConfig
+from repro.sim.config import EMBEDDED_TIMING
+from repro.sim.executor import TraceExecutor
+from repro.workloads.mpeg import IdctRoutine
+
+MODES = ("whole", "split")
+
+
+def run_mode(run, split, cache_columns):
+    config = LayoutConfig(
+        columns=4,
+        column_bytes=512,
+        scratchpad_columns=4 - cache_columns,
+        split_oversized=split,
+    )
+    assignment = DataLayoutPlanner(config).plan(run)
+    return TraceExecutor(EMBEDDED_TIMING).run(run.trace, assignment)
+
+
+def test_split_vertex_ablation(benchmark, emit_table):
+    run = IdctRoutine().record()
+    sweep_points = [1, 2, 3, 4]
+
+    def sweep():
+        return {
+            mode: [
+                run_mode(run, mode == "split", cache_columns).cycles
+                for cache_columns in sweep_points
+            ]
+            for mode in MODES
+        }
+
+    cycles = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    series = ExperimentSeries(
+        name="ablation-A5-vertex-granularity",
+        x_label="cache_columns",
+        x_values=sweep_points,
+        notes=["idct routine; whole = footnote-2 vertices (Figure 4 uses"
+               " this), split = Step-1 subarray vertices"],
+    )
+    for mode in MODES:
+        series.add(mode, cycles[mode])
+    emit_table("ablation_A5_split", series.to_table())
+
+    # Whole-variable coloring must win (or tie) once several columns
+    # are available — the motivation for using it in Figure 4.
+    assert min(cycles["whole"]) <= min(cycles["split"]), cycles

@@ -1,0 +1,97 @@
+"""Baseline comparison: column cache versus the Section 5 alternatives.
+
+Equal on-chip budget (2 KB) for four architectures:
+
+* plain set-associative cache (no software control);
+* OS page coloring over the same cache;
+* Panda-style fixed split: 1 KB dedicated scratchpad + 1 KB cache;
+* column cache with the paper's layout algorithm (best partition from
+  the static sweep — the column cache can pick it per task).
+"""
+
+from repro.baselines.page_coloring import PageColoringBaseline
+from repro.baselines.panda import PandaBaseline
+from repro.baselines.static_partition import (
+    best_partition,
+    sweep_static_partitions,
+)
+from repro.cache.geometry import CacheGeometry
+from repro.experiments.report import ExperimentSeries
+from repro.sim.config import EMBEDDED_TIMING
+from repro.workloads.base import Workload
+
+ARCHITECTURES = ("plain", "page_coloring", "panda", "column")
+
+
+class HotTableVsStreams(Workload):
+    """Two hot lookup tables against three interleaved streams.
+
+    Five concurrently-live units against four ways: in the plain cache
+    some sets must thrash every iteration; the column cache pins the
+    tables and separates the streams.
+    """
+
+    def __init__(self, passes: int = 2, **kwargs):
+        super().__init__(name="hot_vs_streams", **kwargs)
+        self.passes = passes
+        self.table_a = self.array("table_a", 128)
+        self.table_b = self.array("table_b", 128)
+        self.stream_a = self.array("stream_a", 512)
+        self.stream_b = self.array("stream_b", 512)
+        self.stream_c = self.array("stream_c", 512)
+
+    def run(self) -> None:
+        self.begin_phase("main")
+        for _ in range(self.passes):
+            for index in range(512):
+                _ = self.stream_a[index]
+                _ = self.stream_b[index]
+                self.stream_c[index] = index
+                _ = self.table_a[index % 128]
+                _ = self.table_b[(index * 7) % 128]
+        self.end_phase()
+
+
+def measure_all(run):
+    geometry = CacheGeometry(line_size=16, sets=32, columns=4)  # 2 KB
+    outcomes = {}
+
+    plain = PageColoringBaseline(geometry, page_size=64,
+                                 timing=EMBEDDED_TIMING)
+    outcomes["plain"] = plain.run_uncolored(run)
+    outcomes["page_coloring"] = plain.run(run)
+
+    panda = PandaBaseline(
+        scratchpad_bytes=1024,
+        cache_geometry=CacheGeometry(line_size=16, sets=32, columns=2),
+        timing=EMBEDDED_TIMING,
+    )
+    outcomes["panda"] = panda.run(run)
+
+    points = sweep_static_partitions(
+        run, columns=4, column_bytes=512, timing=EMBEDDED_TIMING
+    )
+    outcomes["column"] = best_partition(points).result
+    return outcomes
+
+
+def test_baseline_comparison(benchmark, emit_table):
+    run = HotTableVsStreams().record()
+    outcomes = benchmark.pedantic(measure_all, args=(run,), rounds=1,
+                                  iterations=1)
+    series = ExperimentSeries(
+        name="baseline-comparison (2KB on-chip budget)",
+        x_label="architecture",
+        x_values=list(ARCHITECTURES),
+        notes=["two hot 256B tables + three 1KB streams, interleaved"],
+    )
+    series.add("cycles", [outcomes[a].cycles for a in ARCHITECTURES])
+    series.add("misses", [outcomes[a].misses for a in ARCHITECTURES])
+    series.add(
+        "cpi", [round(outcomes[a].cpi, 3) for a in ARCHITECTURES]
+    )
+    emit_table("baseline_comparison", series.to_table())
+
+    cycles = {a: outcomes[a].cycles for a in ARCHITECTURES}
+    assert cycles["column"] <= cycles["plain"], cycles
+    assert cycles["column"] <= cycles["page_coloring"], cycles

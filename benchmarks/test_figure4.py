@@ -1,0 +1,70 @@
+"""Benchmarks regenerating Figure 4 (a-d): scratchpad versus cache.
+
+Each benchmark runs the full experiment once (``pedantic`` with one
+round — the measurement of interest is the cycle table, not wall time),
+prints the series the paper's figure plots, and asserts the qualitative
+shape checks that define a successful reproduction.
+"""
+
+import pytest
+
+from repro.experiments.figure4 import (
+    Figure4Config,
+    check_figure4a,
+    check_figure4b,
+    check_figure4c,
+    check_figure4d,
+    run_figure4_routine,
+    run_figure4d,
+)
+from repro.experiments.report import all_passed, render_checks
+
+
+@pytest.fixture(scope="module")
+def config():
+    return Figure4Config()
+
+
+def _run_routine(routine, config, checker, benchmark, emit_table):
+    series = benchmark.pedantic(
+        run_figure4_routine, args=(routine, config), rounds=1, iterations=1
+    )
+    checks = checker(series)
+    emit_table(
+        f"figure4_{routine}",
+        series.to_table() + "\n" + render_checks(checks),
+    )
+    assert all_passed(checks), render_checks(checks)
+
+
+def test_figure4a_dequant(benchmark, config, emit_table):
+    """Figure 4(a): dequant cycle count over the partition sweep."""
+    _run_routine("dequant", config, check_figure4a, benchmark, emit_table)
+
+
+def test_figure4b_plus(benchmark, config, emit_table):
+    """Figure 4(b): plus cycle count over the partition sweep."""
+    _run_routine("plus", config, check_figure4b, benchmark, emit_table)
+
+
+def test_figure4c_idct(benchmark, config, emit_table):
+    """Figure 4(c): idct cycle count over the partition sweep."""
+    _run_routine("idct", config, check_figure4c, benchmark, emit_table)
+
+
+def test_figure4d_combined(benchmark, config, emit_table):
+    """Figure 4(d): whole application, static versus column cache."""
+    result = benchmark.pedantic(
+        run_figure4d, args=(config,), rounds=1, iterations=1
+    )
+    checks = check_figure4d(result)
+    summary = (
+        result.series.to_table()
+        + f"\ncolumn cache: {result.column_cache_cycles} cycles "
+        f"(remap overhead {result.remap_overhead}); best static: "
+        f"{result.best_static_cycles}; improvement "
+        f"{result.improvement:.1%}\n"
+        + render_checks(checks)
+    )
+    emit_table("figure4d_combined", summary)
+    assert all_passed(checks), render_checks(checks)

@@ -1,0 +1,26 @@
+"""Benchmark regenerating Figure 5: CPI versus context-switch quantum.
+
+Three gzip jobs, round-robin, 16 KB and 128 KB caches, shared versus
+column-mapped.  The full sweep simulates ~25M cache accesses; one round.
+"""
+
+from repro.experiments.figure5 import (
+    Figure5Config,
+    check_figure5,
+    run_figure5,
+)
+from repro.experiments.report import all_passed, render_checks
+
+
+def test_figure5_multitasking(benchmark, emit_table):
+    """Figure 5: job A's CPI across quanta, caches and mappings."""
+    config = Figure5Config()
+    series = benchmark.pedantic(
+        run_figure5, args=(config,), rounds=1, iterations=1
+    )
+    checks = check_figure5(series, config)
+    emit_table(
+        "figure5_multitasking",
+        series.to_table() + "\n" + render_checks(checks),
+    )
+    assert all_passed(checks), render_checks(checks)

@@ -1,0 +1,69 @@
+"""Simulator throughput benchmarks (engineering, not paper results).
+
+Guards the performance of the two hot paths: the array-based fast
+simulator (which the Figure 5 sweeps depend on) and the reference
+column cache (which the validation suite depends on).  These run
+multiple rounds — they measure wall time, unlike the figure benches.
+"""
+
+import numpy as np
+
+from repro.cache.column_cache import ColumnCache
+from repro.cache.fastsim import FastColumnCache, blocks_of
+from repro.cache.geometry import CacheGeometry
+from repro.utils.bitvector import ColumnMask
+
+GEOMETRY = CacheGeometry(line_size=16, sets=128, columns=8)
+TRACE_LENGTH = 50_000
+
+
+def _addresses():
+    rng = np.random.default_rng(42)
+    # 60% hot working set, 40% streaming.
+    hot = rng.integers(0, 8192, int(TRACE_LENGTH * 0.6))
+    cold = np.arange(int(TRACE_LENGTH * 0.4)) * 16 + 1 << 20
+    mixed = np.concatenate([hot, cold])
+    rng.shuffle(mixed)
+    return mixed
+
+
+def test_fastsim_throughput(benchmark):
+    """Fast path: full-mask simulation of a 50k-access trace."""
+    blocks = blocks_of(_addresses(), GEOMETRY).tolist()
+
+    def run():
+        cache = FastColumnCache(GEOMETRY)
+        return cache.run(blocks)
+
+    result = benchmark(run)
+    assert result.hits + result.misses == TRACE_LENGTH
+
+
+def test_fastsim_masked_throughput(benchmark):
+    """Fast path with per-access masks."""
+    addresses = _addresses()
+    blocks = blocks_of(addresses, GEOMETRY).tolist()
+    rng = np.random.default_rng(7)
+    masks = rng.integers(1, 256, TRACE_LENGTH).tolist()
+
+    def run():
+        cache = FastColumnCache(GEOMETRY)
+        return cache.run(blocks, mask_bits=masks)
+
+    result = benchmark(run)
+    assert result.accesses == TRACE_LENGTH
+
+
+def test_reference_cache_throughput(benchmark):
+    """Reference model on a 5k slice (it is ~10x slower by design)."""
+    addresses = _addresses()[:5000].tolist()
+    mask = ColumnMask.all_columns(8)
+
+    def run():
+        cache = ColumnCache(GEOMETRY)
+        for address in addresses:
+            cache.access(int(address), mask=mask)
+        return cache.stats.accesses
+
+    accesses = benchmark(run)
+    assert accesses == 5000

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Dynamic (per-procedure) remapping on a shared-data decoder loop.
+
+The MPEG app's stages share arrays (dequant writes the coefficients
+idct reads; idct writes the pixels plus reads), and the access pattern
+of each shared array changes per stage — the paper's Section 3.2
+scenario.  This example plans one layout per phase, shows which
+transitions the planner deems worth a remap, and compares the phased
+execution against the best single static layout.
+
+Run:  python examples/dynamic_remapping.py
+"""
+
+from repro.layout.algorithm import DataLayoutPlanner, LayoutConfig
+from repro.layout.dynamic import DynamicLayoutPlanner
+from repro.sim.config import EMBEDDED_TIMING
+from repro.sim.executor import TraceExecutor
+from repro.utils.tables import format_table
+from repro.workloads.mpeg import MPEGDecodeApp
+
+
+def main() -> None:
+    run = MPEGDecodeApp(blocks=8, frames=2).record()
+    executor = TraceExecutor(EMBEDDED_TIMING)
+
+    print("per-phase planning decisions (2 columns):")
+    config2 = LayoutConfig(columns=2, column_bytes=512,
+                           split_oversized=False)
+    plan2 = DynamicLayoutPlanner(config2).plan(run)
+    rows = []
+    for phase in plan2.phases:
+        rows.append(
+            [
+                phase.label,
+                "remap" if phase.remapped else "keep",
+                "-" if phase.reuse_cost is None else phase.reuse_cost,
+                phase.fresh_cost,
+            ]
+        )
+    print(format_table(["phase", "decision", "reuse W", "fresh W"], rows))
+    print()
+
+    rows = []
+    for columns in (2, 3, 4):
+        config = LayoutConfig(
+            columns=columns, column_bytes=512, split_oversized=False
+        )
+        static_result = executor.run(
+            run.trace, DataLayoutPlanner(config).plan(run)
+        )
+        phased = executor.run_phased(
+            run, DynamicLayoutPlanner(config).plan(run)
+        )
+        total = phased.total
+        gain = (static_result.cycles - total.cycles) / static_result.cycles
+        rows.append(
+            [
+                columns,
+                static_result.cycles,
+                total.cycles,
+                phased.remap_count,
+                f"{gain:+.1%}",
+            ]
+        )
+    print(
+        format_table(
+            ["columns", "static cycles", "dynamic cycles", "remaps",
+             "gain"],
+            rows,
+            title="static (one layout) vs dynamic (per-phase remapping)",
+        )
+    )
+    print()
+    print("Dynamic layout wins when columns are scarce: each phase gets")
+    print("the whole cache arranged for *its* conflicts.  With plenty of")
+    print("columns a single static layout already separates everything,")
+    print("so remapping only adds its (tiny) overhead.")
+
+
+if __name__ == "__main__":
+    main()

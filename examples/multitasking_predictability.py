@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Multitasking predictability: the paper's Figure 5 story, small scale.
+
+Three gzip jobs share one processor.  Without column mapping, job A's
+CPI swings with the scheduler's time quantum (its cache contents are
+destroyed by jobs B and C at every switch).  Mapped to its own columns,
+job A's CPI is lower *and* nearly flat — predictable performance under
+interrupts and varying quanta, which is what real-time systems need.
+
+Run:  python examples/multitasking_predictability.py
+"""
+
+from repro.cache.geometry import CacheGeometry
+from repro.sim.config import MULTITASK_TIMING
+from repro.sim.multitask import Job, MultitaskSimulator
+from repro.utils.bitvector import ColumnMask
+from repro.utils.tables import format_series
+from repro.workloads.gzip_like import make_gzip_job
+
+
+def cpi_curve(runs, geometry, quanta, mapped):
+    cpis = []
+    for quantum in quanta:
+        jobs = []
+        for index, name in enumerate("ABC"):
+            mask = None
+            if mapped:
+                mask = (
+                    ColumnMask.contiguous(0, 6, 8)
+                    if name == "A"
+                    else ColumnMask.contiguous(6, 2, 8)
+                )
+            jobs.append(
+                Job(
+                    name=name,
+                    trace=runs[name].trace,
+                    mask=mask,
+                    address_offset=index << 32,
+                )
+            )
+        simulator = MultitaskSimulator(geometry, jobs, MULTITASK_TIMING)
+        simulator.warm_up(1)
+        results = simulator.run(quantum, 150_000)
+        cpis.append(round(results["A"].cpi(MULTITASK_TIMING), 3))
+    return cpis
+
+
+def main() -> None:
+    print("recording three gzip jobs (2 KB input each)...")
+    runs = {
+        name: make_gzip_job(name, input_bytes=2048, window_bits=12,
+                            hash_bits=11).record()
+        for name in "ABC"
+    }
+    geometry = CacheGeometry(line_size=16, sets=128, columns=8)  # 16 KB
+    quanta = [4 ** k for k in range(0, 9, 2)]
+    shared = cpi_curve(runs, geometry, quanta, mapped=False)
+    mapped = cpi_curve(runs, geometry, quanta, mapped=True)
+    print()
+    print(
+        format_series(
+            "quantum",
+            quanta,
+            {"shared CPI": shared, "mapped CPI": mapped},
+            title="job A, 16 KB cache, 3-job round robin",
+        )
+    )
+    spread = max(shared) - min(shared)
+    spread_mapped = max(mapped) - min(mapped)
+    print()
+    print(f"CPI spread across quanta: shared={spread:.3f}, "
+          f"mapped={spread_mapped:.3f}")
+    print("column mapping makes job A's performance predictable.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Quickstart: the column cache mechanism in five minutes.
+
+Walks the paper's core ideas end to end on a tiny cache:
+
+1. build a column cache (a set-associative cache whose replacement can
+   be restricted per access);
+2. partition it with tints (page -> tint -> column bit vector);
+3. emulate scratchpad memory in one column;
+4. show graceful repartitioning (resident data survives a remap).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cache import CacheGeometry, ColumnCache
+from repro.cache.scratchpad import ColumnScratchpad
+from repro.mem import PageTable, TintTable
+from repro.mem.address import AddressRange
+from repro.utils.bitvector import ColumnMask
+
+
+def main() -> None:
+    # A 2 KB cache: 4 columns x 32 sets x 16-byte lines (the paper's
+    # Figure 4 configuration).
+    geometry = CacheGeometry(line_size=16, sets=32, columns=4)
+    cache = ColumnCache(geometry, policy="lru")
+    print(f"cache: {geometry}")
+
+    # ------------------------------------------------------------------
+    # 1. Partitioning with tints (paper Section 2.2, Figure 3).
+    # ------------------------------------------------------------------
+    tints = TintTable(columns=4)
+    pages = PageTable(page_size=64)
+
+    # Give the "stream" region its own tint confined to column 0, and
+    # remove column 0 from the default tint so nothing else intrudes.
+    tints.define("stream", ColumnMask.of(0, width=4))
+    tints.remap("red", ColumnMask.of(1, 2, 3, width=4))
+    stream_region = AddressRange(0x8000, 4096)
+    for vpn in stream_region.pages(pages.page_size):
+        pages.set_tint(vpn, "stream")
+    print("tints:", {t: tints.mask_of(t).to_string() for t in tints})
+
+    # A big stream walks through... confined to column 0.
+    for address in stream_region.lines(16):
+        mask = tints.mask_of(pages.entry_for_address(address).tint)
+        cache.access(address, mask=mask)
+
+    # Meanwhile hot data lives in the other columns, untouched.
+    hot = AddressRange(0x1000, 512)
+    for address in hot.lines(16):
+        mask = tints.mask_of(pages.entry_for_address(address).tint)
+        cache.access(address, mask=mask)
+    hits = sum(
+        cache.access(
+            address,
+            mask=tints.mask_of(pages.entry_for_address(address).tint),
+        ).hit
+        for address in hot.lines(16)
+    )
+    print(f"hot data after the stream: {hits}/32 lines still hit")
+    print(f"per-column occupancy: {cache.occupancy()}")
+
+    # ------------------------------------------------------------------
+    # 2. Scratchpad emulation (paper Section 2.3).
+    # ------------------------------------------------------------------
+    pad_cache = ColumnCache(geometry)
+    pad = ColumnScratchpad(
+        pad_cache, AddressRange(0x4000, 512), ColumnMask.of(3, width=4)
+    )
+    pad.preload()
+    for block in range(2000):  # heavy traffic elsewhere
+        pad_cache.access(0x20000 + block * 16,
+                         mask=ColumnMask.of(0, 1, 2, width=4))
+    print(
+        "scratchpad emulation: region pinned after 2000 competing "
+        f"accesses -> {pad.is_pinned()}"
+    )
+
+    # ------------------------------------------------------------------
+    # 3. Graceful repartitioning (paper Section 2.1).
+    # ------------------------------------------------------------------
+    cache2 = ColumnCache(geometry)
+    old = ColumnMask.of(0, width=4)
+    new = ColumnMask.of(3, width=4)
+    cache2.access(0x1000, mask=old)
+    line = cache2.find_line(0x1000)
+    print(f"line cached in column {line.column} under the old mapping")
+    hit = cache2.access(0x1000, mask=new)  # remapped: still hits!
+    print(f"after remapping to column 3: hit={hit.hit} (no copy needed)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Column caching down the hierarchy (the paper's forward pointer).
+
+Section 2.2 designed the tint indirection to hide "the number of levels
+of the memory hierarchy" from software.  This example runs a hot
+working set against a streaming scan on a two-level system where one
+tint resolves to a different column bit vector at each level, and shows
+that per-level isolation protects the hot set in *both* caches.
+
+Run:  python examples/two_level_hierarchy.py
+"""
+
+from repro.cache import CacheGeometry
+from repro.cache.hierarchy import (
+    HierarchyTintTable,
+    LevelMasks,
+    TwoLevelCacheSystem,
+)
+from repro.utils.bitvector import ColumnMask
+from repro.utils.tables import format_table
+
+
+def run_scenario(isolate: bool):
+    system = TwoLevelCacheSystem(
+        l1_geometry=CacheGeometry(line_size=16, sets=32, columns=2),  # 1 KB
+        l2_geometry=CacheGeometry(line_size=16, sets=128, columns=4),  # 8 KB
+        l2_hit_cycles=6,
+        memory_cycles=40,
+    )
+    tints = HierarchyTintTable(l1_columns=2, l2_columns=4)
+    if isolate:
+        tints.define(
+            "hot",
+            LevelMasks(l1=ColumnMask.of(0, width=2),
+                       l2=ColumnMask.of(0, width=4)),
+        )
+        tints.define(
+            "stream",
+            LevelMasks(l1=ColumnMask.of(1, width=2),
+                       l2=ColumnMask.of(1, 2, 3, width=4)),
+        )
+        hot_masks = tints.masks_of("hot")
+        stream_masks = tints.masks_of("stream")
+    else:
+        hot_masks = stream_masks = tints.masks_of("red")
+
+    hot_lines = [0x0 + line * 16 for line in range(24)]  # 384 B hot set
+    cycles = 0
+    hot_accesses = 0
+    hot_l1_hits = 0
+    for round_number in range(64):
+        for address in hot_lines:
+            outcome = system.access(address, masks=hot_masks)
+            cycles += outcome.cycles
+            hot_accesses += 1
+            hot_l1_hits += outcome.l1_hit
+        # 2 KB of streaming in between (a DMA buffer scan).
+        base = 0x100000 + round_number * 2048
+        for line in range(128):
+            outcome = system.access(base + line * 16, masks=stream_masks)
+            cycles += outcome.cycles
+    return cycles, hot_l1_hits / hot_accesses
+
+
+def main() -> None:
+    rows = []
+    for isolate in (False, True):
+        cycles, hot_hit_rate = run_scenario(isolate)
+        rows.append(
+            [
+                "per-level tints" if isolate else "shared (no tints)",
+                cycles,
+                f"{hot_hit_rate:.1%}",
+            ]
+        )
+    print(
+        format_table(
+            ["configuration", "total cycles", "hot-set L1 hit rate"],
+            rows,
+            title="hot 384B set vs 128KB of streaming, L1 1KB / L2 8KB",
+        )
+    )
+    print()
+    print("One tint, two bit vectors: the hot set keeps an L1 column AND")
+    print("an L2 column, so the stream never disturbs it at either level.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The metadata lives in pyproject.toml; this file exists only so that
+``pip install -e . --no-use-pep517`` works on environments without the
+``wheel`` package (offline editable installs).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""Baselines the paper compares against (Sections 1.1 and 5).
+
+* :mod:`repro.baselines.static_partition` — a fixed scratchpad/cache
+  split chosen at design time (the Panda et al. design-space premise
+  the paper's introduction argues against).
+* :mod:`repro.baselines.panda` — a Panda/Dutt/Nicolau-style allocator:
+  a *dedicated* scratchpad SRAM plus a conventional set-associative
+  cache, with variables assigned to the scratchpad by access density.
+* :mod:`repro.baselines.page_coloring` — OS page coloring: conflict
+  avoidance via physical page placement, "a limited sub-set of column
+  caching abilities" (Section 5.1) — remapping requires memory copies
+  and the granularity is the page-color class, not the column.
+"""
+
+from repro.baselines.page_coloring import PageColoringBaseline
+from repro.baselines.panda import PandaBaseline, PandaPlan
+from repro.baselines.static_partition import (
+    PartitionPoint,
+    sweep_static_partitions,
+)
+
+__all__ = [
+    "PageColoringBaseline",
+    "PandaBaseline",
+    "PandaPlan",
+    "PartitionPoint",
+    "sweep_static_partitions",
+]

@@ -1,0 +1,78 @@
+"""Static scratchpad/cache partitions: the design-time baseline.
+
+A conventional embedded SoC fixes the scratchpad/cache split in
+silicon.  This module sweeps every split for a workload (re-running the
+data-layout algorithm per split, as the paper does for Figure 4) and
+reports the whole curve — the column cache's advantage is exactly that
+it does not have to commit to one point of this curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.layout.algorithm import DataLayoutPlanner, LayoutConfig
+from repro.layout.assignment import ColumnAssignment
+from repro.sim.config import TimingConfig
+from repro.sim.executor import TraceExecutor
+from repro.sim.results import SimulationResult
+from repro.workloads.base import WorkloadRun
+
+
+@dataclass
+class PartitionPoint:
+    """One static partition's outcome."""
+
+    cache_columns: int
+    scratchpad_columns: int
+    result: SimulationResult
+    assignment: ColumnAssignment
+
+    @property
+    def cycles(self) -> int:
+        """Measured cycles at this partition."""
+        return self.result.cycles
+
+
+def sweep_static_partitions(
+    run: WorkloadRun,
+    columns: int,
+    column_bytes: int,
+    timing: Optional[TimingConfig] = None,
+    split_oversized: bool = False,
+    line_size: int = 16,
+) -> list[PartitionPoint]:
+    """Evaluate every scratchpad/cache split for one workload.
+
+    Returns one :class:`PartitionPoint` per cache-column count
+    0..columns, data layout re-planned at each point.
+    """
+    executor = TraceExecutor(timing)
+    points = []
+    for cache_columns in range(columns + 1):
+        config = LayoutConfig(
+            columns=columns,
+            column_bytes=column_bytes,
+            line_size=line_size,
+            scratchpad_columns=columns - cache_columns,
+            split_oversized=split_oversized,
+        )
+        assignment = DataLayoutPlanner(config).plan(run)
+        result = executor.run(run.trace, assignment)
+        points.append(
+            PartitionPoint(
+                cache_columns=cache_columns,
+                scratchpad_columns=columns - cache_columns,
+                result=result,
+                assignment=assignment,
+            )
+        )
+    return points
+
+
+def best_partition(points: list[PartitionPoint]) -> PartitionPoint:
+    """The partition with the fewest cycles."""
+    if not points:
+        raise ValueError("no partition points")
+    return min(points, key=lambda point: point.cycles)

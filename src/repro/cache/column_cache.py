@@ -1,0 +1,386 @@
+"""The column cache: set-associative lookup, column-restricted replacement.
+
+This is the reference model of the paper's Section 2 mechanism.  Three
+properties define it (all property-tested in ``tests/``):
+
+1. **Lookup is unchanged.**  Every way of the selected set is searched
+   on every access, regardless of the access's column mask.  A line
+   resident in a column *outside* the mask still hits — this is what
+   makes repartitioning graceful ("the associative search will still
+   find the data in the new location").
+2. **Replacement is restricted.**  On a miss, the victim way is chosen
+   by the replacement policy *only among the columns in the access's
+   bit vector*.  Invalid (empty) permissible ways are filled first.
+3. **Full-mask equivalence.**  With an all-ones mask on every access the
+   cache is behaviourally identical to a standard set-associative cache.
+
+An access with an *empty* mask that misses cannot allocate a line; it is
+counted as a bypass (the line is fetched from memory but not cached),
+mirroring how a page with no permissible columns behaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.replacement import ReplacementPolicy, make_policy
+from repro.cache.stats import (
+    CacheStats,
+    MissKind,
+    ShadowFullyAssociative,
+)
+from repro.mem.address import AddressRange
+from repro.utils.bitvector import ColumnMask
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of a single cache access.
+
+    Attributes:
+        address: The byte address accessed.
+        hit: True if the line was resident.
+        column: The way that served the hit or received the fill
+            (None for a bypass).
+        filled: True if a line was allocated.
+        evicted_address: Line base address of the victim, if a valid
+            line was evicted.
+        writeback: True if the evicted line was dirty.
+        miss_kind: Three-C classification (UNCLASSIFIED on hits or when
+            classification is disabled).
+        bypassed: True if the access missed with an empty mask and was
+            not cached.
+    """
+
+    address: int
+    hit: bool
+    column: Optional[int]
+    filled: bool = False
+    evicted_address: Optional[int] = None
+    writeback: bool = False
+    miss_kind: MissKind = MissKind.UNCLASSIFIED
+    bypassed: bool = False
+
+
+@dataclass(frozen=True)
+class ResidentLine:
+    """A snapshot of one valid cache line (for inspection/tests)."""
+
+    set_index: int
+    column: int
+    tag: int
+    address: int
+    dirty: bool
+
+
+class ColumnCache:
+    """Reference model of the paper's column cache.
+
+    Args:
+        geometry: Cache shape (lines/sets/columns).
+        policy: Replacement policy name ("lru", "fifo", "random",
+            "plru") or a pre-built :class:`ReplacementPolicy`.
+        write_allocate: Allocate a line on write misses (default True;
+            write-around when False).
+        classify_misses: Maintain a shadow fully-associative cache to
+            split misses into cold/capacity/conflict.
+        seed: Seed for stochastic policies.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        policy: str | ReplacementPolicy = "lru",
+        write_allocate: bool = True,
+        classify_misses: bool = False,
+        seed: int = 0,
+    ):
+        self.geometry = geometry
+        if isinstance(policy, str):
+            self.policy: ReplacementPolicy = make_policy(
+                policy, geometry.sets, geometry.columns, seed=seed
+            )
+        else:
+            if policy.sets != geometry.sets or policy.ways != geometry.columns:
+                raise ValueError(
+                    "policy shape does not match geometry: "
+                    f"policy is {policy.sets}x{policy.ways}, geometry needs "
+                    f"{geometry.sets}x{geometry.columns}"
+                )
+            self.policy = policy
+        self.write_allocate = write_allocate
+        self.stats = CacheStats(columns=geometry.columns)
+
+        sets, ways = geometry.sets, geometry.columns
+        self._tags: list[list[Optional[int]]] = [
+            [None] * ways for _ in range(sets)
+        ]
+        self._dirty: list[list[bool]] = [[False] * ways for _ in range(sets)]
+        # tag -> way per set, for O(1) lookup of the whole set at once.
+        self._tag_to_way: list[dict[int, int]] = [dict() for _ in range(sets)]
+
+        self._classify = classify_misses
+        self._shadow: Optional[ShadowFullyAssociative] = (
+            ShadowFullyAssociative(geometry.total_lines)
+            if classify_misses
+            else None
+        )
+        self._ever_seen: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # The access path
+    # ------------------------------------------------------------------
+    def access(
+        self,
+        address: int,
+        mask: Optional[ColumnMask] = None,
+        is_write: bool = False,
+    ) -> AccessResult:
+        """Perform one access; returns the full outcome.
+
+        ``mask`` is the bit vector the TLB delivered for this address;
+        None means all columns are permissible (a standard cache).
+        """
+        geometry = self.geometry
+        set_index = geometry.set_index(address)
+        tag = geometry.tag(address)
+        block = geometry.block_number(address)
+
+        cold = block not in self._ever_seen
+        self._ever_seen.add(block)
+        shadow_hit = self._shadow.access(block) if self._shadow else False
+
+        # Lookup: the entire set is searched, mask-free (paper 2.1).
+        way = self._tag_to_way[set_index].get(tag)
+        if way is not None:
+            self.policy.on_access(set_index, way)
+            if is_write:
+                self._dirty[set_index][way] = True
+            self.stats.record_hit(way, is_write)
+            return AccessResult(address=address, hit=True, column=way)
+
+        # Miss path.
+        miss_kind = MissKind.UNCLASSIFIED
+        if self._classify:
+            if cold:
+                miss_kind = MissKind.COLD
+            elif shadow_hit:
+                miss_kind = MissKind.CONFLICT
+            else:
+                miss_kind = MissKind.CAPACITY
+        elif cold:
+            miss_kind = MissKind.COLD
+        self.stats.record_miss(is_write, miss_kind)
+
+        allocate = self.write_allocate or not is_write
+        if mask is None:
+            candidates: tuple[int, ...] = tuple(range(geometry.columns))
+        else:
+            if mask.width != geometry.columns:
+                raise ValueError(
+                    f"mask width {mask.width} does not match "
+                    f"{geometry.columns} columns"
+                )
+            candidates = mask.columns()
+        if not candidates or not allocate:
+            self.stats.bypasses += 1
+            return AccessResult(
+                address=address,
+                hit=False,
+                column=None,
+                miss_kind=miss_kind,
+                bypassed=True,
+            )
+
+        victim_way = self._choose_victim(set_index, candidates)
+        evicted_address, writeback = self._evict(set_index, victim_way)
+        self._fill(set_index, victim_way, tag, dirty=is_write)
+        return AccessResult(
+            address=address,
+            hit=False,
+            column=victim_way,
+            filled=True,
+            evicted_address=evicted_address,
+            writeback=writeback,
+            miss_kind=miss_kind,
+        )
+
+    def _choose_victim(
+        self, set_index: int, candidates: tuple[int, ...]
+    ) -> int:
+        """Pick the way to fill: invalid permissible ways first."""
+        tags = self._tags[set_index]
+        for way in candidates:
+            if tags[way] is None:
+                return way
+        return self.policy.victim(set_index, candidates)
+
+    def _evict(self, set_index: int, way: int) -> tuple[Optional[int], bool]:
+        """Remove the line at (set, way); returns (address, dirty)."""
+        tag = self._tags[set_index][way]
+        if tag is None:
+            return None, False
+        dirty = self._dirty[set_index][way]
+        del self._tag_to_way[set_index][tag]
+        self._tags[set_index][way] = None
+        self._dirty[set_index][way] = False
+        self.stats.record_eviction(dirty)
+        return self.geometry.address_of(tag, set_index), dirty
+
+    def _fill(self, set_index: int, way: int, tag: int, dirty: bool) -> None:
+        """Install ``tag`` at (set, way)."""
+        self._tags[set_index][way] = tag
+        self._dirty[set_index][way] = dirty
+        self._tag_to_way[set_index][tag] = way
+        self.policy.on_fill(set_index, way)
+        self.stats.record_fill(way)
+
+    # ------------------------------------------------------------------
+    # Bulk operations
+    # ------------------------------------------------------------------
+    def preload(
+        self, address_range: AddressRange, mask: Optional[ColumnMask] = None
+    ) -> int:
+        """Touch every line of ``address_range`` (scratchpad warm-up).
+
+        This is the paper's "perform a load on all cache-lines of data
+        when remapping" (Section 2.3).  Returns the number of lines
+        touched.
+        """
+        count = 0
+        for line_base in address_range.lines(self.geometry.line_size):
+            self.access(line_base, mask=mask, is_write=False)
+            count += 1
+        return count
+
+    def flush(self, invalidate_history: bool = False) -> int:
+        """Invalidate every line; returns the number of dirty lines.
+
+        ``invalidate_history=True`` also forgets cold-miss history and
+        shadow state (as if the machine were reset).
+        """
+        dirty_count = 0
+        for set_index in range(self.geometry.sets):
+            for way in range(self.geometry.columns):
+                if self._tags[set_index][way] is not None:
+                    if self._dirty[set_index][way]:
+                        dirty_count += 1
+                    self.policy.on_invalidate(set_index, way)
+            self._tags[set_index] = [None] * self.geometry.columns
+            self._dirty[set_index] = [False] * self.geometry.columns
+            self._tag_to_way[set_index].clear()
+        if invalidate_history:
+            self._ever_seen.clear()
+            if self._shadow:
+                self._shadow.reset()
+        return dirty_count
+
+    def flush_columns(self, mask: ColumnMask) -> int:
+        """Invalidate every line resident in the given columns.
+
+        Models competing activity evicting cache-column contents while
+        scratchpad-dedicated columns stay untouched.  Returns the
+        number of lines invalidated.
+        """
+        if mask.width != self.geometry.columns:
+            raise ValueError(
+                f"mask width {mask.width} does not match "
+                f"{self.geometry.columns} columns"
+            )
+        invalidated = 0
+        for set_index in range(self.geometry.sets):
+            for way in mask:
+                tag = self._tags[set_index][way]
+                if tag is None:
+                    continue
+                self.policy.on_invalidate(set_index, way)
+                del self._tag_to_way[set_index][tag]
+                self._tags[set_index][way] = None
+                self._dirty[set_index][way] = False
+                invalidated += 1
+        return invalidated
+
+    def invalidate_address(self, address: int) -> bool:
+        """Invalidate the line holding ``address``; True if resident."""
+        set_index = self.geometry.set_index(address)
+        tag = self.geometry.tag(address)
+        way = self._tag_to_way[set_index].get(tag)
+        if way is None:
+            return False
+        self.policy.on_invalidate(set_index, way)
+        del self._tag_to_way[set_index][tag]
+        self._tags[set_index][way] = None
+        self._dirty[set_index][way] = False
+        return True
+
+    def reset_stats(self) -> None:
+        """Zero the statistics counters without touching contents."""
+        self.stats.reset()
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def contains(self, address: int) -> bool:
+        """True if the line holding ``address`` is resident."""
+        return self.find_line(address) is not None
+
+    def find_line(self, address: int) -> Optional[ResidentLine]:
+        """Locate the resident line for ``address``, if any."""
+        set_index = self.geometry.set_index(address)
+        tag = self.geometry.tag(address)
+        way = self._tag_to_way[set_index].get(tag)
+        if way is None:
+            return None
+        return ResidentLine(
+            set_index=set_index,
+            column=way,
+            tag=tag,
+            address=self.geometry.address_of(tag, set_index),
+            dirty=self._dirty[set_index][way],
+        )
+
+    def resident_lines(self) -> Iterator[ResidentLine]:
+        """Iterate over every valid line."""
+        for set_index in range(self.geometry.sets):
+            for way, tag in enumerate(self._tags[set_index]):
+                if tag is not None:
+                    yield ResidentLine(
+                        set_index=set_index,
+                        column=way,
+                        tag=tag,
+                        address=self.geometry.address_of(tag, set_index),
+                        dirty=self._dirty[set_index][way],
+                    )
+
+    def occupancy(self) -> list[int]:
+        """Valid-line count per column."""
+        counts = [0] * self.geometry.columns
+        for set_index in range(self.geometry.sets):
+            for way, tag in enumerate(self._tags[set_index]):
+                if tag is not None:
+                    counts[way] += 1
+        return counts
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnCache({self.geometry}, policy={self.policy.name!r})"
+        )
+
+
+class SetAssociativeCache(ColumnCache):
+    """A standard set-associative cache.
+
+    Identical to :class:`ColumnCache` with every access using the full
+    column mask; provided for readable baselines.
+    """
+
+    def access(
+        self,
+        address: int,
+        mask: Optional[ColumnMask] = None,
+        is_write: bool = False,
+    ) -> AccessResult:
+        """Access ignoring any column restriction."""
+        return super().access(address, mask=None, is_write=is_write)

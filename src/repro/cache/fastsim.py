@@ -1,0 +1,230 @@
+"""Fast array-based column-cache simulation for long traces.
+
+The reference model in :mod:`repro.cache.column_cache` is written for
+clarity and inspection; this module trades all of that for speed so the
+multitasking experiment (Figure 5 sweeps tens of millions of accesses)
+finishes in laptop time.  Semantics are identical for the LRU policy —
+a hypothesis property test in ``tests/test_fastsim.py`` drives both
+models with random masked traces and asserts equal hit/miss streams.
+
+Design notes:
+
+* The hot loop works on *block numbers* (``address >> offset_bits``),
+  which callers precompute (vectorizable with numpy).
+* State lives in flat Python lists indexed ``set * ways + way``; tag
+  lookup is one dict per set.
+* Column masks are small integers; the mask -> candidate-way tuple
+  mapping is precomputed for every possible mask value.
+* An empty mask is a bypass: the miss is counted, nothing is filled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.cache.geometry import CacheGeometry
+
+
+def blocks_of(addresses: Sequence[int], geometry: CacheGeometry) -> np.ndarray:
+    """Vectorized ``address >> offset_bits`` for a whole trace."""
+    array = np.asarray(addresses, dtype=np.int64)
+    return array >> geometry.offset_bits
+
+
+@dataclass
+class FastSimResult:
+    """Aggregate outcome of a fast simulation run."""
+
+    hits: int
+    misses: int
+    bypasses: int
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses simulated."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of accesses that missed."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+
+class FastColumnCache:
+    """Stateful fast LRU column cache operating on block numbers.
+
+    The object survives across calls to :meth:`run`, so a multitasking
+    scheduler can interleave slices of different jobs' traces and the
+    cache state carries over — exactly what the Figure 5 experiment
+    needs.
+    """
+
+    def __init__(self, geometry: CacheGeometry):
+        self.geometry = geometry
+        self.sets = geometry.sets
+        self.ways = geometry.columns
+        self.index_bits = geometry.index_bits
+        self.full_mask = (1 << self.ways) - 1
+        size = self.sets * self.ways
+        self._last_use: list[int] = [-1] * size
+        self._tags: list[Optional[int]] = [None] * size
+        self._tag_to_way: list[dict[int, int]] = [
+            dict() for _ in range(self.sets)
+        ]
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+        self.bypasses = 0
+        # mask bits -> tuple of candidate ways, precomputed for all masks.
+        self._mask_ways: list[tuple[int, ...]] = [
+            tuple(w for w in range(self.ways) if bits >> w & 1)
+            for bits in range(1 << self.ways)
+        ]
+
+    def run(
+        self,
+        blocks: Sequence[int],
+        mask_bits: Optional[Sequence[int]] = None,
+        uniform_mask: Optional[int] = None,
+        start: int = 0,
+        stop: Optional[int] = None,
+    ) -> FastSimResult:
+        """Simulate ``blocks[start:stop]``; returns this call's counts.
+
+        Exactly one of ``mask_bits`` (per-access masks) or
+        ``uniform_mask`` (one mask for the whole slice) may be given;
+        neither means all columns are permissible.
+        """
+        if mask_bits is not None and uniform_mask is not None:
+            raise ValueError("give either mask_bits or uniform_mask, not both")
+        if stop is None:
+            stop = len(blocks)
+        # Bind state to locals: ~2x faster inner loop in CPython.
+        sets_mask = self.sets - 1
+        index_bits = self.index_bits
+        ways = self.ways
+        last_use = self._last_use
+        tags = self._tags
+        tag_to_way = self._tag_to_way
+        mask_ways = self._mask_ways
+        clock = self._clock
+        hits = misses = bypasses = 0
+        fixed_candidates = mask_ways[
+            self.full_mask if uniform_mask is None else uniform_mask
+        ]
+
+        for position in range(start, stop):
+            block = blocks[position]
+            set_index = block & sets_mask
+            tag = block >> index_bits
+            ways_of_set = tag_to_way[set_index]
+            way = ways_of_set.get(tag)
+            clock += 1
+            if way is not None:
+                last_use[set_index * ways + way] = clock
+                hits += 1
+                continue
+            misses += 1
+            if mask_bits is None:
+                candidates = fixed_candidates
+            else:
+                candidates = mask_ways[mask_bits[position]]
+            if not candidates:
+                bypasses += 1
+                continue
+            base = set_index * ways
+            victim = -1
+            best_time = 1 << 62
+            for candidate in candidates:
+                use_time = last_use[base + candidate]
+                if use_time < best_time:
+                    best_time = use_time
+                    victim = candidate
+            slot = base + victim
+            old_tag = tags[slot]
+            if old_tag is not None:
+                del ways_of_set[old_tag]
+            tags[slot] = tag
+            ways_of_set[tag] = victim
+            last_use[slot] = clock
+
+        self._clock = clock
+        self.hits += hits
+        self.misses += misses
+        self.bypasses += bypasses
+        return FastSimResult(hits=hits, misses=misses, bypasses=bypasses)
+
+    def run_with_flags(
+        self,
+        blocks: Sequence[int],
+        mask_bits: Optional[Sequence[int]] = None,
+        uniform_mask: Optional[int] = None,
+    ) -> np.ndarray:
+        """Like :meth:`run` but returns a per-access hit-flag array.
+
+        Slower than :meth:`run`; used for validation and per-variable
+        attribution, not for the big sweeps.
+        """
+        flags = np.zeros(len(blocks), dtype=bool)
+        for position in range(len(blocks)):
+            before = self.hits
+            if mask_bits is None:
+                self.run(
+                    blocks,
+                    uniform_mask=uniform_mask,
+                    start=position,
+                    stop=position + 1,
+                )
+            else:
+                self.run(
+                    blocks,
+                    mask_bits=mask_bits,
+                    start=position,
+                    stop=position + 1,
+                )
+            flags[position] = self.hits > before
+        return flags
+
+    def contains_block(self, block: int) -> bool:
+        """True if the given block number is resident."""
+        set_index = block & (self.sets - 1)
+        tag = block >> self.index_bits
+        return tag in self._tag_to_way[set_index]
+
+    def flush(self) -> None:
+        """Invalidate everything (counters are kept)."""
+        size = self.sets * self.ways
+        self._last_use = [-1] * size
+        self._tags = [None] * size
+        for mapping in self._tag_to_way:
+            mapping.clear()
+
+    def result(self) -> FastSimResult:
+        """Cumulative counts since construction."""
+        return FastSimResult(
+            hits=self.hits, misses=self.misses, bypasses=self.bypasses
+        )
+
+
+def simulate_trace(
+    addresses: Sequence[int],
+    geometry: CacheGeometry,
+    mask_bits: Optional[Sequence[int]] = None,
+    uniform_mask: Optional[int] = None,
+) -> FastSimResult:
+    """One-shot fast simulation of a whole address trace.
+
+    >>> geometry = CacheGeometry(line_size=16, sets=4, columns=2)
+    >>> simulate_trace([0, 0, 64], geometry).hits
+    1
+    """
+    cache = FastColumnCache(geometry)
+    blocks = blocks_of(addresses, geometry)
+    if mask_bits is None:
+        return cache.run(blocks, uniform_mask=uniform_mask)
+    return cache.run(blocks, mask_bits=mask_bits)

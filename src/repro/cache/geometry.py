@@ -1,0 +1,136 @@
+"""Cache geometry: sizes, sets, columns and address decomposition.
+
+In the paper's reference implementation "each column can be viewed as
+one 'way' or bank of an n-way set-associative cache", so a geometry is
+fully determined by (line size, set count, column count).  The column
+size — line_size * sets — is the scratchpad-emulation granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_power_of_two, log2_exact
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Immutable description of a column cache's shape.
+
+    Attributes:
+        line_size: Cache-line size in bytes (power of two).
+        sets: Number of sets (power of two).
+        columns: Number of columns (= ways).  Need not be a power of
+            two, but must be positive.
+
+    >>> geometry = CacheGeometry(line_size=16, sets=32, columns=4)
+    >>> geometry.total_bytes, geometry.column_bytes
+    (2048, 512)
+    """
+
+    line_size: int
+    sets: int
+    columns: int
+
+    def __post_init__(self) -> None:
+        check_power_of_two(self.line_size, "line_size")
+        check_power_of_two(self.sets, "sets")
+        if not isinstance(self.columns, int) or self.columns <= 0:
+            raise ValueError(
+                f"columns must be a positive integer, got {self.columns!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived sizes
+    # ------------------------------------------------------------------
+    @property
+    def ways(self) -> int:
+        """Alias: columns are ways of the set-associative cache."""
+        return self.columns
+
+    @property
+    def column_bytes(self) -> int:
+        """Size of one column in bytes (line_size * sets)."""
+        return self.line_size * self.sets
+
+    @property
+    def total_bytes(self) -> int:
+        """Total cache capacity in bytes."""
+        return self.column_bytes * self.columns
+
+    @property
+    def total_lines(self) -> int:
+        """Total number of cache lines."""
+        return self.sets * self.columns
+
+    @property
+    def offset_bits(self) -> int:
+        """Number of byte-offset bits within a line."""
+        return log2_exact(self.line_size, "line_size")
+
+    @property
+    def index_bits(self) -> int:
+        """Number of set-index bits."""
+        return log2_exact(self.sets, "sets")
+
+    # ------------------------------------------------------------------
+    # Address decomposition
+    # ------------------------------------------------------------------
+    def line_address(self, address: int) -> int:
+        """The line-aligned base address containing ``address``."""
+        return address & ~(self.line_size - 1)
+
+    def block_number(self, address: int) -> int:
+        """The global line (block) number of ``address``."""
+        return address >> self.offset_bits
+
+    def set_index(self, address: int) -> int:
+        """The set that ``address`` maps to."""
+        return (address >> self.offset_bits) & (self.sets - 1)
+
+    def tag(self, address: int) -> int:
+        """The tag of ``address``."""
+        return address >> (self.offset_bits + self.index_bits)
+
+    def address_of(self, tag: int, set_index: int) -> int:
+        """Reconstruct the line base address from (tag, set)."""
+        if not 0 <= set_index < self.sets:
+            raise ValueError(f"set index {set_index} out of range")
+        return (tag << (self.offset_bits + self.index_bits)) | (
+            set_index << self.offset_bits
+        )
+
+    # ------------------------------------------------------------------
+    # Reshaping helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sizes(
+        cls, total_bytes: int, line_size: int, columns: int
+    ) -> "CacheGeometry":
+        """Build a geometry from total capacity instead of set count."""
+        check_power_of_two(total_bytes, "total_bytes")
+        column_bytes, remainder = divmod(total_bytes, columns)
+        if remainder:
+            raise ValueError(
+                f"total size {total_bytes} is not divisible into "
+                f"{columns} columns"
+            )
+        sets, remainder = divmod(column_bytes, line_size)
+        if remainder:
+            raise ValueError(
+                f"column size {column_bytes} is not a whole number of "
+                f"{line_size}-byte lines"
+            )
+        return cls(line_size=line_size, sets=sets, columns=columns)
+
+    def with_columns(self, columns: int) -> "CacheGeometry":
+        """Same sets/line size, different column count."""
+        return CacheGeometry(
+            line_size=self.line_size, sets=self.sets, columns=columns
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.total_bytes}B cache: {self.columns} columns x "
+            f"{self.sets} sets x {self.line_size}B lines"
+        )

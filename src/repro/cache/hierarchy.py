@@ -1,0 +1,199 @@
+"""Two-level column-cached hierarchy (the paper's forward pointer).
+
+Section 2.2 introduces tints partly "to isolate the user from
+machine-specific information such as the number of columns or the
+number of levels of the memory hierarchy" — i.e. the mechanism is meant
+to generalize down the hierarchy.  This module provides that
+generalization: an L1 and an L2 column cache, each with its own column
+mask per access, resolved from one tint through a per-level tint table.
+
+Model choices (kept simple and documented):
+
+* non-inclusive: an L2 fill happens on fetches from memory and on L1
+  dirty writebacks; L2 hits refill L1 without invalidating L2;
+* timing is additive: L1 hit = 1 cycle, + ``l2_hit_cycles`` on an L1
+  miss that hits L2, + ``memory_cycles`` when both miss;
+* dirty L1 victims are written back into L2 (possibly evicting there;
+  dirty L2 victims cost ``writeback_cycles``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cache.column_cache import ColumnCache
+from repro.cache.geometry import CacheGeometry
+from repro.utils.bitvector import ColumnMask
+from repro.utils.validation import check_non_negative
+
+
+@dataclass(frozen=True)
+class LevelMasks:
+    """The column bit vectors one tint resolves to, per level."""
+
+    l1: Optional[ColumnMask] = None
+    l2: Optional[ColumnMask] = None
+
+
+class HierarchyTintTable:
+    """Tint -> per-level column masks.
+
+    The software-visible handle stays a single tint name; each level's
+    replacement unit receives its own bit vector — exactly the
+    isolation Section 2.2 asks the indirection to provide.
+    """
+
+    def __init__(self, l1_columns: int, l2_columns: int,
+                 default_tint: str = "red"):
+        self.l1_columns = l1_columns
+        self.l2_columns = l2_columns
+        self.default_tint = default_tint
+        self._masks: dict[str, LevelMasks] = {
+            default_tint: LevelMasks(
+                l1=ColumnMask.all_columns(l1_columns),
+                l2=ColumnMask.all_columns(l2_columns),
+            )
+        }
+
+    def define(self, tint: str, masks: LevelMasks) -> None:
+        """Create a tint with per-level masks."""
+        self._check(masks)
+        if tint in self._masks:
+            raise ValueError(f"tint {tint!r} already defined")
+        self._masks[tint] = masks
+
+    def remap(self, tint: str, masks: LevelMasks) -> None:
+        """Change a tint's per-level masks (the fast path)."""
+        self._check(masks)
+        if tint not in self._masks:
+            raise KeyError(f"unknown tint {tint!r}")
+        self._masks[tint] = masks
+
+    def masks_of(self, tint: str) -> LevelMasks:
+        """The per-level masks for ``tint``."""
+        try:
+            return self._masks[tint]
+        except KeyError:
+            raise KeyError(f"unknown tint {tint!r}") from None
+
+    def _check(self, masks: LevelMasks) -> None:
+        if masks.l1 is not None and masks.l1.width != self.l1_columns:
+            raise ValueError(
+                f"L1 mask width {masks.l1.width} != {self.l1_columns}"
+            )
+        if masks.l2 is not None and masks.l2.width != self.l2_columns:
+            raise ValueError(
+                f"L2 mask width {masks.l2.width} != {self.l2_columns}"
+            )
+
+
+@dataclass(frozen=True)
+class HierarchyOutcome:
+    """Result of one access through both levels."""
+
+    cycles: int
+    l1_hit: bool
+    l2_hit: bool
+
+    @property
+    def level(self) -> str:
+        """Which level served the access: 'l1', 'l2' or 'memory'."""
+        if self.l1_hit:
+            return "l1"
+        if self.l2_hit:
+            return "l2"
+        return "memory"
+
+
+class TwoLevelCacheSystem:
+    """A column-cached L1 backed by a column-cached L2."""
+
+    def __init__(
+        self,
+        l1_geometry: CacheGeometry,
+        l2_geometry: CacheGeometry,
+        l1_policy: str = "lru",
+        l2_policy: str = "lru",
+        l2_hit_cycles: int = 6,
+        memory_cycles: int = 40,
+        writeback_cycles: int = 0,
+        seed: int = 0,
+    ):
+        if l2_geometry.total_bytes < l1_geometry.total_bytes:
+            raise ValueError(
+                "L2 should be at least as large as L1 "
+                f"({l2_geometry.total_bytes} < {l1_geometry.total_bytes})"
+            )
+        check_non_negative(l2_hit_cycles, "l2_hit_cycles")
+        check_non_negative(memory_cycles, "memory_cycles")
+        check_non_negative(writeback_cycles, "writeback_cycles")
+        self.l1 = ColumnCache(l1_geometry, policy=l1_policy, seed=seed)
+        self.l2 = ColumnCache(l2_geometry, policy=l2_policy, seed=seed + 1)
+        self.l2_hit_cycles = l2_hit_cycles
+        self.memory_cycles = memory_cycles
+        self.writeback_cycles = writeback_cycles
+        self.cycles = 0
+        self.memory_fetches = 0
+        self.writebacks_to_memory = 0
+
+    def access(
+        self,
+        address: int,
+        masks: Optional[LevelMasks] = None,
+        is_write: bool = False,
+    ) -> HierarchyOutcome:
+        """One load/store through L1 then (on miss) L2 then memory."""
+        l1_mask = masks.l1 if masks else None
+        l2_mask = masks.l2 if masks else None
+
+        l1_result = self.l1.access(address, mask=l1_mask, is_write=is_write)
+        cycles = 1
+        if l1_result.hit:
+            self.cycles += cycles
+            return HierarchyOutcome(cycles=cycles, l1_hit=True, l2_hit=False)
+
+        # L1 victim writeback goes into L2.
+        if l1_result.writeback and l1_result.evicted_address is not None:
+            cycles += self._install_writeback(
+                l1_result.evicted_address, l2_mask
+            )
+
+        l2_result = self.l2.access(address, mask=l2_mask, is_write=False)
+        cycles += self.l2_hit_cycles
+        if l2_result.hit:
+            self.cycles += cycles
+            return HierarchyOutcome(cycles=cycles, l1_hit=False, l2_hit=True)
+
+        # Fetch from memory (already filled into L2 by the access above
+        # unless the L2 mask was empty).
+        self.memory_fetches += 1
+        cycles += self.memory_cycles
+        if l2_result.writeback:
+            self.writebacks_to_memory += 1
+            cycles += self.writeback_cycles
+        self.cycles += cycles
+        return HierarchyOutcome(cycles=cycles, l1_hit=False, l2_hit=False)
+
+    def _install_writeback(
+        self, victim_address: int, l2_mask: Optional[ColumnMask]
+    ) -> int:
+        """Write a dirty L1 victim into L2; returns extra cycles."""
+        result = self.l2.access(victim_address, mask=l2_mask, is_write=True)
+        extra = self.writeback_cycles
+        if result.writeback:
+            self.writebacks_to_memory += 1
+            extra += self.writeback_cycles
+        if result.bypassed:
+            # No permissible L2 column: the dirty line goes to memory.
+            self.writebacks_to_memory += 1
+        return extra
+
+    def contains(self, address: int) -> tuple[bool, bool]:
+        """(resident in L1, resident in L2)."""
+        return self.l1.contains(address), self.l2.contains(address)
+
+    def flush(self) -> None:
+        """Invalidate both levels."""
+        self.l1.flush()
+        self.l2.flush()

@@ -1,0 +1,265 @@
+"""Replacement policies with column-restricted victim selection.
+
+The paper's only hardware change on a miss is that "the replacement
+algorithm selects a cache-line from the selected set", restricted to the
+columns named by the bit vector.  Every policy here therefore implements
+``victim(set_index, candidates)`` where ``candidates`` is the (non-empty)
+tuple of permissible ways; the policy must return one of them.
+
+Policies:
+
+* :class:`LRUPolicy` — true least-recently-used via per-line timestamps;
+* :class:`FIFOPolicy` — oldest fill wins; hits do not refresh age;
+* :class:`RandomPolicy` — uniform over candidates, deterministic seed;
+* :class:`PLRUPolicy` — tree pseudo-LRU (the common hardware
+  approximation); under restriction it picks the candidate the tree
+  most prefers.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.utils.validation import check_positive, is_power_of_two
+
+
+class ReplacementPolicy(ABC):
+    """Per-set replacement state shared by all policies."""
+
+    name: str = "abstract"
+
+    def __init__(self, sets: int, ways: int):
+        check_positive(sets, "sets")
+        check_positive(ways, "ways")
+        self.sets = sets
+        self.ways = ways
+
+    @abstractmethod
+    def on_fill(self, set_index: int, way: int) -> None:
+        """A line was filled into (set, way)."""
+
+    @abstractmethod
+    def on_access(self, set_index: int, way: int) -> None:
+        """A lookup hit (set, way)."""
+
+    def on_invalidate(self, set_index: int, way: int) -> None:
+        """A line was invalidated; default is no state change."""
+
+    @abstractmethod
+    def victim(self, set_index: int, candidates: Sequence[int]) -> int:
+        """Choose the way to replace among ``candidates``.
+
+        ``candidates`` is non-empty and sorted; the result must be one
+        of them (property-tested).
+        """
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Forget all history."""
+
+    def _check_candidates(self, candidates: Sequence[int]) -> None:
+        if not candidates:
+            raise ValueError("victim() called with no candidate ways")
+
+
+class LRUPolicy(ReplacementPolicy):
+    """True LRU using a global clock and per-line timestamps."""
+
+    name = "lru"
+
+    def __init__(self, sets: int, ways: int):
+        super().__init__(sets, ways)
+        self._clock = 0
+        self._last_use = [[-1] * ways for _ in range(sets)]
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        self._last_use[set_index][way] = self._tick()
+
+    def on_access(self, set_index: int, way: int) -> None:
+        self._last_use[set_index][way] = self._tick()
+
+    def on_invalidate(self, set_index: int, way: int) -> None:
+        self._last_use[set_index][way] = -1
+
+    def victim(self, set_index: int, candidates: Sequence[int]) -> int:
+        self._check_candidates(candidates)
+        ages = self._last_use[set_index]
+        return min(candidates, key=lambda way: ages[way])
+
+    def reset(self) -> None:
+        self._clock = 0
+        self._last_use = [[-1] * self.ways for _ in range(self.sets)]
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in-first-out: the oldest *fill* is evicted; hits are free."""
+
+    name = "fifo"
+
+    def __init__(self, sets: int, ways: int):
+        super().__init__(sets, ways)
+        self._clock = 0
+        self._fill_time = [[-1] * ways for _ in range(sets)]
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        self._clock += 1
+        self._fill_time[set_index][way] = self._clock
+
+    def on_access(self, set_index: int, way: int) -> None:
+        pass  # FIFO ignores hits by definition.
+
+    def on_invalidate(self, set_index: int, way: int) -> None:
+        self._fill_time[set_index][way] = -1
+
+    def victim(self, set_index: int, candidates: Sequence[int]) -> int:
+        self._check_candidates(candidates)
+        fills = self._fill_time[set_index]
+        return min(candidates, key=lambda way: fills[way])
+
+    def reset(self) -> None:
+        self._clock = 0
+        self._fill_time = [[-1] * self.ways for _ in range(self.sets)]
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniformly random victim among candidates, with a fixed seed."""
+
+    name = "random"
+
+    def __init__(self, sets: int, ways: int, seed: int = 0):
+        super().__init__(sets, ways)
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        pass
+
+    def on_access(self, set_index: int, way: int) -> None:
+        pass
+
+    def victim(self, set_index: int, candidates: Sequence[int]) -> int:
+        self._check_candidates(candidates)
+        return self._rng.choice(list(candidates))
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+
+
+class PLRUPolicy(ReplacementPolicy):
+    """Tree-based pseudo-LRU (requires a power-of-two way count).
+
+    Each set keeps ``ways - 1`` tree bits.  A bit value of 0 means the
+    *left* subtree is the colder direction.  On access/fill, bits along
+    the path to the touched way are pointed *away* from it.  Under a
+    column restriction the plain tree walk may lead to a forbidden way,
+    so the victim is chosen as the first candidate in the tree's full
+    preference order — identical to unrestricted PLRU when all ways are
+    candidates.
+    """
+
+    name = "plru"
+
+    def __init__(self, sets: int, ways: int):
+        super().__init__(sets, ways)
+        if not is_power_of_two(ways):
+            raise ValueError(
+                f"PLRU requires a power-of-two way count, got {ways}"
+            )
+        self._bits = [[0] * max(ways - 1, 1) for _ in range(sets)]
+
+    def _touch(self, set_index: int, way: int) -> None:
+        """Point tree bits away from ``way`` along its root path."""
+        if self.ways == 1:
+            return
+        bits = self._bits[set_index]
+        node = 0
+        low, high = 0, self.ways
+        while high - low > 1:
+            mid = (low + high) // 2
+            if way < mid:
+                bits[node] = 1  # way is left; cold side becomes right
+                node = 2 * node + 1
+                high = mid
+            else:
+                bits[node] = 0  # way is right; cold side becomes left
+                node = 2 * node + 2
+                low = mid
+        assert low == way
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        self._touch(set_index, way)
+
+    def on_access(self, set_index: int, way: int) -> None:
+        self._touch(set_index, way)
+
+    def _preference_order(self, set_index: int) -> list[int]:
+        """All ways ordered from most- to least-preferred victim."""
+        bits = self._bits[set_index]
+        order: list[int] = []
+
+        def walk(node: int, low: int, high: int) -> None:
+            if high - low == 1:
+                order.append(low)
+                return
+            mid = (low + high) // 2
+            if bits[node] == 0:  # left is colder: prefer left first
+                walk(2 * node + 1, low, mid)
+                walk(2 * node + 2, mid, high)
+            else:
+                walk(2 * node + 2, mid, high)
+                walk(2 * node + 1, low, mid)
+
+        if self.ways == 1:
+            return [0]
+        walk(0, 0, self.ways)
+        return order
+
+    def victim(self, set_index: int, candidates: Sequence[int]) -> int:
+        self._check_candidates(candidates)
+        candidate_set = set(candidates)
+        for way in self._preference_order(set_index):
+            if way in candidate_set:
+                return way
+        raise AssertionError("preference order must cover all ways")
+
+    def reset(self) -> None:
+        self._bits = [[0] * max(self.ways - 1, 1) for _ in range(self.sets)]
+
+
+_POLICIES = {
+    LRUPolicy.name: LRUPolicy,
+    FIFOPolicy.name: FIFOPolicy,
+    RandomPolicy.name: RandomPolicy,
+    PLRUPolicy.name: PLRUPolicy,
+}
+
+
+def policy_names() -> list[str]:
+    """Names accepted by :func:`make_policy`."""
+    return sorted(_POLICIES)
+
+
+def make_policy(
+    name: str, sets: int, ways: int, seed: int = 0
+) -> ReplacementPolicy:
+    """Instantiate a replacement policy by name.
+
+    >>> make_policy("lru", sets=4, ways=2).name
+    'lru'
+    """
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; "
+            f"choose from {policy_names()}"
+        ) from None
+    if cls is RandomPolicy:
+        return RandomPolicy(sets, ways, seed=seed)
+    return cls(sets, ways)

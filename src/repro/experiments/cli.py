@@ -1,0 +1,106 @@
+"""Command-line entry point: regenerate the paper's figures as tables.
+
+Usage::
+
+    python -m repro.experiments all
+    python -m repro.experiments figure4 --quick
+    repro-experiments figure5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro.experiments.figure4 import (
+    Figure4Config,
+    check_figure4a,
+    check_figure4b,
+    check_figure4c,
+    check_figure4d,
+    run_figure4_routine,
+    run_figure4d,
+)
+from repro.experiments.figure5 import (
+    Figure5Config,
+    check_figure5,
+    run_figure5,
+)
+from repro.experiments.report import render_checks
+
+
+def _run_figure4(quick: bool) -> bool:
+    config = Figure4Config().quick() if quick else Figure4Config()
+    ok = True
+    for routine, checker in (
+        ("dequant", check_figure4a),
+        ("plus", check_figure4b),
+        ("idct", check_figure4c),
+    ):
+        start = time.perf_counter()
+        series = run_figure4_routine(routine, config)
+        elapsed = time.perf_counter() - start
+        print(series.to_table())
+        checks = checker(series)
+        print(render_checks(checks))
+        print(f"  ({elapsed:.1f}s)\n")
+        ok = ok and all(check.passed for check in checks)
+    start = time.perf_counter()
+    combined = run_figure4d(config)
+    elapsed = time.perf_counter() - start
+    print(combined.series.to_table())
+    print(
+        f"column cache: {combined.column_cache_cycles} cycles "
+        f"(remap overhead {combined.remap_overhead}), best static: "
+        f"{combined.best_static_cycles}, improvement "
+        f"{combined.improvement:.1%}"
+    )
+    checks = check_figure4d(combined)
+    print(render_checks(checks))
+    print(f"  ({elapsed:.1f}s)\n")
+    return ok and all(check.passed for check in checks)
+
+
+def _run_figure5(quick: bool) -> bool:
+    config = Figure5Config().quick() if quick else Figure5Config()
+    start = time.perf_counter()
+    series = run_figure5(config)
+    elapsed = time.perf_counter() - start
+    print(series.to_table())
+    checks = check_figure5(series, config)
+    print(render_checks(checks))
+    print(f"  ({elapsed:.1f}s)\n")
+    return all(check.passed for check in checks)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's figures as text tables.",
+    )
+    parser.add_argument(
+        "target",
+        choices=["figure4", "figure5", "all"],
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller workloads/budgets for a fast smoke run",
+    )
+    arguments = parser.parse_args(argv)
+
+    ok = True
+    if arguments.target in ("figure4", "all"):
+        ok = _run_figure4(arguments.quick) and ok
+    if arguments.target in ("figure5", "all"):
+        ok = _run_figure5(arguments.quick) and ok
+    print("all shape checks passed" if ok else "SOME SHAPE CHECKS FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

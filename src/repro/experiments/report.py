@@ -1,0 +1,94 @@
+"""Experiment result containers, rendering and shape checks.
+
+Absolute cycle counts differ from the paper's (their traces, compiler
+and simulator are unavailable); what defines a successful reproduction
+is the *shape* of each figure.  :class:`ShapeCheck` records one
+qualitative claim ("the all-scratchpad extreme is optimal for dequant",
+"the mapped CPI curve is flatter than the unmapped one") together with
+whether the measured data satisfies it; the benchmark harness prints
+and asserts them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.utils.tables import format_series, format_table
+
+
+@dataclass
+class ExperimentSeries:
+    """A family of measured series over one x axis.
+
+    Attributes:
+        name: Experiment id (e.g. "figure4a").
+        x_label: Name of the x axis.
+        x_values: The swept parameter values.
+        series: Series name -> measured values (same length as
+            ``x_values``).
+        notes: Free-form annotations (parameters used, scaling).
+    """
+
+    name: str
+    x_label: str
+    x_values: list
+    series: dict[str, list] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, label: str, values: Sequence) -> None:
+        """Add one series."""
+        if len(values) != len(self.x_values):
+            raise ValueError(
+                f"series {label!r} has {len(values)} points, expected "
+                f"{len(self.x_values)}"
+            )
+        self.series[label] = list(values)
+
+    def to_table(self, float_format: str = ".3f") -> str:
+        """Render as an aligned text table."""
+        text = format_series(
+            self.x_label,
+            self.x_values,
+            self.series,
+            float_format=float_format,
+            title=self.name,
+        )
+        if self.notes:
+            text += "\n" + "\n".join(f"  note: {note}" for note in self.notes)
+        return text
+
+
+@dataclass
+class ShapeCheck:
+    """One qualitative reproduction claim and its verdict."""
+
+    claim: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"[{status}] {self.claim}{suffix}"
+
+
+def render_checks(checks: Sequence[ShapeCheck]) -> str:
+    """Render a list of shape checks."""
+    return "\n".join(str(check) for check in checks)
+
+
+def checks_table(checks: Sequence[ShapeCheck]) -> str:
+    """Render shape checks as a table."""
+    return format_table(
+        ["verdict", "claim", "detail"],
+        [
+            ["PASS" if check.passed else "FAIL", check.claim, check.detail]
+            for check in checks
+        ],
+    )
+
+
+def all_passed(checks: Sequence[ShapeCheck]) -> bool:
+    """True if every check passed."""
+    return all(check.passed for check in checks)

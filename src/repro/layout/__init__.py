@@ -1,0 +1,63 @@
+"""The data-layout algorithm (paper Section 3): the core contribution.
+
+Pipeline:
+
+1. :mod:`repro.layout.partition` — split arrays larger than a column
+   into column-sized subarrays (Step 1).
+2. Build the weighted conflict graph ``G(V, E, W)`` from a profile
+   (:mod:`repro.layout.graph`) with ``w(v_i, v_j) = MIN(n_j_i, n_i_j)``.
+3. Color it with ``k`` colors minimizing the monochromatic weight
+   ``W``: exact minimum coloring after zero-edge deletion
+   (:mod:`repro.layout.coloring`), merging the minimum-weight edge and
+   re-coloring while the chromatic number exceeds ``k``
+   (:mod:`repro.layout.merge`).
+4. Optionally pre-assign variables to ``p`` scratchpad columns and
+   color the rest with ``k - p`` (Section 3.1.3).
+5. Produce a :class:`~repro.layout.assignment.ColumnAssignment` that
+   can be *realized* as page-table tints + tint-table bit vectors.
+
+:class:`~repro.layout.algorithm.DataLayoutPlanner` runs the whole
+pipeline; :class:`~repro.layout.dynamic.DynamicLayoutPlanner` re-plans
+per program phase (Section 3.2).
+"""
+
+from repro.layout.assignment import (
+    ColumnAssignment,
+    Disposition,
+    VariablePlacement,
+)
+from repro.layout.algorithm import DataLayoutPlanner, LayoutConfig
+from repro.layout.coloring import (
+    chromatic_number,
+    color_with_k,
+    exact_coloring,
+    greedy_coloring,
+)
+from repro.layout.dynamic import (
+    DynamicLayoutPlan,
+    DynamicLayoutPlanner,
+    PhasePlan,
+)
+from repro.layout.graph import ConflictGraph, VertexInfo
+from repro.layout.merge import MergeResult, color_with_merging
+from repro.layout.partition import split_for_columns
+
+__all__ = [
+    "ColumnAssignment",
+    "ConflictGraph",
+    "DataLayoutPlanner",
+    "Disposition",
+    "DynamicLayoutPlan",
+    "DynamicLayoutPlanner",
+    "LayoutConfig",
+    "MergeResult",
+    "PhasePlan",
+    "VariablePlacement",
+    "VertexInfo",
+    "chromatic_number",
+    "color_with_k",
+    "color_with_merging",
+    "exact_coloring",
+    "greedy_coloring",
+    "split_for_columns",
+]

@@ -1,0 +1,198 @@
+"""Column assignments: the layout algorithm's output.
+
+A :class:`ColumnAssignment` gives every layout unit a *disposition*:
+
+* ``CACHED`` with a column mask (usually a single column, footnote 2 of
+  the paper);
+* ``SCRATCHPAD`` — pinned one-to-one in the dedicated scratchpad
+  columns;
+* ``UNCACHED`` — no backing column at all (possible when every column
+  is scratchpad and the unit did not fit): accesses bypass to slow
+  memory.
+
+:meth:`ColumnAssignment.realize` writes the assignment into the
+software-visible structures of Section 2.2 — one tint per column group
+in a :class:`~repro.mem.tint.TintTable`, page tints in a
+:class:`~repro.mem.page_table.PageTable` — so the full hardware/software
+path (page table -> TLB -> replacement unit) can be simulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.mem.page_table import PageTable
+from repro.mem.symbols import SymbolTable, Variable
+from repro.mem.tint import TintTable
+from repro.utils.bitvector import ColumnMask
+from repro.utils.tables import format_table
+
+
+class Disposition(Enum):
+    """Where a layout unit's data lives."""
+
+    CACHED = "cached"
+    SCRATCHPAD = "scratchpad"
+    UNCACHED = "uncached"
+
+
+@dataclass(frozen=True)
+class VariablePlacement:
+    """One layout unit's assignment."""
+
+    variable: Variable
+    disposition: Disposition
+    mask: ColumnMask
+
+    @property
+    def name(self) -> str:
+        """The layout unit's name."""
+        return self.variable.name
+
+
+@dataclass
+class ColumnAssignment:
+    """A complete mapping of layout units to columns.
+
+    Attributes:
+        columns: Total column count k.
+        column_bytes: Size of one column.
+        line_size: Cache-line size.
+        scratchpad_mask: Columns dedicated to scratchpad (p columns).
+        placements: Per-unit placement, keyed by unit name.
+        layout_symbols: The (possibly split) symbol table the placements
+            refer to — needed to attribute trace addresses to units.
+        predicted_cost: The algorithm's achieved objective W.
+    """
+
+    columns: int
+    column_bytes: int
+    line_size: int
+    scratchpad_mask: ColumnMask
+    placements: dict[str, VariablePlacement]
+    layout_symbols: SymbolTable
+    predicted_cost: int = 0
+    merges: list[tuple[str, str, int]] = field(default_factory=list)
+
+    @property
+    def cache_mask(self) -> ColumnMask:
+        """Columns left for normal caching."""
+        return self.scratchpad_mask.complement()
+
+    def placement(self, name: str) -> VariablePlacement:
+        """Placement of a unit by name."""
+        return self.placements[name]
+
+    def mask_for(self, name: str) -> ColumnMask:
+        """Column mask of a unit."""
+        return self.placements[name].mask
+
+    def disposition_of(self, name: str) -> Disposition:
+        """Disposition of a unit."""
+        return self.placements[name].disposition
+
+    def units_with(self, disposition: Disposition) -> list[VariablePlacement]:
+        """All placements with the given disposition, address-ordered."""
+        return [
+            placement
+            for placement in sorted(
+                self.placements.values(), key=lambda p: p.variable.base
+            )
+            if placement.disposition is disposition
+        ]
+
+    def scratchpad_bytes_used(self) -> int:
+        """Bytes pinned in the scratchpad columns."""
+        return sum(
+            placement.variable.size
+            for placement in self.units_with(Disposition.SCRATCHPAD)
+        )
+
+    # ------------------------------------------------------------------
+    # Realization into page table + tint table (paper Section 2.2)
+    # ------------------------------------------------------------------
+    def realize(
+        self,
+        page_table: PageTable,
+        tint_table: TintTable,
+        tint_prefix: str = "",
+    ) -> dict[str, str]:
+        """Install the assignment as tints; returns unit -> tint name.
+
+        One tint is created (or remapped) per distinct column mask;
+        pages of uncached units get their cached bit cleared.  Raises
+        if two units with different masks share a page — the memory map
+        should have been page-aligned.
+        """
+        page_owner: dict[int, str] = {}
+        unit_tints: dict[str, str] = {}
+        for placement in self.placements.values():
+            pages = list(
+                placement.variable.range.pages(page_table.page_size)
+            )
+            if placement.disposition is Disposition.UNCACHED:
+                for vpn in pages:
+                    self._claim_page(page_owner, vpn, placement.name)
+                    page_table.set_cached(vpn, False)
+                continue
+            tint = f"{tint_prefix}mask{placement.mask.bits:02x}"
+            tint_table.define_or_remap(tint, placement.mask)
+            unit_tints[placement.name] = tint
+            for vpn in pages:
+                self._claim_page(page_owner, vpn, placement.name)
+                page_table.set_tint(vpn, tint)
+                page_table.set_cached(vpn, True)
+        return unit_tints
+
+    @staticmethod
+    def _claim_page(
+        page_owner: dict[int, str], vpn: int, unit: str
+    ) -> None:
+        previous = page_owner.get(vpn)
+        if previous is not None and previous != unit:
+            raise ValueError(
+                f"units {previous!r} and {unit!r} share page {vpn}; "
+                "use a page-aligned memory map"
+            )
+        page_owner[vpn] = unit
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Human-readable placement table."""
+        rows = []
+        for placement in sorted(
+            self.placements.values(), key=lambda p: p.variable.base
+        ):
+            rows.append(
+                [
+                    placement.name,
+                    placement.variable.size,
+                    placement.disposition.value,
+                    placement.mask.to_string(),
+                ]
+            )
+        return format_table(
+            ["unit", "bytes", "disposition", "columns"],
+            rows,
+            title=(
+                f"assignment: {self.columns} columns x "
+                f"{self.column_bytes}B, W={self.predicted_cost}"
+            ),
+        )
+
+    def column_utilization(self) -> list[int]:
+        """Bytes of units assigned per column (cached + scratchpad)."""
+        usage = [0] * self.columns
+        for placement in self.placements.values():
+            if placement.disposition is Disposition.UNCACHED:
+                continue
+            share = placement.mask.count()
+            if share == 0:
+                continue
+            for column in placement.mask:
+                usage[column] += placement.variable.size // share
+        return usage

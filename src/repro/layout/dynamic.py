@@ -1,0 +1,166 @@
+"""Dynamic (per-phase) data layout — paper Section 3.2.
+
+"Since column mappings can be changed almost instantaneously, one can
+perform re-assignments at any point within an application ...  we can
+use the static data layout algorithm on individual procedures or
+sub-procedures rather than the entire application program, and if
+re-assignment of variables to columns is warranted ... we will change
+the column mapping prior to executing the procedure."
+
+:class:`DynamicLayoutPlanner` runs the static planner on each labelled
+phase of a workload run and decides, per phase transition, whether a
+remap is *warranted*: it keeps the previous assignment when the
+predicted conflict cost of reusing it is within ``remap_threshold`` of
+the fresh assignment's cost (the paper's observation that procedures
+with disjoint variable sets never need remapping falls out of this
+automatically — the reuse cost is then equal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.layout.algorithm import DataLayoutPlanner, LayoutConfig
+from repro.layout.assignment import ColumnAssignment, Disposition
+from repro.layout.graph import ConflictGraph
+from repro.layout.partition import split_for_columns
+from repro.profiling.profiler import profile_trace
+from repro.workloads.base import WorkloadRun
+
+
+@dataclass
+class PhasePlan:
+    """The plan for one phase.
+
+    Attributes:
+        label: Phase label.
+        assignment: The column assignment in force during the phase.
+        remapped: True if this phase installed a new mapping (the first
+            phase always counts as a remap — the initial installation).
+        reuse_cost: Predicted W of keeping the previous assignment.
+        fresh_cost: Predicted W of the phase's own best assignment.
+    """
+
+    label: str
+    assignment: ColumnAssignment
+    remapped: bool
+    reuse_cost: Optional[int] = None
+    fresh_cost: int = 0
+
+
+@dataclass
+class DynamicLayoutPlan:
+    """Per-phase assignments plus remap bookkeeping."""
+
+    phases: list[PhasePlan] = field(default_factory=list)
+
+    @property
+    def remap_count(self) -> int:
+        """Number of phases that installed a new mapping."""
+        return sum(1 for phase in self.phases if phase.remapped)
+
+    def assignment_for(self, label: str) -> ColumnAssignment:
+        """The assignment in force for the first phase with ``label``."""
+        for phase in self.phases:
+            if phase.label == label:
+                return phase.assignment
+        raise KeyError(f"no phase labelled {label!r}")
+
+
+@dataclass
+class DynamicLayoutPlanner:
+    """Per-phase planning with a remap-benefit test."""
+
+    config: LayoutConfig
+    remap_threshold: int = 0
+
+    def plan(self, run: WorkloadRun) -> DynamicLayoutPlan:
+        """Plan one assignment per phase of ``run``."""
+        planner = DataLayoutPlanner(self.config)
+        units = (
+            split_for_columns(run.memory_map.symbols, self.config.column_bytes)
+            if self.config.split_oversized
+            else run.memory_map.symbols
+        )
+        plan = DynamicLayoutPlan()
+        previous: Optional[ColumnAssignment] = None
+        for label in run.phase_labels():
+            phase_trace = run.phase_trace(label)
+            profile = profile_trace(phase_trace, units, by_address=True)
+            fresh = planner.plan_from_profile(profile, units)
+            if previous is None:
+                plan.phases.append(
+                    PhasePlan(
+                        label=label,
+                        assignment=fresh,
+                        remapped=True,
+                        reuse_cost=None,
+                        fresh_cost=fresh.predicted_cost,
+                    )
+                )
+                previous = fresh
+                continue
+            reuse_cost = self._evaluate_reuse(profile, units, previous)
+            if (
+                reuse_cost is not None
+                and reuse_cost - fresh.predicted_cost <= self.remap_threshold
+            ):
+                plan.phases.append(
+                    PhasePlan(
+                        label=label,
+                        assignment=previous,
+                        remapped=False,
+                        reuse_cost=reuse_cost,
+                        fresh_cost=fresh.predicted_cost,
+                    )
+                )
+            else:
+                plan.phases.append(
+                    PhasePlan(
+                        label=label,
+                        assignment=fresh,
+                        remapped=True,
+                        reuse_cost=reuse_cost,
+                        fresh_cost=fresh.predicted_cost,
+                    )
+                )
+                previous = fresh
+        return plan
+
+    def _evaluate_reuse(
+        self,
+        profile,
+        units,
+        previous: ColumnAssignment,
+    ) -> Optional[int]:
+        """Predicted W of keeping ``previous`` for this phase's profile.
+
+        None (= must remap) when the phase touches units the previous
+        assignment never placed, or units it left uncached that now
+        carry accesses.
+        """
+        names = [
+            name for name in profile.variables if name in units
+        ]
+        coloring: dict[str, int] = {}
+        for name in names:
+            if name not in previous.placements:
+                return None
+            placement = previous.placements[name]
+            if placement.disposition is Disposition.UNCACHED:
+                return None
+            if placement.disposition is Disposition.SCRATCHPAD:
+                # Pinned units conflict with nothing.
+                coloring[name] = -1 - previous.columns
+                continue
+            coloring[name] = placement.mask.lowest()
+        graph = ConflictGraph.from_profile(profile, variables=names)
+        # Scratchpad units must not be counted as conflicting: give each
+        # a unique pseudo-color.
+        pseudo = -1
+        for name in names:
+            if coloring[name] < -previous.columns:
+                coloring[name] = pseudo
+                pseudo -= 1
+        return graph.monochromatic_cost(coloring)

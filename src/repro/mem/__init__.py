@@ -1,0 +1,36 @@
+"""Memory substrate: addresses, variables, pages, tints, page table, TLB.
+
+This package models the software-visible side of the paper's mechanism:
+
+* variables placed at byte addresses by a :class:`~repro.mem.layout.MemoryMap`;
+* pages as the minimum mapping granularity (Section 2.2);
+* *tints* — the level of indirection between pages and column bit
+  vectors (:mod:`repro.mem.tint`);
+* a page table whose entries store tints
+  (:mod:`repro.mem.page_table`) and a TLB that caches them
+  (:mod:`repro.mem.tlb`), including the flush-on-retint semantics of
+  the paper's Figure 3.
+"""
+
+from repro.mem.address import AddressRange, page_number, page_offset
+from repro.mem.layout import MemoryMap
+from repro.mem.page_table import PageTable, PageTableEntry
+from repro.mem.symbols import SymbolTable, Variable, VariableKind
+from repro.mem.tint import DEFAULT_TINT, TintTable
+from repro.mem.tlb import TLB, TLBStats
+
+__all__ = [
+    "TLB",
+    "DEFAULT_TINT",
+    "AddressRange",
+    "MemoryMap",
+    "PageTable",
+    "PageTableEntry",
+    "SymbolTable",
+    "TLBStats",
+    "TintTable",
+    "Variable",
+    "VariableKind",
+    "page_number",
+    "page_offset",
+]

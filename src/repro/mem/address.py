@@ -1,0 +1,128 @@
+"""Byte addresses, address ranges and page arithmetic.
+
+Addresses are plain non-negative integers (byte addresses).  The helpers
+here keep page/line arithmetic in one place so the cache, TLB and layout
+code all agree on conventions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.utils.validation import (
+    check_non_negative,
+    check_power_of_two,
+    log2_exact,
+)
+
+
+def page_number(address: int, page_size: int) -> int:
+    """Virtual page number containing ``address``."""
+    check_power_of_two(page_size, "page_size")
+    return address >> log2_exact(page_size)
+
+
+def page_offset(address: int, page_size: int) -> int:
+    """Offset of ``address`` within its page."""
+    check_power_of_two(page_size, "page_size")
+    return address & (page_size - 1)
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to the next multiple of ``alignment``."""
+    check_non_negative(value, "value")
+    check_power_of_two(alignment, "alignment")
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round ``value`` down to a multiple of ``alignment``."""
+    check_non_negative(value, "value")
+    check_power_of_two(alignment, "alignment")
+    return value & ~(alignment - 1)
+
+
+@dataclass(frozen=True, order=True)
+class AddressRange:
+    """A half-open byte-address range ``[base, base + size)``.
+
+    >>> r = AddressRange(0x1000, 0x200)
+    >>> r.contains(0x10ff), r.contains(0x1200)
+    (True, False)
+    """
+
+    base: int
+    size: int
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.base, "base")
+        check_non_negative(self.size, "size")
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the range."""
+        return self.base + self.size
+
+    def is_empty(self) -> bool:
+        """True if the range covers no bytes."""
+        return self.size == 0
+
+    def contains(self, address: int) -> bool:
+        """True if ``address`` lies inside the range."""
+        return self.base <= address < self.end
+
+    def contains_range(self, other: "AddressRange") -> bool:
+        """True if ``other`` lies entirely inside this range."""
+        return other.base >= self.base and other.end <= self.end
+
+    def overlaps(self, other: "AddressRange") -> bool:
+        """True if the ranges share at least one byte."""
+        return self.base < other.end and other.base < self.end
+
+    def pages(self, page_size: int) -> Iterator[int]:
+        """Yield every virtual page number the range touches."""
+        if self.is_empty():
+            return
+        first = page_number(self.base, page_size)
+        last = page_number(self.end - 1, page_size)
+        yield from range(first, last + 1)
+
+    def lines(self, line_size: int) -> Iterator[int]:
+        """Yield the base address of every cache line the range touches."""
+        if self.is_empty():
+            return
+        check_power_of_two(line_size, "line_size")
+        first = align_down(self.base, line_size)
+        for line_base in range(first, self.end, line_size):
+            yield line_base
+
+    def line_count(self, line_size: int) -> int:
+        """Number of cache lines the range touches."""
+        if self.is_empty():
+            return 0
+        check_power_of_two(line_size, "line_size")
+        first = align_down(self.base, line_size)
+        last = align_down(self.end - 1, line_size)
+        return (last - first) // line_size + 1
+
+    def split(self, chunk_size: int) -> list["AddressRange"]:
+        """Split into consecutive chunks of at most ``chunk_size`` bytes."""
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        chunks = []
+        offset = self.base
+        while offset < self.end:
+            size = min(chunk_size, self.end - offset)
+            chunks.append(AddressRange(offset, size))
+            offset += size
+        return chunks
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.base, self.end))
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return f"AddressRange(base={self.base:#x}, size={self.size:#x})"

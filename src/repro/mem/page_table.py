@@ -1,0 +1,105 @@
+"""Page table with per-page tints.
+
+Section 2.2 of the paper: "Partitioning is supported by simply adding
+column caching mapping entries to the TLB data structures ...  in order
+to remap pages to columns, access to the page table entries is
+required."  Entries also carry the existing cached/uncached bit, which
+the paper notes already gives the TLB control over caching behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Iterator
+
+from repro.mem.address import page_number
+from repro.mem.tint import DEFAULT_TINT
+from repro.utils.validation import check_non_negative, check_power_of_two
+
+
+@dataclass(frozen=True)
+class PageTableEntry:
+    """One page's mapping state.
+
+    Attributes:
+        vpn: Virtual page number.
+        tint: The page's tint (resolved to a column bit vector through
+            the :class:`~repro.mem.tint.TintTable`).
+        cached: False marks the page uncached — every access bypasses
+            the cache entirely (the paper's existing cached/uncached
+            TLB bit).
+    """
+
+    vpn: int
+    tint: str = DEFAULT_TINT
+    cached: bool = True
+
+
+class PageTable:
+    """Sparse page table: vpn -> :class:`PageTableEntry`.
+
+    Pages that were never touched implicitly map to the default tint,
+    cached.  ``version`` increments on every entry mutation so TLBs can
+    assert coherence in tests.
+    """
+
+    def __init__(self, page_size: int, default_tint: str = DEFAULT_TINT):
+        check_power_of_two(page_size, "page_size")
+        self.page_size = page_size
+        self.default_tint = default_tint
+        self._entries: dict[int, PageTableEntry] = {}
+        self.version = 0
+
+    def entry(self, vpn: int) -> PageTableEntry:
+        """The entry for ``vpn`` (an implicit default if never set)."""
+        check_non_negative(vpn, "vpn")
+        found = self._entries.get(vpn)
+        if found is not None:
+            return found
+        return PageTableEntry(vpn=vpn, tint=self.default_tint, cached=True)
+
+    def entry_for_address(self, address: int) -> PageTableEntry:
+        """The entry covering byte ``address``."""
+        return self.entry(page_number(address, self.page_size))
+
+    def set_tint(self, vpn: int, tint: str) -> PageTableEntry:
+        """Re-tint one page (the slow path of the paper's Figure 3)."""
+        entry = replace(self.entry(vpn), tint=tint)
+        self._entries[vpn] = entry
+        self.version += 1
+        return entry
+
+    def set_tint_range(self, vpns: Iterable[int], tint: str) -> int:
+        """Re-tint several pages; returns the number of entries written.
+
+        The cost being proportional to the number of pages is exactly
+        why the paper stores tints, not bit vectors, in page tables.
+        """
+        count = 0
+        for vpn in vpns:
+            self.set_tint(vpn, tint)
+            count += 1
+        return count
+
+    def set_cached(self, vpn: int, cached: bool) -> PageTableEntry:
+        """Set the cached/uncached bit for one page."""
+        entry = replace(self.entry(vpn), cached=cached)
+        self._entries[vpn] = entry
+        self.version += 1
+        return entry
+
+    def explicit_entries(self) -> list[PageTableEntry]:
+        """Entries that were explicitly written (excludes defaults)."""
+        return [self._entries[vpn] for vpn in sorted(self._entries)]
+
+    def tinted_pages(self, tint: str) -> list[int]:
+        """All explicitly-written pages currently carrying ``tint``."""
+        return sorted(
+            vpn for vpn, entry in self._entries.items() if entry.tint == tint
+        )
+
+    def __iter__(self) -> Iterator[PageTableEntry]:
+        return iter(self.explicit_entries())
+
+    def __len__(self) -> int:
+        return len(self._entries)

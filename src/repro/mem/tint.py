@@ -1,0 +1,115 @@
+"""Tints: the level of indirection between pages and column bit vectors.
+
+Paper Section 2.2: "Pages are mapped to a *tint* rather than to a bit
+vector directly.  A tint is a virtual grouping of address spaces ...
+Tints are independently mapped to a set of columns, represented by a bit
+vector; such mappings can be changed quickly.  Thus, tints, rather than
+bit vectors, are stored in page table entries."
+
+:class:`TintTable` is the tint -> bit-vector table of the paper's
+Figure 3.  Remapping a tint (changing its bit vector) is a single table
+update and takes effect on the next replacement decision; *re-tinting* a
+page is the expensive path handled by the page table/TLB.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.utils.bitvector import ColumnMask
+from repro.utils.validation import check_positive
+
+DEFAULT_TINT = "red"
+"""The tint every page starts with (the paper's Figure 3 uses *red*)."""
+
+
+class TintTable:
+    """Mutable mapping from tint names to column masks.
+
+    The table is created with a *default tint* mapped to all columns, so
+    an untouched system behaves exactly like a standard set-associative
+    cache.
+
+    >>> tints = TintTable(columns=4)
+    >>> tints.mask_of(DEFAULT_TINT).to_string()
+    '1 1 1 1'
+    >>> tints.define("blue", ColumnMask.of(1, width=4))
+    >>> tints.remap(DEFAULT_TINT, tints.mask_of(DEFAULT_TINT).without_column(1))
+    >>> tints.mask_of(DEFAULT_TINT).to_string()
+    '1 0 1 1'
+    """
+
+    def __init__(self, columns: int, default_tint: str = DEFAULT_TINT):
+        check_positive(columns, "columns")
+        self.columns = columns
+        self.default_tint = default_tint
+        self._masks: dict[str, ColumnMask] = {
+            default_tint: ColumnMask.all_columns(columns)
+        }
+        self.remap_count = 0
+
+    def define(self, tint: str, mask: ColumnMask) -> None:
+        """Create a new tint with the given column mask."""
+        self._check_mask(mask)
+        if tint in self._masks:
+            raise ValueError(f"tint {tint!r} already defined")
+        self._masks[tint] = mask
+
+    def remap(self, tint: str, mask: ColumnMask) -> None:
+        """Change an existing tint's bit vector.
+
+        This is the paper's fast reconfiguration path: no page-table or
+        TLB traffic is required because entries store the tint, not the
+        bit vector.
+        """
+        self._check_mask(mask)
+        if tint not in self._masks:
+            raise KeyError(f"unknown tint {tint!r}")
+        self._masks[tint] = mask
+        self.remap_count += 1
+
+    def define_or_remap(self, tint: str, mask: ColumnMask) -> None:
+        """Define ``tint`` if new, otherwise remap it."""
+        if tint in self._masks:
+            self.remap(tint, mask)
+        else:
+            self.define(tint, mask)
+
+    def mask_of(self, tint: str) -> ColumnMask:
+        """The current bit vector for ``tint``."""
+        try:
+            return self._masks[tint]
+        except KeyError:
+            raise KeyError(f"unknown tint {tint!r}") from None
+
+    def remove(self, tint: str) -> None:
+        """Delete a tint (the default tint cannot be deleted)."""
+        if tint == self.default_tint:
+            raise ValueError("the default tint cannot be removed")
+        if tint not in self._masks:
+            raise KeyError(f"unknown tint {tint!r}")
+        del self._masks[tint]
+
+    def tints(self) -> list[str]:
+        """All defined tint names."""
+        return list(self._masks)
+
+    def __contains__(self, tint: object) -> bool:
+        return tint in self._masks
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._masks)
+
+    def __len__(self) -> int:
+        return len(self._masks)
+
+    def _check_mask(self, mask: ColumnMask) -> None:
+        if not isinstance(mask, ColumnMask):
+            raise TypeError(
+                f"expected ColumnMask, got {type(mask).__name__}"
+            )
+        if mask.width != self.columns:
+            raise ValueError(
+                f"mask width {mask.width} does not match "
+                f"{self.columns} columns"
+            )

@@ -1,0 +1,42 @@
+"""Pairwise conflict weights (paper Section 3.1.1).
+
+The weight ``w(v_i, v_j)`` quantifies the *potential conflicts* of
+placing two variables in the same column: the smaller of the two
+variables' access counts inside the intersection of their lifetimes.
+The paper stresses the weights need to be accurate in a relative, not
+absolute, sense — tests assert exactly the relative-ordering property.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Optional
+
+from repro.profiling.profiler import ProfileLike
+
+
+def pair_weight(profile: ProfileLike, first: str, second: str) -> int:
+    """``w(first, second)`` under the paper's MIN rule."""
+    return profile.pair_weight(first, second)
+
+
+def pairwise_weights(
+    profile: ProfileLike,
+    variables: Optional[Iterable[str]] = None,
+    drop_zero: bool = True,
+) -> dict[frozenset[str], int]:
+    """All pairwise weights among ``variables`` (default: all arrays).
+
+    The paper deletes zero-weight edges before coloring
+    (``drop_zero=True``).
+    """
+    if variables is None:
+        names = list(profile.variables)
+    else:
+        names = list(variables)
+    weights: dict[frozenset[str], int] = {}
+    for first, second in combinations(names, 2):
+        weight = profile.pair_weight(first, second)
+        if weight > 0 or not drop_zero:
+            weights[frozenset((first, second))] = weight
+    return weights

@@ -1,0 +1,120 @@
+"""A tiny intermediate form (IF) for static weight estimation.
+
+The paper's program-analysis method "operates on the intermediate form
+(IF) representation of the program used in compilers ... For each
+variable, we determine the number of accesses by estimating loop
+iteration counts and the probability of taking branches."
+
+This module is that IF: sequences, counted loops, probabilistic
+branches, variable accesses and plain compute.  It is deliberately
+small — just enough structure for the analyzer in
+:mod:`repro.profiling.static_analysis` to derive expected access counts
+and approximate lifetimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+Node = Union["SeqNode", "LoopNode", "BranchNode", "AccessNode", "ComputeNode"]
+
+
+@dataclass(frozen=True)
+class AccessNode:
+    """``count`` accesses to ``variable`` each time the node executes.
+
+    ``write_fraction`` is the estimated fraction of those accesses that
+    are stores.
+    """
+
+    variable: str
+    count: float = 1.0
+    write_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError(f"access count must be >= 0, got {self.count}")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError(
+                f"write_fraction must be in [0, 1], got {self.write_fraction}"
+            )
+
+
+@dataclass(frozen=True)
+class ComputeNode:
+    """``instructions`` non-memory instructions per execution."""
+
+    instructions: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.instructions < 0:
+            raise ValueError(
+                f"instructions must be >= 0, got {self.instructions}"
+            )
+
+
+@dataclass(frozen=True)
+class SeqNode:
+    """Children executed in order."""
+
+    children: tuple[Node, ...] = field(default_factory=tuple)
+
+    @classmethod
+    def of(cls, *children: Node) -> "SeqNode":
+        """Convenience constructor: ``SeqNode.of(a, b, c)``."""
+        return cls(tuple(children))
+
+
+@dataclass(frozen=True)
+class LoopNode:
+    """``body`` executed ``trip_count`` times (an estimate)."""
+
+    trip_count: float
+    body: Node
+
+    def __post_init__(self) -> None:
+        if self.trip_count < 0:
+            raise ValueError(
+                f"trip_count must be >= 0, got {self.trip_count}"
+            )
+
+
+@dataclass(frozen=True)
+class BranchNode:
+    """``taken`` with ``probability``, else ``not_taken``."""
+
+    probability: float
+    taken: Node
+    not_taken: Node | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+
+
+def loop(trip_count: float, *body: Node) -> LoopNode:
+    """Shorthand: ``loop(64, access("a"), compute(2))``."""
+    inner: Node = body[0] if len(body) == 1 else SeqNode(tuple(body))
+    return LoopNode(trip_count=trip_count, body=inner)
+
+
+def access(variable: str, count: float = 1.0,
+           write_fraction: float = 0.0) -> AccessNode:
+    """Shorthand access constructor."""
+    return AccessNode(variable=variable, count=count,
+                      write_fraction=write_fraction)
+
+
+def compute(instructions: float = 1.0) -> ComputeNode:
+    """Shorthand compute constructor."""
+    return ComputeNode(instructions=instructions)
+
+
+def branch(probability: float, taken: Node,
+           not_taken: Node | None = None) -> BranchNode:
+    """Shorthand branch constructor."""
+    return BranchNode(probability=probability, taken=taken,
+                      not_taken=not_taken)

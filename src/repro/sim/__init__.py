@@ -1,0 +1,33 @@
+"""Trace-driven simulation: timing model, executors, multitasking.
+
+Two execution paths exist on purpose:
+
+* :class:`~repro.sim.executor.TraceExecutor` — the fast path used by
+  the experiments: vectorized access classification + the array-based
+  cache model.
+* :meth:`~repro.sim.executor.TraceExecutor.run_reference` — the full
+  mechanism path: assignment realized as page-table tints, every access
+  translated through the TLB, masks delivered to the reference
+  :class:`~repro.cache.column_cache.ColumnCache`.  Slower, used for
+  validation (tests assert both paths agree cycle-for-cycle).
+
+:mod:`repro.sim.multitask` adds the round-robin scheduler of the
+paper's Section 4.2 multitasking experiment.
+"""
+
+from repro.sim.config import TimingConfig
+from repro.sim.executor import TraceExecutor
+from repro.sim.memory_system import MemorySystem
+from repro.sim.multitask import Job, JobResult, MultitaskSimulator
+from repro.sim.results import PhaseResult, SimulationResult
+
+__all__ = [
+    "Job",
+    "JobResult",
+    "MemorySystem",
+    "MultitaskSimulator",
+    "PhaseResult",
+    "SimulationResult",
+    "TimingConfig",
+    "TraceExecutor",
+]

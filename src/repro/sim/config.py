@@ -1,0 +1,68 @@
+"""Timing parameters of the simulated embedded memory system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_non_negative
+
+
+@dataclass(frozen=True)
+class TimingConfig:
+    """Single-issue additive timing model.
+
+    Every instruction costs one cycle; memory behaviour adds stalls:
+
+    Attributes:
+        miss_penalty: Extra cycles per cache miss (line fill from the
+            next level).
+        uncached_penalty: Extra cycles per access to an uncached page
+            (a full memory round trip, no line reuse).
+        writeback_penalty: Extra cycles per dirty-line writeback
+            (reference path only; the fast path does not track dirt).
+        preload_line_cycles: Cycles charged per line when warming a
+            scratchpad mapping (the explicit load of Section 2.3);
+            reported as setup cost, separate from the run.
+        tlb_miss_cycles: Extra cycles per TLB miss (page-table walk);
+            0 keeps the fast and reference paths cycle-identical.
+        remap_tint_cycles: Cycles per tint-table write when a dynamic
+            plan remaps between phases (Section 3.2) — deliberately
+            tiny, this is the paper's "almost instantaneous" path.
+        context_switch_cycles: Scheduler overhead per context switch in
+            the multitasking simulator.
+    """
+
+    miss_penalty: int = 20
+    uncached_penalty: int = 20
+    writeback_penalty: int = 0
+    preload_line_cycles: int = 20
+    tlb_miss_cycles: int = 0
+    remap_tint_cycles: int = 2
+    context_switch_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "miss_penalty",
+            "uncached_penalty",
+            "writeback_penalty",
+            "preload_line_cycles",
+            "tlb_miss_cycles",
+            "remap_tint_cycles",
+            "context_switch_cycles",
+        ):
+            check_non_negative(getattr(self, name), name)
+
+
+#: Timing used by the Figure 4 experiments (slow off-chip memory).
+EMBEDDED_TIMING = TimingConfig(
+    miss_penalty=30,
+    uncached_penalty=30,
+    preload_line_cycles=30,
+)
+
+#: Timing used by the Figure 5 experiments.
+MULTITASK_TIMING = TimingConfig(
+    miss_penalty=20,
+    uncached_penalty=20,
+    preload_line_cycles=20,
+)

@@ -1,0 +1,406 @@
+"""Trace executors: the fast vectorized path and the reference path.
+
+Cycle model (both paths, identical by construction):
+
+* every instruction (access or gap) costs 1 cycle;
+* a cache miss adds ``miss_penalty``;
+* an uncached access (uncached page, or a miss with an empty column
+  mask) adds ``uncached_penalty``;
+* scratchpad-pinned data is preloaded up front (``setup_cycles``) and
+  then always hits.
+
+The fast path classifies every access by layout unit with vectorized
+interval lookup and only simulates the genuinely cached accesses in the
+array-based cache.  The reference path realizes the assignment into a
+page table + tint table and pushes every access through the TLB and the
+reference :class:`~repro.cache.column_cache.ColumnCache` — the whole
+Figure 2 mechanism.  ``tests/test_executor.py`` asserts the two paths
+agree cycle-for-cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.cache.fastsim import FastColumnCache
+from repro.cache.geometry import CacheGeometry
+from repro.layout.assignment import ColumnAssignment, Disposition
+from repro.layout.dynamic import DynamicLayoutPlan
+from repro.mem.page_table import PageTable
+from repro.mem.tint import TintTable
+from repro.sim.config import TimingConfig
+from repro.sim.memory_system import MemorySystem
+from repro.sim.results import PhasedRunResult, PhaseResult, SimulationResult
+from repro.trace.trace import Trace
+from repro.workloads.base import WorkloadRun
+
+_CACHED = 0
+_SCRATCHPAD = 1
+_UNCACHED = 2
+
+
+@dataclass
+class AttributedCost:
+    """Per-variable cost attribution (see :meth:`TraceExecutor.attribute`)."""
+
+    name: str
+    accesses: int = 0
+    misses: int = 0
+    uncached: int = 0
+    stall_cycles: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per access for this variable."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+
+class TraceExecutor:
+    """Executes traces under column assignments."""
+
+    def __init__(self, timing: Optional[TimingConfig] = None):
+        self.timing = timing or TimingConfig()
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def geometry_for(assignment: ColumnAssignment) -> CacheGeometry:
+        """The cache geometry an assignment implies."""
+        sets, remainder = divmod(
+            assignment.column_bytes, assignment.line_size
+        )
+        if remainder:
+            raise ValueError(
+                f"column size {assignment.column_bytes} is not a whole "
+                f"number of {assignment.line_size}-byte lines"
+            )
+        return CacheGeometry(
+            line_size=assignment.line_size,
+            sets=sets,
+            columns=assignment.columns,
+        )
+
+    def classify(
+        self, trace: Trace, assignment: ColumnAssignment
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-access (disposition code, column-mask bits).
+
+        Accesses outside any placed unit behave like default-tint pages
+        remapped to the cache columns (the paper's Figure 3: the default
+        tint loses the dedicated columns).
+        """
+        ordered = list(assignment.layout_symbols)
+        bases = np.array([unit.base for unit in ordered], dtype=np.int64)
+        ends = np.array(
+            [unit.range.end for unit in ordered], dtype=np.int64
+        )
+        default_bits = assignment.cache_mask.bits
+
+        unit_codes = np.full(len(ordered), _CACHED, dtype=np.int64)
+        unit_bits = np.full(len(ordered), default_bits, dtype=np.int64)
+        for index, unit in enumerate(ordered):
+            placement = assignment.placements.get(unit.name)
+            if placement is None:
+                continue
+            if placement.disposition is Disposition.SCRATCHPAD:
+                unit_codes[index] = _SCRATCHPAD
+                unit_bits[index] = placement.mask.bits
+            elif placement.disposition is Disposition.UNCACHED:
+                unit_codes[index] = _UNCACHED
+                unit_bits[index] = 0
+            else:
+                unit_bits[index] = placement.mask.bits
+
+        slot = np.searchsorted(bases, trace.addresses, side="right") - 1
+        clipped = np.clip(slot, 0, max(len(ordered) - 1, 0))
+        inside = (slot >= 0) & (trace.addresses < ends[clipped])
+        codes = np.where(inside, unit_codes[clipped], _CACHED)
+        bits = np.where(inside, unit_bits[clipped], default_bits)
+        return codes, bits
+
+    def _setup_cycles(self, assignment: ColumnAssignment) -> int:
+        """Scratchpad preload cost: every pinned line, once."""
+        pinned_lines = sum(
+            placement.variable.range.line_count(assignment.line_size)
+            for placement in assignment.units_with(Disposition.SCRATCHPAD)
+        )
+        return pinned_lines * self.timing.preload_line_cycles
+
+    # ------------------------------------------------------------------
+    # Fast path
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        trace: Trace,
+        assignment: ColumnAssignment,
+        cache: Optional[FastColumnCache] = None,
+        name: Optional[str] = None,
+        charge_setup: bool = True,
+    ) -> SimulationResult:
+        """Simulate ``trace`` under ``assignment`` (fast path).
+
+        Pass a ``cache`` to carry state across calls (phased runs);
+        by default a cold cache is created.
+        """
+        geometry = self.geometry_for(assignment)
+        if cache is None:
+            cache = FastColumnCache(geometry)
+        codes, bits = self.classify(trace, assignment)
+
+        cached_positions = np.flatnonzero(codes == _CACHED)
+        scratchpad_count = int((codes == _SCRATCHPAD).sum())
+        uncached_count = int((codes == _UNCACHED).sum())
+
+        blocks = trace.addresses[cached_positions] >> geometry.offset_bits
+        mask_bits = bits[cached_positions]
+        outcome = cache.run(blocks.tolist(), mask_bits=mask_bits.tolist())
+
+        timing = self.timing
+        # Misses with an empty mask are bypasses: they cost a full
+        # uncached round trip and are reported as uncached accesses,
+        # matching the reference path's accounting.
+        real_misses = outcome.misses - outcome.bypasses
+        result = SimulationResult(
+            name=name or trace.name,
+            instructions=trace.instruction_count,
+            accesses=len(trace),
+            cached_accesses=len(cached_positions) - outcome.bypasses,
+            scratchpad_accesses=scratchpad_count,
+            uncached_accesses=uncached_count + outcome.bypasses,
+            hits=outcome.hits,
+            misses=real_misses,
+            cycles=(
+                trace.instruction_count
+                + real_misses * timing.miss_penalty
+                + (uncached_count + outcome.bypasses)
+                * timing.uncached_penalty
+            ),
+            setup_cycles=self._setup_cycles(assignment) if charge_setup else 0,
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # Per-variable attribution (layout debugging)
+    # ------------------------------------------------------------------
+    def attribute(
+        self, trace: Trace, assignment: ColumnAssignment
+    ) -> dict[str, "AttributedCost"]:
+        """Per-layout-unit accesses/misses/stall cycles.
+
+        Runs the trace once with per-access hit flags and charges every
+        access to the unit owning its address.  Useful for seeing which
+        variable a bad layout is hurting.  Unattributed accesses land
+        under ``"<other>"``.
+        """
+        geometry = self.geometry_for(assignment)
+        cache = FastColumnCache(geometry)
+        codes, bits = self.classify(trace, assignment)
+
+        ordered = list(assignment.layout_symbols)
+        bases = np.array([unit.base for unit in ordered], dtype=np.int64)
+        ends = np.array([unit.range.end for unit in ordered], dtype=np.int64)
+        slot = np.searchsorted(bases, trace.addresses, side="right") - 1
+        clipped = np.clip(slot, 0, max(len(ordered) - 1, 0))
+        inside = (slot >= 0) & (trace.addresses < ends[clipped])
+
+        cached_positions = np.flatnonzero(codes == _CACHED)
+        blocks = (
+            trace.addresses[cached_positions] >> geometry.offset_bits
+        ).tolist()
+        mask_bits = bits[cached_positions].tolist()
+        flags = cache.run_with_flags(blocks, mask_bits=mask_bits)
+        hit_at = np.ones(len(trace), dtype=bool)
+        hit_at[cached_positions] = flags
+
+        timing = self.timing
+        costs: dict[str, AttributedCost] = {}
+        for position in range(len(trace)):
+            if inside[position]:
+                name = ordered[int(clipped[position])].name
+            else:
+                name = "<other>"
+            cost = costs.setdefault(name, AttributedCost(name=name))
+            cost.accesses += 1
+            code = codes[position]
+            if code == _UNCACHED:
+                cost.uncached += 1
+                cost.stall_cycles += timing.uncached_penalty
+            elif code == _CACHED and not hit_at[position]:
+                if bits[position] == 0:  # bypass: empty mask
+                    cost.uncached += 1
+                    cost.stall_cycles += timing.uncached_penalty
+                else:
+                    cost.misses += 1
+                    cost.stall_cycles += timing.miss_penalty
+        return costs
+
+    # ------------------------------------------------------------------
+    # Phased (dynamic layout) fast path
+    # ------------------------------------------------------------------
+    def run_phased(
+        self,
+        run: WorkloadRun,
+        plan: DynamicLayoutPlan,
+        name: Optional[str] = None,
+    ) -> PhasedRunResult:
+        """Execute a workload with per-phase assignments.
+
+        Cache state persists across phases; each phase that installs a
+        new mapping is charged tint-table writes plus the preload of
+        its newly pinned units.
+        """
+        assignments = {
+            phase.label: phase for phase in plan.phases
+        }
+        result = PhasedRunResult(name=name or run.name)
+        cache: Optional[FastColumnCache] = None
+        active: Optional[ColumnAssignment] = None
+        for marker in run.phases:
+            phase_plan = assignments.get(marker.label)
+            if phase_plan is None:
+                raise KeyError(
+                    f"dynamic plan has no phase labelled {marker.label!r}"
+                )
+            assignment = phase_plan.assignment
+            if cache is None:
+                cache = FastColumnCache(self.geometry_for(assignment))
+            remap_cycles = 0
+            remapped = False
+            if assignment is not active:
+                remapped = True
+                remap_cycles = self._remap_cost(active, assignment)
+                active = assignment
+            piece = run.trace.slice(marker.start, marker.stop)
+            phase_result = self.run(
+                piece,
+                assignment,
+                cache=cache,
+                name=f"{run.name}:{marker.label}",
+                charge_setup=False,
+            )
+            result.phases.append(
+                PhaseResult(
+                    label=marker.label,
+                    result=phase_result,
+                    remapped=remapped,
+                    remap_cycles=remap_cycles,
+                )
+            )
+        return result
+
+    def _remap_cost(
+        self,
+        previous: Optional[ColumnAssignment],
+        fresh: ColumnAssignment,
+    ) -> int:
+        """Tint-table writes + preload of newly pinned units."""
+        timing = self.timing
+        distinct_masks = {
+            placement.mask.bits
+            for placement in fresh.placements.values()
+            if placement.disposition is not Disposition.UNCACHED
+        }
+        cycles = len(distinct_masks) * timing.remap_tint_cycles
+        previously_pinned = (
+            {
+                placement.name
+                for placement in previous.units_with(Disposition.SCRATCHPAD)
+            }
+            if previous is not None
+            else set()
+        )
+        for placement in fresh.units_with(Disposition.SCRATCHPAD):
+            if placement.name not in previously_pinned:
+                cycles += (
+                    placement.variable.range.line_count(fresh.line_size)
+                    * timing.preload_line_cycles
+                )
+        return cycles
+
+    # ------------------------------------------------------------------
+    # Reference path
+    # ------------------------------------------------------------------
+    def run_reference(
+        self,
+        trace: Trace,
+        assignment: ColumnAssignment,
+        page_size: int = 64,
+        tlb_capacity: int = 4096,
+        name: Optional[str] = None,
+    ) -> SimulationResult:
+        """Simulate through the full TLB/tint/replacement mechanism.
+
+        The assignment is *realized*: tints installed in a tint table,
+        page tints written into a page table, the default tint remapped
+        to exclude the scratchpad columns, scratchpad units preloaded
+        through the cache.  Then every access runs the Figure 2 path.
+        """
+        geometry = self.geometry_for(assignment)
+        page_table = PageTable(page_size=page_size)
+        tint_table = TintTable(columns=assignment.columns)
+        tint_table.remap(tint_table.default_tint, assignment.cache_mask)
+        assignment.realize(page_table, tint_table)
+
+        system = MemorySystem(
+            geometry=geometry,
+            timing=self.timing,
+            page_table=page_table,
+            tint_table=tint_table,
+            tlb_capacity=tlb_capacity,
+        )
+        setup_cycles = 0
+        for placement in assignment.units_with(Disposition.SCRATCHPAD):
+            setup_cycles += system.preload_region(
+                placement.variable.base, placement.variable.size
+            )
+        system.cache.reset_stats()
+        system.cycles = 0
+
+        codes, _ = self.classify(trace, assignment)
+        scratchpad_count = 0
+        uncached_count = 0
+        cached_count = 0
+        hits = 0
+        misses = 0
+        cycles = 0
+        writebacks_before = system.cache.stats.writebacks
+        for position in range(len(trace)):
+            address = int(trace.addresses[position])
+            is_write = bool(trace.writes[position])
+            gap = int(trace.gaps[position])
+            cycles += gap
+            outcome = system.access(address, is_write=is_write)
+            cycles += outcome.cycles
+            code = codes[position]
+            if code == _SCRATCHPAD:
+                scratchpad_count += 1
+            elif code == _UNCACHED or outcome.bypassed:
+                uncached_count += 1
+            else:
+                cached_count += 1
+                if outcome.hit:
+                    hits += 1
+                else:
+                    misses += 1
+
+        return SimulationResult(
+            name=name or trace.name,
+            instructions=trace.instruction_count,
+            accesses=len(trace),
+            cached_accesses=cached_count,
+            scratchpad_accesses=scratchpad_count,
+            uncached_accesses=uncached_count,
+            hits=hits,
+            misses=misses,
+            writebacks=system.cache.stats.writebacks - writebacks_before,
+            cycles=cycles,
+            setup_cycles=setup_cycles,
+            tlb_hits=system.tlb.stats.hits,
+            tlb_misses=system.tlb.stats.misses,
+        )

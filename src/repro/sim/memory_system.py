@@ -1,0 +1,124 @@
+"""The full reference memory system: TLB -> tint -> replacement unit.
+
+This wires together every mechanism of the paper's Figure 2/Section 2.2
+exactly as described: each access translates through the TLB (which
+caches page-table entries holding *tints*), the tint resolves to a
+column bit vector through the tint table, and the bit vector restricts
+the reference cache's replacement.  Uncached pages bypass entirely.
+
+It is the slow, fully-observable path; the experiments use the
+vectorized executor, and the tests assert both agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.column_cache import AccessResult, ColumnCache
+from repro.cache.geometry import CacheGeometry
+from repro.mem.page_table import PageTable
+from repro.mem.tlb import TLB
+from repro.mem.tint import TintTable
+from repro.sim.config import TimingConfig
+
+
+@dataclass
+class MemoryAccessOutcome:
+    """Cycles and classification of one access."""
+
+    cycles: int
+    cached: bool
+    hit: bool
+    bypassed: bool
+
+
+class MemorySystem:
+    """TLB + tint table + column cache + timing, as one component."""
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        timing: TimingConfig,
+        page_table: PageTable,
+        tint_table: TintTable,
+        tlb_capacity: int = 64,
+        policy: str = "lru",
+        seed: int = 0,
+    ):
+        if tint_table.columns != geometry.columns:
+            raise ValueError(
+                f"tint table is {tint_table.columns}-column wide but the "
+                f"cache has {geometry.columns} columns"
+            )
+        self.geometry = geometry
+        self.timing = timing
+        self.page_table = page_table
+        self.tint_table = tint_table
+        self.tlb = TLB(page_table=page_table, capacity=tlb_capacity)
+        self.cache = ColumnCache(geometry, policy=policy, seed=seed)
+        self.cycles = 0
+        self.uncached_accesses = 0
+        self.accesses = 0
+
+    def access(self, address: int, is_write: bool = False) -> MemoryAccessOutcome:
+        """One load/store through the whole mechanism."""
+        self.accesses += 1
+        entry = self.tlb.lookup(address)
+        cycles = 1  # the access instruction itself
+        if not entry.cached:
+            self.uncached_accesses += 1
+            cycles += self.timing.uncached_penalty
+            self.cycles += cycles
+            return MemoryAccessOutcome(
+                cycles=cycles, cached=False, hit=False, bypassed=True
+            )
+        mask = self.tint_table.mask_of(entry.tint)
+        result: AccessResult = self.cache.access(
+            address, mask=mask, is_write=is_write
+        )
+        if not result.hit:
+            if result.bypassed:
+                cycles += self.timing.uncached_penalty
+            else:
+                cycles += self.timing.miss_penalty
+            if result.writeback:
+                cycles += self.timing.writeback_penalty
+        self.cycles += cycles
+        return MemoryAccessOutcome(
+            cycles=cycles,
+            cached=True,
+            hit=result.hit,
+            bypassed=result.bypassed,
+        )
+
+    def access_with_tlb_cost(
+        self, address: int, is_write: bool = False
+    ) -> MemoryAccessOutcome:
+        """Like :meth:`access`, charging ``tlb_miss_cycles`` on misses."""
+        misses_before = self.tlb.stats.misses
+        outcome = self.access(address, is_write=is_write)
+        if self.tlb.stats.misses > misses_before:
+            extra = self.timing.tlb_miss_cycles
+            outcome.cycles += extra
+            self.cycles += extra
+        return outcome
+
+    def preload_region(self, base: int, size: int) -> int:
+        """Warm every line of [base, base+size); returns setup cycles.
+
+        Used for scratchpad emulation: the lines are loaded through the
+        normal mechanism (so their tint steers them into the dedicated
+        columns) at ``preload_line_cycles`` each.
+        """
+        line_size = self.geometry.line_size
+        first_line = base - (base % line_size)
+        setup_cycles = 0
+        address = first_line
+        while address < base + size:
+            entry = self.tlb.lookup(address)
+            if entry.cached:
+                mask = self.tint_table.mask_of(entry.tint)
+                self.cache.access(address, mask=mask, is_write=False)
+            setup_cycles += self.timing.preload_line_cycles
+            address += line_size
+        return setup_cycles

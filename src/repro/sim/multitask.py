@@ -1,0 +1,223 @@
+"""Round-robin multitasking simulation (paper Section 4.2).
+
+Several jobs share one processor and one cache.  The scheduler grants
+each job a *time quantum* (in instructions), round-robin.  Each job's
+trace wraps when exhausted (the paper runs the compression jobs
+continuously); cache state persists across context switches — that is
+the entire point: at small quanta, the other jobs' intervening accesses
+destroy a job's cache contents unless the column cache isolates it.
+
+Per-job column masks express the mapped configuration: job A gets its
+own columns, B and C share the rest.  ``mask = None`` means the full
+cache (the standard shared configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.cache.fastsim import FastColumnCache
+from repro.cache.geometry import CacheGeometry
+from repro.sim.config import TimingConfig
+from repro.trace.trace import Trace
+from repro.utils.bitvector import ColumnMask
+
+
+@dataclass
+class Job:
+    """One schedulable job: a trace plus its column mask.
+
+    Attributes:
+        name: Job name.
+        trace: The job's reference stream (wraps at the end).
+        mask: Columns the job's data may replace into (None = all).
+        address_offset: Relocation applied to the trace so jobs live in
+            disjoint address spaces.
+    """
+
+    name: str
+    trace: Trace
+    mask: Optional[ColumnMask] = None
+    address_offset: int = 0
+
+    def mask_bits(self, columns: int) -> int:
+        """The job's replacement mask as raw bits."""
+        if self.mask is None:
+            return (1 << columns) - 1
+        if self.mask.width != columns:
+            raise ValueError(
+                f"job {self.name!r} mask width {self.mask.width} does not "
+                f"match {columns} columns"
+            )
+        return self.mask.bits
+
+
+@dataclass
+class JobResult:
+    """Measured behaviour of one job over the simulated window."""
+
+    name: str
+    instructions: int = 0
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    wraps: int = 0
+    quanta: int = 0
+
+    def cpi(self, timing: TimingConfig) -> float:
+        """Clocks per instruction under the given timing."""
+        if self.instructions == 0:
+            return 0.0
+        cycles = (
+            self.instructions
+            + self.misses * timing.miss_penalty
+            + self.quanta * timing.context_switch_cycles
+        )
+        return cycles / self.instructions
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss rate over the job's accesses."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+
+class _JobState:
+    """Precomputed arrays + cursor for one job."""
+
+    def __init__(self, job: Job, geometry: CacheGeometry):
+        self.job = job
+        addresses = job.trace.addresses + job.address_offset
+        self.blocks: list[int] = (
+            addresses >> geometry.offset_bits
+        ).tolist()
+        # cumulative[i] = instructions contributed by accesses 0..i.
+        per_access = job.trace.gaps + 1
+        self.cumulative = np.cumsum(per_access)
+        self.total_instructions = int(self.cumulative[-1]) if len(
+            self.cumulative
+        ) else 0
+        self.mask_bits = 0  # filled by the simulator
+        self.position = 0
+        self.result = JobResult(name=job.name)
+
+    def instructions_done_in_pass(self) -> int:
+        """Instructions consumed in the current pass over the trace."""
+        if self.position == 0:
+            return 0
+        return int(self.cumulative[self.position - 1])
+
+
+class MultitaskSimulator:
+    """Round-robin scheduler over a shared column cache."""
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        jobs: Sequence[Job],
+        timing: Optional[TimingConfig] = None,
+    ):
+        if not jobs:
+            raise ValueError("need at least one job")
+        names = [job.name for job in jobs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate job names: {names}")
+        self.geometry = geometry
+        self.timing = timing or TimingConfig()
+        self.cache = FastColumnCache(geometry)
+        self._states = [_JobState(job, geometry) for job in jobs]
+        for state in self._states:
+            state.mask_bits = state.job.mask_bits(geometry.columns)
+            if len(state.blocks) == 0:
+                raise ValueError(f"job {state.job.name!r} has an empty trace")
+
+    def warm_up(self, passes: int = 1) -> None:
+        """Run every job's full trace ``passes`` times, then reset
+        the per-job counters and trace cursors.
+
+        This populates the cache with steady-state contents so the
+        measured CPI reflects scheduling interference, not cold-miss
+        amortization.
+        """
+        if passes < 0:
+            raise ValueError(f"passes must be >= 0, got {passes}")
+        for state in self._states:
+            for _ in range(passes):
+                self.cache.run(
+                    state.blocks, uniform_mask=state.mask_bits
+                )
+        for state in self._states:
+            state.position = 0
+            state.result = JobResult(name=state.job.name)
+
+    def run(
+        self,
+        quantum_instructions: int,
+        total_instructions: int,
+    ) -> dict[str, JobResult]:
+        """Round-robin all jobs until the instruction budget is spent.
+
+        A quantum ends when the job has executed at least
+        ``quantum_instructions`` since it was scheduled (an access and
+        its gap are atomic, so a quantum may overshoot by one access's
+        instructions — quantum 1 switches after every access).
+        """
+        if quantum_instructions < 1:
+            raise ValueError(
+                f"quantum must be >= 1, got {quantum_instructions}"
+            )
+        if total_instructions < 1:
+            raise ValueError(
+                f"budget must be >= 1, got {total_instructions}"
+            )
+        executed_total = 0
+        job_index = 0
+        states = self._states
+        while executed_total < total_instructions:
+            state = states[job_index]
+            executed = self._run_quantum(state, quantum_instructions)
+            executed_total += executed
+            job_index = (job_index + 1) % len(states)
+        return {state.job.name: state.result for state in states}
+
+    def _run_quantum(self, state: _JobState, quantum: int) -> int:
+        """Execute one quantum of one job; returns instructions run."""
+        remaining = quantum
+        executed = 0
+        result = state.result
+        result.quanta += 1
+        while remaining > 0:
+            done_before = state.instructions_done_in_pass()
+            target = done_before + remaining
+            stop = int(
+                np.searchsorted(state.cumulative, target, side="right")
+            )
+            if stop == state.position:
+                stop = state.position + 1  # atomic access: make progress
+            stop = min(stop, len(state.blocks))
+            outcome = self.cache.run(
+                state.blocks,
+                uniform_mask=state.mask_bits,
+                start=state.position,
+                stop=stop,
+            )
+            ran = int(state.cumulative[stop - 1]) - done_before
+            result.instructions += ran
+            result.accesses += stop - state.position
+            result.hits += outcome.hits
+            result.misses += outcome.misses
+            executed += ran
+            remaining -= ran
+            state.position = stop
+            if state.position >= len(state.blocks):
+                state.position = 0
+                result.wraps += 1
+        return executed
+
+    def results(self) -> dict[str, JobResult]:
+        """Per-job results accumulated so far."""
+        return {state.job.name: state.result for state in self._states}

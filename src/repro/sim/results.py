@@ -1,0 +1,114 @@
+"""Simulation result records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of executing one trace under one assignment.
+
+    Attributes:
+        name: Trace/workload name.
+        instructions: Instructions executed (accesses + gaps).
+        accesses: Memory accesses executed.
+        cached_accesses: Accesses that went through the cache.
+        scratchpad_accesses: Accesses served by pinned scratchpad data.
+        uncached_accesses: Accesses that bypassed to slow memory.
+        hits / misses: Cache outcomes among ``cached_accesses``.
+        writebacks: Dirty evictions (reference path only).
+        cycles: Total run cycles (excludes setup).
+        setup_cycles: One-time scratchpad preload + tint installation.
+        tlb_hits / tlb_misses: Reference path only.
+    """
+
+    name: str
+    instructions: int = 0
+    accesses: int = 0
+    cached_accesses: int = 0
+    scratchpad_accesses: int = 0
+    uncached_accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+    cycles: int = 0
+    setup_cycles: int = 0
+    tlb_hits: int = 0
+    tlb_misses: int = 0
+
+    @property
+    def cpi(self) -> float:
+        """Clocks per instruction over the measured run."""
+        if self.instructions == 0:
+            return 0.0
+        return self.cycles / self.instructions
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss rate among cached accesses."""
+        if self.cached_accesses == 0:
+            return 0.0
+        return self.misses / self.cached_accesses
+
+    @property
+    def total_cycles(self) -> int:
+        """Run cycles plus setup."""
+        return self.cycles + self.setup_cycles
+
+    def merged_with(self, other: "SimulationResult") -> "SimulationResult":
+        """Sum of two results (for combining phases or routines)."""
+        merged = SimulationResult(name=f"{self.name}+{other.name}")
+        for attribute in (
+            "instructions", "accesses", "cached_accesses",
+            "scratchpad_accesses", "uncached_accesses", "hits", "misses",
+            "writebacks", "cycles", "setup_cycles", "tlb_hits", "tlb_misses",
+        ):
+            setattr(
+                merged,
+                attribute,
+                getattr(self, attribute) + getattr(other, attribute),
+            )
+        return merged
+
+
+@dataclass
+class PhaseResult:
+    """Result of one phase of a phased (dynamic-layout) run."""
+
+    label: str
+    result: SimulationResult
+    remapped: bool = False
+    remap_cycles: int = 0
+
+
+@dataclass
+class PhasedRunResult:
+    """Aggregate of a phased run."""
+
+    name: str
+    phases: list[PhaseResult] = field(default_factory=list)
+
+    @property
+    def total(self) -> SimulationResult:
+        """Sum over phases, with remap cycles charged."""
+        aggregate: Optional[SimulationResult] = None
+        remap_cycles = 0
+        for phase in self.phases:
+            remap_cycles += phase.remap_cycles
+            aggregate = (
+                phase.result
+                if aggregate is None
+                else aggregate.merged_with(phase.result)
+            )
+        if aggregate is None:
+            return SimulationResult(name=self.name)
+        aggregate.name = self.name
+        aggregate.cycles += remap_cycles
+        return aggregate
+
+    @property
+    def remap_count(self) -> int:
+        """Number of phases that remapped."""
+        return sum(1 for phase in self.phases if phase.remapped)

@@ -1,0 +1,7 @@
+"""``python -m repro.trace`` forwards to the trace CLI."""
+
+import sys
+
+from repro.trace.cli import main
+
+sys.exit(main())

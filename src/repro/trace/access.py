@@ -1,0 +1,38 @@
+"""A single memory access record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryAccess:
+    """One entry of a memory-reference trace.
+
+    Attributes:
+        address: Byte address accessed.
+        is_write: True for stores, False for loads.
+        variable: Name of the program variable accessed, or None when
+            unknown (e.g. traces loaded from plain dinero files).
+        gap: Number of non-memory instructions executed since the
+            previous trace entry.  The access itself counts as one
+            instruction, so an entry contributes ``gap + 1``
+            instructions to the stream.
+    """
+
+    address: int
+    is_write: bool = False
+    variable: Optional[str] = None
+    gap: int = 0
+
+    @property
+    def instructions(self) -> int:
+        """Instructions this entry contributes (gap + the access)."""
+        return self.gap + 1
+
+    def __repr__(self) -> str:
+        kind = "W" if self.is_write else "R"
+        label = f" {self.variable}" if self.variable else ""
+        gap = f" +{self.gap}" if self.gap else ""
+        return f"<{kind} {self.address:#x}{label}{gap}>"

@@ -1,0 +1,144 @@
+"""Trace utilities CLI.
+
+Usage::
+
+    python -m repro.trace stats trace.din
+    python -m repro.trace generate --kind zipf --count 10000 out.din
+    python -m repro.trace simulate trace.din --size 2048 --columns 4
+
+``stats`` prints per-variable access counts and lifetimes; ``generate``
+writes a synthetic trace in dinero format; ``simulate`` runs a trace
+through a (standard, full-mask) cache and prints hit/miss totals.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.cache.fastsim import simulate_trace
+from repro.cache.geometry import CacheGeometry
+from repro.profiling.profiler import profile_trace
+from repro.trace.dinero import load_trace, save_trace
+from repro.trace.generator import (
+    looped_working_set,
+    pointer_chase,
+    random_uniform,
+    sequential_stream,
+    zipf_accesses,
+)
+from repro.utils.tables import format_table
+
+_GENERATORS = {
+    "sequential": lambda args: sequential_stream(
+        args.base, args.count, element_size=args.element_size
+    ),
+    "looped": lambda args: looped_working_set(
+        args.base, args.span, max(args.count // max(args.span // 2, 1), 1),
+        element_size=args.element_size,
+    ),
+    "random": lambda args: random_uniform(
+        args.base, args.span, args.count, element_size=args.element_size,
+        seed=args.seed,
+    ),
+    "zipf": lambda args: zipf_accesses(
+        args.base, args.span, args.count, element_size=args.element_size,
+        seed=args.seed,
+    ),
+    "pointer_chase": lambda args: pointer_chase(
+        args.base, max(args.span // 16, 1), args.count, seed=args.seed
+    ),
+}
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    profile = profile_trace(trace)
+    rows = []
+    for stats in sorted(
+        profile.variables.values(),
+        key=lambda item: item.access_count,
+        reverse=True,
+    ):
+        rows.append(
+            [
+                stats.name,
+                stats.access_count,
+                stats.read_count,
+                stats.write_count,
+                f"{stats.lifetime.start}..{stats.lifetime.stop}",
+            ]
+        )
+    print(
+        format_table(
+            ["variable", "accesses", "reads", "writes", "lifetime"],
+            rows,
+            title=(
+                f"{args.trace}: {len(trace)} accesses, "
+                f"{trace.instruction_count} instructions"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    trace = _GENERATORS[args.kind](args)
+    lines = save_trace(trace, args.output)
+    print(f"wrote {lines} accesses to {args.output}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    geometry = CacheGeometry.from_sizes(
+        args.size, line_size=args.line_size, columns=args.columns
+    )
+    result = simulate_trace(trace.addresses.tolist(), geometry)
+    print(f"cache: {geometry}")
+    print(
+        f"accesses={result.accesses} hits={result.hits} "
+        f"misses={result.misses} miss_rate={result.miss_rate:.4f}"
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace", description=__doc__
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    stats = commands.add_parser("stats", help="per-variable statistics")
+    stats.add_argument("trace", help="dinero trace file")
+    stats.set_defaults(handler=_cmd_stats)
+
+    generate = commands.add_parser("generate", help="synthesize a trace")
+    generate.add_argument("output", help="output dinero file")
+    generate.add_argument(
+        "--kind", choices=sorted(_GENERATORS), default="zipf"
+    )
+    generate.add_argument("--count", type=int, default=10000)
+    generate.add_argument("--base", type=int, default=0x10000)
+    generate.add_argument("--span", type=int, default=8192)
+    generate.add_argument("--element-size", type=int, default=2)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(handler=_cmd_generate)
+
+    simulate = commands.add_parser(
+        "simulate", help="run a trace through a cache"
+    )
+    simulate.add_argument("trace", help="dinero trace file")
+    simulate.add_argument("--size", type=int, default=16384)
+    simulate.add_argument("--line-size", type=int, default=16)
+    simulate.add_argument("--columns", type=int, default=4)
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

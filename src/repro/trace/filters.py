@@ -1,0 +1,112 @@
+"""Trace transformations: filtering, relocation, concatenation."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.mem.address import AddressRange
+from repro.trace.trace import Trace
+
+
+def filter_by_variable(trace: Trace, variables: Sequence[str]) -> Trace:
+    """Keep only accesses belonging to the named variables.
+
+    Gaps of dropped accesses are folded into the following kept access,
+    so the instruction count attributable to the kept accesses is
+    preserved as closely as possible.
+    """
+    wanted_ids = {
+        trace.variable_names.index(name)
+        for name in variables
+        if name in trace.variable_names
+    }
+    keep = np.isin(trace.variable_ids, list(wanted_ids))
+    return _apply_keep_mask(trace, keep, f"{trace.name}|vars")
+
+
+def filter_by_range(trace: Trace, address_range: AddressRange) -> Trace:
+    """Keep only accesses whose address falls inside ``address_range``."""
+    keep = (trace.addresses >= address_range.base) & (
+        trace.addresses < address_range.end
+    )
+    return _apply_keep_mask(trace, keep, f"{trace.name}|range")
+
+
+def _apply_keep_mask(trace: Trace, keep: np.ndarray, name: str) -> Trace:
+    """Select accesses by boolean mask, folding dropped gaps forward."""
+    if keep.all():
+        return trace
+    # Each dropped access contributes its gap + 1 instructions to the
+    # next kept access's gap.
+    dropped_instructions = np.where(keep, 0, trace.gaps + 1)
+    carried = np.cumsum(dropped_instructions)
+    kept_positions = np.flatnonzero(keep)
+    new_gaps = trace.gaps[kept_positions].copy()
+    previous_carry = 0
+    for output_index, position in enumerate(kept_positions):
+        carry_here = int(carried[position - 1]) if position > 0 else 0
+        new_gaps[output_index] += carry_here - previous_carry
+        previous_carry = carry_here
+    return Trace(
+        trace.addresses[kept_positions],
+        trace.writes[kept_positions],
+        new_gaps,
+        trace.variable_ids[kept_positions],
+        trace.variable_names,
+        name=name,
+    )
+
+
+def relocate(trace: Trace, offset: int, name: str | None = None) -> Trace:
+    """Shift every address by ``offset`` bytes.
+
+    Used to place several jobs' traces in disjoint address spaces for
+    the multitasking experiment.
+    """
+    addresses = trace.addresses + offset
+    if (addresses < 0).any():
+        raise ValueError("relocation would produce negative addresses")
+    return Trace(
+        addresses,
+        trace.writes,
+        trace.gaps,
+        trace.variable_ids,
+        trace.variable_names,
+        name=name or f"{trace.name}+{offset:#x}",
+    )
+
+
+def concatenate(traces: Sequence[Trace], name: str = "concat") -> Trace:
+    """Join traces end to end (variable tables are merged by name)."""
+    if not traces:
+        return Trace.empty(name)
+    merged_names: list[str] = []
+    name_ids: dict[str, int] = {}
+    id_maps = []
+    for trace in traces:
+        id_map = {}
+        for local_id, variable in enumerate(trace.variable_names):
+            if variable not in name_ids:
+                name_ids[variable] = len(merged_names)
+                merged_names.append(variable)
+            id_map[local_id] = name_ids[variable]
+        id_maps.append(id_map)
+
+    def remap(trace: Trace, id_map: dict[int, int]) -> np.ndarray:
+        ids = trace.variable_ids.copy()
+        for local_id, global_id in id_map.items():
+            ids[trace.variable_ids == local_id] = global_id
+        return ids
+
+    return Trace(
+        np.concatenate([trace.addresses for trace in traces]),
+        np.concatenate([trace.writes for trace in traces]),
+        np.concatenate([trace.gaps for trace in traces]),
+        np.concatenate(
+            [remap(trace, id_map) for trace, id_map in zip(traces, id_maps)]
+        ),
+        merged_names,
+        name=name,
+    )

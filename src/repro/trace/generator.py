@@ -1,0 +1,138 @@
+"""Synthetic access-pattern generators.
+
+These produce the classic locality archetypes (streams, strides, hot
+working sets, Zipf mixes, pointer chases) used by unit tests, the
+ablation benches, and microbenchmark examples.  All generators are
+deterministic given their seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.trace.trace import Trace, TraceBuilder
+
+
+def sequential_stream(
+    base: int,
+    count: int,
+    element_size: int = 2,
+    variable: Optional[str] = "stream",
+    writes: bool = False,
+    name: str = "sequential",
+) -> Trace:
+    """``count`` consecutive element accesses starting at ``base``."""
+    builder = TraceBuilder(name=name)
+    for index in range(count):
+        builder.append(
+            base + index * element_size, is_write=writes, variable=variable
+        )
+    return builder.build()
+
+
+def strided_stream(
+    base: int,
+    count: int,
+    stride: int,
+    variable: Optional[str] = "strided",
+    name: str = "strided",
+) -> Trace:
+    """``count`` accesses separated by ``stride`` bytes."""
+    builder = TraceBuilder(name=name)
+    for index in range(count):
+        builder.append(base + index * stride, variable=variable)
+    return builder.build()
+
+
+def looped_working_set(
+    base: int,
+    working_set_bytes: int,
+    passes: int,
+    element_size: int = 2,
+    variable: Optional[str] = "hot",
+    name: str = "looped",
+) -> Trace:
+    """Repeated sequential sweeps over a fixed working set.
+
+    The canonical temporal-locality pattern: fits-in-cache working sets
+    approach 100% hits after the first pass; oversized ones thrash LRU.
+    """
+    builder = TraceBuilder(name=name)
+    elements = working_set_bytes // element_size
+    for _ in range(passes):
+        for index in range(elements):
+            builder.append(base + index * element_size, variable=variable)
+    return builder.build()
+
+
+def random_uniform(
+    base: int,
+    span_bytes: int,
+    count: int,
+    element_size: int = 2,
+    seed: int = 0,
+    write_fraction: float = 0.0,
+    variable: Optional[str] = "random",
+    name: str = "random",
+) -> Trace:
+    """Uniform random accesses over ``[base, base + span_bytes)``."""
+    rng = np.random.default_rng(seed)
+    elements = max(span_bytes // element_size, 1)
+    indices = rng.integers(0, elements, size=count)
+    write_flags = rng.random(count) < write_fraction
+    builder = TraceBuilder(name=name)
+    for index, is_write in zip(indices, write_flags):
+        builder.append(
+            base + int(index) * element_size,
+            is_write=bool(is_write),
+            variable=variable,
+        )
+    return builder.build()
+
+
+def zipf_accesses(
+    base: int,
+    span_bytes: int,
+    count: int,
+    element_size: int = 2,
+    exponent: float = 1.2,
+    seed: int = 0,
+    variable: Optional[str] = "zipf",
+    name: str = "zipf",
+) -> Trace:
+    """Zipf-distributed accesses: a few hot lines, a long cold tail."""
+    if exponent <= 1.0:
+        raise ValueError(f"zipf exponent must exceed 1.0, got {exponent}")
+    rng = np.random.default_rng(seed)
+    elements = max(span_bytes // element_size, 1)
+    ranks = rng.zipf(exponent, size=count)
+    indices = (ranks - 1) % elements
+    builder = TraceBuilder(name=name)
+    for index in indices:
+        builder.append(base + int(index) * element_size, variable=variable)
+    return builder.build()
+
+
+def pointer_chase(
+    base: int,
+    node_count: int,
+    hops: int,
+    node_size: int = 16,
+    seed: int = 0,
+    variable: Optional[str] = "list",
+    name: str = "pointer_chase",
+) -> Trace:
+    """A random-permutation linked-list walk (no spatial locality)."""
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(node_count)
+    next_of = np.empty(node_count, dtype=np.int64)
+    for position in range(node_count):
+        next_of[order[position]] = order[(position + 1) % node_count]
+    builder = TraceBuilder(name=name)
+    node = int(order[0])
+    for _ in range(hops):
+        builder.append(base + node * node_size, variable=variable)
+        node = int(next_of[node])
+    return builder.build()

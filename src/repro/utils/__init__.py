@@ -1,0 +1,30 @@
+"""Shared low-level utilities for the column-caching reproduction.
+
+This package holds the small, dependency-free building blocks used across
+the library: column bit vectors (:mod:`repro.utils.bitvector`), half-open
+integer intervals for variable lifetimes (:mod:`repro.utils.intervals`),
+argument validation helpers (:mod:`repro.utils.validation`) and plain-text
+table rendering for experiment reports (:mod:`repro.utils.tables`).
+"""
+
+from repro.utils.bitvector import ColumnMask
+from repro.utils.intervals import Interval
+from repro.utils.tables import format_table
+from repro.utils.validation import (
+    check_alignment,
+    check_positive,
+    check_power_of_two,
+    is_power_of_two,
+    log2_exact,
+)
+
+__all__ = [
+    "ColumnMask",
+    "Interval",
+    "check_alignment",
+    "check_positive",
+    "check_power_of_two",
+    "format_table",
+    "is_power_of_two",
+    "log2_exact",
+]

@@ -1,0 +1,100 @@
+"""Half-open integer intervals.
+
+Variable *lifetimes* in the paper (Section 3.1.1) are intervals
+``I(v) = [first, last]`` over positions in the memory-reference stream.
+We represent them as half-open ``[start, stop)`` intervals, the usual
+Python convention, so that an access at trace position ``t`` makes the
+variable live over ``[t, t + 1)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A half-open interval ``[start, stop)`` of trace positions.
+
+    >>> Interval(2, 10).overlaps(Interval(9, 12))
+    True
+    >>> Interval(2, 10).intersection(Interval(9, 12))
+    Interval(start=9, stop=10)
+    """
+
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.stop < self.start:
+            raise ValueError(
+                f"interval stop {self.stop} precedes start {self.start}"
+            )
+
+    @property
+    def length(self) -> int:
+        """Number of positions covered."""
+        return self.stop - self.start
+
+    def is_empty(self) -> bool:
+        """True if the interval covers no positions."""
+        return self.stop == self.start
+
+    def contains(self, position: int) -> bool:
+        """True if ``position`` lies inside the interval."""
+        return self.start <= position < self.stop
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True if the two intervals share at least one position."""
+        return self.start < other.stop and other.start < self.stop
+
+    def intersection(self, other: "Interval") -> Optional["Interval"]:
+        """The overlapping sub-interval, or None if disjoint.
+
+        This is the paper's ``delta(i, j) = [MAX(first_i, first_j),
+        MIN(last_i, last_j)]`` computation.
+        """
+        start = max(self.start, other.start)
+        stop = min(self.stop, other.stop)
+        if start >= stop:
+            return None
+        return Interval(start, stop)
+
+    def hull(self, other: "Interval") -> "Interval":
+        """The smallest interval containing both intervals."""
+        return Interval(min(self.start, other.start), max(self.stop, other.stop))
+
+    def expanded_to(self, position: int) -> "Interval":
+        """The smallest interval containing this one and ``position``."""
+        return Interval(min(self.start, position), max(self.stop, position + 1))
+
+    def shifted(self, offset: int) -> "Interval":
+        """This interval translated by ``offset`` positions."""
+        return Interval(self.start + offset, self.stop + offset)
+
+    def __iter__(self):
+        return iter(range(self.start, self.stop))
+
+    def __len__(self) -> int:
+        return self.length
+
+
+def union_length(intervals: Iterable[Interval]) -> int:
+    """Total number of positions covered by a union of intervals."""
+    ordered = sorted(
+        (iv for iv in intervals if not iv.is_empty()),
+        key=lambda iv: iv.start,
+    )
+    covered = 0
+    current: Optional[Interval] = None
+    for interval in ordered:
+        if current is None or interval.start > current.stop:
+            if current is not None:
+                covered += current.length
+            current = interval
+        elif interval.stop > current.stop:
+            current = Interval(current.start, interval.stop)
+    if current is not None:
+        covered += current.length
+    return covered

@@ -1,0 +1,100 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows/series the paper's figures
+report; this module renders them as aligned monospace tables without any
+third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _render_cell(value: object, float_format: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = ".3f",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned text table.
+
+    Numeric cells are right-aligned; everything else is left-aligned.
+
+    >>> print(format_table(["name", "cpi"], [["gzip", 1.25]]))
+    name    cpi
+    ----  -----
+    gzip  1.250
+    """
+    rendered: list[list[str]] = [
+        [_render_cell(value, float_format) for value in row] for row in rows
+    ]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def is_numeric(column: int) -> bool:
+        cells = [row[column] for row in rendered]
+        return bool(cells) and all(
+            cell.replace(".", "", 1).replace("-", "", 1).replace("e", "", 1)
+            .replace("+", "", 1).isdigit()
+            for cell in cells
+        )
+
+    numeric = [is_numeric(i) for i in range(len(headers))]
+
+    def format_row(cells: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            if numeric[index]:
+                parts.append(cell.rjust(widths[index]))
+            else:
+                parts.append(cell.ljust(widths[index]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(headers))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(format_row(row) for row in rendered)
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[object]],
+    float_format: str = ".3f",
+    title: str | None = None,
+) -> str:
+    """Render one x column plus one column per named series.
+
+    This matches how the paper's line plots (Figures 4 and 5) are
+    tabulated in EXPERIMENTS.md.
+    """
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points, "
+                f"expected {len(x_values)}"
+            )
+    headers = [x_label, *series.keys()]
+    rows = [
+        [x, *(series[name][index] for name in series)]
+        for index, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, float_format=float_format, title=title)

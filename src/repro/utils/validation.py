@@ -1,0 +1,51 @@
+"""Argument-validation helpers.
+
+The cache and memory models are highly parametric (line sizes, column
+counts, page sizes, ...) and nearly every parameter must be a positive
+power of two.  Centralizing the checks keeps the error messages uniform
+and the constructors readable.
+"""
+
+from __future__ import annotations
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True if ``value`` is a positive integral power of two."""
+    return isinstance(value, int) and value > 0 and (value & (value - 1)) == 0
+
+
+def check_positive(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it."""
+    if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+    return value
+
+
+def check_non_negative(value: int, name: str) -> int:
+    """Validate that ``value`` is a non-negative integer and return it."""
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        raise ValueError(f"{name} must be a non-negative integer, got {value!r}")
+    return value
+
+
+def check_power_of_two(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive power of two and return it."""
+    if not is_power_of_two(value):
+        raise ValueError(f"{name} must be a positive power of two, got {value!r}")
+    return value
+
+
+def check_alignment(value: int, alignment: int, name: str) -> int:
+    """Validate that ``value`` is a multiple of ``alignment``."""
+    check_non_negative(value, name)
+    if value % alignment != 0:
+        raise ValueError(
+            f"{name} must be aligned to {alignment} bytes, got {value:#x}"
+        )
+    return value
+
+
+def log2_exact(value: int, name: str = "value") -> int:
+    """Return log2 of ``value``, requiring an exact power of two."""
+    check_power_of_two(value, name)
+    return value.bit_length() - 1

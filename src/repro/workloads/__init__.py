@@ -1,0 +1,56 @@
+"""Instrumented embedded workloads.
+
+Each workload is a *real computation* operating on
+:class:`~repro.workloads.arrays.TracedArray` storage: every element read
+and write is appended to a trace with its variable name, and the numeric
+results are verifiable (the IDCT against a direct-form reference, the
+compressor by round-trip decompression).
+
+Workloads:
+
+* :mod:`repro.workloads.mpeg` — the paper's embedded benchmark: the
+  ``dequant``, ``plus`` and ``idct`` routines of an MPEG decoder
+  (Section 4.1, following Panda et al.).
+* :mod:`repro.workloads.gzip_like` — an LZ77 + canonical-Huffman
+  compressor standing in for the paper's gzip jobs (Section 4.2).
+* :mod:`repro.workloads.kernels` — additional embedded kernels (FIR,
+  matrix multiply, 2-D convolution, histogram) for examples and
+  ablations.
+"""
+
+from repro.workloads.arrays import TracedArray, TracedScalar
+from repro.workloads.base import Workload, WorkloadRun
+from repro.workloads.gzip_like import GzipLikeCompressor
+from repro.workloads.kernels import (
+    Conv2D,
+    FIRFilter,
+    Histogram,
+    MatrixMultiply,
+)
+from repro.workloads.mpeg import (
+    BLOCK_ELEMENTS,
+    DequantRoutine,
+    IdctRoutine,
+    MPEGDecodeApp,
+    PlusRoutine,
+)
+from repro.workloads.suite import available_workloads, make_workload
+
+__all__ = [
+    "BLOCK_ELEMENTS",
+    "Conv2D",
+    "DequantRoutine",
+    "FIRFilter",
+    "GzipLikeCompressor",
+    "Histogram",
+    "IdctRoutine",
+    "MPEGDecodeApp",
+    "MatrixMultiply",
+    "PlusRoutine",
+    "TracedArray",
+    "TracedScalar",
+    "Workload",
+    "WorkloadRun",
+    "available_workloads",
+    "make_workload",
+]

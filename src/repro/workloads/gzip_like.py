@@ -1,0 +1,462 @@
+"""A gzip-like compressor: LZ77 hash chains + canonical Huffman coding.
+
+Stands in for the paper's gzip jobs in the multitasking experiment
+(Section 4.2).  What matters for Figure 5 is that each job has a large,
+reuse-heavy working set that thrashes when time-sliced against other
+jobs: here that is the hash-head table, the chain links, the sliding
+window (the input buffer) and the frequency/code tables — the same
+structures real gzip keeps hot.
+
+The compressor is *real*: it emits a decodable bitstream (code lengths
+header + MSB-first canonical Huffman codes + raw distance extra bits),
+and :func:`decompress` reconstructs the exact input, which the tests
+assert.
+
+Traced data structures (defaults, 3-byte min match):
+
+===============  ======================  ==========================
+array            size                    role
+===============  ======================  ==========================
+``input``        n x 1 B                 input/window buffer
+``head``         2^hash_bits x 4 B       hash -> most recent position
+``prev``         2^window_bits x 4 B     chain links
+``freq_lit``     273 x 4 B               literal/length frequencies
+``freq_dist``    16 x 4 B                distance-bucket frequencies
+``code_lit``     273 x 4 B               packed (len << 16 | code)
+``code_dist``    16 x 4 B                packed distance codes
+``output``       bounded by 2n + 300     compressed byte stream
+===============  ======================  ==========================
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+import numpy as np
+
+from repro.workloads.arrays import TracedArray
+from repro.workloads.base import Workload
+
+MIN_MATCH = 3
+MAX_MATCH = 18
+END_SYMBOL = 256
+LIT_SYMBOLS = 257 + (MAX_MATCH - MIN_MATCH + 1)  # 273
+DIST_SYMBOLS = 16
+
+
+# ----------------------------------------------------------------------
+# Canonical Huffman (pure computation, shared by encoder and decoder)
+# ----------------------------------------------------------------------
+def huffman_code_lengths(frequencies: list[int]) -> list[int]:
+    """Code length per symbol from frequencies (0 for unused symbols)."""
+    heap: list[tuple[int, int, tuple[int, ...]]] = []
+    ticket = 0
+    for symbol, frequency in enumerate(frequencies):
+        if frequency > 0:
+            heap.append((frequency, ticket, (symbol,)))
+            ticket += 1
+    heapq.heapify(heap)
+    lengths = [0] * len(frequencies)
+    if not heap:
+        return lengths
+    if len(heap) == 1:
+        lengths[heap[0][2][0]] = 1
+        return lengths
+    while len(heap) > 1:
+        freq_a, _, symbols_a = heapq.heappop(heap)
+        freq_b, _, symbols_b = heapq.heappop(heap)
+        for symbol in symbols_a + symbols_b:
+            lengths[symbol] += 1
+        heapq.heappush(
+            heap, (freq_a + freq_b, ticket, symbols_a + symbols_b)
+        )
+        ticket += 1
+    return lengths
+
+
+def canonical_codes(lengths: list[int]) -> list[int]:
+    """Canonical code per symbol (0 where length is 0).
+
+    Codes are assigned in (length, symbol) order, the standard
+    DEFLATE-style construction, so the decoder can rebuild them from
+    lengths alone.
+    """
+    coded = sorted(
+        (length, symbol)
+        for symbol, length in enumerate(lengths)
+        if length > 0
+    )
+    codes = [0] * len(lengths)
+    code = 0
+    previous_length = 0
+    for length, symbol in coded:
+        code <<= length - previous_length
+        codes[symbol] = code
+        code += 1
+        previous_length = length
+    return codes
+
+
+def distance_bucket(distance: int) -> tuple[int, int, int]:
+    """(bucket symbol, extra-bit value, extra-bit count) for a distance."""
+    if distance < 1:
+        raise ValueError(f"distance must be >= 1, got {distance}")
+    bucket = distance.bit_length() - 1
+    if bucket >= DIST_SYMBOLS:
+        raise ValueError(f"distance {distance} too large")
+    return bucket, distance - (1 << bucket), bucket
+
+
+class _BitWriter:
+    """MSB-first bit packer writing bytes into a traced output array."""
+
+    def __init__(self, output: TracedArray):
+        self._output = output
+        self._buffer = 0
+        self._bit_count = 0
+        self.position = 0
+
+    def write(self, code: int, bit_count: int) -> None:
+        if bit_count == 0:
+            return
+        self._buffer = (self._buffer << bit_count) | (
+            code & ((1 << bit_count) - 1)
+        )
+        self._bit_count += bit_count
+        while self._bit_count >= 8:
+            byte = (self._buffer >> (self._bit_count - 8)) & 0xFF
+            self._output[self.position] = byte  # traced write
+            self.position += 1
+            self._bit_count -= 8
+            self._buffer &= (1 << self._bit_count) - 1
+
+    def flush(self) -> None:
+        if self._bit_count:
+            self.write(0, 8 - self._bit_count)
+
+
+class GzipLikeCompressor(Workload):
+    """LZ77 + Huffman compressor over synthetic text-like input.
+
+    Args:
+        input_bytes: Uncompressed input size.
+        window_bits: log2 of the sliding-window/chain size.
+        hash_bits: log2 of the hash-head table size.
+        max_chain: Maximum chain positions examined per match attempt.
+        name: Workload/job name (Figure 5 runs jobs "gzipA/B/C").
+        seed: Input-generation seed (different per job).
+    """
+
+    def __init__(
+        self,
+        input_bytes: int = 4096,
+        window_bits: int = 11,
+        hash_bits: int = 10,
+        max_chain: int = 8,
+        name: str = "gzip",
+        seed: int = 0,
+        **kwargs,
+    ):
+        super().__init__(name=name, seed=seed, **kwargs)
+        self.input_bytes = input_bytes
+        self.window_size = 1 << window_bits
+        self.window_mask = self.window_size - 1
+        self.hash_size = 1 << hash_bits
+        self.hash_mask = self.hash_size - 1
+        self.max_chain = max_chain
+
+        data = self._generate_input(input_bytes)
+        self.input = self.array(
+            "input", input_bytes, element_size=1, dtype=np.uint8, initial=data
+        )
+        self.head = self.array(
+            "head", self.hash_size, element_size=4, dtype=np.int64,
+            initial=np.zeros(self.hash_size),
+        )
+        self.prev = self.array(
+            "prev", self.window_size, element_size=4, dtype=np.int64,
+            initial=np.zeros(self.window_size),
+        )
+        self.freq_lit = self.array(
+            "freq_lit", LIT_SYMBOLS, element_size=4, dtype=np.int64
+        )
+        self.freq_dist = self.array(
+            "freq_dist", DIST_SYMBOLS, element_size=4, dtype=np.int64
+        )
+        self.code_lit = self.array(
+            "code_lit", LIT_SYMBOLS, element_size=4, dtype=np.int64
+        )
+        self.code_dist = self.array(
+            "code_dist", DIST_SYMBOLS, element_size=4, dtype=np.int64
+        )
+        self.output = self.array(
+            "output",
+            2 * input_bytes + LIT_SYMBOLS + DIST_SYMBOLS + 16,
+            element_size=1,
+            dtype=np.uint8,
+        )
+
+    # ------------------------------------------------------------------
+    def _generate_input(self, size: int) -> np.ndarray:
+        """Text-like bytes: random words from a small vocabulary."""
+        vocabulary = [
+            b"the", b"embedded", b"cache", b"column", b"memory", b"stream",
+            b"scratchpad", b"partition", b"processor", b"data", b"realtime",
+            b"latency", b"decode", b"filter", b"buffer", b"signal",
+        ]
+        pieces: list[bytes] = []
+        total = 0
+        while total < size:
+            word = vocabulary[int(self.rng.integers(0, len(vocabulary)))]
+            pieces.append(word + b" ")
+            total += len(word) + 1
+        text = b"".join(pieces)[:size]
+        return np.frombuffer(text, dtype=np.uint8).copy()
+
+    def _hash3(self, position: int, current_hash: int) -> int:
+        """Roll the 3-byte hash forward to cover [position, position+2].
+
+        One *traced* read of the new lookahead byte, like gzip's
+        UPDATE_HASH: earlier bytes are already in registers.
+        """
+        byte = self.input[position + MIN_MATCH - 1]
+        self.work(2)  # shift + xor
+        return ((current_hash << 5) ^ int(byte)) & self.hash_mask
+
+    def _insert(self, position: int, current_hash: int) -> int:
+        """Insert ``position`` into the hash chain; returns old head - 1."""
+        old = self.head[current_hash]
+        self.prev[position & self.window_mask] = old
+        self.head[current_hash] = position + 1
+        self.work(1)
+        return int(old) - 1
+
+    def _match_length(self, candidate: int, position: int) -> int:
+        """Compare forward from candidate/position (traced reads)."""
+        length = 0
+        limit = min(MAX_MATCH, self.input_bytes - position)
+        while length < limit:
+            self.work(2)  # compare + branch
+            if self.input[candidate + length] != self.input[position + length]:
+                break
+            length += 1
+        return length
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        tokens = self._lz_phase()
+        lens_lit, lens_dist = self._huffman_phase()
+        compressed_size = self._encode_phase(tokens, lens_lit, lens_dist)
+        self.outputs["compressed"] = self.output.snapshot()[:compressed_size]
+        self.outputs["original"] = self.input.snapshot()
+        self.outputs["token_count"] = np.array([len(tokens)])
+
+    def _lz_phase(self) -> list[tuple]:
+        """Tokenize the input: ('lit', byte) / ('match', length, dist)."""
+        self.begin_phase("lz")
+        tokens: list[tuple] = []
+        n = self.input_bytes
+        current_hash = 0
+        # Warm the rolling hash over the first two bytes.
+        for position in range(min(MIN_MATCH - 1, n)):
+            byte = self.input[position]
+            current_hash = ((current_hash << 5) ^ int(byte)) & self.hash_mask
+            self.work(2)
+        position = 0
+        while position < n:
+            if position + MIN_MATCH <= n:
+                current_hash = self._hash3(position, current_hash)
+                candidate = self._insert(position, current_hash)
+            else:
+                candidate = -1
+            best_length = 0
+            best_distance = 0
+            chain = 0
+            while (
+                candidate >= 0
+                and position - candidate <= self.window_size
+                and candidate < position
+                and chain < self.max_chain
+            ):
+                length = self._match_length(candidate, position)
+                if length > best_length:
+                    best_length = length
+                    best_distance = position - candidate
+                if length >= MAX_MATCH:
+                    break
+                candidate = int(self.prev[candidate & self.window_mask]) - 1
+                chain += 1
+                self.work(2)
+            if best_length >= MIN_MATCH:
+                symbol = 257 + best_length - MIN_MATCH
+                self.freq_lit[symbol] = self.freq_lit[symbol] + 1
+                bucket, _, _ = distance_bucket(best_distance)
+                self.freq_dist[bucket] = self.freq_dist[bucket] + 1
+                tokens.append(("match", best_length, best_distance))
+                # Insert the skipped positions into the chains, as gzip
+                # does, so later matches can point into this region.
+                for skipped in range(position + 1, position + best_length):
+                    if skipped + MIN_MATCH <= n:
+                        current_hash = self._hash3(skipped, current_hash)
+                        self._insert(skipped, current_hash)
+                position += best_length
+            else:
+                literal = int(self.input[position])
+                self.freq_lit[literal] = self.freq_lit[literal] + 1
+                tokens.append(("lit", literal))
+                position += 1
+        self.freq_lit[END_SYMBOL] = self.freq_lit[END_SYMBOL] + 1
+        self.end_phase()
+        return tokens
+
+    def _huffman_phase(self) -> tuple[list[int], list[int]]:
+        """Build canonical code tables from the traced frequency arrays."""
+        self.begin_phase("huffman")
+        lit_frequencies = []
+        for symbol in range(LIT_SYMBOLS):
+            lit_frequencies.append(int(self.freq_lit[symbol]))
+            self.work(1)
+        dist_frequencies = []
+        for symbol in range(DIST_SYMBOLS):
+            dist_frequencies.append(int(self.freq_dist[symbol]))
+            self.work(1)
+        lens_lit = huffman_code_lengths(lit_frequencies)
+        lens_dist = huffman_code_lengths(dist_frequencies)
+        # Tree building is compute: charge ~4 instructions per symbol.
+        self.work(4 * (LIT_SYMBOLS + DIST_SYMBOLS))
+        codes_lit = canonical_codes(lens_lit)
+        codes_dist = canonical_codes(lens_dist)
+        for symbol in range(LIT_SYMBOLS):
+            self.code_lit[symbol] = (lens_lit[symbol] << 16) | codes_lit[symbol]
+        for symbol in range(DIST_SYMBOLS):
+            self.code_dist[symbol] = (
+                (lens_dist[symbol] << 16) | codes_dist[symbol]
+            )
+        self.end_phase()
+        return lens_lit, lens_dist
+
+    def _encode_phase(
+        self, tokens: list[tuple], lens_lit: list[int], lens_dist: list[int]
+    ) -> int:
+        """Emit header (code lengths) + Huffman bitstream; returns size."""
+        self.begin_phase("encode")
+        # Header: one length byte per symbol, so the stream is
+        # self-contained for the decoder.
+        writer = _BitWriter(self.output)
+        for length in lens_lit:
+            writer.write(length, 8)
+        for length in lens_dist:
+            writer.write(length, 8)
+
+        def emit_lit_symbol(symbol: int) -> None:
+            packed = int(self.code_lit[symbol])
+            self.work(2)
+            writer.write(packed & 0xFFFF, packed >> 16)
+
+        for token in tokens:
+            if token[0] == "lit":
+                emit_lit_symbol(token[1])
+            else:
+                _, length, distance = token
+                emit_lit_symbol(257 + length - MIN_MATCH)
+                bucket, extra_value, extra_bits = distance_bucket(distance)
+                packed = int(self.code_dist[bucket])
+                self.work(2)
+                writer.write(packed & 0xFFFF, packed >> 16)
+                writer.write(extra_value, extra_bits)
+        emit_lit_symbol(END_SYMBOL)
+        writer.flush()
+        self.end_phase()
+        return writer.position
+
+
+# ----------------------------------------------------------------------
+# Decoder (pure Python, untraced) for round-trip verification
+# ----------------------------------------------------------------------
+class _BitReader:
+    """MSB-first bit reader over a byte sequence."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._position = 0
+        self._buffer = 0
+        self._bit_count = 0
+
+    def read(self, bit_count: int) -> int:
+        while self._bit_count < bit_count:
+            if self._position >= len(self._data):
+                raise ValueError("bitstream exhausted")
+            self._buffer = (self._buffer << 8) | self._data[self._position]
+            self._position += 1
+            self._bit_count += 8
+        value = (self._buffer >> (self._bit_count - bit_count)) & (
+            (1 << bit_count) - 1
+        )
+        self._bit_count -= bit_count
+        self._buffer &= (1 << self._bit_count) - 1
+        return value
+
+
+def _decode_table(lengths: list[int]) -> dict[tuple[int, int], int]:
+    """(length, code) -> symbol map for canonical codes."""
+    codes = canonical_codes(lengths)
+    return {
+        (length, codes[symbol]): symbol
+        for symbol, length in enumerate(lengths)
+        if length > 0
+    }
+
+
+def decompress(compressed: bytes | np.ndarray) -> bytes:
+    """Decode a :class:`GzipLikeCompressor` bitstream back to the input."""
+    data = bytes(bytearray(compressed))
+    reader = _BitReader(data)
+    lens_lit = [reader.read(8) for _ in range(LIT_SYMBOLS)]
+    lens_dist = [reader.read(8) for _ in range(DIST_SYMBOLS)]
+    lit_table = _decode_table(lens_lit)
+    dist_table = _decode_table(lens_dist)
+
+    def read_symbol(table: dict[tuple[int, int], int]) -> int:
+        code = 0
+        length = 0
+        while True:
+            code = (code << 1) | reader.read(1)
+            length += 1
+            if (length, code) in table:
+                return table[(length, code)]
+            if length > 32:
+                raise ValueError("corrupt bitstream: code too long")
+
+    output = bytearray()
+    while True:
+        symbol = read_symbol(lit_table)
+        if symbol == END_SYMBOL:
+            break
+        if symbol < 256:
+            output.append(symbol)
+            continue
+        match_length = symbol - 257 + MIN_MATCH
+        bucket = read_symbol(dist_table)
+        extra = reader.read(bucket) if bucket > 0 else 0
+        distance = (1 << bucket) + extra if bucket > 0 else 1
+        start = len(output) - distance
+        if start < 0:
+            raise ValueError("corrupt bitstream: distance before start")
+        for offset in range(match_length):
+            output.append(output[start + offset])
+    return bytes(output)
+
+
+def make_gzip_job(
+    job: str,
+    input_bytes: int = 4096,
+    seed: Optional[int] = None,
+    **kwargs,
+) -> GzipLikeCompressor:
+    """A gzip job named ``gzip<job>`` with a per-job input seed."""
+    if seed is None:
+        seed = sum(ord(ch) for ch in job)
+    return GzipLikeCompressor(
+        input_bytes=input_bytes, name=f"gzip{job}", seed=seed, **kwargs
+    )

@@ -1,0 +1,146 @@
+"""Additional embedded kernels: FIR, matrix multiply, conv2d, histogram.
+
+These are not part of the paper's evaluation; they exercise the layout
+algorithm on other canonical locality mixes (long streams against small
+hot tables, blocked reuse, data-dependent scatter) in the examples,
+ablation benches and tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Workload
+
+
+class FIRFilter(Workload):
+    """Direct-form FIR: ``out[n] = sum_k taps[k] * signal[n - k]``.
+
+    A long input stream against a small, constantly re-read tap array —
+    the archetype where the tap array wants its own column (or
+    scratchpad) and the streams want the rest.
+    """
+
+    def __init__(self, signal_length: int = 1024, tap_count: int = 32,
+                 seed: int = 0, **kwargs):
+        super().__init__(name="fir", seed=seed, **kwargs)
+        self.signal_length = signal_length
+        self.tap_count = tap_count
+        self.signal = self.array(
+            "signal",
+            signal_length,
+            initial=self.rng.integers(-128, 128, signal_length),
+        )
+        self.taps = self.array(
+            "taps", tap_count, initial=self.rng.integers(-8, 8, tap_count)
+        )
+        self.output = self.array("output", signal_length)
+
+    def run(self) -> None:
+        self.begin_phase("fir")
+        for n in range(self.signal_length):
+            accumulator = 0
+            for k in range(min(self.tap_count, n + 1)):
+                accumulator += self.taps[k] * self.signal[n - k]
+                self.work(1)  # multiply-accumulate
+            self.output[n] = accumulator
+        self.end_phase()
+        self.outputs["output"] = self.output.snapshot()
+
+
+class MatrixMultiply(Workload):
+    """Square matrix multiply ``C = A x B`` (naive i-j-k order).
+
+    B is traversed column-wise, giving it the poor spatial locality
+    that makes the A-row/B-column conflict structure interesting.
+    """
+
+    def __init__(self, dimension: int = 16, seed: int = 0, **kwargs):
+        super().__init__(name="matmul", seed=seed, **kwargs)
+        self.dimension = dimension
+        count = dimension * dimension
+        self.matrix_a = self.array(
+            "matrix_a", count, initial=self.rng.integers(-8, 8, count)
+        )
+        self.matrix_b = self.array(
+            "matrix_b", count, initial=self.rng.integers(-8, 8, count)
+        )
+        self.matrix_c = self.array("matrix_c", count)
+
+    def run(self) -> None:
+        self.begin_phase("matmul")
+        n = self.dimension
+        for i in range(n):
+            for j in range(n):
+                accumulator = 0
+                for k in range(n):
+                    accumulator += (
+                        self.matrix_a[i * n + k] * self.matrix_b[k * n + j]
+                    )
+                    self.work(1)
+                self.matrix_c[i * n + j] = accumulator
+        self.end_phase()
+        self.outputs["matrix_c"] = self.matrix_c.snapshot()
+
+
+class Conv2D(Workload):
+    """3x3 convolution over a 2-D image (zero padding at the borders)."""
+
+    def __init__(self, width: int = 32, height: int = 32, seed: int = 0,
+                 **kwargs):
+        super().__init__(name="conv2d", seed=seed, **kwargs)
+        self.width = width
+        self.height = height
+        count = width * height
+        self.image = self.array(
+            "image", count, initial=self.rng.integers(0, 256, count)
+        )
+        self.kernel = self.array(
+            "kernel", 9, initial=self.rng.integers(-4, 5, 9)
+        )
+        self.result = self.array("result", count)
+
+    def run(self) -> None:
+        self.begin_phase("conv2d")
+        for y in range(self.height):
+            for x in range(self.width):
+                accumulator = 0
+                for dy in (-1, 0, 1):
+                    for dx in (-1, 0, 1):
+                        py, px = y + dy, x + dx
+                        self.work(2)  # bounds check
+                        if 0 <= py < self.height and 0 <= px < self.width:
+                            accumulator += (
+                                self.image[py * self.width + px]
+                                * self.kernel[(dy + 1) * 3 + (dx + 1)]
+                            )
+                            self.work(1)
+                self.result[y * self.width + x] = accumulator
+        self.end_phase()
+        self.outputs["result"] = self.result.snapshot()
+
+
+class Histogram(Workload):
+    """Bucket counting: data-dependent scatter into a small hot table."""
+
+    def __init__(self, sample_count: int = 2048, bin_count: int = 64,
+                 seed: int = 0, **kwargs):
+        super().__init__(name="histogram", seed=seed, **kwargs)
+        self.sample_count = sample_count
+        self.bin_count = bin_count
+        self.samples = self.array(
+            "samples",
+            sample_count,
+            initial=self.rng.integers(0, 256, sample_count),
+        )
+        self.bins = self.array("bins", bin_count, element_size=4)
+
+    def run(self) -> None:
+        self.begin_phase("histogram")
+        for index in range(self.sample_count):
+            value = self.samples[index]
+            bucket = int(value) * self.bin_count // 256
+            self.work(2)  # scale
+            self.bins[bucket] = self.bins[bucket] + 1
+        self.end_phase()
+        self.outputs["bins"] = self.bins.snapshot()

@@ -1,0 +1,300 @@
+"""MPEG decoder kernels: ``dequant``, ``plus`` and ``idct``.
+
+The paper's Section 4.1 embedded benchmark (following Panda et al.)
+consists of three routines of an MPEG decoder, each with its own data
+footprint relative to the 2 KB on-chip memory:
+
+* ``dequant`` — multiplies coefficient blocks by a quantization table;
+  its working set (coefficient blocks + 128-byte table) *fits* in 2 KB,
+  so the all-scratchpad extreme is optimal (cold misses avoided).
+* ``plus`` — adds a residual block to a predicted block with
+  saturation; also fits.
+* ``idct`` — a two-pass separable 8x8 inverse DCT whose frame-sized
+  structures *exceed* 2 KB, so it needs cache behaviour: each
+  coefficient is re-read 8 times per pass, which caching captures and a
+  too-small scratchpad cannot.
+
+All three compute real results: the IDCT is verified against the direct
+O(n^4) definition in the tests, ``plus`` saturates correctly, and
+``dequant`` is checked element-wise.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.workloads.base import Workload
+
+BLOCK_DIM = 8
+BLOCK_ELEMENTS = BLOCK_DIM * BLOCK_DIM
+
+
+def idct_cosine_table() -> np.ndarray:
+    """The 8x8 IDCT basis table ``costab[u*8+x] = c(u)/2 * cos((2x+1)u*pi/16)``.
+
+    With this table, ``out[x] = sum_u costab[u*8+x] * in[u]`` is the
+    standard JPEG/MPEG 1-D 8-point IDCT.
+    """
+    table = np.empty(BLOCK_ELEMENTS, dtype=np.float64)
+    for u in range(BLOCK_DIM):
+        scale = math.sqrt(0.5) if u == 0 else 1.0
+        for x in range(BLOCK_DIM):
+            table[u * BLOCK_DIM + x] = (
+                scale / 2.0 * math.cos((2 * x + 1) * u * math.pi / 16.0)
+            )
+    return table
+
+
+def reference_idct_2d(block: np.ndarray) -> np.ndarray:
+    """Direct-form O(n^4) 2-D IDCT of an 8x8 block (for verification)."""
+    if block.shape != (BLOCK_DIM, BLOCK_DIM):
+        raise ValueError(f"expected an 8x8 block, got {block.shape}")
+    out = np.zeros((BLOCK_DIM, BLOCK_DIM))
+    for y in range(BLOCK_DIM):
+        for x in range(BLOCK_DIM):
+            total = 0.0
+            for v in range(BLOCK_DIM):
+                for u in range(BLOCK_DIM):
+                    cu = math.sqrt(0.5) if u == 0 else 1.0
+                    cv = math.sqrt(0.5) if v == 0 else 1.0
+                    total += (
+                        cu * cv / 4.0 * block[v, u]
+                        * math.cos((2 * x + 1) * u * math.pi / 16.0)
+                        * math.cos((2 * y + 1) * v * math.pi / 16.0)
+                    )
+            out[y, x] = total
+    return out
+
+
+class DequantRoutine(Workload):
+    """Dequantization: ``coeffs[i] = coeffs[i] * qtable[i % 64] * scale``.
+
+    Data: ``coeffs`` (``blocks`` x 64 elements), ``qtable`` (64
+    elements), and the heavily-accessed scalar ``scale`` (the paper's
+    Step 1 explicitly tracks such scalars).  Default footprint with
+    2-byte elements: 12 * 128 + 128 + 2 = 1666 bytes — fits 2 KB.
+    """
+
+    def __init__(self, blocks: int = 12, seed: int = 0, **kwargs):
+        super().__init__(name="dequant", seed=seed, **kwargs)
+        self.blocks = blocks
+        self.coeffs = self.array(
+            "coeffs",
+            blocks * BLOCK_ELEMENTS,
+            initial=self.rng.integers(-128, 128, blocks * BLOCK_ELEMENTS),
+        )
+        self.qtable = self.array(
+            "qtable",
+            BLOCK_ELEMENTS,
+            initial=self.rng.integers(1, 32, BLOCK_ELEMENTS),
+        )
+        self.quant_scale = self.scalar("quant_scale", initial=2)
+
+    def run(self) -> None:
+        self.begin_phase("dequant")
+        for block in range(self.blocks):
+            scale = self.quant_scale.get()
+            base = block * BLOCK_ELEMENTS
+            for i in range(BLOCK_ELEMENTS):
+                self.work(2)  # index arithmetic
+                value = self.coeffs[base + i]
+                quant = self.qtable[i]
+                self.work(2)  # multiply + shift
+                self.coeffs[base + i] = (value * quant * scale) >> 1
+        self.end_phase()
+        self.outputs["coeffs"] = self.coeffs.snapshot()
+
+
+class PlusRoutine(Workload):
+    """Block addition with saturation: ``recon = clamp(pred + resid)``.
+
+    Data: three arrays of ``blocks`` x 64 elements.  Default footprint
+    with 2-byte elements: 3 * 4 * 128 = 1536 bytes — fits 2 KB.
+    """
+
+    def __init__(self, blocks: int = 4, seed: int = 0, **kwargs):
+        super().__init__(name="plus", seed=seed, **kwargs)
+        self.blocks = blocks
+        count = blocks * BLOCK_ELEMENTS
+        self.pred = self.array(
+            "pred", count, initial=self.rng.integers(0, 256, count)
+        )
+        self.resid = self.array(
+            "resid", count, initial=self.rng.integers(-64, 64, count)
+        )
+        self.recon = self.array("recon", count)
+
+    def run(self) -> None:
+        self.begin_phase("plus")
+        for i in range(self.blocks * BLOCK_ELEMENTS):
+            value = self.pred[i] + self.resid[i]
+            self.work(2)  # add + clamp
+            if value < 0:
+                value = 0
+            elif value > 255:
+                value = 255
+            self.recon[i] = value
+        self.end_phase()
+        self.outputs["recon"] = self.recon.snapshot()
+
+
+class IdctRoutine(Workload):
+    """Two-pass separable 8x8 IDCT over a frame of blocks.
+
+    The transform runs frame-at-a-time, the structure of a real decoder
+    inner loop: a row pass over every block writes the frame-sized
+    intermediate ``tmp``, then a column pass reads it back.  All arrays
+    hold 8-byte double-precision values: ``coeffs``, ``tmp`` and
+    ``pixels`` are ``blocks`` x 64 x 8 B (4 KB each at the default 8
+    blocks) and the ``costab`` basis table is 512 B.  The total far
+    exceeds 2 KB, which is exactly the paper's point for this routine:
+
+    * the all-scratchpad extreme leaves the big structures uncached —
+      catastrophic, because each element is re-read 8 times per pass;
+    * during each pass *two* big streams are concurrently live
+      (coeffs + tmp, then tmp + pixels), so one cache column thrashes
+      and additional columns keep helping.
+
+    The result is verified against :func:`reference_idct_2d`.
+    """
+
+    def __init__(self, blocks: int = 8, seed: int = 0, **kwargs):
+        kwargs.setdefault("element_size", 8)
+        super().__init__(name="idct", seed=seed, **kwargs)
+        self.blocks = blocks
+        count = blocks * BLOCK_ELEMENTS
+        self.coeffs = self.array(
+            "coeffs",
+            count,
+            dtype=np.float64,
+            initial=self.rng.integers(-64, 64, count).astype(np.float64),
+        )
+        self.pixels = self.array("pixels", count, dtype=np.float64)
+        self.costab = self.array(
+            "costab",
+            BLOCK_ELEMENTS,
+            dtype=np.float64,
+            initial=idct_cosine_table(),
+        )
+        self.tmp = self.array("tmp", count, dtype=np.float64)
+
+    def run(self) -> None:
+        self.begin_phase("idct")
+        # Row pass: tmp[b][r][x] = sum_u coeffs[b][r][u] * costab[u][x].
+        for block in range(self.blocks):
+            base = block * BLOCK_ELEMENTS
+            for r in range(BLOCK_DIM):
+                for x in range(BLOCK_DIM):
+                    total = 0.0
+                    for u in range(BLOCK_DIM):
+                        total += (
+                            self.coeffs[base + r * BLOCK_DIM + u]
+                            * self.costab[u * BLOCK_DIM + x]
+                        )
+                        self.work(1)  # multiply-accumulate
+                    self.tmp[base + r * BLOCK_DIM + x] = total
+        # Column pass: pixels[b][y][x] = sum_v tmp[b][v][x] * costab[v][y].
+        for block in range(self.blocks):
+            base = block * BLOCK_ELEMENTS
+            for y in range(BLOCK_DIM):
+                for x in range(BLOCK_DIM):
+                    total = 0.0
+                    for v in range(BLOCK_DIM):
+                        total += (
+                            self.tmp[base + v * BLOCK_DIM + x]
+                            * self.costab[v * BLOCK_DIM + y]
+                        )
+                        self.work(1)  # multiply-accumulate
+                    self.pixels[base + y * BLOCK_DIM + x] = total
+        self.end_phase()
+        self.outputs["pixels"] = self.pixels.snapshot()
+
+
+class MPEGDecodeApp(Workload):
+    """The combined decoder loop: dequant -> idct -> plus per frame.
+
+    Unlike the isolated routines above, the stages *share* arrays
+    (dequant writes the coefficients idct reads; idct writes the pixels
+    plus reads), which is what makes per-procedure dynamic remapping
+    (paper Section 3.2) interesting: the shared arrays' access patterns
+    change between phases.
+    """
+
+    def __init__(self, blocks: int = 8, frames: int = 2, seed: int = 0, **kwargs):
+        super().__init__(name="mpeg_app", seed=seed, **kwargs)
+        self.blocks = blocks
+        self.frames = frames
+        count = blocks * BLOCK_ELEMENTS
+        self.coeffs = self.array("coeffs", count, dtype=np.float64)
+        self.pixels = self.array("pixels", count, dtype=np.float64)
+        self.qtable = self.array(
+            "qtable",
+            BLOCK_ELEMENTS,
+            initial=self.rng.integers(1, 32, BLOCK_ELEMENTS),
+        )
+        self.costab = self.array(
+            "costab",
+            BLOCK_ELEMENTS,
+            element_size=8,
+            dtype=np.float64,
+            initial=idct_cosine_table(),
+        )
+        self.tmp = self.array("tmp", BLOCK_ELEMENTS, dtype=np.float64)
+        self.ref = self.array(
+            "ref", count, initial=self.rng.integers(0, 256, count)
+        )
+        self.recon = self.array("recon", count)
+        self._frame_inputs = [
+            self.rng.integers(-64, 64, count).astype(np.float64)
+            for _ in range(frames)
+        ]
+
+    def run(self) -> None:
+        count = self.blocks * BLOCK_ELEMENTS
+        for frame in range(self.frames):
+            self.coeffs.load_silent(self._frame_inputs[frame])
+
+            self.begin_phase("dequant")
+            for i in range(count):
+                self.work(2)
+                self.coeffs[i] = self.coeffs[i] * self.qtable[i % BLOCK_ELEMENTS]
+            self.end_phase()
+
+            self.begin_phase("idct")
+            for block in range(self.blocks):
+                base = block * BLOCK_ELEMENTS
+                for r in range(BLOCK_DIM):
+                    for x in range(BLOCK_DIM):
+                        total = 0.0
+                        for u in range(BLOCK_DIM):
+                            total += (
+                                self.coeffs[base + r * BLOCK_DIM + u]
+                                * self.costab[u * BLOCK_DIM + x]
+                            )
+                            self.work(1)
+                        self.tmp[r * BLOCK_DIM + x] = total
+                for y in range(BLOCK_DIM):
+                    for x in range(BLOCK_DIM):
+                        total = 0.0
+                        for v in range(BLOCK_DIM):
+                            total += (
+                                self.tmp[v * BLOCK_DIM + x]
+                                * self.costab[v * BLOCK_DIM + y]
+                            )
+                            self.work(1)
+                        self.pixels[base + y * BLOCK_DIM + x] = total
+            self.end_phase()
+
+            self.begin_phase("plus")
+            for i in range(count):
+                value = self.ref[i] + self.pixels[i]
+                self.work(2)
+                if value < 0:
+                    value = 0
+                elif value > 255:
+                    value = 255
+                self.recon[i] = int(value)
+            self.end_phase()
+        self.outputs["recon"] = self.recon.snapshot()

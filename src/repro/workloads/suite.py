@@ -1,0 +1,51 @@
+"""Workload registry: build any workload by name."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.workloads.base import Workload
+from repro.workloads.codecs import ADPCMEncoder, CRC32, IIRCascade
+from repro.workloads.gzip_like import GzipLikeCompressor
+from repro.workloads.kernels import Conv2D, FIRFilter, Histogram, MatrixMultiply
+from repro.workloads.mpeg import (
+    DequantRoutine,
+    IdctRoutine,
+    MPEGDecodeApp,
+    PlusRoutine,
+)
+
+_REGISTRY: dict[str, Callable[..., Workload]] = {
+    "dequant": DequantRoutine,
+    "plus": PlusRoutine,
+    "idct": IdctRoutine,
+    "mpeg_app": MPEGDecodeApp,
+    "gzip": GzipLikeCompressor,
+    "fir": FIRFilter,
+    "matmul": MatrixMultiply,
+    "conv2d": Conv2D,
+    "histogram": Histogram,
+    "crc32": CRC32,
+    "adpcm": ADPCMEncoder,
+    "iir": IIRCascade,
+}
+
+
+def available_workloads() -> list[str]:
+    """Names accepted by :func:`make_workload`."""
+    return sorted(_REGISTRY)
+
+
+def make_workload(name: str, **kwargs) -> Workload:
+    """Instantiate a workload by registry name.
+
+    >>> make_workload("histogram", sample_count=16).name
+    'histogram'
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; choose from {available_workloads()}"
+        ) from None
+    return factory(**kwargs)

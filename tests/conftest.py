@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.mem.layout import MemoryMap
+
+
+@pytest.fixture
+def small_geometry() -> CacheGeometry:
+    """A 2 KB, 4-column cache (the Figure 4 configuration)."""
+    return CacheGeometry(line_size=16, sets=32, columns=4)
+
+
+@pytest.fixture
+def tiny_geometry() -> CacheGeometry:
+    """A tiny cache for exhaustive checks: 4 sets x 2 columns x 16 B."""
+    return CacheGeometry(line_size=16, sets=4, columns=2)
+
+
+@pytest.fixture
+def memory_map() -> MemoryMap:
+    """A page-aligned memory map like the workloads use."""
+    return MemoryMap(base=0x10000, page_size=64, page_aligned=True)

@@ -1,0 +1,109 @@
+"""Tests for address ranges and page arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mem.address import (
+    AddressRange,
+    align_down,
+    align_up,
+    page_number,
+    page_offset,
+)
+
+
+class TestPageArithmetic:
+    def test_page_number(self):
+        assert page_number(0x1234, 256) == 0x12
+
+    def test_page_offset(self):
+        assert page_offset(0x1234, 256) == 0x34
+
+    def test_non_power_of_two_page_rejected(self):
+        with pytest.raises(ValueError):
+            page_number(0, 100)
+
+    def test_align_up_down(self):
+        assert align_up(0x101, 16) == 0x110
+        assert align_up(0x100, 16) == 0x100
+        assert align_down(0x10f, 16) == 0x100
+
+
+class TestAddressRange:
+    def test_end(self):
+        assert AddressRange(0x100, 0x20).end == 0x120
+
+    def test_contains_boundaries(self):
+        r = AddressRange(0x100, 0x20)
+        assert r.contains(0x100)
+        assert r.contains(0x11F)
+        assert not r.contains(0x120)
+
+    def test_contains_range(self):
+        outer = AddressRange(0, 100)
+        assert outer.contains_range(AddressRange(10, 50))
+        assert not outer.contains_range(AddressRange(60, 50))
+
+    def test_overlaps(self):
+        assert AddressRange(0, 16).overlaps(AddressRange(15, 1))
+        assert not AddressRange(0, 16).overlaps(AddressRange(16, 4))
+
+    def test_empty_range(self):
+        r = AddressRange(10, 0)
+        assert r.is_empty()
+        assert list(r.pages(64)) == []
+        assert list(r.lines(16)) == []
+
+    def test_pages_spanning(self):
+        r = AddressRange(0x30, 0x40)  # crosses the 0x40 page boundary
+        assert list(r.pages(64)) == [0, 1]
+
+    def test_lines_unaligned_start(self):
+        r = AddressRange(0x18, 0x10)  # touches lines 0x10 and 0x20
+        assert list(r.lines(16)) == [0x10, 0x20]
+
+    def test_line_count(self):
+        assert AddressRange(0x18, 0x10).line_count(16) == 2
+        assert AddressRange(0x10, 0x10).line_count(16) == 1
+        assert AddressRange(0x10, 0).line_count(16) == 0
+
+    def test_split_exact(self):
+        pieces = AddressRange(0, 100).split(40)
+        assert [(p.base, p.size) for p in pieces] == [
+            (0, 40), (40, 40), (80, 20),
+        ]
+
+    def test_split_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            AddressRange(0, 10).split(0)
+
+    def test_iter_len(self):
+        r = AddressRange(5, 3)
+        assert list(r) == [5, 6, 7]
+        assert len(r) == 3
+
+
+@given(
+    base=st.integers(0, 10_000),
+    size=st.integers(0, 2_000),
+    line=st.sampled_from([16, 32, 64]),
+)
+def test_line_count_matches_enumeration(base, size, line):
+    r = AddressRange(base, size)
+    assert r.line_count(line) == len(list(r.lines(line)))
+
+
+@given(
+    base=st.integers(0, 10_000),
+    size=st.integers(1, 2_000),
+    chunk=st.integers(1, 999),
+)
+def test_split_covers_range_exactly(base, size, chunk):
+    r = AddressRange(base, size)
+    pieces = r.split(chunk)
+    assert pieces[0].base == r.base
+    assert pieces[-1].end == r.end
+    for left, right in zip(pieces, pieces[1:]):
+        assert left.end == right.base
+    assert sum(p.size for p in pieces) == size

@@ -1,0 +1,90 @@
+"""Tests for per-variable cost attribution."""
+
+from repro.layout.algorithm import DataLayoutPlanner, LayoutConfig
+from repro.sim.config import TimingConfig
+from repro.sim.executor import TraceExecutor
+from repro.workloads.base import Workload
+from repro.workloads.mpeg import IdctRoutine
+
+TIMING = TimingConfig(miss_penalty=10, uncached_penalty=30)
+
+
+class _Mixed(Workload):
+    def __init__(self, **kwargs):
+        super().__init__(name="mixed", **kwargs)
+        self.hot = self.array("hot", 64)
+        self.stream = self.array("stream", 1024)
+
+    def run(self) -> None:
+        self.begin_phase("main")
+        for index in range(1024):
+            _ = self.stream[index]
+            _ = self.hot[index % 64]
+        self.end_phase()
+
+
+def plan(run, **kwargs):
+    return DataLayoutPlanner(
+        LayoutConfig(columns=4, column_bytes=512, **kwargs)
+    ).plan(run)
+
+
+class TestAttribution:
+    def test_totals_match_run(self):
+        run = _Mixed().record()
+        assignment = plan(run)
+        executor = TraceExecutor(TIMING)
+        result = executor.run(run.trace, assignment)
+        costs = executor.attribute(run.trace, assignment)
+        assert sum(c.accesses for c in costs.values()) == result.accesses
+        assert sum(c.misses for c in costs.values()) == result.misses
+        assert sum(c.stall_cycles for c in costs.values()) == (
+            result.cycles - result.instructions
+        )
+
+    def test_stream_carries_the_misses(self):
+        run = _Mixed().record()
+        assignment = plan(run)
+        costs = TraceExecutor(TIMING).attribute(run.trace, assignment)
+        stream_misses = sum(
+            cost.misses
+            for name, cost in costs.items()
+            if name.startswith("stream")
+        )
+        hot_misses = sum(
+            cost.misses
+            for name, cost in costs.items()
+            if name.startswith("hot")
+        )
+        assert stream_misses > hot_misses
+
+    def test_scratchpad_variable_has_no_stalls(self):
+        run = _Mixed().record()
+        assignment = plan(run, scratchpad_columns=1)
+        costs = TraceExecutor(TIMING).attribute(run.trace, assignment)
+        assert costs["hot"].misses == 0
+        assert costs["hot"].stall_cycles == 0
+        assert costs["hot"].accesses == 1024
+
+    def test_uncached_attribution(self):
+        run = IdctRoutine(blocks=2).record()
+        assignment = DataLayoutPlanner(
+            LayoutConfig(
+                columns=4, column_bytes=512, scratchpad_columns=4,
+                split_oversized=False,
+            )
+        ).plan(run)
+        executor = TraceExecutor(TIMING)
+        costs = executor.attribute(run.trace, assignment)
+        result = executor.run(run.trace, assignment)
+        assert sum(c.uncached for c in costs.values()) == (
+            result.uncached_accesses
+        )
+        assert costs["coeffs"].uncached > 0
+
+    def test_miss_rate(self):
+        from repro.sim.executor import AttributedCost
+
+        cost = AttributedCost(name="x", accesses=10, misses=4)
+        assert cost.miss_rate == 0.4
+        assert AttributedCost(name="y").miss_rate == 0.0

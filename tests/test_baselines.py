@@ -1,0 +1,165 @@
+"""Tests for the baseline architectures."""
+
+import pytest
+
+from repro.baselines.page_coloring import PageColoringBaseline
+from repro.baselines.panda import PandaBaseline
+from repro.baselines.static_partition import (
+    best_partition,
+    sweep_static_partitions,
+)
+from repro.cache.geometry import CacheGeometry
+from repro.sim.config import TimingConfig
+from repro.workloads.base import Workload
+from repro.workloads.mpeg import DequantRoutine
+
+TIMING = TimingConfig(miss_penalty=10, uncached_penalty=10)
+
+
+class _HotAndStream(Workload):
+    """A hot table fighting a large stream — classic conflict case."""
+
+    def __init__(self, **kwargs):
+        super().__init__(name="hot_and_stream", **kwargs)
+        self.table = self.array("table", 64)
+        self.stream = self.array("stream", 2048)
+
+    def run(self) -> None:
+        self.begin_phase("main")
+        for index in range(2048):
+            _ = self.stream[index]
+            _ = self.table[index % 64]
+        self.end_phase()
+
+
+class TestStaticPartitionSweep:
+    def test_sweep_covers_all_partitions(self):
+        run = DequantRoutine(blocks=4).record()
+        points = sweep_static_partitions(
+            run, columns=4, column_bytes=512, timing=TIMING
+        )
+        assert [p.cache_columns for p in points] == [0, 1, 2, 3, 4]
+        assert all(p.cycles > 0 for p in points)
+
+    def test_best_partition(self):
+        run = DequantRoutine(blocks=4).record()
+        points = sweep_static_partitions(
+            run, columns=4, column_bytes=512, timing=TIMING
+        )
+        best = best_partition(points)
+        assert best.cycles == min(p.cycles for p in points)
+
+    def test_best_of_empty_rejected(self):
+        with pytest.raises(ValueError):
+            best_partition([])
+
+
+class TestPandaBaseline:
+    def geometry(self):
+        return CacheGeometry(line_size=16, sets=16, columns=2)  # 512B
+
+    def test_plan_picks_dense_variables(self):
+        run = _HotAndStream().record()
+        baseline = PandaBaseline(
+            scratchpad_bytes=256, cache_geometry=self.geometry(),
+            timing=TIMING,
+        )
+        plan = baseline.plan(run)
+        assert "table" in plan.scratchpad_variables
+        assert "stream" not in plan.scratchpad_variables  # too big
+
+    def test_copy_cost_charged(self):
+        run = _HotAndStream().record()
+        baseline = PandaBaseline(
+            scratchpad_bytes=256, cache_geometry=self.geometry(),
+            timing=TIMING, copy_byte_cycles=2,
+        )
+        plan = baseline.plan(run)
+        result = baseline.run(run, plan)
+        assert result.setup_cycles == plan.scratchpad_bytes * 2
+
+    def test_scratchpad_improves_over_no_scratchpad(self):
+        run = _HotAndStream().record()
+        with_pad = PandaBaseline(
+            scratchpad_bytes=256, cache_geometry=self.geometry(),
+            timing=TIMING,
+        ).run(run)
+        without_pad = PandaBaseline(
+            scratchpad_bytes=1, cache_geometry=self.geometry(),
+            timing=TIMING,
+        ).run(run)
+        assert with_pad.cycles < without_pad.cycles
+
+    def test_accounting(self):
+        run = _HotAndStream().record()
+        result = PandaBaseline(
+            scratchpad_bytes=256, cache_geometry=self.geometry(),
+            timing=TIMING,
+        ).run(run)
+        assert result.accesses == len(run.trace)
+        assert (
+            result.scratchpad_accesses + result.cached_accesses
+            == result.accesses
+        )
+
+
+class TestPageColoring:
+    def geometry(self):
+        # Direct-mapped 1 KB: 64 sets x 16 B, 1 way.
+        return CacheGeometry(line_size=16, sets=64, columns=1)
+
+    def test_colors_count(self):
+        baseline = PageColoringBaseline(
+            self.geometry(), page_size=64, timing=TIMING
+        )
+        assert baseline.page_colors == 16
+
+    def test_page_size_larger_than_way_rejected(self):
+        with pytest.raises(ValueError, match="no colors"):
+            PageColoringBaseline(
+                CacheGeometry(line_size=16, sets=2, columns=1),
+                page_size=64,
+            )
+
+    def test_translation_preserves_offsets(self):
+        import numpy as np
+
+        run = _HotAndStream().record()
+        baseline = PageColoringBaseline(
+            self.geometry(), page_size=64, timing=TIMING
+        )
+        plan = baseline.plan(run)
+        physical = baseline.translate(run.trace.addresses, plan)
+        assert ((physical & 63) == (run.trace.addresses & 63)).all()
+
+    def test_distinct_variables_distinct_frames(self):
+        run = _HotAndStream().record()
+        baseline = PageColoringBaseline(
+            self.geometry(), page_size=64, timing=TIMING
+        )
+        plan = baseline.plan(run)
+        frames = list(plan.page_map.values())
+        assert len(frames) == len(set(frames))
+
+    def test_coloring_reduces_conflict_misses(self):
+        """On a direct-mapped cache, coloring the hot table away from
+        the stream removes the conflict misses."""
+        run = _HotAndStream().record()
+        baseline = PageColoringBaseline(
+            self.geometry(), page_size=64, timing=TIMING
+        )
+        colored = baseline.run(run)
+        uncolored = baseline.run_uncolored(run)
+        assert colored.misses < uncolored.misses
+
+    def test_initial_copies_charged_when_requested(self):
+        run = _HotAndStream().record()
+        baseline = PageColoringBaseline(
+            self.geometry(), page_size=64, timing=TIMING,
+            copy_byte_cycles=1,
+        )
+        plan = baseline.plan(run)
+        charged = baseline.run(run, plan, charge_initial_copies=True)
+        free = baseline.run(run, plan)
+        assert charged.setup_cycles > 0
+        assert free.setup_cycles == 0

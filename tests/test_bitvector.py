@@ -1,0 +1,158 @@
+"""Tests for column bit vectors."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitvector import ColumnMask
+
+
+class TestConstruction:
+    def test_of_sets_requested_columns(self):
+        mask = ColumnMask.of(0, 2, width=4)
+        assert mask.columns() == (0, 2)
+
+    def test_of_rejects_out_of_range_column(self):
+        with pytest.raises(ValueError, match="out of range"):
+            ColumnMask.of(4, width=4)
+
+    def test_of_rejects_negative_column(self):
+        with pytest.raises(ValueError, match="out of range"):
+            ColumnMask.of(-1, width=4)
+
+    def test_all_columns_is_full(self):
+        assert ColumnMask.all_columns(4).is_full()
+
+    def test_none_is_empty(self):
+        assert ColumnMask.none(4).is_empty()
+
+    def test_contiguous_range(self):
+        mask = ColumnMask.contiguous(1, 2, width=4)
+        assert mask.columns() == (1, 2)
+
+    def test_contiguous_zero_count_is_empty(self):
+        assert ColumnMask.contiguous(2, 0, width=4).is_empty()
+
+    def test_contiguous_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            ColumnMask.contiguous(3, 2, width=4)
+
+    def test_width_zero_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnMask(0, 0)
+
+    def test_bits_outside_width_rejected(self):
+        with pytest.raises(ValueError, match="outside width"):
+            ColumnMask(0b10000, 4)
+
+    def test_from_string_round_trip(self):
+        mask = ColumnMask.of(0, 3, width=4)
+        assert ColumnMask.from_string(mask.to_string()) == mask
+
+    def test_from_string_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            ColumnMask.from_string("1 0 2")
+
+    def test_from_columns_iterable(self):
+        assert ColumnMask.from_columns([1, 3], width=4).columns() == (1, 3)
+
+
+class TestSetAlgebra:
+    def test_union(self):
+        left = ColumnMask.of(0, width=4)
+        right = ColumnMask.of(3, width=4)
+        assert (left | right).columns() == (0, 3)
+
+    def test_intersection(self):
+        left = ColumnMask.of(0, 1, width=4)
+        right = ColumnMask.of(1, 2, width=4)
+        assert (left & right).columns() == (1,)
+
+    def test_difference(self):
+        left = ColumnMask.of(0, 1, width=4)
+        right = ColumnMask.of(1, width=4)
+        assert (left - right).columns() == (0,)
+
+    def test_complement(self):
+        mask = ColumnMask.of(1, width=4)
+        assert mask.complement().columns() == (0, 2, 3)
+
+    def test_overlaps(self):
+        assert ColumnMask.of(1, width=4).overlaps(ColumnMask.of(1, 2, width=4))
+        assert not ColumnMask.of(0, width=4).overlaps(ColumnMask.of(1, width=4))
+
+    def test_issubset(self):
+        assert ColumnMask.of(1, width=4).issubset(ColumnMask.of(1, 2, width=4))
+        assert not ColumnMask.of(0, 1, width=4).issubset(
+            ColumnMask.of(1, width=4)
+        )
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(ValueError, match="widths differ"):
+            ColumnMask.of(0, width=4).union(ColumnMask.of(0, width=8))
+
+    def test_with_and_without_column(self):
+        mask = ColumnMask.of(0, width=4).with_column(2)
+        assert mask.columns() == (0, 2)
+        assert mask.without_column(0).columns() == (2,)
+
+
+class TestAccessors:
+    def test_lowest(self):
+        assert ColumnMask.of(2, 3, width=4).lowest() == 2
+
+    def test_lowest_of_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            ColumnMask.none(4).lowest()
+
+    def test_count_and_len(self):
+        mask = ColumnMask.of(0, 1, 3, width=4)
+        assert mask.count() == 3
+        assert len(mask) == 3
+
+    def test_contains_and_in(self):
+        mask = ColumnMask.of(1, width=4)
+        assert mask.contains(1)
+        assert 1 in mask
+        assert 0 not in mask
+        assert "x" not in mask
+
+    def test_to_string_matches_paper_figure3_style(self):
+        assert ColumnMask.of(1, width=4).to_string() == "0 1 0 0"
+
+    def test_hash_and_equality(self):
+        assert ColumnMask.of(1, width=4) == ColumnMask.of(1, width=4)
+        assert hash(ColumnMask.of(1, width=4)) == hash(ColumnMask.of(1, width=4))
+        assert ColumnMask.of(1, width=4) != ColumnMask.of(1, width=8)
+
+    def test_iteration_order_is_ascending(self):
+        assert list(ColumnMask.of(3, 0, 2, width=5)) == [0, 2, 3]
+
+
+@given(bits=st.integers(min_value=0, max_value=255))
+def test_complement_is_involution(bits):
+    mask = ColumnMask(bits, 8)
+    assert mask.complement().complement() == mask
+
+
+@given(bits=st.integers(min_value=0, max_value=255))
+def test_union_with_complement_is_full(bits):
+    mask = ColumnMask(bits, 8)
+    assert (mask | mask.complement()).is_full()
+    assert (mask & mask.complement()).is_empty()
+
+
+@given(
+    first=st.integers(min_value=0, max_value=255),
+    second=st.integers(min_value=0, max_value=255),
+)
+def test_de_morgan(first, second):
+    a = ColumnMask(first, 8)
+    b = ColumnMask(second, 8)
+    assert (a | b).complement() == a.complement() & b.complement()
+
+
+@given(bits=st.integers(min_value=0, max_value=2**12 - 1))
+def test_columns_round_trip(bits):
+    mask = ColumnMask(bits, 12)
+    assert ColumnMask.from_columns(mask.columns(), 12) == mask

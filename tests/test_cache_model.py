@@ -1,0 +1,124 @@
+"""Model-based stateful testing of the column cache.
+
+A hypothesis rule machine drives the reference :class:`ColumnCache`
+with random accesses, remaps, invalidations and flushes while
+maintaining a simple oracle model (a dict of resident line -> column).
+After every step the cache must agree with the model on residency, and
+the structural invariants must hold:
+
+* a line's tag appears at most once per set;
+* every fill lands inside the access's mask;
+* occupancy never exceeds geometry bounds;
+* the tag-to-way index matches the tag array exactly.
+"""
+
+import hypothesis.strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.cache.column_cache import ColumnCache
+from repro.cache.geometry import CacheGeometry
+from repro.utils.bitvector import ColumnMask
+
+GEOMETRY = CacheGeometry(line_size=16, sets=4, columns=4)
+
+addresses = st.integers(0, 1023).map(lambda v: v * 16)
+masks = st.integers(1, 15).map(lambda bits: ColumnMask(bits, 4))
+
+
+class ColumnCacheMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.cache = ColumnCache(GEOMETRY)
+        # Oracle: line base address -> column it resides in.
+        self.resident: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+    @rule(address=addresses, mask=masks, is_write=st.booleans())
+    def access(self, address, mask, is_write):
+        line = GEOMETRY.line_address(address)
+        expected_hit = line in self.resident
+        result = self.cache.access(address, mask=mask, is_write=is_write)
+        assert result.hit == expected_hit
+        if result.hit:
+            assert result.column == self.resident[line]
+            return
+        assert result.filled
+        assert mask.contains(result.column)
+        if result.evicted_address is not None:
+            del self.resident[result.evicted_address]
+        self.resident[line] = result.column
+
+    @rule(address=addresses)
+    def access_empty_mask(self, address):
+        line = GEOMETRY.line_address(address)
+        expected_hit = line in self.resident
+        result = self.cache.access(address, mask=ColumnMask.none(4))
+        assert result.hit == expected_hit
+        if not result.hit:
+            assert result.bypassed
+            assert line not in self.resident
+
+    @rule(address=addresses)
+    def invalidate(self, address):
+        line = GEOMETRY.line_address(address)
+        was_resident = line in self.resident
+        assert self.cache.invalidate_address(address) == was_resident
+        self.resident.pop(line, None)
+
+    @rule(mask=masks)
+    def flush_columns(self, mask):
+        self.cache.flush_columns(mask)
+        self.resident = {
+            line: column
+            for line, column in self.resident.items()
+            if not mask.contains(column)
+        }
+
+    @rule()
+    def flush_all(self):
+        self.cache.flush()
+        self.resident.clear()
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    @invariant()
+    def residency_matches_model(self):
+        cache_lines = {
+            line.address: line.column
+            for line in self.cache.resident_lines()
+        }
+        assert cache_lines == self.resident
+
+    @invariant()
+    def occupancy_within_bounds(self):
+        occupancy = self.cache.occupancy()
+        assert len(occupancy) == GEOMETRY.columns
+        assert all(0 <= count <= GEOMETRY.sets for count in occupancy)
+        assert sum(occupancy) == len(self.resident)
+
+    @invariant()
+    def no_duplicate_tags_per_set(self):
+        for set_index in range(GEOMETRY.sets):
+            tags = [
+                line.tag
+                for line in self.cache.resident_lines()
+                if line.set_index == set_index
+            ]
+            assert len(tags) == len(set(tags))
+
+    @invariant()
+    def index_consistent_with_tags(self):
+        for line in self.cache.resident_lines():
+            found = self.cache.find_line(line.address)
+            assert found is not None
+            assert found.column == line.column
+
+
+TestColumnCacheModel = ColumnCacheMachine.TestCase

@@ -1,0 +1,65 @@
+"""Tests for the command-line tools."""
+
+import pytest
+
+from repro.trace.cli import main as trace_main
+from repro.trace.dinero import load_trace
+
+
+class TestTraceCLI:
+    def test_generate_and_stats(self, tmp_path, capsys):
+        out = tmp_path / "t.din"
+        code = trace_main(
+            ["generate", str(out), "--kind", "zipf", "--count", "500"]
+        )
+        assert code == 0
+        assert load_trace(out).access_count == 500
+        code = trace_main(["stats", str(out)])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "500 accesses" in captured
+        assert "zipf" in captured
+
+    @pytest.mark.parametrize(
+        "kind", ["sequential", "looped", "random", "pointer_chase"]
+    )
+    def test_all_generators(self, tmp_path, kind):
+        out = tmp_path / f"{kind}.din"
+        assert trace_main(
+            ["generate", str(out), "--kind", kind, "--count", "100"]
+        ) == 0
+        assert load_trace(out).access_count > 0
+
+    def test_simulate(self, tmp_path, capsys):
+        out = tmp_path / "t.din"
+        trace_main(
+            ["generate", str(out), "--kind", "looped", "--count", "400",
+             "--span", "512"]
+        )
+        code = trace_main(
+            ["simulate", str(out), "--size", "2048", "--columns", "4"]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "miss_rate" in captured
+
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            trace_main([])
+
+
+class TestExperimentsCLI:
+    def test_figure4_quick(self, capsys):
+        from repro.experiments.cli import main as experiments_main
+
+        code = experiments_main(["figure4", "--quick"])
+        captured = capsys.readouterr().out
+        assert code == 0, captured
+        assert "figure4-dequant" in captured
+        assert "all shape checks passed" in captured
+
+    def test_bad_target_rejected(self):
+        from repro.experiments.cli import main as experiments_main
+
+        with pytest.raises(SystemExit):
+            experiments_main(["figure9"])

@@ -1,0 +1,31 @@
+"""Run the doctest examples embedded in the library's docstrings."""
+
+import doctest
+import importlib
+
+import pytest
+
+MODULES_WITH_DOCTESTS = [
+    "repro.utils.bitvector",
+    "repro.utils.intervals",
+    "repro.utils.tables",
+    "repro.mem.address",
+    "repro.mem.layout",
+    "repro.mem.tint",
+    "repro.cache.geometry",
+    "repro.cache.replacement",
+    "repro.cache.fastsim",
+    "repro.cache.scratchpad",
+    "repro.trace.trace",
+    "repro.profiling.lifetime",
+    "repro.layout.partition",
+    "repro.workloads.suite",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES_WITH_DOCTESTS)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures"
+    assert results.attempted > 0, f"no doctests found in {module_name}"

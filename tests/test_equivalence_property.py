@@ -1,0 +1,77 @@
+"""Property test: fast and reference executors agree on random workloads.
+
+This is the strongest cross-validation in the suite: random variable
+sets, random interleaved traces, random scratchpad/cache splits — the
+vectorized fast path and the full TLB/tint/replacement mechanism must
+produce identical cycle counts and miss totals.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layout.algorithm import DataLayoutPlanner, LayoutConfig
+from repro.mem.layout import MemoryMap
+from repro.sim.config import TimingConfig
+from repro.sim.executor import TraceExecutor
+from repro.trace.trace import TraceBuilder
+from repro.workloads.base import WorkloadRun
+
+TIMING = TimingConfig(miss_penalty=13, uncached_penalty=29,
+                      preload_line_cycles=7)
+
+
+@st.composite
+def random_workload(draw):
+    """A random memory map + trace over 2-5 variables."""
+    variable_count = draw(st.integers(2, 5))
+    memory_map = MemoryMap(base=0x10000, page_size=64, page_aligned=True)
+    sizes = [
+        draw(st.sampled_from([32, 64, 128, 256, 640]))
+        for _ in range(variable_count)
+    ]
+    variables = [
+        memory_map.allocate_array(f"v{index}", size // 2)
+        for index, size in enumerate(sizes)
+    ]
+    length = draw(st.integers(10, 300))
+    seed = draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(seed)
+    builder = TraceBuilder(name="random")
+    for _ in range(length):
+        variable = variables[int(rng.integers(0, variable_count))]
+        index = int(rng.integers(0, variable.element_count))
+        builder.add_gap(int(rng.integers(0, 3)))
+        builder.append(
+            variable.address_of(index),
+            is_write=bool(rng.random() < 0.3),
+            variable=variable.name,
+        )
+    run = WorkloadRun(
+        name="random", trace=builder.build(), memory_map=memory_map
+    )
+    scratchpad = draw(st.integers(0, 4))
+    split = draw(st.booleans())
+    return run, scratchpad, split
+
+
+@given(workload=random_workload())
+@settings(max_examples=40, deadline=None)
+def test_fast_matches_reference_on_random_workloads(workload):
+    run, scratchpad, split = workload
+    config = LayoutConfig(
+        columns=4,
+        column_bytes=512,
+        scratchpad_columns=scratchpad,
+        split_oversized=split,
+    )
+    assignment = DataLayoutPlanner(config).plan(run)
+    executor = TraceExecutor(TIMING)
+    fast = executor.run(run.trace, assignment)
+    reference = executor.run_reference(run.trace, assignment)
+    assert fast.cycles == reference.cycles
+    assert fast.hits == reference.hits
+    assert fast.misses == reference.misses
+    assert fast.uncached_accesses == reference.uncached_accesses
+    assert fast.scratchpad_accesses == reference.scratchpad_accesses
+    assert fast.setup_cycles == reference.setup_cycles

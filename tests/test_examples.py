@@ -1,0 +1,53 @@
+"""Smoke tests: the example scripts run and print what they promise."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 180) -> str:
+    process = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert process.returncode == 0, process.stderr
+    return process.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "hot data after the stream: 32/32" in output
+        assert "pinned after 2000 competing accesses -> True" in output
+        assert "hit=True (no copy needed)" in output
+
+    def test_mpeg_partitioning(self):
+        output = run_example("mpeg_partitioning.py")
+        assert "dequant" in output and "idct" in output
+        assert "scratchpad" in output
+
+    def test_compiler_flow(self):
+        output = run_example("compiler_flow.py")
+        assert "static estimates" in output
+        assert "measured under the static plan" in output
+
+    def test_dynamic_remapping(self):
+        output = run_example("dynamic_remapping.py")
+        assert "static (one layout) vs dynamic" in output
+        assert "+32.7%" in output or "+" in output
+
+    def test_two_level_hierarchy(self):
+        output = run_example("two_level_hierarchy.py")
+        assert "per-level tints" in output
+        assert "98." in output or "99." in output or "100." in output
+
+    @pytest.mark.slow
+    def test_multitasking_predictability(self):
+        output = run_example("multitasking_predictability.py", timeout=300)
+        assert "predictable" in output

@@ -1,0 +1,146 @@
+"""Tests for the fast simulator, including equivalence with the
+reference column cache."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.column_cache import ColumnCache
+from repro.cache.fastsim import FastColumnCache, blocks_of, simulate_trace
+from repro.cache.geometry import CacheGeometry
+from repro.utils.bitvector import ColumnMask
+
+
+def geometry(sets=4, columns=4):
+    return CacheGeometry(line_size=16, sets=sets, columns=columns)
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        result = simulate_trace([0x100, 0x100], geometry())
+        assert result.hits == 1
+        assert result.misses == 1
+
+    def test_blocks_of(self):
+        blocks = blocks_of([0x10, 0x1F, 0x20], geometry())
+        assert list(blocks) == [1, 1, 2]
+
+    def test_empty_mask_bypasses(self):
+        result = simulate_trace(
+            [0x100, 0x100], geometry(), mask_bits=[0, 0]
+        )
+        assert result.bypasses == 2
+        assert result.misses == 2
+
+    def test_uniform_mask(self):
+        g = geometry(sets=1, columns=2)
+        cache = FastColumnCache(g)
+        blocks = blocks_of([0x00, 0x10, 0x20], g)
+        cache.run(blocks.tolist(), uniform_mask=0b01)
+        # Only one way permitted: only the last block survives.
+        assert cache.contains_block(2)
+        assert not cache.contains_block(0)
+
+    def test_both_mask_kinds_rejected(self):
+        cache = FastColumnCache(geometry())
+        with pytest.raises(ValueError, match="not both"):
+            cache.run([0], mask_bits=[1], uniform_mask=1)
+
+    def test_flush(self):
+        g = geometry()
+        cache = FastColumnCache(g)
+        cache.run(blocks_of([0x100], g).tolist())
+        cache.flush()
+        assert not cache.contains_block(0x100 >> 4)
+
+    def test_state_persists_across_runs(self):
+        g = geometry()
+        cache = FastColumnCache(g)
+        blocks = blocks_of([0x100, 0x100], g).tolist()
+        cache.run(blocks, start=0, stop=1)
+        second = cache.run(blocks, start=1, stop=2)
+        assert second.hits == 1
+
+    def test_cumulative_result(self):
+        g = geometry()
+        cache = FastColumnCache(g)
+        cache.run(blocks_of([0x100, 0x100, 0x200], g).tolist())
+        total = cache.result()
+        assert total.hits == 1
+        assert total.misses == 2
+        assert total.accesses == 3
+        assert total.miss_rate == pytest.approx(2 / 3)
+
+    def test_run_with_flags(self):
+        g = geometry()
+        cache = FastColumnCache(g)
+        flags = cache.run_with_flags(blocks_of([0x100, 0x100], g).tolist())
+        assert list(flags) == [False, True]
+
+
+@st.composite
+def masked_trace(draw):
+    length = draw(st.integers(1, 300))
+    addresses = draw(
+        st.lists(
+            st.integers(0, 2047), min_size=length, max_size=length
+        )
+    )
+    masks = draw(
+        st.lists(
+            st.integers(0, 15), min_size=length, max_size=length
+        )
+    )
+    return addresses, masks
+
+
+class TestEquivalenceWithReference:
+    @given(trace=masked_trace())
+    @settings(max_examples=60, deadline=None)
+    def test_masked_equivalence(self, trace):
+        """Property: the fast simulator and the reference column cache
+        agree access-for-access under arbitrary masks."""
+        addresses, masks = trace
+        g = geometry(sets=4, columns=4)
+        reference = ColumnCache(g, policy="lru")
+        fast = FastColumnCache(g)
+        blocks = blocks_of(addresses, g).tolist()
+        for position, (address, bits) in enumerate(zip(addresses, masks)):
+            expected = reference.access(
+                address, mask=ColumnMask(bits, 4)
+            )
+            before_hits = fast.hits
+            fast.run(blocks, mask_bits=masks, start=position,
+                     stop=position + 1)
+            got_hit = fast.hits > before_hits
+            assert got_hit == expected.hit
+
+    @given(
+        addresses=st.lists(st.integers(0, 4095), min_size=1, max_size=400),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_unmasked_totals_match(self, addresses):
+        g = geometry(sets=8, columns=2)
+        reference = ColumnCache(g, policy="lru")
+        for address in addresses:
+            reference.access(address)
+        fast_result = simulate_trace(addresses, g)
+        assert fast_result.hits == reference.stats.hits
+        assert fast_result.misses == reference.stats.misses
+
+    def test_residency_agrees(self):
+        g = geometry(sets=2, columns=2)
+        rng = np.random.default_rng(0)
+        addresses = rng.integers(0, 512, 200).tolist()
+        masks = rng.integers(1, 4, 200).tolist()
+        reference = ColumnCache(g)
+        fast = FastColumnCache(g)
+        blocks = blocks_of(addresses, g).tolist()
+        for position, address in enumerate(addresses):
+            reference.access(address, mask=ColumnMask(masks[position], 2))
+        fast.run(blocks, mask_bits=masks)
+        for address in set(addresses):
+            assert fast.contains_block(address >> 4) == reference.contains(
+                address
+            )

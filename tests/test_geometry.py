@@ -1,0 +1,74 @@
+"""Tests for cache geometry."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache.geometry import CacheGeometry
+
+
+class TestGeometry:
+    def test_figure4_configuration(self):
+        g = CacheGeometry(line_size=16, sets=32, columns=4)
+        assert g.total_bytes == 2048
+        assert g.column_bytes == 512
+        assert g.total_lines == 128
+
+    def test_from_sizes(self):
+        g = CacheGeometry.from_sizes(16 * 1024, line_size=16, columns=8)
+        assert g.sets == 128
+        assert g.total_bytes == 16 * 1024
+
+    def test_from_sizes_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            CacheGeometry.from_sizes(2048, line_size=16, columns=3)
+
+    def test_invalid_line_size(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(line_size=10, sets=4, columns=2)
+
+    def test_invalid_columns(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(line_size=16, sets=4, columns=0)
+
+    def test_columns_need_not_be_power_of_two(self):
+        g = CacheGeometry(line_size=16, sets=4, columns=3)
+        assert g.total_bytes == 192
+
+    def test_address_decomposition(self):
+        g = CacheGeometry(line_size=16, sets=32, columns=4)
+        address = 0x1234
+        assert g.line_address(address) == 0x1230
+        assert g.set_index(address) == (0x1234 >> 4) & 31
+        assert g.tag(address) == 0x1234 >> 9
+
+    def test_address_of_round_trip(self):
+        g = CacheGeometry(line_size=16, sets=32, columns=4)
+        address = 0xABC0
+        assert g.address_of(g.tag(address), g.set_index(address)) == address
+
+    def test_address_of_bad_set(self):
+        g = CacheGeometry(line_size=16, sets=4, columns=2)
+        with pytest.raises(ValueError):
+            g.address_of(0, 4)
+
+    def test_with_columns(self):
+        g = CacheGeometry(line_size=16, sets=32, columns=4)
+        assert g.with_columns(8).total_bytes == 4096
+
+    def test_block_number(self):
+        g = CacheGeometry(line_size=16, sets=4, columns=2)
+        assert g.block_number(0x45) == 4
+
+
+@given(
+    address=st.integers(0, 2**32 - 1),
+    line_bits=st.integers(4, 7),
+    set_bits=st.integers(1, 8),
+)
+def test_decomposition_reconstructs_line_address(address, line_bits, set_bits):
+    g = CacheGeometry(
+        line_size=1 << line_bits, sets=1 << set_bits, columns=2
+    )
+    rebuilt = g.address_of(g.tag(address), g.set_index(address))
+    assert rebuilt == g.line_address(address)

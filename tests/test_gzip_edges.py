@@ -1,0 +1,71 @@
+"""Edge-case tests for the gzip-like compressor."""
+
+import numpy as np
+
+from repro.workloads.gzip_like import (
+    GzipLikeCompressor,
+    decompress,
+)
+
+
+class _FixedInput(GzipLikeCompressor):
+    """Compressor with caller-supplied input bytes."""
+
+    def __init__(self, data: bytes, **kwargs):
+        self._fixed = np.frombuffer(data, dtype=np.uint8).copy()
+        super().__init__(input_bytes=len(data), **kwargs)
+
+    def _generate_input(self, size: int) -> np.ndarray:
+        return self._fixed
+
+
+class TestGzipEdgeCases:
+    def roundtrip(self, data: bytes, **kwargs) -> bytes:
+        run = _FixedInput(data, **kwargs).record()
+        return decompress(run.outputs["compressed"])
+
+    def test_incompressible_input(self):
+        rng = np.random.default_rng(0)
+        data = bytes(bytearray(rng.integers(0, 256, 512).astype(np.uint8)))
+        assert self.roundtrip(data) == data
+
+    def test_all_same_byte(self):
+        data = b"\x00" * 300
+        assert self.roundtrip(data) == data
+
+    def test_short_input(self):
+        data = b"ab"
+        assert self.roundtrip(data) == data
+
+    def test_single_byte(self):
+        assert self.roundtrip(b"x") == b"x"
+
+    def test_exact_repeat_at_max_match(self):
+        data = b"abcdefghijklmnopqr" * 8  # 18-byte period = MAX_MATCH
+        assert self.roundtrip(data) == data
+
+    def test_period_one_run_compresses_hard(self):
+        from repro.workloads.gzip_like import DIST_SYMBOLS, LIT_SYMBOLS
+
+        data = b"\x55" * 1024
+        run = _FixedInput(data).record()
+        header = LIT_SYMBOLS + DIST_SYMBOLS  # fixed code-length header
+        payload = len(run.outputs["compressed"]) - header
+        assert payload < len(data) // 8
+        assert decompress(run.outputs["compressed"]) == data
+
+    def test_binary_with_zero_bytes(self):
+        data = bytes(range(256)) + b"\x00" * 64 + bytes(range(256))
+        assert self.roundtrip(data) == data
+
+    def test_small_window_still_correct(self):
+        data = b"the cache the cache the cache " * 20
+        assert self.roundtrip(data, window_bits=6, hash_bits=5,
+                              max_chain=2) == data
+
+    def test_max_chain_zero_means_literals_only(self):
+        data = b"repeat repeat repeat"
+        run = _FixedInput(data, max_chain=0).record()
+        assert decompress(run.outputs["compressed"]) == data
+        # Every token is a literal: token count equals input length + end.
+        assert run.outputs["token_count"][0] == len(data)

@@ -1,0 +1,166 @@
+"""Tests for the two-level column-cached hierarchy."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.hierarchy import (
+    HierarchyTintTable,
+    LevelMasks,
+    TwoLevelCacheSystem,
+)
+from repro.utils.bitvector import ColumnMask
+
+
+def build(l2_hit=6, memory=40, writeback=2):
+    return TwoLevelCacheSystem(
+        l1_geometry=CacheGeometry(line_size=16, sets=4, columns=2),
+        l2_geometry=CacheGeometry(line_size=16, sets=16, columns=4),
+        l2_hit_cycles=l2_hit,
+        memory_cycles=memory,
+        writeback_cycles=writeback,
+    )
+
+
+class TestTiming:
+    def test_cold_miss_costs_full_path(self):
+        system = build()
+        outcome = system.access(0x1000)
+        assert outcome.level == "memory"
+        assert outcome.cycles == 1 + 6 + 40
+
+    def test_l1_hit(self):
+        system = build()
+        system.access(0x1000)
+        outcome = system.access(0x1000)
+        assert outcome.level == "l1"
+        assert outcome.cycles == 1
+
+    def test_l2_hit_after_l1_eviction(self):
+        system = build()
+        system.access(0x0)
+        # Evict from tiny L1 (2 ways x 4 sets): three same-set lines.
+        system.access(0x40)
+        system.access(0x80)
+        assert not system.l1.contains(0x0)
+        assert system.l2.contains(0x0)
+        outcome = system.access(0x0)
+        assert outcome.level == "l2"
+        assert outcome.cycles == 1 + 6
+
+    def test_cycle_accumulation(self):
+        system = build()
+        system.access(0x0)
+        system.access(0x0)
+        assert system.cycles == 47 + 1
+        assert system.memory_fetches == 1
+
+
+class TestWritebacks:
+    def test_dirty_l1_victim_lands_in_l2(self):
+        system = build()
+        system.access(0x0, is_write=True)
+        system.access(0x40)
+        system.access(0x80)  # evicts dirty 0x0 into L2
+        assert system.l2.contains(0x0)
+        line = system.l2.find_line(0x0)
+        assert line.dirty
+
+    def test_l2_dirty_eviction_counts_memory_writeback(self):
+        system = TwoLevelCacheSystem(
+            l1_geometry=CacheGeometry(line_size=16, sets=1, columns=1),
+            l2_geometry=CacheGeometry(line_size=16, sets=1, columns=1),
+            writeback_cycles=3,
+        )
+        system.access(0x0, is_write=True)
+        system.access(0x10, is_write=True)  # evicts 0x0 everywhere
+        system.access(0x20, is_write=True)
+        assert system.writebacks_to_memory >= 1
+
+
+class TestPerLevelMasks:
+    def test_masks_steer_both_levels(self):
+        system = build()
+        masks = LevelMasks(
+            l1=ColumnMask.of(1, width=2), l2=ColumnMask.of(3, width=4)
+        )
+        system.access(0x1000, masks=masks)
+        assert system.l1.find_line(0x1000).column == 1
+        assert system.l2.find_line(0x1000).column == 3
+
+    def test_l2_isolation_protects_working_set(self):
+        """A streaming tint confined to one L2 column cannot evict
+        another tint's L2-resident data."""
+        system = build()
+        hot = LevelMasks(
+            l1=ColumnMask.of(0, width=2),
+            l2=ColumnMask.of(0, 1, width=4),
+        )
+        stream = LevelMasks(
+            l1=ColumnMask.of(1, width=2),
+            l2=ColumnMask.of(3, width=4),
+        )
+        for line in range(8):
+            system.access(0x0 + line * 16, masks=hot)
+        for line in range(512):
+            system.access(0x100000 + line * 16, masks=stream)
+        for line in range(8):
+            assert system.l2.contains(0x0 + line * 16)
+
+    def test_empty_l2_mask_bypasses_l2(self):
+        system = build()
+        masks = LevelMasks(
+            l1=ColumnMask.of(0, width=2), l2=ColumnMask.none(4)
+        )
+        system.access(0x1000, masks=masks)
+        assert system.l1.contains(0x1000)
+        assert not system.l2.contains(0x1000)
+
+
+class TestHierarchyTints:
+    def test_default_tint_full_masks(self):
+        tints = HierarchyTintTable(l1_columns=2, l2_columns=4)
+        masks = tints.masks_of("red")
+        assert masks.l1.is_full() and masks.l2.is_full()
+
+    def test_define_and_remap(self):
+        tints = HierarchyTintTable(l1_columns=2, l2_columns=4)
+        tints.define(
+            "stream",
+            LevelMasks(l1=ColumnMask.of(1, width=2),
+                       l2=ColumnMask.of(3, width=4)),
+        )
+        tints.remap(
+            "stream",
+            LevelMasks(l1=ColumnMask.of(0, width=2),
+                       l2=ColumnMask.of(2, width=4)),
+        )
+        assert tints.masks_of("stream").l2.columns() == (2,)
+
+    def test_width_validation(self):
+        tints = HierarchyTintTable(l1_columns=2, l2_columns=4)
+        with pytest.raises(ValueError, match="L1 mask width"):
+            tints.define(
+                "bad", LevelMasks(l1=ColumnMask.of(0, width=4))
+            )
+
+    def test_duplicate_and_unknown(self):
+        tints = HierarchyTintTable(l1_columns=2, l2_columns=4)
+        with pytest.raises(ValueError):
+            tints.define("red", LevelMasks())
+        with pytest.raises(KeyError):
+            tints.masks_of("nope")
+
+
+class TestConstruction:
+    def test_l2_smaller_than_l1_rejected(self):
+        with pytest.raises(ValueError, match="at least as large"):
+            TwoLevelCacheSystem(
+                l1_geometry=CacheGeometry(line_size=16, sets=16, columns=4),
+                l2_geometry=CacheGeometry(line_size=16, sets=4, columns=2),
+            )
+
+    def test_flush(self):
+        system = build()
+        system.access(0x0)
+        system.flush()
+        assert system.contains(0x0) == (False, False)

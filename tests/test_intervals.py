@@ -1,0 +1,101 @@
+"""Tests for lifetime intervals."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.intervals import Interval, union_length
+
+
+class TestInterval:
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            Interval(5, 2)
+
+    def test_length(self):
+        assert Interval(2, 7).length == 5
+
+    def test_empty(self):
+        assert Interval(3, 3).is_empty()
+        assert not Interval(3, 4).is_empty()
+
+    def test_contains(self):
+        interval = Interval(2, 5)
+        assert interval.contains(2)
+        assert interval.contains(4)
+        assert not interval.contains(5)
+
+    def test_overlaps_touching_is_false(self):
+        assert not Interval(0, 5).overlaps(Interval(5, 10))
+
+    def test_overlaps_partial(self):
+        assert Interval(0, 6).overlaps(Interval(5, 10))
+
+    def test_intersection_disjoint_is_none(self):
+        assert Interval(0, 3).intersection(Interval(4, 8)) is None
+
+    def test_intersection_matches_paper_delta(self):
+        # delta = [MAX(first_i, first_j), MIN(last_i, last_j)]
+        assert Interval(2, 10).intersection(Interval(5, 20)) == Interval(5, 10)
+
+    def test_hull(self):
+        assert Interval(2, 4).hull(Interval(8, 9)) == Interval(2, 9)
+
+    def test_expanded_to(self):
+        assert Interval(5, 6).expanded_to(2) == Interval(2, 6)
+        assert Interval(5, 6).expanded_to(9) == Interval(5, 10)
+
+    def test_shifted(self):
+        assert Interval(1, 4).shifted(10) == Interval(11, 14)
+
+    def test_iter_and_len(self):
+        assert list(Interval(3, 6)) == [3, 4, 5]
+        assert len(Interval(3, 6)) == 3
+
+    def test_ordering(self):
+        assert Interval(1, 5) < Interval(2, 3)
+
+
+class TestUnionLength:
+    def test_empty_list(self):
+        assert union_length([]) == 0
+
+    def test_disjoint(self):
+        assert union_length([Interval(0, 3), Interval(5, 8)]) == 6
+
+    def test_overlapping(self):
+        assert union_length([Interval(0, 5), Interval(3, 8)]) == 8
+
+    def test_nested(self):
+        assert union_length([Interval(0, 10), Interval(2, 4)]) == 10
+
+    def test_empty_intervals_ignored(self):
+        assert union_length([Interval(3, 3), Interval(1, 2)]) == 1
+
+
+@given(
+    starts=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=100),
+            st.integers(min_value=0, max_value=30),
+        ),
+        max_size=10,
+    )
+)
+def test_union_length_matches_set_semantics(starts):
+    intervals = [Interval(a, a + n) for a, n in starts]
+    positions = set()
+    for interval in intervals:
+        positions.update(range(interval.start, interval.stop))
+    assert union_length(intervals) == len(positions)
+
+
+@given(
+    a=st.integers(0, 50), la=st.integers(0, 20),
+    b=st.integers(0, 50), lb=st.integers(0, 20),
+)
+def test_intersection_commutative(a, la, b, lb):
+    first = Interval(a, a + la)
+    second = Interval(b, b + lb)
+    assert first.intersection(second) == second.intersection(first)
+    assert first.overlaps(second) == second.overlaps(first)

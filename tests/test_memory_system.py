@@ -1,0 +1,111 @@
+"""Tests for the full reference memory system (TLB -> tint -> cache)."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.mem.page_table import PageTable
+from repro.mem.tint import DEFAULT_TINT, TintTable
+from repro.sim.config import TimingConfig
+from repro.sim.memory_system import MemorySystem
+from repro.utils.bitvector import ColumnMask
+
+TIMING = TimingConfig(
+    miss_penalty=10, uncached_penalty=30, preload_line_cycles=5,
+    tlb_miss_cycles=3,
+)
+
+
+def build(columns=4, page_size=64):
+    geometry = CacheGeometry(line_size=16, sets=32, columns=columns)
+    page_table = PageTable(page_size=page_size)
+    tint_table = TintTable(columns=columns)
+    system = MemorySystem(
+        geometry=geometry,
+        timing=TIMING,
+        page_table=page_table,
+        tint_table=tint_table,
+    )
+    return system, page_table, tint_table
+
+
+class TestAccessPath:
+    def test_default_tint_behaves_like_standard_cache(self):
+        system, _, _ = build()
+        miss = system.access(0x1000)
+        hit = system.access(0x1000)
+        assert not miss.hit and hit.hit
+        assert miss.cycles == 1 + TIMING.miss_penalty
+        assert hit.cycles == 1
+
+    def test_uncached_page_bypasses(self):
+        system, page_table, _ = build()
+        page_table.set_cached(0x1000 // 64, False)
+        outcome = system.access(0x1000)
+        assert outcome.bypassed and not outcome.cached
+        assert outcome.cycles == 1 + TIMING.uncached_penalty
+        assert not system.cache.contains(0x1000)
+
+    def test_tint_steers_replacement(self):
+        system, page_table, tint_table = build()
+        tint_table.define("blue", ColumnMask.of(2, width=4))
+        page_table.set_tint(0x1000 // 64, "blue")
+        system.access(0x1000)
+        assert system.cache.find_line(0x1000).column == 2
+
+    def test_tint_remap_takes_effect_without_page_table_traffic(self):
+        """The fast path of Figure 3: one tint-table write."""
+        system, page_table, tint_table = build()
+        tint_table.define("blue", ColumnMask.of(2, width=4))
+        page_table.set_tint(0x1000 // 64, "blue")
+        version_before = page_table.version
+        tint_table.remap("blue", ColumnMask.of(3, width=4))
+        assert page_table.version == version_before
+        system.access(0x1000)
+        assert system.cache.find_line(0x1000).column == 3
+
+    def test_stale_tlb_keeps_old_tint_until_flush(self):
+        """The slow path of Figure 3: re-tinting requires a flush."""
+        system, page_table, tint_table = build()
+        tint_table.define("blue", ColumnMask.of(1, width=4))
+        system.access(0x1000)  # TLB caches the default tint
+        page_table.set_tint(0x1000 // 64, "blue")
+        system.access(0x2000)  # unrelated
+        system.access(0x1040)  # same page: stale default tint served
+        assert system.tlb.lookup(0x1000).tint == DEFAULT_TINT
+        system.tlb.flush()
+        assert system.tlb.lookup(0x1000).tint == "blue"
+
+    def test_tlb_miss_cost_charged(self):
+        system, _, _ = build()
+        first = system.access_with_tlb_cost(0x1000)
+        second = system.access_with_tlb_cost(0x1004)
+        assert first.cycles == 1 + TIMING.miss_penalty + TIMING.tlb_miss_cycles
+        assert second.cycles == 1  # same page, same line
+
+    def test_preload_region(self):
+        system, page_table, tint_table = build()
+        tint_table.define("pad", ColumnMask.of(3, width=4))
+        for vpn in range(0x4000 // 64, 0x4200 // 64):
+            page_table.set_tint(vpn, "pad")
+        cycles = system.preload_region(0x4000, 512)
+        assert cycles == 32 * TIMING.preload_line_cycles
+        for line in range(0x4000, 0x4200, 16):
+            resident = system.cache.find_line(line)
+            assert resident is not None and resident.column == 3
+
+    def test_mismatched_tint_table_rejected(self):
+        geometry = CacheGeometry(line_size=16, sets=32, columns=4)
+        with pytest.raises(ValueError, match="column"):
+            MemorySystem(
+                geometry=geometry,
+                timing=TIMING,
+                page_table=PageTable(page_size=64),
+                tint_table=TintTable(columns=8),
+            )
+
+    def test_cycle_accumulation(self):
+        system, _, _ = build()
+        system.access(0x1000)
+        system.access(0x1000)
+        assert system.cycles == (1 + TIMING.miss_penalty) + 1
+        assert system.accesses == 2

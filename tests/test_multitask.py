@@ -1,0 +1,160 @@
+"""Tests for the round-robin multitasking simulator."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.sim.config import TimingConfig
+from repro.sim.multitask import Job, JobResult, MultitaskSimulator
+from repro.trace.generator import looped_working_set
+from repro.utils.bitvector import ColumnMask
+
+TIMING = TimingConfig(miss_penalty=10)
+
+
+def geometry(sets=16, columns=4):
+    return CacheGeometry(line_size=16, sets=sets, columns=columns)
+
+
+def hot_job(name, offset, working_set=256, passes=4):
+    trace = looped_working_set(
+        0, working_set_bytes=working_set, passes=passes, variable=name
+    )
+    return Job(name=name, trace=trace, address_offset=offset)
+
+
+class TestScheduling:
+    def test_instruction_budget_respected(self):
+        sim = MultitaskSimulator(
+            geometry(), [hot_job("a", 0), hot_job("b", 1 << 20)], TIMING
+        )
+        results = sim.run(quantum_instructions=16, total_instructions=400)
+        total = sum(r.instructions for r in results.values())
+        assert total >= 400
+        # Overshoot bounded by one quantum + one access.
+        assert total <= 400 + 16 + 1
+
+    def test_round_robin_fairness(self):
+        sim = MultitaskSimulator(
+            geometry(),
+            [hot_job("a", 0), hot_job("b", 1 << 20), hot_job("c", 2 << 20)],
+            TIMING,
+        )
+        results = sim.run(quantum_instructions=8, total_instructions=3000)
+        counts = [r.instructions for r in results.values()]
+        assert max(counts) - min(counts) <= 16
+
+    def test_quantum_one_switches_every_access(self):
+        sim = MultitaskSimulator(
+            geometry(), [hot_job("a", 0), hot_job("b", 1 << 20)], TIMING
+        )
+        results = sim.run(quantum_instructions=1, total_instructions=100)
+        for result in results.values():
+            assert result.quanta == result.accesses
+
+    def test_traces_wrap(self):
+        job = hot_job("a", 0, working_set=64, passes=1)  # 32 accesses
+        sim = MultitaskSimulator(geometry(), [job], TIMING)
+        results = sim.run(quantum_instructions=1000, total_instructions=200)
+        assert results["a"].wraps >= 5
+
+    def test_empty_trace_rejected(self):
+        from repro.trace.trace import Trace
+
+        with pytest.raises(ValueError, match="empty trace"):
+            MultitaskSimulator(
+                geometry(), [Job(name="a", trace=Trace.empty())], TIMING
+            )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            MultitaskSimulator(
+                geometry(), [hot_job("a", 0), hot_job("a", 1 << 20)], TIMING
+            )
+
+    def test_invalid_quantum(self):
+        sim = MultitaskSimulator(geometry(), [hot_job("a", 0)], TIMING)
+        with pytest.raises(ValueError):
+            sim.run(quantum_instructions=0, total_instructions=10)
+
+    def test_determinism(self):
+        def run_once():
+            sim = MultitaskSimulator(
+                geometry(), [hot_job("a", 0), hot_job("b", 1 << 20)], TIMING
+            )
+            return sim.run(quantum_instructions=4, total_instructions=500)
+
+        first = run_once()
+        second = run_once()
+        for name in first:
+            assert first[name].misses == second[name].misses
+            assert first[name].instructions == second[name].instructions
+
+
+class TestIsolation:
+    def test_mapped_job_immune_to_interference(self):
+        """The Figure 5 mechanism in miniature: job A's misses at small
+        quanta drop to its solo level once isolated in its own columns."""
+        size = geometry(sets=16, columns=4)  # 1 KB cache
+        # Job A fits its 2-column partition exactly; A + B exceed the
+        # whole cache, so the unmapped configuration must thrash.
+        def build_jobs(mapped):
+            job_a = hot_job("a", 0, working_set=512, passes=8)
+            job_b = hot_job("b", 1 << 20, working_set=768, passes=8)
+            if mapped:
+                job_a.mask = ColumnMask.of(0, 1, width=4)
+                job_b.mask = ColumnMask.of(2, 3, width=4)
+            return [job_a, job_b]
+
+        def misses(mapped):
+            sim = MultitaskSimulator(size, build_jobs(mapped), TIMING)
+            sim.warm_up(1)
+            results = sim.run(quantum_instructions=4,
+                              total_instructions=2000)
+            return results["a"].misses
+
+        assert misses(mapped=True) == 0  # working set fits 2 columns
+        assert misses(mapped=False) > 0  # thrashes against job b
+
+    def test_warm_up_resets_counters(self):
+        sim = MultitaskSimulator(geometry(), [hot_job("a", 0)], TIMING)
+        sim.warm_up(1)
+        results = sim.results()
+        assert results["a"].instructions == 0
+        assert results["a"].misses == 0
+
+    def test_warm_up_populates_cache(self):
+        job = hot_job("a", 0, working_set=128, passes=1)
+        sim = MultitaskSimulator(geometry(), [job], TIMING)
+        sim.warm_up(1)
+        results = sim.run(quantum_instructions=100,
+                          total_instructions=len(job.trace))
+        assert results["a"].misses == 0
+
+    def test_mask_width_validated(self):
+        job = hot_job("a", 0)
+        job.mask = ColumnMask.of(0, width=8)
+        with pytest.raises(ValueError, match="width"):
+            MultitaskSimulator(geometry(columns=4), [job], TIMING)
+
+
+class TestJobResult:
+    def test_cpi_formula(self):
+        result = JobResult(
+            name="a", instructions=100, accesses=50, hits=40, misses=10,
+        )
+        assert result.cpi(TIMING) == (100 + 10 * 10) / 100
+
+    def test_cpi_with_switch_cost(self):
+        timing = TimingConfig(miss_penalty=0, context_switch_cycles=5)
+        result = JobResult(
+            name="a", instructions=100, accesses=50, quanta=4,
+        )
+        assert result.cpi(timing) == (100 + 20) / 100
+
+    def test_zero_instructions(self):
+        assert JobResult(name="a").cpi(TIMING) == 0.0
+        assert JobResult(name="a").miss_rate == 0.0
+
+    def test_miss_rate(self):
+        result = JobResult(name="a", accesses=10, misses=3)
+        assert result.miss_rate == 0.3

@@ -1,0 +1,173 @@
+"""Tests for replacement policies under column restriction."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    PLRUPolicy,
+    RandomPolicy,
+    make_policy,
+    policy_names,
+)
+
+
+class TestFactory:
+    def test_names(self):
+        assert set(policy_names()) == {"lru", "fifo", "random", "plru"}
+
+    @pytest.mark.parametrize("name", ["lru", "fifo", "random", "plru"])
+    def test_make(self, name):
+        policy = make_policy(name, sets=4, ways=4)
+        assert policy.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown replacement"):
+            make_policy("mru", sets=4, ways=4)
+
+
+class TestLRU:
+    def test_victim_is_least_recently_used(self):
+        policy = LRUPolicy(sets=1, ways=4)
+        for way in range(4):
+            policy.on_fill(0, way)
+        policy.on_access(0, 0)  # 1 becomes LRU
+        assert policy.victim(0, (0, 1, 2, 3)) == 1
+
+    def test_restriction_respected(self):
+        policy = LRUPolicy(sets=1, ways=4)
+        for way in range(4):
+            policy.on_fill(0, way)
+        # Way 0 is globally LRU but excluded.
+        assert policy.victim(0, (2, 3)) == 2
+
+    def test_invalidate_makes_way_preferred(self):
+        policy = LRUPolicy(sets=1, ways=4)
+        for way in range(4):
+            policy.on_fill(0, way)
+        policy.on_invalidate(0, 3)
+        assert policy.victim(0, (0, 1, 2, 3)) == 3
+
+    def test_per_set_independence(self):
+        policy = LRUPolicy(sets=2, ways=2)
+        policy.on_fill(0, 0)
+        policy.on_fill(0, 1)
+        policy.on_fill(1, 1)
+        policy.on_fill(1, 0)
+        assert policy.victim(0, (0, 1)) == 0
+        assert policy.victim(1, (0, 1)) == 1
+
+    def test_reset(self):
+        policy = LRUPolicy(sets=1, ways=2)
+        policy.on_fill(0, 1)
+        policy.reset()
+        assert policy.victim(0, (0, 1)) == 0
+
+    def test_empty_candidates_rejected(self):
+        policy = LRUPolicy(sets=1, ways=2)
+        with pytest.raises(ValueError):
+            policy.victim(0, ())
+
+
+class TestFIFO:
+    def test_hits_do_not_refresh(self):
+        policy = FIFOPolicy(sets=1, ways=2)
+        policy.on_fill(0, 0)
+        policy.on_fill(0, 1)
+        policy.on_access(0, 0)  # FIFO ignores this
+        assert policy.victim(0, (0, 1)) == 0
+
+    def test_fill_order(self):
+        policy = FIFOPolicy(sets=1, ways=3)
+        policy.on_fill(0, 2)
+        policy.on_fill(0, 0)
+        policy.on_fill(0, 1)
+        assert policy.victim(0, (0, 1, 2)) == 2
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self):
+        first = RandomPolicy(sets=1, ways=4, seed=7)
+        second = RandomPolicy(sets=1, ways=4, seed=7)
+        picks_a = [first.victim(0, (0, 1, 2, 3)) for _ in range(20)]
+        picks_b = [second.victim(0, (0, 1, 2, 3)) for _ in range(20)]
+        assert picks_a == picks_b
+
+    def test_reset_restores_sequence(self):
+        policy = RandomPolicy(sets=1, ways=4, seed=3)
+        first = [policy.victim(0, (0, 1, 2, 3)) for _ in range(10)]
+        policy.reset()
+        second = [policy.victim(0, (0, 1, 2, 3)) for _ in range(10)]
+        assert first == second
+
+    def test_single_candidate(self):
+        policy = RandomPolicy(sets=1, ways=4, seed=0)
+        assert policy.victim(0, (2,)) == 2
+
+
+class TestPLRU:
+    def test_requires_power_of_two_ways(self):
+        with pytest.raises(ValueError, match="power-of-two"):
+            PLRUPolicy(sets=1, ways=3)
+
+    def test_initial_preference_is_way_zero(self):
+        policy = PLRUPolicy(sets=1, ways=4)
+        assert policy.victim(0, (0, 1, 2, 3)) == 0
+
+    def test_touch_steers_away(self):
+        policy = PLRUPolicy(sets=1, ways=4)
+        policy.on_access(0, 0)
+        # Tree now points away from way 0's half.
+        assert policy.victim(0, (0, 1, 2, 3)) in (2, 3)
+
+    def test_full_rotation(self):
+        """Touching the victim each time cycles through all ways."""
+        policy = PLRUPolicy(sets=1, ways=8)
+        seen = set()
+        for _ in range(8):
+            victim = policy.victim(0, tuple(range(8)))
+            seen.add(victim)
+            policy.on_fill(0, victim)
+        assert seen == set(range(8))
+
+    def test_restriction_respected(self):
+        policy = PLRUPolicy(sets=1, ways=4)
+        policy.on_access(0, 2)
+        policy.on_access(0, 3)
+        assert policy.victim(0, (2, 3)) in (2, 3)
+
+    def test_single_way_cache(self):
+        policy = PLRUPolicy(sets=2, ways=1)
+        policy.on_access(0, 0)
+        assert policy.victim(0, (0,)) == 0
+
+
+@given(
+    name=st.sampled_from(["lru", "fifo", "random", "plru"]),
+    events=st.lists(
+        st.tuples(
+            st.sampled_from(["fill", "access", "invalidate"]),
+            st.integers(0, 3),  # set
+            st.integers(0, 3),  # way
+        ),
+        max_size=60,
+    ),
+    candidate_bits=st.integers(1, 15),
+    set_index=st.integers(0, 3),
+)
+def test_victim_always_among_candidates(
+    name, events, candidate_bits, set_index
+):
+    """Core invariant: the victim is always a permitted way."""
+    policy = make_policy(name, sets=4, ways=4, seed=1)
+    for kind, s, w in events:
+        if kind == "fill":
+            policy.on_fill(s, w)
+        elif kind == "access":
+            policy.on_access(s, w)
+        else:
+            policy.on_invalidate(s, w)
+    candidates = tuple(w for w in range(4) if candidate_bits >> w & 1)
+    assert policy.victim(set_index, candidates) in candidates

@@ -1,0 +1,157 @@
+"""Tests for scratchpad models: dedicated SRAM and column emulation."""
+
+import pytest
+
+from repro.cache.column_cache import ColumnCache
+from repro.cache.geometry import CacheGeometry
+from repro.cache.scratchpad import ColumnScratchpad, ScratchpadMemory
+from repro.mem.address import AddressRange
+from repro.utils.bitvector import ColumnMask
+
+
+class TestScratchpadMemory:
+    def test_copy_in_and_access(self):
+        pad = ScratchpadMemory(capacity=1024)
+        pad.copy_in("a", AddressRange(0x1000, 128))
+        assert pad.access(0x1040)
+        assert not pad.access(0x2000)
+        assert pad.stats.accesses == 1
+
+    def test_capacity_enforced(self):
+        pad = ScratchpadMemory(capacity=100)
+        with pytest.raises(ValueError, match="does not fit"):
+            pad.copy_in("a", AddressRange(0, 128))
+
+    def test_overlap_rejected(self):
+        pad = ScratchpadMemory(capacity=1024)
+        pad.copy_in("a", AddressRange(0, 128))
+        with pytest.raises(ValueError, match="overlaps"):
+            pad.copy_in("b", AddressRange(64, 128))
+
+    def test_duplicate_name_rejected(self):
+        pad = ScratchpadMemory(capacity=1024)
+        pad.copy_in("a", AddressRange(0, 64))
+        with pytest.raises(ValueError, match="already"):
+            pad.copy_in("a", AddressRange(512, 64))
+
+    def test_copy_out_frees_space(self):
+        pad = ScratchpadMemory(capacity=128)
+        pad.copy_in("a", AddressRange(0, 128))
+        pad.copy_out("a")
+        assert pad.free_bytes == 128
+        pad.copy_in("b", AddressRange(512, 128))
+
+    def test_copy_out_unknown(self):
+        pad = ScratchpadMemory(capacity=128)
+        with pytest.raises(KeyError):
+            pad.copy_out("nope")
+
+    def test_copy_accounting(self):
+        pad = ScratchpadMemory(capacity=1024)
+        pad.copy_in("a", AddressRange(0, 128))
+        pad.copy_out("a")
+        assert pad.stats.bytes_copied_in == 128
+        assert pad.stats.bytes_copied_out == 128
+
+    def test_contains_operator(self):
+        pad = ScratchpadMemory(capacity=1024)
+        pad.copy_in("a", AddressRange(0x100, 16))
+        assert 0x100 in pad
+        assert 0x200 not in pad
+
+
+class TestColumnScratchpad:
+    def geometry(self):
+        return CacheGeometry(line_size=16, sets=32, columns=4)
+
+    def test_preload_pins_region(self):
+        cache = ColumnCache(self.geometry())
+        pad = ColumnScratchpad(
+            cache, AddressRange(0x4000, 512), ColumnMask.of(3, width=4)
+        )
+        assert pad.preload() == 32
+        assert pad.is_pinned()
+
+    def test_pinned_survives_competing_traffic(self):
+        """The core guarantee: no other mask overlaps the dedicated
+        column, so pinned lines are never evicted."""
+        cache = ColumnCache(self.geometry())
+        pad = ColumnScratchpad(
+            cache, AddressRange(0x4000, 512), ColumnMask.of(3, width=4)
+        )
+        pad.preload()
+        other = ColumnMask.of(0, 1, 2, width=4)
+        for block in range(1000):
+            cache.access(0x10000 + block * 16, mask=other)
+        assert pad.is_pinned()
+        # And accesses to the region always hit.
+        assert cache.access(0x4000, mask=ColumnMask.of(3, width=4)).hit
+
+    def test_overlapping_traffic_breaks_pinning(self):
+        """Negative control: traffic allowed into the dedicated column
+        does evict (misconfigured tints would do this)."""
+        cache = ColumnCache(self.geometry())
+        pad = ColumnScratchpad(
+            cache, AddressRange(0x4000, 512), ColumnMask.of(3, width=4)
+        )
+        pad.preload()
+        everything = ColumnMask.all_columns(4)
+        for block in range(1000):
+            cache.access(0x10000 + block * 16, mask=everything)
+        assert not pad.is_pinned()
+        assert pad.resident_line_count() < 32
+
+    def test_region_larger_than_columns_rejected(self):
+        cache = ColumnCache(self.geometry())
+        with pytest.raises(ValueError, match="exceeds"):
+            ColumnScratchpad(
+                cache, AddressRange(0x4000, 1024), ColumnMask.of(3, width=4)
+            )
+
+    def test_two_columns_double_capacity(self):
+        cache = ColumnCache(self.geometry())
+        pad = ColumnScratchpad(
+            cache,
+            AddressRange(0x4000, 1024),
+            ColumnMask.of(2, 3, width=4),
+        )
+        pad.preload()
+        assert pad.is_pinned()
+
+    def test_misaligned_region_rejected(self):
+        """A region that double-maps some set cannot be scratchpad.
+
+        512 bytes starting mid-line touch 33 lines, so one set receives
+        two of them — those two lines would evict each other.
+        """
+        cache = ColumnCache(self.geometry())
+        with pytest.raises(ValueError, match="one-to-one"):
+            ColumnScratchpad(
+                cache,
+                AddressRange(0x4008, 512),
+                ColumnMask.of(3, width=4),
+            )
+
+    def test_half_column_offset_region_accepted(self):
+        """A line-aligned 512-byte region at any line offset covers
+        each set exactly once (the mapping wraps) — still scratchpad."""
+        cache = ColumnCache(self.geometry())
+        pad = ColumnScratchpad(
+            cache, AddressRange(0x4100, 512), ColumnMask.of(3, width=4)
+        )
+        pad.preload()
+        assert pad.is_pinned()
+
+    def test_empty_mask_rejected(self):
+        cache = ColumnCache(self.geometry())
+        with pytest.raises(ValueError, match="at least one column"):
+            ColumnScratchpad(
+                cache, AddressRange(0x4000, 512), ColumnMask.none(4)
+            )
+
+    def test_mask_width_checked(self):
+        cache = ColumnCache(self.geometry())
+        with pytest.raises(ValueError, match="width"):
+            ColumnScratchpad(
+                cache, AddressRange(0x4000, 512), ColumnMask.of(1, width=8)
+            )

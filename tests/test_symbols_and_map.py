@@ -1,0 +1,153 @@
+"""Tests for variables, the symbol table and the memory map."""
+
+import pytest
+
+from repro.mem.address import AddressRange
+from repro.mem.layout import MemoryMap
+from repro.mem.symbols import SymbolTable, Variable, VariableKind
+
+
+class TestVariable:
+    def test_element_count(self):
+        v = Variable("a", AddressRange(0, 128), element_size=2)
+        assert v.element_count == 64
+
+    def test_size_must_be_multiple_of_element(self):
+        with pytest.raises(ValueError, match="multiple"):
+            Variable("a", AddressRange(0, 129), element_size=2)
+
+    def test_address_of(self):
+        v = Variable("a", AddressRange(0x100, 64), element_size=4)
+        assert v.address_of(0) == 0x100
+        assert v.address_of(3) == 0x10C
+
+    def test_address_of_out_of_range(self):
+        v = Variable("a", AddressRange(0, 8), element_size=4)
+        with pytest.raises(IndexError):
+            v.address_of(2)
+
+    def test_split_small_returns_self(self):
+        v = Variable("a", AddressRange(0, 64), element_size=2)
+        assert v.split(512) == [v]
+
+    def test_split_names_and_parent(self):
+        v = Variable("big", AddressRange(0, 1024), element_size=2)
+        pieces = v.split(512)
+        assert [p.name for p in pieces] == ["big#0", "big#1"]
+        assert all(p.parent == "big" for p in pieces)
+
+    def test_split_keeps_element_alignment(self):
+        v = Variable("a", AddressRange(0, 120), element_size=8)
+        pieces = v.split(100)  # chunk rounded down to 96
+        assert all(p.size % 8 == 0 for p in pieces)
+
+    def test_split_chunk_smaller_than_element_rejected(self):
+        v = Variable("a", AddressRange(0, 64), element_size=8)
+        with pytest.raises(ValueError):
+            v.split(4)
+
+
+class TestSymbolTable:
+    def test_add_and_get(self):
+        table = SymbolTable()
+        v = Variable("a", AddressRange(0, 16))
+        table.add(v)
+        assert table.get("a") is v
+        assert "a" in table
+
+    def test_duplicate_name_rejected(self):
+        table = SymbolTable()
+        table.add(Variable("a", AddressRange(0, 16)))
+        with pytest.raises(ValueError, match="duplicate"):
+            table.add(Variable("a", AddressRange(32, 16)))
+
+    def test_overlap_rejected(self):
+        table = SymbolTable()
+        table.add(Variable("a", AddressRange(0, 16)))
+        with pytest.raises(ValueError, match="overlaps"):
+            table.add(Variable("b", AddressRange(8, 16)))
+
+    def test_find_by_address(self):
+        table = SymbolTable()
+        table.add(Variable("a", AddressRange(0x100, 0x10)))
+        table.add(Variable("b", AddressRange(0x200, 0x10)))
+        assert table.find(0x105).name == "a"
+        assert table.find(0x200).name == "b"
+        assert table.find(0x150) is None
+        assert table.find(0) is None
+
+    def test_address_order_iteration(self):
+        table = SymbolTable()
+        table.add(Variable("late", AddressRange(0x200, 0x10)))
+        table.add(Variable("early", AddressRange(0x100, 0x10)))
+        assert table.names() == ["early", "late"]
+
+    def test_kind_filters(self):
+        table = SymbolTable()
+        table.add(Variable("arr", AddressRange(0, 16)))
+        table.add(
+            Variable("s", AddressRange(32, 2), kind=VariableKind.SCALAR)
+        )
+        assert [v.name for v in table.arrays()] == ["arr"]
+        assert [v.name for v in table.scalars()] == ["s"]
+
+    def test_total_bytes(self):
+        table = SymbolTable()
+        table.add(Variable("a", AddressRange(0, 16)))
+        table.add(Variable("b", AddressRange(64, 32)))
+        assert table.total_bytes() == 48
+
+
+class TestMemoryMap:
+    def test_bump_allocation(self):
+        mm = MemoryMap(base=0x1000, page_size=256)
+        a = mm.allocate("a", 10, element_size=2)
+        b = mm.allocate("b", 10, element_size=2)
+        assert a.base == 0x1000
+        assert b.base == a.range.end
+
+    def test_page_aligned_mode(self):
+        mm = MemoryMap(base=0x1000, page_size=256, page_aligned=True)
+        mm.allocate("a", 10, element_size=2)
+        b = mm.allocate("b", 10, element_size=2)
+        assert b.base % 256 == 0
+
+    def test_page_aligned_variables_share_no_page(self):
+        mm = MemoryMap(base=0x1000, page_size=64, page_aligned=True)
+        a = mm.allocate("a", 100, element_size=2)
+        b = mm.allocate("b", 100, element_size=2)
+        assert not mm.shares_page(a, b)
+
+    def test_unaligned_variables_can_share_page(self):
+        mm = MemoryMap(base=0x1000, page_size=256)
+        a = mm.allocate("a", 10, element_size=2)
+        b = mm.allocate("b", 10, element_size=2)
+        assert mm.shares_page(a, b)
+
+    def test_allocate_scalar(self):
+        mm = MemoryMap()
+        s = mm.allocate_scalar("s")
+        assert s.kind is VariableKind.SCALAR
+        assert s.element_count == 1
+
+    def test_allocate_array(self):
+        mm = MemoryMap()
+        a = mm.allocate_array("a", 64, element_size=4)
+        assert a.size == 256
+
+    def test_column_image_alignment(self):
+        mm = MemoryMap(base=0x1010, page_size=64)
+        img = mm.allocate_column_image("pad", 512)
+        assert img.base % 512 == 0
+        assert img.size == 512
+
+    def test_find(self):
+        mm = MemoryMap()
+        a = mm.allocate_array("a", 8)
+        assert mm.find(a.base + 2).name == "a"
+        assert mm.find(a.range.end) is None
+
+    def test_pages_of(self):
+        mm = MemoryMap(base=0, page_size=64)
+        a = mm.allocate("a", 130, element_size=2)
+        assert mm.pages_of(a) == [0, 1, 2]

@@ -1,0 +1,176 @@
+"""Tests for tints, the page table and the TLB — the Figure 3 semantics."""
+
+import pytest
+
+from repro.mem.page_table import PageTable
+from repro.mem.tint import DEFAULT_TINT, TintTable
+from repro.mem.tlb import TLB
+from repro.utils.bitvector import ColumnMask
+
+
+class TestTintTable:
+    def test_default_tint_is_all_columns(self):
+        tints = TintTable(columns=4)
+        assert tints.mask_of(DEFAULT_TINT).is_full()
+
+    def test_define_and_lookup(self):
+        tints = TintTable(columns=4)
+        tints.define("blue", ColumnMask.of(1, width=4))
+        assert tints.mask_of("blue").columns() == (1,)
+
+    def test_duplicate_define_rejected(self):
+        tints = TintTable(columns=4)
+        tints.define("blue", ColumnMask.of(1, width=4))
+        with pytest.raises(ValueError, match="already defined"):
+            tints.define("blue", ColumnMask.of(2, width=4))
+
+    def test_remap_is_fast_reconfiguration(self):
+        tints = TintTable(columns=4)
+        tints.define("blue", ColumnMask.of(1, width=4))
+        tints.remap("blue", ColumnMask.of(2, 3, width=4))
+        assert tints.mask_of("blue").columns() == (2, 3)
+        assert tints.remap_count == 1
+
+    def test_remap_unknown_raises(self):
+        tints = TintTable(columns=4)
+        with pytest.raises(KeyError):
+            tints.remap("nope", ColumnMask.none(4))
+
+    def test_wrong_width_rejected(self):
+        tints = TintTable(columns=4)
+        with pytest.raises(ValueError, match="width"):
+            tints.define("blue", ColumnMask.of(1, width=8))
+
+    def test_cannot_remove_default(self):
+        tints = TintTable(columns=4)
+        with pytest.raises(ValueError):
+            tints.remove(DEFAULT_TINT)
+
+    def test_figure3_scenario(self):
+        """The paper's Figure 3: give one page its own column."""
+        tints = TintTable(columns=4)
+        # Tint blue -> second column only.
+        tints.define("blue", ColumnMask.from_string("0 1 0 0"))
+        # Tint red loses the second column.
+        tints.remap(
+            DEFAULT_TINT, tints.mask_of(DEFAULT_TINT).without_column(1)
+        )
+        assert tints.mask_of(DEFAULT_TINT).to_string() == "1 0 1 1"
+        assert not tints.mask_of("blue").overlaps(tints.mask_of(DEFAULT_TINT))
+
+
+class TestPageTable:
+    def test_implicit_default_entry(self):
+        table = PageTable(page_size=64)
+        entry = table.entry(7)
+        assert entry.tint == DEFAULT_TINT
+        assert entry.cached
+
+    def test_set_tint(self):
+        table = PageTable(page_size=64)
+        table.set_tint(3, "blue")
+        assert table.entry(3).tint == "blue"
+        assert table.version == 1
+
+    def test_set_tint_range_cost_proportional_to_pages(self):
+        table = PageTable(page_size=64)
+        written = table.set_tint_range(range(10), "blue")
+        assert written == 10
+        assert table.version == 10
+
+    def test_set_cached(self):
+        table = PageTable(page_size=64)
+        table.set_cached(2, False)
+        assert not table.entry(2).cached
+
+    def test_entry_for_address(self):
+        table = PageTable(page_size=64)
+        table.set_tint(2, "blue")
+        assert table.entry_for_address(2 * 64 + 5).tint == "blue"
+
+    def test_tinted_pages(self):
+        table = PageTable(page_size=64)
+        table.set_tint(5, "blue")
+        table.set_tint(1, "blue")
+        table.set_tint(2, "green")
+        assert table.tinted_pages("blue") == [1, 5]
+
+
+class TestTLB:
+    def test_miss_then_hit(self):
+        table = PageTable(page_size=64)
+        tlb = TLB(page_table=table, capacity=4)
+        tlb.lookup(0x100)
+        tlb.lookup(0x104)
+        assert tlb.stats.misses == 1
+        assert tlb.stats.hits == 1
+
+    def test_lru_eviction(self):
+        table = PageTable(page_size=64)
+        tlb = TLB(page_table=table, capacity=2)
+        tlb.lookup(0 * 64)
+        tlb.lookup(1 * 64)
+        tlb.lookup(2 * 64)  # evicts page 0
+        assert tlb.peek(0) is None
+        assert tlb.peek(1) is not None
+
+    def test_lru_refresh_on_hit(self):
+        table = PageTable(page_size=64)
+        tlb = TLB(page_table=table, capacity=2)
+        tlb.lookup(0 * 64)
+        tlb.lookup(1 * 64)
+        tlb.lookup(0 * 64)  # refresh page 0
+        tlb.lookup(2 * 64)  # evicts page 1
+        assert tlb.peek(0) is not None
+        assert tlb.peek(1) is None
+
+    def test_retint_without_flush_leaves_stale_mapping(self):
+        """The Figure 3 hazard: TLB must be flushed after re-tinting."""
+        table = PageTable(page_size=64)
+        tlb = TLB(page_table=table, capacity=8)
+        tlb.lookup(0x100)
+        table.set_tint(0x100 // 64, "blue")
+        # The stale entry still reports the old tint.
+        assert tlb.lookup(0x100).tint == DEFAULT_TINT
+        assert not tlb.is_coherent()
+
+    def test_flush_restores_coherence(self):
+        table = PageTable(page_size=64)
+        tlb = TLB(page_table=table, capacity=8)
+        tlb.lookup(0x100)
+        table.set_tint(0x100 // 64, "blue")
+        tlb.flush()
+        assert tlb.lookup(0x100).tint == "blue"
+        assert tlb.is_coherent()
+        assert tlb.stats.flushes == 1
+
+    def test_update_page_in_place(self):
+        """The paper's "modified in place" alternative to flushing."""
+        table = PageTable(page_size=64)
+        tlb = TLB(page_table=table, capacity=8)
+        tlb.lookup(0x100)
+        vpn = 0x100 // 64
+        table.set_tint(vpn, "blue")
+        assert tlb.update_page(vpn)
+        assert tlb.lookup(0x100).tint == "blue"
+        assert tlb.stats.page_updates == 1
+
+    def test_update_absent_page_returns_false(self):
+        table = PageTable(page_size=64)
+        tlb = TLB(page_table=table, capacity=8)
+        assert not tlb.update_page(9)
+
+    def test_flush_page(self):
+        table = PageTable(page_size=64)
+        tlb = TLB(page_table=table, capacity=8)
+        tlb.lookup(0x100)
+        assert tlb.flush_page(0x100 // 64)
+        assert not tlb.flush_page(0x100 // 64)
+
+    def test_hit_rate(self):
+        table = PageTable(page_size=64)
+        tlb = TLB(page_table=table, capacity=8)
+        assert tlb.stats.hit_rate == 0.0
+        tlb.lookup(0)
+        tlb.lookup(0)
+        assert tlb.stats.hit_rate == 0.5

@@ -1,0 +1,87 @@
+"""Tests for validation helpers and table rendering."""
+
+import pytest
+
+from repro.utils.tables import format_series, format_table
+from repro.utils.validation import (
+    check_alignment,
+    check_non_negative,
+    check_positive,
+    check_power_of_two,
+    is_power_of_two,
+    log2_exact,
+)
+
+
+class TestValidation:
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(1024)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(-4)
+        assert not is_power_of_two(3)
+        assert not is_power_of_two(2.0)
+
+    def test_check_positive_accepts(self):
+        assert check_positive(3, "x") == 3
+
+    @pytest.mark.parametrize("value", [0, -1, 1.5, True, "2"])
+    def test_check_positive_rejects(self, value):
+        with pytest.raises(ValueError):
+            check_positive(value, "x")
+
+    def test_check_non_negative(self):
+        assert check_non_negative(0, "x") == 0
+        with pytest.raises(ValueError):
+            check_non_negative(-1, "x")
+
+    def test_check_power_of_two(self):
+        assert check_power_of_two(64, "x") == 64
+        with pytest.raises(ValueError, match="power of two"):
+            check_power_of_two(48, "x")
+
+    def test_check_alignment(self):
+        assert check_alignment(0x40, 16, "x") == 0x40
+        with pytest.raises(ValueError, match="aligned"):
+            check_alignment(0x41, 16, "x")
+
+    def test_log2_exact(self):
+        assert log2_exact(256) == 8
+        with pytest.raises(ValueError):
+            log2_exact(100)
+
+
+class TestTables:
+    def test_basic_render(self):
+        text = format_table(["name", "n"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert lines[0].split() == ["name", "n"]
+        assert lines[2].split() == ["a", "1"]
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[1.23456]], float_format=".2f")
+        assert "1.23" in text
+
+    def test_numeric_columns_right_aligned(self):
+        text = format_table(["n"], [[1], [100]])
+        lines = text.splitlines()
+        assert lines[2] == "  1"
+        assert lines[3] == "100"
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_title(self):
+        assert format_table(["a"], [[1]], title="T").startswith("T\n")
+
+    def test_bool_rendering(self):
+        assert "yes" in format_table(["a"], [[True]])
+
+    def test_series_render(self):
+        text = format_series("x", [1, 2], {"y": [10, 20]})
+        assert "x" in text and "y" in text and "20" in text
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError, match="points"):
+            format_series("x", [1, 2], {"y": [10]})
