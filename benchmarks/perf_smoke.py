@@ -1,0 +1,233 @@
+"""Sweep-engine performance smoke test and regression gate.
+
+Runs a Figure-5-shaped multitasking sweep twice — once through the
+scalar per-quantum simulator (the pre-engine baseline) and once
+through the sweep engine's batched lockstep hot path — then:
+
+* asserts the two produce identical CPIs (a perf path that changes
+  results is a bug, not a speedup);
+* writes ``BENCH_sweep.json`` (wall times, accesses/sec, speedup);
+* with ``--check``, fails if throughput regressed more than
+  ``tolerance`` (default 30%) against the checked-in baseline
+  ``benchmarks/perf_baseline.json`` or the batched/serial speedup
+  dropped below the baseline's floor.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py             # measure
+    PYTHONPATH=src python benchmarks/perf_smoke.py --check     # CI gate
+    PYTHONPATH=src python benchmarks/perf_smoke.py --full      # paper size
+    PYTHONPATH=src python benchmarks/perf_smoke.py --update-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.figure5 import (  # noqa: E402
+    Figure5Config,
+    _geometry,
+    _jobs,
+    _record_jobs,
+    run_figure5,
+)
+from repro.sim.engine.scheduler import SweepEngine  # noqa: E402
+from repro.sim.multitask import MultitaskSimulator  # noqa: E402
+
+BASELINE_PATH = Path(__file__).parent / "perf_baseline.json"
+OUTPUT_PATH = REPO_ROOT / "BENCH_sweep.json"
+
+
+def smoke_config(full: bool) -> Figure5Config:
+    """The sweep to measure: paper-sized, or a CI-sized miniature."""
+    if full:
+        return Figure5Config()
+    return Figure5Config(
+        quanta=tuple(4**k for k in range(0, 11, 2)),
+        input_bytes=1024,
+        budget_instructions=120_000,
+    )
+
+
+def run_serial(config: Figure5Config):
+    """The scalar per-quantum loop over every matrix point."""
+    runs = _record_jobs(
+        config.job_names,
+        config.input_bytes,
+        config.window_bits,
+        config.hash_bits,
+    )
+    curves = {}
+    total_accesses = 0
+    for cache_kb in config.cache_sizes_kb:
+        for mapped in (False, True):
+            geometry = _geometry(config, cache_kb)
+            jobs = _jobs(config, runs, mapped)
+            cpis = []
+            for quantum in config.quanta:
+                simulator = MultitaskSimulator(geometry, jobs, config.timing)
+                simulator.warm_up(config.warmup_passes)
+                results = simulator.run(
+                    quantum, config.budget_instructions
+                )
+                cpis.append(
+                    results[config.measured_job].cpi(config.timing)
+                )
+                total_accesses += sum(
+                    result.accesses for result in results.values()
+                )
+            suffix = " mapped" if mapped else ""
+            curves[f"gzip.{cache_kb}k{suffix}"] = cpis
+    return curves, total_accesses
+
+
+def measure(full: bool) -> dict:
+    """Time serial vs engine on the same sweep; verify equal CPIs."""
+    config = smoke_config(full)
+    # Record workload traces up front so neither side pays for it.
+    _record_jobs(
+        config.job_names,
+        config.input_bytes,
+        config.window_bits,
+        config.hash_bits,
+    )
+
+    start = time.perf_counter()
+    serial_curves, total_accesses = run_serial(config)
+    serial_seconds = time.perf_counter() - start
+
+    engine = SweepEngine(workers=1, backend="serial")
+    start = time.perf_counter()
+    series = run_figure5(config, engine)
+    engine_seconds = time.perf_counter() - start
+
+    for name, serial_cpis in serial_curves.items():
+        engine_cpis = series.series[name]
+        if engine_cpis != serial_cpis:
+            raise SystemExit(
+                f"PERF SMOKE FAILED: curve {name!r} differs between "
+                f"serial and engine paths:\n  serial {serial_cpis}\n"
+                f"  engine {engine_cpis}"
+            )
+
+    start = time.perf_counter()
+    run_figure5(config, engine)  # identical spec: served from cache
+    cached_seconds = time.perf_counter() - start
+
+    return {
+        "sweep": "figure5-matrix" + ("" if full else "-smoke"),
+        "full_size": full,
+        "points": len(config.quanta) * 2 * len(config.cache_sizes_kb),
+        "total_accesses": total_accesses,
+        "serial_seconds": round(serial_seconds, 3),
+        "engine_seconds": round(engine_seconds, 3),
+        "cached_seconds": round(cached_seconds, 3),
+        "speedup": round(serial_seconds / engine_seconds, 2),
+        "accesses_per_sec": int(total_accesses / engine_seconds),
+        "serial_accesses_per_sec": int(total_accesses / serial_seconds),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+
+
+def check(report: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Regression verdicts (empty = pass)."""
+    failures = []
+    floor = baseline["accesses_per_sec"] * (1.0 - tolerance)
+    if report["accesses_per_sec"] < floor:
+        failures.append(
+            f"throughput regressed: {report['accesses_per_sec']}/s < "
+            f"{floor:.0f}/s ({tolerance:.0%} below baseline "
+            f"{baseline['accesses_per_sec']}/s)"
+        )
+    if report["speedup"] < baseline["min_speedup"]:
+        failures.append(
+            f"batched/serial speedup {report['speedup']}x fell below "
+            f"the {baseline['min_speedup']}x floor"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-sized sweep (the committed BENCH_sweep.json numbers)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail on regression against the checked-in baseline",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite benchmarks/perf_baseline.json from this run",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional throughput drop (default 0.30)",
+    )
+    parser.add_argument(
+        "--output", default=str(OUTPUT_PATH), help="report path"
+    )
+    arguments = parser.parse_args(argv)
+
+    report = measure(arguments.full)
+    Path(arguments.output).write_text(
+        json.dumps(report, indent=2) + "\n", encoding="utf-8"
+    )
+    print(json.dumps(report, indent=2))
+    print(f"wrote {arguments.output}")
+
+    if arguments.update_baseline:
+        baseline = {
+            "sweep": report["sweep"],
+            # Headroom below the measuring machine so faster/slower CI
+            # hosts gate on real regressions, not hardware variance.
+            "accesses_per_sec": int(report["accesses_per_sec"] * 0.85),
+            "min_speedup": round(report["speedup"] * 0.7, 2),
+            "measured_on": {
+                "accesses_per_sec": report["accesses_per_sec"],
+                "speedup": report["speedup"],
+                "python": report["python"],
+                "machine": report["machine"],
+            },
+        }
+        BASELINE_PATH.write_text(
+            json.dumps(baseline, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"updated {BASELINE_PATH}")
+
+    if arguments.check:
+        if not BASELINE_PATH.exists():
+            print(f"no baseline at {BASELINE_PATH}; run with "
+                  "--update-baseline first", file=sys.stderr)
+            return 2
+        baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+        failures = check(report, baseline, arguments.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"perf gate passed: {report['accesses_per_sec']}/s "
+            f"(baseline {baseline['accesses_per_sec']}/s), speedup "
+            f"{report['speedup']}x (floor {baseline['min_speedup']}x)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

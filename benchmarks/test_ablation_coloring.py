@@ -9,6 +9,7 @@ the interesting one) and on the A1 stress workload.
 from repro.experiments.report import ExperimentSeries
 from repro.layout.algorithm import DataLayoutPlanner, LayoutConfig
 from repro.sim.config import EMBEDDED_TIMING
+from repro.sim.engine import SimJob, SweepEngine
 from repro.sim.executor import TraceExecutor
 from repro.workloads.mpeg import IdctRoutine
 
@@ -32,10 +33,19 @@ def test_coloring_strategy_ablation(benchmark, emit_table):
     """Exact coloring should dominate greedy and random on cycles."""
     run = IdctRoutine().record()
 
+    def point(strategy):
+        return run_strategy(run, strategy)
+
     def sweep():
-        return {
-            strategy: run_strategy(run, strategy)
+        engine = SweepEngine(workers=1, backend="serial")
+        jobs = [
+            SimJob(runner=point, params={"strategy": strategy},
+                   label=f"A2[{strategy}]")
             for strategy in STRATEGIES
+        ]
+        return {
+            outcome.job.params["strategy"]: outcome.value
+            for outcome in engine.run(jobs)
         }
 
     outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)

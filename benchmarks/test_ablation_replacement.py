@@ -16,6 +16,7 @@ bench documents:
 from repro.cache.column_cache import ColumnCache
 from repro.experiments.report import ExperimentSeries
 from repro.layout.algorithm import DataLayoutPlanner, LayoutConfig
+from repro.sim.engine import SimJob, SweepEngine
 from repro.sim.executor import TraceExecutor
 from repro.utils.bitvector import ColumnMask
 from repro.workloads.mpeg import IdctRoutine
@@ -63,13 +64,22 @@ def test_replacement_policy_ablation(benchmark, emit_table):
     ).plan(run)
     geometry = TraceExecutor.geometry_for(assignment)
 
+    def point(policy):
+        return (
+            masked_misses(run, assignment, policy),
+            unmasked_misses(run, geometry, policy),
+        )
+
     def sweep():
-        return {
-            policy: (
-                masked_misses(run, assignment, policy),
-                unmasked_misses(run, geometry, policy),
-            )
+        engine = SweepEngine(workers=1, backend="serial")
+        jobs = [
+            SimJob(runner=point, params={"policy": policy},
+                   label=f"A3[{policy}]")
             for policy in POLICIES
+        ]
+        return {
+            outcome.job.params["policy"]: outcome.value
+            for outcome in engine.run(jobs)
         }
 
     misses = benchmark.pedantic(sweep, rounds=1, iterations=1)

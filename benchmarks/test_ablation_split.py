@@ -14,6 +14,7 @@ this bench documents the difference.
 from repro.experiments.report import ExperimentSeries
 from repro.layout.algorithm import DataLayoutPlanner, LayoutConfig
 from repro.sim.config import EMBEDDED_TIMING
+from repro.sim.engine import SimJob, SweepEngine
 from repro.sim.executor import TraceExecutor
 from repro.workloads.mpeg import IdctRoutine
 
@@ -35,11 +36,26 @@ def test_split_vertex_ablation(benchmark, emit_table):
     run = IdctRoutine().record()
     sweep_points = [1, 2, 3, 4]
 
+    def point(mode, cache_columns):
+        return run_mode(run, mode == "split", cache_columns).cycles
+
     def sweep():
+        engine = SweepEngine(workers=1, backend="serial")
+        jobs = [
+            SimJob(
+                runner=point,
+                params={"mode": mode, "cache_columns": cache_columns},
+                label=f"A5[{mode},{cache_columns}]",
+            )
+            for mode in MODES
+            for cache_columns in sweep_points
+        ]
+        outcomes = engine.run(jobs)
         return {
             mode: [
-                run_mode(run, mode == "split", cache_columns).cycles
-                for cache_columns in sweep_points
+                outcome.value
+                for outcome in outcomes
+                if outcome.job.params["mode"] == mode
             ]
             for mode in MODES
         }

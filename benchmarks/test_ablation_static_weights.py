@@ -10,11 +10,11 @@ regularly-structured kernel.
 
 from repro.experiments.report import ExperimentSeries
 from repro.layout.algorithm import DataLayoutPlanner, LayoutConfig
-from repro.layout.partition import split_for_columns
 from repro.profiling.ir import SeqNode, access, compute, loop
 from repro.profiling.profiler import profile_trace
 from repro.profiling.static_analysis import analyze_program
 from repro.sim.config import EMBEDDED_TIMING
+from repro.sim.engine import SimJob, SweepEngine
 from repro.sim.executor import TraceExecutor
 from repro.workloads.kernels import FIRFilter
 
@@ -43,17 +43,25 @@ def test_static_vs_profile_weights(benchmark, emit_table):
     planner = DataLayoutPlanner(config)
     units = run.memory_map.symbols
 
-    def sweep():
-        measured_profile = profile_trace(run.trace, units, by_address=True)
-        static_profile = analyze_program(fir_ir(kernel), units)
-        assignments = {
-            "profile": planner.plan_from_profile(measured_profile, units),
-            "static": planner.plan_from_profile(static_profile, units),
-        }
+    def point(source):
+        if source == "profile":
+            profile = profile_trace(run.trace, units, by_address=True)
+        else:
+            profile = analyze_program(fir_ir(kernel), units)
+        assignment = planner.plan_from_profile(profile, units)
         executor = TraceExecutor(EMBEDDED_TIMING)
+        return executor.run(run.trace, assignment), assignment
+
+    def sweep():
+        engine = SweepEngine(workers=1, backend="serial")
+        jobs = [
+            SimJob(runner=point, params={"source": source},
+                   label=f"A4[{source}]")
+            for source in SOURCES
+        ]
         return {
-            source: (executor.run(run.trace, assignment), assignment)
-            for source, assignment in assignments.items()
+            outcome.job.params["source"]: outcome.value
+            for outcome in engine.run(jobs)
         }
 
     outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)

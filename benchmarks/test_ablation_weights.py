@@ -11,6 +11,7 @@ heuristic must decide which conflicts to eat.
 from repro.experiments.report import ExperimentSeries
 from repro.layout.algorithm import DataLayoutPlanner, LayoutConfig
 from repro.sim.config import EMBEDDED_TIMING
+from repro.sim.engine import SimJob, SweepEngine
 from repro.sim.executor import TraceExecutor
 from repro.workloads.base import Workload
 
@@ -56,9 +57,19 @@ def test_weight_metric_ablation(benchmark, emit_table):
     """MIN (the paper's metric) must not lose to SUM or unweighted."""
     run = StreamStress().record()
 
+    def point(metric):
+        return layout_cycles(run, metric)
+
     def sweep():
+        engine = SweepEngine(workers=1, backend="serial")
+        jobs = [
+            SimJob(runner=point, params={"metric": metric},
+                   label=f"A1[{metric}]")
+            for metric in METRICS
+        ]
         return {
-            metric: layout_cycles(run, metric) for metric in METRICS
+            outcome.job.params["metric"]: outcome.value
+            for outcome in engine.run(jobs)
         }
 
     outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)

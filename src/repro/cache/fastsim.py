@@ -167,28 +167,104 @@ class FastColumnCache:
     ) -> np.ndarray:
         """Like :meth:`run` but returns a per-access hit-flag array.
 
-        Slower than :meth:`run`; used for validation and per-variable
-        attribution, not for the big sweeps.
+        A direct single-pass twin of :meth:`run` (it used to
+        re-dispatch through ``run()`` one access at a time, paying the
+        whole per-call setup for every access); counters and cache
+        state advance exactly as one ``run()`` over the same slice
+        would, and ``flags.sum()`` equals that run's hit count.
         """
+        if mask_bits is not None and uniform_mask is not None:
+            raise ValueError("give either mask_bits or uniform_mask, not both")
         flags = np.zeros(len(blocks), dtype=bool)
+        sets_mask = self.sets - 1
+        index_bits = self.index_bits
+        ways = self.ways
+        last_use = self._last_use
+        tags = self._tags
+        tag_to_way = self._tag_to_way
+        mask_ways = self._mask_ways
+        clock = self._clock
+        hits = misses = bypasses = 0
+        fixed_candidates = mask_ways[
+            self.full_mask if uniform_mask is None else uniform_mask
+        ]
+
         for position in range(len(blocks)):
-            before = self.hits
+            block = blocks[position]
+            set_index = block & sets_mask
+            tag = block >> index_bits
+            ways_of_set = tag_to_way[set_index]
+            way = ways_of_set.get(tag)
+            clock += 1
+            if way is not None:
+                last_use[set_index * ways + way] = clock
+                hits += 1
+                flags[position] = True
+                continue
+            misses += 1
             if mask_bits is None:
-                self.run(
-                    blocks,
-                    uniform_mask=uniform_mask,
-                    start=position,
-                    stop=position + 1,
-                )
+                candidates = fixed_candidates
             else:
-                self.run(
-                    blocks,
-                    mask_bits=mask_bits,
-                    start=position,
-                    stop=position + 1,
-                )
-            flags[position] = self.hits > before
+                candidates = mask_ways[mask_bits[position]]
+            if not candidates:
+                bypasses += 1
+                continue
+            base = set_index * ways
+            victim = -1
+            best_time = 1 << 62
+            for candidate in candidates:
+                use_time = last_use[base + candidate]
+                if use_time < best_time:
+                    best_time = use_time
+                    victim = candidate
+            slot = base + victim
+            old_tag = tags[slot]
+            if old_tag is not None:
+                del ways_of_set[old_tag]
+            tags[slot] = tag
+            ways_of_set[tag] = victim
+            last_use[slot] = clock
+
+        self._clock = clock
+        self.hits += hits
+        self.misses += misses
+        self.bypasses += bypasses
         return flags
+
+    def run_chunked(
+        self,
+        blocks: np.ndarray,
+        mask_bits: Optional[np.ndarray] = None,
+        uniform_mask: Optional[int] = None,
+        chunk_size: int = 1 << 16,
+    ) -> FastSimResult:
+        """Stream a long numpy block trace through :meth:`run`.
+
+        Converts one bounded chunk at a time to Python lists (the
+        fastest representation for the scalar loop) instead of
+        materializing per-access Python objects for the whole trace —
+        the trace CLI's ``simulate`` command streams through this, so
+        dinero traces of any length run at a flat memory footprint.
+        Counts are identical to one big :meth:`run` call.
+        """
+        if mask_bits is not None and uniform_mask is not None:
+            raise ValueError("give either mask_bits or uniform_mask, not both")
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        total = len(blocks)
+        hits = misses = bypasses = 0
+        for start in range(0, total, chunk_size):
+            stop = min(start + chunk_size, total)
+            piece = np.asarray(blocks[start:stop]).tolist()
+            if mask_bits is not None:
+                masks = np.asarray(mask_bits[start:stop]).tolist()
+                outcome = self.run(piece, mask_bits=masks)
+            else:
+                outcome = self.run(piece, uniform_mask=uniform_mask)
+            hits += outcome.hits
+            misses += outcome.misses
+            bypasses += outcome.bypasses
+        return FastSimResult(hits=hits, misses=misses, bypasses=bypasses)
 
     def contains_block(self, block: int) -> bool:
         """True if the given block number is resident."""

@@ -4,7 +4,15 @@ Usage::
 
     python -m repro.experiments all
     python -m repro.experiments figure4 --quick
-    repro-experiments figure5
+    repro-experiments figure4 --workers 8 --cache-dir .sweep-cache
+
+Experiment sweeps are submitted through the sweep engine:
+``--workers`` fans independent points over a process pool (Figure 4's
+partition sweeps; Figure 5 instead runs as one batched matrix job —
+its speed comes from the lockstep kernel, not the pool) and
+``--cache-dir`` makes repeated runs incremental (points whose
+configuration is unchanged are served from the content-addressed
+result cache).
 """
 
 from __future__ import annotations
@@ -12,7 +20,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.experiments.figure4 import (
     Figure4Config,
@@ -29,9 +37,10 @@ from repro.experiments.figure5 import (
     run_figure5,
 )
 from repro.experiments.report import render_checks
+from repro.sim.engine.scheduler import SweepEngine
 
 
-def _run_figure4(quick: bool) -> bool:
+def _run_figure4(quick: bool, engine: SweepEngine) -> bool:
     config = Figure4Config().quick() if quick else Figure4Config()
     ok = True
     for routine, checker in (
@@ -40,7 +49,7 @@ def _run_figure4(quick: bool) -> bool:
         ("idct", check_figure4c),
     ):
         start = time.perf_counter()
-        series = run_figure4_routine(routine, config)
+        series = run_figure4_routine(routine, config, engine)
         elapsed = time.perf_counter() - start
         print(series.to_table())
         checks = checker(series)
@@ -48,7 +57,7 @@ def _run_figure4(quick: bool) -> bool:
         print(f"  ({elapsed:.1f}s)\n")
         ok = ok and all(check.passed for check in checks)
     start = time.perf_counter()
-    combined = run_figure4d(config)
+    combined = run_figure4d(config, engine)
     elapsed = time.perf_counter() - start
     print(combined.series.to_table())
     print(
@@ -63,16 +72,29 @@ def _run_figure4(quick: bool) -> bool:
     return ok and all(check.passed for check in checks)
 
 
-def _run_figure5(quick: bool) -> bool:
+def _run_figure5(quick: bool, engine: SweepEngine) -> bool:
     config = Figure5Config().quick() if quick else Figure5Config()
     start = time.perf_counter()
-    series = run_figure5(config)
+    series = run_figure5(config, engine)
     elapsed = time.perf_counter() - start
     print(series.to_table())
     checks = check_figure5(series, config)
     print(render_checks(checks))
     print(f"  ({elapsed:.1f}s)\n")
     return all(check.passed for check in checks)
+
+
+def make_engine(
+    workers: Optional[int], cache_dir: Optional[str]
+) -> SweepEngine:
+    """Build the sweep engine the CLI flags describe."""
+    if workers is None or workers <= 1:
+        return SweepEngine(
+            workers=1, backend="serial", cache_dir=cache_dir
+        )
+    return SweepEngine(
+        workers=workers, backend="process", cache_dir=cache_dir
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -91,13 +113,32 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="smaller workloads/budgets for a fast smoke run",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan sweep points over this many worker processes "
+        "(default: run in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for the content-addressed sweep result cache "
+        "(repeat runs become incremental)",
+    )
     arguments = parser.parse_args(argv)
+    engine = make_engine(arguments.workers, arguments.cache_dir)
 
     ok = True
     if arguments.target in ("figure4", "all"):
-        ok = _run_figure4(arguments.quick) and ok
+        ok = _run_figure4(arguments.quick, engine) and ok
     if arguments.target in ("figure5", "all"):
-        ok = _run_figure5(arguments.quick) and ok
+        ok = _run_figure5(arguments.quick, engine) and ok
+    executed = engine.stats
+    print(
+        f"sweep engine: {executed['executed']} jobs executed, "
+        f"{executed['from_cache']} served from cache"
+    )
     print("all shape checks passed" if ok else "SOME SHAPE CHECKS FAILED")
     return 0 if ok else 1
 

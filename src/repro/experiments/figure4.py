@@ -23,17 +23,22 @@ ablation bench.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import dataclasses
+from dataclasses import dataclass
 from functools import lru_cache
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.experiments.report import ExperimentSeries, ShapeCheck
 from repro.layout.algorithm import DataLayoutPlanner, LayoutConfig
-from repro.layout.assignment import Disposition
 from repro.sim.config import EMBEDDED_TIMING, TimingConfig
+from repro.sim.engine.scheduler import SweepEngine
+from repro.sim.engine.spec import SweepSpec
 from repro.sim.executor import TraceExecutor
 from repro.workloads.base import Workload, WorkloadRun
 from repro.workloads.mpeg import DequantRoutine, IdctRoutine, PlusRoutine
+
+#: Dotted path of the per-point sweep runner.
+POINT_RUNNER = "repro.experiments.runners:figure4_point"
 
 ROUTINES: dict[str, Callable[..., Workload]] = {
     "dequant": DequantRoutine,
@@ -112,27 +117,54 @@ def _plan_and_run(
     return result, assignment
 
 
+def base_params(config: Figure4Config) -> dict:
+    """The config as JSON-serializable runner parameters."""
+    return {
+        "columns": config.columns,
+        "column_bytes": config.column_bytes,
+        "line_size": config.line_size,
+        "split_oversized": config.split_oversized,
+        "pin_subarrays": config.pin_subarrays,
+        "seed": config.seed,
+        "routine_kwargs": [
+            [name, [list(pair) for pair in pairs]]
+            for name, pairs in config.routine_kwargs
+        ],
+        "timing": dataclasses.asdict(config.timing),
+    }
+
+
 def run_figure4_routine(
-    routine: str, config: Figure4Config | None = None
+    routine: str,
+    config: Figure4Config | None = None,
+    engine: Optional[SweepEngine] = None,
 ) -> ExperimentSeries:
-    """Sweep one routine over every scratchpad/cache partition."""
+    """Sweep one routine over every scratchpad/cache partition.
+
+    The partition axis is submitted to the sweep engine as a
+    declarative :class:`SweepSpec`; on a multi-core host the points
+    simulate in parallel, and repeated sweeps are served from the
+    engine's content-addressed cache.
+    """
     config = config or Figure4Config()
     if routine not in ROUTINES:
         raise ValueError(
             f"unknown routine {routine!r}; choose from {sorted(ROUTINES)}"
         )
-    run = _record_routine(
-        routine,
-        config.seed,
-        tuple(sorted(config.kwargs_for(routine).items())),
-    )
+    engine = engine or SweepEngine(workers=1, backend="serial")
     x_values = list(range(config.columns + 1))
-    cycles = []
-    pinned_bytes = []
-    for cache_columns in x_values:
-        result, assignment = _plan_and_run(run, config, cache_columns)
-        cycles.append(result.cycles)
-        pinned_bytes.append(assignment.scratchpad_bytes_used())
+    spec = SweepSpec(
+        name=f"figure4-{routine}",
+        runner=POINT_RUNNER,
+        base={**base_params(config), "routine": routine},
+        axes={"cache_columns": x_values},
+    )
+    outcomes = engine.run(spec)
+    cycles = [outcome.value["cycles"] for outcome in outcomes]
+    pinned_bytes = [
+        outcome.value["scratchpad_bytes"] for outcome in outcomes
+    ]
+    first = outcomes[0].value
     series = ExperimentSeries(
         name=f"figure4-{routine}",
         x_label="cache_columns",
@@ -141,8 +173,8 @@ def run_figure4_routine(
             f"{config.total_bytes}B on-chip memory, "
             f"{config.columns} columns x {config.column_bytes}B, "
             f"miss penalty {config.timing.miss_penalty}",
-            f"trace: {len(run.trace)} accesses, "
-            f"{run.trace.instruction_count} instructions",
+            f"trace: {first['trace_accesses']} accesses, "
+            f"{first['trace_instructions']} instructions",
         ],
     )
     series.add("cycles", cycles)
@@ -150,19 +182,28 @@ def run_figure4_routine(
     return series
 
 
-def run_figure4a(config: Figure4Config | None = None) -> ExperimentSeries:
+def run_figure4a(
+    config: Figure4Config | None = None,
+    engine: Optional[SweepEngine] = None,
+) -> ExperimentSeries:
     """Figure 4(a): the dequant routine."""
-    return run_figure4_routine("dequant", config)
+    return run_figure4_routine("dequant", config, engine)
 
 
-def run_figure4b(config: Figure4Config | None = None) -> ExperimentSeries:
+def run_figure4b(
+    config: Figure4Config | None = None,
+    engine: Optional[SweepEngine] = None,
+) -> ExperimentSeries:
     """Figure 4(b): the plus routine."""
-    return run_figure4_routine("plus", config)
+    return run_figure4_routine("plus", config, engine)
 
 
-def run_figure4c(config: Figure4Config | None = None) -> ExperimentSeries:
+def run_figure4c(
+    config: Figure4Config | None = None,
+    engine: Optional[SweepEngine] = None,
+) -> ExperimentSeries:
     """Figure 4(c): the idct routine."""
-    return run_figure4_routine("idct", config)
+    return run_figure4_routine("idct", config, engine)
 
 
 @dataclass
@@ -196,27 +237,37 @@ class Figure4dResult:
         return (best - self.column_cache_cycles) / best
 
 
-def run_figure4d(config: Figure4Config | None = None) -> Figure4dResult:
-    """Figure 4(d): combined application, static versus column cache."""
-    config = config or Figure4Config()
-    per_routine: dict[str, list[int]] = {}
-    assignments_per_routine: dict[str, list] = {}
-    for routine in ROUTINES:
-        run = _record_routine(
-            routine,
-            config.seed,
-            tuple(sorted(config.kwargs_for(routine).items())),
-        )
-        cycles = []
-        assignments = []
-        for cache_columns in range(config.columns + 1):
-            result, assignment = _plan_and_run(run, config, cache_columns)
-            cycles.append(result.cycles)
-            assignments.append(assignment)
-        per_routine[routine] = cycles
-        assignments_per_routine[routine] = assignments
+def run_figure4d(
+    config: Figure4Config | None = None,
+    engine: Optional[SweepEngine] = None,
+) -> Figure4dResult:
+    """Figure 4(d): combined application, static versus column cache.
 
+    The full (routine x partition) product goes through the sweep
+    engine as one declarative spec.
+    """
+    config = config or Figure4Config()
+    engine = engine or SweepEngine(workers=1, backend="serial")
     x_values = list(range(config.columns + 1))
+    routines = list(ROUTINES)
+    spec = SweepSpec(
+        name="figure4d-combined",
+        runner=POINT_RUNNER,
+        base=base_params(config),
+        axes={"routine": routines, "cache_columns": x_values},
+    )
+    outcomes = engine.run(spec)
+    per_routine: dict[str, list[int]] = {}
+    masks_per_routine: dict[str, list[list[int]]] = {}
+    for outcome in outcomes:
+        routine = outcome.job.params["routine"]
+        per_routine.setdefault(routine, []).append(
+            outcome.value["cycles"]
+        )
+        masks_per_routine.setdefault(routine, []).append(
+            outcome.value["mask_bits"]
+        )
+
     static_total = [
         sum(per_routine[routine][index] for routine in per_routine)
         for index in x_values
@@ -234,13 +285,8 @@ def run_figure4d(config: Figure4Config | None = None) -> Figure4dResult:
     for routine, cycles in per_routine.items():
         best_index = min(range(len(cycles)), key=cycles.__getitem__)
         column_cycles += cycles[best_index]
-        best_assignment = assignments_per_routine[routine][best_index]
-        masks = {
-            placement.mask.bits
-            for placement in best_assignment.placements.values()
-            if placement.disposition is not Disposition.UNCACHED
-        }
-        remap_overhead += (len(masks) + 1) * timing.remap_tint_cycles
+        best_masks = masks_per_routine[routine][best_index]
+        remap_overhead += (len(best_masks) + 1) * timing.remap_tint_cycles
     column_cycles += remap_overhead
 
     series = ExperimentSeries(

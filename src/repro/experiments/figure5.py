@@ -15,16 +15,24 @@ scheduling, exactly as in the paper.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import Optional
 
 from repro.cache.geometry import CacheGeometry
 from repro.experiments.report import ExperimentSeries, ShapeCheck
 from repro.sim.config import MULTITASK_TIMING, TimingConfig
+from repro.sim.engine.multitask_batch import simulate_multitask_matrix
+from repro.sim.engine.scheduler import SweepEngine
+from repro.sim.engine.spec import SimJob
 from repro.sim.multitask import Job, MultitaskSimulator
 from repro.utils.bitvector import ColumnMask
 from repro.workloads.base import WorkloadRun
 from repro.workloads.gzip_like import make_gzip_job
+
+#: Dotted path of the whole-matrix sweep runner.
+MATRIX_RUNNER = "repro.experiments.runners:figure5_matrix"
 
 #: Disjoint per-job address spaces.
 _JOB_SPACE_BITS = 32
@@ -123,9 +131,18 @@ def _jobs(
 
 
 def run_figure5_curve(
-    config: Figure5Config, cache_kb: int, mapped: bool
+    config: Figure5Config,
+    cache_kb: int,
+    mapped: bool,
+    batched: bool = True,
 ) -> list[float]:
-    """Job A's CPI at every quantum for one cache/mapping choice."""
+    """Job A's CPI at every quantum for one cache/mapping choice.
+
+    ``batched=True`` (the default) runs the whole quantum sweep
+    through the lockstep kernel; ``batched=False`` keeps the scalar
+    round-robin simulator.  Both produce identical CPIs — the
+    equivalence tests assert it.
+    """
     runs = _record_jobs(
         config.job_names,
         config.input_bytes,
@@ -133,20 +150,65 @@ def run_figure5_curve(
         config.hash_bits,
     )
     geometry = _geometry(config, cache_kb)
+    jobs = _jobs(config, runs, mapped)
+    if batched:
+        points = simulate_multitask_matrix(
+            [(geometry, jobs)],
+            list(config.quanta),
+            config.budget_instructions,
+            warmup_passes=config.warmup_passes,
+        )[0]
+        return [
+            point[config.measured_job].cpi(config.timing)
+            for point in points
+        ]
     cpis = []
     for quantum in config.quanta:
-        simulator = MultitaskSimulator(
-            geometry, _jobs(config, runs, mapped), config.timing
-        )
+        simulator = MultitaskSimulator(geometry, jobs, config.timing)
         simulator.warm_up(config.warmup_passes)
         results = simulator.run(quantum, config.budget_instructions)
         cpis.append(results[config.measured_job].cpi(config.timing))
     return cpis
 
 
-def run_figure5(config: Figure5Config | None = None) -> ExperimentSeries:
-    """All four Figure 5 curves."""
+def matrix_job(config: Figure5Config) -> SimJob:
+    """The Figure 5 matrix as one declarative sweep job."""
+    return SimJob(
+        runner=MATRIX_RUNNER,
+        params={
+            "cache_sizes_kb": list(config.cache_sizes_kb),
+            "columns": config.columns,
+            "line_size": config.line_size,
+            "quanta": list(config.quanta),
+            "job_names": list(config.job_names),
+            "measured_job": config.measured_job,
+            "a_columns": config.a_columns,
+            "input_bytes": config.input_bytes,
+            "window_bits": config.window_bits,
+            "hash_bits": config.hash_bits,
+            "budget_instructions": config.budget_instructions,
+            "warmup_passes": config.warmup_passes,
+            "timing": dataclasses.asdict(config.timing),
+        },
+        label="figure5-matrix",
+    )
+
+
+def run_figure5(
+    config: Figure5Config | None = None,
+    engine: Optional[SweepEngine] = None,
+) -> ExperimentSeries:
+    """All four Figure 5 curves, submitted through the sweep engine.
+
+    The matrix runs as one engine job: the round-robin schedule is
+    shared across all four curves and every sweep point advances in
+    lockstep, so this is several times faster than the scalar
+    per-point loop (and a repeat run is served from the engine's
+    result cache).
+    """
     config = config or Figure5Config()
+    engine = engine or SweepEngine(workers=1, backend="serial")
+    value = engine.values([matrix_job(config)])[0]
     series = ExperimentSeries(
         name="figure5-multitasking",
         x_label="quantum",
@@ -158,15 +220,9 @@ def run_figure5(config: Figure5Config | None = None) -> ExperimentSeries:
             f"budget {config.budget_instructions} instructions per point",
         ],
     )
-    for cache_kb in config.cache_sizes_kb:
-        series.add(
-            f"gzip.{cache_kb}k",
-            run_figure5_curve(config, cache_kb, mapped=False),
-        )
-        series.add(
-            f"gzip.{cache_kb}k mapped",
-            run_figure5_curve(config, cache_kb, mapped=True),
-        )
+    for (cache_kb, mapped), cpis in zip(value["labels"], value["cpis"]):
+        suffix = " mapped" if mapped else ""
+        series.add(f"gzip.{cache_kb}k{suffix}", list(cpis))
     return series
 
 

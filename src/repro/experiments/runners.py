@@ -1,0 +1,236 @@
+"""Sweep-engine runners for the paper's experiments.
+
+Top-level functions referenced by dotted path
+(``"repro.experiments.runners:figure4_point"``) so the
+:class:`~repro.sim.engine.scheduler.SweepEngine` can execute them in
+worker processes.  Parameters and return values are plain
+JSON-serializable data — that is what makes jobs content-hashable and
+their results disk-cacheable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.sim.config import TimingConfig
+
+
+def _timing_from(params: Optional[Mapping[str, int]]) -> TimingConfig:
+    """Rebuild a :class:`TimingConfig` from its serialized fields."""
+    if params is None:
+        return TimingConfig()
+    return TimingConfig(**dict(params))
+
+
+# ----------------------------------------------------------------------
+# Figure 4: scratchpad/cache partition sweeps
+# ----------------------------------------------------------------------
+def figure4_point(
+    *,
+    routine: str,
+    cache_columns: int,
+    columns: int,
+    column_bytes: int,
+    line_size: int,
+    split_oversized: bool,
+    pin_subarrays: bool,
+    seed: int,
+    routine_kwargs: Sequence[Sequence[Any]] = (),
+    timing: Optional[Mapping[str, int]] = None,
+) -> dict[str, Any]:
+    """One Figure 4 sweep point: plan the layout, simulate the routine.
+
+    Returns cycles, pinned scratchpad bytes, and the distinct
+    non-uncached placement masks (Figure 4(d) prices its per-routine
+    remap from those).
+    """
+    from repro.experiments.figure4 import (
+        Figure4Config,
+        _plan_and_run,
+        _record_routine,
+    )
+    from repro.layout.assignment import Disposition
+
+    config = Figure4Config(
+        columns=columns,
+        column_bytes=column_bytes,
+        line_size=line_size,
+        timing=_timing_from(timing),
+        split_oversized=split_oversized,
+        pin_subarrays=pin_subarrays,
+        seed=seed,
+        routine_kwargs=tuple(
+            (name, tuple((key, value) for key, value in pairs))
+            for name, pairs in routine_kwargs
+        ),
+    )
+    run = _record_routine(
+        routine,
+        config.seed,
+        tuple(sorted(config.kwargs_for(routine).items())),
+    )
+    result, assignment = _plan_and_run(run, config, cache_columns)
+    masks = {
+        placement.mask.bits
+        for placement in assignment.placements.values()
+        if placement.disposition is not Disposition.UNCACHED
+    }
+    return {
+        "cycles": int(result.cycles),
+        "scratchpad_bytes": int(assignment.scratchpad_bytes_used()),
+        "mask_bits": sorted(masks),
+        "trace_accesses": int(result.accesses),
+        "trace_instructions": int(result.instructions),
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 5: the multitasking matrix
+# ----------------------------------------------------------------------
+def figure5_matrix(
+    *,
+    cache_sizes_kb: Sequence[int],
+    columns: int,
+    line_size: int,
+    quanta: Sequence[int],
+    job_names: Sequence[str],
+    measured_job: str,
+    a_columns: int,
+    input_bytes: int,
+    window_bits: int,
+    hash_bits: int,
+    budget_instructions: int,
+    warmup_passes: int,
+    timing: Optional[Mapping[str, int]] = None,
+) -> dict[str, Any]:
+    """The whole Figure 5 matrix through the batched hot path.
+
+    Computes job CPI for every (cache size x shared/mapped x quantum)
+    point in one :func:`~repro.sim.engine.multitask_batch.
+    simulate_multitask_matrix` call — the schedule is shared across
+    variants and all points advance in lockstep.  Returns
+    ``{"cpis": [...]}`` with one curve per (cache_kb, mapped) pair in
+    ``for cache_kb: for mapped in (False, True)`` order.
+    """
+    from repro.experiments.figure5 import (
+        Figure5Config,
+        _geometry,
+        _jobs,
+        _record_jobs,
+    )
+    from repro.sim.engine.multitask_batch import simulate_multitask_matrix
+
+    timing_config = _timing_from(timing)
+    config = Figure5Config(
+        cache_sizes_kb=tuple(cache_sizes_kb),
+        columns=columns,
+        line_size=line_size,
+        quanta=tuple(quanta),
+        job_names=tuple(job_names),
+        measured_job=measured_job,
+        a_columns=a_columns,
+        input_bytes=input_bytes,
+        window_bits=window_bits,
+        hash_bits=hash_bits,
+        budget_instructions=budget_instructions,
+        warmup_passes=warmup_passes,
+        timing=timing_config,
+    )
+    runs = _record_jobs(
+        config.job_names,
+        config.input_bytes,
+        config.window_bits,
+        config.hash_bits,
+    )
+    variants = []
+    labels = []
+    for cache_kb in config.cache_sizes_kb:
+        for mapped in (False, True):
+            variants.append(
+                (_geometry(config, cache_kb), _jobs(config, runs, mapped))
+            )
+            labels.append([int(cache_kb), bool(mapped)])
+    matrix = simulate_multitask_matrix(
+        variants,
+        list(config.quanta),
+        config.budget_instructions,
+        warmup_passes=config.warmup_passes,
+    )
+    cpis = [
+        [
+            float(point[config.measured_job].cpi(timing_config))
+            for point in variant_points
+        ]
+        for variant_points in matrix
+    ]
+    return {"labels": labels, "cpis": cpis}
+
+
+# ----------------------------------------------------------------------
+# Generic trace simulation (tests, CI perf smoke, ad-hoc sweeps)
+# ----------------------------------------------------------------------
+def trace_sim(
+    *,
+    kind: str = "zipf",
+    count: int = 10_000,
+    base: int = 0x10000,
+    span: int = 8192,
+    element_size: int = 2,
+    seed: int = 0,
+    total_bytes: int = 16384,
+    line_size: int = 16,
+    columns: int = 4,
+    uniform_mask: Optional[int] = None,
+    batched: bool = True,
+) -> dict[str, int]:
+    """Generate a synthetic trace and simulate it through one cache.
+
+    The (workload x geometry x mask) axes make this the generic
+    declarative sweep runner; ``batched`` selects the lockstep kernel
+    or the scalar reference loop (results are identical either way).
+    """
+    from repro.cache.fastsim import FastColumnCache, blocks_of
+    from repro.cache.geometry import CacheGeometry
+    from repro.sim.engine.batched import batched_simulate
+    from repro.trace import generator
+
+    makers = {
+        "sequential": lambda: generator.sequential_stream(
+            base, count, element_size=element_size
+        ),
+        "looped": lambda: generator.looped_working_set(
+            base,
+            span,
+            max(count // max(span // 2, 1), 1),
+            element_size=element_size,
+        ),
+        "random": lambda: generator.random_uniform(
+            base, span, count, element_size=element_size, seed=seed
+        ),
+        "zipf": lambda: generator.zipf_accesses(
+            base, span, count, element_size=element_size, seed=seed
+        ),
+    }
+    if kind not in makers:
+        raise ValueError(
+            f"unknown trace kind {kind!r}; choose from {sorted(makers)}"
+        )
+    trace = makers[kind]()
+    geometry = CacheGeometry.from_sizes(
+        total_bytes, line_size=line_size, columns=columns
+    )
+    blocks = blocks_of(trace.addresses, geometry)
+    if batched:
+        outcome = batched_simulate(
+            blocks, geometry, uniform_mask=uniform_mask
+        )
+    else:
+        outcome = FastColumnCache(geometry).run(
+            blocks.tolist(), uniform_mask=uniform_mask
+        )
+    return {
+        "accesses": int(outcome.accesses),
+        "hits": int(outcome.hits),
+        "misses": int(outcome.misses),
+        "bypasses": int(outcome.bypasses),
+    }

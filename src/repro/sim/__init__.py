@@ -12,10 +12,15 @@ Two execution paths exist on purpose:
   validation (tests assert both paths agree cycle-for-cycle).
 
 :mod:`repro.sim.multitask` adds the round-robin scheduler of the
-paper's Section 4.2 multitasking experiment.
+paper's Section 4.2 multitasking experiment, and :mod:`repro.sim.
+engine` the sweep engine (declarative job specs, parallel scheduling
+with result caching, and the batched lockstep hot path) the
+experiments submit their sweeps through.
 """
 
 from repro.sim.config import TimingConfig
+from repro.sim.engine.scheduler import SweepEngine
+from repro.sim.engine.spec import SimJob, SweepSpec
 from repro.sim.executor import TraceExecutor
 from repro.sim.memory_system import MemorySystem
 from repro.sim.multitask import Job, JobResult, MultitaskSimulator
@@ -27,7 +32,10 @@ __all__ = [
     "MemorySystem",
     "MultitaskSimulator",
     "PhaseResult",
+    "SimJob",
     "SimulationResult",
+    "SweepEngine",
+    "SweepSpec",
     "TimingConfig",
     "TraceExecutor",
 ]

@@ -1,0 +1,52 @@
+"""Sweep engine: declarative job specs, parallel scheduling, batching.
+
+The engine turns the repo's experiments from hand-rolled loops into
+declarative sweeps:
+
+* :mod:`repro.sim.engine.spec` — :class:`SweepSpec` / :class:`SimJob`,
+  the declarative (workload x geometry x policy) enumeration with
+  content hashing.
+* :mod:`repro.sim.engine.scheduler` — :class:`SweepEngine`, which fans
+  jobs over a process/thread pool (or runs them inline) with a
+  content-addressed result cache so repeated sweeps are incremental.
+* :mod:`repro.sim.engine.batched` — the vectorized lockstep LRU kernel:
+  LRU sets are independent, so a block trace sharded by set index can
+  advance every set one access per "round" with numpy, bit-identical
+  to :class:`~repro.cache.fastsim.FastColumnCache`.
+* :mod:`repro.sim.engine.sharded` — set-sharded simulation fanned over
+  worker processes (each shard owns a disjoint subset of sets).
+* :mod:`repro.sim.engine.multitask_batch` — the Figure 5 hot path: the
+  round-robin schedule is computed in closed form (it does not depend
+  on cache contents), the interleaved access stream is materialized
+  with numpy, and whole quantum sweeps run through one lockstep call.
+"""
+
+from repro.sim.engine.batched import (
+    LockstepState,
+    batched_simulate,
+    lockstep_run,
+)
+from repro.sim.engine.cache import ResultCache
+from repro.sim.engine.multitask_batch import (
+    simulate_multitask_batched,
+    simulate_multitask_matrix,
+    simulate_multitask_sweep,
+)
+from repro.sim.engine.scheduler import JobOutcome, SweepEngine
+from repro.sim.engine.sharded import simulate_trace_sharded
+from repro.sim.engine.spec import SimJob, SweepSpec
+
+__all__ = [
+    "JobOutcome",
+    "LockstepState",
+    "ResultCache",
+    "SimJob",
+    "SweepEngine",
+    "SweepSpec",
+    "batched_simulate",
+    "lockstep_run",
+    "simulate_multitask_batched",
+    "simulate_multitask_matrix",
+    "simulate_multitask_sweep",
+    "simulate_trace_sharded",
+]

@@ -1,0 +1,376 @@
+"""Vectorized lockstep LRU: simulate many independent cache sets at once.
+
+Under (masked) LRU, cache sets never interact: an access touches
+exactly the set its block indexes, and replacement decisions depend
+only on the relative recency of lines *within that set*.  The scalar
+:class:`~repro.cache.fastsim.FastColumnCache` walks the trace one
+access at a time; this module instead shards the trace by set index
+(vectorized with numpy) and advances **every set one access per
+round**.  Each round touches each set at most once, so the per-round
+work — tag compare, LRU victim selection, fill — is a handful of numpy
+operations over all active sets simultaneously.
+
+Rows generalize sets: a "row" is one independent LRU set, and callers
+may stack the sets of many unrelated simulations (different sweep
+points) into one state so a whole sweep advances in lockstep.  That is
+what makes the engine's hot path fast on a single core: the Python
+interpreter executes O(max accesses per set) round steps instead of
+O(total accesses) per-access steps.
+
+Layout: accesses are stably sorted by row once, rows (groups) are
+ordered by access count descending, and the per-group state is packed
+into a dense prefix — so every round reads its state as a contiguous
+slice ``[:alive]`` instead of a fancy gather, and ``alive`` only
+shrinks.  Skewed traces (a few very hot rows) would degenerate into
+many narrow rounds; once ``alive`` drops below ``scalar_cutoff`` the
+residual accesses are finished by a scalar per-row loop seeded from
+the packed state.
+
+Bit-exactness: per-row clocks preserve each set's recency order, the
+victim scan resolves ties toward the lowest way exactly like the
+scalar loop, and an empty mask is a counted bypass.  The property
+tests drive this kernel and ``FastColumnCache`` with identical random
+traces and assert equal per-access outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.cache.fastsim import FastSimResult
+from repro.cache.geometry import CacheGeometry
+
+#: Default round width below which the scalar tail takes over
+#: (tuned on the Figure 5 matrix; correctness is cutoff-independent).
+DEFAULT_SCALAR_CUTOFF = 96
+
+#: Sentinel larger than any real timestamp (victim scan masking).
+_FAR = np.int64(1) << np.int64(62)
+
+
+@dataclass
+class LockstepState:
+    """Mutable cache state for a bank of independent LRU rows.
+
+    Attributes:
+        tags: ``(rows, ways)`` resident tag per line, ``-1`` = empty.
+        last_use: ``(rows, ways)`` per-row timestamp of last touch,
+            ``-1`` = never used.
+        clock: ``(rows,)`` accesses seen per row so far (the per-row
+            clock; recency comparisons never cross rows).
+    """
+
+    tags: np.ndarray
+    last_use: np.ndarray
+    clock: np.ndarray
+
+    @classmethod
+    def cold(cls, rows: int, ways: int) -> "LockstepState":
+        """Everything-invalid state for ``rows`` independent sets."""
+        if rows < 1 or ways < 1:
+            raise ValueError(
+                f"need rows >= 1 and ways >= 1, got {rows}x{ways}"
+            )
+        return cls(
+            tags=np.full((rows, ways), -1, dtype=np.int64),
+            last_use=np.full((rows, ways), -1, dtype=np.int64),
+            clock=np.zeros(rows, dtype=np.int64),
+        )
+
+    @property
+    def rows(self) -> int:
+        """Number of independent LRU rows."""
+        return self.tags.shape[0]
+
+    @property
+    def ways(self) -> int:
+        """Associativity of every row."""
+        return self.tags.shape[1]
+
+
+def _sort_by_row(rows: np.ndarray) -> np.ndarray:
+    """Stable argsort by row, using a narrow key when it fits (numpy
+    picks radix sort for small integer dtypes — much faster than
+    comparison sorting the full int64 key)."""
+    peak = int(rows.max())  # callers guarantee a non-empty batch
+    if peak < (1 << 15):
+        key = rows.astype(np.int16)
+    elif peak < (1 << 31):
+        key = rows.astype(np.int32)
+    else:
+        key = rows
+    return np.argsort(key, kind="stable")
+
+
+def _scalar_finish_group(
+    tags_row: np.ndarray,
+    use_row: np.ndarray,
+    clock_base: int,
+    group_tags: np.ndarray,
+    group_masks: Optional[np.ndarray],
+    uniform_candidates: Optional[tuple[int, ...]],
+    first_occurrence: int,
+    hit_out: np.ndarray,
+    bypass_out: np.ndarray,
+    out_positions: np.ndarray,
+) -> None:
+    """Finish one row's residual accesses with the scalar LRU loop.
+
+    Operates directly on the packed state rows, so lockstep rounds and
+    the scalar tail compose exactly.
+    """
+    ways = len(tags_row)
+    tag_to_way = {
+        int(tags_row[way]): way
+        for way in range(ways)
+        if tags_row[way] >= 0
+    }
+    for offset in range(len(group_tags)):
+        tag = int(group_tags[offset])
+        clock = clock_base + first_occurrence + offset
+        way = tag_to_way.get(tag)
+        if way is not None:
+            use_row[way] = clock
+            hit_out[out_positions[offset]] = True
+            continue
+        if uniform_candidates is not None:
+            candidates = uniform_candidates
+        else:
+            bits = int(group_masks[offset])
+            candidates = tuple(w for w in range(ways) if bits >> w & 1)
+        if not candidates:
+            bypass_out[out_positions[offset]] = True
+            continue
+        victim = -1
+        best = 1 << 62
+        for candidate in candidates:
+            use = int(use_row[candidate])
+            if use < best:
+                best = use
+                victim = candidate
+        old = int(tags_row[victim])
+        if old >= 0:
+            del tag_to_way[old]
+        tags_row[victim] = tag
+        tag_to_way[tag] = victim
+        use_row[victim] = clock
+
+
+def lockstep_run(
+    rows: np.ndarray,
+    tags: np.ndarray,
+    state: LockstepState,
+    mask_bits: Optional[np.ndarray] = None,
+    uniform_mask: Optional[int] = None,
+    scalar_cutoff: int = DEFAULT_SCALAR_CUTOFF,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Simulate one batch of accesses against a bank of LRU rows.
+
+    Args:
+        rows: Per-access row (set) index, ``int64``, all within
+            ``state.rows``.
+        tags: Per-access tag, ``int64``; tags must be non-negative
+            (``-1`` is the empty-line sentinel).
+        state: Mutable cache state, advanced in place.
+        mask_bits: Per-access replacement masks, or None.
+        uniform_mask: One mask for every access (mutually exclusive
+            with ``mask_bits``); None means all ways.
+        scalar_cutoff: Once fewer than this many rows remain active in
+            a round, the residual accesses finish in the scalar tail
+            loop (guards against skewed row distributions).
+
+    Returns:
+        ``(hit_flags, bypass_flags)`` boolean arrays in access order.
+        The flags are disjoint: a hit sets only ``hit_flags``, a miss
+        with an empty mask sets only ``bypass_flags``, and a filled
+        miss sets neither.
+    """
+    if mask_bits is not None and uniform_mask is not None:
+        raise ValueError("give either mask_bits or uniform_mask, not both")
+    rows = np.ascontiguousarray(rows, dtype=np.int64)
+    tags = np.ascontiguousarray(tags, dtype=np.int64)
+    n = len(rows)
+    hit_flags = np.zeros(n, dtype=bool)
+    bypass_flags = np.zeros(n, dtype=bool)
+    if n == 0:
+        return hit_flags, bypass_flags
+    if len(tags) != n:
+        raise ValueError("rows and tags length mismatch")
+
+    ways = state.ways
+    full_mask = (1 << ways) - 1
+    masks_sorted: Optional[np.ndarray] = None
+    uniform_candidates: Optional[tuple[int, ...]] = None
+    uniform_cand_row: Optional[np.ndarray] = None
+    if mask_bits is not None:
+        masks = np.ascontiguousarray(mask_bits, dtype=np.int64)
+        if len(masks) != n:
+            raise ValueError("mask_bits length mismatch")
+    else:
+        masks = None
+        bits = full_mask if uniform_mask is None else int(uniform_mask)
+        uniform_candidates = tuple(
+            w for w in range(ways) if bits >> w & 1
+        )
+        uniform_cand_row = np.array(
+            [bits >> w & 1 > 0 for w in range(ways)], dtype=bool
+        )
+
+    # ------------------------------------------------------------------
+    # Group accesses by row; order groups by size descending so every
+    # round works on the dense prefix [:alive] of the packed state.
+    # ------------------------------------------------------------------
+    order = _sort_by_row(rows)
+    sorted_rows = rows[order]
+    is_start = np.empty(n, dtype=bool)
+    is_start[0] = True
+    np.not_equal(sorted_rows[1:], sorted_rows[:-1], out=is_start[1:])
+    starts = np.flatnonzero(is_start)
+    sizes = np.diff(np.append(starts, n))
+    group_rows = sorted_rows[starts]
+    by_size = np.argsort(sizes, kind="stable")[::-1]
+    starts_d = starts[by_size]
+    sizes_d = sizes[by_size]
+    rows_d = group_rows[by_size]
+
+    tags_sorted = tags[order]
+    if masks is not None:
+        masks_sorted = masks[order]
+
+    # Packed state: one dense row per active group.
+    packed_tags = state.tags[rows_d]
+    packed_use = state.last_use[rows_d]
+    clock_base = state.clock[rows_d]
+
+    hit_sorted = np.zeros(n, dtype=bool)
+    bypass_sorted = np.zeros(n, dtype=bool)
+    way_shift = np.arange(ways, dtype=np.int64)
+
+    alive = len(rows_d)
+    total_rounds = int(sizes_d[0])
+    round_index = 0
+    while round_index < total_rounds:
+        while alive > 0 and sizes_d[alive - 1] <= round_index:
+            alive -= 1
+        if alive == 0 or alive < scalar_cutoff:
+            break
+        positions = starts_d[:alive] + round_index
+        chunk_tags = tags_sorted[positions]
+        resident = packed_tags[:alive]
+        hit_ways = resident == chunk_tags[:, None]
+        hit = hit_ways.any(axis=1)
+        clock_now = clock_base[:alive] + round_index
+        hit_sorted[positions] = hit
+        hit_positions = np.flatnonzero(hit)
+        if len(hit_positions):
+            touched_way = np.argmax(hit_ways[hit_positions], axis=1)
+            packed_use[hit_positions, touched_way] = clock_now[
+                hit_positions
+            ]
+        if len(hit_positions) < alive:
+            miss_positions = np.flatnonzero(~hit)
+            if masks_sorted is not None:
+                miss_masks = masks_sorted[positions[miss_positions]]
+                candidates = (miss_masks[:, None] >> way_shift) & 1 > 0
+                fillable = candidates.any(axis=1)
+                if not fillable.all():
+                    bypass_sorted[
+                        positions[miss_positions[~fillable]]
+                    ] = True
+                    miss_positions = miss_positions[fillable]
+                    candidates = candidates[fillable]
+            else:
+                if not uniform_candidates:
+                    bypass_sorted[positions[miss_positions]] = True
+                    miss_positions = miss_positions[:0]
+                candidates = np.broadcast_to(
+                    uniform_cand_row, (len(miss_positions), ways)
+                )
+            if len(miss_positions):
+                masked_use = np.where(
+                    candidates, packed_use[miss_positions], _FAR
+                )
+                victim = np.argmin(masked_use, axis=1)
+                packed_tags[miss_positions, victim] = chunk_tags[
+                    miss_positions
+                ]
+                packed_use[miss_positions, victim] = clock_now[
+                    miss_positions
+                ]
+        round_index += 1
+
+    if round_index < total_rounds and alive > 0:
+        # Skew tail: few hot rows remain; finish each one scalar.
+        for group in range(alive):
+            start = int(starts_d[group])
+            size = int(sizes_d[group])
+            span = slice(start + round_index, start + size)
+            out_positions = np.arange(
+                start + round_index, start + size, dtype=np.int64
+            )
+            _scalar_finish_group(
+                packed_tags[group],
+                packed_use[group],
+                int(clock_base[group]),
+                tags_sorted[span],
+                masks_sorted[span] if masks_sorted is not None else None,
+                uniform_candidates,
+                round_index,
+                hit_sorted,
+                bypass_sorted,
+                out_positions,
+            )
+
+    # Write packed state and flags back.
+    state.tags[rows_d] = packed_tags
+    state.last_use[rows_d] = packed_use
+    state.clock[rows_d] = clock_base + sizes_d
+    hit_flags[order] = hit_sorted
+    bypass_flags[order] = bypass_sorted
+    return hit_flags, bypass_flags
+
+
+def batched_simulate(
+    blocks: Sequence[int] | np.ndarray,
+    geometry: CacheGeometry,
+    mask_bits: Optional[Sequence[int] | np.ndarray] = None,
+    uniform_mask: Optional[int] = None,
+    state: Optional[LockstepState] = None,
+    scalar_cutoff: int = DEFAULT_SCALAR_CUTOFF,
+    return_flags: bool = False,
+):
+    """One-shot lockstep simulation of a block trace.
+
+    Drop-in counterpart of
+    :func:`repro.cache.fastsim.simulate_trace` operating on block
+    numbers; returns a :class:`FastSimResult` (and per-access flags
+    when ``return_flags``), bit-identical to the scalar model.
+    """
+    blocks = np.ascontiguousarray(blocks, dtype=np.int64)
+    rows = blocks & np.int64(geometry.sets - 1)
+    tags = blocks >> np.int64(geometry.index_bits)
+    if state is None:
+        state = LockstepState.cold(geometry.sets, geometry.columns)
+    masks = None
+    if mask_bits is not None:
+        masks = np.ascontiguousarray(mask_bits, dtype=np.int64)
+    hit_flags, bypass_flags = lockstep_run(
+        rows,
+        tags,
+        state,
+        mask_bits=masks,
+        uniform_mask=uniform_mask,
+        scalar_cutoff=scalar_cutoff,
+    )
+    hits = int(hit_flags.sum())
+    result = FastSimResult(
+        hits=hits,
+        misses=len(blocks) - hits,
+        bypasses=int(bypass_flags.sum()),
+    )
+    if return_flags:
+        return result, hit_flags, bypass_flags
+    return result

@@ -1,0 +1,503 @@
+"""Batched multitasking simulation: closed-form schedule + lockstep LRU.
+
+The scalar :class:`~repro.sim.multitask.MultitaskSimulator` interleaves
+per-quantum slices of each job's trace through one shared cache, which
+costs Python bookkeeping per quantum (brutal at quantum=1: one
+``searchsorted`` and one ``cache.run`` call per access).  This module
+exploits three structural facts:
+
+1. **The schedule does not depend on cache contents.**  A quantum ends
+   after a fixed number of instructions, and instruction counts come
+   from the trace alone — so where every quantum starts and stops is a
+   pure function of (traces, quantum, budget).  The successor map
+   "position -> position after one quantum" is computed for *all*
+   positions at once with vectorized ``searchsorted``; the start
+   positions of a job's successive quanta are that map's orbit, which
+   is eventually periodic over a finite trace and therefore tiles to
+   any length.
+
+2. **The cache stream is then data-parallel.**  With the schedule in
+   closed form, the full interleaved access stream (round-robin
+   quanta, wrapped traces) is materialized with numpy gathers and fed
+   to the lockstep kernel, and many sweep points share one kernel
+   invocation by stacking each point's sets as extra independent rows.
+
+3. **The schedule is geometry-free.**  Cache size, column count and
+   column masks do not enter the schedule, so a whole experiment
+   matrix (several geometries x mapped/shared x all quanta — Figure 5
+   is exactly this) reuses each quantum's schedule and access stream
+   across every variant.
+
+Results are bit-identical to the scalar simulator (asserted by the
+equivalence tests): same hits, misses, instructions, wraps and quantum
+counts per job, hence the same CPI to the last ulp.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.cache.geometry import CacheGeometry
+from repro.sim.engine.batched import (
+    DEFAULT_SCALAR_CUTOFF,
+    LockstepState,
+    lockstep_run,
+)
+from repro.sim.multitask import Job, JobResult
+
+#: Flush lockstep batches beyond this many buffered accesses.
+DEFAULT_MAX_BATCH_ACCESSES = 4_000_000
+
+
+class _BatchJob:
+    """Precomputed per-job arrays shared by every sweep point."""
+
+    def __init__(self, job: Job, geometry: CacheGeometry):
+        if len(job.trace) == 0:
+            raise ValueError(f"job {job.name!r} has an empty trace")
+        addresses = job.trace.addresses + job.address_offset
+        self.blocks = np.ascontiguousarray(
+            addresses >> geometry.offset_bits, dtype=np.int64
+        )
+        per_access = job.trace.gaps + 1
+        self.cum = np.cumsum(per_access, dtype=np.int64)
+        self.total_instructions = int(self.cum[-1])
+        self.mask_bits = job.mask_bits(geometry.columns)
+        self.name = job.name
+
+
+# ----------------------------------------------------------------------
+# Closed-form schedule
+# ----------------------------------------------------------------------
+def _quantum_tables(
+    cum: np.ndarray, quantum: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """One quantum from *every* start position, vectorized.
+
+    For start position ``p`` with ``I(p)`` instructions already
+    consumed this pass, the quantum ends at the first access whose
+    cumulative instruction count reaches ``I(p) + quantum`` — counting
+    across wraps.  Returns ``(next_pos, accesses, ran, wraps)`` arrays
+    indexed by start position, where ``ran`` includes the atomic
+    overshoot of the final access, exactly like
+    :meth:`~repro.sim.multitask.MultitaskSimulator._run_quantum`.
+    """
+    n = len(cum)
+    total = int(cum[-1])
+    cum_prev = np.concatenate((np.zeros(1, dtype=np.int64), cum[:-1]))
+    target = cum_prev + np.int64(quantum)
+    full_passes = (target - 1) // total
+    within = target - full_passes * total  # in [1, total]
+    end = np.searchsorted(cum, within, side="left")
+    next_raw = end + 1
+    wrap_extra = next_raw >= n
+    next_pos = np.where(wrap_extra, 0, next_raw)
+    wraps = full_passes + wrap_extra
+    accesses = full_passes * n + next_raw - np.arange(n, dtype=np.int64)
+    ran = full_passes * total + cum[end] - cum_prev
+    return next_pos.astype(np.int64), accesses, ran, wraps
+
+
+def _orbit(next_pos: np.ndarray, start: int = 0) -> tuple[np.ndarray, int]:
+    """The successor map's orbit from ``start`` until it repeats.
+
+    Returns ``(sequence, cycle_start)``: ``sequence[cycle_start:]`` is
+    the cycle the orbit settles into.
+    """
+    seen = np.full(len(next_pos), -1, dtype=np.int64)
+    sequence: list[int] = []
+    position = start
+    while seen[position] < 0:
+        seen[position] = len(sequence)
+        sequence.append(position)
+        position = int(next_pos[position])
+    return np.asarray(sequence, dtype=np.int64), int(seen[position])
+
+
+def _tile_orbit(
+    sequence: np.ndarray, cycle_start: int, count: int
+) -> np.ndarray:
+    """First ``count`` orbit positions (tiling the cycle as needed)."""
+    if count <= len(sequence):
+        return sequence[:count]
+    cycle = sequence[cycle_start:]
+    repeats = -(-(count - cycle_start) // len(cycle))
+    return np.concatenate(
+        (sequence[:cycle_start], np.tile(cycle, repeats))
+    )[:count]
+
+
+def _job_quanta(
+    batch_job: _BatchJob, quantum: int, count: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Start position, accesses, instructions, wraps of the job's
+    first ``count`` quanta."""
+    next_pos, accesses, ran, wraps = _quantum_tables(
+        batch_job.cum, quantum
+    )
+    sequence, cycle_start = _orbit(next_pos)
+    positions = _tile_orbit(sequence, cycle_start, count)
+    return positions, accesses[positions], ran[positions], wraps[positions]
+
+
+class _Schedule:
+    """The global round-robin schedule of one sweep point."""
+
+    def __init__(
+        self, batch_jobs: Sequence[_BatchJob], quantum: int, budget: int
+    ):
+        if quantum < 1:
+            raise ValueError(f"quantum must be >= 1, got {quantum}")
+        if budget < 1:
+            raise ValueError(f"budget must be >= 1, got {budget}")
+        job_count = len(batch_jobs)
+        # Every quantum runs >= `quantum` instructions, so this bounds
+        # the number of quanta the budget can demand.
+        global_bound = -(-budget // quantum)
+        per_job = -(-global_bound // job_count) + 1
+        columns = [
+            _job_quanta(batch_job, quantum, per_job)
+            for batch_job in batch_jobs
+        ]
+        ran_flat = np.column_stack(
+            [column[2] for column in columns]
+        ).ravel()
+        executed = np.cumsum(ran_flat)
+        total_quanta = int(np.searchsorted(executed, budget, "left")) + 1
+        take = slice(0, total_quanta)
+        self.job_ids = np.tile(
+            np.arange(job_count, dtype=np.int64), per_job
+        )[take]
+        self.positions = np.column_stack(
+            [column[0] for column in columns]
+        ).ravel()[take]
+        self.accesses = np.column_stack(
+            [column[1] for column in columns]
+        ).ravel()[take]
+        self.ran = ran_flat[take]
+        self.wraps = np.column_stack(
+            [column[3] for column in columns]
+        ).ravel()[take]
+        self.total_accesses = int(self.accesses.sum())
+
+    def access_stream(
+        self, batch_jobs: Sequence[_BatchJob]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Materialize ``(blocks, job_id)`` per scheduled access."""
+        lengths = self.accesses
+        total = self.total_accesses
+        seg_starts = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(lengths)[:-1])
+        )
+        intra = np.arange(total, dtype=np.int64) - np.repeat(
+            seg_starts, lengths
+        )
+        trace_lengths = np.array(
+            [len(batch_job.blocks) for batch_job in batch_jobs],
+            dtype=np.int64,
+        )
+        job_per_access = np.repeat(self.job_ids, lengths)
+        trace_pos = (
+            np.repeat(self.positions, lengths) + intra
+        ) % trace_lengths[job_per_access]
+        offsets = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(trace_lengths)[:-1])
+        )
+        blocks_concat = np.concatenate(
+            [batch_job.blocks for batch_job in batch_jobs]
+        )
+        stream_blocks = blocks_concat[offsets[job_per_access] + trace_pos]
+        return stream_blocks, job_per_access
+
+
+def _warmup_stream(
+    batch_jobs: Sequence[_BatchJob], passes: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(blocks, job_id)`` of the warm-up phase (job order, then
+    passes), matching :meth:`MultitaskSimulator.warm_up`."""
+    blocks_parts = []
+    job_parts = []
+    for index, batch_job in enumerate(batch_jobs):
+        if passes:
+            tiled = np.tile(batch_job.blocks, passes)
+            blocks_parts.append(tiled)
+            job_parts.append(
+                np.full(len(tiled), index, dtype=np.int64)
+            )
+    if not blocks_parts:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty.copy()
+    return np.concatenate(blocks_parts), np.concatenate(job_parts)
+
+
+def _results_for_point(
+    batch_jobs: Sequence[_BatchJob],
+    schedule: _Schedule,
+    job_per_access: np.ndarray,
+    hit_flags: np.ndarray,
+) -> dict[str, JobResult]:
+    """Assemble per-job :class:`JobResult`\\ s from kernel flags."""
+    job_count = len(batch_jobs)
+    hits = np.bincount(job_per_access[hit_flags], minlength=job_count)
+    accesses = np.bincount(job_per_access, minlength=job_count)
+    results = {}
+    for index, batch_job in enumerate(batch_jobs):
+        selector = schedule.job_ids == index
+        results[batch_job.name] = JobResult(
+            name=batch_job.name,
+            instructions=int(schedule.ran[selector].sum()),
+            accesses=int(accesses[index]),
+            hits=int(hits[index]),
+            misses=int(accesses[index] - hits[index]),
+            wraps=int(schedule.wraps[selector].sum()),
+            quanta=int(selector.sum()),
+        )
+    return results
+
+
+class _KernelGroup:
+    """Accumulates same-associativity points into one lockstep call."""
+
+    def __init__(self, ways: int, scalar_cutoff: int):
+        self.ways = ways
+        self.scalar_cutoff = scalar_cutoff
+        self.rows: list[np.ndarray] = []
+        self.tags: list[np.ndarray] = []
+        self.masks: list[np.ndarray] = []
+        self.states: list[LockstepState] = []
+        self.points: list[tuple[int, int, _Schedule, np.ndarray]] = []
+        self.row_count = 0
+        self.buffered = 0
+
+    def add(
+        self,
+        variant_index: int,
+        point_index: int,
+        schedule: _Schedule,
+        job_per_access: np.ndarray,
+        rows: np.ndarray,
+        tags: np.ndarray,
+        masks: np.ndarray,
+        start_state: LockstepState,
+    ) -> None:
+        self.rows.append(rows + np.int64(self.row_count))
+        self.tags.append(tags)
+        self.masks.append(masks)
+        self.states.append(start_state)
+        self.points.append(
+            (variant_index, point_index, schedule, job_per_access)
+        )
+        self.row_count += start_state.rows
+        self.buffered += len(rows)
+
+    def flush(
+        self,
+        batch_lists: Sequence[Sequence[_BatchJob]],
+        results: list[list[Optional[dict[str, JobResult]]]],
+    ) -> None:
+        if not self.points:
+            return
+        # Each point starts from a copy of its (shared, already warmed)
+        # start state; concatenation copies, so the originals survive.
+        state = LockstepState(
+            tags=np.concatenate([s.tags for s in self.states]),
+            last_use=np.concatenate([s.last_use for s in self.states]),
+            clock=np.concatenate([s.clock for s in self.states]),
+        )
+        hit_flags, _ = lockstep_run(
+            np.concatenate(self.rows),
+            np.concatenate(self.tags),
+            state,
+            mask_bits=np.concatenate(self.masks),
+            scalar_cutoff=self.scalar_cutoff,
+        )
+        cursor = 0
+        for (variant_index, point_index, schedule,
+             job_per_access) in self.points:
+            span = schedule.total_accesses
+            flags = hit_flags[cursor:cursor + span]
+            results[variant_index][point_index] = _results_for_point(
+                batch_lists[variant_index],
+                schedule,
+                job_per_access,
+                flags,
+            )
+            cursor += span
+        self.rows.clear()
+        self.tags.clear()
+        self.masks.clear()
+        self.states.clear()
+        self.points.clear()
+        self.row_count = 0
+        self.buffered = 0
+
+
+# ----------------------------------------------------------------------
+# Public entry points
+# ----------------------------------------------------------------------
+def simulate_multitask_matrix(
+    variants: Sequence[tuple[CacheGeometry, Sequence[Job]]],
+    quanta: Sequence[int],
+    budget_instructions: int,
+    warmup_passes: int = 0,
+    max_batch_accesses: int = DEFAULT_MAX_BATCH_ACCESSES,
+    scalar_cutoff: int = DEFAULT_SCALAR_CUTOFF,
+) -> list[list[dict[str, JobResult]]]:
+    """Run a (variant x quantum) experiment matrix through the kernel.
+
+    ``variants`` are (geometry, jobs) pairs that must share the same
+    job names, traces, address offsets and line size — they may differ
+    in cache size, column count and column masks (Figure 5's
+    shared/mapped x 16K/128K matrix).  The schedule and interleaved
+    access stream of each quantum are computed once and reused by
+    every variant; same-associativity points are stacked into shared
+    lockstep calls.
+
+    Returns ``results[variant_index][quantum_index]``, each entry
+    equivalent to ``MultitaskSimulator`` + ``warm_up(warmup_passes)``
+    + ``run(quantum, budget_instructions)``.
+    """
+    if not variants:
+        raise ValueError("need at least one variant")
+    for geometry, jobs in variants:
+        if not jobs:
+            raise ValueError("need at least one job")
+        names = [job.name for job in jobs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate job names: {names}")
+    base_geometry = variants[0][0]
+    batch_lists = [
+        [_BatchJob(job, geometry) for job in jobs]
+        for geometry, jobs in variants
+    ]
+    base_jobs = batch_lists[0]
+    for geometry, batch_jobs in zip(
+        (geometry for geometry, _ in variants), batch_lists
+    ):
+        if geometry.line_size != base_geometry.line_size:
+            raise ValueError(
+                "matrix variants must share one line size (the "
+                "schedule and block streams are computed once)"
+            )
+        if len(batch_jobs) != len(base_jobs):
+            raise ValueError("matrix variants must share their jobs")
+        for batch_job, base_job in zip(batch_jobs, base_jobs):
+            if batch_job.name != base_job.name or not np.array_equal(
+                batch_job.blocks, base_job.blocks
+            ):
+                raise ValueError(
+                    "matrix variants must share job traces and "
+                    "address offsets"
+                )
+
+    warm_blocks, warm_jobs = _warmup_stream(base_jobs, warmup_passes)
+    mask_tables = [
+        np.array(
+            [batch_job.mask_bits for batch_job in batch_jobs],
+            dtype=np.int64,
+        )
+        for batch_jobs in batch_lists
+    ]
+
+    # The warm-up stream is identical for every quantum of a variant,
+    # and cache evolution is a pure function of (state, stream): warm
+    # each variant once and start every point from a copy.
+    warm_states: list[LockstepState] = []
+    for variant_index, (geometry, _jobs) in enumerate(variants):
+        warm_state = LockstepState.cold(geometry.sets, geometry.columns)
+        if len(warm_blocks):
+            lockstep_run(
+                warm_blocks & np.int64(geometry.sets - 1),
+                warm_blocks >> np.int64(geometry.index_bits),
+                warm_state,
+                mask_bits=mask_tables[variant_index][warm_jobs],
+                scalar_cutoff=scalar_cutoff,
+            )
+        warm_states.append(warm_state)
+
+    results: list[list[Optional[dict[str, JobResult]]]] = [
+        [None] * len(quanta) for _ in variants
+    ]
+    groups: dict[int, _KernelGroup] = {}
+
+    for point_index, quantum in enumerate(quanta):
+        schedule = _Schedule(
+            base_jobs, int(quantum), int(budget_instructions)
+        )
+        stream_blocks, stream_jobs = schedule.access_stream(base_jobs)
+        for variant_index, (geometry, _jobs) in enumerate(variants):
+            ways = geometry.columns
+            group = groups.get(ways)
+            if group is None:
+                group = groups[ways] = _KernelGroup(
+                    ways, scalar_cutoff
+                )
+            group.add(
+                variant_index,
+                point_index,
+                schedule,
+                stream_jobs,
+                stream_blocks & np.int64(geometry.sets - 1),
+                stream_blocks >> np.int64(geometry.index_bits),
+                mask_tables[variant_index][stream_jobs],
+                warm_states[variant_index],
+            )
+            if group.buffered >= max_batch_accesses:
+                group.flush(batch_lists, results)
+    for group in groups.values():
+        group.flush(batch_lists, results)
+    return [
+        [point for point in variant_results if point is not None]
+        for variant_results in results
+    ]
+
+
+def simulate_multitask_sweep(
+    geometry: CacheGeometry,
+    jobs: Sequence[Job],
+    quanta: Sequence[int],
+    budget_instructions: int,
+    warmup_passes: int = 0,
+    max_batch_accesses: int = DEFAULT_MAX_BATCH_ACCESSES,
+    scalar_cutoff: int = DEFAULT_SCALAR_CUTOFF,
+) -> list[dict[str, JobResult]]:
+    """Run a whole quantum sweep through the lockstep kernel.
+
+    Each sweep point owns an independent bank of cache sets (stacked
+    as extra lockstep rows) so points share kernel calls.  Per point
+    this is equivalent to ``MultitaskSimulator`` +
+    ``warm_up(warmup_passes)`` + ``run(quantum,
+    budget_instructions)``.
+    """
+    return simulate_multitask_matrix(
+        [(geometry, jobs)],
+        quanta,
+        budget_instructions,
+        warmup_passes=warmup_passes,
+        max_batch_accesses=max_batch_accesses,
+        scalar_cutoff=scalar_cutoff,
+    )[0]
+
+
+def simulate_multitask_batched(
+    geometry: CacheGeometry,
+    jobs: Sequence[Job],
+    quantum_instructions: int,
+    total_instructions: int,
+    warmup_passes: int = 0,
+) -> dict[str, JobResult]:
+    """Batched equivalent of one ``MultitaskSimulator`` run.
+
+    Same contract as ``MultitaskSimulator(geometry, jobs)`` followed
+    by ``warm_up(warmup_passes)`` and ``run(quantum_instructions,
+    total_instructions)``; returns bit-identical per-job results.
+    """
+    return simulate_multitask_sweep(
+        geometry,
+        jobs,
+        [quantum_instructions],
+        total_instructions,
+        warmup_passes=warmup_passes,
+    )[0]

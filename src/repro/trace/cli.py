@@ -17,7 +17,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.cache.fastsim import simulate_trace
+from repro.cache.fastsim import FastColumnCache, blocks_of
 from repro.cache.geometry import CacheGeometry
 from repro.profiling.profiler import profile_trace
 from repro.trace.dinero import load_trace, save_trace
@@ -95,7 +95,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     geometry = CacheGeometry.from_sizes(
         args.size, line_size=args.line_size, columns=args.columns
     )
-    result = simulate_trace(trace.addresses.tolist(), geometry)
+    # Stream in bounded chunks: flat memory however long the trace is.
+    result = FastColumnCache(geometry).run_chunked(
+        blocks_of(trace.addresses, geometry)
+    )
     print(f"cache: {geometry}")
     print(
         f"accesses={result.accesses} hits={result.hits} "

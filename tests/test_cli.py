@@ -63,3 +63,108 @@ class TestExperimentsCLI:
 
         with pytest.raises(SystemExit):
             experiments_main(["figure9"])
+
+
+class TestTraceCLIDetails:
+    """Deeper coverage of the trace CLI's options and error paths."""
+
+    def test_generate_respects_seed_and_element_size(self, tmp_path):
+        first = tmp_path / "a.din"
+        second = tmp_path / "b.din"
+        third = tmp_path / "c.din"
+        for out, seed in ((first, "1"), (second, "1"), (third, "2")):
+            assert trace_main(
+                ["generate", str(out), "--kind", "random",
+                 "--count", "200", "--seed", seed,
+                 "--element-size", "4"]
+            ) == 0
+        same = load_trace(first)
+        again = load_trace(second)
+        different = load_trace(third)
+        assert list(same.addresses) == list(again.addresses)
+        assert list(same.addresses) != list(different.addresses)
+
+    def test_generate_base_offsets_addresses(self, tmp_path):
+        out = tmp_path / "seq.din"
+        trace_main(
+            ["generate", str(out), "--kind", "sequential",
+             "--count", "10", "--base", "4096"]
+        )
+        trace = load_trace(out)
+        assert int(trace.addresses.min()) >= 4096
+
+    def test_simulate_reports_exact_counts(self, tmp_path, capsys):
+        out = tmp_path / "t.din"
+        trace_main(
+            ["generate", str(out), "--kind", "sequential",
+             "--count", "256", "--element-size", "16"]
+        )
+        capsys.readouterr()
+        assert trace_main(
+            ["simulate", str(out), "--size", "4096",
+             "--line-size", "16", "--columns", "1"]
+        ) == 0
+        captured = capsys.readouterr().out
+        # A pure 16B-stride stream through 16B lines never reuses one.
+        assert "hits=0" in captured
+        assert "accesses=256" in captured
+
+    def test_stats_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            trace_main(["stats", str(tmp_path / "missing.din")])
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            trace_main(
+                ["generate", str(tmp_path / "x.din"), "--kind", "bogus"]
+            )
+
+    def test_module_entry_point(self, tmp_path):
+        import subprocess
+        import sys
+
+        out = tmp_path / "m.din"
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.trace", "generate", str(out),
+             "--count", "50"],
+            capture_output=True,
+            text=True,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert load_trace(out).access_count == 50
+
+
+class TestExperimentsCLIEngine:
+    """The experiments CLI drives sweeps through the engine."""
+
+    def test_cache_dir_makes_second_run_incremental(
+        self, tmp_path, capsys
+    ):
+        from repro.experiments.cli import main as experiments_main
+
+        arguments = [
+            "figure4", "--quick", "--cache-dir", str(tmp_path)
+        ]
+        assert experiments_main(arguments) == 0
+        first = capsys.readouterr().out
+        assert "jobs executed" in first
+        assert experiments_main(arguments) == 0
+        second = capsys.readouterr().out
+        assert "0 jobs executed" in second
+        # Identical tables either way (ignore timing + engine stats).
+        def tables(text):
+            return "\n".join(
+                line
+                for line in text.splitlines()
+                if "(" not in line and "sweep engine" not in line
+            )
+
+        assert tables(first) == tables(second)
+
+    def test_workers_flag_builds_process_engine(self):
+        from repro.experiments.cli import make_engine
+
+        serial = make_engine(None, None)
+        assert serial.backend == "serial"
+        pooled = make_engine(3, None)
+        assert pooled.backend == "process" and pooled.workers == 3

@@ -3,16 +3,22 @@
 This is the strongest cross-validation in the suite: random variable
 sets, random interleaved traces, random scratchpad/cache splits — the
 vectorized fast path and the full TLB/tint/replacement mechanism must
-produce identical cycle counts and miss totals.
+produce identical cycle counts and miss totals.  The sweep engine's
+batched paths (lockstep kernel and set sharding) join the same
+triangle: on the cached access stream every planner assignment
+produces, all cache models must agree bit-for-bit.
 """
 
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.cache.fastsim import FastColumnCache
 from repro.layout.algorithm import DataLayoutPlanner, LayoutConfig
 from repro.mem.layout import MemoryMap
 from repro.sim.config import TimingConfig
+from repro.sim.engine.batched import batched_simulate
+from repro.sim.engine.sharded import simulate_trace_sharded
 from repro.sim.executor import TraceExecutor
 from repro.trace.trace import TraceBuilder
 from repro.workloads.base import WorkloadRun
@@ -75,3 +81,49 @@ def test_fast_matches_reference_on_random_workloads(workload):
     assert fast.uncached_accesses == reference.uncached_accesses
     assert fast.scratchpad_accesses == reference.scratchpad_accesses
     assert fast.setup_cycles == reference.setup_cycles
+
+
+@given(
+    workload=random_workload(),
+    shards=st.integers(1, 3),
+    cutoff=st.sampled_from([0, 2, 10_000]),
+)
+@settings(max_examples=40, deadline=None)
+def test_sharded_and_lockstep_match_scalar_on_planner_masks(
+    workload, shards, cutoff
+):
+    """The engine's batched paths on real planner-produced masks.
+
+    Extracts the cached access stream exactly as the fast executor
+    does, then runs it through the scalar cache, the set-sharded
+    runner and the lockstep kernel: hit/miss/bypass counts must be
+    bit-identical for every random layout.
+    """
+    run, scratchpad, split = workload
+    config = LayoutConfig(
+        columns=4,
+        column_bytes=512,
+        scratchpad_columns=scratchpad,
+        split_oversized=split,
+    )
+    assignment = DataLayoutPlanner(config).plan(run)
+    executor = TraceExecutor(TIMING)
+    geometry = executor.geometry_for(assignment)
+    codes, bits = executor.classify(run.trace, assignment)
+    cached = np.flatnonzero(codes == 0)
+    blocks = run.trace.addresses[cached] >> geometry.offset_bits
+    masks = bits[cached]
+
+    scalar = FastColumnCache(geometry).run(
+        blocks.tolist(), mask_bits=masks.tolist()
+    )
+    sharded = simulate_trace_sharded(
+        blocks, geometry, mask_bits=masks, workers=1, shards=shards
+    )
+    lockstep = batched_simulate(
+        blocks, geometry, mask_bits=masks, scalar_cutoff=cutoff
+    )
+    for other in (sharded, lockstep):
+        assert other.hits == scalar.hits
+        assert other.misses == scalar.misses
+        assert other.bypasses == scalar.bypasses

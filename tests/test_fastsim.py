@@ -144,3 +144,72 @@ class TestEquivalenceWithReference:
             assert fast.contains_block(address >> 4) == reference.contains(
                 address
             )
+
+
+class TestRunWithFlags:
+    """The single-pass run_with_flags must mirror run() exactly."""
+
+    def test_flag_count_equals_hit_count(self):
+        g = geometry(sets=4, columns=4)
+        rng = np.random.default_rng(11)
+        blocks = rng.integers(0, 128, 5000).tolist()
+        masks = rng.integers(0, 16, 5000).tolist()
+        counting = FastColumnCache(g)
+        reference = counting.run(blocks, mask_bits=masks)
+        flagging = FastColumnCache(g)
+        flags = flagging.run_with_flags(blocks, mask_bits=masks)
+        assert int(flags.sum()) == reference.hits
+        assert flagging.result().hits == reference.hits
+        assert flagging.result().misses == reference.misses
+        assert flagging.result().bypasses == reference.bypasses
+
+    @pytest.mark.parametrize("uniform_mask", [None, 0b0011, 0])
+    def test_uniform_mask_flags(self, uniform_mask):
+        g = geometry(sets=2, columns=4)
+        rng = np.random.default_rng(5)
+        blocks = rng.integers(0, 32, 800).tolist()
+        counting = FastColumnCache(g)
+        reference = counting.run(blocks, uniform_mask=uniform_mask)
+        flagging = FastColumnCache(g)
+        flags = flagging.run_with_flags(blocks, uniform_mask=uniform_mask)
+        assert int(flags.sum()) == reference.hits
+        assert flagging.result().bypasses == reference.bypasses
+
+    def test_flags_leave_identical_cache_state(self):
+        """After run_with_flags, future behaviour matches run()."""
+        g = geometry(sets=4, columns=2)
+        rng = np.random.default_rng(7)
+        first = rng.integers(0, 64, 300).tolist()
+        second = rng.integers(0, 64, 300).tolist()
+        via_run = FastColumnCache(g)
+        via_run.run(first)
+        via_flags = FastColumnCache(g)
+        via_flags.run_with_flags(first)
+        assert via_run.run(second).hits == via_flags.run(second).hits
+
+    def test_rejects_both_mask_kinds(self):
+        g = geometry()
+        with pytest.raises(ValueError, match="not both"):
+            FastColumnCache(g).run_with_flags(
+                [0], mask_bits=[1], uniform_mask=1
+            )
+
+    @given(
+        seed=st.integers(0, 2**31),
+        length=st.integers(1, 200),
+        columns=st.integers(1, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_per_access_flags_are_exact(self, seed, length, columns):
+        """Each flag equals the hit delta an access-by-access run sees."""
+        g = geometry(sets=4, columns=columns)
+        rng = np.random.default_rng(seed)
+        blocks = rng.integers(0, 48, length).tolist()
+        masks = rng.integers(0, 1 << columns, length).tolist()
+        flags = FastColumnCache(g).run_with_flags(blocks, mask_bits=masks)
+        stepper = FastColumnCache(g)
+        for position in range(length):
+            outcome = stepper.run(
+                blocks, mask_bits=masks, start=position, stop=position + 1
+            )
+            assert bool(flags[position]) == (outcome.hits == 1), position

@@ -1,0 +1,203 @@
+"""Batched multitask simulation must be bit-identical to the scalar
+round-robin simulator — every JobResult field, at every quantum shape
+(per-access switching, mid-trace, multi-wrap, batch)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.geometry import CacheGeometry
+from repro.sim.engine.multitask_batch import (
+    simulate_multitask_batched,
+    simulate_multitask_matrix,
+    simulate_multitask_sweep,
+)
+from repro.sim.multitask import Job, MultitaskSimulator
+from repro.trace.trace import TraceBuilder
+from repro.utils.bitvector import ColumnMask
+
+
+def build_trace(rng, length, span, name):
+    builder = TraceBuilder(name=name)
+    for _ in range(length):
+        builder.add_gap(int(rng.integers(0, 4)))
+        builder.append(int(rng.integers(0, span)) * 2, is_write=False)
+    return builder.build()
+
+
+def result_tuple(result):
+    return (
+        result.instructions,
+        result.accesses,
+        result.hits,
+        result.misses,
+        result.wraps,
+        result.quanta,
+    )
+
+
+@st.composite
+def multitask_case(draw):
+    seed = draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(seed)
+    sets = draw(st.sampled_from([2, 4, 8]))
+    columns = draw(st.sampled_from([2, 4, 8]))
+    geometry = CacheGeometry(line_size=16, sets=sets, columns=columns)
+    job_count = draw(st.integers(1, 3))
+    jobs = []
+    for index in range(job_count):
+        length = draw(st.integers(3, 100))
+        mask = None
+        if draw(st.booleans()) and columns >= 2:
+            start = draw(st.integers(0, columns - 1))
+            width = draw(st.integers(1, columns - start))
+            mask = ColumnMask.contiguous(start, width, columns)
+        jobs.append(
+            Job(
+                name=f"job{index}",
+                trace=build_trace(
+                    rng, length, draw(st.sampled_from([16, 64, 512])),
+                    f"job{index}",
+                ),
+                mask=mask,
+                address_offset=index << 20,
+            )
+        )
+    quantum = draw(st.sampled_from([1, 2, 3, 7, 50, 1000, 10**6]))
+    budget = draw(st.sampled_from([1, 5, 97, 1000, 20000]))
+    warmup = draw(st.integers(0, 2))
+    return geometry, jobs, quantum, budget, warmup
+
+
+class TestBatchedMultitask:
+    @given(case=multitask_case())
+    @settings(max_examples=60, deadline=None)
+    def test_bit_identical_to_scalar(self, case):
+        geometry, jobs, quantum, budget, warmup = case
+        simulator = MultitaskSimulator(geometry, jobs)
+        simulator.warm_up(warmup)
+        reference = simulator.run(quantum, budget)
+        batched = simulate_multitask_batched(
+            geometry, jobs, quantum, budget, warmup_passes=warmup
+        )
+        assert set(batched) == set(reference)
+        for name in reference:
+            assert result_tuple(batched[name]) == result_tuple(
+                reference[name]
+            ), name
+
+    def test_quantum_one_switches_every_access(self):
+        rng = np.random.default_rng(0)
+        geometry = CacheGeometry(line_size=16, sets=4, columns=4)
+        jobs = [
+            Job(
+                name=f"j{index}",
+                trace=build_trace(rng, 40, 64, f"j{index}"),
+                address_offset=index << 20,
+            )
+            for index in range(3)
+        ]
+        simulator = MultitaskSimulator(geometry, jobs)
+        reference = simulator.run(1, 500)
+        batched = simulate_multitask_batched(geometry, jobs, 1, 500)
+        for name in reference:
+            assert result_tuple(batched[name]) == result_tuple(
+                reference[name]
+            )
+            # quantum 1 + every-access-costs->=1 ==> one access per quantum
+            assert batched[name].quanta == batched[name].accesses
+
+    def test_sweep_matches_per_point(self):
+        rng = np.random.default_rng(2)
+        geometry = CacheGeometry(line_size=16, sets=4, columns=4)
+        jobs = [
+            Job(
+                name=f"j{index}",
+                trace=build_trace(rng, 80, 64, f"j{index}"),
+                address_offset=index << 20,
+            )
+            for index in range(3)
+        ]
+        quanta = [1, 4, 16, 64, 100_000]
+        swept = simulate_multitask_sweep(
+            geometry, jobs, quanta, 3000, warmup_passes=1,
+            max_batch_accesses=500,  # force several kernel flushes
+        )
+        assert len(swept) == len(quanta)
+        for quantum, point in zip(quanta, swept):
+            single = simulate_multitask_batched(
+                geometry, jobs, quantum, 3000, warmup_passes=1
+            )
+            for name in single:
+                assert result_tuple(point[name]) == result_tuple(
+                    single[name]
+                ), (quantum, name)
+
+    def test_matrix_shares_schedule_across_variants(self):
+        rng = np.random.default_rng(7)
+        small = CacheGeometry(line_size=16, sets=4, columns=4)
+        large = CacheGeometry(line_size=16, sets=16, columns=4)
+        traces = [build_trace(rng, 90, 128, f"j{index}") for index in range(3)]
+
+        def make_jobs(mapped):
+            jobs = []
+            for index, trace in enumerate(traces):
+                if not mapped:
+                    mask = None
+                elif index == 0:
+                    mask = ColumnMask.contiguous(0, 3, 4)
+                else:
+                    mask = ColumnMask.contiguous(3, 1, 4)
+                jobs.append(
+                    Job(
+                        name=f"j{index}",
+                        trace=trace,
+                        mask=mask,
+                        address_offset=index << 20,
+                    )
+                )
+            return jobs
+
+        variants = [
+            (small, make_jobs(False)),
+            (small, make_jobs(True)),
+            (large, make_jobs(False)),
+            (large, make_jobs(True)),
+        ]
+        quanta = [1, 8, 300]
+        matrix = simulate_multitask_matrix(
+            variants, quanta, 2500, warmup_passes=1
+        )
+        for variant_index, (geometry, jobs) in enumerate(variants):
+            for quantum_index, quantum in enumerate(quanta):
+                simulator = MultitaskSimulator(geometry, jobs)
+                simulator.warm_up(1)
+                reference = simulator.run(quantum, 2500)
+                point = matrix[variant_index][quantum_index]
+                for name in reference:
+                    assert result_tuple(point[name]) == result_tuple(
+                        reference[name]
+                    ), (variant_index, quantum, name)
+
+    def test_matrix_rejects_mismatched_line_size(self):
+        rng = np.random.default_rng(1)
+        trace = build_trace(rng, 10, 32, "j0")
+        jobs = [Job(name="j0", trace=trace)]
+        variants = [
+            (CacheGeometry(line_size=16, sets=4, columns=2), jobs),
+            (CacheGeometry(line_size=32, sets=4, columns=2), jobs),
+        ]
+        with pytest.raises(ValueError, match="line size"):
+            simulate_multitask_matrix(variants, [1], 10)
+
+    def test_rejects_empty_jobs_and_bad_quanta(self):
+        geometry = CacheGeometry(line_size=16, sets=4, columns=2)
+        with pytest.raises(ValueError, match="at least one job"):
+            simulate_multitask_batched(geometry, [], 1, 1)
+        rng = np.random.default_rng(1)
+        jobs = [Job(name="j0", trace=build_trace(rng, 5, 32, "j0"))]
+        with pytest.raises(ValueError, match="quantum"):
+            simulate_multitask_batched(geometry, jobs, 0, 10)
+        with pytest.raises(ValueError, match="budget"):
+            simulate_multitask_batched(geometry, jobs, 1, 0)
