@@ -22,6 +22,11 @@ import sys
 import time
 from typing import Optional, Sequence
 
+from repro.experiments.adaptive import (
+    AdaptiveComparisonConfig,
+    check_adaptive,
+    run_adaptive_comparison,
+)
 from repro.experiments.figure4 import (
     Figure4Config,
     check_figure4a,
@@ -84,6 +89,22 @@ def _run_figure5(quick: bool, engine: SweepEngine) -> bool:
     return all(check.passed for check in checks)
 
 
+def _run_adaptive(quick: bool, engine: SweepEngine) -> bool:
+    config = (
+        AdaptiveComparisonConfig().quick()
+        if quick
+        else AdaptiveComparisonConfig()
+    )
+    start = time.perf_counter()
+    result = run_adaptive_comparison(config, engine)
+    elapsed = time.perf_counter() - start
+    print(result.series.to_table())
+    checks = check_adaptive(result)
+    print(render_checks(checks))
+    print(f"  ({elapsed:.1f}s)\n")
+    return all(check.passed for check in checks)
+
+
 def make_engine(
     workers: Optional[int], cache_dir: Optional[str]
 ) -> SweepEngine:
@@ -105,7 +126,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "target",
-        choices=["figure4", "figure5", "all"],
+        choices=["figure4", "figure5", "adaptive", "all"],
         help="which experiment to run",
     )
     parser.add_argument(
@@ -134,6 +155,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         ok = _run_figure4(arguments.quick, engine) and ok
     if arguments.target in ("figure5", "all"):
         ok = _run_figure5(arguments.quick, engine) and ok
+    if arguments.target in ("adaptive", "all"):
+        ok = _run_adaptive(arguments.quick, engine) and ok
     executed = engine.stats
     print(
         f"sweep engine: {executed['executed']} jobs executed, "

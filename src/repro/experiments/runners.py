@@ -167,6 +167,111 @@ def figure5_matrix(
 
 
 # ----------------------------------------------------------------------
+# Adaptive-runtime comparison: static vs page coloring vs adaptive
+# ----------------------------------------------------------------------
+def adaptive_point(
+    *,
+    workload: str,
+    workload_kwargs: Sequence[Sequence[Any]] = (),
+    columns: int,
+    column_bytes: int,
+    line_size: int,
+    window_size: int,
+    signature_threshold: float,
+    miss_rate_threshold: float,
+    hysteresis_windows: int,
+    min_benefit_cycles: int,
+    seed: int,
+    timing: Optional[Mapping[str, int]] = None,
+) -> dict[str, Any]:
+    """One workload's static/page-coloring/adaptive comparison.
+
+    Static candidates: the unpartitioned standard cache, the planner's
+    full-trace assignment, and each phase profile's assignment applied
+    statically over the whole trace — ``best_static`` is the cheapest.
+    The adaptive runtime must discover the phase structure on its own.
+    """
+    from repro.baselines.page_coloring import PageColoringBaseline
+    from repro.layout.algorithm import DataLayoutPlanner, LayoutConfig
+    from repro.profiling.profiler import profile_trace
+    from repro.runtime import AdaptiveConfig, AdaptiveExecutor
+    from repro.sim.executor import TraceExecutor
+    from repro.workloads.suite import make_workload
+
+    timing_config = _timing_from(timing)
+    run = make_workload(
+        workload, seed=seed, **dict(workload_kwargs)
+    ).record()
+    layout = LayoutConfig(
+        columns=columns,
+        column_bytes=column_bytes,
+        line_size=line_size,
+        split_oversized=True,
+    )
+    planner = DataLayoutPlanner(layout)
+    executor = TraceExecutor(timing_config)
+    adaptive_executor = AdaptiveExecutor(
+        layout,
+        timing_config,
+        AdaptiveConfig(
+            window_size=window_size,
+            signature_threshold=signature_threshold,
+            miss_rate_threshold=miss_rate_threshold,
+            hysteresis_windows=hysteresis_windows,
+            min_benefit_cycles=min_benefit_cycles,
+        ),
+    )
+
+    static_cycles: dict[str, int] = {}
+    policy = adaptive_executor.make_policy(run)
+    policy_units = policy.units
+    static_cycles["standard"] = int(
+        executor.run(run.trace, policy.initial_assignment()).cycles
+    )
+    static_cycles["full_profile"] = int(
+        executor.run(run.trace, planner.plan(run)).cycles
+    )
+    for label in run.phase_labels():
+        profile = profile_trace(
+            run.phase_trace(label), policy_units, by_address=True
+        )
+        assignment = planner.plan_from_profile(profile, policy_units)
+        static_cycles[f"phase:{label}"] = int(
+            executor.run(run.trace, assignment).cycles
+        )
+
+    coloring = PageColoringBaseline(
+        adaptive_executor.geometry, page_size=64, timing=timing_config
+    )
+    page_coloring_cycles = int(coloring.run(run).cycles)
+
+    adaptive_result = adaptive_executor.run(run)
+    instructions = int(run.trace.instruction_count)
+    best_static = min(static_cycles.values())
+    return {
+        "workload": workload,
+        "instructions": instructions,
+        "accesses": int(len(run.trace)),
+        "adaptive_cycles": int(adaptive_result.result.cycles),
+        "adaptive_misses": int(adaptive_result.result.misses),
+        "remaps": int(adaptive_result.remap_count),
+        "remap_cycles": int(adaptive_result.remap_cycles),
+        "boundary_windows": [
+            int(observation.index)
+            for observation in adaptive_result.observations
+            if observation.boundary
+        ],
+        "static_cycles": static_cycles,
+        "best_static_cycles": int(best_static),
+        "best_static_label": min(static_cycles, key=static_cycles.get),
+        "page_coloring_cycles": page_coloring_cycles,
+        "adaptive_cpi": adaptive_result.result.cycles / instructions,
+        "best_static_cpi": best_static / instructions,
+        "page_coloring_cpi": page_coloring_cycles / instructions,
+    }
+
+
+# ----------------------------------------------------------------------
 # Generic trace simulation (tests, CI perf smoke, ad-hoc sweeps)
 # ----------------------------------------------------------------------
 def trace_sim(

@@ -103,6 +103,19 @@ class ColumnAssignment:
             if placement.disposition is disposition
         ]
 
+    def distinct_tint_masks(self) -> set[int]:
+        """Mask bits of each distinct non-uncached placement.
+
+        One tint-table entry exists per distinct mask, so installing
+        this assignment costs one tint write per element (the shared
+        remap-pricing rule of the executors and the adaptive runtime).
+        """
+        return {
+            placement.mask.bits
+            for placement in self.placements.values()
+            if placement.disposition is not Disposition.UNCACHED
+        }
+
     def scratchpad_bytes_used(self) -> int:
         """Bytes pinned in the scratchpad columns."""
         return sum(

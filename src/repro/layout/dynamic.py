@@ -68,6 +68,44 @@ class DynamicLayoutPlan:
         raise KeyError(f"no phase labelled {label!r}")
 
 
+def evaluate_reuse_cost(
+    profile,
+    units,
+    previous: ColumnAssignment,
+) -> Optional[int]:
+    """Predicted W of keeping ``previous`` for this profile's accesses.
+
+    None (= must remap) when the profile touches units the previous
+    assignment never placed, or units it left uncached that now carry
+    accesses.  Shared by :class:`DynamicLayoutPlanner` (offline,
+    labelled phases) and the runtime's
+    :class:`~repro.runtime.policy.RepartitionPolicy` (online, detected
+    phases).
+    """
+    names = [name for name in profile.variables if name in units]
+    coloring: dict[str, int] = {}
+    for name in names:
+        if name not in previous.placements:
+            return None
+        placement = previous.placements[name]
+        if placement.disposition is Disposition.UNCACHED:
+            return None
+        if placement.disposition is Disposition.SCRATCHPAD:
+            # Pinned units conflict with nothing.
+            coloring[name] = -1 - previous.columns
+            continue
+        coloring[name] = placement.mask.lowest()
+    graph = ConflictGraph.from_profile(profile, variables=names)
+    # Scratchpad units must not be counted as conflicting: give each
+    # a unique pseudo-color.
+    pseudo = -1
+    for name in names:
+        if coloring[name] < -previous.columns:
+            coloring[name] = pseudo
+            pseudo -= 1
+    return graph.monochromatic_cost(coloring)
+
+
 @dataclass
 class DynamicLayoutPlanner:
     """Per-phase planning with a remap-benefit test."""
@@ -134,33 +172,5 @@ class DynamicLayoutPlanner:
         units,
         previous: ColumnAssignment,
     ) -> Optional[int]:
-        """Predicted W of keeping ``previous`` for this phase's profile.
-
-        None (= must remap) when the phase touches units the previous
-        assignment never placed, or units it left uncached that now
-        carry accesses.
-        """
-        names = [
-            name for name in profile.variables if name in units
-        ]
-        coloring: dict[str, int] = {}
-        for name in names:
-            if name not in previous.placements:
-                return None
-            placement = previous.placements[name]
-            if placement.disposition is Disposition.UNCACHED:
-                return None
-            if placement.disposition is Disposition.SCRATCHPAD:
-                # Pinned units conflict with nothing.
-                coloring[name] = -1 - previous.columns
-                continue
-            coloring[name] = placement.mask.lowest()
-        graph = ConflictGraph.from_profile(profile, variables=names)
-        # Scratchpad units must not be counted as conflicting: give each
-        # a unique pseudo-color.
-        pseudo = -1
-        for name in names:
-            if coloring[name] < -previous.columns:
-                coloring[name] = pseudo
-                pseudo -= 1
-        return graph.monochromatic_cost(coloring)
+        """Predicted W of keeping ``previous`` for this phase's profile."""
+        return evaluate_reuse_cost(profile, units, previous)

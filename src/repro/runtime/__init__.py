@@ -1,0 +1,47 @@
+"""Phase-adaptive runtime repartitioning (paper Section 3.2, online).
+
+The static pipeline plans one column assignment offline and the
+dynamic planner (``layout/dynamic.py``) plans per *labelled* phase —
+both need the phase structure handed to them.  This subsystem closes
+the loop the paper's software-controlled cache promises: observe the
+reference stream as it executes, detect phase changes from behaviour
+alone (windowed miss rate + working-set signatures), replan the column
+assignment with the existing layout algorithms, and install the new
+mapping live through a tint-table write while the trace keeps running.
+
+Components:
+
+* :mod:`repro.runtime.detector` — change-point detection over access
+  windows (:class:`PhaseDetector`).
+* :mod:`repro.runtime.policy` — when a boundary fires, replan with
+  :class:`~repro.layout.algorithm.DataLayoutPlanner` and decide
+  whether the remap is *warranted* against its modeled cost
+  (:class:`RepartitionPolicy`).
+* :mod:`repro.runtime.adaptive` — the executors:
+  :class:`AdaptiveExecutor` (fast array-based path) and
+  :func:`replay_reference` (the full TLB/tint/replacement mechanism of
+  ``sim/memory_system.py`` with live column reassignment); both
+  produce identical counts, asserted by the differential harness.
+"""
+
+from repro.runtime.adaptive import (
+    AdaptiveConfig,
+    AdaptiveExecutor,
+    AdaptiveRunResult,
+    RemapEvent,
+    replay_reference,
+)
+from repro.runtime.detector import PhaseDetector, WindowObservation
+from repro.runtime.policy import RepartitionDecision, RepartitionPolicy
+
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptiveExecutor",
+    "AdaptiveRunResult",
+    "PhaseDetector",
+    "RemapEvent",
+    "RepartitionDecision",
+    "RepartitionPolicy",
+    "WindowObservation",
+    "replay_reference",
+]

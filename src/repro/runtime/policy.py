@@ -1,0 +1,189 @@
+"""The repartitioning policy: replan at boundaries, price the remap.
+
+When the detector fires, the policy profiles the window that revealed
+the new phase and invokes the *existing* static layout machinery
+(:class:`~repro.layout.algorithm.DataLayoutPlanner` over the conflict
+graph/coloring pipeline) to plan a fresh column assignment.  It then
+decides whether installing it is warranted:
+
+* the predicted benefit is ``(reuse_cost - fresh_cost)`` conflicting
+  accesses avoided (the planner's W objective, evaluated for keeping
+  the current mapping versus the fresh one — the same test
+  ``layout/dynamic.py`` applies to labelled phases), converted to
+  cycles through the miss penalty;
+* the modeled cost is one tint-table write per distinct placement
+  mask (``remap_tint_cycles`` each — the paper's "almost
+  instantaneous" path; there is no data copying, because the
+  associative lookup still finds lines resident in their old
+  columns).
+
+The policy is restricted to pure cache-column layouts
+(``scratchpad_columns == 0``): repartitioning *cache* columns is free
+by construction, while re-pinning scratchpad contents mid-run would
+need preloads the online story cannot hide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.layout.algorithm import DataLayoutPlanner, LayoutConfig
+from repro.layout.assignment import ColumnAssignment
+from repro.layout.dynamic import evaluate_reuse_cost
+from repro.layout.partition import split_for_columns
+from repro.mem.symbols import SymbolTable
+from repro.profiling.profiler import profile_trace
+from repro.sim.config import TimingConfig
+from repro.trace.trace import Trace
+from repro.utils.bitvector import ColumnMask
+
+
+@dataclass(frozen=True)
+class RepartitionDecision:
+    """Outcome of one boundary's replanning.
+
+    Attributes:
+        assignment: The mapping in force after the decision.
+        remapped: True when a new mapping was installed.
+        remap_cycles: Modeled cost charged for installing it (0 when
+            not remapped).
+        reuse_cost: Predicted W of keeping the previous mapping (None
+            when reuse was impossible).
+        fresh_cost: Predicted W of the fresh plan.
+    """
+
+    assignment: ColumnAssignment
+    remapped: bool
+    remap_cycles: int = 0
+    reuse_cost: Optional[int] = None
+    fresh_cost: int = 0
+
+
+@dataclass
+class RepartitionPolicy:
+    """Replans column assignments from observed windows.
+
+    Args:
+        config: Layout parameters (must have no scratchpad columns).
+        symbols: The application's symbol table; split into
+            column-sized layout units exactly like the static planner.
+        timing: Prices the remap (tint writes) and the benefit
+            (miss penalty per predicted conflict avoided).
+        min_benefit_cycles: Extra predicted benefit (in cycles) a
+            fresh plan must show beyond the remap cost before it is
+            installed — hysteresis against churn on noisy windows.
+    """
+
+    config: LayoutConfig
+    symbols: SymbolTable
+    timing: TimingConfig = field(default_factory=TimingConfig)
+    min_benefit_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.config.scratchpad_columns != 0:
+            raise ValueError(
+                "the adaptive runtime repartitions cache columns only; "
+                "use scratchpad_columns=0 (re-pinning scratchpad data "
+                "mid-run would require preloads)"
+            )
+        self.units: SymbolTable = (
+            split_for_columns(self.symbols, self.config.column_bytes)
+            if self.config.split_oversized
+            else self.symbols
+        )
+        self._planner = DataLayoutPlanner(self.config)
+        self.current: ColumnAssignment = self.initial_assignment()
+        self.decisions: list[RepartitionDecision] = []
+
+    def initial_assignment(self) -> ColumnAssignment:
+        """The mapping before anything is known: a standard cache.
+
+        No placements means every access carries the full cache mask —
+        behaviourally a plain set-associative cache.  The first
+        detected boundary installs the first real partition.
+        """
+        return ColumnAssignment(
+            columns=self.config.columns,
+            column_bytes=self.config.column_bytes,
+            line_size=self.config.line_size,
+            scratchpad_mask=ColumnMask.none(self.config.columns),
+            placements={},
+            layout_symbols=self.units,
+            predicted_cost=0,
+        )
+
+    def remap_cost_cycles(self, fresh: ColumnAssignment) -> int:
+        """Tint-table writes needed to install ``fresh``.
+
+        Same pricing rule as ``TraceExecutor._remap_cost`` (minus the
+        scratchpad preloads a cache-column-only layout never needs).
+        """
+        return (
+            len(fresh.distinct_tint_masks())
+            * self.timing.remap_tint_cycles
+        )
+
+    def replan(self, window_trace: Trace) -> RepartitionDecision:
+        """Replan from one observed window; maybe install the result.
+
+        The window is profiled against the layout units, a fresh
+        assignment is planned, and the remap-benefit test decides
+        whether to install it.  The installed (or retained) mapping is
+        available as :attr:`current`.
+        """
+        profile = profile_trace(window_trace, self.units, by_address=True)
+        fresh = self._planner.plan_from_profile(profile, self.units)
+        remap_cycles = self.remap_cost_cycles(fresh)
+        if not self.current.placements:
+            # First real plan: always install (the initial mapping is
+            # the know-nothing standard cache).
+            decision = RepartitionDecision(
+                assignment=fresh,
+                remapped=True,
+                remap_cycles=remap_cycles,
+                reuse_cost=None,
+                fresh_cost=fresh.predicted_cost,
+            )
+        else:
+            reuse_cost = evaluate_reuse_cost(
+                profile, self.units, self.current
+            )
+            if reuse_cost is None:
+                benefit_cycles = None  # reuse impossible: must remap
+            else:
+                benefit_cycles = (
+                    reuse_cost - fresh.predicted_cost
+                ) * self.timing.miss_penalty
+            if benefit_cycles is None or (
+                benefit_cycles
+                > remap_cycles + self.min_benefit_cycles
+            ):
+                decision = RepartitionDecision(
+                    assignment=fresh,
+                    remapped=True,
+                    remap_cycles=remap_cycles,
+                    reuse_cost=reuse_cost,
+                    fresh_cost=fresh.predicted_cost,
+                )
+            else:
+                decision = RepartitionDecision(
+                    assignment=self.current,
+                    remapped=False,
+                    remap_cycles=0,
+                    reuse_cost=reuse_cost,
+                    fresh_cost=fresh.predicted_cost,
+                )
+        self.current = decision.assignment
+        self.decisions.append(decision)
+        return decision
+
+    @property
+    def remap_count(self) -> int:
+        """Boundaries that actually installed a new mapping."""
+        return sum(1 for decision in self.decisions if decision.remapped)
+
+    def reset(self) -> None:
+        """Back to the know-nothing initial mapping."""
+        self.current = self.initial_assignment()
+        self.decisions = []

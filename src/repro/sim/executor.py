@@ -301,12 +301,9 @@ class TraceExecutor:
     ) -> int:
         """Tint-table writes + preload of newly pinned units."""
         timing = self.timing
-        distinct_masks = {
-            placement.mask.bits
-            for placement in fresh.placements.values()
-            if placement.disposition is not Disposition.UNCACHED
-        }
-        cycles = len(distinct_masks) * timing.remap_tint_cycles
+        cycles = (
+            len(fresh.distinct_tint_masks()) * timing.remap_tint_cycles
+        )
         previously_pinned = (
             {
                 placement.name

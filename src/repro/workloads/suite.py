@@ -14,6 +14,8 @@ from repro.workloads.mpeg import (
     MPEGDecodeApp,
     PlusRoutine,
 )
+from repro.workloads.packet import PacketPipeline
+from repro.workloads.transform import PhasedFFT, TwoPassTransform
 
 _REGISTRY: dict[str, Callable[..., Workload]] = {
     "dequant": DequantRoutine,
@@ -28,6 +30,9 @@ _REGISTRY: dict[str, Callable[..., Workload]] = {
     "crc32": CRC32,
     "adpcm": ADPCMEncoder,
     "iir": IIRCascade,
+    "packet": PacketPipeline,
+    "twopass": TwoPassTransform,
+    "fft_phased": PhasedFFT,
 }
 
 

@@ -1,11 +1,23 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and Hypothesis profiles for the test suite."""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.cache.geometry import CacheGeometry
 from repro.mem.layout import MemoryMap
+
+# Bounded-examples profiles: "tier1" (default) keeps the property
+# suites fast enough for the tier-1 gate; "thorough" is for local deep
+# runs and scheduled CI (HYPOTHESIS_PROFILE=thorough).  Suites that
+# pin their own ``max_examples`` via @settings keep it — profiles only
+# set the default.
+settings.register_profile("tier1", max_examples=25, deadline=None)
+settings.register_profile("thorough", max_examples=400, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "tier1"))
 
 
 @pytest.fixture

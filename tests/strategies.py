@@ -1,0 +1,164 @@
+"""Shared Hypothesis strategies for the differential-testing harness.
+
+Every simulator backend in this repository models the *same* machine:
+the reference :class:`~repro.cache.column_cache.ColumnCache`, the
+scalar :class:`~repro.cache.fastsim.FastColumnCache`, the lockstep
+kernel in :mod:`repro.sim.engine.batched`, the set-sharded runner and
+the adaptive runtime must all produce bit-identical hit/miss streams
+on any trace.  These strategies generate the random inputs the
+differential suites drive them with; keeping them here means a new
+backend gets the whole oracle battery by adding one test that imports
+them (see ``docs/testing.md``).
+
+Strategies:
+
+* :func:`small_geometries` — cache shapes small enough to force
+  evictions within short traces.
+* :func:`block_trace_cases` — (geometry, blocks, mask_bits) triples
+  with skewed block distributions and occasional empty masks.
+* :func:`random_workload` — a memory map + interleaved trace over
+  2-5 variables plus a (scratchpad, split) layout draw, as used by
+  the executor equivalence suite.
+* :func:`phased_workload` — a workload whose trace rotates through
+  random per-phase variable subsets (for the adaptive runtime).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.cache.geometry import CacheGeometry
+from repro.mem.layout import MemoryMap
+from repro.trace.trace import TraceBuilder
+from repro.workloads.base import PhaseMarker, WorkloadRun
+
+
+@st.composite
+def small_geometries(draw) -> CacheGeometry:
+    """Small geometries: 2-8 sets, 1-8 columns, 16/32-byte lines."""
+    return CacheGeometry(
+        line_size=draw(st.sampled_from([16, 32])),
+        sets=draw(st.sampled_from([2, 4, 8])),
+        columns=draw(st.sampled_from([1, 2, 3, 4, 8])),
+    )
+
+
+@st.composite
+def block_trace_cases(draw, max_length: int = 400):
+    """A (geometry, blocks, mask_bits) case for the cache oracles.
+
+    Blocks are drawn from a span a few times the cache size so sets
+    see real contention; each access's mask is drawn from a small
+    palette (including sometimes the empty mask, which must bypass).
+    """
+    geometry = draw(small_geometries())
+    length = draw(st.integers(1, max_length))
+    seed = draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(seed)
+    span = geometry.total_lines * draw(st.sampled_from([1, 2, 4]))
+    blocks = rng.integers(0, max(span, 2), length).astype(np.int64)
+    full = (1 << geometry.columns) - 1
+    palette_size = draw(st.integers(1, 4))
+    include_empty = draw(st.booleans())
+    palette = [
+        int(rng.integers(0, full + 1)) for _ in range(palette_size)
+    ] or [full]
+    if not include_empty:
+        palette = [bits or full for bits in palette]
+    mask_bits = [
+        palette[int(rng.integers(0, len(palette)))] for _ in range(length)
+    ]
+    return geometry, blocks.tolist(), mask_bits
+
+
+@st.composite
+def random_workload(draw, max_length: int = 300):
+    """A random memory map + trace over 2-5 variables.
+
+    Returns ``(run, scratchpad_columns, split_oversized)`` — the
+    contract the executor equivalence suite was built on.
+    """
+    variable_count = draw(st.integers(2, 5))
+    memory_map = MemoryMap(base=0x10000, page_size=64, page_aligned=True)
+    sizes = [
+        draw(st.sampled_from([32, 64, 128, 256, 640]))
+        for _ in range(variable_count)
+    ]
+    variables = [
+        memory_map.allocate_array(f"v{index}", size // 2)
+        for index, size in enumerate(sizes)
+    ]
+    length = draw(st.integers(10, max_length))
+    seed = draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(seed)
+    builder = TraceBuilder(name="random")
+    for _ in range(length):
+        variable = variables[int(rng.integers(0, variable_count))]
+        index = int(rng.integers(0, variable.element_count))
+        builder.add_gap(int(rng.integers(0, 3)))
+        builder.append(
+            variable.address_of(index),
+            is_write=bool(rng.random() < 0.3),
+            variable=variable.name,
+        )
+    run = WorkloadRun(
+        name="random", trace=builder.build(), memory_map=memory_map
+    )
+    scratchpad = draw(st.integers(0, 4))
+    split = draw(st.booleans())
+    return run, scratchpad, split
+
+
+@st.composite
+def phased_workload(draw, max_phases: int = 4):
+    """A workload whose access stream rotates through phase subsets.
+
+    Each phase interleaves a random subset of the variables (looped
+    scans plus noise), so working sets genuinely shift — the input
+    shape the adaptive runtime exists for.
+    """
+    variable_count = draw(st.integers(3, 6))
+    memory_map = MemoryMap(base=0x10000, page_size=64, page_aligned=True)
+    variables = [
+        memory_map.allocate_array(
+            f"v{index}", draw(st.sampled_from([64, 128, 256]))
+        )
+        for index in range(variable_count)
+    ]
+    seed = draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(seed)
+    builder = TraceBuilder(name="phased")
+    phases: list[PhaseMarker] = []
+    phase_count = draw(st.integers(1, max_phases))
+    for phase_index in range(phase_count):
+        subset_size = draw(st.integers(1, variable_count))
+        subset = [
+            variables[i]
+            for i in rng.choice(
+                variable_count, size=subset_size, replace=False
+            )
+        ]
+        length = draw(st.integers(20, 200))
+        start = len(builder)
+        for position in range(length):
+            variable = subset[position % len(subset)]
+            if rng.random() < 0.8:  # looped scan with some noise
+                index = position % variable.element_count
+            else:
+                index = int(rng.integers(0, variable.element_count))
+            builder.add_gap(int(rng.integers(0, 2)))
+            builder.append(
+                variable.address_of(index),
+                is_write=bool(rng.random() < 0.2),
+                variable=variable.name,
+            )
+        phases.append(
+            PhaseMarker(f"phase{phase_index}", start, len(builder))
+        )
+    return WorkloadRun(
+        name="phased",
+        trace=builder.build(),
+        memory_map=memory_map,
+        phases=phases,
+    )

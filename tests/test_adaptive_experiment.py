@@ -1,0 +1,73 @@
+"""The adaptive comparison experiment and its CLI entry point."""
+
+import pytest
+
+from repro.experiments.adaptive import (
+    AdaptiveComparisonConfig,
+    check_adaptive,
+    run_adaptive_comparison,
+)
+from repro.experiments.cli import main as experiments_main
+from repro.experiments.report import all_passed, render_checks
+from repro.sim.engine.scheduler import SweepEngine
+
+
+@pytest.fixture(scope="module")
+def quick_result():
+    config = AdaptiveComparisonConfig().quick()
+    engine = SweepEngine(workers=1, backend="serial")
+    return run_adaptive_comparison(config, engine)
+
+
+class TestAdaptiveComparison:
+    def test_all_shape_checks_pass(self, quick_result):
+        checks = check_adaptive(quick_result)
+        assert all_passed(checks), render_checks(checks)
+
+    def test_adaptive_wins_on_packet(self, quick_result):
+        """The acceptance criterion: CPI <= best static layout on a
+        phase-heavy workload, discovered online."""
+        point = quick_result.point("packet")
+        assert point["adaptive_cpi"] <= point["best_static_cpi"]
+        assert point["remaps"] >= 4
+
+    def test_series_covers_every_workload(self, quick_result):
+        series = quick_result.series
+        assert series.x_values == ["packet", "twopass", "fft_phased"]
+        for label in (
+            "best_static_cpi", "page_coloring_cpi", "adaptive_cpi",
+            "remaps",
+        ):
+            assert len(series.series[label]) == 3
+        table = series.to_table()
+        assert "adaptive_cpi" in table
+
+    def test_static_candidates_include_phase_oracle(self, quick_result):
+        point = quick_result.point("packet")
+        labels = set(point["static_cycles"])
+        assert {"standard", "full_profile"} <= labels
+        assert any(label.startswith("phase:") for label in labels)
+        assert point["best_static_cycles"] == min(
+            point["static_cycles"].values()
+        )
+
+    def test_results_are_engine_cacheable(self, tmp_path):
+        """Repeat runs are served from the content-addressed cache."""
+        config = AdaptiveComparisonConfig().quick()
+        engine = SweepEngine(
+            workers=1, backend="serial", cache_dir=tmp_path
+        )
+        run_adaptive_comparison(config, engine)
+        assert engine.stats["executed"] == 3
+        run_adaptive_comparison(config, engine)
+        assert engine.stats["executed"] == 3
+        assert engine.stats["from_cache"] == 3
+
+
+class TestCLI:
+    def test_adaptive_quick_smoke(self, capsys):
+        code = experiments_main(["adaptive", "--quick"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "adaptive-comparison" in captured
+        assert "all shape checks passed" in captured

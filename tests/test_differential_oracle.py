@@ -1,0 +1,155 @@
+"""The differential-testing oracle: every backend, one machine.
+
+Random traces and geometries drive the reference
+:class:`~repro.cache.column_cache.ColumnCache`, the scalar
+:class:`~repro.cache.fastsim.FastColumnCache`, the lockstep kernel and
+the set-sharded runner; the *per-access* hit and bypass streams (not
+just totals) must be bit-identical.  The adaptive runtime joins the
+triangle at the system level: the fast windowed executor and a live
+remap replay through the full TLB/tint/replacement mechanism must
+agree hit-for-hit and cycle-for-cycle.
+
+The input strategies live in ``tests/strategies.py`` so a new backend
+can reuse them verbatim — see ``docs/testing.md`` for the recipe.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.column_cache import ColumnCache
+from repro.cache.fastsim import FastColumnCache
+from repro.layout.algorithm import LayoutConfig
+from repro.runtime import AdaptiveConfig, AdaptiveExecutor, replay_reference
+from repro.sim.config import TimingConfig
+from repro.sim.engine.batched import batched_simulate
+from repro.sim.engine.sharded import simulate_trace_sharded
+from repro.utils.bitvector import ColumnMask
+
+from strategies import block_trace_cases, phased_workload
+
+TIMING = TimingConfig(miss_penalty=13, uncached_penalty=29)
+
+
+def reference_streams(geometry, blocks, mask_bits):
+    """Per-access (hit, bypass) streams from the reference model."""
+    cache = ColumnCache(geometry, policy="lru")
+    hits = np.zeros(len(blocks), dtype=bool)
+    bypasses = np.zeros(len(blocks), dtype=bool)
+    for position, (block, bits) in enumerate(zip(blocks, mask_bits)):
+        result = cache.access(
+            block << geometry.offset_bits,
+            mask=ColumnMask(bits, geometry.columns),
+        )
+        hits[position] = result.hit
+        bypasses[position] = result.bypassed
+    return hits, bypasses, cache
+
+
+@given(case=block_trace_cases())
+def test_backends_agree_per_access(case):
+    """Reference, scalar, and lockstep: identical access streams."""
+    geometry, blocks, mask_bits = case
+    ref_hits, ref_bypasses, reference = reference_streams(
+        geometry, blocks, mask_bits
+    )
+
+    fast = FastColumnCache(geometry)
+    fast_hits = fast.run_with_flags(blocks, mask_bits=mask_bits)
+    # A bypass is a miss whose mask allows no fill; the scalar model
+    # counts them, and per access they are determined by (hit, mask).
+    fast_bypasses = ~fast_hits & (np.asarray(mask_bits) == 0)
+
+    lockstep, lock_hits, lock_bypasses = batched_simulate(
+        blocks, geometry, mask_bits=mask_bits, return_flags=True
+    )
+
+    assert np.array_equal(fast_hits, ref_hits)
+    assert np.array_equal(lock_hits, ref_hits)
+    assert np.array_equal(fast_bypasses, ref_bypasses)
+    assert np.array_equal(lock_bypasses, ref_bypasses)
+
+    # Aggregate stats line up with the streams on every backend.
+    expected_hits = int(ref_hits.sum())
+    expected_bypasses = int(ref_bypasses.sum())
+    assert fast.hits == expected_hits
+    assert fast.misses == len(blocks) - expected_hits
+    assert fast.bypasses == expected_bypasses
+    assert lockstep.hits == expected_hits
+    assert lockstep.misses == len(blocks) - expected_hits
+    assert lockstep.bypasses == expected_bypasses
+    assert reference.stats.hits == expected_hits
+    assert reference.stats.misses == len(blocks) - expected_hits
+    assert reference.stats.bypasses == expected_bypasses
+
+
+@given(case=block_trace_cases(), shards=st.integers(1, 3))
+def test_sharded_totals_match_reference(case, shards):
+    """The set-sharded runner reports the same totals."""
+    geometry, blocks, mask_bits = case
+    ref_hits, ref_bypasses, _ = reference_streams(
+        geometry, blocks, mask_bits
+    )
+    sharded = simulate_trace_sharded(
+        np.asarray(blocks, dtype=np.int64),
+        geometry,
+        mask_bits=np.asarray(mask_bits, dtype=np.int64),
+        workers=1,
+        shards=shards,
+    )
+    assert sharded.hits == int(ref_hits.sum())
+    assert sharded.misses == len(blocks) - int(ref_hits.sum())
+    assert sharded.bypasses == int(ref_bypasses.sum())
+
+
+@given(case=block_trace_cases())
+def test_resumed_scalar_equals_one_shot(case):
+    """Splitting a run across calls must not change the streams."""
+    geometry, blocks, mask_bits = case
+    one_shot = FastColumnCache(geometry)
+    expected = one_shot.run_with_flags(blocks, mask_bits=mask_bits)
+    resumed = FastColumnCache(geometry)
+    cut = len(blocks) // 2
+    first = resumed.run_with_flags(blocks[:cut], mask_bits=mask_bits[:cut])
+    second = resumed.run_with_flags(blocks[cut:], mask_bits=mask_bits[cut:])
+    assert np.array_equal(np.concatenate([first, second]), expected)
+    assert resumed.result() == one_shot.result()
+
+
+@given(
+    run=phased_workload(),
+    window_size=st.sampled_from([32, 64, 128]),
+    hysteresis=st.integers(1, 3),
+)
+@settings(deadline=None)
+def test_adaptive_fast_matches_reference_mechanism(
+    run, window_size, hysteresis
+):
+    """Live remapping: fast path == full TLB/tint mechanism.
+
+    The adaptive executor's windowed fast path and a replay through
+    ``sim/memory_system.py`` (tint rewrites + TLB flush applied
+    mid-trace at the recorded remap positions) must agree on every
+    count the timing model consumes.
+    """
+    layout = LayoutConfig(
+        columns=4, column_bytes=512, line_size=16, split_oversized=True
+    )
+    executor = AdaptiveExecutor(
+        layout,
+        TIMING,
+        AdaptiveConfig(
+            window_size=window_size,
+            signature_threshold=0.3,
+            miss_rate_threshold=0.2,
+            hysteresis_windows=hysteresis,
+        ),
+    )
+    fast = executor.run(run)
+    reference = replay_reference(run, fast, layout, TIMING)
+    assert fast.result.cycles == reference.cycles
+    assert fast.result.hits == reference.hits
+    assert fast.result.misses == reference.misses
+    assert fast.result.uncached_accesses == reference.uncached_accesses
+    assert fast.result.accesses == reference.accesses
+    assert fast.result.instructions == reference.instructions

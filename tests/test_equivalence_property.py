@@ -15,50 +15,15 @@ from hypothesis import strategies as st
 
 from repro.cache.fastsim import FastColumnCache
 from repro.layout.algorithm import DataLayoutPlanner, LayoutConfig
-from repro.mem.layout import MemoryMap
 from repro.sim.config import TimingConfig
 from repro.sim.engine.batched import batched_simulate
 from repro.sim.engine.sharded import simulate_trace_sharded
 from repro.sim.executor import TraceExecutor
-from repro.trace.trace import TraceBuilder
-from repro.workloads.base import WorkloadRun
+
+from strategies import random_workload
 
 TIMING = TimingConfig(miss_penalty=13, uncached_penalty=29,
                       preload_line_cycles=7)
-
-
-@st.composite
-def random_workload(draw):
-    """A random memory map + trace over 2-5 variables."""
-    variable_count = draw(st.integers(2, 5))
-    memory_map = MemoryMap(base=0x10000, page_size=64, page_aligned=True)
-    sizes = [
-        draw(st.sampled_from([32, 64, 128, 256, 640]))
-        for _ in range(variable_count)
-    ]
-    variables = [
-        memory_map.allocate_array(f"v{index}", size // 2)
-        for index, size in enumerate(sizes)
-    ]
-    length = draw(st.integers(10, 300))
-    seed = draw(st.integers(0, 2**31))
-    rng = np.random.default_rng(seed)
-    builder = TraceBuilder(name="random")
-    for _ in range(length):
-        variable = variables[int(rng.integers(0, variable_count))]
-        index = int(rng.integers(0, variable.element_count))
-        builder.add_gap(int(rng.integers(0, 3)))
-        builder.append(
-            variable.address_of(index),
-            is_write=bool(rng.random() < 0.3),
-            variable=variable.name,
-        )
-    run = WorkloadRun(
-        name="random", trace=builder.build(), memory_map=memory_map
-    )
-    scratchpad = draw(st.integers(0, 4))
-    split = draw(st.booleans())
-    return run, scratchpad, split
 
 
 @given(workload=random_workload())

@@ -213,3 +213,64 @@ class TestRunWithFlags:
                 blocks, mask_bits=masks, start=position, stop=position + 1
             )
             assert bool(flags[position]) == (outcome.hits == 1), position
+
+
+class TestRunChunkedBoundaries:
+    """Chunk-boundary state carryover (regression: the chunk loop must
+    leave cache state exactly where one big run leaves it, for every
+    boundary placement including the degenerate chunk sizes)."""
+
+    def _trace(self, length=257, seed=11, columns=4):
+        rng = np.random.default_rng(seed)
+        blocks = rng.integers(0, 48, length).astype(np.int64)
+        masks = rng.integers(0, 1 << columns, length).astype(np.int64)
+        return blocks, masks
+
+    @pytest.mark.parametrize("offset", [None, -1, 0, 1])
+    def test_boundary_chunk_sizes_masked(self, offset):
+        """Chunk sizes 1, len-1, len and len+1 all match one run."""
+        g = geometry(sets=4, columns=4)
+        blocks, masks = self._trace()
+        chunk_size = 1 if offset is None else len(blocks) + offset
+        one_shot = FastColumnCache(g)
+        expected = one_shot.run(blocks.tolist(), mask_bits=masks.tolist())
+        chunked = FastColumnCache(g)
+        outcome = chunked.run_chunked(
+            blocks, mask_bits=masks, chunk_size=chunk_size
+        )
+        assert outcome == expected
+        assert chunked.result() == one_shot.result()
+
+    @pytest.mark.parametrize("chunk_size", [1, 63, 64, 65, 1 << 16])
+    def test_state_carries_across_chunk_boundaries(self, chunk_size):
+        """After chunked streaming, the *resident state* is identical:
+        a follow-up trace sees the same hits either way."""
+        g = geometry(sets=4, columns=2)
+        blocks, masks = self._trace(length=64, seed=3, columns=2)
+        follow_up, follow_masks = self._trace(length=100, seed=5, columns=2)
+        one_shot = FastColumnCache(g)
+        one_shot.run(blocks.tolist(), mask_bits=masks.tolist())
+        chunked = FastColumnCache(g)
+        chunked.run_chunked(blocks, mask_bits=masks, chunk_size=chunk_size)
+        assert chunked.run(
+            follow_up.tolist(), mask_bits=follow_masks.tolist()
+        ) == one_shot.run(
+            follow_up.tolist(), mask_bits=follow_masks.tolist()
+        )
+
+    def test_uniform_mask_chunked(self):
+        g = geometry(sets=4, columns=4)
+        blocks, _ = self._trace(length=130)
+        expected = FastColumnCache(g).run(
+            blocks.tolist(), uniform_mask=0b0011
+        )
+        outcome = FastColumnCache(g).run_chunked(
+            blocks, uniform_mask=0b0011, chunk_size=7
+        )
+        assert outcome == expected
+
+    def test_rejects_bad_chunk_size(self):
+        g = geometry()
+        with pytest.raises(ValueError, match="chunk_size"):
+            FastColumnCache(g).run_chunked(np.zeros(4, dtype=np.int64),
+                                           chunk_size=0)
