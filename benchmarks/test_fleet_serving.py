@@ -1,0 +1,28 @@
+"""Benchmark regenerating the fleet-serving isolation comparison.
+
+A streaming polluter, a compression tenant and two hot-table tenants
+co-resident under the column broker, the shared cache and a static
+equal split, scored against solo runs; plus the Poisson churn stress
+(admission rejection, departure re-grants) on a tight column budget.
+"""
+
+from repro.experiments.fleet import (
+    FleetComparisonConfig,
+    check_fleet,
+    run_fleet_comparison,
+)
+from repro.experiments.report import all_passed, render_checks
+
+
+def test_fleet_serving(benchmark, emit_table):
+    """Fleet: per-tenant CPI isolation under the column broker."""
+    config = FleetComparisonConfig()
+    result = benchmark.pedantic(
+        run_fleet_comparison, args=(config,), rounds=1, iterations=1
+    )
+    checks = check_fleet(result)
+    emit_table(
+        "fleet_serving",
+        result.series.to_table() + "\n" + render_checks(checks),
+    )
+    assert all_passed(checks), render_checks(checks)

@@ -1,0 +1,313 @@
+#!/usr/bin/env python3
+"""Build (and verify) the API reference under ``docs/api/``.
+
+Zero-dependency generator: it imports the documented packages, walks
+their public surface with :mod:`inspect`, and renders one markdown
+page per module.  Because it *imports* everything and *resolves*
+every absolute ``:class:`/:func:`/:mod:`/:meth:`/:attr:``
+cross-reference found in docstrings, a broken reference or a deleted
+symbol fails the build — that is the docs CI gate.  (CI additionally
+builds a browsable HTML site with ``pdoc``; this script is the part
+that needs no third-party installs and therefore also runs in the
+tier-1 environment.)
+
+Usage::
+
+    python docs/build_api_reference.py           # regenerate docs/api/
+    python docs/build_api_reference.py --check   # CI: verify freshness,
+                                                 # docstrings, cross-refs
+
+``--check`` fails when:
+
+* a documented module/class/function lost its docstring (for the
+  strict packages this mirrors ruff's D1xx gate in pyproject.toml);
+* a ``repro.*`` cross-reference in any docstring does not resolve;
+* ``docs/api/`` is stale relative to the source (regenerate and
+  commit).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import inspect
+import pkgutil
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+API_DIR = ROOT / "docs" / "api"
+
+#: Packages rendered into the reference.
+DOCUMENTED_PACKAGES = [
+    "repro.cache",
+    "repro.layout",
+    "repro.sim.engine",
+    "repro.runtime",
+    "repro.fleet",
+]
+
+#: Packages whose *public surface* must be fully docstringed
+#: (the ruff D1xx gate covers the same set; see pyproject.toml).
+STRICT_PACKAGES = ("repro.sim.engine", "repro.runtime", "repro.fleet")
+
+#: Sphinx-style roles validated against the live import graph.
+ROLE_PATTERN = re.compile(
+    r":(?:class|func|mod|meth|attr|data|exc):`~?([A-Za-z0-9_.]+)`"
+)
+
+
+def iter_modules(package_name: str):
+    """Yield (name, module) for a package and its submodules."""
+    package = importlib.import_module(package_name)
+    yield package_name, package
+    if hasattr(package, "__path__"):
+        for info in sorted(
+            pkgutil.iter_modules(package.__path__),
+            key=lambda item: item.name,
+        ):
+            yield from iter_modules(f"{package_name}.{info.name}")
+
+
+def public_members(module):
+    """(classes, functions) defined by this module, name-sorted."""
+    classes, functions = [], []
+    for name, member in sorted(vars(module).items()):
+        if name.startswith("_"):
+            continue
+        if getattr(member, "__module__", None) != module.__name__:
+            continue  # re-export; documented where it is defined
+        if inspect.isclass(member):
+            classes.append((name, member))
+        elif inspect.isfunction(member):
+            functions.append((name, member))
+    return classes, functions
+
+
+def signature_of(obj) -> str:
+    try:
+        return str(inspect.signature(obj))
+    except (TypeError, ValueError):
+        return "(...)"
+
+
+def _docstring_block(obj, problems, owner, strict) -> str:
+    doc = inspect.getdoc(obj)
+    if not doc:
+        if strict:
+            problems.append(f"missing docstring: {owner}")
+        return "*Undocumented.*\n"
+    return doc + "\n"
+
+
+def render_class(name, cls, module_name, problems, strict) -> str:
+    lines = [f"### class `{name}{signature_of(cls)}`", ""]
+    lines.append(
+        _docstring_block(
+            cls, problems, f"{module_name}.{name}", strict
+        )
+    )
+    for attr_name, attr in sorted(vars(cls).items()):
+        if attr_name.startswith("_"):
+            continue
+        if inspect.isfunction(attr):
+            lines.append(
+                f"#### `{name}.{attr_name}{signature_of(attr)}`"
+            )
+            lines.append("")
+            lines.append(
+                _docstring_block(
+                    attr,
+                    problems,
+                    f"{module_name}.{name}.{attr_name}",
+                    strict,
+                )
+            )
+        elif isinstance(attr, property):
+            lines.append(f"#### property `{name}.{attr_name}`")
+            lines.append("")
+            lines.append(
+                _docstring_block(
+                    attr,
+                    problems,
+                    f"{module_name}.{name}.{attr_name}",
+                    strict,
+                )
+            )
+        elif isinstance(attr, classmethod):
+            function = attr.__func__
+            lines.append(
+                f"#### classmethod "
+                f"`{name}.{attr_name}{signature_of(function)}`"
+            )
+            lines.append("")
+            lines.append(
+                _docstring_block(
+                    function,
+                    problems,
+                    f"{module_name}.{name}.{attr_name}",
+                    strict,
+                )
+            )
+        elif isinstance(attr, staticmethod):
+            function = attr.__func__
+            lines.append(
+                f"#### staticmethod "
+                f"`{name}.{attr_name}{signature_of(function)}`"
+            )
+            lines.append("")
+            lines.append(
+                _docstring_block(
+                    function,
+                    problems,
+                    f"{module_name}.{name}.{attr_name}",
+                    strict,
+                )
+            )
+    return "\n".join(lines)
+
+
+def render_module(module_name, module, problems, strict) -> str:
+    lines = [f"# `{module_name}`", ""]
+    lines.append(
+        _docstring_block(module, problems, module_name, strict)
+    )
+    classes, functions = public_members(module)
+    for name, function in functions:
+        lines.append(f"### `{name}{signature_of(function)}`")
+        lines.append("")
+        lines.append(
+            _docstring_block(
+                function, problems, f"{module_name}.{name}", strict
+            )
+        )
+    for name, cls in classes:
+        lines.append(render_class(name, cls, module_name, problems, strict))
+    lines.append("")
+    return "\n".join(lines)
+
+
+def collect_references(module) -> list[str]:
+    """All absolute ``repro.*`` role targets in the module's source."""
+    try:
+        source = inspect.getsource(module)
+    except (OSError, TypeError):
+        return []
+    return [
+        target
+        for target in ROLE_PATTERN.findall(source)
+        if target.startswith("repro.")
+    ]
+
+
+def resolve_reference(target: str) -> bool:
+    """True when a dotted ``repro.x.y.Z`` target imports/resolves."""
+    parts = target.split(".")
+    for split in range(len(parts), 0, -1):
+        module_name = ".".join(parts[:split])
+        try:
+            obj = importlib.import_module(module_name)
+        except ImportError:
+            continue
+        try:
+            for attribute in parts[split:]:
+                obj = getattr(obj, attribute)
+        except AttributeError:
+            return False
+        return True
+    return False
+
+
+def build() -> tuple[dict[str, str], list[str]]:
+    """Render every documented module; returns (pages, problems)."""
+    pages: dict[str, str] = {}
+    problems: list[str] = []
+    index_lines = [
+        "# API reference",
+        "",
+        "Generated by `docs/build_api_reference.py` — regenerate with",
+        "`python docs/build_api_reference.py` after changing public",
+        "APIs (CI fails when this directory is stale).",
+        "",
+    ]
+    for package_name in DOCUMENTED_PACKAGES:
+        index_lines.append(f"## `{package_name}`")
+        index_lines.append("")
+        for module_name, module in iter_modules(package_name):
+            strict = module_name.startswith(STRICT_PACKAGES)
+            pages[f"{module_name}.md"] = render_module(
+                module_name, module, problems, strict
+            )
+            summary = (inspect.getdoc(module) or "").partition("\n")[0]
+            index_lines.append(
+                f"- [`{module_name}`]({module_name}.md) — {summary}"
+            )
+            for target in collect_references(module):
+                if not resolve_reference(target):
+                    problems.append(
+                        f"broken cross-reference in {module_name}: "
+                        f"{target!r}"
+                    )
+        index_lines.append("")
+    pages["index.md"] = "\n".join(index_lines) + "\n"
+    return pages, problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify docs/api/ is fresh and every reference resolves "
+        "(write nothing)",
+    )
+    arguments = parser.parse_args(argv)
+    sys.path.insert(0, str(ROOT / "src"))
+
+    pages, problems = build()
+    for problem in problems:
+        print(f"ERROR: {problem}", file=sys.stderr)
+
+    if arguments.check:
+        stale = []
+        existing = {
+            path.name
+            for path in API_DIR.glob("*.md")
+        } if API_DIR.is_dir() else set()
+        for name, content in pages.items():
+            on_disk = API_DIR / name
+            if not on_disk.is_file():
+                stale.append(f"missing page: docs/api/{name}")
+            elif on_disk.read_text(encoding="utf-8") != content:
+                stale.append(f"stale page: docs/api/{name}")
+        for orphan in sorted(existing - set(pages)):
+            stale.append(f"orphaned page: docs/api/{orphan}")
+        for item in stale:
+            print(
+                f"ERROR: {item} (run `python "
+                "docs/build_api_reference.py` and commit)",
+                file=sys.stderr,
+            )
+        if problems or stale:
+            return 1
+        print(
+            f"api reference OK: {len(pages)} pages fresh, all "
+            "cross-references resolve"
+        )
+        return 0
+
+    if problems:
+        return 1
+    API_DIR.mkdir(parents=True, exist_ok=True)
+    for orphan in API_DIR.glob("*.md"):
+        if orphan.name not in pages:
+            orphan.unlink()
+    for name, content in pages.items():
+        (API_DIR / name).write_text(content, encoding="utf-8")
+    print(f"wrote {len(pages)} pages to {API_DIR}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

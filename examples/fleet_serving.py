@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Fleet serving: a column broker isolating a dynamic tenant mix.
+
+Four tenants share one 16 KB column cache: a gzip compressor (large
+hot working set), a streaming scan (touches everything, reuses
+nothing), and two small hot-table kernels (CRC32, histogram).  They
+arrive at different times; one departs early.  The broker profiles
+each arrival, plans its column demand with the layout algorithm,
+grants disjoint columns weighted by priority and benefit, and
+rewrites tints live on every arrival and departure — the streaming
+polluter ends up fenced into a single column, where it can hurt
+nobody.
+
+The same mix is then served by an unpartitioned shared cache: watch
+the polluter wreck the other tenants' CPI.
+
+Run:  python examples/fleet_serving.py
+"""
+
+from repro.cache.geometry import CacheGeometry
+from repro.fleet import (
+    ColumnBroker,
+    FleetConfig,
+    FleetEvent,
+    FleetExecutor,
+    FleetTrace,
+    SharedPool,
+    TenantSpec,
+)
+from repro.sim.config import MULTITASK_TIMING
+from repro.utils.tables import format_table
+from repro.workloads.suite import make_workload
+
+GEOMETRY = CacheGeometry(line_size=16, sets=64, columns=16)
+TIMING = MULTITASK_TIMING
+HORIZON = 300_000
+
+
+def build_fleet() -> FleetTrace:
+    recipes = [
+        # (workload, kwargs, priority, arrival time)
+        ("gzip", dict(input_bytes=2048, window_bits=11, hash_bits=10), 2, 0),
+        ("scan", dict(buffer_bytes=32768, stride_bytes=16, passes=2), 1, 0),
+        ("crc32", dict(message_bytes=512), 1, 40_000),
+        ("histogram", dict(sample_count=512, bin_count=64), 1, 80_000),
+    ]
+    events = []
+    for index, (name, kwargs, priority, arrival) in enumerate(recipes):
+        run = make_workload(name, seed=index, **kwargs).record()
+        spec = TenantSpec(
+            name=f"{name}",
+            run=run,
+            priority=priority,
+            address_offset=index << 32,
+        )
+        events.append(FleetEvent(time=arrival, kind="arrival", spec=spec))
+    events.append(FleetEvent(time=220_000, kind="departure", tenant="gzip"))
+    events.sort(key=lambda event: event.time)
+    return FleetTrace(events=tuple(events), horizon_instructions=HORIZON)
+
+
+def serve(fleet: FleetTrace, broker) -> dict:
+    executor = FleetExecutor(
+        GEOMETRY,
+        TIMING,
+        FleetConfig(quantum_instructions=1024, window_instructions=16_384),
+    )
+    return executor.run(fleet, broker=broker)
+
+
+def main() -> None:
+    fleet = build_fleet()
+    print(
+        f"{len(fleet.specs())} tenants over {HORIZON} instructions, "
+        f"{GEOMETRY.columns} columns x "
+        f"{GEOMETRY.sets * GEOMETRY.line_size} B\n"
+    )
+
+    brokered = serve(fleet, ColumnBroker(GEOMETRY, TIMING))
+    shared = serve(fleet, SharedPool(GEOMETRY, TIMING))
+
+    rows = []
+    for name in sorted(brokered.telemetry):
+        telemetry = brokered.telemetry[name]
+        occupancy = telemetry.occupancy_history()
+        rows.append(
+            [
+                name,
+                telemetry.status.value,
+                telemetry.priority,
+                f"{telemetry.mean_occupancy():.1f}",
+                f"{occupancy[-1] if occupancy else 0}",
+                f"{telemetry.cpi(TIMING):.3f}",
+                f"{shared.telemetry[name].cpi(TIMING):.3f}",
+                telemetry.remaps,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "tenant",
+                "status",
+                "prio",
+                "cols(avg)",
+                "cols(end)",
+                "broker CPI",
+                "shared CPI",
+                "remaps",
+            ],
+            rows,
+            title="fleet serving: broker vs shared cache",
+        )
+    )
+    print(
+        f"\ntint rewrites under the broker: {len(brokered.rewrites)} "
+        "(arrivals, departures, phase changes)"
+    )
+    scan_columns = brokered.telemetry["scan"].mean_occupancy()
+    print(
+        f"the streaming polluter averaged {scan_columns:.1f} column(s) "
+        "-- fenced in, its misses are its own problem"
+    )
+    hot = [name for name in brokered.telemetry if name != "scan"]
+    protected = all(
+        brokered.telemetry[name].cpi(TIMING)
+        <= shared.telemetry[name].cpi(TIMING) + 1e-9
+        for name in hot
+    )
+    print(
+        "every non-polluter tenant is at least as fast under the "
+        f"broker as under the shared cache -> {protected}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -41,6 +41,11 @@ from repro.experiments.figure5 import (
     check_figure5,
     run_figure5,
 )
+from repro.experiments.fleet import (
+    FleetComparisonConfig,
+    check_fleet,
+    run_fleet_comparison,
+)
 from repro.experiments.report import render_checks
 from repro.sim.engine.scheduler import SweepEngine
 
@@ -105,6 +110,22 @@ def _run_adaptive(quick: bool, engine: SweepEngine) -> bool:
     return all(check.passed for check in checks)
 
 
+def _run_fleet(quick: bool, engine: SweepEngine) -> bool:
+    config = (
+        FleetComparisonConfig().quick()
+        if quick
+        else FleetComparisonConfig()
+    )
+    start = time.perf_counter()
+    result = run_fleet_comparison(config, engine)
+    elapsed = time.perf_counter() - start
+    print(result.series.to_table())
+    checks = check_fleet(result)
+    print(render_checks(checks))
+    print(f"  ({elapsed:.1f}s)\n")
+    return all(check.passed for check in checks)
+
+
 def make_engine(
     workers: Optional[int], cache_dir: Optional[str]
 ) -> SweepEngine:
@@ -126,7 +147,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "target",
-        choices=["figure4", "figure5", "adaptive", "all"],
+        choices=["figure4", "figure5", "adaptive", "fleet", "all"],
         help="which experiment to run",
     )
     parser.add_argument(
@@ -157,6 +178,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         ok = _run_figure5(arguments.quick, engine) and ok
     if arguments.target in ("adaptive", "all"):
         ok = _run_adaptive(arguments.quick, engine) and ok
+    if arguments.target in ("fleet", "all"):
+        ok = _run_fleet(arguments.quick, engine) and ok
     executed = engine.stats
     print(
         f"sweep engine: {executed['executed']} jobs executed, "

@@ -272,6 +272,285 @@ def adaptive_point(
 
 
 # ----------------------------------------------------------------------
+# Fleet serving: broker vs shared vs static equal split
+# ----------------------------------------------------------------------
+def fleet_isolation_point(
+    *,
+    tenants: Sequence[Sequence[Any]],
+    columns: int,
+    sets: int,
+    line_size: int,
+    quantum_instructions: int,
+    window_instructions: int,
+    horizon_instructions: int,
+    ramp_windows: int,
+    min_benefit_cycles: int,
+    equal_slots: int,
+    seed: int,
+    timing: Optional[Mapping[str, int]] = None,
+) -> dict[str, Any]:
+    """The fixed-mix isolation comparison (one engine job).
+
+    Serves the same co-resident tenant mix under the column broker,
+    the shared cache and a static equal split, and scores every
+    tenant's steady-state CPI against a solo run of the same tenant
+    through the same scheduler.  ``tenants`` rows are
+    ``[workload, kwargs_pairs, priority]``.
+    """
+    from repro.cache.geometry import CacheGeometry
+    from repro.fleet import (
+        ColumnBroker,
+        FleetConfig,
+        FleetEvent,
+        FleetExecutor,
+        FleetTrace,
+        SharedPool,
+        StaticEqualSplit,
+        TenantSpec,
+        single_tenant_trace,
+    )
+    from repro.fleet.tenant import TENANT_SPACE_BITS
+    from repro.workloads.suite import make_workload
+
+    timing_config = _timing_from(timing)
+    geometry = CacheGeometry(
+        line_size=line_size, sets=sets, columns=columns
+    )
+    config = FleetConfig(
+        quantum_instructions=quantum_instructions,
+        window_instructions=window_instructions,
+    )
+    executor = FleetExecutor(geometry, timing_config, config)
+
+    specs = []
+    for index, (workload, kwargs_pairs, priority) in enumerate(tenants):
+        run = make_workload(
+            workload, seed=seed + index, **dict(kwargs_pairs)
+        ).record()
+        specs.append(
+            TenantSpec(
+                name=f"{workload}-{index}",
+                run=run,
+                priority=int(priority),
+                address_offset=index << TENANT_SPACE_BITS,
+            )
+        )
+    fleet = FleetTrace(
+        events=tuple(
+            FleetEvent(time=0, kind="arrival", spec=spec)
+            for spec in specs
+        ),
+        horizon_instructions=horizon_instructions,
+    )
+
+    solo_cpis = {}
+    for spec in specs:
+        outcome = executor.run(
+            single_tenant_trace(spec, horizon_instructions)
+        )
+        solo_cpis[spec.name] = outcome.telemetry[spec.name].cpi(
+            timing_config, skip_samples=ramp_windows
+        )
+
+    def make_broker(mode: str):
+        if mode == "broker":
+            return ColumnBroker(
+                geometry,
+                timing_config,
+                min_benefit_cycles=min_benefit_cycles,
+            )
+        if mode == "shared":
+            return SharedPool(geometry, timing_config)
+        return StaticEqualSplit(geometry, timing_config, slots=equal_slots)
+
+    per_tenant: dict[str, dict[str, Any]] = {
+        spec.name: {"solo_cpi": float(solo_cpis[spec.name])}
+        for spec in specs
+    }
+    rewrite_counts = {}
+    for mode in ("broker", "shared", "equal"):
+        outcome = executor.run(fleet, broker=make_broker(mode))
+        rewrite_counts[mode] = len(outcome.rewrites)
+        for spec in specs:
+            telemetry = outcome.telemetry[spec.name]
+            cpi = telemetry.cpi(
+                timing_config, skip_samples=ramp_windows
+            )
+            entry = per_tenant[spec.name]
+            entry[f"{mode}_cpi"] = float(cpi)
+            entry[f"{mode}_ratio"] = float(
+                cpi / solo_cpis[spec.name]
+            )
+            if mode == "broker":
+                history = telemetry.occupancy_history()
+                entry["broker_columns"] = int(
+                    history[-1] if history else 0
+                )
+                entry["broker_remaps"] = int(telemetry.remaps)
+                entry["broker_miss_rate"] = float(telemetry.miss_rate)
+    return {
+        "tenant_order": [spec.name for spec in specs],
+        "tenants": per_tenant,
+        "tint_rewrites": rewrite_counts,
+        "horizon_instructions": int(horizon_instructions),
+    }
+
+
+def fleet_churn_point(
+    *,
+    mix: Sequence[Sequence[Any]],
+    columns: int,
+    sets: int,
+    line_size: int,
+    quantum_instructions: int,
+    window_instructions: int,
+    horizon_instructions: int,
+    mean_interarrival: float,
+    mean_service: float,
+    priorities: Sequence[int],
+    min_benefit_cycles: int,
+    seed: int,
+    timing: Optional[Mapping[str, int]] = None,
+) -> dict[str, Any]:
+    """A Poisson churn stress of the broker (one engine job).
+
+    Generates an arrival/departure stream over the workload ``mix``
+    (rows are ``[workload, kwargs_pairs]``), serves it with the
+    broker on a deliberately tight column budget, and reports the
+    structural outcomes the shape checks audit: rejections vs peak
+    occupancy, departure re-grants, rewrite reasons.
+    """
+    from repro.cache.geometry import CacheGeometry
+    from repro.fleet import (
+        ColumnBroker,
+        FleetConfig,
+        FleetExecutor,
+        WorkloadMixEntry,
+        generate_fleet_trace,
+    )
+    from repro.fleet.tenant import TenantStatus
+
+    timing_config = _timing_from(timing)
+    geometry = CacheGeometry(
+        line_size=line_size, sets=sets, columns=columns
+    )
+    fleet = generate_fleet_trace(
+        horizon_instructions=horizon_instructions,
+        mix=[
+            WorkloadMixEntry(
+                workload,
+                tuple(
+                    (key, value) for key, value in kwargs_pairs
+                ),
+            )
+            for workload, kwargs_pairs in mix
+        ],
+        mean_interarrival=mean_interarrival,
+        mean_service=mean_service,
+        seed=seed,
+        priorities=tuple(int(p) for p in priorities),
+    )
+    executor = FleetExecutor(
+        geometry,
+        timing_config,
+        FleetConfig(
+            quantum_instructions=quantum_instructions,
+            window_instructions=window_instructions,
+        ),
+    )
+    outcome = executor.run(
+        fleet,
+        broker=ColumnBroker(
+            geometry,
+            timing_config,
+            min_benefit_cycles=min_benefit_cycles,
+        ),
+    )
+
+    # Residency from the telemetry timelines — the single definition
+    # both audits below use: a tenant is resident at time t from its
+    # admission (inclusive) to its departure (exclusive).
+    def residents_at(time: int) -> int:
+        return sum(
+            1
+            for telemetry in outcome.telemetry.values()
+            if telemetry.admitted_at is not None
+            and telemetry.admitted_at <= time
+            and (
+                telemetry.departed_at is None
+                or telemetry.departed_at > time
+            )
+        )
+
+    admission_times = [
+        telemetry.admitted_at
+        for telemetry in outcome.telemetry.values()
+        if telemetry.admitted_at is not None
+    ]
+    # Residency only changes at admissions, so they are the only
+    # candidate times for the peak.
+    peak = max(map(residents_at, admission_times), default=0)
+    rejected = [
+        telemetry
+        for telemetry in outcome.telemetry.values()
+        if telemetry.status is TenantStatus.REJECTED
+    ]
+    rejections = len(rejected)
+    departures_with_residents = sum(
+        1
+        for telemetry in outcome.telemetry.values()
+        if telemetry.departed_at is not None
+        and any(
+            other.admitted_at is not None
+            and other.admitted_at <= telemetry.departed_at
+            and (
+                other.departed_at is None
+                or other.departed_at > telemetry.departed_at
+            )
+            for name, other in outcome.telemetry.items()
+            if name != telemetry.name
+        )
+    )
+    reasons: dict[str, int] = {}
+    for rewrite in outcome.rewrites:
+        reasons[rewrite.reason] = reasons.get(rewrite.reason, 0) + 1
+    return {
+        "arrivals": len(
+            [e for e in fleet.events if e.kind == "arrival"]
+        ),
+        "admissions": sum(
+            1
+            for telemetry in outcome.telemetry.values()
+            if telemetry.admitted_at is not None
+        ),
+        "rejections": rejections,
+        "rejections_at_capacity_only": all(
+            residents_at(telemetry.rejected_at) >= columns
+            for telemetry in rejected
+        ),
+        "peak_concurrency": int(peak),
+        "departures_with_residents": int(departures_with_residents),
+        "departure_rewrites": int(reasons.get("departure", 0)),
+        "rewrite_reasons": reasons,
+        "tint_rewrites": len(outcome.rewrites),
+        "disjoint_ok": True,  # the broker asserts it per rebalance
+        "segments": int(outcome.segments),
+        "total_instructions": int(outcome.total_instructions),
+        "tenants": {
+            name: {
+                "status": telemetry.status.value,
+                "priority": telemetry.priority,
+                "mean_occupancy": float(telemetry.mean_occupancy()),
+                "cpi": float(telemetry.cpi(timing_config)),
+                "miss_rate": float(telemetry.miss_rate),
+                "remaps": int(telemetry.remaps),
+            }
+            for name, telemetry in sorted(outcome.telemetry.items())
+        },
+    }
+
+
+# ----------------------------------------------------------------------
 # Generic trace simulation (tests, CI perf smoke, ad-hoc sweeps)
 # ----------------------------------------------------------------------
 def trace_sim(

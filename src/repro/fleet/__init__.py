@@ -1,0 +1,77 @@
+"""Multi-tenant fleet serving over one software-controlled cache.
+
+The paper's Figure 5 shows that *disjoint* column assignments give
+co-scheduled jobs predictable, isolated performance — for one fixed
+job set, partitioned by hand.  This subsystem makes that allocation a
+live, contended resource:
+
+* :mod:`repro.fleet.tenant` — tenant specs, lifecycle and structured
+  per-tenant telemetry (occupancy, miss rate, remap churn).
+* :mod:`repro.fleet.broker` — :class:`ColumnBroker`, which admits a
+  dynamic stream of tenants onto disjoint column sets using the
+  layout planner's W(c) demand curves for benefit-aware sizing,
+  priorities for reclamation ordering, and the runtime's tint-write
+  remap-cost model for pricing re-grants; plus the
+  :class:`SharedPool` and :class:`StaticEqualSplit` baselines.
+* :mod:`repro.fleet.executor` — :class:`FleetExecutor`, which runs
+  the co-resident mix round-robin through one persistent cache via
+  the sweep engine's lockstep kernel (or a scalar reference backend,
+  bit-identical — the differential suite asserts it), applying
+  broker-driven tint rewrites live at segment boundaries.
+* :mod:`repro.fleet.trace` — Poisson arrival/departure generation
+  over the workload suite (:func:`generate_fleet_trace`).
+
+``python -m repro.experiments fleet`` scores the broker's per-tenant
+CPI isolation against solo runs, the shared cache and a static equal
+split.
+"""
+
+from repro.fleet.broker import (
+    ColumnBroker,
+    ColumnDemand,
+    FleetAdmissionError,
+    SharedPool,
+    StaticEqualSplit,
+    TintRewrite,
+    demand_curve,
+)
+from repro.fleet.executor import (
+    FleetConfig,
+    FleetEvent,
+    FleetExecutor,
+    FleetResult,
+    FleetTrace,
+)
+from repro.fleet.tenant import (
+    TenantSpec,
+    TenantStatus,
+    TenantTelemetry,
+    WindowSample,
+)
+from repro.fleet.trace import (
+    WorkloadMixEntry,
+    generate_fleet_trace,
+    single_tenant_trace,
+)
+
+__all__ = [
+    "ColumnBroker",
+    "ColumnDemand",
+    "FleetAdmissionError",
+    "FleetConfig",
+    "FleetEvent",
+    "FleetExecutor",
+    "FleetResult",
+    "FleetTrace",
+    "SharedPool",
+    "StaticEqualSplit",
+    "TenantSpec",
+    "TenantStatus",
+    "TenantTelemetry",
+    "TintRewrite",
+    "WindowSample",
+    "WorkloadMixEntry",
+    "demand_curve",
+    "generate_fleet_trace",
+    "single_tenant_trace",
+]

@@ -1,0 +1,569 @@
+"""The multi-tenant column broker: admission, reclamation, re-grant.
+
+The broker owns the cache's columns and keeps every admitted tenant on
+a **disjoint** subset of them — the paper's multitasking isolation
+property (Section 4.2), made dynamic.  Three mechanisms:
+
+* **Benefit-aware sizing.**  On admission (and on phase change) a
+  tenant's trace window is profiled and the *existing* layout planner
+  (:class:`~repro.layout.algorithm.DataLayoutPlanner`) plans its
+  working set into ``c`` columns for every candidate ``c``; the
+  planner's predicted conflict cost ``W(c)`` becomes a demand curve.
+  Columns are granted greedily to the tenant with the highest
+  ``priority x marginal-benefit`` until all columns are placed — so a
+  low-value tenant never holds a column a high-value tenant would use
+  better (the prioritized-reclamation idea of the GC literature,
+  applied to columns).
+
+* **Priority-aware reclamation.**  Arrivals and departures rerun the
+  same greedy allocation over the resident set; a tenant whose
+  priority-weighted marginal benefit no longer justifies its grant
+  has columns *reclaimed* and re-granted.  Reclaiming a cache column
+  is graceful by construction: resident lines stay findable, only the
+  replacement mask changes.
+
+* **Tint rewrites.**  Every tenant's grant is realized as one tint in
+  a real :class:`~repro.mem.tint.TintTable` (``tenant:<name>``); a
+  re-grant is a tint rewrite priced at
+  ``timing.remap_tint_cycles`` — the same remap-cost model the
+  phase-adaptive runtime uses
+  (:meth:`~repro.runtime.policy.RepartitionPolicy.remap_cost_cycles`).
+
+Admission fails only when the column budget is exhausted: every
+resident tenant needs at least one exclusive column, so the
+``columns + 1``-th concurrent tenant is rejected (the executor reports
+it as :attr:`~repro.fleet.tenant.TenantStatus.REJECTED`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cache.geometry import CacheGeometry
+from repro.layout.algorithm import DataLayoutPlanner, LayoutConfig
+from repro.layout.partition import split_for_columns
+from repro.mem.tint import TintTable
+from repro.profiling.profiler import profile_trace
+from repro.sim.config import TimingConfig
+from repro.sim.engine.batched import batched_simulate
+from repro.trace.trace import Trace
+from repro.utils.bitvector import ColumnMask
+from repro.workloads.base import WorkloadRun
+
+#: Accesses profiled per demand-curve estimate (bounds planner cost).
+DEFAULT_PROFILE_ACCESSES = 8192
+
+
+class FleetAdmissionError(Exception):
+    """Raised when a tenant cannot be admitted (no free columns)."""
+
+
+@dataclass(frozen=True)
+class ColumnDemand:
+    """A tenant's estimated value of holding columns.
+
+    Two curves over grant sizes ``c = 1..columns``, both "lower is
+    better" and non-increasing in ``c``:
+
+    Attributes:
+        plan_costs: The layout planner's predicted conflict cost W
+            when the tenant's working set is planned into ``c``
+            columns (conflicting accesses).
+        measured_costs: Misses actually observed when the profiled
+            trace window is simulated solo in a ``c``-column cache
+            (one batched lockstep run per candidate).
+
+    The planner's W is a *structural* signal — it sees which units
+    fight for sets — but it does not model capacity: a scan whose
+    reuse distance exceeds any grant still shows falling W as units
+    spread out.  The measured curve knows capacity but nothing else.
+    :meth:`marginal_benefit` takes the elementwise minimum of the two
+    marginal curves, so a column is only valued when both the plan
+    and the measurement agree it would convert misses into hits.
+    """
+
+    plan_costs: tuple[int, ...]
+    measured_costs: tuple[int, ...]
+
+    def cost(self, columns: int) -> int:
+        """The measured solo miss count at a grant of ``columns``."""
+        if columns < 1:
+            raise ValueError(f"columns must be >= 1, got {columns}")
+        return self.measured_costs[
+            min(columns, len(self.measured_costs)) - 1
+        ]
+
+    def _step(self, curve: tuple[int, ...], columns: int) -> int:
+        index = min(columns, len(curve)) - 1
+        return max(curve[index - 1] - curve[index], 0)
+
+    def marginal_benefit(self, columns: int) -> int:
+        """Misses avoided by growing the grant from ``columns - 1``
+        to ``columns`` — the minimum of the planner's and the
+        measured estimate (clamped at 0)."""
+        if columns <= 1:
+            raise ValueError("the first column is mandatory, not marginal")
+        return min(
+            self._step(self.plan_costs, columns),
+            self._step(self.measured_costs, columns),
+        )
+
+
+def demand_curve(
+    run: WorkloadRun,
+    geometry: CacheGeometry,
+    profile_accesses: int = DEFAULT_PROFILE_ACCESSES,
+    window: Optional[Trace] = None,
+) -> ColumnDemand:
+    """Estimate a tenant's demand curve: plan costs + measured misses.
+
+    Args:
+        run: The tenant's recorded workload (symbols + trace).
+        geometry: The shared cache; ``c`` ranges over
+            ``1..geometry.columns``.
+        profile_accesses: Trace-prefix bound for the profile (keeps
+            admission cost independent of trace length).
+        window: Profile this trace window instead of the run's prefix
+            (the phase-change path profiles the window that revealed
+            the new phase).
+    """
+    column_bytes = geometry.sets * geometry.line_size
+    units = split_for_columns(run.memory_map.symbols, column_bytes)
+    trace = window if window is not None else run.trace
+    if len(trace) > profile_accesses:
+        trace = trace.slice(0, profile_accesses)
+    profile = profile_trace(trace, units, by_address=True)
+    blocks = trace.addresses >> geometry.offset_bits
+    plan_costs = []
+    measured_costs = []
+    for columns in range(1, geometry.columns + 1):
+        planner = DataLayoutPlanner(
+            LayoutConfig(
+                columns=columns,
+                column_bytes=column_bytes,
+                line_size=geometry.line_size,
+                split_oversized=False,
+            )
+        )
+        assignment = planner.plan_from_profile(profile, units)
+        plan_costs.append(int(assignment.predicted_cost))
+        # A c-column grant behaves exactly like a solo c-way cache
+        # with the same sets: fills are restricted to the granted
+        # columns and nobody else touches them.
+        candidate = CacheGeometry(
+            line_size=geometry.line_size,
+            sets=geometry.sets,
+            columns=columns,
+        )
+        measured_costs.append(
+            int(batched_simulate(blocks, candidate).misses)
+        )
+    return ColumnDemand(
+        plan_costs=tuple(plan_costs),
+        measured_costs=tuple(measured_costs),
+    )
+
+
+@dataclass(frozen=True)
+class TintRewrite:
+    """One applied grant change (a tint-table write).
+
+    Attributes:
+        tenant: Whose tint was rewritten.
+        mask: The new column mask.
+        cycles: Cycles charged (``timing.remap_tint_cycles``).
+        reason: What triggered the rebalance ("arrival", "departure",
+            "phase", "admit").
+    """
+
+    tenant: str
+    mask: ColumnMask
+    cycles: int
+    reason: str
+
+
+class ColumnBroker:
+    """Grants disjoint column sets to a dynamic tenant population.
+
+    Args:
+        geometry: The shared cache being brokered.
+        timing: Prices tint rewrites (``remap_tint_cycles``) and
+            column benefit (``miss_penalty`` per predicted conflict
+            access avoided).
+        profile_accesses: Trace-prefix bound for demand estimation.
+        min_benefit_cycles: A phase-change rebalance is applied only
+            when its predicted priority-weighted benefit exceeds the
+            tint-rewrite cost by this margin (churn hysteresis);
+            arrivals and departures always apply.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        timing: Optional[TimingConfig] = None,
+        profile_accesses: int = DEFAULT_PROFILE_ACCESSES,
+        min_benefit_cycles: int = 0,
+    ):
+        self.geometry = geometry
+        self.timing = timing or TimingConfig()
+        self.profile_accesses = profile_accesses
+        self.min_benefit_cycles = min_benefit_cycles
+        self.tint_table = TintTable(columns=geometry.columns)
+        self.grants: dict[str, ColumnMask] = {}
+        self.demands: dict[str, ColumnDemand] = {}
+        self.priorities: dict[str, int] = {}
+        self.rewrites: list[TintRewrite] = []
+        self._order: list[str] = []  # admission order (stable ties)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def resident(self) -> list[str]:
+        """Admitted tenant names in admission order."""
+        return list(self._order)
+
+    def free_columns(self) -> ColumnMask:
+        """Columns currently granted to nobody."""
+        mask = ColumnMask.none(self.geometry.columns)
+        for grant in self.grants.values():
+            mask = mask | grant
+        return mask.complement()
+
+    def grant_of(self, tenant: str) -> ColumnMask:
+        """The tenant's current column mask."""
+        return self.grants[tenant]
+
+    def check_disjoint(self) -> None:
+        """Assert the disjointness invariant (used by the tests)."""
+        seen = ColumnMask.none(self.geometry.columns)
+        for name, grant in self.grants.items():
+            if grant.is_empty():
+                raise AssertionError(f"tenant {name!r} holds no columns")
+            if seen.overlaps(grant):
+                raise AssertionError(
+                    f"tenant {name!r} grant {grant.to_string()} "
+                    "overlaps another tenant's columns"
+                )
+            seen = seen | grant
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def admit(
+        self,
+        name: str,
+        run: WorkloadRun,
+        priority: int = 1,
+        window: Optional[Trace] = None,
+    ) -> dict[str, int]:
+        """Try to admit a tenant; returns per-tenant remap cycles.
+
+        Raises :class:`FleetAdmissionError` when every column is
+        already pledged to a resident tenant (each resident keeps at
+        least one exclusive column, so there is nothing to reclaim).
+        """
+        if name in self.grants:
+            raise ValueError(f"tenant {name!r} is already resident")
+        if len(self._order) >= self.geometry.columns:
+            raise FleetAdmissionError(
+                f"no free columns: {len(self._order)} resident tenants "
+                f"already hold all {self.geometry.columns} columns"
+            )
+        self.demands[name] = demand_curve(
+            run, self.geometry, self.profile_accesses, window=window
+        )
+        self.priorities[name] = priority
+        self._order.append(name)
+        return self._rebalance(reason="arrival", force=True)
+
+    def depart(self, name: str) -> dict[str, int]:
+        """Release a tenant's columns and re-grant them; returns
+        per-tenant remap cycles for the survivors."""
+        if name not in self.grants and name not in self._order:
+            raise KeyError(f"tenant {name!r} is not resident")
+        self._order.remove(name)
+        self.grants.pop(name, None)
+        self.demands.pop(name, None)
+        self.priorities.pop(name, None)
+        self.tint_table.remove(f"tenant:{name}")
+        return self._rebalance(reason="departure", force=True)
+
+    def refresh(
+        self, name: str, run: WorkloadRun, window: Trace
+    ) -> dict[str, int]:
+        """Phase change: re-estimate one tenant's demand and rebalance.
+
+        The window that revealed the phase is profiled (the same move
+        the adaptive runtime's
+        :class:`~repro.runtime.policy.RepartitionPolicy` makes) and
+        the global allocation is recomputed; it is applied only if the
+        predicted benefit beats the tint-rewrite cost.
+        """
+        if name not in self.grants:
+            raise KeyError(f"tenant {name!r} is not resident")
+        self.demands[name] = demand_curve(
+            run, self.geometry, self.profile_accesses, window=window
+        )
+        return self._rebalance(reason="phase", force=False)
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def _target_counts(self) -> dict[str, int]:
+        """Greedy priority-weighted waterfill of all columns.
+
+        Every resident tenant gets one mandatory column; each spare
+        column goes to the tenant whose next column has the highest
+        ``priority x marginal-benefit``, ties broken by priority then
+        admission order.  All columns are always placed — an idle
+        column serves nobody.
+        """
+        counts = {name: 1 for name in self._order}
+        spare = self.geometry.columns - len(counts)
+        for _ in range(max(spare, 0)):
+            best_name = None
+            best_key: tuple[int, int, int] = (-1, -1, 0)
+            for index, name in enumerate(self._order):
+                demand = self.demands[name]
+                gain = (
+                    self.priorities[name]
+                    * demand.marginal_benefit(counts[name] + 1)
+                    * self.timing.miss_penalty
+                )
+                key = (gain, self.priorities[name], -index)
+                if key > best_key:
+                    best_key = key
+                    best_name = name
+            if best_name is None:
+                break
+            counts[best_name] += 1
+        return counts
+
+    def _assign_columns(
+        self, counts: dict[str, int]
+    ) -> dict[str, ColumnMask]:
+        """Turn target counts into concrete column indices, keeping
+        each tenant on as many of its current columns as possible (a
+        stable assignment minimizes tint rewrites and keeps resident
+        lines useful)."""
+        width = self.geometry.columns
+        new_grants: dict[str, ColumnMask] = {}
+        taken: set[int] = set()
+        # Pass 1: keep currently-held columns, lowest indices first.
+        for name in self._order:
+            current = self.grants.get(name)
+            keep = (
+                tuple(current)[: counts[name]]
+                if current is not None
+                else ()
+            )
+            new_grants[name] = ColumnMask.from_columns(keep, width)
+            taken.update(keep)
+        # Pass 2: top growers up from the free pool.
+        free = [c for c in range(width) if c not in taken]
+        for name in self._order:
+            need = counts[name] - new_grants[name].count()
+            if need > 0:
+                grab, free = free[:need], free[need:]
+                new_grants[name] = new_grants[name] | (
+                    ColumnMask.from_columns(grab, width)
+                )
+        return new_grants
+
+    def _rebalance(self, reason: str, force: bool) -> dict[str, int]:
+        """Recompute the allocation; install it if warranted.
+
+        Returns tint-rewrite cycles charged per tenant (empty when the
+        allocation is unchanged or not worth installing).
+        """
+        if not self._order:
+            return {}
+        counts = self._target_counts()
+        new_grants = self._assign_columns(counts)
+        changed = [
+            name
+            for name in self._order
+            if self.grants.get(name) != new_grants[name]
+        ]
+        if not changed:
+            return {}
+        if not force and not self._worth_installing(new_grants, changed):
+            return {}
+        charged: dict[str, int] = {}
+        for name in changed:
+            mask = new_grants[name]
+            self.grants[name] = mask
+            self.tint_table.define_or_remap(f"tenant:{name}", mask)
+            cycles = self.timing.remap_tint_cycles
+            charged[name] = cycles
+            self.rewrites.append(
+                TintRewrite(
+                    tenant=name, mask=mask, cycles=cycles, reason=reason
+                )
+            )
+        self.check_disjoint()  # cheap, and the property is the point
+        return charged
+
+    def _worth_installing(
+        self, new_grants: dict[str, ColumnMask], changed: list[str]
+    ) -> bool:
+        """The remap-benefit test for optional (phase) rebalances:
+        predicted priority-weighted cycles saved must beat the
+        tint-rewrite cost plus the hysteresis margin."""
+        benefit = 0
+        for name in self._order:
+            demand = self.demands[name]
+            old_count = self.grants[name].count()
+            new_count = new_grants[name].count()
+            delta = demand.cost(old_count) - demand.cost(new_count)
+            benefit += (
+                self.priorities[name] * delta * self.timing.miss_penalty
+            )
+        cost = len(changed) * self.timing.remap_tint_cycles
+        return benefit > cost + self.min_benefit_cycles
+
+
+class SharedPool:
+    """The no-isolation baseline: every tenant gets the whole cache.
+
+    Implements the broker interface (admit / depart / refresh /
+    ``grants``) but grants every tenant the full column mask — the
+    paper's "shared" multitasking configuration, where one tenant's
+    working set freely evicts another's.  Admission is capped at
+    ``max_tenants`` so comparisons against the real broker serve the
+    same tenant population.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        timing: Optional[TimingConfig] = None,
+        max_tenants: Optional[int] = None,
+    ):
+        self.geometry = geometry
+        self.timing = timing or TimingConfig()
+        self.max_tenants = (
+            geometry.columns if max_tenants is None else max_tenants
+        )
+        self.grants: dict[str, ColumnMask] = {}
+        self.rewrites: list[TintRewrite] = []
+        self._order: list[str] = []
+
+    @property
+    def resident(self) -> list[str]:
+        """Admitted tenant names in admission order."""
+        return list(self._order)
+
+    def admit(
+        self,
+        name: str,
+        run: WorkloadRun,
+        priority: int = 1,
+        window: Optional[Trace] = None,
+    ) -> dict[str, int]:
+        """Admit up to ``max_tenants`` tenants onto the full mask."""
+        if name in self.grants:
+            raise ValueError(f"tenant {name!r} is already resident")
+        if len(self._order) >= self.max_tenants:
+            raise FleetAdmissionError(
+                f"tenant cap reached ({self.max_tenants})"
+            )
+        self._order.append(name)
+        self.grants[name] = ColumnMask.all_columns(self.geometry.columns)
+        return {}
+
+    def depart(self, name: str) -> dict[str, int]:
+        """Remove a tenant (nothing to re-grant: nothing was split)."""
+        self._order.remove(name)
+        del self.grants[name]
+        return {}
+
+    def refresh(
+        self, name: str, run: WorkloadRun, window: Trace
+    ) -> dict[str, int]:
+        """Phase changes never repartition a shared cache."""
+        return {}
+
+
+class StaticEqualSplit:
+    """The static baseline: a fixed equal share per tenant slot.
+
+    Columns are pre-divided into ``slots`` equal contiguous blocks; an
+    arriving tenant occupies any free block and keeps it, unchanged,
+    until departure.  No benefit model, no reclamation — what
+    per-tenant isolation costs when the partition cannot adapt.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        timing: Optional[TimingConfig] = None,
+        slots: Optional[int] = None,
+    ):
+        self.geometry = geometry
+        self.timing = timing or TimingConfig()
+        columns = geometry.columns
+        self.slots = slots if slots is not None else columns
+        if not 1 <= self.slots <= columns:
+            raise ValueError(
+                f"slots must be in [1, {columns}], got {self.slots}"
+            )
+        size = columns // self.slots
+        self._blocks = [
+            ColumnMask.contiguous(slot * size, size, columns)
+            for slot in range(self.slots)
+        ]
+        self._slot_of: dict[str, int] = {}
+        self.grants: dict[str, ColumnMask] = {}
+        self.rewrites: list[TintRewrite] = []
+        self._order: list[str] = []
+
+    @property
+    def resident(self) -> list[str]:
+        """Admitted tenant names in admission order."""
+        return list(self._order)
+
+    def admit(
+        self,
+        name: str,
+        run: WorkloadRun,
+        priority: int = 1,
+        window: Optional[Trace] = None,
+    ) -> dict[str, int]:
+        """Occupy a free equal-split slot, or reject."""
+        if name in self.grants:
+            raise ValueError(f"tenant {name!r} is already resident")
+        used = set(self._slot_of.values())
+        free = [s for s in range(self.slots) if s not in used]
+        if not free:
+            raise FleetAdmissionError(
+                f"all {self.slots} static slots are occupied"
+            )
+        slot = free[0]
+        self._slot_of[name] = slot
+        self._order.append(name)
+        self.grants[name] = self._blocks[slot]
+        self.rewrites.append(
+            TintRewrite(
+                tenant=name,
+                mask=self._blocks[slot],
+                cycles=self.timing.remap_tint_cycles,
+                reason="arrival",
+            )
+        )
+        return {name: self.timing.remap_tint_cycles}
+
+    def depart(self, name: str) -> dict[str, int]:
+        """Free the tenant's slot; nobody else is touched."""
+        self._order.remove(name)
+        del self.grants[name]
+        del self._slot_of[name]
+        return {}
+
+    def refresh(
+        self, name: str, run: WorkloadRun, window: Trace
+    ) -> dict[str, int]:
+        """Phase changes never move a static partition."""
+        return {}

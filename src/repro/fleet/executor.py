@@ -1,0 +1,564 @@
+"""The fleet executor: co-resident tenants through one column cache.
+
+Time advances in *segments*: a segment ends at the scheduling-window
+budget, at the next fleet event (arrival/departure), or at the
+horizon, whichever is first — so events take effect at their scheduled
+instruction count (rounded up to quantum granularity), including in
+the middle of what would otherwise be one window.  Within a segment
+the resident set and the per-tenant column grants are fixed, and
+tenants round-robin with a fixed instruction quantum, each access
+carrying its tenant's column mask — the multitasking model of the
+paper's Section 4.2, with the broker rewriting tints between
+segments.
+
+Two interchangeable backends execute the identical schedule:
+
+* ``"lockstep"`` (the fast path) materializes each segment's
+  interleaved access stream with numpy and advances a persistent
+  :class:`~repro.sim.engine.batched.LockstepState` in one
+  :func:`~repro.sim.engine.batched.lockstep_run` call per segment;
+* ``"reference"`` steps the same slices through the scalar
+  :class:`~repro.cache.fastsim.FastColumnCache`.
+
+Both see the same cache state across broker-driven tint rewrites
+(resident lines stay put — repartitioning is graceful), and the
+differential suite asserts their per-access hit streams are
+bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.cache.fastsim import FastColumnCache
+from repro.cache.geometry import CacheGeometry
+from repro.fleet.broker import ColumnBroker, FleetAdmissionError
+from repro.fleet.tenant import (
+    TenantSpec,
+    TenantStatus,
+    TenantTelemetry,
+    WindowSample,
+)
+from repro.runtime.detector import PhaseDetector
+from repro.sim.config import TimingConfig
+from repro.sim.engine.batched import LockstepState, lockstep_run
+from repro.sim.multitask import next_quantum_slice
+from repro.trace.filters import concatenate
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class FleetEvent:
+    """One change to the tenant population.
+
+    Attributes:
+        time: Global instruction count at which the event is due; it
+            takes effect at the first segment boundary at or after
+            this time.
+        kind: ``"arrival"`` or ``"departure"``.
+        spec: The arriving tenant (arrival events only).
+        tenant: The departing tenant's name (departure events only).
+    """
+
+    time: int
+    kind: str
+    spec: Optional[TenantSpec] = None
+    tenant: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"event time must be >= 0, got {self.time}")
+        if self.kind == "arrival":
+            if self.spec is None:
+                raise ValueError("arrival events need a TenantSpec")
+        elif self.kind == "departure":
+            if self.tenant is None:
+                raise ValueError("departure events need a tenant name")
+        else:
+            raise ValueError(f"unknown event kind {self.kind!r}")
+
+    @property
+    def name(self) -> str:
+        """The tenant the event concerns."""
+        return self.spec.name if self.spec is not None else self.tenant
+
+
+@dataclass(frozen=True)
+class FleetTrace:
+    """A dynamic tenant workload: events over an instruction horizon.
+
+    Attributes:
+        events: Arrivals/departures, sorted by time.
+        horizon_instructions: Global instruction budget of the run.
+    """
+
+    events: tuple[FleetEvent, ...]
+    horizon_instructions: int
+
+    def __post_init__(self) -> None:
+        if self.horizon_instructions < 1:
+            raise ValueError(
+                "horizon_instructions must be >= 1, got "
+                f"{self.horizon_instructions}"
+            )
+        times = [event.time for event in self.events]
+        if times != sorted(times):
+            raise ValueError("fleet events must be sorted by time")
+
+    def specs(self) -> list[TenantSpec]:
+        """All tenant specs that arrive, in arrival order."""
+        return [
+            event.spec
+            for event in self.events
+            if event.kind == "arrival"
+        ]
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Scheduling and adaptation knobs of the fleet executor.
+
+    Attributes:
+        quantum_instructions: Round-robin time quantum.
+        window_instructions: Scheduling-window budget (telemetry and
+            phase detection run per window; events cut windows short).
+        signature_threshold: Per-tenant working-set Jaccard distance
+            that flags a phase change.
+        miss_rate_threshold: Per-tenant miss-rate jump that flags a
+            phase change.
+        hysteresis_windows: Minimum windows between phase boundaries.
+        detect_phases: Feed per-tenant windows to a
+            :class:`~repro.runtime.detector.PhaseDetector` and let the
+            broker rebalance at boundaries.
+        min_detect_accesses: Segments smaller than this (cut short by
+            events) are not fed to the detector — a three-access
+            sliver says nothing about the working set.
+    """
+
+    quantum_instructions: int = 256
+    window_instructions: int = 16_384
+    signature_threshold: float = 0.5
+    miss_rate_threshold: float = 0.25
+    hysteresis_windows: int = 2
+    detect_phases: bool = True
+    min_detect_accesses: int = 64
+
+    def __post_init__(self) -> None:
+        if self.quantum_instructions < 1:
+            raise ValueError(
+                "quantum_instructions must be >= 1, got "
+                f"{self.quantum_instructions}"
+            )
+        if self.window_instructions < self.quantum_instructions:
+            raise ValueError(
+                "window_instructions must be >= quantum_instructions"
+            )
+
+
+@dataclass
+class FleetResult:
+    """Everything one fleet run produced.
+
+    Attributes:
+        telemetry: Per-tenant telemetry, keyed by name (includes
+            rejected and departed tenants).
+        total_instructions: Instructions actually executed (the
+            horizon, plus at most one quantum of overshoot).
+        segments: Scheduling segments executed.
+        rewrites: The broker's tint-rewrite log.
+        rejected: Names of tenants refused admission.
+        hit_stream: Per-access hit flags in global schedule order
+            (only when the run collected them for differential
+            checking).
+    """
+
+    telemetry: dict[str, TenantTelemetry]
+    total_instructions: int
+    segments: int
+    rewrites: list = field(default_factory=list)
+    rejected: list[str] = field(default_factory=list)
+    hit_stream: Optional[np.ndarray] = None
+
+    def as_dict(self, timing: TimingConfig) -> dict[str, Any]:
+        """Structured, JSON-serializable result export."""
+        return {
+            "total_instructions": self.total_instructions,
+            "segments": self.segments,
+            "rejected": list(self.rejected),
+            "tint_rewrites": len(self.rewrites),
+            "tenants": {
+                name: telemetry.as_dict(timing)
+                for name, telemetry in self.telemetry.items()
+            },
+        }
+
+
+class _TenantRuntime:
+    """Per-tenant execution state (trace arrays, cursor, detector)."""
+
+    def __init__(
+        self,
+        spec: TenantSpec,
+        geometry: CacheGeometry,
+        config: FleetConfig,
+    ):
+        self.spec = spec
+        addresses = spec.run.trace.addresses + spec.address_offset
+        self.blocks = np.ascontiguousarray(
+            addresses >> geometry.offset_bits, dtype=np.int64
+        )
+        self._blocks_list: Optional[list[int]] = None
+        per_access = spec.run.trace.gaps + 1
+        self.cumulative = np.cumsum(per_access, dtype=np.int64)
+        self.position = 0
+        self.telemetry = TenantTelemetry(
+            name=spec.name, priority=spec.priority
+        )
+        self.detector = PhaseDetector(
+            signature_threshold=config.signature_threshold,
+            miss_rate_threshold=config.miss_rate_threshold,
+            hysteresis_windows=config.hysteresis_windows,
+        )
+
+    @property
+    def blocks_list(self) -> list[int]:
+        """The block trace as a Python list, built on first use.
+
+        Only the scalar reference backend reads this (its hot loop is
+        fastest over native ints); the lockstep path never pays the
+        conversion.
+        """
+        if self._blocks_list is None:
+            self._blocks_list = self.blocks.tolist()
+        return self._blocks_list
+
+    def window_trace(self, slices: Sequence[tuple[int, int]]) -> Trace:
+        """The original-trace window the given slices covered.
+
+        Used by the broker's phase-change path: the segment that
+        revealed the phase is profiled against the tenant's own
+        (un-relocated) symbols.
+        """
+        trace = self.spec.run.trace
+        pieces = [trace.slice(start, stop) for start, stop in slices]
+        if len(pieces) == 1:
+            return pieces[0]
+        return concatenate(
+            pieces, name=f"{self.spec.name}:phase-window"
+        )
+
+
+class FleetExecutor:
+    """Serves a dynamic tenant mix through one brokered column cache.
+
+    Args:
+        geometry: The shared cache.
+        timing: Cycle model (miss penalty, context switches, tint
+            rewrites).
+        config: Scheduling and phase-detection knobs.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        timing: Optional[TimingConfig] = None,
+        config: Optional[FleetConfig] = None,
+    ):
+        self.geometry = geometry
+        self.timing = timing or TimingConfig()
+        self.config = config or FleetConfig()
+
+    def run(
+        self,
+        fleet: FleetTrace,
+        broker: Optional[Any] = None,
+        backend: str = "lockstep",
+        collect_flags: bool = False,
+    ) -> FleetResult:
+        """Execute a fleet trace; returns per-tenant telemetry.
+
+        Args:
+            fleet: The arrival/departure schedule and horizon.
+            broker: A broker implementing admit/depart/refresh and
+                ``grants`` (default: a fresh
+                :class:`~repro.fleet.broker.ColumnBroker`).
+            backend: ``"lockstep"`` (batched kernel) or
+                ``"reference"`` (scalar cache); bit-identical.
+            collect_flags: Also return the per-access hit stream
+                (differential testing; costs memory).
+        """
+        if backend not in ("lockstep", "reference"):
+            raise ValueError(f"unknown backend {backend!r}")
+        config = self.config
+        geometry = self.geometry
+        if broker is None:
+            broker = ColumnBroker(geometry, self.timing)
+
+        runtimes: dict[str, _TenantRuntime] = {}
+        rejected: list[str] = []
+        pending_remap: dict[str, int] = {}
+        events = list(fleet.events)
+        event_index = 0
+        now = 0
+        segment_index = 0
+        horizon = fleet.horizon_instructions
+
+        lock_state = LockstepState.cold(geometry.sets, geometry.columns)
+        scalar_cache = FastColumnCache(geometry)
+        flag_parts: list[np.ndarray] = [] if collect_flags else None
+        rotation: Optional[str] = None
+
+        def apply_event(event: FleetEvent) -> None:
+            nonlocal rotation
+            if event.kind == "arrival":
+                spec = event.spec
+                runtime = _TenantRuntime(spec, geometry, config)
+                runtime.telemetry.arrival_time = event.time
+                runtimes[spec.name] = runtime
+                try:
+                    charges = broker.admit(
+                        spec.name, spec.run, priority=spec.priority
+                    )
+                except FleetAdmissionError:
+                    runtime.telemetry.status = TenantStatus.REJECTED
+                    runtime.telemetry.rejected_at = event.time
+                    rejected.append(spec.name)
+                    return
+                runtime.telemetry.status = TenantStatus.RUNNING
+                runtime.telemetry.admitted_at = event.time
+                self._charge(charges, runtimes, pending_remap)
+            else:
+                name = event.tenant
+                runtime = runtimes.get(name)
+                if runtime is None:
+                    raise ValueError(
+                        f"departure for unknown tenant {name!r}"
+                    )
+                if runtime.telemetry.status is not TenantStatus.RUNNING:
+                    return  # rejected (or already departed): no-op
+                charges = broker.depart(name)
+                runtime.telemetry.status = TenantStatus.DEPARTED
+                runtime.telemetry.departed_at = event.time
+                pending_remap.pop(name, None)
+                if rotation == name:
+                    rotation = None
+                self._charge(charges, runtimes, pending_remap)
+
+        while now < horizon:
+            while (
+                event_index < len(events)
+                and events[event_index].time <= now
+            ):
+                apply_event(events[event_index])
+                event_index += 1
+            residents = broker.resident
+            if not residents:
+                if event_index >= len(events):
+                    break
+                now = max(now, events[event_index].time)
+                continue
+
+            segment_end = min(now + config.window_instructions, horizon)
+            if event_index < len(events):
+                segment_end = min(
+                    segment_end, max(events[event_index].time, now + 1)
+                )
+
+            # --------------------------------------------------------
+            # Schedule the segment: round-robin quanta, atomic slices.
+            # --------------------------------------------------------
+            start_at = 0
+            if rotation in residents:
+                start_at = residents.index(rotation)
+            slices: list[tuple[str, int, int]] = []
+            counters = {
+                name: [0, 0, 0]  # instructions, accesses, quanta
+                for name in residents
+            }
+            executed = 0
+            budget = segment_end - now
+            turn = start_at
+            while executed < budget:
+                name = residents[turn]
+                runtime = runtimes[name]
+                counter = counters[name]
+                counter[2] += 1
+                remaining = config.quantum_instructions
+                while remaining > 0:
+                    stop, ran = next_quantum_slice(
+                        runtime.cumulative, runtime.position, remaining
+                    )
+                    slices.append((name, runtime.position, stop))
+                    counter[0] += ran
+                    counter[1] += stop - runtime.position
+                    remaining -= ran
+                    executed += ran
+                    runtime.position = stop
+                    if stop >= len(runtime.blocks):
+                        runtime.position = 0
+                        runtime.telemetry.wraps += 1
+                turn = (turn + 1) % len(residents)
+            rotation = residents[turn]
+            now += executed
+
+            # --------------------------------------------------------
+            # Execute the slices through the selected backend.
+            # --------------------------------------------------------
+            hits_by_tenant = self._execute(
+                slices,
+                runtimes,
+                broker.grants,
+                lock_state,
+                scalar_cache,
+                backend,
+                flag_parts,
+            )
+
+            # --------------------------------------------------------
+            # Telemetry + phase detection per resident tenant.
+            # --------------------------------------------------------
+            boundary_tenants: list[tuple[str, list]] = []
+            for name in residents:
+                runtime = runtimes[name]
+                instructions, accesses, quanta = counters[name]
+                hits = hits_by_tenant.get(name, 0)
+                runtime.telemetry.samples.append(
+                    WindowSample(
+                        window_index=segment_index,
+                        columns=broker.grants[name].count(),
+                        instructions=instructions,
+                        accesses=accesses,
+                        hits=hits,
+                        misses=accesses - hits,
+                        quanta=quanta,
+                        remap_cycles=pending_remap.pop(name, 0),
+                    )
+                )
+                if (
+                    config.detect_phases
+                    and accesses >= config.min_detect_accesses
+                ):
+                    tenant_slices = [
+                        (start, stop)
+                        for slice_name, start, stop in slices
+                        if slice_name == name
+                    ]
+                    blocks = np.concatenate(
+                        [
+                            runtime.blocks[start:stop]
+                            for start, stop in tenant_slices
+                        ]
+                    )
+                    observation = runtime.detector.observe_window(
+                        blocks, accesses - hits
+                    )
+                    if observation.boundary:
+                        boundary_tenants.append((name, tenant_slices))
+            for name, tenant_slices in boundary_tenants:
+                if name not in broker.grants:
+                    continue
+                runtime = runtimes[name]
+                charges = broker.refresh(
+                    name,
+                    runtime.spec.run,
+                    runtime.window_trace(tenant_slices),
+                )
+                self._charge(charges, runtimes, pending_remap)
+            segment_index += 1
+
+        return FleetResult(
+            telemetry={
+                name: runtime.telemetry
+                for name, runtime in runtimes.items()
+            },
+            total_instructions=now,
+            segments=segment_index,
+            rewrites=list(broker.rewrites),
+            rejected=rejected,
+            hit_stream=(
+                np.concatenate(flag_parts)
+                if flag_parts
+                else (np.zeros(0, dtype=bool) if collect_flags else None)
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _charge(
+        charges: dict[str, int],
+        runtimes: dict[str, _TenantRuntime],
+        pending_remap: dict[str, int],
+    ) -> None:
+        """Queue tint-rewrite cycles against each tenant's next sample."""
+        for name, cycles in charges.items():
+            pending_remap[name] = pending_remap.get(name, 0) + cycles
+            runtimes[name].telemetry.remaps += 1
+
+    def _execute(
+        self,
+        slices: list[tuple[str, int, int]],
+        runtimes: dict[str, _TenantRuntime],
+        grants: dict[str, Any],
+        lock_state: LockstepState,
+        scalar_cache: FastColumnCache,
+        backend: str,
+        flag_parts: Optional[list[np.ndarray]],
+    ) -> dict[str, int]:
+        """Run one segment's slices; returns hits per tenant."""
+        geometry = self.geometry
+        hits_by_tenant: dict[str, int] = {}
+        if backend == "reference":
+            for name, start, stop in slices:
+                runtime = runtimes[name]
+                bits = grants[name].bits
+                if flag_parts is not None:
+                    flags = scalar_cache.run_with_flags(
+                        runtime.blocks_list[start:stop],
+                        uniform_mask=bits,
+                    )
+                    flag_parts.append(flags)
+                    hits = int(flags.sum())
+                else:
+                    outcome = scalar_cache.run(
+                        runtime.blocks_list,
+                        uniform_mask=bits,
+                        start=start,
+                        stop=stop,
+                    )
+                    hits = outcome.hits
+                hits_by_tenant[name] = (
+                    hits_by_tenant.get(name, 0) + hits
+                )
+            return hits_by_tenant
+
+        block_parts = [
+            runtimes[name].blocks[start:stop]
+            for name, start, stop in slices
+        ]
+        mask_parts = [
+            np.full(stop - start, grants[name].bits, dtype=np.int64)
+            for name, start, stop in slices
+        ]
+        blocks = np.concatenate(block_parts)
+        masks = np.concatenate(mask_parts)
+        hit_flags, _ = lockstep_run(
+            blocks & np.int64(geometry.sets - 1),
+            blocks >> np.int64(geometry.index_bits),
+            lock_state,
+            mask_bits=masks,
+        )
+        if flag_parts is not None:
+            flag_parts.append(hit_flags)
+        cursor = 0
+        for name, start, stop in slices:
+            span = stop - start
+            hits_by_tenant[name] = hits_by_tenant.get(name, 0) + int(
+                hit_flags[cursor:cursor + span].sum()
+            )
+            cursor += span
+        return hits_by_tenant

@@ -1,0 +1,218 @@
+"""Tenants of the fleet: specs, lifecycle status, telemetry.
+
+A *tenant* is one serviced task: a recorded workload (trace + memory
+map) plus a scheduling priority.  Tenants arrive and depart while the
+fleet runs; the broker grants each admitted tenant a disjoint set of
+cache columns, and the executor reports what every tenant actually
+experienced — occupancy, miss rate, remap churn — as structured
+:class:`TenantTelemetry`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional
+
+from repro.sim.config import TimingConfig
+from repro.workloads.base import WorkloadRun
+
+#: Tenants live in disjoint address spaces, offset by index << this.
+TENANT_SPACE_BITS = 32
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant the fleet may serve.
+
+    Attributes:
+        name: Unique tenant name (also its tint name suffix).
+        run: The tenant's recorded workload; its trace wraps, so the
+            tenant is served continuously until departure.
+        priority: Scheduling weight (>= 1); the broker values a column
+            granted to this tenant at ``priority x`` its modeled
+            benefit in cycles.
+        address_offset: Relocation placing the tenant in its own
+            address space (defaults are assigned by the fleet trace
+            generator as ``index << TENANT_SPACE_BITS``).
+    """
+
+    name: str
+    run: WorkloadRun
+    priority: int = 1
+    address_offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.priority < 1:
+            raise ValueError(
+                f"tenant {self.name!r} priority must be >= 1, "
+                f"got {self.priority}"
+            )
+        if len(self.run.trace) == 0:
+            raise ValueError(f"tenant {self.name!r} has an empty trace")
+
+
+class TenantStatus(Enum):
+    """Lifecycle state of a tenant within one fleet run."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    REJECTED = "rejected"
+    DEPARTED = "departed"
+
+
+@dataclass(frozen=True)
+class WindowSample:
+    """What one tenant experienced during one scheduling segment.
+
+    Attributes:
+        window_index: Global segment number (segments end at the
+            window budget, at fleet events, and at the horizon).
+        columns: Columns granted to the tenant during the segment.
+        instructions: Instructions the tenant executed.
+        accesses: Memory accesses it issued.
+        hits: Cache hits among them.
+        misses: Cache misses among them.
+        quanta: Scheduling quanta it received.
+        remap_cycles: Tint-rewrite cycles charged at the segment start
+            (0 when the tenant's grant did not change).
+    """
+
+    window_index: int
+    columns: int
+    instructions: int
+    accesses: int
+    hits: int
+    misses: int
+    quanta: int
+    remap_cycles: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per access within the segment."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+
+@dataclass
+class TenantTelemetry:
+    """Everything one tenant experienced over a fleet run.
+
+    Aggregates are derived from the per-segment :class:`WindowSample`
+    stream so callers can also reason about ramp-up (first segments
+    run cold) and occupancy over time.
+    """
+
+    name: str
+    priority: int
+    status: TenantStatus = TenantStatus.PENDING
+    arrival_time: Optional[int] = None
+    admitted_at: Optional[int] = None
+    departed_at: Optional[int] = None
+    rejected_at: Optional[int] = None
+    wraps: int = 0
+    remaps: int = 0
+    samples: list[WindowSample] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def instructions(self) -> int:
+        """Total instructions executed across all segments."""
+        return sum(sample.instructions for sample in self.samples)
+
+    @property
+    def accesses(self) -> int:
+        """Total memory accesses issued."""
+        return sum(sample.accesses for sample in self.samples)
+
+    @property
+    def hits(self) -> int:
+        """Total cache hits."""
+        return sum(sample.hits for sample in self.samples)
+
+    @property
+    def misses(self) -> int:
+        """Total cache misses."""
+        return sum(sample.misses for sample in self.samples)
+
+    @property
+    def quanta(self) -> int:
+        """Total scheduling quanta received."""
+        return sum(sample.quanta for sample in self.samples)
+
+    @property
+    def remap_cycles(self) -> int:
+        """Total tint-rewrite cycles charged to this tenant."""
+        return sum(sample.remap_cycles for sample in self.samples)
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per access over the whole run."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def occupancy_history(self) -> list[int]:
+        """Granted column count per segment, in segment order."""
+        return [sample.columns for sample in self.samples]
+
+    def mean_occupancy(self) -> float:
+        """Instruction-weighted mean of granted columns."""
+        total = self.instructions
+        if total == 0:
+            return 0.0
+        weighted = sum(
+            sample.columns * sample.instructions
+            for sample in self.samples
+        )
+        return weighted / total
+
+    def cpi(
+        self, timing: TimingConfig, skip_samples: int = 0
+    ) -> float:
+        """Clocks per instruction under ``timing``.
+
+        ``skip_samples`` drops the tenant's first segments (cold-start
+        ramp) from the measurement — the isolation experiment compares
+        steady-state CPI, and its solo baselines skip identically.
+        """
+        samples = self.samples[skip_samples:]
+        instructions = sum(s.instructions for s in samples)
+        if instructions == 0:
+            return 0.0
+        cycles = (
+            instructions
+            + sum(s.misses for s in samples) * timing.miss_penalty
+            + sum(s.quanta for s in samples)
+            * timing.context_switch_cycles
+            + sum(s.remap_cycles for s in samples)
+        )
+        return cycles / instructions
+
+    def as_dict(self, timing: TimingConfig) -> dict[str, Any]:
+        """Structured, JSON-serializable telemetry export."""
+        return {
+            "name": self.name,
+            "priority": self.priority,
+            "status": self.status.value,
+            "arrival_time": self.arrival_time,
+            "admitted_at": self.admitted_at,
+            "departed_at": self.departed_at,
+            "rejected_at": self.rejected_at,
+            "instructions": self.instructions,
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "miss_rate": self.miss_rate,
+            "quanta": self.quanta,
+            "wraps": self.wraps,
+            "remaps": self.remaps,
+            "remap_cycles": self.remap_cycles,
+            "mean_occupancy": self.mean_occupancy(),
+            "occupancy_history": self.occupancy_history(),
+            "cpi": self.cpi(timing),
+            "windows": len(self.samples),
+        }

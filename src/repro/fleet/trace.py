@@ -1,0 +1,141 @@
+"""Fleet workload generation: Poisson arrivals over the workload suite.
+
+Turns the repo's static workload registry into an open arrival
+process: tenants arrive with exponential interarrival times, run a
+workload drawn from a configurable mix, stay for an exponential
+service time, and depart — the M/G/k-flavoured stream a broker that
+"serves heavy traffic" must absorb.  Generation is fully deterministic
+from the seed (tenant workloads are recorded with per-tenant derived
+seeds), so fleet experiments are reproducible and cacheable by the
+sweep engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.fleet.executor import FleetEvent, FleetTrace
+from repro.fleet.tenant import TENANT_SPACE_BITS, TenantSpec
+from repro.workloads.suite import make_workload
+
+
+@dataclass(frozen=True)
+class WorkloadMixEntry:
+    """One workload template of the arrival mix.
+
+    Attributes:
+        workload: Registry name (see
+            :func:`repro.workloads.suite.make_workload`).
+        kwargs: Keyword arguments for the workload factory, as
+            key/value pairs (kept hashable so configs stay frozen).
+        weight: Relative draw probability within the mix.
+    """
+
+    workload: str
+    kwargs: tuple[tuple[str, int], ...] = ()
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(
+                f"mix weight must be positive, got {self.weight}"
+            )
+
+
+def generate_fleet_trace(
+    horizon_instructions: int,
+    mix: Sequence[WorkloadMixEntry],
+    mean_interarrival: float,
+    mean_service: float,
+    seed: int = 0,
+    priorities: Sequence[int] = (1,),
+    first_arrival_at: int = 0,
+    max_arrivals: Optional[int] = None,
+) -> FleetTrace:
+    """Generate a Poisson arrival/departure schedule over a mix.
+
+    Args:
+        horizon_instructions: Global instruction budget; arrivals past
+            it are not generated.
+        mix: Workload templates tenants are drawn from.
+        mean_interarrival: Mean instructions between arrivals
+            (exponential).
+        mean_service: Mean resident instructions per tenant
+            (exponential); departures past the horizon are omitted
+            (the tenant stays to the end).
+        seed: Root seed; tenant ``i`` records its workload with seed
+            ``seed * 1000 + i`` so traces differ across tenants.
+        priorities: Priority values drawn uniformly per tenant.
+        first_arrival_at: Instruction time of the first arrival (the
+            first tenants of an experiment usually start at 0).
+        max_arrivals: Cap on generated tenants (None = horizon-bound).
+
+    Returns:
+        A :class:`~repro.fleet.executor.FleetTrace` with events sorted
+        by time.
+    """
+    if not mix:
+        raise ValueError("need at least one workload mix entry")
+    if mean_interarrival <= 0 or mean_service <= 0:
+        raise ValueError("mean interarrival/service must be positive")
+    rng = np.random.default_rng(seed)
+    weights = np.array([entry.weight for entry in mix], dtype=float)
+    weights = weights / weights.sum()
+    events: list[FleetEvent] = []
+    time = float(first_arrival_at)
+    index = 0
+    while time < horizon_instructions:
+        if max_arrivals is not None and index >= max_arrivals:
+            break
+        entry = mix[int(rng.choice(len(mix), p=weights))]
+        workload_seed = seed * 1000 + index
+        run = make_workload(
+            entry.workload,
+            seed=workload_seed,
+            **dict(entry.kwargs),
+        ).record()
+        priority = int(priorities[int(rng.integers(len(priorities)))])
+        spec = TenantSpec(
+            name=f"{entry.workload}-{index}",
+            run=run,
+            priority=priority,
+            address_offset=index << TENANT_SPACE_BITS,
+        )
+        arrival_time = int(time)
+        events.append(
+            FleetEvent(time=arrival_time, kind="arrival", spec=spec)
+        )
+        departure = arrival_time + max(
+            int(rng.exponential(mean_service)), 1
+        )
+        if departure < horizon_instructions:
+            events.append(
+                FleetEvent(
+                    time=departure, kind="departure", tenant=spec.name
+                )
+            )
+        time += max(rng.exponential(mean_interarrival), 1.0)
+        index += 1
+    events.sort(key=lambda event: event.time)
+    return FleetTrace(
+        events=tuple(events),
+        horizon_instructions=horizon_instructions,
+    )
+
+
+def single_tenant_trace(
+    spec: TenantSpec, horizon_instructions: int
+) -> FleetTrace:
+    """A fleet of one: the tenant alone for the whole horizon.
+
+    This is the *solo baseline* of the isolation experiment: the same
+    scheduler, the same cache, no co-tenants — the CPI every tenant
+    would see if it owned the machine.
+    """
+    return FleetTrace(
+        events=(FleetEvent(time=0, kind="arrival", spec=spec),),
+        horizon_instructions=horizon_instructions,
+    )

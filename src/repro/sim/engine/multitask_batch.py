@@ -282,6 +282,7 @@ class _KernelGroup:
         masks: np.ndarray,
         start_state: LockstepState,
     ) -> None:
+        """Buffer one sweep point's stream as extra lockstep rows."""
         self.rows.append(rows + np.int64(self.row_count))
         self.tags.append(tags)
         self.masks.append(masks)
@@ -297,6 +298,7 @@ class _KernelGroup:
         batch_lists: Sequence[Sequence[_BatchJob]],
         results: list[list[Optional[dict[str, JobResult]]]],
     ) -> None:
+        """Run the buffered points in one kernel call; fill results."""
         if not self.points:
             return
         # Each point starts from a copy of its (shared, already warmed)

@@ -26,6 +26,35 @@ from repro.trace.trace import Trace
 from repro.utils.bitvector import ColumnMask
 
 
+def next_quantum_slice(
+    cumulative: np.ndarray, position: int, remaining: int
+) -> tuple[int, int]:
+    """One atomic trace slice of a scheduling quantum.
+
+    Given a job's cumulative instruction counts (``cumulative[i]`` =
+    instructions contributed by accesses ``0..i`` of the current pass),
+    the current trace ``position`` and the ``remaining`` instructions of
+    the quantum, returns ``(stop, ran)``: the slice ``[position,
+    stop)`` to execute next (never crossing the end of the trace) and
+    the instructions it runs.  An access and its gap are atomic, so the
+    slice may overshoot ``remaining`` by the final access's
+    instructions; a quantum of 1 advances exactly one access.
+
+    This is the single source of truth for quantum slicing: the
+    round-robin :class:`MultitaskSimulator` and the fleet executor
+    (:mod:`repro.fleet.executor`) both slice through it, so their
+    schedules agree access-for-access.
+    """
+    done_before = 0 if position == 0 else int(cumulative[position - 1])
+    target = done_before + remaining
+    stop = int(np.searchsorted(cumulative, target, side="right"))
+    if stop == position:
+        stop = position + 1  # atomic access: make progress
+    stop = min(stop, len(cumulative))
+    ran = int(cumulative[stop - 1]) - done_before
+    return stop, ran
+
+
 @dataclass
 class Job:
     """One schedulable job: a trace plus its column mask.
@@ -191,21 +220,15 @@ class MultitaskSimulator:
         result = state.result
         result.quanta += 1
         while remaining > 0:
-            done_before = state.instructions_done_in_pass()
-            target = done_before + remaining
-            stop = int(
-                np.searchsorted(state.cumulative, target, side="right")
+            stop, ran = next_quantum_slice(
+                state.cumulative, state.position, remaining
             )
-            if stop == state.position:
-                stop = state.position + 1  # atomic access: make progress
-            stop = min(stop, len(state.blocks))
             outcome = self.cache.run(
                 state.blocks,
                 uniform_mask=state.mask_bits,
                 start=state.position,
                 stop=stop,
             )
-            ran = int(state.cumulative[stop - 1]) - done_before
             result.instructions += ran
             result.accesses += stop - state.position
             result.hits += outcome.hits

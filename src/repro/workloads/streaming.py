@@ -1,0 +1,86 @@
+"""Streaming workloads: bulk data movement with near-zero reuse.
+
+Embedded systems spend much of their memory traffic on data that is
+touched once and never again — DMA-style buffer copies, table scans,
+sensor sample drains.  The paper's introduction singles this class
+out: streamed data "pollutes" a shared cache, evicting other tasks'
+hot state while gaining nothing itself, and software-controlled
+columns exist precisely to fence it in.  :class:`StreamScan` is that
+adversary in its purest form: a strided walk over a buffer larger
+than the cache, missing on (almost) every access.  In the fleet
+experiment it plays the noisy neighbour the column broker must
+contain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Workload
+
+
+class StreamScan(Workload):
+    """A strided scan over a large buffer — the canonical polluter.
+
+    Each pass reads the buffer at ``stride_bytes`` intervals and
+    accumulates a checksum; with the stride at or above the cache
+    line size every access touches a new line, so the scan inserts
+    lines at the maximum possible rate while reusing nothing.
+
+    Args:
+        buffer_bytes: Size of the scanned buffer (make it larger than
+            the cache under test for full pollution).
+        stride_bytes: Byte distance between consecutive reads.
+        passes: Number of full scans recorded.
+        element_size: Element width in bytes.
+        seed: Input-generation seed.
+    """
+
+    def __init__(
+        self,
+        buffer_bytes: int = 32768,
+        stride_bytes: int = 16,
+        passes: int = 4,
+        element_size: int = 2,
+        seed: int = 0,
+        **kwargs,
+    ):
+        super().__init__(
+            name="scan", element_size=element_size, seed=seed, **kwargs
+        )
+        if stride_bytes < element_size:
+            raise ValueError(
+                f"stride_bytes must be >= element_size "
+                f"({element_size}), got {stride_bytes}"
+            )
+        if stride_bytes % element_size:
+            raise ValueError(
+                "stride_bytes must be a multiple of element_size"
+            )
+        count = buffer_bytes // element_size
+        if count < 1:
+            raise ValueError(
+                f"buffer_bytes {buffer_bytes} holds no "
+                f"{element_size}-byte elements"
+            )
+        self.passes = passes
+        self.step = stride_bytes // element_size
+        self.buffer = self.array(
+            "stream_buffer",
+            count,
+            initial=self.rng.integers(-64, 64, count),
+        )
+        self.checksum = self.scalar("scan_checksum", 0)
+
+    def run(self) -> None:
+        """Scan the buffer ``passes`` times, accumulating a checksum."""
+        self.begin_phase("scan")
+        total = 0
+        count = len(self.buffer)
+        for _ in range(self.passes):
+            for index in range(0, count, self.step):
+                total += self.buffer[index]
+                self.work(1)
+        self.checksum.set(total)
+        self.outputs["checksum"] = np.array([total])
+        self.end_phase()

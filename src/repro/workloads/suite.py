@@ -15,6 +15,7 @@ from repro.workloads.mpeg import (
     PlusRoutine,
 )
 from repro.workloads.packet import PacketPipeline
+from repro.workloads.streaming import StreamScan
 from repro.workloads.transform import PhasedFFT, TwoPassTransform
 
 _REGISTRY: dict[str, Callable[..., Workload]] = {
@@ -33,6 +34,7 @@ _REGISTRY: dict[str, Callable[..., Workload]] = {
     "packet": PacketPipeline,
     "twopass": TwoPassTransform,
     "fft_phased": PhasedFFT,
+    "scan": StreamScan,
 }
 
 

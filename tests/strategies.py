@@ -111,6 +111,87 @@ def random_workload(draw, max_length: int = 300):
 
 
 @st.composite
+def fleet_scenario(draw):
+    """A small multi-tenant fleet: geometry, events, scheduling knobs.
+
+    Used by the fleet differential suite: the lockstep and reference
+    executors must agree per access on any scenario this produces —
+    including arrivals/departures that cut scheduling windows short
+    and broker rebalances that rewrite tints mid-run.
+    """
+    geometry = CacheGeometry(
+        line_size=16,
+        sets=draw(st.sampled_from([4, 8])),
+        columns=draw(st.sampled_from([2, 4, 8])),
+    )
+    tenant_count = draw(st.integers(1, 3))
+    horizon = draw(st.integers(1_500, 6_000))
+    seed = draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(seed)
+    events = []
+    for index in range(tenant_count):
+        memory_map = MemoryMap(
+            base=0x10000, page_size=64, page_aligned=True
+        )
+        variables = [
+            memory_map.allocate_array(
+                f"t{index}v{v}", draw(st.sampled_from([16, 32, 64]))
+            )
+            for v in range(draw(st.integers(1, 3)))
+        ]
+        builder = TraceBuilder(name=f"tenant{index}")
+        for position in range(draw(st.integers(30, 200))):
+            variable = variables[int(rng.integers(0, len(variables)))]
+            builder.add_gap(int(rng.integers(0, 3)))
+            builder.append(
+                variable.address_of(
+                    int(rng.integers(0, variable.element_count))
+                ),
+                is_write=bool(rng.random() < 0.2),
+                variable=variable.name,
+            )
+        run = WorkloadRun(
+            name=f"tenant{index}",
+            trace=builder.build(),
+            memory_map=memory_map,
+        )
+        from repro.fleet import FleetEvent, TenantSpec
+
+        spec = TenantSpec(
+            name=f"tenant{index}",
+            run=run,
+            priority=draw(st.integers(1, 3)),
+            address_offset=index << 32,
+        )
+        arrival = draw(st.integers(0, horizon // 2))
+        events.append(
+            FleetEvent(time=arrival, kind="arrival", spec=spec)
+        )
+        if draw(st.booleans()):
+            departure = arrival + draw(st.integers(1, horizon))
+            if departure < horizon:
+                events.append(
+                    FleetEvent(
+                        time=departure,
+                        kind="departure",
+                        tenant=spec.name,
+                    )
+                )
+    events.sort(key=lambda event: event.time)
+    from repro.fleet import FleetConfig, FleetTrace
+
+    fleet = FleetTrace(
+        events=tuple(events), horizon_instructions=horizon
+    )
+    config = FleetConfig(
+        quantum_instructions=draw(st.sampled_from([16, 64, 256])),
+        window_instructions=draw(st.sampled_from([256, 1024])),
+        min_detect_accesses=draw(st.sampled_from([8, 64])),
+    )
+    return geometry, fleet, config
+
+
+@st.composite
 def phased_workload(draw, max_phases: int = 4):
     """A workload whose access stream rotates through phase subsets.
 

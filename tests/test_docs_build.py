@@ -1,0 +1,35 @@
+"""The API-reference build gate, run as part of tier-1.
+
+``docs/build_api_reference.py --check`` verifies three things: the
+generated pages under ``docs/api/`` match the source (no stale docs),
+every absolute ``repro.*`` cross-reference in the documented
+docstrings resolves against the live import graph, and the strict
+packages (``repro.sim.engine``, ``repro.runtime``, ``repro.fleet``)
+have a docstring on every public object.  Running it here means a PR
+cannot silently break the documentation site.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).parent.parent
+
+
+def test_api_reference_fresh_and_resolvable():
+    process = subprocess.run(
+        [
+            sys.executable,
+            str(REPO / "docs" / "build_api_reference.py"),
+            "--check",
+        ],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert process.returncode == 0, (
+        "API reference check failed — regenerate with "
+        "`python docs/build_api_reference.py` and commit:\n"
+        + process.stderr
+    )
+    assert "api reference OK" in process.stdout

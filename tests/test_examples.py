@@ -51,3 +51,9 @@ class TestExamples:
     def test_multitasking_predictability(self):
         output = run_example("multitasking_predictability.py", timeout=300)
         assert "predictable" in output
+
+    def test_fleet_serving(self):
+        output = run_example("fleet_serving.py")
+        assert "broker vs shared cache" in output
+        assert "at least as fast under the broker" in output
+        assert "-> True" in output

@@ -1,0 +1,228 @@
+"""The column broker: admission, reclamation, re-grant, baselines."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.fleet import (
+    ColumnBroker,
+    FleetAdmissionError,
+    SharedPool,
+    StaticEqualSplit,
+    demand_curve,
+)
+from repro.sim.config import MULTITASK_TIMING
+from repro.utils.bitvector import ColumnMask
+from repro.workloads.suite import make_workload
+
+
+def record(name, **kwargs):
+    return make_workload(name, **kwargs).record()
+
+
+@pytest.fixture(scope="module")
+def small_runs():
+    return {
+        "crc": record("crc32", message_bytes=256, seed=1),
+        "hist": record("histogram", sample_count=256, bin_count=32, seed=2),
+        "fir": record("fir", signal_length=256, tap_count=16, seed=3),
+        "scan": record(
+            "scan", buffer_bytes=8192, stride_bytes=16, passes=2, seed=4
+        ),
+        "gzip": record(
+            "gzip", input_bytes=1024, window_bits=10, hash_bits=9, seed=5
+        ),
+    }
+
+
+@pytest.fixture
+def geometry():
+    return CacheGeometry(line_size=16, sets=32, columns=8)
+
+
+class TestDemandCurve:
+    def test_measured_costs_non_increasing(self, small_runs, geometry):
+        demand = demand_curve(small_runs["gzip"], geometry)
+        assert len(demand.measured_costs) == geometry.columns
+        for before, after in zip(
+            demand.measured_costs, demand.measured_costs[1:]
+        ):
+            assert after <= before
+
+    def test_scan_has_flat_measured_curve(self, small_runs, geometry):
+        """A pure stream gains nothing from extra columns."""
+        demand = demand_curve(small_runs["scan"], geometry)
+        # Essentially all accesses miss regardless of the grant.
+        spread = demand.measured_costs[0] - demand.measured_costs[-1]
+        assert spread <= demand.measured_costs[0] * 0.02
+        assert all(
+            demand.marginal_benefit(c) <= 2
+            for c in range(2, geometry.columns + 1)
+        )
+
+    def test_hot_table_tenant_values_early_columns(
+        self, small_runs, geometry
+    ):
+        demand = demand_curve(small_runs["crc"], geometry)
+        assert demand.marginal_benefit(2) > 0
+
+    def test_marginal_benefit_validates(self, small_runs, geometry):
+        demand = demand_curve(small_runs["crc"], geometry)
+        with pytest.raises(ValueError):
+            demand.marginal_benefit(1)
+        with pytest.raises(ValueError):
+            demand.cost(0)
+
+
+class TestColumnBroker:
+    def test_admission_grants_disjoint_and_complete(
+        self, small_runs, geometry
+    ):
+        broker = ColumnBroker(geometry, MULTITASK_TIMING)
+        broker.admit("a", small_runs["gzip"])
+        broker.admit("b", small_runs["crc"])
+        broker.admit("c", small_runs["hist"])
+        broker.check_disjoint()
+        # All columns are always placed: an idle column serves nobody.
+        assert broker.free_columns().is_empty()
+        assert set(broker.resident) == {"a", "b", "c"}
+        for name in ("a", "b", "c"):
+            assert not broker.grant_of(name).is_empty()
+            assert f"tenant:{name}" in broker.tint_table
+
+    def test_rejection_when_zero_columns_free(self, small_runs):
+        geometry = CacheGeometry(line_size=16, sets=32, columns=2)
+        broker = ColumnBroker(geometry, MULTITASK_TIMING)
+        broker.admit("a", small_runs["crc"])
+        broker.admit("b", small_runs["hist"])
+        with pytest.raises(FleetAdmissionError):
+            broker.admit("c", small_runs["fir"])
+        # The failed admission left no residue.
+        assert broker.resident == ["a", "b"]
+        assert "c" not in broker.demands
+        broker.check_disjoint()
+
+    def test_departure_releases_and_regrants(self, small_runs, geometry):
+        broker = ColumnBroker(geometry, MULTITASK_TIMING)
+        broker.admit("a", small_runs["gzip"])
+        broker.admit("b", small_runs["crc"])
+        before = broker.grant_of("a").count()
+        charges = broker.depart("b")
+        assert "b" not in broker.grants
+        assert "tenant:b" not in broker.tint_table
+        # The survivor absorbed the released columns (and was charged
+        # a tint rewrite for the re-grant).
+        assert broker.grant_of("a").count() > before
+        assert broker.grant_of("a").count() == geometry.columns
+        assert charges == {
+            "a": MULTITASK_TIMING.remap_tint_cycles
+        }
+        broker.check_disjoint()
+
+    def test_priority_weighted_allocation(self, small_runs, geometry):
+        """Two tenants with the same demand: priority decides."""
+        broker = ColumnBroker(geometry, MULTITASK_TIMING)
+        broker.admit("low", small_runs["gzip"], priority=1)
+        broker.admit("high", small_runs["gzip"], priority=3)
+        assert (
+            broker.grant_of("high").count()
+            >= broker.grant_of("low").count()
+        )
+
+    def test_arrival_reclaims_from_low_value_tenant(
+        self, small_runs, geometry
+    ):
+        """A demanding newcomer pulls columns out of a scan's grant."""
+        broker = ColumnBroker(geometry, MULTITASK_TIMING)
+        broker.admit("stream", small_runs["scan"], priority=1)
+        assert broker.grant_of("stream").count() == geometry.columns
+        broker.admit("hot", small_runs["gzip"], priority=2)
+        broker.check_disjoint()
+        assert broker.grant_of("hot").count() > broker.grant_of(
+            "stream"
+        ).count()
+
+    def test_refresh_with_hysteresis_keeps_allocation(
+        self, small_runs, geometry
+    ):
+        broker = ColumnBroker(
+            geometry, MULTITASK_TIMING, min_benefit_cycles=10**9
+        )
+        broker.admit("a", small_runs["gzip"])
+        broker.admit("b", small_runs["crc"])
+        grants_before = dict(broker.grants)
+        charges = broker.refresh(
+            "a", small_runs["gzip"], small_runs["gzip"].trace
+        )
+        assert charges == {}
+        assert broker.grants == grants_before
+
+    def test_refresh_then_admit_keeps_disjoint(
+        self, small_runs, geometry
+    ):
+        """An arrival right after an in-flight repartition composes."""
+        broker = ColumnBroker(geometry, MULTITASK_TIMING)
+        broker.admit("a", small_runs["gzip"])
+        broker.admit("b", small_runs["crc"])
+        broker.refresh("a", small_runs["gzip"], small_runs["gzip"].trace)
+        broker.admit("c", small_runs["hist"])
+        broker.check_disjoint()
+        assert broker.free_columns().is_empty()
+
+    def test_duplicate_admission_rejected(self, small_runs, geometry):
+        broker = ColumnBroker(geometry, MULTITASK_TIMING)
+        broker.admit("a", small_runs["crc"])
+        with pytest.raises(ValueError):
+            broker.admit("a", small_runs["crc"])
+
+    def test_depart_unknown_raises(self, geometry):
+        broker = ColumnBroker(geometry, MULTITASK_TIMING)
+        with pytest.raises(KeyError):
+            broker.depart("ghost")
+
+    def test_rewrite_log_records_reasons(self, small_runs, geometry):
+        broker = ColumnBroker(geometry, MULTITASK_TIMING)
+        broker.admit("a", small_runs["gzip"])
+        broker.admit("b", small_runs["crc"])
+        broker.depart("a")
+        reasons = {rewrite.reason for rewrite in broker.rewrites}
+        assert "arrival" in reasons
+        assert "departure" in reasons
+
+
+class TestBaselines:
+    def test_shared_pool_full_mask(self, small_runs, geometry):
+        pool = SharedPool(geometry, MULTITASK_TIMING, max_tenants=2)
+        pool.admit("a", small_runs["crc"])
+        pool.admit("b", small_runs["hist"])
+        full = ColumnMask.all_columns(geometry.columns)
+        assert pool.grants["a"] == full
+        assert pool.grants["b"] == full
+        with pytest.raises(FleetAdmissionError):
+            pool.admit("c", small_runs["fir"])
+        pool.depart("a")
+        pool.admit("c", small_runs["fir"])
+        assert pool.resident == ["b", "c"]
+
+    def test_static_equal_split_slots(self, small_runs, geometry):
+        split = StaticEqualSplit(geometry, MULTITASK_TIMING, slots=4)
+        split.admit("a", small_runs["crc"])
+        split.admit("b", small_runs["hist"])
+        assert split.grants["a"].count() == geometry.columns // 4
+        assert not split.grants["a"].overlaps(split.grants["b"])
+        # Slots are stable: refresh never moves a static partition.
+        before = split.grants["a"]
+        split.refresh("a", small_runs["crc"], small_runs["crc"].trace)
+        assert split.grants["a"] == before
+        # Departing frees the slot for the next arrival.
+        split.depart("a")
+        split.admit("c", small_runs["fir"])
+        assert split.grants["c"] == before
+
+    def test_static_equal_split_rejects_when_full(
+        self, small_runs, geometry
+    ):
+        split = StaticEqualSplit(geometry, MULTITASK_TIMING, slots=2)
+        split.admit("a", small_runs["crc"])
+        split.admit("b", small_runs["hist"])
+        with pytest.raises(FleetAdmissionError):
+            split.admit("c", small_runs["fir"])

@@ -1,0 +1,413 @@
+"""The fleet executor: scheduling, events, telemetry, differential.
+
+The bar for the fleet layer is the same as for every other backend
+pair in this repository (``docs/testing.md``): the lockstep fast path
+and the scalar reference path must produce **bit-identical per-access
+hit streams** on the same scenario — including scenarios where
+arrivals cut windows short, departures release columns mid-run and
+the broker rewrites tints between segments.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.cache.geometry import CacheGeometry
+from repro.fleet import (
+    ColumnBroker,
+    FleetConfig,
+    FleetEvent,
+    FleetExecutor,
+    FleetTrace,
+    SharedPool,
+    TenantSpec,
+    TenantStatus,
+    single_tenant_trace,
+)
+from repro.sim.config import MULTITASK_TIMING
+from repro.workloads.suite import make_workload
+from tests.strategies import fleet_scenario
+
+TIMING = MULTITASK_TIMING
+
+
+def spec_for(index, workload, priority=1, **kwargs):
+    run = make_workload(workload, seed=10 + index, **kwargs).record()
+    return TenantSpec(
+        name=f"{workload}-{index}",
+        run=run,
+        priority=priority,
+        address_offset=index << 32,
+    )
+
+
+@pytest.fixture(scope="module")
+def trio():
+    return [
+        spec_for(0, "crc32", message_bytes=256),
+        spec_for(1, "histogram", sample_count=256, bin_count=32),
+        spec_for(2, "fir", signal_length=256, tap_count=16),
+    ]
+
+
+@pytest.fixture
+def geometry():
+    return CacheGeometry(line_size=16, sets=32, columns=8)
+
+
+def run_fleet(geometry, fleet, config=None, broker=None, **kwargs):
+    executor = FleetExecutor(
+        geometry,
+        TIMING,
+        config or FleetConfig(
+            quantum_instructions=128, window_instructions=2048
+        ),
+    )
+    return executor.run(fleet, broker=broker, **kwargs)
+
+
+class TestScheduling:
+    def test_conservation(self, geometry, trio):
+        horizon = 30_000
+        fleet = FleetTrace(
+            events=tuple(
+                FleetEvent(time=0, kind="arrival", spec=spec)
+                for spec in trio
+            ),
+            horizon_instructions=horizon,
+        )
+        result = run_fleet(geometry, fleet)
+        assert result.total_instructions >= horizon
+        # Overshoot is bounded by one quantum plus one access's gaps.
+        assert result.total_instructions < horizon + 1024
+        total = sum(
+            telemetry.instructions
+            for telemetry in result.telemetry.values()
+        )
+        assert total == result.total_instructions
+        for telemetry in result.telemetry.values():
+            assert telemetry.accesses == telemetry.hits + telemetry.misses
+            assert telemetry.instructions == sum(
+                sample.instructions for sample in telemetry.samples
+            )
+
+    def test_solo_run_uses_whole_cache(self, geometry, trio):
+        result = run_fleet(
+            geometry, single_tenant_trace(trio[0], 10_000)
+        )
+        telemetry = result.telemetry[trio[0].name]
+        assert telemetry.status is TenantStatus.RUNNING
+        assert all(
+            sample.columns == geometry.columns
+            for sample in telemetry.samples
+        )
+
+    def test_idle_gap_before_first_arrival(self, geometry, trio):
+        fleet = FleetTrace(
+            events=(
+                FleetEvent(time=5_000, kind="arrival", spec=trio[0]),
+            ),
+            horizon_instructions=12_000,
+        )
+        result = run_fleet(geometry, fleet)
+        telemetry = result.telemetry[trio[0].name]
+        assert telemetry.admitted_at >= 5_000
+        # Only the tenant's own instructions are accounted.
+        assert telemetry.instructions == sum(
+            sample.instructions for sample in telemetry.samples
+        )
+
+
+class TestEvents:
+    def test_arrival_mid_window_cuts_segment(self, geometry, trio):
+        """An arrival lands inside what would be one huge window: the
+        segment is cut at the event, so the tenant starts on time
+        (quantum granularity), not a window later."""
+        config = FleetConfig(
+            quantum_instructions=128, window_instructions=50_000
+        )
+        fleet = FleetTrace(
+            events=(
+                FleetEvent(time=0, kind="arrival", spec=trio[0]),
+                FleetEvent(time=7_000, kind="arrival", spec=trio[1]),
+            ),
+            horizon_instructions=40_000,
+        )
+        result = run_fleet(geometry, fleet, config=config)
+        late = result.telemetry[trio[1].name]
+        assert late.status is TenantStatus.RUNNING
+        assert late.admitted_at == 7_000
+        # Had the arrival waited for the window's natural end
+        # (50k > horizon) it would never run; instead it gets its
+        # round-robin half of the remaining ~33k instructions.
+        assert late.instructions > 10_000
+        # The first tenant's run really was segmented by the arrival.
+        first = result.telemetry[trio[0].name]
+        assert len(first.samples) >= 2
+
+    def test_arrival_during_inflight_repartition(self, geometry, trio):
+        """Back-to-back events: the second arrival lands while the
+        first arrival's repartition is being applied at the same
+        boundary; both must be admitted onto disjoint columns."""
+        broker = ColumnBroker(geometry, TIMING)
+        fleet = FleetTrace(
+            events=(
+                FleetEvent(time=0, kind="arrival", spec=trio[0]),
+                FleetEvent(time=1_000, kind="arrival", spec=trio[1]),
+                FleetEvent(time=1_001, kind="arrival", spec=trio[2]),
+            ),
+            horizon_instructions=20_000,
+        )
+        result = run_fleet(geometry, fleet, broker=broker)
+        broker.check_disjoint()
+        for spec in trio:
+            assert (
+                result.telemetry[spec.name].status
+                is TenantStatus.RUNNING
+            )
+        assert len(broker.grants) == 3
+
+    def test_departure_mid_window_releases_columns(
+        self, geometry, trio
+    ):
+        """A departure inside one huge window frees columns for the
+        survivor *at the event*, not at the window's natural end."""
+        config = FleetConfig(
+            quantum_instructions=128, window_instructions=100_000
+        )
+        fleet = FleetTrace(
+            events=(
+                FleetEvent(time=0, kind="arrival", spec=trio[0]),
+                FleetEvent(time=0, kind="arrival", spec=trio[1]),
+                FleetEvent(
+                    time=30_000, kind="departure", tenant=trio[1].name
+                ),
+            ),
+            horizon_instructions=80_000,
+        )
+        result = run_fleet(geometry, fleet, config=config)
+        departed = result.telemetry[trio[1].name]
+        assert departed.status is TenantStatus.DEPARTED
+        assert departed.departed_at == 30_000
+        # It was descheduled at the event, not at the window's natural
+        # end (100k): it ran its round-robin half of ~30k instructions.
+        assert departed.instructions < 20_000
+        survivor = result.telemetry[trio[0].name]
+        occupancy = survivor.occupancy_history()
+        # The survivor's grant grows to the whole cache afterwards.
+        assert occupancy[-1] == geometry.columns
+        assert occupancy[0] < geometry.columns
+        # And the survivor keeps executing past the departure.
+        assert survivor.samples[-1].instructions > 0
+
+    def test_rejection_when_zero_columns_free(self, trio):
+        geometry = CacheGeometry(line_size=16, sets=32, columns=2)
+        late = spec_for(3, "crc32", message_bytes=256)
+        fleet = FleetTrace(
+            events=(
+                FleetEvent(time=0, kind="arrival", spec=trio[0]),
+                FleetEvent(time=0, kind="arrival", spec=trio[1]),
+                FleetEvent(time=2_000, kind="arrival", spec=trio[2]),
+                FleetEvent(
+                    time=6_000, kind="departure", tenant=trio[0].name
+                ),
+                FleetEvent(time=10_000, kind="arrival", spec=late),
+            ),
+            horizon_instructions=25_000,
+        )
+        result = run_fleet(geometry, fleet)
+        assert result.rejected == [trio[2].name]
+        rejected = result.telemetry[trio[2].name]
+        assert rejected.status is TenantStatus.REJECTED
+        assert rejected.samples == []
+        # After a departure freed a column, the next arrival got in.
+        assert (
+            result.telemetry[late.name].status is TenantStatus.RUNNING
+        )
+
+    def test_departure_of_rejected_tenant_is_noop(self, trio):
+        geometry = CacheGeometry(line_size=16, sets=32, columns=2)
+        fleet = FleetTrace(
+            events=(
+                FleetEvent(time=0, kind="arrival", spec=trio[0]),
+                FleetEvent(time=0, kind="arrival", spec=trio[1]),
+                FleetEvent(time=1_000, kind="arrival", spec=trio[2]),
+                FleetEvent(
+                    time=2_000, kind="departure", tenant=trio[2].name
+                ),
+            ),
+            horizon_instructions=10_000,
+        )
+        result = run_fleet(geometry, fleet)
+        assert (
+            result.telemetry[trio[2].name].status
+            is TenantStatus.REJECTED
+        )
+
+    def test_unknown_departure_raises(self, geometry, trio):
+        fleet = FleetTrace(
+            events=(
+                FleetEvent(time=0, kind="arrival", spec=trio[0]),
+                FleetEvent(time=1_000, kind="departure", tenant="ghost"),
+            ),
+            horizon_instructions=10_000,
+        )
+        with pytest.raises(ValueError):
+            run_fleet(geometry, fleet)
+
+
+class TestValidation:
+    def test_event_validation(self, trio):
+        with pytest.raises(ValueError):
+            FleetEvent(time=0, kind="arrival")
+        with pytest.raises(ValueError):
+            FleetEvent(time=0, kind="departure")
+        with pytest.raises(ValueError):
+            FleetEvent(time=0, kind="resize", tenant="a")
+        with pytest.raises(ValueError):
+            FleetEvent(time=-1, kind="departure", tenant="a")
+
+    def test_trace_validation(self, trio):
+        events = (
+            FleetEvent(time=5, kind="arrival", spec=trio[0]),
+            FleetEvent(time=1, kind="departure", tenant="x"),
+        )
+        with pytest.raises(ValueError):
+            FleetTrace(events=events, horizon_instructions=100)
+        with pytest.raises(ValueError):
+            FleetTrace(events=(), horizon_instructions=0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FleetConfig(quantum_instructions=0)
+        with pytest.raises(ValueError):
+            FleetConfig(
+                quantum_instructions=100, window_instructions=50
+            )
+
+    def test_unknown_backend_rejected(self, geometry, trio):
+        fleet = single_tenant_trace(trio[0], 1_000)
+        with pytest.raises(ValueError):
+            run_fleet(geometry, fleet, backend="quantum")
+
+
+def assert_identical(result_fast, result_reference):
+    assert np.array_equal(
+        result_fast.hit_stream, result_reference.hit_stream
+    )
+    assert result_fast.total_instructions == (
+        result_reference.total_instructions
+    )
+    assert set(result_fast.telemetry) == set(result_reference.telemetry)
+    for name, fast in result_fast.telemetry.items():
+        reference = result_reference.telemetry[name]
+        assert fast.samples == reference.samples
+        assert fast.status is reference.status
+        assert fast.wraps == reference.wraps
+        assert fast.remaps == reference.remaps
+
+
+class TestDifferential:
+    def test_deterministic_scenario_bit_identical(self, geometry, trio):
+        fleet = FleetTrace(
+            events=(
+                FleetEvent(time=0, kind="arrival", spec=trio[0]),
+                FleetEvent(time=3_000, kind="arrival", spec=trio[1]),
+                FleetEvent(time=9_000, kind="arrival", spec=trio[2]),
+                FleetEvent(
+                    time=15_000, kind="departure", tenant=trio[1].name
+                ),
+            ),
+            horizon_instructions=30_000,
+        )
+        config = FleetConfig(
+            quantum_instructions=128, window_instructions=2048
+        )
+        executor = FleetExecutor(geometry, TIMING, config)
+        fast = executor.run(
+            fleet,
+            broker=ColumnBroker(geometry, TIMING),
+            backend="lockstep",
+            collect_flags=True,
+        )
+        reference = executor.run(
+            fleet,
+            broker=ColumnBroker(geometry, TIMING),
+            backend="reference",
+            collect_flags=True,
+        )
+        assert fast.hit_stream is not None
+        assert len(fast.hit_stream) > 0
+        assert_identical(fast, reference)
+        # Broker-driven tint rewrites really happened mid-run.
+        assert len(fast.rewrites) >= 4
+
+    def test_shared_pool_bit_identical(self, geometry, trio):
+        fleet = FleetTrace(
+            events=tuple(
+                FleetEvent(time=0, kind="arrival", spec=spec)
+                for spec in trio
+            ),
+            horizon_instructions=20_000,
+        )
+        executor = FleetExecutor(
+            geometry,
+            TIMING,
+            FleetConfig(
+                quantum_instructions=64, window_instructions=1024
+            ),
+        )
+        fast = executor.run(
+            fleet,
+            broker=SharedPool(geometry, TIMING),
+            backend="lockstep",
+            collect_flags=True,
+        )
+        reference = executor.run(
+            fleet,
+            broker=SharedPool(geometry, TIMING),
+            backend="reference",
+            collect_flags=True,
+        )
+        assert_identical(fast, reference)
+
+    def test_reference_backend_without_flags(self, geometry, trio):
+        """The counting-only reference path (no flag collection)
+        produces the same telemetry as the flag-collecting one."""
+        fleet = single_tenant_trace(trio[0], 8_000)
+        executor = FleetExecutor(
+            geometry,
+            TIMING,
+            FleetConfig(
+                quantum_instructions=64, window_instructions=1024
+            ),
+        )
+        counted = executor.run(fleet, backend="reference")
+        flagged = executor.run(
+            fleet, backend="reference", collect_flags=True
+        )
+        assert counted.hit_stream is None
+        name = trio[0].name
+        assert (
+            counted.telemetry[name].samples
+            == flagged.telemetry[name].samples
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(case=fleet_scenario())
+    def test_property_bit_identical(self, case):
+        geometry, fleet, config = case
+        executor = FleetExecutor(geometry, TIMING, config)
+        fast = executor.run(
+            fleet,
+            broker=ColumnBroker(geometry, TIMING),
+            backend="lockstep",
+            collect_flags=True,
+        )
+        reference = executor.run(
+            fleet,
+            broker=ColumnBroker(geometry, TIMING),
+            backend="reference",
+            collect_flags=True,
+        )
+        assert_identical(fast, reference)

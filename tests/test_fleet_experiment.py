@@ -1,0 +1,134 @@
+"""The fleet experiment: runners, series assembly, shape checks."""
+
+import json
+
+import pytest
+
+from repro.experiments.fleet import (
+    FleetComparisonConfig,
+    TenantCase,
+    check_fleet,
+    run_fleet_comparison,
+)
+from repro.experiments.runners import (
+    fleet_churn_point,
+    fleet_isolation_point,
+)
+from repro.sim.engine.scheduler import SweepEngine
+
+TINY = FleetComparisonConfig(
+    tenants=(
+        TenantCase("crc32", kwargs=(("message_bytes", 256),)),
+        TenantCase(
+            "histogram",
+            kwargs=(("sample_count", 256), ("bin_count", 32)),
+        ),
+    ),
+    columns=8,
+    sets=32,
+    quantum_instructions=128,
+    window_instructions=2048,
+    horizon_instructions=30_000,
+    ramp_windows=1,
+    equal_slots=2,
+    churn_columns=4,
+    churn_horizon=40_000,
+    churn_mean_interarrival=8_000.0,
+    churn_mean_service=20_000.0,
+)
+
+
+class TestJobs:
+    def test_jobs_are_content_hashable(self):
+        config = FleetComparisonConfig()
+        for job in (config.isolation_job(), config.churn_job()):
+            digest = job.content_hash()
+            assert len(digest) == 64
+            json.dumps(dict(job.params))  # engine-cacheable params
+
+    def test_quick_shrinks_horizons(self):
+        config = FleetComparisonConfig()
+        quick = config.quick()
+        assert quick.horizon_instructions < config.horizon_instructions
+        assert quick.churn_horizon < config.churn_horizon
+
+
+class TestRunners:
+    def test_isolation_point_structure(self):
+        payload = TINY.isolation_job().execute()
+        assert payload["tenant_order"] == ["crc32-0", "histogram-1"]
+        for name in payload["tenant_order"]:
+            entry = payload["tenants"][name]
+            for key in (
+                "solo_cpi",
+                "broker_cpi",
+                "broker_ratio",
+                "shared_cpi",
+                "shared_ratio",
+                "equal_cpi",
+                "equal_ratio",
+                "broker_columns",
+            ):
+                assert key in entry
+            assert entry["solo_cpi"] >= 1.0
+            assert entry["broker_columns"] >= 1
+        json.dumps(payload)
+
+    def test_churn_point_structure(self):
+        payload = TINY.churn_job().execute()
+        assert payload["arrivals"] >= 1
+        assert (
+            payload["admissions"] + payload["rejections"]
+            <= payload["arrivals"]
+            + payload["rejections"]
+        )
+        assert isinstance(payload["rejections_at_capacity_only"], bool)
+        assert payload["disjoint_ok"] is True
+        assert payload["total_instructions"] >= 0
+        json.dumps(payload)
+
+    def test_runner_params_round_trip(self):
+        """Runners accept exactly what the job declares (the engine
+        calls them in worker processes with deserialized params)."""
+        isolation = TINY.isolation_job()
+        churn = TINY.churn_job()
+        fleet_isolation_point(
+            **json.loads(json.dumps(dict(isolation.params)))
+        )
+        fleet_churn_point(**json.loads(json.dumps(dict(churn.params))))
+
+
+class TestComparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fleet_comparison(
+            TINY, SweepEngine(workers=1, backend="serial")
+        )
+
+    def test_series_shape(self, result):
+        assert result.series.x_values == ["crc32-0", "histogram-1"]
+        for label in (
+            "solo_cpi",
+            "broker_cpi",
+            "broker_ratio",
+            "shared_cpi",
+            "shared_ratio",
+            "equal_cpi",
+            "equal_ratio",
+            "broker_columns",
+        ):
+            assert label in result.series.series
+        table = result.series.to_table()
+        assert "fleet-serving" in table
+        assert "churn" in table.lower()
+
+    def test_checks_render(self, result):
+        checks = check_fleet(result)
+        assert len(checks) >= 5
+        for check in checks:
+            assert check.claim
+            assert isinstance(check.passed, bool)
+
+    def test_tenant_accessor(self, result):
+        entry = result.tenant("crc32-0")
+        assert entry["broker_ratio"] > 0

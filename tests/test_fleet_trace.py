@@ -1,0 +1,104 @@
+"""The Poisson fleet-trace generator: determinism and structure."""
+
+import pytest
+
+from repro.fleet import (
+    WorkloadMixEntry,
+    generate_fleet_trace,
+    single_tenant_trace,
+)
+from repro.fleet.tenant import TENANT_SPACE_BITS
+from repro.workloads.suite import make_workload
+
+MIX = (
+    WorkloadMixEntry("crc32", (("message_bytes", 256),), weight=2.0),
+    WorkloadMixEntry(
+        "histogram",
+        (("sample_count", 256), ("bin_count", 32)),
+        weight=1.0,
+    ),
+)
+
+
+def generate(seed=3, **kwargs):
+    defaults = dict(
+        horizon_instructions=120_000,
+        mix=MIX,
+        mean_interarrival=10_000,
+        mean_service=40_000,
+        seed=seed,
+        priorities=(1, 2),
+    )
+    defaults.update(kwargs)
+    return generate_fleet_trace(**defaults)
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        first, second = generate(seed=3), generate(seed=3)
+        assert len(first.events) == len(second.events)
+        for a, b in zip(first.events, second.events):
+            assert (a.time, a.kind, a.name) == (b.time, b.kind, b.name)
+
+    def test_seeds_differ(self):
+        def times(fleet):
+            return [event.time for event in fleet.events]
+
+        assert times(generate(seed=3)) != times(generate(seed=4))
+
+    def test_events_sorted_and_departures_follow_arrivals(self):
+        fleet = generate()
+        times = [event.time for event in fleet.events]
+        assert times == sorted(times)
+        arrival_at = {
+            event.name: event.time
+            for event in fleet.events
+            if event.kind == "arrival"
+        }
+        for event in fleet.events:
+            if event.kind == "departure":
+                assert event.tenant in arrival_at
+                assert event.time > arrival_at[event.tenant]
+
+    def test_tenants_unique_and_disjoint_address_spaces(self):
+        fleet = generate()
+        specs = fleet.specs()
+        names = [spec.name for spec in specs]
+        assert len(set(names)) == len(names)
+        offsets = [spec.address_offset for spec in specs]
+        assert len(set(offsets)) == len(offsets)
+        assert all(
+            offset % (1 << TENANT_SPACE_BITS) == 0 for offset in offsets
+        )
+
+    def test_priorities_from_palette(self):
+        fleet = generate(priorities=(2, 5))
+        assert fleet.specs()
+        assert all(
+            spec.priority in (2, 5) for spec in fleet.specs()
+        )
+
+    def test_max_arrivals_cap(self):
+        fleet = generate(max_arrivals=2)
+        assert len(fleet.specs()) <= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate(mix=())
+        with pytest.raises(ValueError):
+            generate(mean_interarrival=0)
+        with pytest.raises(ValueError):
+            generate(mean_service=-1)
+
+
+class TestSingleTenant:
+    def test_single_tenant_trace(self):
+        run = make_workload("crc32", message_bytes=256).record()
+        from repro.fleet import TenantSpec
+
+        spec = TenantSpec(name="solo", run=run)
+        fleet = single_tenant_trace(spec, 5_000)
+        assert fleet.horizon_instructions == 5_000
+        assert len(fleet.events) == 1
+        assert fleet.events[0].kind == "arrival"
+        assert fleet.events[0].spec is spec

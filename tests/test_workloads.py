@@ -345,10 +345,41 @@ class TestKernels:
         np.testing.assert_array_equal(run.outputs["bins"], expected)
 
 
+class TestStreamScan:
+    def test_checksum_matches_strided_sum(self):
+        scan = make_workload(
+            "scan", buffer_bytes=1024, stride_bytes=16, passes=2
+        )
+        values = scan.buffer.snapshot()
+        run = scan.record()
+        expected = 2 * int(values[:: scan.step].sum())
+        assert int(run.outputs["checksum"][0]) == expected
+
+    def test_scan_misses_nearly_every_access(self):
+        """The polluter contract: stride >= line size means near-zero
+        reuse in any cache smaller than the buffer."""
+        from repro.cache.fastsim import simulate_trace
+        from repro.cache.geometry import CacheGeometry
+
+        run = make_workload(
+            "scan", buffer_bytes=8192, stride_bytes=16, passes=2
+        ).record()
+        geometry = CacheGeometry(line_size=16, sets=32, columns=4)
+        outcome = simulate_trace(run.trace.addresses, geometry)
+        assert outcome.miss_rate > 0.95
+
+    def test_stride_validation(self):
+        with pytest.raises(ValueError):
+            make_workload("scan", stride_bytes=1, element_size=2)
+        with pytest.raises(ValueError):
+            make_workload("scan", stride_bytes=3, element_size=2)
+
+
 class TestSuite:
     def test_registry_complete(self):
         assert "dequant" in available_workloads()
         assert "gzip" in available_workloads()
+        assert "scan" in available_workloads()
 
     def test_make_workload(self):
         workload = make_workload("histogram", sample_count=16)
