@@ -1,4 +1,4 @@
-"""Sweep-engine performance smoke test and regression gate.
+"""Sweep-engine + trace-pipeline performance smoke test and gate.
 
 Runs a Figure-5-shaped multitasking sweep twice — once through the
 scalar per-quantum simulator (the pre-engine baseline) and once
@@ -7,10 +7,14 @@ through the sweep engine's batched lockstep hot path — then:
 * asserts the two produce identical CPIs (a perf path that changes
   results is a bug, not a speedup);
 * writes ``BENCH_sweep.json`` (wall times, accesses/sec, speedup);
-* with ``--check``, fails if throughput regressed more than
-  ``tolerance`` (default 30%) against the checked-in baseline
-  ``benchmarks/perf_baseline.json`` or the batched/serial speedup
-  dropped below the baseline's floor.
+* measures the columnar trace pipeline (workload recording, ``.npz``
+  save / mmap load, streaming lockstep replay, and the full sweep
+  through the columnar path, best of three runs to defeat scheduler
+  noise) and writes ``BENCH_trace.json``;
+* with ``--check``, fails if sweep or trace-pipeline throughput
+  regressed more than ``tolerance`` (default 30%) against the
+  checked-in baseline ``benchmarks/perf_baseline.json`` or the
+  batched/serial speedup dropped below the baseline's floor.
 
 Usage::
 
@@ -26,12 +30,14 @@ import argparse
 import json
 import platform
 import sys
+import tempfile
 import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.cache.geometry import CacheGeometry  # noqa: E402
 from repro.experiments.figure5 import (  # noqa: E402
     Figure5Config,
     _geometry,
@@ -39,11 +45,23 @@ from repro.experiments.figure5 import (  # noqa: E402
     _record_jobs,
     run_figure5,
 )
+from repro.sim.engine.batched import LockstepCache  # noqa: E402
 from repro.sim.engine.scheduler import SweepEngine  # noqa: E402
 from repro.sim.multitask import MultitaskSimulator  # noqa: E402
+from repro.trace.columnar import load_npz  # noqa: E402
+from repro.workloads.suite import make_workload  # noqa: E402
 
 BASELINE_PATH = Path(__file__).parent / "perf_baseline.json"
 OUTPUT_PATH = REPO_ROOT / "BENCH_sweep.json"
+TRACE_OUTPUT_PATH = REPO_ROOT / "BENCH_trace.json"
+
+#: The engine-side accesses/sec recorded in BENCH_sweep.json before
+#: the columnar pipeline landed — the 2x target BENCH_trace.json is
+#: scored against.
+PRE_COLUMNAR_SWEEP_ACCESSES_PER_SEC = 3_156_705
+
+#: Best-of-N runs for the columnar sweep number (shared/noisy hosts).
+SWEEP_TRIALS = 3
 
 
 def smoke_config(full: bool) -> Figure5Config:
@@ -138,7 +156,82 @@ def measure(full: bool) -> dict:
     }
 
 
-def check(report: dict, baseline: dict, tolerance: float) -> list[str]:
+def measure_trace_pipeline(full: bool, total_accesses: int) -> dict:
+    """Time the columnar pipeline: record -> save -> load -> replay.
+
+    Also re-times the full Figure 5 sweep through the columnar engine
+    path (best of :data:`SWEEP_TRIALS` fresh engines) — the number the
+    2x acceptance target reads.
+    """
+    config = smoke_config(full)
+    input_bytes = config.input_bytes
+
+    start = time.perf_counter()
+    run = make_workload("gzip", input_bytes=input_bytes).record()
+    record_seconds = time.perf_counter() - start
+    trace = run.trace
+
+    with tempfile.TemporaryDirectory() as scratch:
+        path = Path(scratch) / "gzip.npz"
+        start = time.perf_counter()
+        trace.save_npz(path)
+        save_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        mapped = load_npz(path, mmap=True)
+        load_seconds = time.perf_counter() - start
+
+        # Streaming replay of a long trace off the memory map.
+        repeats = max(2_000_000 // max(len(trace), 1), 1)
+        long_trace = mapped.repeat(repeats)
+        geometry = CacheGeometry.from_sizes(
+            16384, line_size=16, columns=8
+        )
+        cache = LockstepCache(geometry)
+        start = time.perf_counter()
+        for window in long_trace.iter_chunks(1 << 20):
+            cache.run(window.blocks_for(geometry.offset_bits))
+        replay_seconds = time.perf_counter() - start
+        replayed = cache.result().accesses
+
+    sweep_times = []
+    for _ in range(SWEEP_TRIALS):
+        engine = SweepEngine(workers=1, backend="serial")
+        start = time.perf_counter()
+        run_figure5(config, engine)
+        sweep_times.append(time.perf_counter() - start)
+    sweep_seconds = min(sweep_times)
+    sweep_rate = int(total_accesses / sweep_seconds)
+
+    return {
+        "pipeline": "columnar-trace" + ("" if full else "-smoke"),
+        "full_size": full,
+        "workload": f"gzip/{input_bytes}B",
+        "record_accesses": len(trace),
+        "record_accesses_per_sec": int(len(trace) / record_seconds),
+        "npz_save_seconds": round(save_seconds, 4),
+        "npz_mmap_load_seconds": round(load_seconds, 4),
+        "replay_accesses": int(replayed),
+        "replay_accesses_per_sec": int(replayed / replay_seconds),
+        "sweep_seconds_best_of": SWEEP_TRIALS,
+        "sweep_seconds": round(sweep_seconds, 3),
+        "sweep_accesses_per_sec": sweep_rate,
+        "pre_columnar_sweep_accesses_per_sec": (
+            PRE_COLUMNAR_SWEEP_ACCESSES_PER_SEC
+        ),
+        "speedup_vs_pre_columnar": round(
+            sweep_rate / PRE_COLUMNAR_SWEEP_ACCESSES_PER_SEC, 2
+        ),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+
+
+def check(
+    report: dict,
+    baseline: dict,
+    tolerance: float,
+    trace_report: dict | None = None,
+) -> list[str]:
     """Regression verdicts (empty = pass)."""
     failures = []
     floor = baseline["accesses_per_sec"] * (1.0 - tolerance)
@@ -153,6 +246,21 @@ def check(report: dict, baseline: dict, tolerance: float) -> list[str]:
             f"batched/serial speedup {report['speedup']}x fell below "
             f"the {baseline['min_speedup']}x floor"
         )
+    if trace_report is not None:
+        for key in (
+            "record_accesses_per_sec",
+            "replay_accesses_per_sec",
+            "sweep_accesses_per_sec",
+        ):
+            floor_value = baseline.get(f"trace_{key}")
+            if floor_value is None:
+                continue  # baseline predates the trace pipeline
+            floor_value *= 1.0 - tolerance
+            if trace_report[key] < floor_value:
+                failures.append(
+                    f"trace pipeline {key} regressed: "
+                    f"{trace_report[key]}/s < {floor_value:.0f}/s"
+                )
     return failures
 
 
@@ -191,6 +299,15 @@ def main(argv=None) -> int:
     print(json.dumps(report, indent=2))
     print(f"wrote {arguments.output}")
 
+    trace_report = measure_trace_pipeline(
+        arguments.full, report["total_accesses"]
+    )
+    TRACE_OUTPUT_PATH.write_text(
+        json.dumps(trace_report, indent=2) + "\n", encoding="utf-8"
+    )
+    print(json.dumps(trace_report, indent=2))
+    print(f"wrote {TRACE_OUTPUT_PATH}")
+
     if arguments.update_baseline:
         baseline = {
             "sweep": report["sweep"],
@@ -198,9 +315,21 @@ def main(argv=None) -> int:
             # hosts gate on real regressions, not hardware variance.
             "accesses_per_sec": int(report["accesses_per_sec"] * 0.85),
             "min_speedup": round(report["speedup"] * 0.7, 2),
+            "trace_record_accesses_per_sec": int(
+                trace_report["record_accesses_per_sec"] * 0.85
+            ),
+            "trace_replay_accesses_per_sec": int(
+                trace_report["replay_accesses_per_sec"] * 0.85
+            ),
+            "trace_sweep_accesses_per_sec": int(
+                trace_report["sweep_accesses_per_sec"] * 0.85
+            ),
             "measured_on": {
                 "accesses_per_sec": report["accesses_per_sec"],
                 "speedup": report["speedup"],
+                "trace_sweep_accesses_per_sec": (
+                    trace_report["sweep_accesses_per_sec"]
+                ),
                 "python": report["python"],
                 "machine": report["machine"],
             },
@@ -216,7 +345,9 @@ def main(argv=None) -> int:
                   "--update-baseline first", file=sys.stderr)
             return 2
         baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
-        failures = check(report, baseline, arguments.tolerance)
+        failures = check(
+            report, baseline, arguments.tolerance, trace_report
+        )
         if failures:
             for failure in failures:
                 print(f"PERF REGRESSION: {failure}", file=sys.stderr)
@@ -224,7 +355,8 @@ def main(argv=None) -> int:
         print(
             f"perf gate passed: {report['accesses_per_sec']}/s "
             f"(baseline {baseline['accesses_per_sec']}/s), speedup "
-            f"{report['speedup']}x (floor {baseline['min_speedup']}x)"
+            f"{report['speedup']}x (floor {baseline['min_speedup']}x), "
+            f"trace sweep {trace_report['sweep_accesses_per_sec']}/s"
         )
     return 0
 

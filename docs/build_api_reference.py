@@ -46,6 +46,7 @@ DOCUMENTED_PACKAGES = [
     "repro.sim.engine",
     "repro.runtime",
     "repro.fleet",
+    "repro.trace",
 ]
 
 #: Packages whose *public surface* must be fully docstringed
@@ -67,6 +68,8 @@ def iter_modules(package_name: str):
             pkgutil.iter_modules(package.__path__),
             key=lambda item: item.name,
         ):
+            if info.name == "__main__":
+                continue  # executable entry points run on import
             yield from iter_modules(f"{package_name}.{info.name}")
 
 

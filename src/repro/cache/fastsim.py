@@ -28,8 +28,16 @@ import numpy as np
 from repro.cache.geometry import CacheGeometry
 
 
-def blocks_of(addresses: Sequence[int], geometry: CacheGeometry) -> np.ndarray:
-    """Vectorized ``address >> offset_bits`` for a whole trace."""
+def blocks_of(addresses, geometry: CacheGeometry) -> np.ndarray:
+    """Vectorized ``address >> offset_bits`` for a whole trace.
+
+    Accepts raw address sequences or anything exposing the columnar
+    trace protocol (``blocks_for``), in which case the trace's cached
+    block column is returned directly — no recomputation, no copies.
+    """
+    blocks_for = getattr(addresses, "blocks_for", None)
+    if blocks_for is not None:
+        return blocks_for(geometry.offset_bits)
     array = np.asarray(addresses, dtype=np.int64)
     return array >> geometry.offset_bits
 

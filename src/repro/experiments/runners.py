@@ -566,17 +566,30 @@ def trace_sim(
     columns: int = 4,
     uniform_mask: Optional[int] = None,
     batched: bool = True,
+    trace_path: Optional[str] = None,
+    trace_digest: Optional[str] = None,
 ) -> dict[str, int]:
-    """Generate a synthetic trace and simulate it through one cache.
+    """Simulate a synthetic — or recorded — trace through one cache.
 
     The (workload x geometry x mask) axes make this the generic
     declarative sweep runner; ``batched`` selects the lockstep kernel
     or the scalar reference loop (results are identical either way).
+    ``trace_path`` replays a recorded trace file instead of
+    generating one (``.npz`` columnar archives are memory-mapped,
+    dinero text otherwise) — external traces are first-class sweep
+    inputs, cached like any other parameter.  The job hash covers the
+    *path string*, not the file contents, so callers that regenerate
+    trace files in place should pass ``trace_digest`` (any
+    content-derived string — a checksum, an mtime, a generation
+    counter); the runner ignores it, but it salts the engine's
+    content hash so stale cached results cannot be served.
     """
     from repro.cache.fastsim import FastColumnCache, blocks_of
     from repro.cache.geometry import CacheGeometry
     from repro.sim.engine.batched import batched_simulate
     from repro.trace import generator
+    from repro.trace.columnar import load_npz
+    from repro.trace.dinero import load_trace
 
     makers = {
         "sequential": lambda: generator.sequential_stream(
@@ -595,11 +608,17 @@ def trace_sim(
             base, span, count, element_size=element_size, seed=seed
         ),
     }
-    if kind not in makers:
+    if trace_path is not None:
+        if trace_path.endswith(".npz"):
+            trace = load_npz(trace_path, mmap=True)
+        else:
+            trace = load_trace(trace_path)
+    elif kind not in makers:
         raise ValueError(
             f"unknown trace kind {kind!r}; choose from {sorted(makers)}"
         )
-    trace = makers[kind]()
+    else:
+        trace = makers[kind]()
     geometry = CacheGeometry.from_sizes(
         total_bytes, line_size=line_size, columns=columns
     )

@@ -206,13 +206,11 @@ class _TenantRuntime:
         config: FleetConfig,
     ):
         self.spec = spec
-        addresses = spec.run.trace.addresses + spec.address_offset
-        self.blocks = np.ascontiguousarray(
-            addresses >> geometry.offset_bits, dtype=np.int64
+        self.blocks = spec.run.trace.blocks_for(
+            geometry.offset_bits, spec.address_offset
         )
         self._blocks_list: Optional[list[int]] = None
-        per_access = spec.run.trace.gaps + 1
-        self.cumulative = np.cumsum(per_access, dtype=np.int64)
+        self.cumulative = spec.run.trace.cumulative_instructions
         self.position = 0
         self.telemetry = TenantTelemetry(
             name=spec.name, priority=spec.priority

@@ -45,6 +45,22 @@ class WorkloadMixEntry:
             )
 
 
+def tenant_workload_seeds(seed: int, count: int) -> list[int]:
+    """The workload seeds tenants ``0..count-1`` record with.
+
+    Spawned from ``np.random.SeedSequence(seed)``, so the sequences
+    of different root seeds never collide (spawn keys are part of the
+    entropy) — unlike the old ``seed * 1000 + index`` scheme, where
+    root 0 aliased bare workload seeds and neighbouring roots
+    overlapped beyond 1000 tenants.  :func:`generate_fleet_trace`
+    draws exactly these seeds, in order.
+    """
+    root = np.random.SeedSequence(seed)
+    return [
+        int(child.generate_state(1)[0]) for child in root.spawn(count)
+    ]
+
+
 def generate_fleet_trace(
     horizon_instructions: int,
     mix: Sequence[WorkloadMixEntry],
@@ -66,8 +82,13 @@ def generate_fleet_trace(
         mean_service: Mean resident instructions per tenant
             (exponential); departures past the horizon are omitted
             (the tenant stays to the end).
-        seed: Root seed; tenant ``i`` records its workload with seed
-            ``seed * 1000 + i`` so traces differ across tenants.
+        seed: Root seed; tenant ``i`` records its workload with a
+            seed drawn from the ``i``-th spawn of
+            ``np.random.SeedSequence(seed)``, so per-tenant seeds
+            collide neither across tenants nor across root seeds.
+            (The old ``seed * 1000 + i`` derivation aliased root
+            seeds — e.g. roots 0 and 1 with >= 1000 tenants, and root
+            0 reproduced bare workload seeds ``0..n``.)
         priorities: Priority values drawn uniformly per tenant.
         first_arrival_at: Instruction time of the first arrival (the
             first tenants of an experiment usually start at 0).
@@ -82,6 +103,7 @@ def generate_fleet_trace(
     if mean_interarrival <= 0 or mean_service <= 0:
         raise ValueError("mean interarrival/service must be positive")
     rng = np.random.default_rng(seed)
+    seed_root = np.random.SeedSequence(seed)
     weights = np.array([entry.weight for entry in mix], dtype=float)
     weights = weights / weights.sum()
     events: list[FleetEvent] = []
@@ -91,7 +113,11 @@ def generate_fleet_trace(
         if max_arrivals is not None and index >= max_arrivals:
             break
         entry = mix[int(rng.choice(len(mix), p=weights))]
-        workload_seed = seed * 1000 + index
+        # One spawned child per tenant: spawn keys make the derived
+        # seeds unique across both tenant index and root seed.
+        workload_seed = int(
+            seed_root.spawn(1)[0].generate_state(1)[0]
+        )
         run = make_workload(
             entry.workload,
             seed=workload_seed,

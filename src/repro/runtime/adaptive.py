@@ -25,7 +25,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.cache.fastsim import FastColumnCache
 from repro.cache.geometry import CacheGeometry
 from repro.layout.algorithm import LayoutConfig
 from repro.layout.assignment import ColumnAssignment
@@ -34,6 +33,7 @@ from repro.mem.tint import TintTable
 from repro.runtime.detector import PhaseDetector, WindowObservation
 from repro.runtime.policy import RepartitionDecision, RepartitionPolicy
 from repro.sim.config import TimingConfig
+from repro.sim.engine.batched import LockstepCache
 from repro.sim.executor import TraceExecutor
 from repro.sim.memory_system import MemorySystem
 from repro.sim.results import SimulationResult
@@ -165,10 +165,14 @@ class AdaptiveExecutor:
             miss_rate_threshold=adaptive.miss_rate_threshold,
             hysteresis_windows=adaptive.hysteresis_windows,
         )
-        cache = FastColumnCache(self.geometry)
+        cache = LockstepCache(self.geometry)
         executor = TraceExecutor(timing)
         trace = run.trace
         offset_bits = self.geometry.offset_bits
+        # Prime the cached block column: every window slice below
+        # reads a view of it (columnar end to end, no per-window
+        # recomputation, no Python-list round-trips).
+        blocks = trace.blocks_for(offset_bits)
         window_size = adaptive.window_size
 
         events: list[RemapEvent] = []
@@ -194,7 +198,7 @@ class AdaptiveExecutor:
             )
 
             observation = detector.observe_window(
-                window.addresses >> offset_bits,
+                blocks[start:stop],
                 window_result.misses,
             )
             # Window 0 always replans: the initial mapping is the

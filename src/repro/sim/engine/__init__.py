@@ -22,6 +22,7 @@ declarative sweeps:
 """
 
 from repro.sim.engine.batched import (
+    LockstepCache,
     LockstepState,
     batched_simulate,
     lockstep_run,
@@ -38,6 +39,7 @@ from repro.sim.engine.spec import SimJob, SweepSpec
 
 __all__ = [
     "JobOutcome",
+    "LockstepCache",
     "LockstepState",
     "ResultCache",
     "SimJob",

@@ -50,6 +50,10 @@ DEFAULT_SCALAR_CUTOFF = 96
 #: Sentinel larger than any real timestamp (victim scan masking).
 _FAR = np.int64(1) << np.int64(62)
 
+#: 32-bit twin of :data:`_FAR`, and the value ceiling below which the
+#: kernel may run its hot path on int32 columns.
+_FAR32 = 1 << 30
+
 
 @dataclass
 class LockstepState:
@@ -159,6 +163,59 @@ def _scalar_finish_group(
         use_row[victim] = clock
 
 
+def _scalar_finish_group_misses(
+    tags_row: np.ndarray,
+    use_row: np.ndarray,
+    clock_base: int,
+    group_tags: np.ndarray,
+    group_masks: Optional[np.ndarray],
+    uniform_candidates: Optional[tuple[int, ...]],
+    first_occurrence: int,
+    sorted_start: int,
+    miss_positions: list[int],
+) -> None:
+    """Miss-collecting twin of :func:`_scalar_finish_group`.
+
+    Appends the *sorted-order* position of every non-hit (bypasses
+    included) instead of writing flag arrays; cache state evolves
+    identically.
+    """
+    ways = len(tags_row)
+    tag_to_way = {
+        int(tags_row[way]): way
+        for way in range(ways)
+        if tags_row[way] >= 0
+    }
+    for offset in range(len(group_tags)):
+        tag = int(group_tags[offset])
+        clock = clock_base + first_occurrence + offset
+        way = tag_to_way.get(tag)
+        if way is not None:
+            use_row[way] = clock
+            continue
+        miss_positions.append(sorted_start + offset)
+        if uniform_candidates is not None:
+            candidates = uniform_candidates
+        else:
+            bits = int(group_masks[offset])
+            candidates = tuple(w for w in range(ways) if bits >> w & 1)
+        if not candidates:
+            continue
+        victim = -1
+        best = 1 << 62
+        for candidate in candidates:
+            use = int(use_row[candidate])
+            if use < best:
+                best = use
+                victim = candidate
+        old = int(tags_row[victim])
+        if old >= 0:
+            del tag_to_way[old]
+        tags_row[victim] = tag
+        tag_to_way[tag] = victim
+        use_row[victim] = clock
+
+
 def lockstep_run(
     rows: np.ndarray,
     tags: np.ndarray,
@@ -166,14 +223,15 @@ def lockstep_run(
     mask_bits: Optional[np.ndarray] = None,
     uniform_mask: Optional[int] = None,
     scalar_cutoff: int = DEFAULT_SCALAR_CUTOFF,
-) -> tuple[np.ndarray, np.ndarray]:
+    collect: str = "flags",
+) -> tuple[np.ndarray, np.ndarray] | np.ndarray:
     """Simulate one batch of accesses against a bank of LRU rows.
 
     Args:
-        rows: Per-access row (set) index, ``int64``, all within
-            ``state.rows``.
-        tags: Per-access tag, ``int64``; tags must be non-negative
-            (``-1`` is the empty-line sentinel).
+        rows: Per-access row (set) index (any integer dtype), all
+            within ``state.rows``.
+        tags: Per-access tag (any integer dtype); tags must be
+            non-negative (``-1`` is the empty-line sentinel).
         state: Mutable cache state, advanced in place.
         mask_bits: Per-access replacement masks, or None.
         uniform_mask: One mask for every access (mutually exclusive
@@ -181,21 +239,36 @@ def lockstep_run(
         scalar_cutoff: Once fewer than this many rows remain active in
             a round, the residual accesses finish in the scalar tail
             loop (guards against skewed row distributions).
+        collect: ``"flags"`` returns per-access flag arrays;
+            ``"misses"`` skips all per-access flag materialization and
+            returns only the positions of the misses — the batching
+            engine's counting path, measurably faster on huge batches.
 
     Returns:
-        ``(hit_flags, bypass_flags)`` boolean arrays in access order.
-        The flags are disjoint: a hit sets only ``hit_flags``, a miss
-        with an empty mask sets only ``bypass_flags``, and a filled
-        miss sets neither.
+        With ``collect="flags"``: ``(hit_flags, bypass_flags)``
+        boolean arrays in access order.  The flags are disjoint: a hit
+        sets only ``hit_flags``, a miss with an empty mask sets only
+        ``bypass_flags``, and a filled miss sets neither.
+        With ``collect="misses"``: one int64 array of the access
+        positions that missed (bypasses included), in no particular
+        order.  State evolution is identical in both modes.
     """
     if mask_bits is not None and uniform_mask is not None:
         raise ValueError("give either mask_bits or uniform_mask, not both")
-    rows = np.ascontiguousarray(rows, dtype=np.int64)
-    tags = np.ascontiguousarray(tags, dtype=np.int64)
+    if collect not in ("flags", "misses"):
+        raise ValueError(f"unknown collect mode {collect!r}")
+    misses_only = collect == "misses"
+    rows = np.ascontiguousarray(rows)
+    tags = np.ascontiguousarray(tags)
     n = len(rows)
-    hit_flags = np.zeros(n, dtype=bool)
-    bypass_flags = np.zeros(n, dtype=bool)
+    if misses_only:
+        hit_flags = bypass_flags = None
+    else:
+        hit_flags = np.zeros(n, dtype=bool)
+        bypass_flags = np.zeros(n, dtype=bool)
     if n == 0:
+        if misses_only:
+            return np.zeros(0, dtype=np.int64)
         return hit_flags, bypass_flags
     if len(tags) != n:
         raise ValueError("rows and tags length mismatch")
@@ -206,7 +279,7 @@ def lockstep_run(
     uniform_candidates: Optional[tuple[int, ...]] = None
     uniform_cand_row: Optional[np.ndarray] = None
     if mask_bits is not None:
-        masks = np.ascontiguousarray(mask_bits, dtype=np.int64)
+        masks = np.ascontiguousarray(mask_bits)
         if len(masks) != n:
             raise ValueError("mask_bits length mismatch")
     else:
@@ -235,102 +308,340 @@ def lockstep_run(
     starts_d = starts[by_size]
     sizes_d = sizes[by_size]
     rows_d = group_rows[by_size]
+    group_count = len(rows_d)
+    total_rounds = int(sizes_d[0])
 
     tags_sorted = tags[order]
     if masks is not None:
         masks_sorted = masks[order]
 
+    # ------------------------------------------------------------------
+    # Transpose to round-major order.  Round r serves the dense group
+    # ranks 0..alive[r]-1, so with accesses laid out round-by-round
+    # every round reads/writes *contiguous slices* — no per-round
+    # gathers or index arithmetic in the hot loop.  The transposed
+    # position of access (group rank g, intra index r) is
+    # ``round_start[r] + g``.
+    # ------------------------------------------------------------------
+    size_histogram = np.bincount(sizes_d, minlength=total_rounds + 1)
+    alive_by_round = group_count - np.cumsum(size_histogram)[:total_rounds]
+    round_start = np.concatenate(
+        (np.zeros(1, dtype=np.int64), np.cumsum(alive_by_round))
+    )
+    rank_of_group = np.empty(group_count, dtype=np.int64)
+    rank_of_group[by_size] = np.arange(group_count, dtype=np.int64)
+    intra = np.arange(n, dtype=np.int64)
+    intra -= np.repeat(starts, sizes)
+    transposed = round_start[intra]
+    transposed += np.repeat(rank_of_group, sizes)
+
+    # Value dtype: the round loop and the transposed columns are pure
+    # memory traffic, so when tags and clocks fit in 32 bits (they do
+    # for every realistic trace) the whole hot path runs on half the
+    # bytes.  State in/out stays int64 — this is internal only.  The
+    # gate covers the batch's tags AND the resident state's tags (a
+    # previous batch may have filled wide tags that would otherwise
+    # wrap on the narrowing astype and falsely match small tags);
+    # resident last_use values are bounded by the rows' clocks.
+    clock_limit = int(state.clock[rows_d].max()) + total_rounds
+    compact = (
+        int(tags_sorted.max()) < _FAR32
+        and int(state.tags[rows_d].max()) < _FAR32
+        and clock_limit < _FAR32
+    )
+    value_dtype = np.int32 if compact else np.int64
+    far = np.int32(_FAR32) if compact else _FAR
+
+    tags_t = np.empty(n, dtype=value_dtype)
+    tags_t[transposed] = tags_sorted.astype(value_dtype, copy=False)
+
     # Packed state: one dense row per active group.
-    packed_tags = state.tags[rows_d]
-    packed_use = state.last_use[rows_d]
-    clock_base = state.clock[rows_d]
+    packed_tags = state.tags[rows_d].astype(value_dtype)
+    packed_use = state.last_use[rows_d].astype(value_dtype)
+    clock_base = state.clock[rows_d].astype(value_dtype)
+    # Flat views: every per-round update below is one 1D scatter.
+    flat_tags = packed_tags.reshape(-1)
+    flat_use = packed_use.reshape(-1)
+    row_base = np.arange(group_count, dtype=np.int64) * np.int64(ways)
 
-    hit_sorted = np.zeros(n, dtype=bool)
-    bypass_sorted = np.zeros(n, dtype=bool)
+    if misses_only:
+        hit_t = bypass_t = None
+        miss_parts: list[np.ndarray] = []
+        tail_misses: list[int] = []
+    else:
+        hit_t = np.zeros(n, dtype=bool)
+        bypass_t = np.zeros(n, dtype=bool)
     way_shift = np.arange(ways, dtype=np.int64)
+    row_index = np.arange(group_count, dtype=np.int64)
 
-    alive = len(rows_d)
-    total_rounds = int(sizes_d[0])
-    round_index = 0
-    while round_index < total_rounds:
-        while alive > 0 and sizes_d[alive - 1] <= round_index:
-            alive -= 1
-        if alive == 0 or alive < scalar_cutoff:
-            break
-        positions = starts_d[:alive] + round_index
-        chunk_tags = tags_sorted[positions]
-        resident = packed_tags[:alive]
-        hit_ways = resident == chunk_tags[:, None]
-        hit = hit_ways.any(axis=1)
-        clock_now = clock_base[:alive] + round_index
-        hit_sorted[positions] = hit
-        hit_positions = np.flatnonzero(hit)
-        if len(hit_positions):
-            touched_way = np.argmax(hit_ways[hit_positions], axis=1)
-            packed_use[hit_positions, touched_way] = clock_now[
-                hit_positions
-            ]
-        if len(hit_positions) < alive:
-            miss_positions = np.flatnonzero(~hit)
-            if masks_sorted is not None:
-                miss_masks = masks_sorted[positions[miss_positions]]
-                candidates = (miss_masks[:, None] >> way_shift) & 1 > 0
-                fillable = candidates.any(axis=1)
-                if not fillable.all():
-                    bypass_sorted[
-                        positions[miss_positions[~fillable]]
-                    ] = True
-                    miss_positions = miss_positions[fillable]
-                    candidates = candidates[fillable]
-            else:
-                if not uniform_candidates:
-                    bypass_sorted[positions[miss_positions]] = True
-                    miss_positions = miss_positions[:0]
-                candidates = np.broadcast_to(
-                    uniform_cand_row, (len(miss_positions), ways)
-                )
-            if len(miss_positions):
-                masked_use = np.where(
-                    candidates, packed_use[miss_positions], _FAR
-                )
-                victim = np.argmin(masked_use, axis=1)
-                packed_tags[miss_positions, victim] = chunk_tags[
-                    miss_positions
-                ]
-                packed_use[miss_positions, victim] = clock_now[
-                    miss_positions
-                ]
-        round_index += 1
+    if masks is not None:
+        # mask bits -> candidate-way boolean row, for every mask value.
+        mask_table = (
+            (np.arange(1 << ways, dtype=np.int64)[:, None] >> way_shift)
+            & 1
+        ) > 0
+        any_empty_mask = bool((masks == 0).any())
+        full_row_mask = np.int64(full_mask)
+    uniform_full = (
+        masks is None
+        and len(uniform_candidates) == ways
+    )
 
-    if round_index < total_rounds and alive > 0:
+    # Round-loop scratch, allocated once.  Every vector op below
+    # writes into these via ``out=``/``copyto`` — per-round
+    # temporaries would exceed the allocator's mmap threshold and
+    # page-fault fresh memory every round, which costs more than the
+    # arithmetic itself.
+    match_buf = np.empty((group_count, ways), dtype=bool)
+    way_buf = np.empty(group_count, dtype=np.intp)
+    victim_buf = np.empty(group_count, dtype=np.intp)
+    probe_buf = np.empty(group_count, dtype=np.int64)
+    taken_buf = np.empty(group_count, dtype=value_dtype)
+    hit_buf = np.empty(group_count, dtype=bool)
+    clock_buf = np.empty(group_count, dtype=value_dtype)
+
+    # With <= 8 ways the match matrix packs into one byte per row:
+    # a byte of 0 is a miss, otherwise a 256-entry table maps the
+    # (unique) set bit to its way — cheaper than argmax + tag probe.
+    packed_way = ways <= 8
+    if packed_way:
+        way_lut = np.zeros(256, dtype=np.intp)
+        for bits_value in range(1, 256):
+            way_lut[bits_value] = (
+                (bits_value & -bits_value).bit_length() - 1
+            )
+
+    # First round the vectorized loop leaves for the scalar tail.
+    narrow = np.flatnonzero(alive_by_round < scalar_cutoff)
+    stop_round = int(narrow[0]) if len(narrow) else total_rounds
+
+    for round_index in range(stop_round):
+        alive = int(alive_by_round[round_index])
+        chunk = slice(
+            int(round_start[round_index]),
+            int(round_start[round_index]) + alive,
+        )
+        chunk_tags = tags_t[chunk]
+        # A resident tag occupies exactly one way, so the match matrix
+        # has at most one set bit per row.
+        match = match_buf[:alive]
+        np.equal(
+            packed_tags[:alive], chunk_tags[:, None], out=match
+        )
+        way = way_buf[:alive]
+        hit = hit_buf[:alive]
+        if packed_way:
+            match_bits = np.packbits(
+                match, axis=1, bitorder="little"
+            )[:, 0]
+            np.take(way_lut, match_bits, out=way)
+            np.not_equal(match_bits, 0, out=hit)
+            probe = probe_buf[:alive]
+            np.add(row_base[:alive], way, out=probe)
+        else:
+            # argmax finds the matching way; rows without a match get
+            # way 0 and fail the equality probe.
+            match.argmax(axis=1, out=way)
+            probe = probe_buf[:alive]
+            np.add(row_base[:alive], way, out=probe)
+            taken = taken_buf[:alive]
+            np.take(flat_tags, probe, out=taken)
+            np.equal(taken, chunk_tags, out=hit)
+        if not misses_only:
+            hit_t[chunk] = hit
+        clock_now = clock_buf[:alive]
+        np.add(clock_base[:alive], round_index, out=clock_now)
+
+        if bool(hit.all()):
+            # Pure-hit round: LRU touch only, no fills.
+            flat_use[probe] = clock_now
+            continue
+
+        # LRU-touch the hits, then fill only the miss subset (the
+        # packed rows are 0..alive-1, so the miss row index doubles as
+        # the flat state offset — every update is a 1D scatter).
+        if bool(hit.any()):
+            touched = probe[hit]
+            flat_use[touched] = clock_now[hit]
+            miss_idx = np.flatnonzero(~hit)
+        else:
+            miss_idx = np.arange(alive, dtype=np.int64)
+        # Sorted-order positions of this round's misses (the miss row
+        # rank doubles as the group index); masks are only consulted
+        # on misses, so they are gathered from sorted order here
+        # instead of being transposed up front like the tags.
+        miss_sorted = starts_d[miss_idx] + round_index
+        if misses_only:
+            miss_parts.append(miss_sorted)
+        miss_tags = chunk_tags[miss_idx]
+        miss_use = packed_use[miss_idx]
+        victim = victim_buf[: len(miss_idx)]
+        if masks is not None:
+            miss_masks = masks_sorted[miss_sorted]
+            if any_empty_mask or not bool(
+                (miss_masks == full_row_mask).all()
+            ):
+                np.copyto(
+                    miss_use,
+                    far,
+                    where=~mask_table[miss_masks],
+                )
+            if any_empty_mask:
+                fillable = miss_masks != 0
+                if not bool(fillable.all()):
+                    if not misses_only:
+                        bypass_at = np.zeros(alive, dtype=bool)
+                        bypass_at[miss_idx[~fillable]] = True
+                        bypass_t[chunk] = bypass_at
+                    miss_idx = miss_idx[fillable]
+                    miss_use = miss_use[fillable]
+                    miss_tags = miss_tags[fillable]
+                    victim = victim_buf[: len(miss_idx)]
+        elif not uniform_candidates:
+            # Empty uniform mask: every miss bypasses, nothing fills.
+            if not misses_only:
+                bypass_at = np.zeros(alive, dtype=bool)
+                bypass_at[miss_idx] = True
+                bypass_t[chunk] = bypass_at
+            continue
+        elif not uniform_full:
+            np.copyto(miss_use, far, where=~uniform_cand_row)
+        if len(miss_idx):
+            miss_use.argmin(axis=1, out=victim)
+            target = miss_idx * np.int64(ways) + victim
+            flat_tags[target] = miss_tags
+            flat_use[target] = clock_now[miss_idx]
+
+    if stop_round < total_rounds:
         # Skew tail: few hot rows remain; finish each one scalar.
+        alive = int(alive_by_round[stop_round])
         for group in range(alive):
             start = int(starts_d[group])
             size = int(sizes_d[group])
-            span = slice(start + round_index, start + size)
-            out_positions = np.arange(
-                start + round_index, start + size, dtype=np.int64
+            span = slice(start + stop_round, start + size)
+            if misses_only:
+                _scalar_finish_group_misses(
+                    packed_tags[group],
+                    packed_use[group],
+                    int(clock_base[group]),
+                    tags_sorted[span],
+                    masks_sorted[span] if masks is not None else None,
+                    uniform_candidates,
+                    stop_round,
+                    start + stop_round,
+                    tail_misses,
+                )
+                continue
+            out_positions = (
+                round_start[stop_round:size] + row_index[group]
             )
             _scalar_finish_group(
                 packed_tags[group],
                 packed_use[group],
                 int(clock_base[group]),
                 tags_sorted[span],
-                masks_sorted[span] if masks_sorted is not None else None,
+                masks_sorted[span] if masks is not None else None,
                 uniform_candidates,
-                round_index,
-                hit_sorted,
-                bypass_sorted,
+                stop_round,
+                hit_t,
+                bypass_t,
                 out_positions,
             )
 
-    # Write packed state and flags back.
+    # Write packed state back; un-transpose the flags in one gather.
     state.tags[rows_d] = packed_tags
     state.last_use[rows_d] = packed_use
     state.clock[rows_d] = clock_base + sizes_d
-    hit_flags[order] = hit_sorted
-    bypass_flags[order] = bypass_sorted
+    if misses_only:
+        if tail_misses:
+            miss_parts.append(np.asarray(tail_misses, dtype=np.int64))
+        if not miss_parts:
+            return np.zeros(0, dtype=np.int64)
+        return order[np.concatenate(miss_parts)]
+    hit_flags[order] = hit_t[transposed]
+    bypass_flags[order] = bypass_t[transposed]
     return hit_flags, bypass_flags
+
+
+class LockstepCache:
+    """A stateful column cache backed by the lockstep kernel.
+
+    Drop-in for the scalar
+    :class:`~repro.cache.fastsim.FastColumnCache` wherever the caller
+    holds *numpy block columns* (the columnar trace pipeline): state
+    persists across :meth:`run` calls, counters accumulate, and the
+    per-access outcomes are bit-identical to the scalar model — but
+    each call is one vectorized kernel invocation, with no Python-list
+    round-trip.
+    """
+
+    def __init__(self, geometry: CacheGeometry):
+        self.geometry = geometry
+        self.sets = geometry.sets
+        self.ways = geometry.columns
+        self.index_bits = geometry.index_bits
+        self.state = LockstepState.cold(self.sets, self.ways)
+        self.hits = 0
+        self.misses = 0
+        self.bypasses = 0
+
+    def run(
+        self,
+        blocks: np.ndarray | Sequence[int],
+        mask_bits: Optional[np.ndarray | Sequence[int]] = None,
+        uniform_mask: Optional[int] = None,
+    ) -> FastSimResult:
+        """Advance the cache over one block batch; per-call counts."""
+        result, _hits, _bypasses = self._run(
+            blocks, mask_bits, uniform_mask
+        )
+        return result
+
+    def run_with_flags(
+        self,
+        blocks: np.ndarray | Sequence[int],
+        mask_bits: Optional[np.ndarray | Sequence[int]] = None,
+        uniform_mask: Optional[int] = None,
+    ) -> np.ndarray:
+        """Like :meth:`run` but returns the per-access hit flags."""
+        _result, hit_flags, _bypasses = self._run(
+            blocks, mask_bits, uniform_mask
+        )
+        return hit_flags
+
+    def _run(self, blocks, mask_bits, uniform_mask):
+        blocks = np.ascontiguousarray(blocks, dtype=np.int64)
+        masks = (
+            None
+            if mask_bits is None
+            else np.ascontiguousarray(mask_bits, dtype=np.int64)
+        )
+        hit_flags, bypass_flags = lockstep_run(
+            blocks & np.int64(self.sets - 1),
+            blocks >> np.int64(self.index_bits),
+            self.state,
+            mask_bits=masks,
+            uniform_mask=uniform_mask,
+        )
+        hits = int(hit_flags.sum())
+        bypasses = int(bypass_flags.sum())
+        result = FastSimResult(
+            hits=hits, misses=len(blocks) - hits, bypasses=bypasses
+        )
+        self.hits += result.hits
+        self.misses += result.misses
+        self.bypasses += result.bypasses
+        return result, hit_flags, bypass_flags
+
+    def flush(self) -> None:
+        """Invalidate everything (counters are kept)."""
+        self.state = LockstepState.cold(self.sets, self.ways)
+
+    def result(self) -> FastSimResult:
+        """Cumulative counts since construction."""
+        return FastSimResult(
+            hits=self.hits, misses=self.misses, bypasses=self.bypasses
+        )
 
 
 def batched_simulate(

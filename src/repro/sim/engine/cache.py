@@ -28,16 +28,39 @@ class ResultCache:
         self.directory = Path(directory) if directory is not None else None
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
+            self._sweep_stale_temp_files()
         self._memory: dict[str, Any] = {}
         self.hits = 0
         self.misses = 0
+
+    def _sweep_stale_temp_files(self) -> None:
+        """Delete ``*.tmp`` files a dead writer left behind.
+
+        :meth:`put` writes through ``mkstemp`` + ``os.replace``; a
+        process killed between the two strands the temp file.  Stale
+        temps are garbage — never part of the cache contents — so any
+        cache open removes them, and nothing else (``__len__``,
+        ``get``) ever derives state from them.
+        """
+        for leftover in self.directory.glob("*.tmp"):
+            try:
+                leftover.unlink()
+            except OSError:
+                pass  # concurrent open already swept it, or perms
 
     def _path(self, digest: str) -> Path:
         assert self.directory is not None
         return self.directory / f"{digest}.json"
 
     def get(self, digest: str) -> Any:
-        """The cached value for ``digest``, or :data:`MISS`."""
+        """The cached value for ``digest``, or :data:`MISS`.
+
+        A disk file that does not parse — or parses but has the wrong
+        shape (not a JSON object, or no ``"value"`` key) — is a MISS:
+        it is quarantined to ``<name>.corrupt`` so the slot can be
+        recomputed instead of pinning a bogus ``None`` in the memory
+        tier.
+        """
         if digest in self._memory:
             self.hits += 1
             return self._memory[digest]
@@ -47,14 +70,25 @@ class ResultCache:
                 try:
                     payload = json.loads(path.read_text(encoding="utf-8"))
                 except (OSError, json.JSONDecodeError):
+                    payload = None
+                if not isinstance(payload, dict) or "value" not in payload:
+                    self._quarantine(path)
                     self.misses += 1
                     return MISS
-                value = payload.get("value")
+                value = payload["value"]
                 self._memory[digest] = value
                 self.hits += 1
                 return value
         self.misses += 1
         return MISS
+
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        """Move a corrupt cache file aside (best effort)."""
+        try:
+            os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
+        except OSError:
+            pass
 
     def put(self, digest: str, job: SimJob, value: Any) -> Any:
         """Store a job result; returns the value as stored.

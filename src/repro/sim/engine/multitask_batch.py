@@ -47,8 +47,13 @@ from repro.sim.engine.batched import (
 )
 from repro.sim.multitask import Job, JobResult
 
-#: Flush lockstep batches beyond this many buffered accesses.
-DEFAULT_MAX_BATCH_ACCESSES = 4_000_000
+#: Flush lockstep batches beyond this many buffered accesses.  Kernel
+#: wall time scales with *rounds* (the max accesses landing on one
+#: row), not buffered volume, so wider batches are strictly faster as
+#: long as the access arrays fit in memory (~100 bytes per access at
+#: the flush peak); the whole paper-sized Figure 5 matrix fits one
+#: flush.
+DEFAULT_MAX_BATCH_ACCESSES = 64_000_000
 
 
 class _BatchJob:
@@ -57,12 +62,15 @@ class _BatchJob:
     def __init__(self, job: Job, geometry: CacheGeometry):
         if len(job.trace) == 0:
             raise ValueError(f"job {job.name!r} has an empty trace")
-        addresses = job.trace.addresses + job.address_offset
-        self.blocks = np.ascontiguousarray(
-            addresses >> geometry.offset_bits, dtype=np.int64
+        blocks = job.trace.blocks_for(
+            geometry.offset_bits, job.address_offset
         )
-        per_access = job.trace.gaps + 1
-        self.cum = np.cumsum(per_access, dtype=np.int64)
+        # Narrow columns keep the streaming/sort/kernel path on half
+        # the memory traffic; the kernel accepts any integer dtype.
+        if int(blocks.max()) < (1 << 31):
+            blocks = blocks.astype(np.int32)
+        self.blocks = blocks
+        self.cum = job.trace.cumulative_instructions
         self.total_instructions = int(self.cum[-1])
         self.mask_bits = job.mask_bits(geometry.columns)
         self.name = job.name
@@ -100,33 +108,24 @@ def _quantum_tables(
     return next_pos.astype(np.int64), accesses, ran, wraps
 
 
-def _orbit(next_pos: np.ndarray, start: int = 0) -> tuple[np.ndarray, int]:
-    """The successor map's orbit from ``start`` until it repeats.
-
-    Returns ``(sequence, cycle_start)``: ``sequence[cycle_start:]`` is
-    the cycle the orbit settles into.
-    """
-    seen = np.full(len(next_pos), -1, dtype=np.int64)
-    sequence: list[int] = []
-    position = start
-    while seen[position] < 0:
-        seen[position] = len(sequence)
-        sequence.append(position)
-        position = int(next_pos[position])
-    return np.asarray(sequence, dtype=np.int64), int(seen[position])
-
-
-def _tile_orbit(
-    sequence: np.ndarray, cycle_start: int, count: int
+def _orbit_positions(
+    next_pos: np.ndarray, count: int, start: int = 0
 ) -> np.ndarray:
-    """First ``count`` orbit positions (tiling the cycle as needed)."""
-    if count <= len(sequence):
-        return sequence[:count]
-    cycle = sequence[cycle_start:]
-    repeats = -(-(count - cycle_start) // len(cycle))
-    return np.concatenate(
-        (sequence[:cycle_start], np.tile(cycle, repeats))
-    )[:count]
+    """The successor map's first ``count`` orbit positions.
+
+    Binary doubling: a length-``m`` prefix extends to ``2m`` by
+    applying the composed map ``next^m`` to itself, so this is
+    O(count + n log count) vectorized gathers instead of a Python
+    pointer chase — repeats in the orbit are simply carried along, no
+    cycle bookkeeping needed.
+    """
+    sequence = np.array([start], dtype=np.int64)
+    jump = next_pos  # next^(2^k), composed as the prefix doubles
+    while len(sequence) < count:
+        sequence = np.concatenate((sequence, jump[sequence]))
+        if len(sequence) < count:
+            jump = jump[jump]
+    return sequence[:count]
 
 
 def _job_quanta(
@@ -137,8 +136,7 @@ def _job_quanta(
     next_pos, accesses, ran, wraps = _quantum_tables(
         batch_job.cum, quantum
     )
-    sequence, cycle_start = _orbit(next_pos)
-    positions = _tile_orbit(sequence, cycle_start, count)
+    positions = _orbit_positions(next_pos, count)
     return positions, accesses[positions], ran[positions], wraps[positions]
 
 
@@ -235,63 +233,97 @@ def _warmup_stream(
 def _results_for_point(
     batch_jobs: Sequence[_BatchJob],
     schedule: _Schedule,
-    job_per_access: np.ndarray,
-    hit_flags: np.ndarray,
+    accesses: np.ndarray,
+    misses: np.ndarray,
 ) -> dict[str, JobResult]:
-    """Assemble per-job :class:`JobResult`\\ s from kernel flags."""
+    """Assemble per-job :class:`JobResult`\\ s from per-job counts."""
     job_count = len(batch_jobs)
-    hits = np.bincount(job_per_access[hit_flags], minlength=job_count)
-    accesses = np.bincount(job_per_access, minlength=job_count)
+    instructions = np.bincount(
+        schedule.job_ids, weights=schedule.ran, minlength=job_count
+    )
+    wraps = np.bincount(
+        schedule.job_ids, weights=schedule.wraps, minlength=job_count
+    )
+    quanta = np.bincount(schedule.job_ids, minlength=job_count)
     results = {}
     for index, batch_job in enumerate(batch_jobs):
-        selector = schedule.job_ids == index
         results[batch_job.name] = JobResult(
             name=batch_job.name,
-            instructions=int(schedule.ran[selector].sum()),
+            instructions=int(instructions[index]),
             accesses=int(accesses[index]),
-            hits=int(hits[index]),
-            misses=int(accesses[index] - hits[index]),
-            wraps=int(schedule.wraps[selector].sum()),
-            quanta=int(selector.sum()),
+            hits=int(accesses[index] - misses[index]),
+            misses=int(misses[index]),
+            wraps=int(wraps[index]),
+            quanta=int(quanta[index]),
         )
     return results
 
 
 class _KernelGroup:
-    """Accumulates same-associativity points into one lockstep call."""
+    """Accumulates same-associativity points into one lockstep call.
 
-    def __init__(self, ways: int, scalar_cutoff: int):
+    Streams are assembled straight into preallocated column buffers
+    (rows, tags, masks, counting segments) — no per-point temporaries,
+    no flush-time concatenation of the access arrays.
+    """
+
+    def __init__(
+        self,
+        ways: int,
+        scalar_cutoff: int,
+        capacity: int,
+        block_dtype: np.dtype,
+        mask_dtype: np.dtype,
+    ):
         self.ways = ways
         self.scalar_cutoff = scalar_cutoff
-        self.rows: list[np.ndarray] = []
-        self.tags: list[np.ndarray] = []
-        self.masks: list[np.ndarray] = []
+        self.capacity = capacity
+        self._rows = np.empty(capacity, dtype=block_dtype)
+        self._tags = np.empty(capacity, dtype=block_dtype)
+        self._masks = np.empty(capacity, dtype=mask_dtype)
+        self._segments = np.empty(capacity, dtype=np.int32)
         self.states: list[LockstepState] = []
-        self.points: list[tuple[int, int, _Schedule, np.ndarray]] = []
+        self.points: list[tuple[int, int, _Schedule]] = []
         self.row_count = 0
         self.buffered = 0
+        self.segment_count = 0
 
     def add(
         self,
         variant_index: int,
         point_index: int,
         schedule: _Schedule,
-        job_per_access: np.ndarray,
-        rows: np.ndarray,
-        tags: np.ndarray,
-        masks: np.ndarray,
+        stream_blocks: np.ndarray,
+        stream_jobs: np.ndarray,
+        geometry: CacheGeometry,
+        mask_table: np.ndarray,
         start_state: LockstepState,
+        job_count: int,
     ) -> None:
         """Buffer one sweep point's stream as extra lockstep rows."""
-        self.rows.append(rows + np.int64(self.row_count))
-        self.tags.append(tags)
-        self.masks.append(masks)
-        self.states.append(start_state)
-        self.points.append(
-            (variant_index, point_index, schedule, job_per_access)
+        count = len(stream_blocks)
+        span = slice(self.buffered, self.buffered + count)
+        rows = self._rows[span]
+        np.bitwise_and(stream_blocks, geometry.sets - 1, out=rows)
+        np.add(rows, rows.dtype.type(self.row_count), out=rows)
+        np.right_shift(
+            stream_blocks, geometry.index_bits, out=self._tags[span]
         )
+        np.take(mask_table, stream_jobs, out=self._masks[span])
+        # One counting segment per (point, job): the kernel returns
+        # miss positions, and a single bincount over these labels
+        # yields every point's per-job misses at once.
+        np.add(
+            stream_jobs,
+            self.segment_count,
+            out=self._segments[span],
+            casting="unsafe",
+        )
+        self.states.append(start_state)
+        self.points.append((variant_index, point_index, schedule))
         self.row_count += start_state.rows
-        self.buffered += len(rows)
+        self.buffered += count
+        self.segment_count += job_count
 
     def flush(
         self,
@@ -308,32 +340,36 @@ class _KernelGroup:
             last_use=np.concatenate([s.last_use for s in self.states]),
             clock=np.concatenate([s.clock for s in self.states]),
         )
-        hit_flags, _ = lockstep_run(
-            np.concatenate(self.rows),
-            np.concatenate(self.tags),
+        fill = self.buffered
+        segments = self._segments[:fill]
+        miss_positions = lockstep_run(
+            self._rows[:fill],
+            self._tags[:fill],
             state,
-            mask_bits=np.concatenate(self.masks),
+            mask_bits=self._masks[:fill],
             scalar_cutoff=self.scalar_cutoff,
+            collect="misses",
         )
-        cursor = 0
-        for (variant_index, point_index, schedule,
-             job_per_access) in self.points:
-            span = schedule.total_accesses
-            flags = hit_flags[cursor:cursor + span]
+        accesses = np.bincount(segments, minlength=self.segment_count)
+        misses = np.bincount(
+            segments[miss_positions], minlength=self.segment_count
+        )
+        base = 0
+        for variant_index, point_index, schedule in self.points:
+            job_count = len(batch_lists[variant_index])
+            span = slice(base, base + job_count)
             results[variant_index][point_index] = _results_for_point(
                 batch_lists[variant_index],
                 schedule,
-                job_per_access,
-                flags,
+                accesses[span],
+                misses[span],
             )
-            cursor += span
-        self.rows.clear()
-        self.tags.clear()
-        self.masks.clear()
+            base += job_count
         self.states.clear()
         self.points.clear()
         self.row_count = 0
         self.buffered = 0
+        self.segment_count = 0
 
 
 # ----------------------------------------------------------------------
@@ -395,56 +431,122 @@ def simulate_multitask_matrix(
                 )
 
     warm_blocks, warm_jobs = _warmup_stream(base_jobs, warmup_passes)
+    # int16 mask palette where the variant's own associativity allows
+    # (ways <= 15): per-access mask columns are gathered from these,
+    # so the narrow dtype flows through buffering and the kernel.
     mask_tables = [
         np.array(
             [batch_job.mask_bits for batch_job in batch_jobs],
-            dtype=np.int64,
+            dtype=(np.int16 if geometry.columns <= 15 else np.int64),
         )
-        for batch_jobs in batch_lists
+        for (geometry, _jobs), batch_jobs in zip(variants, batch_lists)
     ]
 
     # The warm-up stream is identical for every quantum of a variant,
     # and cache evolution is a pure function of (state, stream): warm
-    # each variant once and start every point from a copy.
-    warm_states: list[LockstepState] = []
-    for variant_index, (geometry, _jobs) in enumerate(variants):
-        warm_state = LockstepState.cold(geometry.sets, geometry.columns)
-        if len(warm_blocks):
+    # each variant once and start every point from a copy.  Variants
+    # sharing an associativity warm in ONE lockstep call — their set
+    # banks are disjoint rows, so stacking them multiplies round width
+    # instead of round count.
+    warm_states: list[Optional[LockstepState]] = [None] * len(variants)
+    if len(warm_blocks):
+        by_ways: dict[int, list[int]] = {}
+        for variant_index, (geometry, _jobs) in enumerate(variants):
+            by_ways.setdefault(geometry.columns, []).append(variant_index)
+        for ways, variant_indices in by_ways.items():
+            row_parts = []
+            tag_parts = []
+            mask_parts = []
+            row_offset = 0
+            offsets = []
+            for variant_index in variant_indices:
+                geometry = variants[variant_index][0]
+                # Plain-int operands keep the narrow block dtype.
+                row_parts.append(
+                    (warm_blocks & (geometry.sets - 1)) + row_offset
+                )
+                tag_parts.append(warm_blocks >> geometry.index_bits)
+                mask_parts.append(mask_tables[variant_index][warm_jobs])
+                offsets.append(row_offset)
+                row_offset += geometry.sets
+            stacked = LockstepState.cold(row_offset, ways)
             lockstep_run(
-                warm_blocks & np.int64(geometry.sets - 1),
-                warm_blocks >> np.int64(geometry.index_bits),
-                warm_state,
-                mask_bits=mask_tables[variant_index][warm_jobs],
+                np.concatenate(row_parts),
+                np.concatenate(tag_parts),
+                stacked,
+                mask_bits=np.concatenate(mask_parts),
                 scalar_cutoff=scalar_cutoff,
+                collect="misses",
             )
-        warm_states.append(warm_state)
+            for variant_index, offset in zip(variant_indices, offsets):
+                sets = variants[variant_index][0].sets
+                warm_states[variant_index] = LockstepState(
+                    tags=stacked.tags[offset:offset + sets].copy(),
+                    last_use=stacked.last_use[offset:offset + sets].copy(),
+                    clock=stacked.clock[offset:offset + sets].copy(),
+                )
+    for variant_index, (geometry, _jobs) in enumerate(variants):
+        if warm_states[variant_index] is None:
+            warm_states[variant_index] = LockstepState.cold(
+                geometry.sets, geometry.columns
+            )
 
     results: list[list[Optional[dict[str, JobResult]]]] = [
         [None] * len(quanta) for _ in variants
     ]
-    groups: dict[int, _KernelGroup] = {}
 
-    for point_index, quantum in enumerate(quanta):
-        schedule = _Schedule(
-            base_jobs, int(quantum), int(budget_instructions)
+    # Schedules are geometry-free, so build them once up front; their
+    # access totals size each kernel group's column buffers exactly
+    # (bounded by the flush threshold plus one stream, since a flush
+    # triggers only after an add crosses the threshold).
+    schedules = [
+        _Schedule(base_jobs, int(quantum), int(budget_instructions))
+        for quantum in quanta
+    ]
+    per_ways_total: dict[int, int] = {}
+    per_ways_rows: dict[int, int] = {}
+    largest_stream = max(
+        (schedule.total_accesses for schedule in schedules), default=0
+    )
+    for geometry, _jobs in variants:
+        ways = geometry.columns
+        per_ways_total[ways] = per_ways_total.get(ways, 0) + sum(
+            schedule.total_accesses for schedule in schedules
         )
+        per_ways_rows[ways] = (
+            per_ways_rows.get(ways, 0) + geometry.sets * len(schedules)
+        )
+    block_dtype = base_jobs[0].blocks.dtype
+    groups: dict[int, _KernelGroup] = {}
+    for ways, total in per_ways_total.items():
+        groups[ways] = _KernelGroup(
+            ways,
+            scalar_cutoff,
+            capacity=min(total, max_batch_accesses + largest_stream),
+            block_dtype=(
+                np.dtype(np.int64)
+                if per_ways_rows[ways] >= (1 << 31)
+                else block_dtype
+            ),
+            mask_dtype=np.dtype(
+                np.int16 if ways <= 15 else np.int64
+            ),
+        )
+
+    for point_index, schedule in enumerate(schedules):
         stream_blocks, stream_jobs = schedule.access_stream(base_jobs)
         for variant_index, (geometry, _jobs) in enumerate(variants):
-            ways = geometry.columns
-            group = groups.get(ways)
-            if group is None:
-                group = groups[ways] = _KernelGroup(
-                    ways, scalar_cutoff
-                )
+            group = groups[geometry.columns]
             group.add(
                 variant_index,
                 point_index,
                 schedule,
+                stream_blocks,
                 stream_jobs,
-                stream_blocks & np.int64(geometry.sets - 1),
-                stream_blocks >> np.int64(geometry.index_bits),
-                mask_tables[variant_index][stream_jobs],
+                geometry,
+                mask_tables[variant_index],
                 warm_states[variant_index],
+                len(batch_lists[variant_index]),
             )
             if group.buffered >= max_batch_accesses:
                 group.flush(batch_lists, results)

@@ -28,6 +28,7 @@ import numpy as np
 from repro.cache.fastsim import FastColumnCache
 from repro.cache.geometry import CacheGeometry
 from repro.layout.assignment import ColumnAssignment, Disposition
+from repro.sim.engine.batched import LockstepCache
 from repro.layout.dynamic import DynamicLayoutPlan
 from repro.mem.page_table import PageTable
 from repro.mem.tint import TintTable
@@ -139,14 +140,18 @@ class TraceExecutor:
         self,
         trace: Trace,
         assignment: ColumnAssignment,
-        cache: Optional[FastColumnCache] = None,
+        cache: Optional[FastColumnCache | LockstepCache] = None,
         name: Optional[str] = None,
         charge_setup: bool = True,
     ) -> SimulationResult:
         """Simulate ``trace`` under ``assignment`` (fast path).
 
         Pass a ``cache`` to carry state across calls (phased runs);
-        by default a cold cache is created.
+        by default a cold cache is created.  A
+        :class:`~repro.sim.engine.batched.LockstepCache` consumes the
+        trace's cached block column as numpy arrays (no Python-list
+        round-trip); the scalar cache gets the one-off list its loop
+        is fastest over.  Results are bit-identical either way.
         """
         geometry = self.geometry_for(assignment)
         if cache is None:
@@ -157,9 +162,14 @@ class TraceExecutor:
         scratchpad_count = int((codes == _SCRATCHPAD).sum())
         uncached_count = int((codes == _UNCACHED).sum())
 
-        blocks = trace.addresses[cached_positions] >> geometry.offset_bits
+        blocks = trace.blocks_for(geometry.offset_bits)[cached_positions]
         mask_bits = bits[cached_positions]
-        outcome = cache.run(blocks.tolist(), mask_bits=mask_bits.tolist())
+        if isinstance(cache, LockstepCache):
+            outcome = cache.run(blocks, mask_bits=mask_bits)
+        else:
+            outcome = cache.run(
+                blocks.tolist(), mask_bits=mask_bits.tolist()
+            )
 
         timing = self.timing
         # Misses with an empty mask are bypasses: they cost a full

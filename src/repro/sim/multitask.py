@@ -120,13 +120,14 @@ class _JobState:
 
     def __init__(self, job: Job, geometry: CacheGeometry):
         self.job = job
-        addresses = job.trace.addresses + job.address_offset
-        self.blocks: list[int] = (
-            addresses >> geometry.offset_bits
+        # The scalar reference loop is fastest over native ints, so
+        # this simulator converts the cached block column once; the
+        # batched engine consumes the columnar arrays directly.
+        self.blocks: list[int] = job.trace.blocks_for(
+            geometry.offset_bits, job.address_offset
         ).tolist()
         # cumulative[i] = instructions contributed by accesses 0..i.
-        per_access = job.trace.gaps + 1
-        self.cumulative = np.cumsum(per_access)
+        self.cumulative = job.trace.cumulative_instructions
         self.total_instructions = int(self.cumulative[-1]) if len(
             self.cumulative
         ) else 0

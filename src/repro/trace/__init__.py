@@ -10,12 +10,23 @@ accesses, each carrying
 * a *gap* — the number of non-memory instructions executed since the
   previous access (so CPI can be computed without modelling an ISA).
 
-Traces are stored columnar (numpy arrays) so million-access traces stay
-cheap; :class:`~repro.trace.trace.TraceBuilder` is the append-only
-constructor the instrumented workloads use.
+Traces are stored columnar
+(:class:`~repro.trace.columnar.ColumnarTrace`: parallel numpy arrays,
+with cached block-number and mask columns) so million-access traces
+stay cheap; :class:`~repro.trace.columnar.ColumnarRecorder` is the
+append-only constructor the instrumented workloads record into, and
+:func:`~repro.trace.columnar.load_npz` /
+:meth:`~repro.trace.columnar.ColumnarTrace.save_npz` are the on-disk
+``.npz`` format (memory-mappable for streaming replay).
 """
 
 from repro.trace.access import MemoryAccess
+from repro.trace.columnar import (
+    ColumnarRecorder,
+    ColumnarTrace,
+    load_npz,
+    open_npz,
+)
 from repro.trace.dinero import load_trace, save_trace
 from repro.trace.filters import (
     concatenate,
@@ -34,9 +45,13 @@ from repro.trace.generator import (
 from repro.trace.trace import Trace, TraceBuilder
 
 __all__ = [
+    "ColumnarRecorder",
+    "ColumnarTrace",
     "MemoryAccess",
     "Trace",
     "TraceBuilder",
+    "load_npz",
+    "open_npz",
     "concatenate",
     "filter_by_range",
     "filter_by_variable",

@@ -5,21 +5,30 @@ Usage::
     python -m repro.trace stats trace.din
     python -m repro.trace generate --kind zipf --count 10000 out.din
     python -m repro.trace simulate trace.din --size 2048 --columns 4
+    python -m repro.trace record gzip out.npz --seed 3
+    python -m repro.trace replay out.npz --size 16384 --columns 8
 
 ``stats`` prints per-variable access counts and lifetimes; ``generate``
 writes a synthetic trace in dinero format; ``simulate`` runs a trace
-through a (standard, full-mask) cache and prints hit/miss totals.
+through a (standard, full-mask) cache and prints hit/miss totals;
+``record`` records any workload-suite kernel into the columnar
+``.npz`` on-disk format (or dinero, by extension); ``replay`` streams
+a recorded ``.npz``/dinero trace through the vectorized lockstep
+cache, memory-mapping ``.npz`` archives so arbitrarily long traces
+replay at a flat footprint.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Sequence
 
 from repro.cache.fastsim import FastColumnCache, blocks_of
 from repro.cache.geometry import CacheGeometry
 from repro.profiling.profiler import profile_trace
+from repro.trace.columnar import ColumnarTrace, load_npz
 from repro.trace.dinero import load_trace, save_trace
 from repro.trace.generator import (
     looped_working_set,
@@ -107,6 +116,68 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_any(path: str, mmap: bool = False) -> ColumnarTrace:
+    """Load a trace by extension: ``.npz`` columnar or dinero text."""
+    if path.endswith(".npz"):
+        return load_npz(path, mmap=mmap)
+    return load_trace(path)
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    from repro.workloads.suite import make_workload
+
+    kwargs = {}
+    for pair in args.param:
+        key, _, value = pair.partition("=")
+        if not _:
+            raise SystemExit(f"--param wants key=value, got {pair!r}")
+        kwargs[key] = int(value)
+    run = make_workload(args.workload, seed=args.seed, **kwargs).record()
+    trace = run.trace
+    if args.output.endswith(".din"):
+        lines = save_trace(trace, args.output)
+        print(f"recorded {lines} accesses to {args.output} (dinero)")
+        return 0
+    written = trace.save_npz(args.output)
+    print(
+        f"recorded {len(trace)} accesses "
+        f"({trace.instruction_count} instructions, "
+        f"{len(trace.variables())} variables) to {written}"
+    )
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.sim.engine.batched import LockstepCache
+
+    trace = _load_any(args.trace, mmap=not args.no_mmap)
+    geometry = CacheGeometry.from_sizes(
+        args.size, line_size=args.line_size, columns=args.columns
+    )
+    cache = LockstepCache(geometry)
+    start = time.perf_counter()
+    # Stream bounded windows: a memory-mapped archive replays at a
+    # flat footprint however long the trace is.
+    for window in trace.iter_chunks(args.chunk_size):
+        cache.run(
+            window.blocks_for(geometry.offset_bits),
+            uniform_mask=args.mask,
+        )
+    elapsed = time.perf_counter() - start
+    result = cache.result()
+    print(f"cache: {geometry}")
+    print(
+        f"accesses={result.accesses} hits={result.hits} "
+        f"misses={result.misses} miss_rate={result.miss_rate:.4f}"
+    )
+    if elapsed > 0:
+        print(
+            f"replayed {result.accesses} accesses in {elapsed:.3f}s "
+            f"({result.accesses / elapsed:,.0f}/s)"
+        )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -138,6 +209,43 @@ def main(argv: Sequence[str] | None = None) -> int:
     simulate.add_argument("--line-size", type=int, default=16)
     simulate.add_argument("--columns", type=int, default=4)
     simulate.set_defaults(handler=_cmd_simulate)
+
+    record = commands.add_parser(
+        "record", help="record a workload-suite kernel to disk"
+    )
+    record.add_argument("workload", help="registry name (see suite)")
+    record.add_argument("output", help="output .npz (or .din) path")
+    record.add_argument("--seed", type=int, default=0)
+    record.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="workload factory kwarg (repeatable, int values)",
+    )
+    record.set_defaults(handler=_cmd_record)
+
+    replay = commands.add_parser(
+        "replay",
+        help="stream a recorded trace through the lockstep cache",
+    )
+    replay.add_argument("trace", help=".npz or dinero trace file")
+    replay.add_argument("--size", type=int, default=16384)
+    replay.add_argument("--line-size", type=int, default=16)
+    replay.add_argument("--columns", type=int, default=4)
+    replay.add_argument(
+        "--mask", type=int, default=None,
+        help="uniform replacement mask bits (default: all columns)",
+    )
+    replay.add_argument(
+        "--chunk-size", type=int, default=1 << 20,
+        help="streaming window in accesses",
+    )
+    replay.add_argument(
+        "--no-mmap", action="store_true",
+        help="load .npz eagerly instead of memory-mapping",
+    )
+    replay.set_defaults(handler=_cmd_replay)
 
     args = parser.parse_args(argv)
     return args.handler(args)

@@ -1,0 +1,715 @@
+"""The columnar trace: parallel arrays end to end, plus on-disk ``.npz``.
+
+:class:`ColumnarTrace` is the canonical trace representation of the
+whole stack: every access is a row across parallel numpy columns
+(address, size, write flag, instruction gap, object id), and the
+derived columns the simulators consume — block numbers per cache
+geometry, per-access replacement masks, cumulative instruction counts
+— are computed vectorized and cached on the trace, so no consumer ever
+round-trips the stream through per-access Python objects.
+
+Three ways in:
+
+* :class:`ColumnarRecorder` — what instrumented workloads record into
+  directly (chunked numpy buffers; scalar ``append`` for instrumented
+  kernels, ``append_many``/``append_run`` for vectorizable patterns);
+* :meth:`ColumnarTrace.from_columns` — wrap arrays you already have;
+* :func:`load_npz` / :func:`open_npz` — the on-disk format (below).
+
+On-disk format: a plain ``numpy.savez`` archive (uncompressed zip of
+``.npy`` members) holding the five columns plus the variable-name
+table.  Because members are stored uncompressed, :func:`load_npz` can
+memory-map them in place (``mmap=True``): the loader parses the zip
+local headers, finds each member's data offset, and hands the columns
+to :class:`ColumnarTrace` as read-only ``np.memmap`` views — a
+million-access trace replays with a file-cache-sized footprint.
+:meth:`ColumnarTrace.iter_chunks` streams bounded windows off either
+representation.
+"""
+
+from __future__ import annotations
+
+import struct
+import zipfile
+from pathlib import Path
+from typing import Iterator, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.trace.access import MemoryAccess
+
+#: ``variable_ids`` value for accesses with no known variable.
+NO_VARIABLE = -1
+
+#: On-disk format version written into every archive.
+NPZ_FORMAT_VERSION = 1
+
+_COLUMNS = ("addresses", "sizes", "writes", "gaps", "variable_ids")
+
+
+class ColumnarTrace:
+    """An immutable memory-reference trace stored as parallel arrays.
+
+    Build with :class:`ColumnarRecorder` (preferred),
+    :meth:`from_columns`, or :meth:`from_accesses`.
+
+    Attributes:
+        addresses: int64 array of byte addresses.
+        sizes: int32 array of access widths in bytes.
+        writes: bool array, True for stores.
+        gaps: int64 array of non-memory instruction gaps.
+        variable_ids: int64 object-id column (``NO_VARIABLE`` = none).
+        variable_names: id -> name table for ``variable_ids``.
+    """
+
+    def __init__(
+        self,
+        addresses: np.ndarray,
+        writes: np.ndarray,
+        gaps: np.ndarray,
+        variable_ids: np.ndarray,
+        variable_names: list[str],
+        name: str = "trace",
+        sizes: Optional[np.ndarray] = None,
+    ):
+        length = len(addresses)
+        if not (len(writes) == len(gaps) == len(variable_ids) == length):
+            raise ValueError("trace arrays must have equal length")
+        self.addresses = np.asarray(addresses, dtype=np.int64)
+        self.writes = np.asarray(writes, dtype=bool)
+        self.gaps = np.asarray(gaps, dtype=np.int64)
+        self.variable_ids = np.asarray(variable_ids, dtype=np.int64)
+        if sizes is None:
+            self.sizes = np.ones(length, dtype=np.int32)
+        else:
+            if len(sizes) != length:
+                raise ValueError("trace arrays must have equal length")
+            self.sizes = np.asarray(sizes, dtype=np.int32)
+        self.variable_names = list(variable_names)
+        self.name = name
+        # Derived-column caches (offset_bits -> blocks, cumulative
+        # instruction counts).  Computed lazily, shared by every
+        # consumer of this trace object.
+        self._blocks: dict[int, np.ndarray] = {}
+        self._cumulative: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_columns(
+        cls,
+        addresses: Sequence[int] | np.ndarray,
+        writes: Optional[Sequence[bool] | np.ndarray] = None,
+        gaps: Optional[Sequence[int] | np.ndarray] = None,
+        variable: Optional[str] = None,
+        variable_ids: Optional[np.ndarray] = None,
+        variable_names: Optional[Sequence[str]] = None,
+        sizes: Optional[Sequence[int] | np.ndarray] = None,
+        name: str = "trace",
+    ) -> "ColumnarTrace":
+        """Build a trace directly from column arrays (all vectorized).
+
+        ``variable`` labels every access with one name; pass
+        ``variable_ids`` + ``variable_names`` instead for multi-variable
+        columns.  Omitted columns default to reads / zero gaps / size 1.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        length = len(addresses)
+        if writes is None:
+            writes = np.zeros(length, dtype=bool)
+        elif np.isscalar(writes):
+            writes = np.full(length, bool(writes))
+        if gaps is None:
+            gaps = np.zeros(length, dtype=np.int64)
+        if variable_ids is not None:
+            names = list(variable_names or [])
+        elif variable is not None:
+            names = [variable]
+            variable_ids = np.zeros(length, dtype=np.int64)
+        else:
+            names = []
+            variable_ids = np.full(length, NO_VARIABLE, dtype=np.int64)
+        return cls(
+            addresses,
+            np.asarray(writes, dtype=bool),
+            np.asarray(gaps, dtype=np.int64),
+            variable_ids,
+            names,
+            name=name,
+            sizes=None if sizes is None else np.asarray(sizes),
+        )
+
+    @classmethod
+    def from_accesses(
+        cls, accesses: Sequence[MemoryAccess], name: str = "trace"
+    ) -> "ColumnarTrace":
+        """Build a trace from per-access records (legacy/slow path)."""
+        from repro.trace.trace import TraceBuilder
+
+        builder = TraceBuilder(name=name)
+        for access in accesses:
+            builder.add_gap(access.gap)
+            builder.append(
+                access.address,
+                is_write=access.is_write,
+                variable=access.variable,
+            )
+        return builder.build()
+
+    @classmethod
+    def empty(cls, name: str = "trace") -> "ColumnarTrace":
+        """A zero-length trace."""
+        zero = np.zeros(0, dtype=np.int64)
+        return cls(zero, zero.astype(bool), zero, zero, [], name=name)
+
+    # ------------------------------------------------------------------
+    # Derived columns (cached, vectorized)
+    # ------------------------------------------------------------------
+    def blocks_for(
+        self, offset_bits: int, address_offset: int = 0
+    ) -> np.ndarray:
+        """Block numbers (``address >> offset_bits``), cached.
+
+        With ``address_offset == 0`` the returned array is the shared
+        cached column — treat it as read-only.  A non-zero offset
+        (disjoint per-job address spaces) reuses the cached column
+        when the offset is block-aligned (one vectorized add), and
+        falls back to a direct shift otherwise; either way the result
+        is a fresh array the caller owns.
+        """
+        blocks = self._blocks.get(offset_bits)
+        if blocks is None:
+            blocks = np.ascontiguousarray(
+                self.addresses >> np.int64(offset_bits), dtype=np.int64
+            )
+            self._blocks[offset_bits] = blocks
+        if address_offset == 0:
+            return blocks
+        if address_offset % (1 << offset_bits) == 0:
+            return blocks + np.int64(address_offset >> offset_bits)
+        return np.ascontiguousarray(
+            (self.addresses + np.int64(address_offset))
+            >> np.int64(offset_bits),
+            dtype=np.int64,
+        )
+
+    @property
+    def cumulative_instructions(self) -> np.ndarray:
+        """``cum[i]`` = instructions contributed by accesses 0..i.
+
+        Cached; shared by the multitask schedulers and the fleet
+        executor.  Treat as read-only.
+        """
+        if self._cumulative is None:
+            self._cumulative = np.cumsum(self.gaps + 1, dtype=np.int64)
+        return self._cumulative
+
+    def mask_bits_for(
+        self,
+        variable_masks: Mapping[str, int],
+        default: int,
+    ) -> np.ndarray:
+        """Per-access replacement-mask column from per-variable masks.
+
+        Vectorized: a small id -> bits table gathered through the
+        ``variable_ids`` column.  Unknown variables (and unlabelled
+        accesses) get ``default``.
+        """
+        table = np.full(len(self.variable_names) + 1, default, dtype=np.int64)
+        for index, variable in enumerate(self.variable_names):
+            if variable in variable_masks:
+                table[index] = int(variable_masks[variable])
+        # NO_VARIABLE (-1) indexes the appended default slot.
+        return table[self.variable_ids]
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def instruction_count(self) -> int:
+        """Total instructions: one per access plus all gaps."""
+        return int(len(self) + self.gaps.sum())
+
+    @property
+    def access_count(self) -> int:
+        """Number of memory accesses."""
+        return len(self)
+
+    def variables(self) -> list[str]:
+        """Names of all variables that appear in the trace."""
+        used = set(int(i) for i in np.unique(self.variable_ids))
+        used.discard(NO_VARIABLE)
+        return [self.variable_names[i] for i in sorted(used)]
+
+    def variable_of(self, position: int) -> Optional[str]:
+        """Variable name at trace position, or None."""
+        identifier = int(self.variable_ids[position])
+        if identifier == NO_VARIABLE:
+            return None
+        return self.variable_names[identifier]
+
+    def access_at(self, position: int) -> MemoryAccess:
+        """The access record at ``position`` (inspection/debug only)."""
+        return MemoryAccess(
+            address=int(self.addresses[position]),
+            is_write=bool(self.writes[position]),
+            variable=self.variable_of(position),
+            gap=int(self.gaps[position]),
+        )
+
+    def positions_of(self, variable: str) -> np.ndarray:
+        """Trace positions whose access belongs to ``variable``."""
+        try:
+            identifier = self.variable_names.index(variable)
+        except ValueError:
+            return np.empty(0, dtype=np.int64)
+        return np.flatnonzero(self.variable_ids == identifier)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def slice(
+        self, start: int, stop: int, name: Optional[str] = None
+    ) -> "ColumnarTrace":
+        """A sub-trace of positions ``[start, stop)`` (array views)."""
+        piece = ColumnarTrace(
+            self.addresses[start:stop],
+            self.writes[start:stop],
+            self.gaps[start:stop],
+            self.variable_ids[start:stop],
+            self.variable_names,
+            name=name or f"{self.name}[{start}:{stop}]",
+            sizes=self.sizes[start:stop],
+        )
+        # Windowed consumers slice traces constantly; hand the slice
+        # views of any block columns already computed on the parent.
+        piece._blocks = {
+            offset_bits: blocks[start:stop]
+            for offset_bits, blocks in self._blocks.items()
+        }
+        return piece
+
+    def repeat(self, count: int, name: Optional[str] = None) -> "ColumnarTrace":
+        """The trace concatenated with itself ``count`` times."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        return ColumnarTrace(
+            np.tile(self.addresses, count),
+            np.tile(self.writes, count),
+            np.tile(self.gaps, count),
+            np.tile(self.variable_ids, count),
+            self.variable_names,
+            name=name or f"{self.name}x{count}",
+            sizes=np.tile(self.sizes, count),
+        )
+
+    def iter_chunks(
+        self, chunk_size: int = 1 << 16
+    ) -> Iterator["ColumnarTrace"]:
+        """Bounded sub-trace windows, in order (streaming consumers).
+
+        Chunks are array views — no copies, so a memory-mapped trace
+        streams through a simulator touching one window at a time.
+        """
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        for start in range(0, len(self), chunk_size):
+            yield self.slice(start, min(start + chunk_size, len(self)))
+
+    # ------------------------------------------------------------------
+    # On-disk format
+    # ------------------------------------------------------------------
+    def save_npz(self, path: Union[str, Path]) -> Path:
+        """Write the trace as an uncompressed ``.npz`` archive.
+
+        Members are stored (not deflated) so :func:`load_npz` can
+        memory-map the columns in place.
+        """
+        path = Path(path)
+        np.savez(
+            path,
+            format_version=np.int64(NPZ_FORMAT_VERSION),
+            name=np.array(self.name),
+            addresses=self.addresses,
+            sizes=self.sizes,
+            writes=self.writes,
+            gaps=self.gaps,
+            variable_ids=self.variable_ids,
+            variable_names=np.array(self.variable_names, dtype=str),
+        )
+        # np.savez appends ".npz" when missing; mirror that here.
+        if path.suffix != ".npz":
+            path = path.with_name(path.name + ".npz")
+        return path
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        for position in range(len(self)):
+            yield self.access_at(position)
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({self.name!r}, {len(self)} accesses, "
+            f"{self.instruction_count} instructions, "
+            f"{len(self.variables())} variables)"
+        )
+
+
+def _npz_member_arrays(
+    path: Path, mmap: bool
+) -> dict[str, np.ndarray]:
+    """All ``.npy`` members of an archive, optionally memory-mapped.
+
+    ``numpy.load`` ignores ``mmap_mode`` for zip archives, so the mmap
+    path parses each member's zip local header to find where the raw
+    ``.npy`` stream starts, reads the npy header there, and maps the
+    data portion read-only.  Falls back to eager reading for members
+    that are compressed or non-trivially encoded.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as archive:
+        for info in archive.infolist():
+            key = info.filename.removesuffix(".npy")
+            if not mmap or info.compress_type != zipfile.ZIP_STORED:
+                with archive.open(info) as member:
+                    arrays[key] = np.lib.format.read_array(
+                        member, allow_pickle=False
+                    )
+                continue
+            with open(path, "rb") as handle:
+                handle.seek(info.header_offset)
+                header = handle.read(30)
+                # Local file header: magic, sizes at 26 (name) / 28
+                # (extra field); data starts right after both.
+                name_length, extra_length = struct.unpack(
+                    "<HH", header[26:30]
+                )
+                data_start = (
+                    info.header_offset + 30 + name_length + extra_length
+                )
+                handle.seek(data_start)
+                version = np.lib.format.read_magic(handle)
+                if version == (1, 0):
+                    shape, fortran, dtype = (
+                        np.lib.format.read_array_header_1_0(handle)
+                    )
+                elif version == (2, 0):
+                    shape, fortran, dtype = (
+                        np.lib.format.read_array_header_2_0(handle)
+                    )
+                else:
+                    with archive.open(info) as member:
+                        arrays[key] = np.lib.format.read_array(
+                            member, allow_pickle=False
+                        )
+                    continue
+                if dtype.hasobject:
+                    with archive.open(info) as member:
+                        arrays[key] = np.lib.format.read_array(
+                            member, allow_pickle=False
+                        )
+                    continue
+                arrays[key] = np.memmap(
+                    path,
+                    dtype=dtype,
+                    mode="r",
+                    offset=handle.tell(),
+                    shape=shape,
+                    order="F" if fortran else "C",
+                )
+    return arrays
+
+
+def load_npz(
+    path: Union[str, Path], mmap: bool = False
+) -> ColumnarTrace:
+    """Load a :meth:`ColumnarTrace.save_npz` archive.
+
+    With ``mmap=True`` the columns are read-only memory maps — the
+    trace opens in O(1) and pages stream in as consumers touch them
+    (combine with :meth:`ColumnarTrace.iter_chunks` for flat-memory
+    replay of arbitrarily long traces).
+    """
+    path = Path(path)
+    arrays = _npz_member_arrays(path, mmap=mmap)
+    missing = [column for column in _COLUMNS if column not in arrays]
+    if missing:
+        raise ValueError(
+            f"{path}: not a columnar trace archive (missing {missing})"
+        )
+    version = int(arrays.get("format_version", np.int64(1)))
+    if version > NPZ_FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: format version {version} is newer than "
+            f"supported ({NPZ_FORMAT_VERSION})"
+        )
+    names_array = arrays.get("variable_names")
+    variable_names = (
+        [str(name) for name in names_array.tolist()]
+        if names_array is not None and names_array.size
+        else []
+    )
+    name_member = arrays.get("name")
+    name = str(name_member) if name_member is not None else path.stem
+    return ColumnarTrace(
+        arrays["addresses"],
+        arrays["writes"],
+        arrays["gaps"],
+        arrays["variable_ids"],
+        variable_names,
+        name=name,
+        sizes=arrays["sizes"],
+    )
+
+
+def open_npz(path: Union[str, Path]) -> ColumnarTrace:
+    """Shorthand for :func:`load_npz` with ``mmap=True``."""
+    return load_npz(path, mmap=True)
+
+
+class ColumnarRecorder:
+    """Append-only columnar trace constructor (chunked numpy buffers).
+
+    The recorder instrumented kernels write into directly: scalar
+    :meth:`append` fills preallocated numpy chunks (no per-access
+    Python objects or list round-trips), and the bulk methods
+    :meth:`append_many` / :meth:`append_run` record whole vectorized
+    access patterns in one call.  API-compatible with the legacy
+    :class:`~repro.trace.trace.TraceBuilder` (``add_gap`` / ``append``
+    / ``pending_gap`` / ``build``), which remains as the list-based
+    reference the differential suite compares against.
+
+    >>> recorder = ColumnarRecorder()
+    >>> recorder.add_gap(3)          # three ALU instructions
+    >>> recorder.append(0x1000, variable="block")
+    >>> recorder.append_run(0x2000, count=4, stride=2, variable="row")
+    >>> recorder.build().instruction_count
+    8
+    """
+
+    def __init__(
+        self,
+        name: str = "trace",
+        chunk_size: int = 1 << 14,
+        default_size: int = 1,
+    ):
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.name = name
+        self.chunk_size = chunk_size
+        self.default_size = default_size
+        self._full: list[tuple[np.ndarray, ...]] = []
+        self._count_full = 0
+        self._names: list[str] = []
+        self._name_ids: dict[str, int] = {}
+        self._pending_gap = 0
+        self._new_chunk()
+
+    def _new_chunk(self) -> None:
+        size = self.chunk_size
+        self._addresses = np.zeros(size, dtype=np.int64)
+        self._sizes = np.full(size, self.default_size, dtype=np.int32)
+        self._writes = np.zeros(size, dtype=bool)
+        self._gaps = np.zeros(size, dtype=np.int64)
+        self._variable_ids = np.full(size, NO_VARIABLE, dtype=np.int64)
+        self._fill = 0
+
+    def _seal_chunk(self) -> None:
+        fill = self._fill
+        self._full.append(
+            (
+                self._addresses[:fill],
+                self._sizes[:fill],
+                self._writes[:fill],
+                self._gaps[:fill],
+                self._variable_ids[:fill],
+            )
+        )
+        self._count_full += fill
+        self._new_chunk()
+
+    def _variable_id(self, variable: Optional[str]) -> int:
+        if variable is None:
+            return NO_VARIABLE
+        identifier = self._name_ids.get(variable)
+        if identifier is None:
+            identifier = len(self._names)
+            self._names.append(variable)
+            self._name_ids[variable] = identifier
+        return identifier
+
+    def add_gap(self, instructions: int = 1) -> None:
+        """Record non-memory instructions before the next access."""
+        if instructions < 0:
+            raise ValueError(f"gap must be non-negative, got {instructions}")
+        self._pending_gap += instructions
+
+    def append(
+        self,
+        address: int,
+        is_write: bool = False,
+        variable: Optional[str] = None,
+        size: Optional[int] = None,
+    ) -> None:
+        """Record one memory access."""
+        if address < 0:
+            raise ValueError(f"address must be non-negative, got {address}")
+        if self._fill == self.chunk_size:
+            self._seal_chunk()
+        fill = self._fill
+        self._addresses[fill] = address
+        if is_write:
+            self._writes[fill] = True
+        if size is not None:
+            self._sizes[fill] = size
+        gap = self._pending_gap
+        if gap:
+            self._gaps[fill] = gap
+            self._pending_gap = 0
+        self._variable_ids[fill] = self._variable_id(variable)
+        self._fill = fill + 1
+
+    def append_many(
+        self,
+        addresses: Sequence[int] | np.ndarray,
+        is_write: bool | Sequence[bool] | np.ndarray = False,
+        variable: Optional[str] = None,
+        gaps: Optional[Sequence[int] | np.ndarray] = None,
+        sizes: Optional[Sequence[int] | np.ndarray] = None,
+        gap_each: int = 0,
+    ) -> None:
+        """Record a whole access batch in one vectorized call.
+
+        ``is_write`` may be a scalar or a per-access array;
+        ``variable`` labels every access of the batch; ``gaps`` gives
+        per-access gaps (``gap_each`` a uniform one).  A pending
+        :meth:`add_gap` is folded into the first access, matching the
+        scalar path exactly.  Every input array is copied — callers
+        may freely reuse their scratch buffers after the call.
+        """
+        addresses = np.array(addresses, dtype=np.int64)  # owned copy
+        count = len(addresses)
+        if count == 0:
+            return
+        if addresses.min() < 0:
+            raise ValueError("addresses must be non-negative")
+        if gaps is not None:
+            gaps = np.array(gaps, dtype=np.int64)  # owned copy
+            if len(gaps) != count:
+                raise ValueError("gaps length mismatch")
+            if gaps.min() < 0:
+                raise ValueError("gaps must be non-negative")
+        elif gap_each:
+            if gap_each < 0:
+                raise ValueError("gap_each must be non-negative")
+            gaps = np.full(count, gap_each, dtype=np.int64)
+        else:
+            gaps = np.zeros(count, dtype=np.int64)
+        if self._pending_gap:
+            gaps[0] += self._pending_gap
+            self._pending_gap = 0
+        if np.isscalar(is_write) or isinstance(is_write, bool):
+            writes = np.full(count, bool(is_write))
+        else:
+            writes = np.array(is_write, dtype=bool)  # owned copy
+            if len(writes) != count:
+                raise ValueError("is_write length mismatch")
+        if sizes is None:
+            sizes = np.full(count, self.default_size, dtype=np.int32)
+        else:
+            sizes = np.array(sizes, dtype=np.int32)  # owned copy
+            if len(sizes) != count:
+                raise ValueError("sizes length mismatch")
+        identifier = self._variable_id(variable)
+        ids = np.full(count, identifier, dtype=np.int64)
+        # Seal the current scalar chunk and splice the batch in whole.
+        self._seal_chunk()
+        self._full.append((addresses, sizes, writes, gaps, ids))
+        self._count_full += count
+
+    def append_run(
+        self,
+        base: int,
+        count: int,
+        stride: int,
+        is_write: bool = False,
+        variable: Optional[str] = None,
+        gap_each: int = 0,
+        size: Optional[int] = None,
+    ) -> None:
+        """Record ``count`` accesses at ``base + i * stride``."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if count == 0:
+            return
+        addresses = base + np.arange(count, dtype=np.int64) * np.int64(stride)
+        self.append_many(
+            addresses,
+            is_write=is_write,
+            variable=variable,
+            gap_each=gap_each,
+            sizes=(
+                None
+                if size is None
+                else np.full(count, size, dtype=np.int32)
+            ),
+        )
+
+    def extend(self, trace: ColumnarTrace) -> None:
+        """Append a whole existing trace (variables are re-interned)."""
+        if len(trace) == 0:
+            return
+        id_map = np.full(
+            len(trace.variable_names) + 1, NO_VARIABLE, dtype=np.int64
+        )
+        for local_id, variable in enumerate(trace.variable_names):
+            id_map[local_id] = self._variable_id(variable)
+        gaps = trace.gaps
+        if self._pending_gap:
+            gaps = gaps.copy()
+            gaps[0] += self._pending_gap
+            self._pending_gap = 0
+        self._seal_chunk()
+        self._full.append(
+            (
+                np.asarray(trace.addresses, dtype=np.int64),
+                np.asarray(trace.sizes, dtype=np.int32),
+                np.asarray(trace.writes, dtype=bool),
+                np.asarray(gaps, dtype=np.int64),
+                id_map[trace.variable_ids],
+            )
+        )
+        self._count_full += len(trace)
+
+    @property
+    def pending_gap(self) -> int:
+        """Gap instructions not yet attached to an access."""
+        return self._pending_gap
+
+    def __len__(self) -> int:
+        return self._count_full + self._fill
+
+    def build(self) -> ColumnarTrace:
+        """Freeze into an immutable :class:`ColumnarTrace`."""
+        parts = self._full + [
+            (
+                self._addresses[: self._fill],
+                self._sizes[: self._fill],
+                self._writes[: self._fill],
+                self._gaps[: self._fill],
+                self._variable_ids[: self._fill],
+            )
+        ]
+        columns = [np.concatenate(column) for column in zip(*parts)]
+        return ColumnarTrace(
+            columns[0],
+            columns[2],
+            columns[3],
+            columns[4],
+            list(self._names),
+            name=self.name,
+            sizes=columns[1],
+        )

@@ -9,7 +9,11 @@ understands:
     0 1000 3 qtable
     1 2080 0 block
 
-Plain two-column files load fine (gap 0, no variable).
+Plain two-column files load fine (gap 0, no variable).  Both the
+writer and the reader transform whole columns at a time — the loader
+tokenizes the file once and builds the trace arrays directly, so
+external dinero traces enter the columnar pipeline without a
+per-access object round-trip.
 """
 
 from __future__ import annotations
@@ -17,11 +21,16 @@ from __future__ import annotations
 from pathlib import Path
 from typing import TextIO, Union
 
-from repro.trace.trace import Trace, TraceBuilder
+import numpy as np
+
+from repro.trace.columnar import NO_VARIABLE
+from repro.trace.trace import Trace
 
 READ_LABEL = "0"
 WRITE_LABEL = "1"
 IFETCH_LABEL = "2"
+
+_LABELS = (READ_LABEL, WRITE_LABEL, IFETCH_LABEL)
 
 
 def save_trace(trace: Trace, destination: Union[str, Path, TextIO]) -> int:
@@ -29,17 +38,70 @@ def save_trace(trace: Trace, destination: Union[str, Path, TextIO]) -> int:
     if isinstance(destination, (str, Path)):
         with open(destination, "w", encoding="ascii") as handle:
             return save_trace(trace, handle)
-    count = 0
-    for access in trace:
-        label = WRITE_LABEL if access.is_write else READ_LABEL
-        fields = [label, format(access.address, "x")]
-        if access.gap or access.variable is not None:
-            fields.append(str(access.gap))
-        if access.variable is not None:
-            fields.append(access.variable)
-        destination.write(" ".join(fields) + "\n")
-        count += 1
-    return count
+    labels = np.where(trace.writes, WRITE_LABEL, READ_LABEL)
+    lines = []
+    gaps = trace.gaps
+    variable_ids = trace.variable_ids
+    names = trace.variable_names
+    addresses = trace.addresses
+    for position in range(len(trace)):
+        fields = [labels[position], format(int(addresses[position]), "x")]
+        identifier = variable_ids[position]
+        if gaps[position] or identifier != NO_VARIABLE:
+            fields.append(str(int(gaps[position])))
+        if identifier != NO_VARIABLE:
+            fields.append(names[identifier])
+        lines.append(" ".join(fields))
+    if lines:
+        destination.write("\n".join(lines) + "\n")
+    return len(lines)
+
+
+def _parse_lines(lines: list[tuple[int, list[str]]], name: str) -> Trace:
+    """Build the trace columns from pre-tokenized lines."""
+    count = len(lines)
+    addresses = np.zeros(count, dtype=np.int64)
+    writes = np.zeros(count, dtype=bool)
+    gaps = np.zeros(count, dtype=np.int64)
+    variable_ids = np.full(count, NO_VARIABLE, dtype=np.int64)
+    names: list[str] = []
+    name_ids: dict[str, int] = {}
+    for position, (line_number, fields) in enumerate(lines):
+        if len(fields) < 2:
+            raise ValueError(
+                f"line {line_number}: expected '<label> <addr>', got "
+                f"{' '.join(fields)!r}"
+            )
+        label = fields[0]
+        if label not in _LABELS:
+            raise ValueError(
+                f"line {line_number}: unknown access label {label!r}"
+            )
+        try:
+            addresses[position] = int(fields[1], 16)
+        except ValueError:
+            raise ValueError(
+                f"line {line_number}: bad address {fields[1]!r}"
+            ) from None
+        writes[position] = label == WRITE_LABEL
+        if len(fields) >= 3:
+            try:
+                gaps[position] = int(fields[2])
+            except ValueError:
+                raise ValueError(
+                    f"line {line_number}: bad gap {fields[2]!r}"
+                ) from None
+        if len(fields) >= 4:
+            variable = fields[3]
+            identifier = name_ids.get(variable)
+            if identifier is None:
+                identifier = len(names)
+                names.append(variable)
+                name_ids[variable] = identifier
+            variable_ids[position] = identifier
+    return Trace(
+        addresses, writes, gaps, variable_ids, names, name=name
+    )
 
 
 def load_trace(
@@ -53,40 +115,9 @@ def load_trace(
     if isinstance(source, (str, Path)):
         with open(source, "r", encoding="ascii") as handle:
             return load_trace(handle, name=name)
-    builder = TraceBuilder(name=name)
-    for line_number, raw_line in enumerate(source, start=1):
-        line = raw_line.strip()
-        if not line or line.startswith("#"):
-            continue
-        fields = line.split()
-        if len(fields) < 2:
-            raise ValueError(
-                f"line {line_number}: expected '<label> <addr>', got {line!r}"
-            )
-        label, address_text = fields[0], fields[1]
-        if label not in (READ_LABEL, WRITE_LABEL, IFETCH_LABEL):
-            raise ValueError(
-                f"line {line_number}: unknown access label {label!r}"
-            )
-        try:
-            address = int(address_text, 16)
-        except ValueError:
-            raise ValueError(
-                f"line {line_number}: bad address {address_text!r}"
-            ) from None
-        gap = 0
-        variable = None
-        if len(fields) >= 3:
-            try:
-                gap = int(fields[2])
-            except ValueError:
-                raise ValueError(
-                    f"line {line_number}: bad gap {fields[2]!r}"
-                ) from None
-        if len(fields) >= 4:
-            variable = fields[3]
-        builder.add_gap(gap)
-        builder.append(
-            address, is_write=(label == WRITE_LABEL), variable=variable
-        )
-    return builder.build()
+    lines = [
+        (line_number, stripped.split())
+        for line_number, raw_line in enumerate(source, start=1)
+        if (stripped := raw_line.strip()) and not stripped.startswith("#")
+    ]
+    return _parse_lines(lines, name)

@@ -1,4 +1,9 @@
-"""Trace transformations: filtering, relocation, concatenation."""
+"""Trace transformations: filtering, relocation, concatenation.
+
+All transforms are vectorized over the columnar representation and
+preserve every column (sizes included); none materializes per-access
+Python objects.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +12,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.mem.address import AddressRange
+from repro.trace.columnar import NO_VARIABLE
 from repro.trace.trace import Trace
 
 
@@ -39,16 +45,17 @@ def _apply_keep_mask(trace: Trace, keep: np.ndarray, name: str) -> Trace:
     if keep.all():
         return trace
     # Each dropped access contributes its gap + 1 instructions to the
-    # next kept access's gap.
+    # next kept access's gap: the carry a kept access absorbs is the
+    # dropped-instruction total accumulated since the previous kept
+    # access — a first difference of the cumulative drop curve.
     dropped_instructions = np.where(keep, 0, trace.gaps + 1)
     carried = np.cumsum(dropped_instructions)
     kept_positions = np.flatnonzero(keep)
-    new_gaps = trace.gaps[kept_positions].copy()
-    previous_carry = 0
-    for output_index, position in enumerate(kept_positions):
-        carry_here = int(carried[position - 1]) if position > 0 else 0
-        new_gaps[output_index] += carry_here - previous_carry
-        previous_carry = carry_here
+    carry_before = np.where(
+        kept_positions > 0, carried[kept_positions - 1], 0
+    )
+    new_gaps = trace.gaps[kept_positions] + carry_before
+    new_gaps[1:] -= carry_before[:-1]
     return Trace(
         trace.addresses[kept_positions],
         trace.writes[kept_positions],
@@ -56,6 +63,7 @@ def _apply_keep_mask(trace: Trace, keep: np.ndarray, name: str) -> Trace:
         trace.variable_ids[kept_positions],
         trace.variable_names,
         name=name,
+        sizes=trace.sizes[kept_positions],
     )
 
 
@@ -75,6 +83,7 @@ def relocate(trace: Trace, offset: int, name: str | None = None) -> Trace:
         trace.variable_ids,
         trace.variable_names,
         name=name or f"{trace.name}+{offset:#x}",
+        sizes=trace.sizes,
     )
 
 
@@ -84,29 +93,26 @@ def concatenate(traces: Sequence[Trace], name: str = "concat") -> Trace:
         return Trace.empty(name)
     merged_names: list[str] = []
     name_ids: dict[str, int] = {}
-    id_maps = []
+    remapped_ids = []
     for trace in traces:
-        id_map = {}
+        # local id -> merged id, gathered through a small table so the
+        # per-access column is remapped in one vectorized step.
+        table = np.full(
+            len(trace.variable_names) + 1, NO_VARIABLE, dtype=np.int64
+        )
         for local_id, variable in enumerate(trace.variable_names):
             if variable not in name_ids:
                 name_ids[variable] = len(merged_names)
                 merged_names.append(variable)
-            id_map[local_id] = name_ids[variable]
-        id_maps.append(id_map)
-
-    def remap(trace: Trace, id_map: dict[int, int]) -> np.ndarray:
-        ids = trace.variable_ids.copy()
-        for local_id, global_id in id_map.items():
-            ids[trace.variable_ids == local_id] = global_id
-        return ids
+            table[local_id] = name_ids[variable]
+        remapped_ids.append(table[trace.variable_ids])
 
     return Trace(
         np.concatenate([trace.addresses for trace in traces]),
         np.concatenate([trace.writes for trace in traces]),
         np.concatenate([trace.gaps for trace in traces]),
-        np.concatenate(
-            [remap(trace, id_map) for trace, id_map in zip(traces, id_maps)]
-        ),
+        np.concatenate(remapped_ids),
         merged_names,
         name=name,
+        sizes=np.concatenate([trace.sizes for trace in traces]),
     )

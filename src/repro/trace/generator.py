@@ -3,7 +3,10 @@
 These produce the classic locality archetypes (streams, strides, hot
 working sets, Zipf mixes, pointer chases) used by unit tests, the
 ablation benches, and microbenchmark examples.  All generators are
-deterministic given their seed.
+deterministic given their seed, and all build their traces as whole
+columns (:meth:`~repro.trace.columnar.ColumnarTrace.from_columns`) —
+no per-access Python objects, so million-access synthetic traces are
+numpy-speed.
 """
 
 from __future__ import annotations
@@ -12,7 +15,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.trace.trace import Trace, TraceBuilder
+from repro.trace.trace import Trace
 
 
 def sequential_stream(
@@ -24,12 +27,14 @@ def sequential_stream(
     name: str = "sequential",
 ) -> Trace:
     """``count`` consecutive element accesses starting at ``base``."""
-    builder = TraceBuilder(name=name)
-    for index in range(count):
-        builder.append(
-            base + index * element_size, is_write=writes, variable=variable
-        )
-    return builder.build()
+    addresses = base + np.arange(count, dtype=np.int64) * element_size
+    return Trace.from_columns(
+        addresses,
+        writes=writes,
+        variable=variable,
+        sizes=np.full(count, element_size, dtype=np.int32),
+        name=name,
+    )
 
 
 def strided_stream(
@@ -40,10 +45,10 @@ def strided_stream(
     name: str = "strided",
 ) -> Trace:
     """``count`` accesses separated by ``stride`` bytes."""
-    builder = TraceBuilder(name=name)
-    for index in range(count):
-        builder.append(base + index * stride, variable=variable)
-    return builder.build()
+    addresses = base + np.arange(count, dtype=np.int64) * stride
+    return Trace.from_columns(
+        addresses, variable=variable, name=name
+    )
 
 
 def looped_working_set(
@@ -59,12 +64,15 @@ def looped_working_set(
     The canonical temporal-locality pattern: fits-in-cache working sets
     approach 100% hits after the first pass; oversized ones thrash LRU.
     """
-    builder = TraceBuilder(name=name)
     elements = working_set_bytes // element_size
-    for _ in range(passes):
-        for index in range(elements):
-            builder.append(base + index * element_size, variable=variable)
-    return builder.build()
+    one_pass = base + np.arange(elements, dtype=np.int64) * element_size
+    addresses = np.tile(one_pass, passes)
+    return Trace.from_columns(
+        addresses,
+        variable=variable,
+        sizes=np.full(len(addresses), element_size, dtype=np.int32),
+        name=name,
+    )
 
 
 def random_uniform(
@@ -82,14 +90,13 @@ def random_uniform(
     elements = max(span_bytes // element_size, 1)
     indices = rng.integers(0, elements, size=count)
     write_flags = rng.random(count) < write_fraction
-    builder = TraceBuilder(name=name)
-    for index, is_write in zip(indices, write_flags):
-        builder.append(
-            base + int(index) * element_size,
-            is_write=bool(is_write),
-            variable=variable,
-        )
-    return builder.build()
+    return Trace.from_columns(
+        base + indices.astype(np.int64) * element_size,
+        writes=write_flags,
+        variable=variable,
+        sizes=np.full(count, element_size, dtype=np.int32),
+        name=name,
+    )
 
 
 def zipf_accesses(
@@ -109,10 +116,12 @@ def zipf_accesses(
     elements = max(span_bytes // element_size, 1)
     ranks = rng.zipf(exponent, size=count)
     indices = (ranks - 1) % elements
-    builder = TraceBuilder(name=name)
-    for index in indices:
-        builder.append(base + int(index) * element_size, variable=variable)
-    return builder.build()
+    return Trace.from_columns(
+        base + indices.astype(np.int64) * element_size,
+        variable=variable,
+        sizes=np.full(count, element_size, dtype=np.int32),
+        name=name,
+    )
 
 
 def pointer_chase(
@@ -124,15 +133,22 @@ def pointer_chase(
     variable: Optional[str] = "list",
     name: str = "pointer_chase",
 ) -> Trace:
-    """A random-permutation linked-list walk (no spatial locality)."""
+    """A random-permutation linked-list walk (no spatial locality).
+
+    The walk visits the permutation cycle containing node 0, so the
+    ``hops``-long node sequence is the cycle tiled — computed by
+    rolling the permutation order rather than chasing pointers one
+    Python hop at a time.
+    """
     rng = np.random.default_rng(seed)
-    order = rng.permutation(node_count)
-    next_of = np.empty(node_count, dtype=np.int64)
-    for position in range(node_count):
-        next_of[order[position]] = order[(position + 1) % node_count]
-    builder = TraceBuilder(name=name)
-    node = int(order[0])
-    for _ in range(hops):
-        builder.append(base + node * node_size, variable=variable)
-        node = int(next_of[node])
-    return builder.build()
+    order = rng.permutation(node_count).astype(np.int64)
+    # order[i] -> order[i+1] is the successor relation; starting from
+    # order[0], the visit sequence is simply `order` tiled to length.
+    repeats = -(-hops // node_count) if node_count else 0
+    nodes = np.tile(order, max(repeats, 1))[:hops]
+    return Trace.from_columns(
+        base + nodes * node_size,
+        variable=variable,
+        sizes=np.full(hops, node_size, dtype=np.int32),
+        name=name,
+    )

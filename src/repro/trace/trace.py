@@ -1,157 +1,35 @@
-"""Columnar trace storage and the builder used by instrumented kernels."""
+"""The trace type plus the legacy list-based builder.
+
+The trace representation itself lives in
+:mod:`repro.trace.columnar` — :class:`Trace` is the columnar class
+under its historical name, so every existing import keeps working
+while the whole stack shares one parallel-array representation.
+
+:class:`TraceBuilder` is the original append-only constructor kept as
+the *legacy list path*: it accumulates per-access Python values and
+converts once at :meth:`TraceBuilder.build`.  Instrumented workloads
+now record into :class:`~repro.trace.columnar.ColumnarRecorder`
+directly; the builder remains because the differential suite replays
+every workload through both constructors and asserts the resulting
+simulations are bit-identical.
+"""
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Sequence
+from typing import Optional
+
+from repro.trace.columnar import NO_VARIABLE, ColumnarTrace
 
 import numpy as np
 
-from repro.trace.access import MemoryAccess
+#: Historical name: every consumer imports the columnar class as Trace.
+Trace = ColumnarTrace
 
-_NO_VARIABLE = -1
-
-
-class Trace:
-    """An immutable memory-reference trace stored as parallel arrays.
-
-    Build with :class:`TraceBuilder` (preferred) or
-    :meth:`Trace.from_accesses`.
-
-    Attributes:
-        addresses: int64 array of byte addresses.
-        writes: bool array, True for stores.
-        gaps: int32 array of non-memory instruction gaps.
-        variable_names: id -> name table for the ``variable_ids`` array.
-    """
-
-    def __init__(
-        self,
-        addresses: np.ndarray,
-        writes: np.ndarray,
-        gaps: np.ndarray,
-        variable_ids: np.ndarray,
-        variable_names: list[str],
-        name: str = "trace",
-    ):
-        length = len(addresses)
-        if not (
-            len(writes) == len(gaps) == len(variable_ids) == length
-        ):
-            raise ValueError("trace arrays must have equal length")
-        self.addresses = np.asarray(addresses, dtype=np.int64)
-        self.writes = np.asarray(writes, dtype=bool)
-        self.gaps = np.asarray(gaps, dtype=np.int64)
-        self.variable_ids = np.asarray(variable_ids, dtype=np.int64)
-        self.variable_names = list(variable_names)
-        self.name = name
-
-    # ------------------------------------------------------------------
-    # Constructors
-    # ------------------------------------------------------------------
-    @classmethod
-    def from_accesses(
-        cls, accesses: Sequence[MemoryAccess], name: str = "trace"
-    ) -> "Trace":
-        """Build a trace from access records."""
-        builder = TraceBuilder(name=name)
-        for access in accesses:
-            builder.add_gap(access.gap)
-            builder.append(
-                access.address,
-                is_write=access.is_write,
-                variable=access.variable,
-            )
-        return builder.build()
-
-    @classmethod
-    def empty(cls, name: str = "trace") -> "Trace":
-        """A zero-length trace."""
-        return TraceBuilder(name=name).build()
-
-    # ------------------------------------------------------------------
-    # Properties
-    # ------------------------------------------------------------------
-    @property
-    def instruction_count(self) -> int:
-        """Total instructions: one per access plus all gaps."""
-        return int(len(self) + self.gaps.sum())
-
-    @property
-    def access_count(self) -> int:
-        """Number of memory accesses."""
-        return len(self)
-
-    def variables(self) -> list[str]:
-        """Names of all variables that appear in the trace."""
-        used = set(int(i) for i in np.unique(self.variable_ids))
-        used.discard(_NO_VARIABLE)
-        return [self.variable_names[i] for i in sorted(used)]
-
-    def variable_of(self, position: int) -> Optional[str]:
-        """Variable name at trace position, or None."""
-        identifier = int(self.variable_ids[position])
-        if identifier == _NO_VARIABLE:
-            return None
-        return self.variable_names[identifier]
-
-    def access_at(self, position: int) -> MemoryAccess:
-        """The access record at ``position``."""
-        return MemoryAccess(
-            address=int(self.addresses[position]),
-            is_write=bool(self.writes[position]),
-            variable=self.variable_of(position),
-            gap=int(self.gaps[position]),
-        )
-
-    def positions_of(self, variable: str) -> np.ndarray:
-        """Trace positions whose access belongs to ``variable``."""
-        try:
-            identifier = self.variable_names.index(variable)
-        except ValueError:
-            return np.empty(0, dtype=np.int64)
-        return np.flatnonzero(self.variable_ids == identifier)
-
-    def slice(self, start: int, stop: int, name: Optional[str] = None) -> "Trace":
-        """A sub-trace of positions ``[start, stop)``."""
-        return Trace(
-            self.addresses[start:stop],
-            self.writes[start:stop],
-            self.gaps[start:stop],
-            self.variable_ids[start:stop],
-            self.variable_names,
-            name=name or f"{self.name}[{start}:{stop}]",
-        )
-
-    def repeat(self, count: int, name: Optional[str] = None) -> "Trace":
-        """The trace concatenated with itself ``count`` times."""
-        if count < 1:
-            raise ValueError(f"count must be >= 1, got {count}")
-        return Trace(
-            np.tile(self.addresses, count),
-            np.tile(self.writes, count),
-            np.tile(self.gaps, count),
-            np.tile(self.variable_ids, count),
-            self.variable_names,
-            name=name or f"{self.name}x{count}",
-        )
-
-    def __iter__(self) -> Iterator[MemoryAccess]:
-        for position in range(len(self)):
-            yield self.access_at(position)
-
-    def __len__(self) -> int:
-        return len(self.addresses)
-
-    def __repr__(self) -> str:
-        return (
-            f"Trace({self.name!r}, {len(self)} accesses, "
-            f"{self.instruction_count} instructions, "
-            f"{len(self.variables())} variables)"
-        )
+_NO_VARIABLE = NO_VARIABLE
 
 
 class TraceBuilder:
-    """Append-only trace constructor used by instrumented kernels.
+    """Append-only trace constructor (legacy list-based reference).
 
     >>> builder = TraceBuilder()
     >>> builder.add_gap(3)          # three ALU instructions
@@ -165,6 +43,7 @@ class TraceBuilder:
         self._addresses: list[int] = []
         self._writes: list[bool] = []
         self._gaps: list[int] = []
+        self._sizes: list[int] = []
         self._variable_ids: list[int] = []
         self._names: list[str] = []
         self._name_ids: dict[str, int] = {}
@@ -191,15 +70,56 @@ class TraceBuilder:
         address: int,
         is_write: bool = False,
         variable: Optional[str] = None,
+        size: int = 1,
     ) -> None:
         """Record one memory access."""
         if address < 0:
             raise ValueError(f"address must be non-negative, got {address}")
         self._addresses.append(address)
         self._writes.append(is_write)
+        self._sizes.append(size)
         self._gaps.append(self._pending_gap)
         self._variable_ids.append(self._variable_id(variable))
         self._pending_gap = 0
+
+    def append_many(
+        self,
+        addresses,
+        is_write=False,
+        variable: Optional[str] = None,
+        gaps=None,
+        sizes=None,
+        gap_each: int = 0,
+    ) -> None:
+        """Record an access batch one element at a time.
+
+        The legacy (per-access) twin of
+        :meth:`~repro.trace.columnar.ColumnarRecorder.append_many`,
+        with identical semantics — the differential suite relies on
+        the two producing the same trace.
+        """
+        count = len(addresses)
+        scalar_write = isinstance(is_write, (bool, int))
+        for position in range(count):
+            if gaps is not None:
+                gap = int(gaps[position])
+                if gap < 0:
+                    raise ValueError("gaps must be non-negative")
+                self.add_gap(gap)
+            elif gap_each:
+                if gap_each < 0:
+                    raise ValueError("gap_each must be non-negative")
+                self.add_gap(gap_each)
+            self.append(
+                int(addresses[position]),
+                is_write=bool(
+                    is_write if scalar_write else is_write[position]
+                ),
+                variable=variable,
+                size=(
+                    1 if sizes is None else int(sizes[position])
+                ),
+            )
 
     def extend(self, trace: Trace) -> None:
         """Append a whole existing trace (variables are re-interned)."""
@@ -228,4 +148,5 @@ class TraceBuilder:
             np.array(self._variable_ids, dtype=np.int64),
             list(self._names),
             name=self.name,
+            sizes=np.array(self._sizes, dtype=np.int32),
         )

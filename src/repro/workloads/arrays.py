@@ -14,9 +14,14 @@ from typing import Optional, Sequence, Union
 import numpy as np
 
 from repro.mem.symbols import Variable
+from repro.trace.columnar import ColumnarRecorder
 from repro.trace.trace import TraceBuilder
 
 Number = Union[int, float]
+
+#: Either trace constructor: the columnar recorder (default) or the
+#: legacy list-based builder the differential suite compares against.
+Recorder = Union[ColumnarRecorder, TraceBuilder]
 
 
 class TracedArray:
@@ -31,7 +36,7 @@ class TracedArray:
     def __init__(
         self,
         variable: Variable,
-        builder: TraceBuilder,
+        builder: Recorder,
         dtype: np.dtype | type = np.int64,
         initial: Optional[Sequence[Number]] = None,
     ):
@@ -63,15 +68,93 @@ class TracedArray:
 
     def __getitem__(self, index: int) -> Number:
         self._builder.append(
-            self._address(index), is_write=False, variable=self.name
+            self._address(index),
+            is_write=False,
+            variable=self.name,
+            size=self.variable.element_size,
         )
         return self._values[index].item()
 
     def __setitem__(self, index: int, value: Number) -> None:
         self._builder.append(
-            self._address(index), is_write=True, variable=self.name
+            self._address(index),
+            is_write=True,
+            variable=self.name,
+            size=self.variable.element_size,
         )
         self._values[index] = value
+
+    def _addresses_of(self, indices: np.ndarray) -> np.ndarray:
+        if len(indices) and (
+            indices.min() < 0 or indices.max() >= len(self._values)
+        ):
+            raise IndexError(
+                f"{self.name}: bulk index out of range "
+                f"(size {len(self._values)})"
+            )
+        return (
+            self.variable.base
+            + indices * np.int64(self.variable.element_size)
+        )
+
+    def read_many(
+        self, indices: Sequence[int] | np.ndarray, work_each: int = 0
+    ) -> np.ndarray:
+        """Traced bulk read: one vectorized trace append for all reads.
+
+        Records ``work_each`` ALU instructions *after* each read (the
+        final one stays pending, exactly as an instrumented scalar
+        loop of read-then-:meth:`~repro.workloads.base.Workload.work`
+        iterations would leave it).  Returns the values read.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if len(indices) == 0:
+            return self._values[indices].copy()
+        gaps = np.full(len(indices), work_each, dtype=np.int64)
+        gaps[0] = 0
+        self._builder.append_many(
+            self._addresses_of(indices),
+            is_write=False,
+            variable=self.name,
+            gaps=gaps,
+            sizes=np.full(
+                len(indices), self.variable.element_size, dtype=np.int32
+            ),
+        )
+        if work_each:
+            self._builder.add_gap(work_each)
+        return self._values[indices].copy()
+
+    def write_many(
+        self,
+        indices: Sequence[int] | np.ndarray,
+        values: Sequence[Number] | np.ndarray,
+        work_each: int = 0,
+    ) -> None:
+        """Traced bulk write (vectorized twin of :meth:`read_many`)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        values = np.asarray(values)
+        if len(values) != len(indices):
+            raise ValueError(
+                f"{self.name}: {len(values)} values for "
+                f"{len(indices)} indices"
+            )
+        if len(indices) == 0:
+            return
+        gaps = np.full(len(indices), work_each, dtype=np.int64)
+        gaps[0] = 0
+        self._builder.append_many(
+            self._addresses_of(indices),
+            is_write=True,
+            variable=self.name,
+            gaps=gaps,
+            sizes=np.full(
+                len(indices), self.variable.element_size, dtype=np.int32
+            ),
+        )
+        if work_each:
+            self._builder.add_gap(work_each)
+        self._values[indices] = values
 
     def peek(self, index: int) -> Number:
         """Read a value without recording an access."""
@@ -116,7 +199,7 @@ class TracedScalar:
     def __init__(
         self,
         variable: Variable,
-        builder: TraceBuilder,
+        builder: Recorder,
         initial: Number = 0,
     ):
         if variable.element_count != 1:
@@ -136,14 +219,20 @@ class TracedScalar:
     def get(self) -> Number:
         """Traced read."""
         self._builder.append(
-            self.variable.base, is_write=False, variable=self.name
+            self.variable.base,
+            is_write=False,
+            variable=self.name,
+            size=self.variable.element_size,
         )
         return self._value
 
     def set(self, value: Number) -> None:
         """Traced write."""
         self._builder.append(
-            self.variable.base, is_write=True, variable=self.name
+            self.variable.base,
+            is_write=True,
+            variable=self.name,
+            size=self.variable.element_size,
         )
         self._value = value
 

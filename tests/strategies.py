@@ -30,8 +30,61 @@ from hypothesis import strategies as st
 
 from repro.cache.geometry import CacheGeometry
 from repro.mem.layout import MemoryMap
-from repro.trace.trace import TraceBuilder
-from repro.workloads.base import PhaseMarker, WorkloadRun
+from repro.trace.trace import Trace, TraceBuilder
+from repro.workloads.base import (
+    PhaseMarker,
+    WorkloadRun,
+    legacy_trace_builder,
+)
+from repro.workloads.suite import available_workloads, make_workload
+
+#: Downsized constructor kwargs so whole-suite differential sweeps
+#: stay fast; workloads not listed record at their defaults.
+SUITE_SMALL_KWARGS: dict[str, dict[str, int]] = {
+    "fir": {"signal_length": 256, "tap_count": 16},
+    "gzip": {"input_bytes": 1024},
+    "iir": {"signal_length": 512, "sections": 2},
+    "packet": {"batches": 1, "rounds": 2},
+    "mpeg_app": {"blocks": 2, "frames": 1},
+    "conv2d": {"width": 16, "height": 16},
+    "scan": {"buffer_bytes": 4096, "passes": 2},
+}
+
+#: Per-variable mask palette the suite oracle rotates through —
+#: includes the empty mask, so bypasses are exercised on real traces.
+MASK_PALETTE = (0b1111, 0b0011, 0b0110, 0b0000, 0b1000)
+
+
+def suite_cases() -> list[tuple[str, dict[str, int]]]:
+    """Every registered workload with differential-suite-sized kwargs."""
+    return [
+        (name, SUITE_SMALL_KWARGS.get(name, {}))
+        for name in available_workloads()
+    ]
+
+
+def record_suite_case(
+    name: str, kwargs: dict[str, int], legacy: bool = False
+) -> WorkloadRun:
+    """Record one suite workload via the columnar or legacy recorder."""
+    if legacy:
+        with legacy_trace_builder():
+            return make_workload(name, **kwargs).record()
+    return make_workload(name, **kwargs).record()
+
+
+def suite_mask_bits(trace: Trace, columns: int) -> np.ndarray:
+    """Deterministic per-access masks: palette rotated per variable.
+
+    Unlabelled accesses get the full mask; every mask value is taken
+    modulo the cache's column count so small geometries stay valid.
+    """
+    full = (1 << columns) - 1
+    variable_masks = {
+        variable: MASK_PALETTE[index % len(MASK_PALETTE)] & full
+        for index, variable in enumerate(trace.variables())
+    }
+    return trace.mask_bits_for(variable_masks, default=full)
 
 
 @st.composite

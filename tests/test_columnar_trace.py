@@ -1,0 +1,218 @@
+"""The columnar trace core: recorder, derived columns, on-disk format."""
+
+import numpy as np
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.trace import (
+    ColumnarRecorder,
+    ColumnarTrace,
+    Trace,
+    TraceBuilder,
+    load_npz,
+    open_npz,
+)
+from repro.trace.columnar import NO_VARIABLE
+
+
+def small_trace() -> ColumnarTrace:
+    recorder = ColumnarRecorder(name="unit")
+    recorder.add_gap(2)
+    recorder.append(0x1000, variable="a", size=2)
+    recorder.append(0x2000, is_write=True, variable="b", size=4)
+    recorder.append(0x3000)
+    recorder.append_run(0x4000, count=3, stride=8, variable="a")
+    return recorder.build()
+
+
+class TestRecorder:
+    def test_trace_is_the_columnar_class(self):
+        assert Trace is ColumnarTrace
+
+    def test_scalar_appends_match_legacy_builder(self):
+        recorder = ColumnarRecorder(name="t", chunk_size=2)  # force seals
+        legacy = TraceBuilder(name="t")
+        for builder in (recorder, legacy):
+            builder.add_gap(3)
+            builder.append(0x10, variable="x", size=2)
+            builder.append(0x20, is_write=True, variable="y")
+            builder.add_gap(1)
+            builder.append(0x30)
+            builder.append(0x40, variable="x")
+        a, b = recorder.build(), legacy.build()
+        for column in (
+            "addresses", "sizes", "writes", "gaps", "variable_ids"
+        ):
+            assert np.array_equal(
+                getattr(a, column), getattr(b, column)
+            ), column
+        assert a.variable_names == b.variable_names
+
+    def test_append_many_matches_scalar_loop(self):
+        bulk = ColumnarRecorder(name="t")
+        loop = ColumnarRecorder(name="t")
+        addresses = [0x10, 0x20, 0x30]
+        gaps = [0, 2, 1]
+        bulk.add_gap(5)  # pending gap folds into the first access
+        bulk.append_many(
+            addresses, is_write=[False, True, False],
+            variable="v", gaps=gaps, sizes=[2, 2, 4],
+        )
+        loop.add_gap(5)
+        for address, write, gap, size in zip(
+            addresses, [False, True, False], gaps, [2, 2, 4]
+        ):
+            loop.add_gap(gap)
+            loop.append(address, is_write=write, variable="v", size=size)
+        a, b = bulk.build(), loop.build()
+        assert np.array_equal(a.gaps, b.gaps)
+        assert np.array_equal(a.addresses, b.addresses)
+        assert np.array_equal(a.writes, b.writes)
+        assert np.array_equal(a.sizes, b.sizes)
+
+    def test_append_many_does_not_mutate_caller_gaps(self):
+        recorder = ColumnarRecorder()
+        gaps = np.array([0, 1], dtype=np.int64)
+        recorder.add_gap(7)
+        recorder.append_many([1, 2], gaps=gaps)
+        assert gaps[0] == 0  # pending fold happened on a copy
+
+    def test_append_many_copies_caller_buffers(self):
+        """Callers may reuse scratch arrays after appending."""
+        recorder = ColumnarRecorder()
+        buffer = np.array([16, 32], dtype=np.int64)
+        flags = np.array([False, True])
+        recorder.append_many(buffer, is_write=flags)
+        buffer[:] = [999, 998]
+        flags[:] = True
+        recorder.append_many(buffer, is_write=flags)
+        trace = recorder.build()
+        assert trace.addresses.tolist() == [16, 32, 999, 998]
+        assert trace.writes.tolist() == [False, True, True, True]
+
+    def test_extend_reinterns_variables(self):
+        first = ColumnarRecorder()
+        first.append(0x10, variable="x")
+        recorder = ColumnarRecorder()
+        recorder.append(0x20, variable="y")
+        recorder.extend(first.build())
+        trace = recorder.build()
+        assert trace.variables() == ["y", "x"]
+        assert trace.variable_of(1) == "x"
+
+    def test_validation(self):
+        recorder = ColumnarRecorder()
+        with pytest.raises(ValueError):
+            recorder.append(-1)
+        with pytest.raises(ValueError):
+            recorder.add_gap(-1)
+        with pytest.raises(ValueError):
+            recorder.append_many([-5])
+        with pytest.raises(ValueError):
+            recorder.append_many([1, 2], gaps=[1])
+
+
+class TestDerivedColumns:
+    def test_blocks_for_cached_and_offset(self):
+        trace = small_trace()
+        blocks = trace.blocks_for(4)
+        assert blocks is trace.blocks_for(4)  # cached
+        assert np.array_equal(blocks, trace.addresses >> 4)
+        shifted = trace.blocks_for(4, address_offset=1 << 8)
+        assert np.array_equal(shifted, (trace.addresses + (1 << 8)) >> 4)
+        unaligned = trace.blocks_for(4, address_offset=3)
+        assert np.array_equal(unaligned, (trace.addresses + 3) >> 4)
+
+    def test_slices_inherit_block_columns(self):
+        trace = small_trace()
+        parent = trace.blocks_for(4)
+        window = trace.slice(1, 4)
+        assert np.shares_memory(window.blocks_for(4), parent)
+
+    def test_cumulative_instructions(self):
+        trace = small_trace()
+        expected = np.cumsum(trace.gaps + 1)
+        assert np.array_equal(trace.cumulative_instructions, expected)
+
+    def test_mask_bits_for(self):
+        trace = small_trace()
+        bits = trace.mask_bits_for({"a": 0b01, "b": 0b10}, default=0b11)
+        expected = []
+        for position in range(len(trace)):
+            variable = trace.variable_of(position)
+            expected.append({"a": 0b01, "b": 0b10}.get(variable, 0b11))
+        assert bits.tolist() == expected
+        # Unlabelled access (index 2) took the default.
+        assert trace.variable_ids[2] == NO_VARIABLE
+        assert bits[2] == 0b11
+
+    def test_iter_chunks_are_views_covering_trace(self):
+        trace = small_trace()
+        pieces = list(trace.iter_chunks(2))
+        assert sum(len(piece) for piece in pieces) == len(trace)
+        assert np.shares_memory(pieces[0].addresses, trace.addresses)
+        rejoined = np.concatenate(
+            [piece.addresses for piece in pieces]
+        )
+        assert np.array_equal(rejoined, trace.addresses)
+
+
+class TestNpzFormat:
+    def test_round_trip(self, tmp_path):
+        trace = small_trace()
+        path = trace.save_npz(tmp_path / "t.npz")
+        loaded = load_npz(path)
+        for column in (
+            "addresses", "sizes", "writes", "gaps", "variable_ids"
+        ):
+            assert np.array_equal(
+                getattr(loaded, column), getattr(trace, column)
+            ), column
+        assert loaded.variable_names == trace.variable_names
+        assert loaded.name == trace.name
+
+    def test_extension_appended(self, tmp_path):
+        trace = small_trace()
+        path = trace.save_npz(tmp_path / "bare")
+        assert path.name == "bare.npz"
+        assert path.exists()
+
+    def test_mmap_load_is_file_backed_and_equal(self, tmp_path):
+        trace = small_trace()
+        path = trace.save_npz(tmp_path / "t.npz")
+        mapped = open_npz(path)
+        assert isinstance(mapped.addresses.base, np.memmap)
+        for column in (
+            "addresses", "sizes", "writes", "gaps", "variable_ids"
+        ):
+            assert np.array_equal(
+                getattr(mapped, column), getattr(trace, column)
+            ), column
+
+    def test_mmap_streaming_replay_matches_eager(self, tmp_path):
+        from repro.sim.engine.batched import LockstepCache
+
+        trace = small_trace().repeat(50)
+        path = trace.save_npz(tmp_path / "long.npz")
+        geometry = CacheGeometry(line_size=16, sets=4, columns=2)
+        streamed = LockstepCache(geometry)
+        for window in open_npz(path).iter_chunks(16):
+            streamed.run(window.blocks_for(geometry.offset_bits))
+        eager = LockstepCache(geometry)
+        eager.run(trace.blocks_for(geometry.offset_bits))
+        assert streamed.result() == eager.result()
+
+    def test_rejects_non_trace_archives(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, whatever=np.arange(3))
+        with pytest.raises(ValueError, match="not a columnar trace"):
+            load_npz(path)
+
+    def test_rejects_future_format_version(self, tmp_path):
+        trace = small_trace()
+        path = trace.save_npz(tmp_path / "t.npz")
+        arrays = dict(np.load(path, allow_pickle=False))
+        arrays["format_version"] = np.int64(99)
+        np.savez(path, **arrays)
+        with pytest.raises(ValueError, match="format version"):
+            load_npz(path)

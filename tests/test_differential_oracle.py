@@ -14,19 +14,40 @@ can reuse them verbatim — see ``docs/testing.md`` for the recipe.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cache.column_cache import ColumnCache
-from repro.cache.fastsim import FastColumnCache
+from repro.cache.fastsim import FastColumnCache, blocks_of
+from repro.cache.geometry import CacheGeometry
+from repro.fleet import (
+    FleetConfig,
+    FleetEvent,
+    FleetExecutor,
+    FleetTrace,
+    TenantSpec,
+)
 from repro.layout.algorithm import LayoutConfig
 from repro.runtime import AdaptiveConfig, AdaptiveExecutor, replay_reference
 from repro.sim.config import TimingConfig
-from repro.sim.engine.batched import batched_simulate
+from repro.sim.engine.batched import (
+    LockstepCache,
+    LockstepState,
+    batched_simulate,
+    lockstep_run,
+)
 from repro.sim.engine.sharded import simulate_trace_sharded
+
 from repro.utils.bitvector import ColumnMask
 
-from strategies import block_trace_cases, phased_workload
+from strategies import (
+    block_trace_cases,
+    phased_workload,
+    record_suite_case,
+    suite_cases,
+    suite_mask_bits,
+)
 
 TIMING = TimingConfig(miss_penalty=13, uncached_penalty=29)
 
@@ -114,6 +135,117 @@ def test_resumed_scalar_equals_one_shot(case):
     second = resumed.run_with_flags(blocks[cut:], mask_bits=mask_bits[cut:])
     assert np.array_equal(np.concatenate([first, second]), expected)
     assert resumed.result() == one_shot.result()
+
+
+# ----------------------------------------------------------------------
+# Whole-suite oracle: every registered workload, legacy vs columnar
+# ----------------------------------------------------------------------
+_SUITE_GEOMETRY = CacheGeometry(line_size=16, sets=16, columns=4)
+
+#: ColumnCache walks accesses one Python call at a time; bounding its
+#: share keeps the whole-suite oracle inside tier-1 time while the
+#: vectorized backends still cover every access of every trace.
+_REFERENCE_PREFIX = 4096
+
+
+@pytest.mark.parametrize(
+    ("name", "kwargs"),
+    suite_cases(),
+    ids=[name for name, _ in suite_cases()],
+)
+class TestWorkloadSuiteColumnar:
+    """The columnar pipeline must be invisible: every workload's
+    recorded trace and simulated per-access hit/bypass streams are
+    bit-identical between the legacy list path and the columnar path,
+    on every backend."""
+
+    def test_legacy_and_columnar_recordings_identical(self, name, kwargs):
+        columnar = record_suite_case(name, kwargs).trace
+        legacy = record_suite_case(name, kwargs, legacy=True).trace
+        for column in (
+            "addresses", "sizes", "writes", "gaps", "variable_ids"
+        ):
+            assert np.array_equal(
+                getattr(columnar, column), getattr(legacy, column)
+            ), column
+        assert columnar.variable_names == legacy.variable_names
+
+    def test_backends_agree_on_recorded_trace(self, name, kwargs):
+        geometry = _SUITE_GEOMETRY
+        run = record_suite_case(name, kwargs)
+        trace = run.trace
+        blocks = blocks_of(trace, geometry)
+        mask_bits = suite_mask_bits(trace, geometry.columns)
+
+        # Legacy list path: the scalar cache over Python lists.
+        scalar = FastColumnCache(geometry)
+        scalar_hits = scalar.run_with_flags(
+            blocks.tolist(), mask_bits=mask_bits.tolist()
+        )
+        scalar_bypasses = ~scalar_hits & (mask_bits == 0)
+
+        # Columnar paths: one-shot lockstep, stateful LockstepCache,
+        # and the counting mode the sweep engine batches through.
+        lockstep, lock_hits, lock_bypasses = batched_simulate(
+            blocks, geometry, mask_bits=mask_bits, return_flags=True
+        )
+        assert np.array_equal(lock_hits, scalar_hits)
+        assert np.array_equal(lock_bypasses, scalar_bypasses)
+
+        stateful = LockstepCache(geometry)
+        stateful_hits = stateful.run_with_flags(
+            blocks, mask_bits=mask_bits
+        )
+        assert np.array_equal(stateful_hits, scalar_hits)
+
+        state = LockstepState.cold(geometry.sets, geometry.columns)
+        miss_positions = lockstep_run(
+            blocks & (geometry.sets - 1),
+            blocks >> geometry.index_bits,
+            state,
+            mask_bits=mask_bits,
+            collect="misses",
+        )
+        miss_flags = np.zeros(len(blocks), dtype=bool)
+        miss_flags[miss_positions] = True
+        assert np.array_equal(miss_flags, ~scalar_hits)
+
+        sharded = simulate_trace_sharded(
+            blocks, geometry, mask_bits=mask_bits, workers=1, shards=2
+        )
+        assert sharded.hits == int(scalar_hits.sum())
+        assert sharded.bypasses == int(scalar_bypasses.sum())
+        assert lockstep.hits == int(scalar_hits.sum())
+
+        # The per-access reference model anchors a bounded prefix.
+        prefix = slice(0, _REFERENCE_PREFIX)
+        ref_hits, ref_bypasses, _ = reference_streams(
+            geometry,
+            blocks[prefix].tolist(),
+            mask_bits[prefix].tolist(),
+        )
+        assert np.array_equal(ref_hits, scalar_hits[prefix])
+        assert np.array_equal(ref_bypasses, scalar_bypasses[prefix])
+
+    def test_fleet_backends_agree_on_workload(self, name, kwargs):
+        geometry = CacheGeometry(line_size=16, sets=8, columns=4)
+        run = record_suite_case(name, kwargs)
+        spec = TenantSpec(
+            name=name, run=run, priority=1, address_offset=0
+        )
+        fleet = FleetTrace(
+            events=(FleetEvent(time=0, kind="arrival", spec=spec),),
+            horizon_instructions=4_000,
+        )
+        config = FleetConfig(
+            quantum_instructions=64, window_instructions=512
+        )
+        executor = FleetExecutor(geometry, TIMING, config)
+        fast = executor.run(fleet, backend="lockstep", collect_flags=True)
+        reference = executor.run(
+            fleet, backend="reference", collect_flags=True
+        )
+        assert np.array_equal(fast.hit_stream, reference.hit_stream)
 
 
 @given(

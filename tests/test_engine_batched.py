@@ -16,6 +16,7 @@ from hypothesis import strategies as st
 from repro.cache.fastsim import FastColumnCache
 from repro.cache.geometry import CacheGeometry
 from repro.sim.engine.batched import (
+    LockstepCache,
     LockstepState,
     batched_simulate,
     lockstep_run,
@@ -146,6 +147,43 @@ class TestLockstepEquivalence:
             np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64), state
         )
         assert len(hit) == 0 and len(bypass) == 0
+
+
+class TestCompactDtypeGate:
+    """The int32 hot path must refuse when *any* tag is wide —
+    including tags already resident from a previous batch."""
+
+    def test_wide_resident_tag_then_small_batch(self):
+        geometry = CacheGeometry(line_size=16, sets=4, columns=2)
+        # Row 0 holds a tag >= 2^31; a later small-tag batch must not
+        # narrow the resident state and falsely hit.
+        wide = np.array([(1 << 36) + 7 * 4], dtype=np.int64)
+        small = np.array([7 * 4], dtype=np.int64)
+        lock = LockstepCache(geometry)
+        lock.run(wide)
+        outcome = lock.run(small)
+        reference = FastColumnCache(geometry)
+        reference.run(wide.tolist())
+        expected = reference.run(small.tolist())
+        assert (outcome.hits, outcome.misses) == (
+            expected.hits,
+            expected.misses,
+        )
+
+    def test_wide_and_narrow_batches_match_scalar(self):
+        geometry = CacheGeometry(line_size=16, sets=8, columns=4)
+        rng = np.random.default_rng(11)
+        wide = (
+            rng.integers(0, 64, 300).astype(np.int64) + (1 << 40)
+        ) * 16
+        narrow = rng.integers(0, 1024, 300).astype(np.int64) * 16
+        for first, second in ((wide, narrow), (narrow, wide)):
+            lock = LockstepCache(geometry)
+            scalar = FastColumnCache(geometry)
+            for batch in (first >> 4, second >> 4):
+                lock_flags = lock.run_with_flags(batch)
+                scalar_flags = scalar.run_with_flags(batch.tolist())
+                assert np.array_equal(lock_flags, scalar_flags)
 
 
 class TestShardedEquivalence:

@@ -213,3 +213,47 @@ class TestResultCaching:
         digest = job.content_hash()
         (tmp_path / f"{digest}.json").write_text("{not json")
         assert cache.get(digest) is MISS
+
+    def test_valid_json_without_value_key_is_miss(self, tmp_path):
+        """Regression: a parseable file with the wrong shape used to
+        count as a hit returning None, and pinned that None in the
+        memory tier."""
+        cache = ResultCache(tmp_path)
+        job = SimJob(runner=TRACE_SIM, params={"count": 2})
+        digest = job.content_hash()
+        path = tmp_path / f"{digest}.json"
+        path.write_text('{"runner": "x", "params": {}}')
+        assert cache.get(digest) is MISS
+        # Not pinned: a repeat lookup is still a miss, not a None hit.
+        assert cache.get(digest) is MISS
+        assert cache.hits == 0 and cache.misses == 2
+        # The bad file is quarantined so the slot can be recomputed.
+        assert not path.exists()
+        assert path.with_suffix(".json.corrupt").exists()
+        value = cache.put(digest, job, {"accesses": 2})
+        assert cache.get(digest) == value
+
+    def test_wrong_shape_payloads_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for payload in ('["list"]', '"text"', "{bad json"):
+            job = SimJob(runner=TRACE_SIM, params={"p": payload})
+            digest = job.content_hash()
+            path = tmp_path / f"{digest}.json"
+            path.write_text(payload)
+            assert cache.get(digest) is MISS
+            assert not path.exists()
+            assert path.with_suffix(".json.corrupt").exists()
+
+    def test_stale_temp_files_swept_on_open(self, tmp_path):
+        """Regression: a writer killed between mkstemp and os.replace
+        leaked ``*.tmp`` files into the cache directory forever."""
+        first = ResultCache(tmp_path)
+        job = SimJob(runner=TRACE_SIM, params={"count": 3})
+        digest = job.content_hash()
+        first.put(digest, job, {"accesses": 3})
+        (tmp_path / "deadbeef.tmp").write_text("partial write")
+        (tmp_path / "cafe.tmp").write_text("")
+        reopened = ResultCache(tmp_path)
+        assert list(tmp_path.glob("*.tmp")) == []
+        # Real cache contents survive the sweep.
+        assert reopened.get(digest) == {"accesses": 3}

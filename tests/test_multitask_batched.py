@@ -191,6 +191,25 @@ class TestBatchedMultitask:
         with pytest.raises(ValueError, match="line size"):
             simulate_multitask_matrix(variants, [1], 10)
 
+    def test_matrix_mixes_associativities(self):
+        """Variants may differ in column count — including one above
+        the int16 mask-palette threshold (regression: the palette
+        dtype was chosen from variant 0 alone)."""
+        rng = np.random.default_rng(7)
+        trace = build_trace(rng, 600, 4096, "a")
+        jobs = [Job(name="a", trace=trace)]
+        variants = [
+            (CacheGeometry(line_size=16, sets=8, columns=8), jobs),
+            (CacheGeometry(line_size=16, sets=8, columns=16), jobs),
+        ]
+        matrix = simulate_multitask_matrix(variants, [32], 2_000)
+        for (geometry, variant_jobs), points in zip(variants, matrix):
+            simulator = MultitaskSimulator(geometry, variant_jobs)
+            expected = simulator.run(32, 2_000)
+            assert result_tuple(points[0]["a"]) == result_tuple(
+                expected["a"]
+            )
+
     def test_rejects_empty_jobs_and_bad_quanta(self):
         geometry = CacheGeometry(line_size=16, sets=4, columns=2)
         with pytest.raises(ValueError, match="at least one job"):
