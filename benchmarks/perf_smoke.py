@@ -1,4 +1,4 @@
-"""Sweep-engine + trace-pipeline performance smoke test and gate.
+"""Sweep-engine + trace-pipeline + planner performance smoke and gate.
 
 Runs a Figure-5-shaped multitasking sweep twice — once through the
 scalar per-quantum simulator (the pre-engine baseline) and once
@@ -11,9 +11,13 @@ through the sweep engine's batched lockstep hot path — then:
   save / mmap load, streaming lockstep replay, and the full sweep
   through the columnar path, best of three runs to defeat scheduler
   noise) and writes ``BENCH_trace.json``;
-* with ``--check``, fails if sweep or trace-pipeline throughput
-  regressed more than ``tolerance`` (default 30%) against the
-  checked-in baseline ``benchmarks/perf_baseline.json`` or the
+* measures the planner engine — full-suite profile+plan through the
+  vectorized profiling/conflict-graph path, differentially checked
+  against the retained legacy scalar path — and writes
+  ``BENCH_planner.json``;
+* with ``--check``, fails if sweep, trace-pipeline or planner
+  throughput regressed more than ``tolerance`` (default 30%) against
+  the checked-in baseline ``benchmarks/perf_baseline.json`` or the
   batched/serial speedup dropped below the baseline's floor.
 
 Usage::
@@ -54,14 +58,23 @@ from repro.workloads.suite import make_workload  # noqa: E402
 BASELINE_PATH = Path(__file__).parent / "perf_baseline.json"
 OUTPUT_PATH = REPO_ROOT / "BENCH_sweep.json"
 TRACE_OUTPUT_PATH = REPO_ROOT / "BENCH_trace.json"
+PLANNER_OUTPUT_PATH = REPO_ROOT / "BENCH_planner.json"
 
 #: The engine-side accesses/sec recorded in BENCH_sweep.json before
 #: the columnar pipeline landed — the 2x target BENCH_trace.json is
 #: scored against.
 PRE_COLUMNAR_SWEEP_ACCESSES_PER_SEC = 3_156_705
 
+#: Full-suite profile+plan throughput (plans/sec over all registered
+#: workloads at default sizes) measured on the pre-planner-engine
+#: tree — the 5x target BENCH_planner.json is scored against.
+PRE_ENGINE_PLANS_PER_SEC = 74
+
 #: Best-of-N runs for the columnar sweep number (shared/noisy hosts).
 SWEEP_TRIALS = 3
+
+#: Best-of-N passes for the planner suite numbers.
+PLANNER_TRIALS = 3
 
 
 def smoke_config(full: bool) -> Figure5Config:
@@ -226,11 +239,135 @@ def measure_trace_pipeline(full: bool, total_accesses: int) -> dict:
     }
 
 
+def measure_planner() -> dict:
+    """Time full-suite profile+plan: vectorized vs retained legacy.
+
+    Every registered workload is recorded at its default size, then
+    the complete planning path (split units -> by-address profile ->
+    conflict graph -> paper-backend coloring) runs over the whole
+    suite, best of :data:`PLANNER_TRIALS` passes:
+
+    * the **vectorized engine path** (``profile_trace`` +
+      ``Profile.weight_matrix`` + the contraction-state merge loop);
+    * the **legacy scalar path** retained as the differential
+      reference (``legacy_profile_trace`` + per-pair ``pair_weight``
+      graph construction, same search) — per-assignment outputs are
+      asserted identical between the two.
+
+    The speedup that matters is scored against
+    :data:`PRE_ENGINE_PLANS_PER_SEC`, the full pre-refactor pipeline
+    measured before the planner engine landed.
+    """
+    from repro.layout.algorithm import DataLayoutPlanner, LayoutConfig
+    from repro.layout.partition import split_for_columns
+    from repro.profiling.profiler import (
+        legacy_profile_trace,
+        profile_trace,
+    )
+    from repro.workloads.suite import available_workloads
+
+    class _PairwiseOnly:
+        """Hide ``weight_matrix`` so graphs build via pair_weight."""
+
+        def __init__(self, inner):
+            self._inner = inner
+
+        @property
+        def variables(self):
+            return self._inner.variables
+
+        def pair_weight(self, first, second):
+            return self._inner.pair_weight(first, second)
+
+    config = LayoutConfig(columns=4, column_bytes=512)
+    runs = {
+        name: make_workload(name).record()
+        for name in available_workloads()
+    }
+    split = {
+        name: split_for_columns(
+            run.memory_map.symbols, config.column_bytes
+        )
+        for name, run in runs.items()
+    }
+
+    def plan_suite(profiler, wrap):
+        assignments = {}
+        start = time.perf_counter()
+        for name, run in runs.items():
+            units = split[name]
+            profile = profiler(run.trace, units, by_address=True)
+            assignments[name] = DataLayoutPlanner(
+                config
+            ).plan_from_profile(wrap(profile), units)
+        return time.perf_counter() - start, assignments
+
+    vector_seconds = None
+    legacy_seconds = None
+    for _ in range(PLANNER_TRIALS):
+        elapsed, vector_assignments = plan_suite(
+            profile_trace, lambda profile: profile
+        )
+        vector_seconds = (
+            elapsed
+            if vector_seconds is None
+            else min(vector_seconds, elapsed)
+        )
+        elapsed, legacy_assignments = plan_suite(
+            legacy_profile_trace, _PairwiseOnly
+        )
+        legacy_seconds = (
+            elapsed
+            if legacy_seconds is None
+            else min(legacy_seconds, elapsed)
+        )
+
+    for name, fast in vector_assignments.items():
+        slow = legacy_assignments[name]
+        fast_view = {
+            unit: (p.disposition.value, p.mask.bits)
+            for unit, p in fast.placements.items()
+        }
+        slow_view = {
+            unit: (p.disposition.value, p.mask.bits)
+            for unit, p in slow.placements.items()
+        }
+        if (
+            fast_view != slow_view
+            or fast.predicted_cost != slow.predicted_cost
+        ):
+            raise SystemExit(
+                f"PERF SMOKE FAILED: planner outputs differ between "
+                f"the vectorized and legacy paths on {name!r}"
+            )
+
+    plans = len(runs)
+    plans_per_sec = plans / vector_seconds
+    return {
+        "pipeline": "planner-engine",
+        "suite_workloads": plans,
+        "columns": config.columns,
+        "column_bytes": config.column_bytes,
+        "best_of": PLANNER_TRIALS,
+        "suite_seconds": round(vector_seconds, 4),
+        "plans_per_sec": round(plans_per_sec, 2),
+        "legacy_suite_seconds": round(legacy_seconds, 4),
+        "legacy_plans_per_sec": round(plans / legacy_seconds, 2),
+        "pre_engine_plans_per_sec": PRE_ENGINE_PLANS_PER_SEC,
+        "speedup_vs_pre_engine": round(
+            plans_per_sec / PRE_ENGINE_PLANS_PER_SEC, 2
+        ),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+
+
 def check(
     report: dict,
     baseline: dict,
     tolerance: float,
     trace_report: dict | None = None,
+    planner_report: dict | None = None,
 ) -> list[str]:
     """Regression verdicts (empty = pass)."""
     failures = []
@@ -260,6 +397,16 @@ def check(
                 failures.append(
                     f"trace pipeline {key} regressed: "
                     f"{trace_report[key]}/s < {floor_value:.0f}/s"
+                )
+    if planner_report is not None:
+        floor_value = baseline.get("planner_plans_per_sec")
+        if floor_value is not None:
+            floor_value *= 1.0 - tolerance
+            if planner_report["plans_per_sec"] < floor_value:
+                failures.append(
+                    f"planner throughput regressed: "
+                    f"{planner_report['plans_per_sec']} plans/s < "
+                    f"{floor_value:.1f} plans/s"
                 )
     return failures
 
@@ -308,6 +455,13 @@ def main(argv=None) -> int:
     print(json.dumps(trace_report, indent=2))
     print(f"wrote {TRACE_OUTPUT_PATH}")
 
+    planner_report = measure_planner()
+    PLANNER_OUTPUT_PATH.write_text(
+        json.dumps(planner_report, indent=2) + "\n", encoding="utf-8"
+    )
+    print(json.dumps(planner_report, indent=2))
+    print(f"wrote {PLANNER_OUTPUT_PATH}")
+
     if arguments.update_baseline:
         baseline = {
             "sweep": report["sweep"],
@@ -324,11 +478,17 @@ def main(argv=None) -> int:
             "trace_sweep_accesses_per_sec": int(
                 trace_report["sweep_accesses_per_sec"] * 0.85
             ),
+            "planner_plans_per_sec": round(
+                planner_report["plans_per_sec"] * 0.85, 1
+            ),
             "measured_on": {
                 "accesses_per_sec": report["accesses_per_sec"],
                 "speedup": report["speedup"],
                 "trace_sweep_accesses_per_sec": (
                     trace_report["sweep_accesses_per_sec"]
+                ),
+                "planner_plans_per_sec": (
+                    planner_report["plans_per_sec"]
                 ),
                 "python": report["python"],
                 "machine": report["machine"],
@@ -346,7 +506,11 @@ def main(argv=None) -> int:
             return 2
         baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
         failures = check(
-            report, baseline, arguments.tolerance, trace_report
+            report,
+            baseline,
+            arguments.tolerance,
+            trace_report,
+            planner_report,
         )
         if failures:
             for failure in failures:
@@ -356,7 +520,8 @@ def main(argv=None) -> int:
             f"perf gate passed: {report['accesses_per_sec']}/s "
             f"(baseline {baseline['accesses_per_sec']}/s), speedup "
             f"{report['speedup']}x (floor {baseline['min_speedup']}x), "
-            f"trace sweep {trace_report['sweep_accesses_per_sec']}/s"
+            f"trace sweep {trace_report['sweep_accesses_per_sec']}/s, "
+            f"planner {planner_report['plans_per_sec']} plans/s"
         )
     return 0
 

@@ -42,6 +42,7 @@ API_DIR = ROOT / "docs" / "api"
 #: Packages rendered into the reference.
 DOCUMENTED_PACKAGES = [
     "repro.cache",
+    "repro.profiling",
     "repro.layout",
     "repro.sim.engine",
     "repro.runtime",

@@ -46,6 +46,11 @@ from repro.experiments.fleet import (
     check_fleet,
     run_fleet_comparison,
 )
+from repro.experiments.layout_search import (
+    LayoutSearchConfig,
+    check_layout_search,
+    run_layout_search,
+)
 from repro.experiments.report import render_checks
 from repro.sim.engine.scheduler import SweepEngine
 
@@ -126,6 +131,20 @@ def _run_fleet(quick: bool, engine: SweepEngine) -> bool:
     return all(check.passed for check in checks)
 
 
+def _run_layout_search(quick: bool, engine: SweepEngine) -> bool:
+    config = (
+        LayoutSearchConfig().quick() if quick else LayoutSearchConfig()
+    )
+    start = time.perf_counter()
+    result = run_layout_search(config, engine)
+    elapsed = time.perf_counter() - start
+    print(result.series.to_table())
+    checks = check_layout_search(result, config)
+    print(render_checks(checks))
+    print(f"  ({elapsed:.1f}s)\n")
+    return all(check.passed for check in checks)
+
+
 def make_engine(
     workers: Optional[int], cache_dir: Optional[str]
 ) -> SweepEngine:
@@ -147,7 +166,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "target",
-        choices=["figure4", "figure5", "adaptive", "fleet", "all"],
+        choices=[
+            "figure4",
+            "figure5",
+            "adaptive",
+            "fleet",
+            "layout-search",
+            "all",
+        ],
         help="which experiment to run",
     )
     parser.add_argument(
@@ -180,6 +206,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         ok = _run_adaptive(arguments.quick, engine) and ok
     if arguments.target in ("fleet", "all"):
         ok = _run_fleet(arguments.quick, engine) and ok
+    if arguments.target in ("layout-search", "all"):
+        ok = _run_layout_search(arguments.quick, engine) and ok
     executed = engine.stats
     print(
         f"sweep engine: {executed['executed']} jobs executed, "

@@ -1,0 +1,234 @@
+"""The layout-search race: paper vs beam vs evolutionary backends.
+
+Every :class:`~repro.layout.backends.PlannerBackend` searches the same
+space — k-color assignments of the conflict graph minimizing the
+W objective — so racing them over the workload suite answers the
+question the pluggable-backend refactor exists for: does a broader
+search (beam, GA) buy real CPI over the paper's exact-coloring +
+merging heuristic?
+
+One :class:`~repro.sim.engine.spec.SimJob` per (workload, backend)
+pair runs through the sweep engine: record the workload, plan its
+layout with the chosen backend, validate the assignment structurally,
+simulate the trace under it, and report predicted W, measured CPI and
+planning time.  The evolutionary backend is seeded with the paper
+solution, so its W can only match or improve — the shape checks
+require its *measured* CPI to match-or-beat the paper backend on a
+majority of the suite.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.experiments.report import ExperimentSeries, ShapeCheck
+from repro.sim.config import EMBEDDED_TIMING, TimingConfig
+from repro.sim.engine.scheduler import SweepEngine
+from repro.sim.engine.spec import SimJob
+
+#: Dotted path of the per-(workload, backend) runner.
+POINT_RUNNER = "repro.experiments.runners:layout_search_point"
+
+#: The backends raced, in reporting order.
+BACKENDS = ("paper", "beam", "evolutionary")
+
+
+@dataclass(frozen=True)
+class SearchCase:
+    """One workload of the race and its recording knobs."""
+
+    workload: str
+    kwargs: tuple[tuple[str, int], ...] = ()
+
+    @property
+    def label(self) -> str:
+        """Unique case name: workload plus any non-default kwargs."""
+        if not self.kwargs:
+            return self.workload
+        rendered = ",".join(
+            f"{key}={value}" for key, value in self.kwargs
+        )
+        return f"{self.workload}[{rendered}]"
+
+
+@dataclass(frozen=True)
+class LayoutSearchConfig:
+    """Parameters of the backend race."""
+
+    cases: tuple[SearchCase, ...] = (
+        SearchCase("dequant"),
+        SearchCase("idct"),
+        SearchCase("gzip", (("input_bytes", 2048),)),
+        SearchCase("histogram"),
+        SearchCase("adpcm"),
+        SearchCase("scan", (("buffer_bytes", 4096), ("passes", 2))),
+    )
+    backends: tuple[str, ...] = BACKENDS
+    columns: int = 4
+    column_bytes: int = 512
+    line_size: int = 16
+    beam_width: int = 8
+    evolution_population: int = 32
+    evolution_generations: int = 60
+    seed: int = 0
+    timing: TimingConfig = EMBEDDED_TIMING
+
+    def quick(self) -> "LayoutSearchConfig":
+        """Smaller race for a fast smoke run."""
+        return dataclasses.replace(
+            self,
+            cases=(
+                SearchCase("dequant"),
+                SearchCase("histogram"),
+                SearchCase("scan", (("buffer_bytes", 2048),)),
+            ),
+            evolution_generations=20,
+        )
+
+    def jobs(self) -> list[SimJob]:
+        """One engine job per (workload, backend) pair."""
+        jobs = []
+        for case in self.cases:
+            for backend in self.backends:
+                jobs.append(
+                    SimJob(
+                        runner=POINT_RUNNER,
+                        params={
+                            "workload": case.workload,
+                            "workload_kwargs": [
+                                list(pair) for pair in case.kwargs
+                            ],
+                            "case_label": case.label,
+                            "backend": backend,
+                            "columns": self.columns,
+                            "column_bytes": self.column_bytes,
+                            "line_size": self.line_size,
+                            "beam_width": self.beam_width,
+                            "evolution_population": (
+                                self.evolution_population
+                            ),
+                            "evolution_generations": (
+                                self.evolution_generations
+                            ),
+                            "seed": self.seed,
+                            "timing": dataclasses.asdict(self.timing),
+                        },
+                        label=f"layout-search[{case.label}:{backend}]",
+                    )
+                )
+        return jobs
+
+
+@dataclass
+class LayoutSearchResult:
+    """Per-(workload, backend) points plus the rendered series."""
+
+    series: ExperimentSeries
+    points: dict[tuple[str, str], dict[str, Any]] = field(
+        default_factory=dict
+    )
+
+    def point(self, case_label: str, backend: str) -> dict[str, Any]:
+        """The raw numbers of one (case label, backend) pair."""
+        return self.points[(case_label, backend)]
+
+
+def run_layout_search(
+    config: Optional[LayoutSearchConfig] = None,
+    engine: Optional[SweepEngine] = None,
+) -> LayoutSearchResult:
+    """Race every backend over every configured workload case."""
+    config = config or LayoutSearchConfig()
+    engine = engine or SweepEngine(workers=1, backend="serial")
+    outcomes = engine.run(config.jobs())
+    points = {
+        (outcome.value["case_label"], outcome.value["backend"]): (
+            outcome.value
+        )
+        for outcome in outcomes
+    }
+    names = [case.label for case in config.cases]
+    series = ExperimentSeries(
+        name="layout-search",
+        x_label="workload",
+        x_values=names,
+        notes=[
+            f"{config.columns} columns x {config.column_bytes}B; "
+            "W = predicted conflict cost, CPI measured by trace "
+            "replay under each backend's assignment",
+        ],
+    )
+    for backend in config.backends:
+        series.add(
+            f"{backend}_w",
+            [points[(name, backend)]["predicted_cost"] for name in names],
+        )
+        series.add(
+            f"{backend}_cpi",
+            [
+                round(points[(name, backend)]["cpi"], 4)
+                for name in names
+            ],
+        )
+    return LayoutSearchResult(series=series, points=points)
+
+
+def check_layout_search(
+    result: LayoutSearchResult,
+    config: Optional[LayoutSearchConfig] = None,
+) -> list[ShapeCheck]:
+    """What "the planner engine works" means for the backend race."""
+    config = config or LayoutSearchConfig()
+    checks = []
+    invalid = [
+        f"{label}:{backend}"
+        for (label, backend), point in result.points.items()
+        if point["validity_problems"]
+    ]
+    checks.append(
+        ShapeCheck(
+            claim=(
+                "every backend emits a structurally valid column "
+                "assignment on every workload"
+            ),
+            passed=not invalid,
+            detail=f"invalid={invalid or 'none'}",
+        )
+    )
+    if {"paper", "evolutionary"} <= set(config.backends):
+        labels = sorted({label for label, _ in result.points})
+        w_regressions = [
+            label
+            for label in labels
+            if result.points[(label, "evolutionary")]["predicted_cost"]
+            > result.points[(label, "paper")]["predicted_cost"]
+        ]
+        checks.append(
+            ShapeCheck(
+                claim=(
+                    "evolutionary W <= paper W everywhere (the GA is "
+                    "seeded with the paper solution)"
+                ),
+                passed=not w_regressions,
+                detail=f"regressions={w_regressions or 'none'}",
+            )
+        )
+        cpi_wins = [
+            label
+            for label in labels
+            if result.points[(label, "evolutionary")]["cpi"]
+            <= result.points[(label, "paper")]["cpi"]
+        ]
+        checks.append(
+            ShapeCheck(
+                claim=(
+                    "evolutionary CPI matches or beats the paper "
+                    "backend on >= 2 workloads"
+                ),
+                passed=len(cpi_wins) >= 2,
+                detail=f"wins={cpi_wins or 'none'}",
+            )
+        )
+    return checks

@@ -272,6 +272,75 @@ def adaptive_point(
 
 
 # ----------------------------------------------------------------------
+# Layout-search: race the planner backends over one workload
+# ----------------------------------------------------------------------
+def layout_search_point(
+    *,
+    workload: str,
+    workload_kwargs: Sequence[Sequence[Any]] = (),
+    case_label: Optional[str] = None,
+    backend: str,
+    columns: int,
+    column_bytes: int,
+    line_size: int,
+    beam_width: int = 8,
+    evolution_population: int = 32,
+    evolution_generations: int = 60,
+    seed: int = 0,
+    timing: Optional[Mapping[str, int]] = None,
+) -> dict[str, Any]:
+    """Plan one workload's layout with one backend and measure it.
+
+    Records the workload, plans through the named
+    :class:`~repro.layout.backends.PlannerBackend`, validates the
+    assignment structurally (:meth:`~repro.layout.assignment.
+    ColumnAssignment.check_valid`), and replays the trace under it for
+    the measured CPI.  Returns predicted W, CPI, plan wall time and
+    any validity problems.
+    """
+    import time
+
+    from repro.layout.algorithm import DataLayoutPlanner, LayoutConfig
+    from repro.sim.executor import TraceExecutor
+    from repro.workloads.suite import make_workload
+
+    timing_config = _timing_from(timing)
+    run = make_workload(
+        workload, seed=seed, **dict(workload_kwargs)
+    ).record()
+    config = LayoutConfig(
+        columns=columns,
+        column_bytes=column_bytes,
+        line_size=line_size,
+        backend=backend,
+        beam_width=beam_width,
+        evolution_population=evolution_population,
+        evolution_generations=evolution_generations,
+        seed=seed,
+    )
+    planner = DataLayoutPlanner(config)
+    start = time.perf_counter()
+    assignment = planner.plan(run)
+    plan_seconds = time.perf_counter() - start
+    result = TraceExecutor(timing_config).run(run.trace, assignment)
+    instructions = int(run.trace.instruction_count)
+    return {
+        "workload": workload,
+        "case_label": case_label if case_label is not None else workload,
+        "backend": backend,
+        "predicted_cost": int(assignment.predicted_cost),
+        "cycles": int(result.cycles),
+        "misses": int(result.misses),
+        "accesses": int(result.accesses),
+        "instructions": instructions,
+        "cpi": result.cycles / instructions,
+        "plan_seconds": round(plan_seconds, 6),
+        "placements": len(assignment.placements),
+        "validity_problems": assignment.check_valid(),
+    }
+
+
+# ----------------------------------------------------------------------
 # Fleet serving: broker vs shared vs static equal split
 # ----------------------------------------------------------------------
 def fleet_isolation_point(

@@ -41,10 +41,14 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.cache.geometry import CacheGeometry
-from repro.layout.algorithm import DataLayoutPlanner, LayoutConfig
+from repro.layout.algorithm import LayoutConfig
 from repro.layout.partition import split_for_columns
+from repro.layout.session import (
+    PlannerSession,
+    trace_digest,
+    units_digest,
+)
 from repro.mem.tint import TintTable
-from repro.profiling.profiler import profile_trace
 from repro.sim.config import TimingConfig
 from repro.sim.engine.batched import batched_simulate
 from repro.trace.trace import Trace
@@ -115,6 +119,7 @@ def demand_curve(
     geometry: CacheGeometry,
     profile_accesses: int = DEFAULT_PROFILE_ACCESSES,
     window: Optional[Trace] = None,
+    session: Optional[PlannerSession] = None,
 ) -> ColumnDemand:
     """Estimate a tenant's demand curve: plan costs + measured misses.
 
@@ -127,42 +132,53 @@ def demand_curve(
         window: Profile this trace window instead of the run's prefix
             (the phase-change path profiles the window that revealed
             the new phase).
+        session: Planner session the probes run through; the whole
+            curve is content-cached on it, so re-probing an identical
+            window (a recurring phase, or re-admission of the same
+            workload) recomputes nothing.
     """
+    session = session if session is not None else PlannerSession()
     column_bytes = geometry.sets * geometry.line_size
     units = split_for_columns(run.memory_map.symbols, column_bytes)
     trace = window if window is not None else run.trace
     if len(trace) > profile_accesses:
         trace = trace.slice(0, profile_accesses)
-    profile = profile_trace(trace, units, by_address=True)
-    blocks = trace.addresses >> geometry.offset_bits
-    plan_costs = []
-    measured_costs = []
-    for columns in range(1, geometry.columns + 1):
-        planner = DataLayoutPlanner(
-            LayoutConfig(
+    key = (
+        f"demand:{trace_digest(trace)}:{units_digest(units)}:"
+        f"{geometry.line_size}:{geometry.sets}:{geometry.columns}"
+    )
+
+    def compute() -> ColumnDemand:
+        profile = session.profile(trace, units, by_address=True)
+        blocks = trace.addresses >> geometry.offset_bits
+        plan_costs = []
+        measured_costs = []
+        for columns in range(1, geometry.columns + 1):
+            config = LayoutConfig(
                 columns=columns,
                 column_bytes=column_bytes,
                 line_size=geometry.line_size,
                 split_oversized=False,
             )
+            assignment = session.plan_from_profile(config, profile, units)
+            plan_costs.append(int(assignment.predicted_cost))
+            # A c-column grant behaves exactly like a solo c-way cache
+            # with the same sets: fills are restricted to the granted
+            # columns and nobody else touches them.
+            candidate = CacheGeometry(
+                line_size=geometry.line_size,
+                sets=geometry.sets,
+                columns=columns,
+            )
+            measured_costs.append(
+                int(batched_simulate(blocks, candidate).misses)
+            )
+        return ColumnDemand(
+            plan_costs=tuple(plan_costs),
+            measured_costs=tuple(measured_costs),
         )
-        assignment = planner.plan_from_profile(profile, units)
-        plan_costs.append(int(assignment.predicted_cost))
-        # A c-column grant behaves exactly like a solo c-way cache
-        # with the same sets: fills are restricted to the granted
-        # columns and nobody else touches them.
-        candidate = CacheGeometry(
-            line_size=geometry.line_size,
-            sets=geometry.sets,
-            columns=columns,
-        )
-        measured_costs.append(
-            int(batched_simulate(blocks, candidate).misses)
-        )
-    return ColumnDemand(
-        plan_costs=tuple(plan_costs),
-        measured_costs=tuple(measured_costs),
-    )
+
+    return session.memo(key, compute)
 
 
 @dataclass(frozen=True)
@@ -209,6 +225,9 @@ class ColumnBroker:
         self.timing = timing or TimingConfig()
         self.profile_accesses = profile_accesses
         self.min_benefit_cycles = min_benefit_cycles
+        #: Shared planner session: demand probes across tenants,
+        #: arrivals and phase changes are content-cached together.
+        self.session = PlannerSession()
         self.tint_table = TintTable(columns=geometry.columns)
         self.grants: dict[str, ColumnMask] = {}
         self.demands: dict[str, ColumnDemand] = {}
@@ -272,7 +291,11 @@ class ColumnBroker:
                 f"already hold all {self.geometry.columns} columns"
             )
         self.demands[name] = demand_curve(
-            run, self.geometry, self.profile_accesses, window=window
+            run,
+            self.geometry,
+            self.profile_accesses,
+            window=window,
+            session=self.session,
         )
         self.priorities[name] = priority
         self._order.append(name)
@@ -304,7 +327,11 @@ class ColumnBroker:
         if name not in self.grants:
             raise KeyError(f"tenant {name!r} is not resident")
         self.demands[name] = demand_curve(
-            run, self.geometry, self.profile_accesses, window=window
+            run,
+            self.geometry,
+            self.profile_accesses,
+            window=window,
+            session=self.session,
         )
         return self._rebalance(reason="phase", force=False)
 

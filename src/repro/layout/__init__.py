@@ -33,6 +33,16 @@ from repro.layout.assignment import (
     VariablePlacement,
 )
 from repro.layout.algorithm import DataLayoutPlanner, LayoutConfig
+from repro.layout.backends import (
+    BeamBackend,
+    CostModel,
+    EvolutionaryBackend,
+    PaperBackend,
+    PlannerBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from repro.layout.coloring import (
     chromatic_number,
     color_with_k,
@@ -47,23 +57,33 @@ from repro.layout.dynamic import (
 from repro.layout.graph import ConflictGraph, VertexInfo
 from repro.layout.merge import MergeResult, color_with_merging
 from repro.layout.partition import split_for_columns
+from repro.layout.session import PlannerSession
 
 __all__ = [
+    "BeamBackend",
     "ColumnAssignment",
     "ConflictGraph",
+    "CostModel",
     "DataLayoutPlanner",
     "Disposition",
     "DynamicLayoutPlan",
     "DynamicLayoutPlanner",
+    "EvolutionaryBackend",
     "LayoutConfig",
     "MergeResult",
+    "PaperBackend",
     "PhasePlan",
+    "PlannerBackend",
+    "PlannerSession",
     "VariablePlacement",
     "VertexInfo",
+    "available_backends",
     "chromatic_number",
     "color_with_k",
     "color_with_merging",
     "exact_coloring",
+    "get_backend",
     "greedy_coloring",
+    "register_backend",
     "split_for_columns",
 ]

@@ -25,8 +25,9 @@ from repro.layout.assignment import (
     Disposition,
     VariablePlacement,
 )
+from repro.layout.backends import available_backends, get_backend
+from repro.layout.coloring import DEFAULT_NODE_BUDGET
 from repro.layout.graph import ConflictGraph
-from repro.layout.merge import color_with_merging
 from repro.layout.partition import split_for_columns
 from repro.mem.symbols import SymbolTable, Variable
 from repro.profiling.profiler import Profile, ProfileLike, profile_trace
@@ -55,6 +56,15 @@ class LayoutConfig:
             pinning individual column-sized subarrays.
         weight_metric: "min" (paper), "sum", or "unweighted" (ablation).
         merge_strategy: "exact" (paper), "greedy", or "random".
+        backend: Which layout-search engine colors the conflict graph
+            (see :mod:`repro.layout.backends`): "paper" (Section
+            3.1.2, the default), "beam", or "evolutionary".
+        beam_width: Surviving states per step of the beam backend.
+        evolution_population / evolution_generations: Genome pool size
+            and generation count of the evolutionary backend.
+        exact_node_budget: Search-node budget per exact-coloring
+            attempt; on exhaustion the paper backend degrades to
+            greedy DSATUR with a warning instead of hanging.
         widen_partitions: When the coloring uses fewer colors than the
             available cache columns, hand the spare columns to the
             busiest partitions (the paper's "aggregating columns into
@@ -76,6 +86,11 @@ class LayoutConfig:
     merge_strategy: str = "exact"
     widen_partitions: bool = False
     seed: int = 0
+    backend: str = "paper"
+    beam_width: int = 8
+    evolution_population: int = 32
+    evolution_generations: int = 60
+    exact_node_budget: int = DEFAULT_NODE_BUDGET
 
     def __post_init__(self) -> None:
         check_positive(self.columns, "columns")
@@ -88,6 +103,11 @@ class LayoutConfig:
         if self.weight_metric not in ("min", "sum", "unweighted"):
             raise ValueError(
                 f"unknown weight metric {self.weight_metric!r}"
+            )
+        if self.backend not in available_backends():
+            raise ValueError(
+                f"unknown planner backend {self.backend!r}; "
+                f"choose from {available_backends()}"
             )
 
     @property
@@ -142,12 +162,34 @@ class _ScratchpadPacker:
 
 @dataclass
 class DataLayoutPlanner:
-    """Runs the complete static layout algorithm."""
+    """Runs the complete static layout algorithm.
+
+    ``graph_provider`` (optional) supplies conflict graphs instead of
+    building them inline — the hook
+    :class:`~repro.layout.session.PlannerSession` uses to serve
+    repeated plans of identical phases from its content-addressed
+    cache.  It is consulted only for the default MIN weight metric;
+    ablation metrics always build their graphs directly.
+    """
 
     config: LayoutConfig
+    graph_provider: Optional[
+        Callable[[ProfileLike, tuple[str, ...]], ConflictGraph]
+    ] = None
     _last_merge_log: list[tuple[str, str, int]] = field(
         default_factory=list, init=False, repr=False
     )
+
+    def _build_graph(
+        self, profile: ProfileLike, names: list[str]
+    ) -> ConflictGraph:
+        """The conflict graph over ``names`` (provider-aware)."""
+        weight_fn = self._weight_function(profile)
+        if weight_fn is None and self.graph_provider is not None:
+            return self.graph_provider(profile, tuple(names))
+        return ConflictGraph.from_profile(
+            profile, variables=names, weight_fn=weight_fn
+        )
 
     def plan(self, run: WorkloadRun) -> ColumnAssignment:
         """Plan a layout for a recorded workload run."""
@@ -212,16 +254,11 @@ class DataLayoutPlanner:
                     mask=ColumnMask.none(config.columns),
                 )
         elif remaining:
-            graph = ConflictGraph.from_profile(
-                profile,
-                variables=[unit.name for unit in remaining],
-                weight_fn=self._weight_function(profile),
+            graph = self._build_graph(
+                profile, [unit.name for unit in remaining]
             )
-            result = color_with_merging(
-                graph,
-                config.cache_columns,
-                strategy=config.merge_strategy,
-                seed=config.seed,
+            result = get_backend(config.backend).solve(
+                graph, config.cache_columns, config
             )
             predicted_cost = result.cost
             merges = result.merges

@@ -197,6 +197,45 @@ class ColumnAssignment:
             ),
         )
 
+    def check_valid(self) -> list[str]:
+        """Structural validity problems of this assignment (empty = ok).
+
+        Checks every backend-emitted assignment must satisfy,
+        regardless of which search engine produced it:
+
+        * every placement's unit exists in ``layout_symbols``;
+        * cached placements carry a non-empty mask of the declared
+          width, disjoint from the scratchpad columns;
+        * scratchpad placements sit exactly on the scratchpad mask;
+        * uncached placements carry the empty mask.
+        """
+        problems: list[str] = []
+        for name, placement in self.placements.items():
+            mask = placement.mask
+            if name not in self.layout_symbols:
+                problems.append(f"{name}: not a layout unit")
+            if mask.width != self.columns:
+                problems.append(
+                    f"{name}: mask width {mask.width} != {self.columns}"
+                )
+                continue
+            if placement.disposition is Disposition.CACHED:
+                if mask.is_empty():
+                    problems.append(f"{name}: cached with empty mask")
+                if mask.overlaps(self.scratchpad_mask):
+                    problems.append(
+                        f"{name}: cached mask overlaps scratchpad columns"
+                    )
+            elif placement.disposition is Disposition.SCRATCHPAD:
+                if mask != self.scratchpad_mask:
+                    problems.append(
+                        f"{name}: scratchpad placement off the "
+                        "scratchpad mask"
+                    )
+            elif not mask.is_empty():
+                problems.append(f"{name}: uncached with non-empty mask")
+        return problems
+
     def column_utilization(self) -> list[int]:
         """Bytes of units assigned per column (cached + scratchpad)."""
         usage = [0] * self.columns

@@ -1,0 +1,318 @@
+"""Pluggable layout-search backends over the conflict graph.
+
+The paper's Section 3.1.2 search — exact coloring plus min-weight-edge
+merging — is one way to pick a k-color assignment minimizing the
+monochromatic conflict weight W.  This module turns that choice into a
+:class:`PlannerBackend` protocol with a registry, mirroring the sweep
+engine's runner indirection, so
+:class:`~repro.layout.algorithm.DataLayoutPlanner` can search the same
+space with different engines (selected by
+``LayoutConfig.backend``):
+
+* ``paper`` — the unchanged Section 3.1.2 algorithm
+  (:func:`~repro.layout.merge.color_with_merging`);
+* ``beam`` — deterministic beam search over color assignments,
+  scoring partial assignments with the shared :class:`CostModel`;
+* ``evolutionary`` — a genetic algorithm over assignment genomes with
+  the vectorized conflict cost as fitness, *seeded with the paper
+  solution* so it can only match or improve on it (the search-based
+  planner direction of Díaz Álvarez et al.'s evolutionary
+  memory-subsystem work).
+
+All backends return a :class:`~repro.layout.merge.MergeResult` whose
+``assignment`` maps every vertex to a color in ``[0, k)``; costs are
+the W objective on the *original* graph, so results are directly
+comparable across backends.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.layout.coloring import DEFAULT_NODE_BUDGET
+from repro.layout.graph import ConflictGraph
+from repro.layout.merge import MergeResult, color_with_merging
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.layout.algorithm import LayoutConfig
+
+
+class CostModel:
+    """Vectorized evaluation of the W objective over one graph.
+
+    Flattens the graph's edges into index/weight arrays once; a color
+    assignment is then a *genome* (one int per vertex, in vertex-name
+    order) whose cost is a single masked sum — cheap enough to score
+    whole populations per generation.
+    """
+
+    def __init__(self, graph: ConflictGraph):
+        self.names: list[str] = graph.vertex_names()
+        self.index: dict[str, int] = {
+            name: position for position, name in enumerate(self.names)
+        }
+        edges = graph.edges()
+        self.first = np.array(
+            [self.index[a] for a, _, _ in edges], dtype=np.int64
+        )
+        self.second = np.array(
+            [self.index[b] for _, b, _ in edges], dtype=np.int64
+        )
+        self.weights = np.array(
+            [weight for _, _, weight in edges], dtype=np.int64
+        )
+        self.internal = graph.internal_cost
+
+    def cost(self, genome: np.ndarray) -> int:
+        """W of one genome: internalized cost + monochromatic edges."""
+        if len(self.weights) == 0:
+            return self.internal
+        same = genome[self.first] == genome[self.second]
+        return self.internal + int(self.weights[same].sum())
+
+    def cost_batch(self, genomes: np.ndarray) -> np.ndarray:
+        """W of a whole ``(population, vertices)`` genome matrix."""
+        if len(self.weights) == 0:
+            return np.full(len(genomes), self.internal, dtype=np.int64)
+        same = genomes[:, self.first] == genomes[:, self.second]
+        return self.internal + (same * self.weights).sum(axis=1)
+
+    def coloring_of(self, genome: np.ndarray) -> dict[str, int]:
+        """The genome as a name -> color mapping."""
+        return {
+            name: int(color)
+            for name, color in zip(self.names, genome.tolist())
+        }
+
+
+@runtime_checkable
+class PlannerBackend(Protocol):
+    """What a layout-search engine must provide."""
+
+    name: str
+
+    def solve(
+        self, graph: ConflictGraph, k: int, config: "LayoutConfig"
+    ) -> MergeResult:
+        """Assign every vertex of ``graph`` one of ``k`` colors."""
+        ...
+
+
+def _compact_colors(genome: np.ndarray) -> np.ndarray:
+    """Renumber colors densely in first-appearance order."""
+    mapping: dict[int, int] = {}
+    compact = np.empty_like(genome)
+    for position, color in enumerate(genome.tolist()):
+        compact[position] = mapping.setdefault(color, len(mapping))
+    return compact
+
+
+class PaperBackend:
+    """The paper's exact-coloring + min-weight-merging search."""
+
+    name = "paper"
+
+    def solve(
+        self, graph: ConflictGraph, k: int, config: "LayoutConfig"
+    ) -> MergeResult:
+        """Delegate to :func:`~repro.layout.merge.color_with_merging`."""
+        return color_with_merging(
+            graph,
+            k,
+            strategy=getattr(config, "merge_strategy", "exact"),
+            seed=getattr(config, "seed", 0),
+            node_budget=getattr(
+                config, "exact_node_budget", DEFAULT_NODE_BUDGET
+            ),
+        )
+
+
+class BeamBackend:
+    """Deterministic beam search over color assignments.
+
+    Vertices are assigned in descending weighted-degree order; each
+    beam state extends with every feasible color (plus at most one new
+    color — the usual symmetry breaking), accumulating the exact
+    incremental W, and the ``config.beam_width`` cheapest states
+    survive each step.  Ties break on the genome bytes so the search
+    is fully deterministic.
+    """
+
+    name = "beam"
+
+    def solve(
+        self, graph: ConflictGraph, k: int, config: "LayoutConfig"
+    ) -> MergeResult:
+        """Beam-search a k-color assignment minimizing W."""
+        if k < 1:
+            raise ValueError(f"need at least one color, got k={k}")
+        model = CostModel(graph)
+        count = len(model.names)
+        if count == 0:
+            return MergeResult(
+                graph=graph, coloring={}, assignment={}, cost=model.internal
+            )
+        width = max(int(getattr(config, "beam_width", 8)), 1)
+        weighted_degree = np.zeros(count, dtype=np.int64)
+        np.add.at(weighted_degree, model.first, model.weights)
+        np.add.at(weighted_degree, model.second, model.weights)
+        order = sorted(
+            range(count),
+            key=lambda v: (-int(weighted_degree[v]), model.names[v]),
+        )
+        incident: list[list[tuple[int, int]]] = [[] for _ in range(count)]
+        for a, b, w in zip(
+            model.first.tolist(), model.second.tolist(),
+            model.weights.tolist(),
+        ):
+            incident[a].append((b, w))
+            incident[b].append((a, w))
+
+        # Beam states: (accumulated cost, colors used, genome).
+        beam: list[tuple[int, int, np.ndarray]] = [
+            (0, 0, np.full(count, -1, dtype=np.int64))
+        ]
+        for vertex in order:
+            candidates: list[tuple[int, int, np.ndarray]] = []
+            for cost, used, genome in beam:
+                limit = min(used + 1, k)
+                for color in range(limit):
+                    delta = sum(
+                        weight
+                        for neighbor, weight in incident[vertex]
+                        if genome[neighbor] == color
+                    )
+                    extended = genome.copy()
+                    extended[vertex] = color
+                    candidates.append(
+                        (cost + delta, max(used, color + 1), extended)
+                    )
+            candidates.sort(
+                key=lambda state: (state[0], state[1], state[2].tobytes())
+            )
+            beam = candidates[:width]
+
+        _, _, genome = beam[0]
+        genome = _compact_colors(genome)
+        coloring = model.coloring_of(genome)
+        return MergeResult(
+            graph=graph,
+            coloring=coloring,
+            assignment=dict(coloring),
+            cost=model.cost(genome),
+        )
+
+
+class EvolutionaryBackend:
+    """A genetic algorithm over color-assignment genomes.
+
+    The population is seeded with the paper backend's solution (plus
+    mutated copies and random genomes); fitness is the vectorized W of
+    :class:`CostModel`; selection is binary tournament, crossover
+    uniform, and the per-generation elite survives unchanged.  When no
+    genome strictly beats the seed, the paper solution itself is
+    returned — the backend can match the paper but never lose to it.
+    """
+
+    name = "evolutionary"
+
+    def solve(
+        self, graph: ConflictGraph, k: int, config: "LayoutConfig"
+    ) -> MergeResult:
+        """Evolve a k-color assignment minimizing W."""
+        paper = PaperBackend().solve(graph, k, config)
+        model = CostModel(graph)
+        count = len(model.names)
+        if count == 0 or k < 2 or len(model.weights) == 0:
+            return paper
+        population = max(int(getattr(config, "evolution_population", 32)), 4)
+        generations = max(
+            int(getattr(config, "evolution_generations", 60)), 1
+        )
+        rng = np.random.default_rng(getattr(config, "seed", 0))
+        seed_genome = np.array(
+            [paper.assignment[name] for name in model.names],
+            dtype=np.int64,
+        )
+        mutation_rate = min(max(1.5 / count, 0.02), 0.5)
+
+        pop = rng.integers(0, k, size=(population, count), dtype=np.int64)
+        half = population // 2
+        pop[1:half] = seed_genome
+        jitter = rng.random((max(half - 1, 0), count)) < mutation_rate
+        pop[1:half][jitter] = rng.integers(
+            0, k, size=int(jitter.sum()), dtype=np.int64
+        )
+        pop[0] = seed_genome
+
+        for _ in range(generations):
+            fitness = model.cost_batch(pop)
+            elite = pop[int(np.argmin(fitness))].copy()
+            contender_a = rng.integers(0, population, size=population)
+            contender_b = rng.integers(0, population, size=population)
+            parents_a = np.where(
+                fitness[contender_a] <= fitness[contender_b],
+                contender_a,
+                contender_b,
+            )
+            contender_c = rng.integers(0, population, size=population)
+            contender_d = rng.integers(0, population, size=population)
+            parents_b = np.where(
+                fitness[contender_c] <= fitness[contender_d],
+                contender_c,
+                contender_d,
+            )
+            take_a = rng.random((population, count)) < 0.5
+            children = np.where(take_a, pop[parents_a], pop[parents_b])
+            mutate = rng.random((population, count)) < mutation_rate
+            children[mutate] = rng.integers(
+                0, k, size=int(mutate.sum()), dtype=np.int64
+            )
+            children[0] = elite
+            pop = children
+
+        fitness = model.cost_batch(pop)
+        best = int(np.argmin(fitness))
+        best_cost = int(fitness[best])
+        if best_cost >= paper.cost:
+            return paper
+        genome = _compact_colors(pop[best])
+        coloring = model.coloring_of(genome)
+        return MergeResult(
+            graph=graph,
+            coloring=coloring,
+            assignment=dict(coloring),
+            cost=model.cost(genome),
+        )
+
+
+_REGISTRY: dict[str, PlannerBackend] = {}
+
+
+def register_backend(backend: PlannerBackend) -> PlannerBackend:
+    """Register a backend under its ``name`` (last write wins)."""
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def get_backend(name: str) -> PlannerBackend:
+    """Look a backend up by name; ValueError lists the choices."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown planner backend {name!r}; "
+            f"choose from {available_backends()}"
+        ) from None
+
+
+def available_backends() -> list[str]:
+    """Registered backend names, sorted."""
+    return sorted(_REGISTRY)
+
+
+register_backend(PaperBackend())
+register_backend(BeamBackend())
+register_backend(EvolutionaryBackend())

@@ -12,14 +12,32 @@ almost immediately.  We implement that scheme:
 * ``color_with_k``: DSATUR-ordered backtracking with symmetry breaking
   (a vertex may open at most one new color), exact for the given k.
 
-Conflict graphs here have tens of vertices, well inside exact range.
+Conflict graphs here have tens of vertices, well inside exact range —
+but a pathological (non-1-perfect) graph can still blow the
+backtracking up, so every exact entry point carries a **node budget**:
+:func:`color_with_k` raises :class:`ColoringBudgetExceeded` after
+expanding :data:`DEFAULT_NODE_BUDGET` search nodes, and
+:func:`exact_coloring` / :func:`chromatic_number` catch it and fall
+back to the greedy DSATUR coloring with a warning instead of stalling
+whatever planner (or fleet rebalance) invoked them.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 Adjacency = dict[str, set[str]]
+
+#: Backtracking nodes an exact-coloring attempt may expand before the
+#: caller falls back to greedy DSATUR.  Real conflict graphs finish in
+#: well under a thousand nodes; the budget only exists so pathological
+#: graphs degrade to a heuristic instead of hanging.
+DEFAULT_NODE_BUDGET = 200_000
+
+
+class ColoringBudgetExceeded(RuntimeError):
+    """An exact coloring search exceeded its node budget."""
 
 
 def _check_adjacency(adjacency: Adjacency) -> None:
@@ -78,13 +96,15 @@ def greedy_coloring(adjacency: Adjacency) -> dict[str, int]:
 
 
 def color_with_k(
-    adjacency: Adjacency, k: int
+    adjacency: Adjacency, k: int, node_budget: Optional[int] = None
 ) -> Optional[dict[str, int]]:
     """An exact k-coloring, or None if the graph is not k-colorable.
 
     DSATUR-ordered backtracking with the standard symmetry breaking:
     when choosing a color for a vertex, at most one *previously unused*
-    color is tried.
+    color is tried.  With ``node_budget`` set, the search raises
+    :class:`ColoringBudgetExceeded` after expanding that many nodes —
+    the caller decides how to degrade (see :func:`exact_coloring`).
     """
     _check_adjacency(adjacency)
     if k < 0:
@@ -99,6 +119,7 @@ def color_with_k(
     neighbor_colors: dict[str, set[int]] = {
         vertex: set() for vertex in vertices
     }
+    expanded = 0
 
     def select_vertex() -> Optional[str]:
         best = None
@@ -112,6 +133,13 @@ def color_with_k(
         return best
 
     def backtrack(colors_used: int) -> bool:
+        nonlocal expanded
+        expanded += 1
+        if node_budget is not None and expanded > node_budget:
+            raise ColoringBudgetExceeded(
+                f"exact k-coloring expanded more than {node_budget} "
+                "search nodes"
+            )
         vertex = select_vertex()
         if vertex is None:
             return True
@@ -139,12 +167,25 @@ def color_with_k(
     return None
 
 
-def exact_coloring(adjacency: Adjacency) -> dict[str, int]:
-    """A minimum coloring (exact).
+def _warn_budget(node_budget: int) -> None:
+    warnings.warn(
+        f"exact coloring exceeded its {node_budget}-node search "
+        "budget; falling back to greedy DSATUR coloring",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def exact_coloring(
+    adjacency: Adjacency,
+    node_budget: Optional[int] = DEFAULT_NODE_BUDGET,
+) -> dict[str, int]:
+    """A minimum coloring (exact within the node budget).
 
     Runs :func:`color_with_k` for increasing k starting at the clique
     lower bound, stopping at the greedy upper bound (which is then
-    optimal if nothing smaller worked).
+    optimal if nothing smaller worked).  If any attempt blows the node
+    budget, warns and returns the greedy coloring instead of hanging.
     """
     _check_adjacency(adjacency)
     if not adjacency:
@@ -153,15 +194,28 @@ def exact_coloring(adjacency: Adjacency) -> dict[str, int]:
     greedy = greedy_coloring(adjacency)
     upper = max(greedy.values()) + 1
     for k in range(lower, upper):
-        attempt = color_with_k(adjacency, k)
+        try:
+            attempt = color_with_k(adjacency, k, node_budget=node_budget)
+        except ColoringBudgetExceeded:
+            assert node_budget is not None
+            _warn_budget(node_budget)
+            return greedy
         if attempt is not None:
             return attempt
     return greedy
 
 
-def chromatic_number(adjacency: Adjacency) -> int:
-    """The exact chromatic number."""
+def chromatic_number(
+    adjacency: Adjacency,
+    node_budget: Optional[int] = DEFAULT_NODE_BUDGET,
+) -> int:
+    """The chromatic number (exact within the node budget).
+
+    On budget exhaustion this inherits :func:`exact_coloring`'s greedy
+    fallback, making the result an upper bound rather than exact — the
+    accompanying warning says so.
+    """
     if not adjacency:
         return 0
-    coloring = exact_coloring(adjacency)
+    coloring = exact_coloring(adjacency, node_budget=node_budget)
     return max(coloring.values()) + 1

@@ -21,11 +21,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.layout.algorithm import DataLayoutPlanner, LayoutConfig
+from repro.layout.algorithm import LayoutConfig
 from repro.layout.assignment import ColumnAssignment, Disposition
 from repro.layout.graph import ConflictGraph
 from repro.layout.partition import split_for_columns
-from repro.profiling.profiler import profile_trace
+from repro.layout.session import PlannerSession
 from repro.workloads.base import WorkloadRun
 
 
@@ -72,6 +72,7 @@ def evaluate_reuse_cost(
     profile,
     units,
     previous: ColumnAssignment,
+    graph_provider=None,
 ) -> Optional[int]:
     """Predicted W of keeping ``previous`` for this profile's accesses.
 
@@ -80,7 +81,10 @@ def evaluate_reuse_cost(
     accesses.  Shared by :class:`DynamicLayoutPlanner` (offline,
     labelled phases) and the runtime's
     :class:`~repro.runtime.policy.RepartitionPolicy` (online, detected
-    phases).
+    phases).  ``graph_provider`` (a
+    :meth:`~repro.layout.session.PlannerSession.graph` bound method)
+    lets the caller share the conflict graph with the planner instead
+    of rebuilding it.
     """
     names = [name for name in profile.variables if name in units]
     coloring: dict[str, int] = {}
@@ -95,7 +99,10 @@ def evaluate_reuse_cost(
             coloring[name] = -1 - previous.columns
             continue
         coloring[name] = placement.mask.lowest()
-    graph = ConflictGraph.from_profile(profile, variables=names)
+    if graph_provider is not None:
+        graph = graph_provider(profile, tuple(names))
+    else:
+        graph = ConflictGraph.from_profile(profile, variables=names)
     # Scratchpad units must not be counted as conflicting: give each
     # a unique pseudo-color.
     pseudo = -1
@@ -108,14 +115,22 @@ def evaluate_reuse_cost(
 
 @dataclass
 class DynamicLayoutPlanner:
-    """Per-phase planning with a remap-benefit test."""
+    """Per-phase planning with a remap-benefit test.
+
+    All profiling, graph construction and planning runs through a
+    :class:`~repro.layout.session.PlannerSession`, so workloads that
+    revisit a phase with identical content plan it exactly once.
+    """
 
     config: LayoutConfig
     remap_threshold: int = 0
+    session: Optional[PlannerSession] = None
 
     def plan(self, run: WorkloadRun) -> DynamicLayoutPlan:
         """Plan one assignment per phase of ``run``."""
-        planner = DataLayoutPlanner(self.config)
+        session = self.session if self.session is not None else (
+            PlannerSession()
+        )
         units = (
             split_for_columns(run.memory_map.symbols, self.config.column_bytes)
             if self.config.split_oversized
@@ -125,8 +140,8 @@ class DynamicLayoutPlanner:
         previous: Optional[ColumnAssignment] = None
         for label in run.phase_labels():
             phase_trace = run.phase_trace(label)
-            profile = profile_trace(phase_trace, units, by_address=True)
-            fresh = planner.plan_from_profile(profile, units)
+            profile = session.profile(phase_trace, units, by_address=True)
+            fresh = session.plan_from_profile(self.config, profile, units)
             if previous is None:
                 plan.phases.append(
                     PhasePlan(
@@ -139,7 +154,9 @@ class DynamicLayoutPlanner:
                 )
                 previous = fresh
                 continue
-            reuse_cost = self._evaluate_reuse(profile, units, previous)
+            reuse_cost = self._evaluate_reuse(
+                profile, units, previous, graph_provider=session.graph
+            )
             if (
                 reuse_cost is not None
                 and reuse_cost - fresh.predicted_cost <= self.remap_threshold
@@ -171,6 +188,9 @@ class DynamicLayoutPlanner:
         profile,
         units,
         previous: ColumnAssignment,
+        graph_provider=None,
     ) -> Optional[int]:
         """Predicted W of keeping ``previous`` for this phase's profile."""
-        return evaluate_reuse_cost(profile, units, previous)
+        return evaluate_reuse_cost(
+            profile, units, previous, graph_provider=graph_provider
+        )

@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
 
+import numpy as np
+
 from repro.profiling.profiler import ProfileLike
 
 MERGE_SEPARATOR = "+"
@@ -75,6 +77,14 @@ class ConflictGraph:
         ``variables`` restricts the vertex set (default: every profiled
         variable); ``weight_fn`` overrides the paper's MIN rule (used
         by the weight-metric ablation).
+
+        With the default MIN rule and a measured profile (one exposing
+        ``weight_matrix``), every pairwise weight is computed in one
+        vectorized pass; a custom ``weight_fn`` — or a profile without
+        position arrays, such as the estimated
+        :class:`~repro.profiling.static_analysis.StaticProfile` —
+        falls back to the per-pair loop, which the differential suite
+        also uses as the bit-identical reference.
         """
         names = list(variables) if variables is not None else list(
             profile.variables
@@ -88,8 +98,17 @@ class ConflictGraph:
                 access_count=stats.access_count,
                 members=(name,),
             )
-        weigh = weight_fn if weight_fn is not None else profile.pair_weight
         weights: dict[frozenset[str], int] = {}
+        matrix_fn = getattr(profile, "weight_matrix", None)
+        if weight_fn is None and callable(matrix_fn):
+            matrix = matrix_fn(names)
+            rows, cols = np.nonzero(np.triu(matrix, 1))
+            for first, second in zip(rows.tolist(), cols.tolist()):
+                weights[frozenset((names[first], names[second]))] = int(
+                    matrix[first, second]
+                )
+            return cls(vertices, weights)
+        weigh = weight_fn if weight_fn is not None else profile.pair_weight
         for index, first in enumerate(names):
             for second in names[index + 1:]:
                 weight = weigh(first, second)

@@ -1,0 +1,235 @@
+"""The planner session: content-addressed caching for profile→plan.
+
+:class:`PlannerSession` is the planning stack's counterpart of the
+sweep engine's result cache: every consumer that plans repeatedly —
+the per-phase :class:`~repro.layout.dynamic.DynamicLayoutPlanner`, the
+adaptive runtime's :class:`~repro.runtime.policy.RepartitionPolicy`,
+the fleet broker's demand-curve probes — routes its profiling, conflict
+graphs and plans through one session, keyed by the *content hash* of
+(trace window, layout units, config).  A workload that revisits a
+phase, or a broker that probes the same window at several candidate
+grant sizes, then recomputes nothing: identical inputs are served from
+the session's :class:`~repro.sim.engine.cache.ResultCache`.
+
+The session's cache tier is memory-only (profiles, graphs and
+assignments are rich Python objects, not JSON) — sharing across
+processes stays the sweep engine's job; the session kills redundant
+work *within* a planning consumer's lifetime.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.layout.algorithm import DataLayoutPlanner, LayoutConfig
+from repro.layout.assignment import ColumnAssignment
+from repro.layout.graph import ConflictGraph
+from repro.mem.symbols import SymbolTable
+from repro.profiling.profiler import Profile, profile_trace
+from repro.trace.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - break the sim<->layout cycle
+    from repro.sim.engine.cache import ResultCache
+
+
+def _engine_cache():
+    """Deferred import: ``repro.sim.engine`` pulls in executors that
+    themselves import :mod:`repro.layout`, so binding at module import
+    time would be circular."""
+    from repro.sim.engine import cache as engine_cache
+    from repro.sim.engine.spec import SimJob
+
+    memo_job = SimJob(
+        runner="repro.layout.session:PlannerSession", params={}
+    )
+    return engine_cache, memo_job
+
+
+def trace_digest(trace: Trace) -> str:
+    """Stable content digest of a trace's profiling-relevant columns."""
+    digest = hashlib.sha256()
+    digest.update(str(len(trace)).encode())
+    for column in (
+        trace.addresses,
+        trace.writes,
+        trace.gaps,
+        trace.variable_ids,
+    ):
+        digest.update(column.tobytes())
+    digest.update("\x00".join(trace.variable_names).encode())
+    return digest.hexdigest()
+
+
+def units_digest(units: SymbolTable) -> str:
+    """Stable content digest of a symbol table's layout units."""
+    digest = hashlib.sha256()
+    for variable in units:
+        digest.update(
+            f"{variable.name}:{variable.base}:{variable.size}:"
+            f"{variable.element_size}:{variable.kind.value}\n".encode()
+        )
+    return digest.hexdigest()
+
+
+def config_digest(config: LayoutConfig) -> str:
+    """Stable content digest of a layout configuration."""
+    rendered = json.dumps(
+        dataclasses.asdict(config), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(rendered.encode()).hexdigest()
+
+
+def profile_digest(profile: Profile) -> str:
+    """Stable content digest of a measured profile."""
+    digest = hashlib.sha256()
+    digest.update(
+        f"{profile.total_accesses}:{profile.total_instructions}:"
+        f"{profile.unattributed}\n".encode()
+    )
+    for name, stats in profile.variables.items():
+        digest.update(
+            f"{name}:{stats.size}:{stats.element_size}:"
+            f"{stats.kind.value}:{stats.write_count}:"
+            f"{stats.lifetime.start}:{stats.lifetime.stop}\n".encode()
+        )
+        digest.update(stats.positions.tobytes())
+    return digest.hexdigest()
+
+
+#: Memory-tier bound of a session's default cache: long-running
+#: consumers (adaptive policies, fleet brokers) see an unbounded
+#: stream of distinct windows, so the LRU keeps only this many
+#: profile/graph/plan entries alive.
+DEFAULT_SESSION_ENTRIES = 512
+
+
+class PlannerSession:
+    """Caches profiles, conflict graphs and plans by content hash.
+
+    All three layers share one :class:`~repro.sim.engine.cache.
+    ResultCache` (memory tier, LRU-bounded).  A profile's digest is
+    computed once and pinned on the profile object itself, so a
+    profile → graph → plan chain hashes each input exactly once.
+    """
+
+    def __init__(
+        self,
+        cache: Optional["ResultCache"] = None,
+        max_entries: int = DEFAULT_SESSION_ENTRIES,
+    ):
+        engine_cache, self._memo_job = _engine_cache()
+        self._miss = engine_cache.MISS
+        if cache is not None and cache.directory is not None:
+            raise ValueError(
+                "PlannerSession caches rich objects; use a "
+                "memory-only ResultCache (directory=None)"
+            )
+        self.cache = (
+            cache
+            if cache is not None
+            else engine_cache.ResultCache(
+                max_memory_entries=max_entries
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Digest bookkeeping
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _digest_of(profile: Profile) -> str:
+        """The profile's content digest, computed once per object.
+
+        Stored on the instance (not an id-keyed side table) so a
+        garbage-collected profile can never leak its digest to a new
+        object that reuses its address.
+        """
+        known = getattr(profile, "_session_digest", None)
+        if known is None:
+            known = profile_digest(profile)
+            profile._session_digest = known
+        return known
+
+    def memo(self, key: str, compute: Callable[[], Any]) -> Any:
+        """Generic content-addressed memoization on the session cache."""
+        value = self.cache.get(key)
+        if value is self._miss:
+            value = self.cache.put(key, self._memo_job, compute())
+        return value
+
+    # ------------------------------------------------------------------
+    # The profile → graph → plan chain
+    # ------------------------------------------------------------------
+    def profile(
+        self,
+        trace: Trace,
+        units: Optional[SymbolTable] = None,
+        by_address: bool = False,
+    ) -> Profile:
+        """A (cached) profile of ``trace`` against ``units``."""
+        key = (
+            f"profile:{trace_digest(trace)}:"
+            f"{units_digest(units) if units is not None else '-'}:"
+            f"{int(by_address)}"
+        )
+        profile = self.cache.get(key)
+        if profile is self._miss:
+            profile = profile_trace(trace, units, by_address=by_address)
+            profile._session_digest = key
+            self.cache.put(key, self._memo_job, profile)
+        return profile
+
+    def graph(
+        self, profile: Profile, names: tuple[str, ...]
+    ) -> ConflictGraph:
+        """A (cached) conflict graph over ``names``."""
+        key = (
+            f"graph:{self._digest_of(profile)}:"
+            + "\x00".join(names)
+        )
+        return self.memo(
+            key,
+            lambda: ConflictGraph.from_profile(
+                profile, variables=list(names)
+            ),
+        )
+
+    def plan_from_profile(
+        self,
+        config: LayoutConfig,
+        profile: Profile,
+        units: SymbolTable,
+    ) -> ColumnAssignment:
+        """A (cached) column assignment for an existing profile."""
+        key = (
+            f"plan:{config_digest(config)}:"
+            f"{self._digest_of(profile)}:{units_digest(units)}"
+        )
+        return self.memo(
+            key,
+            lambda: DataLayoutPlanner(
+                config, graph_provider=self.graph
+            ).plan_from_profile(profile, units),
+        )
+
+    def plan(
+        self,
+        config: LayoutConfig,
+        trace: Trace,
+        units: SymbolTable,
+        by_address: bool = True,
+    ) -> ColumnAssignment:
+        """Profile ``trace`` and plan a layout, both content-cached."""
+        profile = self.profile(trace, units, by_address=by_address)
+        return self.plan_from_profile(config, profile, units)
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Cache counters (hits include profile/graph/plan layers)."""
+        return {
+            "hits": self.cache.hits,
+            "misses": self.cache.misses,
+            "entries": len(self.cache),
+        }

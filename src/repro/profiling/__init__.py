@@ -21,6 +21,7 @@ from repro.profiling.profiler import (
     Profile,
     ProfileLike,
     VariableProfile,
+    legacy_profile_trace,
     profile_trace,
 )
 from repro.profiling.ir import (
@@ -43,6 +44,7 @@ __all__ = [
     "StaticProfile",
     "VariableProfile",
     "analyze_program",
+    "legacy_profile_trace",
     "pair_weight",
     "pairwise_weights",
     "profile_trace",

@@ -5,6 +5,15 @@ placing two variables in the same column: the smaller of the two
 variables' access counts inside the intersection of their lifetimes.
 The paper stresses the weights need to be accurate in a relative, not
 absolute, sense — tests assert exactly the relative-ordering property.
+
+Two evaluation paths exist:
+:meth:`~repro.profiling.profiler.Profile.weight_matrix` computes every
+pairwise weight in one vectorized pass (what
+:meth:`~repro.layout.graph.ConflictGraph.from_profile` uses for
+measured profiles), while :func:`pairwise_weights` walks the pairs one
+at a time — the legacy path, kept as the differential reference and
+for profiles that only expose ``pair_weight`` (e.g. the estimated
+:class:`~repro.profiling.static_analysis.StaticProfile`).
 """
 
 from __future__ import annotations
@@ -28,7 +37,8 @@ def pairwise_weights(
     """All pairwise weights among ``variables`` (default: all arrays).
 
     The paper deletes zero-weight edges before coloring
-    (``drop_zero=True``).
+    (``drop_zero=True``).  One ``pair_weight`` call per pair — the
+    legacy scalar path.
     """
     if variables is None:
         names = list(profile.variables)

@@ -28,12 +28,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.layout.algorithm import DataLayoutPlanner, LayoutConfig
+from repro.layout.algorithm import LayoutConfig
 from repro.layout.assignment import ColumnAssignment
 from repro.layout.dynamic import evaluate_reuse_cost
 from repro.layout.partition import split_for_columns
+from repro.layout.session import PlannerSession
 from repro.mem.symbols import SymbolTable
-from repro.profiling.profiler import profile_trace
 from repro.sim.config import TimingConfig
 from repro.trace.trace import Trace
 from repro.utils.bitvector import ColumnMask
@@ -92,7 +92,9 @@ class RepartitionPolicy:
             if self.config.split_oversized
             else self.symbols
         )
-        self._planner = DataLayoutPlanner(self.config)
+        #: Content-addressed planning cache: windows that reveal a
+        #: recurring phase (identical content) replan for free.
+        self.session = PlannerSession()
         self.current: ColumnAssignment = self.initial_assignment()
         self.decisions: list[RepartitionDecision] = []
 
@@ -132,8 +134,12 @@ class RepartitionPolicy:
         whether to install it.  The installed (or retained) mapping is
         available as :attr:`current`.
         """
-        profile = profile_trace(window_trace, self.units, by_address=True)
-        fresh = self._planner.plan_from_profile(profile, self.units)
+        profile = self.session.profile(
+            window_trace, self.units, by_address=True
+        )
+        fresh = self.session.plan_from_profile(
+            self.config, profile, self.units
+        )
         remap_cycles = self.remap_cost_cycles(fresh)
         if not self.current.placements:
             # First real plan: always install (the initial mapping is
@@ -147,7 +153,10 @@ class RepartitionPolicy:
             )
         else:
             reuse_cost = evaluate_reuse_cost(
-                profile, self.units, self.current
+                profile,
+                self.units,
+                self.current,
+                graph_provider=self.session.graph,
             )
             if reuse_cost is None:
                 benefit_cycles = None  # reuse impossible: must remap

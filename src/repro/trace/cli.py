@@ -7,6 +7,7 @@ Usage::
     python -m repro.trace simulate trace.din --size 2048 --columns 4
     python -m repro.trace record gzip out.npz --seed 3
     python -m repro.trace replay out.npz --size 16384 --columns 8
+    python -m repro.trace profile out.npz
 
 ``stats`` prints per-variable access counts and lifetimes; ``generate``
 writes a synthetic trace in dinero format; ``simulate`` runs a trace
@@ -15,7 +16,10 @@ through a (standard, full-mask) cache and prints hit/miss totals;
 ``.npz`` on-disk format (or dinero, by extension); ``replay`` streams
 a recorded ``.npz``/dinero trace through the vectorized lockstep
 cache, memory-mapping ``.npz`` archives so arbitrarily long traces
-replay at a flat footprint.
+replay at a flat footprint; ``profile`` dumps the planner-facing
+per-variable profile (counts, density, lifetime) of a recorded
+``.npz``/dinero trace — the bridge that lets externally captured
+traces feed the layout planner.
 """
 
 from __future__ import annotations
@@ -178,6 +182,54 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    trace = _load_any(args.trace, mmap=True)
+    profile = profile_trace(trace)
+    rows = []
+    for stats in sorted(
+        profile.variables.values(),
+        key=lambda item: item.access_count,
+        reverse=True,
+    ):
+        rows.append(
+            [
+                stats.name,
+                stats.access_count,
+                stats.read_count,
+                stats.write_count,
+                stats.size,
+                f"{stats.density:.3f}",
+                f"{stats.lifetime.start}..{stats.lifetime.stop}",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "variable",
+                "accesses",
+                "reads",
+                "writes",
+                "bytes",
+                "density",
+                "lifetime",
+            ],
+            rows,
+            title=(
+                f"{args.trace}: {profile.total_accesses} accesses, "
+                f"{profile.total_instructions} instructions, "
+                f"{len(profile.variables)} variables"
+            ),
+        )
+    )
+    if profile.unattributed:
+        share = profile.unattributed / max(profile.total_accesses, 1)
+        print(
+            f"unattributed: {profile.unattributed} accesses "
+            f"({share:.1%}) carry no variable label"
+        )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -246,6 +298,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="load .npz eagerly instead of memory-mapping",
     )
     replay.set_defaults(handler=_cmd_replay)
+
+    profile = commands.add_parser(
+        "profile",
+        help="dump the planner-facing per-variable profile of a trace",
+    )
+    profile.add_argument("trace", help=".npz or dinero trace file")
+    profile.set_defaults(handler=_cmd_profile)
 
     args = parser.parse_args(argv)
     return args.handler(args)

@@ -153,6 +153,27 @@ class TestResultCaching:
         assert engine.stats["executed"] == 1
         assert engine.stats["from_cache"] == 1
 
+    def test_memory_tier_lru_bound(self):
+        from repro.sim.engine.cache import MISS, ResultCache
+
+        cache = ResultCache(max_memory_entries=2)
+        job = SimJob(runner=TRACE_SIM, params={})
+        cache.put("a", job, 1)
+        cache.put("b", job, 2)
+        assert cache.get("a") == 1  # touch: "b" is now least recent
+        cache.put("c", job, 3)
+        assert len(cache) == 2
+        assert cache.get("b") is MISS  # evicted
+        assert cache.get("a") == 1 and cache.get("c") == 3
+
+    def test_memory_bound_rejects_nonpositive(self):
+        from repro.sim.engine.cache import ResultCache
+
+        import pytest
+
+        with pytest.raises(ValueError, match="max_memory_entries"):
+            ResultCache(max_memory_entries=0)
+
     def test_disk_cache_survives_engine_restart(self, tmp_path):
         spec = SweepSpec(
             name="zipf",

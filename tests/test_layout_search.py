@@ -1,0 +1,143 @@
+"""The layout-search experiment and the `trace profile` CLI verb."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import main as experiments_main
+from repro.experiments.layout_search import (
+    LayoutSearchConfig,
+    check_layout_search,
+    run_layout_search,
+)
+from repro.sim.engine.scheduler import SweepEngine
+from repro.trace.cli import main as trace_main
+
+
+@pytest.fixture(scope="module")
+def quick_result():
+    """One quick backend race, shared by the assertions below."""
+    config = LayoutSearchConfig().quick()
+    return config, run_layout_search(
+        config, SweepEngine(workers=1, backend="serial")
+    )
+
+
+class TestLayoutSearchExperiment:
+    """The backend race runs, validates and reports correctly."""
+
+    def test_all_shape_checks_pass(self, quick_result):
+        """Quick race passes every shape check."""
+        config, result = quick_result
+        checks = check_layout_search(result, config)
+        failed = [check.claim for check in checks if not check.passed]
+        assert not failed, failed
+
+    def test_every_pair_reported(self, quick_result):
+        """One point exists per (workload, backend) pair."""
+        config, result = quick_result
+        for case in config.cases:
+            for backend in config.backends:
+                point = result.point(case.label, backend)
+                assert point["cpi"] > 0
+                assert point["validity_problems"] == []
+
+    def test_series_has_w_and_cpi_per_backend(self, quick_result):
+        """The rendered series carries W and CPI for every backend."""
+        config, result = quick_result
+        for backend in config.backends:
+            assert f"{backend}_w" in result.series.series
+            assert f"{backend}_cpi" in result.series.series
+
+    def test_full_config_evolutionary_strictly_wins_somewhere(self):
+        """At full size the GA strictly improves W on some workload.
+
+        (idct is the known case: the paper's merge heuristic commits
+        to an expensive contraction the global search avoids.)
+        """
+        config = LayoutSearchConfig()
+        result = run_layout_search(config)
+        strict = [
+            workload
+            for workload in {w for w, _ in result.points}
+            if result.points[(workload, "evolutionary")][
+                "predicted_cost"
+            ]
+            < result.points[(workload, "paper")]["predicted_cost"]
+        ]
+        assert strict, "expected the GA to beat paper W somewhere"
+        checks = check_layout_search(result, config)
+        assert all(check.passed for check in checks)
+
+    def test_custom_backend_subset_checks_do_not_crash(self):
+        """Checks stay well-defined without the evolutionary backend."""
+        import dataclasses
+
+        from repro.experiments.layout_search import SearchCase
+
+        config = dataclasses.replace(
+            LayoutSearchConfig().quick(),
+            cases=(SearchCase("dequant"),),
+            backends=("paper", "beam"),
+        )
+        result = run_layout_search(config)
+        checks = check_layout_search(result, config)
+        assert checks  # validity check still present
+        assert all(check.passed for check in checks)
+
+    def test_same_workload_different_kwargs_keeps_both_points(self):
+        """Duplicate workloads with distinct kwargs do not collide."""
+        import dataclasses
+
+        from repro.experiments.layout_search import SearchCase
+
+        config = dataclasses.replace(
+            LayoutSearchConfig().quick(),
+            cases=(
+                SearchCase("scan", (("buffer_bytes", 2048),)),
+                SearchCase("scan", (("buffer_bytes", 4096),)),
+            ),
+            backends=("paper",),
+        )
+        result = run_layout_search(config)
+        labels = {label for label, _ in result.points}
+        assert labels == {
+            "scan[buffer_bytes=2048]",
+            "scan[buffer_bytes=4096]",
+        }
+        assert len(result.series.x_values) == 2
+
+    def test_cli_target_runs_quick(self, capsys):
+        """`experiments layout-search --quick` exits 0 and reports."""
+        code = experiments_main(["layout-search", "--quick"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "layout-search" in output
+        assert "evolutionary_cpi" in output
+
+
+class TestTraceProfileCli:
+    """`trace profile` dumps a per-variable planner-facing table."""
+
+    def test_profile_of_recorded_npz(self, tmp_path, capsys):
+        """Record a workload, profile the archive, check the table."""
+        out = tmp_path / "dequant.npz"
+        assert trace_main(["record", "dequant", str(out)]) == 0
+        capsys.readouterr()
+        assert trace_main(["profile", str(out)]) == 0
+        output = capsys.readouterr().out
+        assert "density" in output
+        assert "coeffs" in output
+        assert "lifetime" in output
+
+    def test_profile_reports_unattributed(self, tmp_path, capsys):
+        """Unlabelled accesses are reported, not silently dropped."""
+        from repro.trace.columnar import ColumnarTrace
+
+        trace = ColumnarTrace.from_columns(
+            [0x100, 0x104, 0x200], name="anon"
+        )
+        path = trace.save_npz(tmp_path / "anon.npz")
+        assert trace_main(["profile", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "unattributed: 3 accesses" in output
