@@ -15,10 +15,16 @@ through the sweep engine's batched lockstep hot path — then:
   vectorized profiling/conflict-graph path, differentially checked
   against the retained legacy scalar path — and writes
   ``BENCH_planner.json``;
-* with ``--check``, fails if sweep, trace-pipeline or planner
-  throughput regressed more than ``tolerance`` (default 30%) against
-  the checked-in baseline ``benchmarks/perf_baseline.json`` or the
-  batched/serial speedup dropped below the baseline's floor.
+* runs the fleet-service smoke — the live asyncio daemon serving the
+  quick Poisson population with migration enabled — and writes
+  ``BENCH_fleet.json`` (sustained admissions/sec, migrations,
+  invariant audit counts);
+* with ``--check``, fails if sweep, trace-pipeline, planner or
+  fleet-service throughput regressed more than ``tolerance`` (default
+  30%) against the checked-in baseline
+  ``benchmarks/perf_baseline.json``, if the batched/serial speedup
+  dropped below the baseline's floor, or if the service ever violated
+  the disjoint-column invariant (correctness, never tolerance-scaled).
 
 Usage::
 
@@ -59,6 +65,7 @@ BASELINE_PATH = Path(__file__).parent / "perf_baseline.json"
 OUTPUT_PATH = REPO_ROOT / "BENCH_sweep.json"
 TRACE_OUTPUT_PATH = REPO_ROOT / "BENCH_trace.json"
 PLANNER_OUTPUT_PATH = REPO_ROOT / "BENCH_planner.json"
+FLEET_OUTPUT_PATH = REPO_ROOT / "BENCH_fleet.json"
 
 #: The engine-side accesses/sec recorded in BENCH_sweep.json before
 #: the columnar pipeline landed — the 2x target BENCH_trace.json is
@@ -84,7 +91,7 @@ def smoke_config(full: bool) -> Figure5Config:
     return Figure5Config(
         quanta=tuple(4**k for k in range(0, 11, 2)),
         input_bytes=1024,
-        budget_instructions=120_000,
+        horizon_instructions=120_000,
     )
 
 
@@ -107,7 +114,7 @@ def run_serial(config: Figure5Config):
                 simulator = MultitaskSimulator(geometry, jobs, config.timing)
                 simulator.warm_up(config.warmup_passes)
                 results = simulator.run(
-                    quantum, config.budget_instructions
+                    quantum, config.horizon_instructions
                 )
                 cpis.append(
                     results[config.measured_job].cpi(config.timing)
@@ -179,9 +186,19 @@ def measure_trace_pipeline(full: bool, total_accesses: int) -> dict:
     config = smoke_config(full)
     input_bytes = config.input_bytes
 
-    start = time.perf_counter()
-    run = make_workload("gzip", input_bytes=input_bytes).record()
-    record_seconds = time.perf_counter() - start
+    # Best-of-N like the sweep below: one recording pass is only a
+    # few tens of milliseconds at smoke size, far inside scheduler
+    # noise on shared hosts.
+    record_seconds = None
+    for _ in range(SWEEP_TRIALS):
+        start = time.perf_counter()
+        run = make_workload("gzip", input_bytes=input_bytes).record()
+        elapsed = time.perf_counter() - start
+        record_seconds = (
+            elapsed
+            if record_seconds is None
+            else min(record_seconds, elapsed)
+        )
     trace = run.trace
 
     with tempfile.TemporaryDirectory() as scratch:
@@ -199,11 +216,18 @@ def measure_trace_pipeline(full: bool, total_accesses: int) -> dict:
         geometry = CacheGeometry.from_sizes(
             16384, line_size=16, columns=8
         )
-        cache = LockstepCache(geometry)
-        start = time.perf_counter()
-        for window in long_trace.iter_chunks(1 << 20):
-            cache.run(window.blocks_for(geometry.offset_bits))
-        replay_seconds = time.perf_counter() - start
+        replay_seconds = None
+        for _ in range(SWEEP_TRIALS):
+            cache = LockstepCache(geometry)
+            start = time.perf_counter()
+            for window in long_trace.iter_chunks(1 << 20):
+                cache.run(window.blocks_for(geometry.offset_bits))
+            elapsed = time.perf_counter() - start
+            replay_seconds = (
+                elapsed
+                if replay_seconds is None
+                else min(replay_seconds, elapsed)
+            )
         replayed = cache.result().accesses
 
     sweep_times = []
@@ -362,12 +386,38 @@ def measure_planner() -> dict:
     }
 
 
+def measure_fleet_service() -> dict:
+    """Run the live fleet-service smoke and report sustained rates.
+
+    The quick serve population (migration arm only — the baseline arm
+    is an experiment concern, not a perf floor) runs through the full
+    asyncio daemon: admission queues, shard workers, the hotspot
+    monitor, and the disjoint-column audit after every segment.  The
+    number the gate reads is ``admissions_per_second`` — completed
+    admissions over the wall time of the whole run including drain —
+    plus the invariant-violation count, which must be zero.
+    """
+    import dataclasses
+
+    from repro.experiments.serve import ServeConfig, run_serve
+
+    config = dataclasses.replace(
+        ServeConfig().quick(), skip_no_migration=True
+    )
+    result = run_serve(config)
+    payload = result.bench_payload()
+    payload["python"] = platform.python_version()
+    payload["machine"] = platform.machine()
+    return payload
+
+
 def check(
     report: dict,
     baseline: dict,
     tolerance: float,
     trace_report: dict | None = None,
     planner_report: dict | None = None,
+    fleet_report: dict | None = None,
 ) -> list[str]:
     """Regression verdicts (empty = pass)."""
     failures = []
@@ -407,6 +457,25 @@ def check(
                     f"planner throughput regressed: "
                     f"{planner_report['plans_per_sec']} plans/s < "
                     f"{floor_value:.1f} plans/s"
+                )
+    if fleet_report is not None:
+        # Correctness first: a disjoint-column violation is a bug, not
+        # a slowdown, so it fails regardless of tolerance.
+        if fleet_report["invariant_violations"]:
+            failures.append(
+                f"fleet service violated the disjoint-column "
+                f"invariant {fleet_report['invariant_violations']} "
+                f"time(s) across "
+                f"{fleet_report['invariant_checks']} audits"
+            )
+        floor_value = baseline.get("fleet_admissions_per_sec")
+        if floor_value is not None:
+            floor_value *= 1.0 - tolerance
+            if fleet_report["admissions_per_second"] < floor_value:
+                failures.append(
+                    f"fleet service throughput regressed: "
+                    f"{fleet_report['admissions_per_second']} "
+                    f"admissions/s < {floor_value:.1f} admissions/s"
                 )
     return failures
 
@@ -462,6 +531,22 @@ def main(argv=None) -> int:
     print(json.dumps(planner_report, indent=2))
     print(f"wrote {PLANNER_OUTPUT_PATH}")
 
+    fleet_report = measure_fleet_service()
+    FLEET_OUTPUT_PATH.write_text(
+        json.dumps(fleet_report, indent=2) + "\n", encoding="utf-8"
+    )
+    print(
+        json.dumps(
+            {
+                key: value
+                for key, value in fleet_report.items()
+                if key != "arms"
+            },
+            indent=2,
+        )
+    )
+    print(f"wrote {FLEET_OUTPUT_PATH}")
+
     if arguments.update_baseline:
         baseline = {
             "sweep": report["sweep"],
@@ -481,6 +566,12 @@ def main(argv=None) -> int:
             "planner_plans_per_sec": round(
                 planner_report["plans_per_sec"] * 0.85, 1
             ),
+            # The asyncio service is noisier than the pure-compute
+            # paths (scheduler wakeups, queue timing), so it gets
+            # deeper headroom than the 0.85 the others use.
+            "fleet_admissions_per_sec": round(
+                fleet_report["admissions_per_second"] * 0.5, 1
+            ),
             "measured_on": {
                 "accesses_per_sec": report["accesses_per_sec"],
                 "speedup": report["speedup"],
@@ -489,6 +580,9 @@ def main(argv=None) -> int:
                 ),
                 "planner_plans_per_sec": (
                     planner_report["plans_per_sec"]
+                ),
+                "fleet_admissions_per_sec": (
+                    fleet_report["admissions_per_second"]
                 ),
                 "python": report["python"],
                 "machine": report["machine"],
@@ -511,6 +605,7 @@ def main(argv=None) -> int:
             arguments.tolerance,
             trace_report,
             planner_report,
+            fleet_report,
         )
         if failures:
             for failure in failures:
@@ -521,7 +616,9 @@ def main(argv=None) -> int:
             f"(baseline {baseline['accesses_per_sec']}/s), speedup "
             f"{report['speedup']}x (floor {baseline['min_speedup']}x), "
             f"trace sweep {trace_report['sweep_accesses_per_sec']}/s, "
-            f"planner {planner_report['plans_per_sec']} plans/s"
+            f"planner {planner_report['plans_per_sec']} plans/s, "
+            f"service {fleet_report['admissions_per_second']} "
+            f"admissions/s"
         )
     return 0
 

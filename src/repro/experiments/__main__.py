@@ -1,7 +1,18 @@
-"""``python -m repro.experiments`` forwards to the CLI."""
+"""Deprecated entry point: ``python -m repro.experiments``.
+
+Kept as a shim for existing scripts; use ``repro experiments ...``
+(or the ``repro-experiments`` console script) instead.
+"""
 
 import sys
+import warnings
 
 from repro.experiments.cli import main
 
-sys.exit(main())
+warnings.warn(
+    "`python -m repro.experiments` is deprecated; use "
+    "`repro experiments ...`",
+    DeprecationWarning,
+    stacklevel=1,
+)
+sys.exit(main(prog="python -m repro.experiments"))

@@ -29,21 +29,24 @@ from repro.experiments.report import ExperimentSeries, ShapeCheck
 from repro.sim.config import EMBEDDED_TIMING, TimingConfig
 from repro.sim.engine.scheduler import SweepEngine
 from repro.sim.engine.spec import SimJob
+from repro.utils.aliases import deprecated_aliases
 
 #: Dotted path of the per-workload comparison runner.
 POINT_RUNNER = "repro.experiments.runners:adaptive_point"
 
 
+@deprecated_aliases(window_size="window_accesses")
 @dataclass(frozen=True)
 class WorkloadCase:
     """One workload of the comparison and its runtime knobs.
 
-    ``window_size`` should approximate one sweep of the workload's
-    inner loop so working-set signatures are stable within a phase.
+    ``window_accesses`` should approximate one sweep of the
+    workload's inner loop so working-set signatures are stable within
+    a phase.  (``window_size`` is a deprecated alias.)
     """
 
     workload: str
-    window_size: int
+    window_accesses: int
     kwargs: tuple[tuple[str, int], ...] = ()
 
 
@@ -54,17 +57,17 @@ class AdaptiveComparisonConfig:
     cases: tuple[WorkloadCase, ...] = (
         WorkloadCase(
             "packet",
-            window_size=2048,
+            window_accesses=2048,
             kwargs=(("batches", 2), ("rounds", 4)),
         ),
         WorkloadCase(
             "twopass",
-            window_size=512,
+            window_accesses=512,
             kwargs=(("blocks", 8), ("frames", 2)),
         ),
         WorkloadCase(
             "fft_phased",
-            window_size=256,
+            window_accesses=256,
             kwargs=(("n", 256), ("transforms", 2)),
         ),
     )
@@ -85,17 +88,17 @@ class AdaptiveComparisonConfig:
             cases=(
                 WorkloadCase(
                     "packet",
-                    window_size=2048,
+                    window_accesses=2048,
                     kwargs=(("batches", 1), ("rounds", 2)),
                 ),
                 WorkloadCase(
                     "twopass",
-                    window_size=512,
+                    window_accesses=512,
                     kwargs=(("blocks", 4), ("frames", 1)),
                 ),
                 WorkloadCase(
                     "fft_phased",
-                    window_size=256,
+                    window_accesses=256,
                     kwargs=(("n", 128), ("transforms", 1)),
                 ),
             ),
@@ -116,7 +119,7 @@ class AdaptiveComparisonConfig:
                         "columns": self.columns,
                         "column_bytes": self.column_bytes,
                         "line_size": self.line_size,
-                        "window_size": case.window_size,
+                        "window_accesses": case.window_accesses,
                         "signature_threshold": self.signature_threshold,
                         "miss_rate_threshold": self.miss_rate_threshold,
                         "hysteresis_windows": self.hysteresis_windows,

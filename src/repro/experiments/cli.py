@@ -2,17 +2,22 @@
 
 Usage::
 
-    python -m repro.experiments all
-    python -m repro.experiments figure4 --quick
-    repro-experiments figure4 --workers 8 --cache-dir .sweep-cache
+    repro experiments all
+    repro experiments figure4 --quick
+    repro experiments serve --bench-out BENCH_fleet.json
+    repro experiments figure4 --workers 8 --cache-dir .sweep-cache
 
-Experiment sweeps are submitted through the sweep engine:
+Every experiment is a subcommand sharing one parent parser, so
+``--quick``, ``--workers`` and ``--cache-dir`` mean the same thing
+everywhere.  Experiment sweeps are submitted through the sweep engine:
 ``--workers`` fans independent points over a process pool (Figure 4's
 partition sweeps; Figure 5 instead runs as one batched matrix job —
 its speed comes from the lockstep kernel, not the pool) and
 ``--cache-dir`` makes repeated runs incremental (points whose
 configuration is unchanged are served from the content-addressed
-result cache).
+result cache).  The ``serve`` demonstration is the exception: it runs
+a live asyncio service and measures wall-clock latency, so it never
+touches the result cache.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.experiments.adaptive import (
@@ -52,6 +58,12 @@ from repro.experiments.layout_search import (
     run_layout_search,
 )
 from repro.experiments.report import render_checks
+from repro.experiments.serve import (
+    ServeConfig,
+    check_serve,
+    run_serve,
+    write_bench,
+)
 from repro.sim.engine.scheduler import SweepEngine
 
 
@@ -145,6 +157,21 @@ def _run_layout_search(quick: bool, engine: SweepEngine) -> bool:
     return all(check.passed for check in checks)
 
 
+def _run_serve(quick: bool, bench_out: Optional[str]) -> bool:
+    config = ServeConfig().quick() if quick else ServeConfig()
+    start = time.perf_counter()
+    result = run_serve(config)
+    elapsed = time.perf_counter() - start
+    print(result.series.to_table())
+    checks = check_serve(result)
+    print(render_checks(checks))
+    print(f"  ({elapsed:.1f}s)\n")
+    if bench_out:
+        write_bench(result, Path(bench_out))
+        print(f"wrote {bench_out}")
+    return all(check.passed for check in checks)
+
+
 def make_engine(
     workers: Optional[int], cache_dir: Optional[str]
 ) -> SweepEngine:
@@ -158,43 +185,83 @@ def make_engine(
     )
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    parser = argparse.ArgumentParser(
-        prog="repro-experiments",
-        description="Regenerate the paper's figures as text tables.",
-    )
-    parser.add_argument(
-        "target",
-        choices=[
-            "figure4",
-            "figure5",
-            "adaptive",
-            "fleet",
-            "layout-search",
-            "all",
-        ],
-        help="which experiment to run",
-    )
-    parser.add_argument(
+def common_parser() -> argparse.ArgumentParser:
+    """The parent parser every experiments subcommand shares.
+
+    One definition of ``--quick``, ``--workers`` and ``--cache-dir``,
+    inherited via ``parents=[...]`` — a flag means the same thing on
+    every subcommand by construction.
+    """
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
         "--quick",
         action="store_true",
         help="smaller workloads/budgets for a fast smoke run",
     )
-    parser.add_argument(
+    common.add_argument(
         "--workers",
         type=int,
         default=None,
         help="fan sweep points over this many worker processes "
         "(default: run in-process)",
     )
-    parser.add_argument(
+    common.add_argument(
         "--cache-dir",
         default=None,
         help="directory for the content-addressed sweep result cache "
         "(repeat runs become incremental)",
     )
-    arguments = parser.parse_args(argv)
+    return common
+
+
+#: Subcommand -> one-line help (order defines ``all``'s run order).
+_TARGET_HELP = {
+    "figure4": "partition sweeps for the paper's Figure 4 routines",
+    "figure5": "the mapped-vs-unmapped CPI matrix (Figure 5)",
+    "adaptive": "phase-adaptive runtime vs static layouts",
+    "fleet": "offline broker vs shared vs static-split serving",
+    "layout-search": "layout-search backend comparison",
+    "serve": "the live fleet-service demonstration (async daemon)",
+}
+
+
+def build_parser(prog: str = "repro-experiments") -> argparse.ArgumentParser:
+    """The experiments CLI parser (exposed for the unified CLI)."""
+    common = common_parser()
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="Regenerate the paper's figures as text tables.",
+    )
+    subparsers = parser.add_subparsers(
+        dest="target",
+        required=True,
+        metavar="target",
+    )
+    for name, help_text in _TARGET_HELP.items():
+        subparser = subparsers.add_parser(
+            name, parents=[common], help=help_text
+        )
+        if name == "serve":
+            subparser.add_argument(
+                "--bench-out",
+                default=None,
+                help="write the service benchmark payload "
+                "(BENCH_fleet.json) to this path",
+            )
+    subparsers.add_parser(
+        "all",
+        parents=[common],
+        help="run every experiment in sequence",
+    )
+    return parser
+
+
+def main(
+    argv: Sequence[str] | None = None,
+    prog: str = "repro-experiments",
+) -> int:
+    """CLI entry point; returns a process exit code."""
+    arguments = build_parser(prog).parse_args(argv)
     engine = make_engine(arguments.workers, arguments.cache_dir)
 
     ok = True
@@ -208,6 +275,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         ok = _run_fleet(arguments.quick, engine) and ok
     if arguments.target in ("layout-search", "all"):
         ok = _run_layout_search(arguments.quick, engine) and ok
+    if arguments.target in ("serve", "all"):
+        ok = _run_serve(
+            arguments.quick, getattr(arguments, "bench_out", None)
+        ) and ok
     executed = engine.stats
     print(
         f"sweep engine: {executed['executed']} jobs executed, "

@@ -27,6 +27,7 @@ from repro.sim.engine.multitask_batch import simulate_multitask_matrix
 from repro.sim.engine.scheduler import SweepEngine
 from repro.sim.engine.spec import SimJob
 from repro.sim.multitask import Job, MultitaskSimulator
+from repro.utils.aliases import deprecated_aliases
 from repro.utils.bitvector import ColumnMask
 from repro.workloads.base import WorkloadRun
 from repro.workloads.gzip_like import make_gzip_job
@@ -38,9 +39,15 @@ MATRIX_RUNNER = "repro.experiments.runners:figure5_matrix"
 _JOB_SPACE_BITS = 32
 
 
+@deprecated_aliases(budget_instructions="horizon_instructions")
 @dataclass(frozen=True)
 class Figure5Config:
-    """Parameters of the Figure 5 experiment."""
+    """Parameters of the Figure 5 experiment.
+
+    ``horizon_instructions`` is the per-point instruction budget (the
+    canonical name shared with the fleet configs;
+    ``budget_instructions`` is a deprecated alias).
+    """
 
     cache_sizes_kb: tuple[int, ...] = (16, 128)
     columns: int = 8
@@ -52,7 +59,7 @@ class Figure5Config:
     input_bytes: int = 4096
     window_bits: int = 12
     hash_bits: int = 11
-    budget_instructions: int = 600_000
+    horizon_instructions: int = 600_000
     warmup_passes: int = 1
     timing: TimingConfig = MULTITASK_TIMING
 
@@ -69,7 +76,7 @@ class Figure5Config:
             input_bytes=1024,
             window_bits=self.window_bits,
             hash_bits=self.hash_bits,
-            budget_instructions=120_000,
+            horizon_instructions=120_000,
             warmup_passes=self.warmup_passes,
             timing=self.timing,
         )
@@ -155,7 +162,7 @@ def run_figure5_curve(
         points = simulate_multitask_matrix(
             [(geometry, jobs)],
             list(config.quanta),
-            config.budget_instructions,
+            config.horizon_instructions,
             warmup_passes=config.warmup_passes,
         )[0]
         return [
@@ -166,7 +173,7 @@ def run_figure5_curve(
     for quantum in config.quanta:
         simulator = MultitaskSimulator(geometry, jobs, config.timing)
         simulator.warm_up(config.warmup_passes)
-        results = simulator.run(quantum, config.budget_instructions)
+        results = simulator.run(quantum, config.horizon_instructions)
         cpis.append(results[config.measured_job].cpi(config.timing))
     return cpis
 
@@ -186,7 +193,7 @@ def matrix_job(config: Figure5Config) -> SimJob:
             "input_bytes": config.input_bytes,
             "window_bits": config.window_bits,
             "hash_bits": config.hash_bits,
-            "budget_instructions": config.budget_instructions,
+            "budget_instructions": config.horizon_instructions,
             "warmup_passes": config.warmup_passes,
             "timing": dataclasses.asdict(config.timing),
         },
@@ -217,7 +224,7 @@ def run_figure5(
             f"{len(config.job_names)} gzip jobs ({config.input_bytes}B "
             f"input each), job {config.measured_job} measured; mapped = "
             f"{config.a_columns}/{config.columns} columns exclusive",
-            f"budget {config.budget_instructions} instructions per point",
+            f"budget {config.horizon_instructions} instructions per point",
         ],
     )
     for (cache_kb, mapped), cpis in zip(value["labels"], value["cpis"]):

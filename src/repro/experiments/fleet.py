@@ -113,6 +113,13 @@ class FleetComparisonConfig:
     churn_seed: int = 11
     timing: TimingConfig = MULTITASK_TIMING
 
+    @property
+    def column_bytes(self) -> int:
+        """Per-column capacity (``sets * line_size``) — the layout
+        configs' native sizing vocabulary, derived here so the two
+        families of configs read the same either way."""
+        return self.sets * self.line_size
+
     def quick(self) -> "FleetComparisonConfig":
         """Smaller horizons for a fast smoke run."""
         return dataclasses.replace(

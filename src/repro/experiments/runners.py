@@ -176,7 +176,7 @@ def adaptive_point(
     columns: int,
     column_bytes: int,
     line_size: int,
-    window_size: int,
+    window_accesses: int,
     signature_threshold: float,
     miss_rate_threshold: float,
     hysteresis_windows: int,
@@ -214,7 +214,7 @@ def adaptive_point(
         layout,
         timing_config,
         AdaptiveConfig(
-            window_size=window_size,
+            window_accesses=window_accesses,
             signature_threshold=signature_threshold,
             miss_rate_threshold=miss_rate_threshold,
             hysteresis_windows=hysteresis_windows,

@@ -1,0 +1,332 @@
+"""The fleet-service demonstration: ``repro experiments serve``.
+
+Drives the async sharded broker daemon
+(:class:`~repro.fleet.service.daemon.FleetService`) with an open-loop
+Poisson tenant population whose routing keys are skewed toward one hot
+shard, and runs the same schedule through two arms:
+
+* **no-migration** — the hotspot monitor disabled; the hot shard's
+  admission queue backs up and late arrivals time out;
+* **migration** — the monitor live-migrates residents from the hot
+  shard to colder ones, so queued admissions land sooner.
+
+The report covers per-shard admission-latency percentiles (wall-clock
+and virtual queue wait), occupancy and CPI, rejected-vs-migrated
+counts, shard imbalance over time, and sustained admission throughput.
+The shape checks pin the serving story: enough tenants over enough
+shards, zero disjoint-column invariant violations across all shards
+for the entire run, and the migration arm beating the no-migration
+arm's worst-shard p99 queue wait.
+
+Unlike the figure experiments this one does not go through the sweep
+engine: a live asyncio service measures wall-clock latency, which is
+exactly the thing a content-addressed result cache must never replay.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.experiments.report import ExperimentSeries, ShapeCheck
+from repro.fleet.service.daemon import (
+    FleetService,
+    ServiceConfig,
+)
+from repro.fleet.service.loadgen import (
+    LoadGenConfig,
+    LoadReport,
+    build_arrivals,
+    default_workload_pool,
+    run_load,
+)
+from repro.fleet.service.telemetry import ServiceSnapshot
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Parameters of the fleet-service demonstration.
+
+    The defaults satisfy the headline scale — at least 1000 concurrent
+    Poisson tenant sessions over at least 4 shards — with the hot
+    shard offered roughly 1.3x its service rate (a real hotspot) while
+    the fleet as a whole keeps headroom for migration to exploit.
+
+    Attributes:
+        service: Daemon topology and pacing (migration flag is
+            overridden per arm).
+        load: The generated tenant population.
+        skip_no_migration: Run only the migration arm (the smoke path
+            in CI exercises the full service but halves the wall
+            time).
+    """
+
+    service: ServiceConfig = field(
+        default_factory=lambda: ServiceConfig(
+            shards=4,
+            patience_instructions=32_768,
+            monitor_interval_instructions=4_096,
+        )
+    )
+    load: LoadGenConfig = field(
+        default_factory=lambda: LoadGenConfig(
+            tenants=1000,
+            mean_interarrival_instructions=2048.0,
+            mean_service_instructions=6144.0,
+            min_service_instructions=2048,
+            hot_fraction=0.25,
+            hot_shard=1,
+            seed=7,
+        )
+    )
+    skip_no_migration: bool = False
+
+    def quick(self) -> "ServeConfig":
+        """A smaller population for a fast smoke run."""
+        return dataclasses.replace(
+            self,
+            load=dataclasses.replace(self.load, tenants=150),
+        )
+
+
+@dataclass
+class ServeArm:
+    """One arm of the demonstration (migration on or off).
+
+    Attributes:
+        migration: Whether the hotspot monitor ran.
+        report: The load generator's view (tickets, throughput).
+        snapshot: The fleet's final state.
+        migrations: Live migrations applied.
+        invariant_checks: Disjointness audits run (one per segment
+            per shard).
+        invariant_violations: Audits that failed (must be zero).
+        imbalance_timeline: (virtual time, imbalance) samples from
+            the monitor (empty when migration is off).
+    """
+
+    migration: bool
+    report: LoadReport
+    snapshot: ServiceSnapshot
+    migrations: int
+    invariant_checks: int
+    invariant_violations: int
+    imbalance_timeline: list[tuple[int, float]]
+
+    def as_dict(self) -> dict[str, Any]:
+        """Structured, JSON-serializable export."""
+        return {
+            "migration": self.migration,
+            "load": self.report.as_dict(),
+            "migrations": self.migrations,
+            "invariant_checks": self.invariant_checks,
+            "invariant_violations": self.invariant_violations,
+            "imbalance_timeline": [
+                [int(at), round(value, 4)]
+                for at, value in self.imbalance_timeline
+            ],
+            "fleet": self.snapshot.as_dict(),
+        }
+
+
+@dataclass
+class ServeResult:
+    """Both arms plus the rendered comparison series."""
+
+    config: ServeConfig
+    series: ExperimentSeries
+    arms: dict[str, ServeArm] = field(default_factory=dict)
+
+    @property
+    def migration_arm(self) -> ServeArm:
+        """The arm with the hotspot monitor enabled."""
+        return self.arms["migration"]
+
+    def bench_payload(self) -> dict[str, Any]:
+        """The BENCH_fleet.json payload (perf floors read this)."""
+        arm = self.migration_arm
+        return {
+            "benchmark": "fleet-service",
+            "shards": self.config.service.shards,
+            "tenants": self.config.load.tenants,
+            "admissions_per_second": round(
+                arm.report.admissions_per_second, 2
+            ),
+            "admitted": arm.report.admitted,
+            "rejected": arm.report.rejected,
+            "migrations": arm.migrations,
+            "invariant_checks": arm.invariant_checks,
+            "invariant_violations": arm.invariant_violations,
+            "worst_shard_p99_queue_wait_instructions": (
+                arm.report.worst_shard_p99_queue_wait()
+            ),
+            "arms": {
+                name: arm.as_dict() for name, arm in self.arms.items()
+            },
+        }
+
+
+async def _run_arm(config: ServeConfig, migration: bool) -> ServeArm:
+    """Run one arm: a fresh service, the same arrival schedule."""
+    service = FleetService(
+        dataclasses.replace(
+            config.service, migration_enabled=migration
+        )
+    )
+    pool = default_workload_pool(config.load.seed)
+    arrivals = build_arrivals(config.load, service.router, runs=pool)
+    async with service:
+        report = await run_load(service, arrivals)
+        snapshot = service.snapshot()
+    return ServeArm(
+        migration=migration,
+        report=report,
+        snapshot=snapshot,
+        migrations=len(service.migrations),
+        invariant_checks=service.invariant_checks,
+        invariant_violations=service.invariant_violations,
+        imbalance_timeline=list(service.imbalance_timeline),
+    )
+
+
+def run_serve(config: Optional[ServeConfig] = None) -> ServeResult:
+    """Run the demonstration (both arms) and build the series."""
+    config = config or ServeConfig()
+    arms: dict[str, ServeArm] = {}
+    if not config.skip_no_migration:
+        arms["no-migration"] = asyncio.run(_run_arm(config, False))
+    arms["migration"] = asyncio.run(_run_arm(config, True))
+
+    arm_names = list(arms)
+    series = ExperimentSeries(
+        name="fleet-service",
+        x_label="arm",
+        x_values=arm_names,
+        notes=[
+            f"{config.service.shards} shards x "
+            f"{config.service.geometry.columns} columns, "
+            f"{config.load.tenants} Poisson tenants, hot fraction "
+            f"{config.load.hot_fraction:.0%} -> shard "
+            f"{config.load.hot_shard}, patience "
+            f"{config.service.patience_instructions} instr",
+            "queue waits are virtual instructions; adm/s is "
+            "wall-clock decision throughput",
+        ],
+    )
+    series.add(
+        "admitted", [arms[a].report.admitted for a in arm_names]
+    )
+    series.add(
+        "rejected", [arms[a].report.rejected for a in arm_names]
+    )
+    series.add("migrations", [arms[a].migrations for a in arm_names])
+    series.add(
+        "worst_p99_wait",
+        [
+            arms[a].report.worst_shard_p99_queue_wait()
+            for a in arm_names
+        ],
+    )
+    series.add(
+        "adm_per_s",
+        [
+            round(arms[a].report.admissions_per_second, 1)
+            for a in arm_names
+        ],
+    )
+    series.add(
+        "violations",
+        [arms[a].invariant_violations for a in arm_names],
+    )
+    return ServeResult(config=config, series=series, arms=arms)
+
+
+def check_serve(result: ServeResult) -> list[ShapeCheck]:
+    """What "the fleet service works" means, checkably."""
+    config = result.config
+    checks = [
+        ShapeCheck(
+            claim="scale: >= 4 shards serving the tenant population",
+            passed=config.service.shards >= 4,
+            detail=f"{config.service.shards} shards",
+        )
+    ]
+    total_checks = sum(
+        arm.invariant_checks for arm in result.arms.values()
+    )
+    total_violations = sum(
+        arm.invariant_violations for arm in result.arms.values()
+    )
+    checks.append(
+        ShapeCheck(
+            claim=(
+                "zero disjoint-column invariant violations across "
+                "all shards, every segment, every arm"
+            ),
+            passed=total_violations == 0 and total_checks > 0,
+            detail=(
+                f"{total_checks} audits, {total_violations} violations"
+            ),
+        )
+    )
+    migration = result.arms["migration"]
+    checks.append(
+        ShapeCheck(
+            claim="hotspot monitor migrated tenants off the hot shard",
+            passed=migration.migrations > 0,
+            detail=f"{migration.migrations} live migrations",
+        )
+    )
+    checks.append(
+        ShapeCheck(
+            claim="every admitted tenant was served to completion",
+            passed=migration.snapshot.residents == 0,
+            detail=(
+                f"{migration.report.admitted} admitted, "
+                f"{migration.snapshot.residents} still resident"
+            ),
+        )
+    )
+    if "no-migration" in result.arms:
+        baseline = result.arms["no-migration"]
+        base_p99 = baseline.report.worst_shard_p99_queue_wait()
+        live_p99 = migration.report.worst_shard_p99_queue_wait()
+        checks.append(
+            ShapeCheck(
+                claim=(
+                    "migration reduces the worst shard's p99 "
+                    "admission queue wait"
+                ),
+                passed=live_p99 < base_p99,
+                detail=(
+                    f"no-migration p99={base_p99:.0f} instr vs "
+                    f"migration p99={live_p99:.0f} instr"
+                ),
+            )
+        )
+        checks.append(
+            ShapeCheck(
+                claim=(
+                    "migration admits at least as many tenants as "
+                    "the no-migration baseline"
+                ),
+                passed=(
+                    migration.report.admitted
+                    >= baseline.report.admitted
+                ),
+                detail=(
+                    f"{migration.report.admitted} vs "
+                    f"{baseline.report.admitted} admitted"
+                ),
+            )
+        )
+    return checks
+
+
+def write_bench(result: ServeResult, path: Path) -> None:
+    """Write the BENCH_fleet.json payload."""
+    path.write_text(json.dumps(result.bench_payload(), indent=2))

@@ -20,10 +20,15 @@ live, contended resource:
   broker-driven tint rewrites live at segment boundaries.
 * :mod:`repro.fleet.trace` — Poisson arrival/departure generation
   over the workload suite (:func:`generate_fleet_trace`).
+* :mod:`repro.fleet.service` — the live, scaled-out form: an asyncio
+  daemon running N broker shards behind a rendezvous-hash router,
+  with admission queues, patience timeouts, and a hotspot monitor
+  that live-migrates running tenants between shards.
 
-``python -m repro.experiments fleet`` scores the broker's per-tenant
-CPI isolation against solo runs, the shared cache and a static equal
-split.
+``repro experiments fleet`` scores the broker's per-tenant CPI
+isolation against solo runs, the shared cache and a static equal
+split; ``repro experiments serve`` drives the sharded daemon with a
+Poisson load and A/B-tests live migration.
 """
 
 from repro.fleet.broker import (

@@ -212,6 +212,11 @@ class ColumnBroker:
             when its predicted priority-weighted benefit exceeds the
             tint-rewrite cost by this margin (churn hysteresis);
             arrivals and departures always apply.
+        session: Planner session the demand probes run through
+            (default: a fresh one).  The fleet service passes one
+            session to every shard's broker, so identical workloads
+            admitted on *different* shards share one content-cached
+            demand curve.
     """
 
     def __init__(
@@ -220,6 +225,7 @@ class ColumnBroker:
         timing: Optional[TimingConfig] = None,
         profile_accesses: int = DEFAULT_PROFILE_ACCESSES,
         min_benefit_cycles: int = 0,
+        session: Optional[PlannerSession] = None,
     ):
         self.geometry = geometry
         self.timing = timing or TimingConfig()
@@ -227,7 +233,7 @@ class ColumnBroker:
         self.min_benefit_cycles = min_benefit_cycles
         #: Shared planner session: demand probes across tenants,
         #: arrivals and phase changes are content-cached together.
-        self.session = PlannerSession()
+        self.session = session if session is not None else PlannerSession()
         self.tint_table = TintTable(columns=geometry.columns)
         self.grants: dict[str, ColumnMask] = {}
         self.demands: dict[str, ColumnDemand] = {}

@@ -1,0 +1,546 @@
+"""The fleet service daemon: async admission over sharded brokers.
+
+:class:`FleetService` turns N :class:`~repro.fleet.service.shard.ShardServer`
+instances — each owning one cache's column space — into one
+asyncio-served admission surface:
+
+* **Routing.**  Arrivals route by tenant name through a
+  :class:`~repro.fleet.service.router.TenantHashRouter` (rendezvous
+  hashing, so routes are stable as the fleet scales); live migrations
+  overlay pins.
+* **Admission.**  :meth:`FleetService.submit` enqueues the tenant on
+  its shard's queue and resolves to an :class:`AdmissionTicket` when
+  the shard's worker decides.  A request waits (in *virtual* time)
+  until the shard has a free column; a request older than its patience
+  budget is rejected.  Both wall-clock decision latency and virtual
+  queue wait are recorded per shard.
+* **Serving.**  One asyncio worker per shard alternates queue
+  processing with one scheduling segment
+  (:meth:`~repro.fleet.service.shard.ShardServer.advance`), so
+  admission latency is coupled to how loaded the shard is — the
+  hotspot signal is real, not simulated.
+* **Clock.**  The service's virtual clock is the *minimum* shard
+  clock; :meth:`FleetService.wait_until` lets the load generator pace
+  Poisson arrivals against it.
+* **Migration.**  A monitor task samples shard imbalance; when one
+  shard's admission queue backs up while another has free columns, a
+  resident is extracted hot-side, injected cold-side (the same
+  graceful tint-rewrite mechanics as any re-grant — the migrant
+  restarts cold but its telemetry follows it), and pinned to its new
+  home.  Candidates are priced with the broker's demand curves and
+  the tint-rewrite cost model shared with
+  :class:`~repro.runtime.policy.RepartitionPolicy`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cache.geometry import CacheGeometry
+from repro.fleet.executor import FleetConfig
+from repro.fleet.service.router import TenantHashRouter
+from repro.fleet.service.shard import ShardServer
+from repro.fleet.service.telemetry import (
+    LatencyRecorder,
+    ServiceSnapshot,
+)
+from repro.fleet.tenant import TenantSpec
+from repro.layout.session import PlannerSession
+from repro.sim.config import TimingConfig
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything the daemon needs to serve a shard fleet.
+
+    Attributes:
+        shards: Broker shards (each owns one cache's column space).
+        geometry: Per-shard cache geometry.
+        timing: Cycle model shared by every shard.
+        fleet: Per-shard scheduling knobs (quantum, window, phase
+            detection) — the segment budget is
+            ``fleet.window_instructions``.
+        admissions_per_segment: Admission decisions one worker makes
+            per segment (admission control is rate-limited work:
+            each admit profiles a demand curve).
+        patience_instructions: Virtual-time budget a queued admission
+            waits for a free column before it is rejected.
+        migration_enabled: Run the hotspot monitor.
+        monitor_interval_instructions: Virtual time between hotspot
+            checks.
+        imbalance_threshold: Resident-count max/mean ratio above which
+            the monitor treats the fleet as imbalanced even without a
+            queue backlog.
+        min_hot_residents: Never migrate off a shard with fewer
+            residents than this.
+    """
+
+    shards: int = 4
+    geometry: CacheGeometry = field(
+        default_factory=lambda: CacheGeometry(
+            line_size=16, sets=64, columns=8
+        )
+    )
+    timing: TimingConfig = field(default_factory=TimingConfig)
+    fleet: FleetConfig = field(
+        default_factory=lambda: FleetConfig(
+            quantum_instructions=128,
+            window_instructions=4096,
+            # Damped relative to the offline executor's defaults: a
+            # daemon pays a fresh demand-curve probe per phase
+            # boundary (live windows never repeat content-wise, so
+            # the planner cache cannot absorb them), and interleaved
+            # wrapping traces flag spurious boundaries constantly.
+            hysteresis_windows=8,
+            min_detect_accesses=256,
+        )
+    )
+    admissions_per_segment: int = 4
+    patience_instructions: int = 65_536
+    migration_enabled: bool = True
+    monitor_interval_instructions: int = 8_192
+    imbalance_threshold: float = 1.5
+    min_hot_residents: int = 2
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.admissions_per_segment < 1:
+            raise ValueError("admissions_per_segment must be >= 1")
+        if self.patience_instructions < 1:
+            raise ValueError("patience_instructions must be >= 1")
+
+
+@dataclass(frozen=True)
+class AdmissionTicket:
+    """The service's decision on one admission request.
+
+    Attributes:
+        tenant: The tenant the decision concerns.
+        shard: The shard that decided (the route at decision time).
+        admitted: True when the tenant is now resident.
+        reason: ``"admitted"``, ``"timeout"`` (patience exhausted
+            waiting for a free column), or ``"shutdown"``.
+        wall_latency_s: Wall-clock seconds from submit to decision.
+        queue_wait_instructions: Virtual time the request waited.
+    """
+
+    tenant: str
+    shard: int
+    admitted: bool
+    reason: str
+    wall_latency_s: float
+    queue_wait_instructions: int
+
+
+@dataclass
+class _PendingAdmission:
+    """One queued admission request (internal to the daemon)."""
+
+    spec: TenantSpec
+    service_instructions: Optional[int]
+    submitted_wall: float
+    submitted_virtual: int
+    deadline_virtual: int
+    future: asyncio.Future
+
+
+@dataclass(frozen=True)
+class MigrationRecord:
+    """One applied live migration.
+
+    Attributes:
+        tenant: Who moved.
+        source: Shard it left.
+        target: Shard it landed on.
+        at: Virtual service clock when the monitor decided.
+    """
+
+    tenant: str
+    source: int
+    target: int
+    at: int
+
+
+class FleetService:
+    """An asyncio daemon serving tenants across broker shards.
+
+    Args:
+        config: Fleet topology, pacing, and migration knobs.
+
+    Use as an async context manager (or call :meth:`start` /
+    :meth:`stop`): workers and the hotspot monitor are asyncio tasks
+    on the running loop.  All shards share one
+    :class:`~repro.layout.session.PlannerSession`, so identical
+    workloads admitted anywhere in the fleet share one content-cached
+    demand curve — re-admission is cheap by construction.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig()
+        self.session = PlannerSession()
+        self.router = TenantHashRouter(self.config.shards)
+        self.shards = [
+            ShardServer(
+                index,
+                self.config.geometry,
+                self.config.timing,
+                self.config.fleet,
+                session=self.session,
+            )
+            for index in range(self.config.shards)
+        ]
+        self.wall_latency = [
+            LatencyRecorder() for _ in range(self.config.shards)
+        ]
+        self.queue_wait = [
+            LatencyRecorder() for _ in range(self.config.shards)
+        ]
+        self.migrations: list[MigrationRecord] = []
+        self.imbalance_timeline: list[tuple[int, float]] = []
+        self.invariant_checks = 0
+        self.invariant_violations = 0
+        self._pending: list[list[_PendingAdmission]] = [
+            [] for _ in range(self.config.shards)
+        ]
+        self._queues: list[asyncio.Queue] = []
+        self._tasks: list[asyncio.Task] = []
+        self._clock_event: Optional[asyncio.Event] = None
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Spawn one worker task per shard plus the hotspot monitor."""
+        if self._running:
+            raise RuntimeError("service is already running")
+        self._running = True
+        self._clock_event = asyncio.Event()
+        self._queues = [
+            asyncio.Queue() for _ in range(self.config.shards)
+        ]
+        self._tasks = [
+            asyncio.create_task(self._shard_worker(index))
+            for index in range(self.config.shards)
+        ]
+        if self.config.migration_enabled:
+            self._tasks.append(asyncio.create_task(self._monitor()))
+
+    async def stop(self) -> None:
+        """Stop workers; reject whatever is still queued."""
+        self._running = False
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks = []
+        for shard_index, pending in enumerate(self._pending):
+            for request in pending:
+                self._resolve(
+                    shard_index, request, admitted=False,
+                    reason="shutdown",
+                )
+            pending.clear()
+        for queue in self._queues:
+            while not queue.empty():
+                kind, payload = queue.get_nowait()
+                if kind == "admit":
+                    self._resolve(
+                        self.router.route(payload.spec.name),
+                        payload,
+                        admitted=False,
+                        reason="shutdown",
+                    )
+        self._tick()  # release anyone blocked in wait_until/drain
+
+    async def __aenter__(self) -> "FleetService":
+        """Start the daemon on context entry."""
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        """Stop the daemon on context exit."""
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Client surface
+    # ------------------------------------------------------------------
+    @property
+    def virtual_now(self) -> int:
+        """The service clock: the *minimum* shard clock.
+
+        The minimum (not the mean) so that pacing against it never
+        lets a loaded shard fall arbitrarily far behind the arrival
+        schedule.
+        """
+        return min(shard.now for shard in self.shards)
+
+    async def wait_until(self, virtual_time: int) -> None:
+        """Block until the service clock reaches ``virtual_time``."""
+        while self._running and self.virtual_now < virtual_time:
+            event = self._clock_event
+            if event is None:
+                raise RuntimeError("service is not running")
+            event.clear()
+            await event.wait()
+
+    async def submit(
+        self,
+        spec: TenantSpec,
+        service_instructions: Optional[int] = None,
+    ) -> AdmissionTicket:
+        """Request admission; resolves when the shard decides.
+
+        The tenant routes by name; once admitted it is served until
+        ``service_instructions`` are executed (forever when None),
+        then auto-departs.
+        """
+        if not self._running:
+            raise RuntimeError("service is not running")
+        request = _PendingAdmission(
+            spec=spec,
+            service_instructions=service_instructions,
+            submitted_wall=time.perf_counter(),
+            submitted_virtual=self.virtual_now,
+            deadline_virtual=(
+                self.virtual_now + self.config.patience_instructions
+            ),
+            future=asyncio.get_running_loop().create_future(),
+        )
+        shard_index = self.router.route(spec.name)
+        await self._queues[shard_index].put(("admit", request))
+        return await request.future
+
+    async def depart(self, name: str) -> None:
+        """Request a tenant's departure on its routed shard."""
+        if not self._running:
+            raise RuntimeError("service is not running")
+        await self._queues[self.router.route(name)].put(
+            ("depart", name)
+        )
+
+    async def drain(self) -> None:
+        """Wait until no shard has residents or queued requests."""
+        while self._running and not self._idle():
+            event = self._clock_event
+            if event is None:
+                return
+            event.clear()
+            await event.wait()
+
+    def snapshot(self) -> ServiceSnapshot:
+        """The whole fleet's state at this instant."""
+        return ServiceSnapshot(
+            shards=tuple(
+                shard.snapshot(
+                    queue_depth=len(self._pending[index])
+                    + (
+                        self._queues[index].qsize()
+                        if self._queues
+                        else 0
+                    )
+                )
+                for index, shard in enumerate(self.shards)
+            ),
+            migrations=len(self.migrations),
+        )
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+    async def _shard_worker(self, shard_index: int) -> None:
+        """One shard's serve loop: requests, then one segment."""
+        shard = self.shards[shard_index]
+        queue = self._queues[shard_index]
+        pending = self._pending[shard_index]
+        columns = self.config.geometry.columns
+        try:
+            while self._running:
+                while not queue.empty():
+                    kind, payload = queue.get_nowait()
+                    if kind == "admit":
+                        pending.append(payload)
+                    else:
+                        if payload in shard.broker.grants:
+                            shard.depart(payload)
+                # Decide queued admissions, oldest first, while the
+                # shard has capacity and the segment's decision budget
+                # lasts.
+                decisions = 0
+                while (
+                    pending
+                    and decisions < self.config.admissions_per_segment
+                    and len(shard.broker.resident) < columns
+                ):
+                    request = pending.pop(0)
+                    admitted = shard.admit(
+                        request.spec,
+                        service_instructions=(
+                            request.service_instructions
+                        ),
+                    )
+                    decisions += 1
+                    self._resolve(
+                        shard_index,
+                        request,
+                        admitted=admitted,
+                        reason=(
+                            "admitted" if admitted else "rejected"
+                        ),
+                    )
+                # Give up on requests past their patience budget.
+                expired = [
+                    request
+                    for request in pending
+                    if shard.now >= request.deadline_virtual
+                ]
+                for request in expired:
+                    pending.remove(request)
+                    self._resolve(
+                        shard_index, request,
+                        admitted=False, reason="timeout",
+                    )
+                shard.advance()
+                self.invariant_checks += 1
+                try:
+                    shard.check_disjoint()
+                except AssertionError:
+                    self.invariant_violations += 1
+                self._tick()
+                await asyncio.sleep(0)
+        except asyncio.CancelledError:
+            raise
+
+    async def _monitor(self) -> None:
+        """The hotspot monitor: sample imbalance, migrate residents."""
+        interval = self.config.monitor_interval_instructions
+        next_check = interval
+        try:
+            while self._running:
+                await self.wait_until(next_check)
+                next_check = self.virtual_now + interval
+                snapshot = self.snapshot()
+                self.imbalance_timeline.append(
+                    (self.virtual_now, snapshot.imbalance)
+                )
+                self._maybe_migrate(snapshot)
+        except asyncio.CancelledError:
+            raise
+
+    def _maybe_migrate(self, snapshot: ServiceSnapshot) -> None:
+        """Move one resident from the hottest to the coldest shard.
+
+        Hot = deepest admission backlog, then most residents.  The
+        move happens only when the hot shard has a backlog (or the
+        resident imbalance exceeds the threshold) and some colder
+        shard has a free column to receive the migrant.
+        """
+        ranked = sorted(
+            snapshot.shards,
+            key=lambda s: (s.queue_depth, len(s.residents)),
+            reverse=True,
+        )
+        hot = ranked[0]
+        cold = min(ranked, key=lambda s: len(s.residents))
+        pressured = hot.queue_depth > 0 or (
+            snapshot.imbalance > self.config.imbalance_threshold
+        )
+        if (
+            not pressured
+            or hot.shard == cold.shard
+            or cold.free_columns < 1
+            or len(hot.residents) < self.config.min_hot_residents
+            or len(hot.residents) <= len(cold.residents)
+        ):
+            return
+        name = self._cheapest_migrant(hot.shard)
+        if name is None:
+            return
+        migrant = self.shards[hot.shard].extract(name)
+        if self.shards[cold.shard].inject(migrant):
+            self.router.pin(name, cold.shard)
+            self.migrations.append(
+                MigrationRecord(
+                    tenant=name,
+                    source=hot.shard,
+                    target=cold.shard,
+                    at=self.virtual_now,
+                )
+            )
+        else:
+            # Cold shard filled up since the snapshot: put the tenant
+            # back where it was; if even that fails the tenant is
+            # simply gone (extract already counted it out).
+            if not self.shards[hot.shard].inject(migrant):
+                self.router.unpin(name)
+
+    def _cheapest_migrant(self, shard_index: int) -> Optional[str]:
+        """The hot shard's resident with the lowest migration cost.
+
+        Priced with the same ingredients as
+        :meth:`~repro.runtime.policy.RepartitionPolicy.remap_cost_cycles`:
+        two tint rewrites (release + re-grant) plus the cold-refill
+        estimate from the broker's measured demand curve at the
+        tenant's current grant, all weighted by priority — so a cheap
+        low-priority tenant moves before an expensive high-priority
+        one.
+        """
+        shard = self.shards[shard_index]
+        broker = shard.broker
+        best_name: Optional[str] = None
+        best_cost: Optional[int] = None
+        timing = self.config.timing
+        for name in broker.resident:
+            demand = broker.demands[name]
+            columns = broker.grants[name].count()
+            refill = demand.cost(columns) * timing.miss_penalty
+            cost = broker.priorities[name] * (
+                2 * timing.remap_tint_cycles + refill
+            )
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best_name = name
+        return best_name
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _idle(self) -> bool:
+        if any(self._pending[i] for i in range(len(self._pending))):
+            return False
+        if any(not queue.empty() for queue in self._queues):
+            return False
+        return all(not shard.broker.resident for shard in self.shards)
+
+    def _tick(self) -> None:
+        event = self._clock_event
+        if event is not None:
+            event.set()
+
+    def _resolve(
+        self,
+        shard_index: int,
+        request: _PendingAdmission,
+        admitted: bool,
+        reason: str,
+    ) -> None:
+        wall = time.perf_counter() - request.submitted_wall
+        waited = max(
+            self.shards[shard_index].now - request.submitted_virtual, 0
+        )
+        self.wall_latency[shard_index].record(wall)
+        self.queue_wait[shard_index].record(float(waited))
+        if not request.future.done():
+            request.future.set_result(
+                AdmissionTicket(
+                    tenant=request.spec.name,
+                    shard=shard_index,
+                    admitted=admitted,
+                    reason=reason,
+                    wall_latency_s=wall,
+                    queue_wait_instructions=waited,
+                )
+            )

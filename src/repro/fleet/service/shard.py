@@ -1,0 +1,460 @@
+"""One broker shard: an incrementally-steppable fleet executor.
+
+:class:`~repro.fleet.executor.FleetExecutor` replays a *complete*
+:class:`~repro.fleet.executor.FleetTrace` offline.  A daemon cannot:
+arrivals and departures come from live requests, so the serving loop
+must interleave scheduling with admission control.  :class:`ShardServer`
+is the executor's segment loop turned inside out — the same round-robin
+quantum schedule, the same lockstep kernel, the same per-segment
+telemetry and phase detection (``tests/test_service.py`` drives a
+recorded fleet trace through both and asserts identical per-tenant
+hit/miss/instruction counts) — but exposed as three small calls a
+daemon can make between requests:
+
+* :meth:`admit` / :meth:`depart` — population changes, effective at
+  the current virtual clock (the broker rebalances immediately);
+* :meth:`advance` — execute one scheduling segment and move the
+  shard's virtual clock; tenants whose requested service budget is
+  exhausted auto-depart at the segment edge.
+
+Live migration is the extract/inject pair: :meth:`extract` removes a
+resident tenant *preserving its run state* (trace cursor, telemetry,
+phase detector) and :meth:`inject` resumes it on another shard.  The
+cache contents do not travel — the tenant restarts cold on the target
+shard, which is exactly the cost the migration policy must price.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.cache.geometry import CacheGeometry
+from repro.fleet.broker import ColumnBroker, FleetAdmissionError
+from repro.fleet.executor import FleetConfig, _TenantRuntime
+from repro.fleet.service.telemetry import ShardSnapshot, TenantResidency
+from repro.fleet.tenant import TenantSpec, TenantStatus, WindowSample
+from repro.layout.session import PlannerSession
+from repro.sim.config import TimingConfig
+from repro.sim.engine.batched import LockstepState, lockstep_run
+from repro.sim.multitask import next_quantum_slice
+
+
+@dataclass
+class MigratedTenant:
+    """A tenant in flight between shards.
+
+    Attributes:
+        spec: The tenant's spec (trace, priority, address offset).
+        runtime: Its preserved execution state — trace cursor,
+            telemetry history, phase detector.  Cache contents are
+            *not* part of it; the tenant restarts cold.
+        service_remaining: Instructions of requested service left
+            (None = serve until departure is requested).
+    """
+
+    spec: TenantSpec
+    runtime: _TenantRuntime
+    service_remaining: Optional[int]
+
+
+class ShardServer:
+    """One cache's column space, served incrementally.
+
+    Args:
+        shard_id: Index of this shard within the service.
+        geometry: The shard's cache.
+        timing: Cycle model shared with the broker.
+        config: Scheduling and phase-detection knobs (the same
+            :class:`~repro.fleet.executor.FleetConfig` the offline
+            executor takes).
+        session: Planner session for the broker's demand probes; the
+            service passes one shared session to every shard.
+        min_benefit_cycles: Broker churn hysteresis for phase-change
+            rebalances.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        geometry: CacheGeometry,
+        timing: Optional[TimingConfig] = None,
+        config: Optional[FleetConfig] = None,
+        session: Optional[PlannerSession] = None,
+        min_benefit_cycles: int = 0,
+    ):
+        self.shard_id = shard_id
+        self.geometry = geometry
+        self.timing = timing or TimingConfig()
+        self.config = config or FleetConfig()
+        self.broker = ColumnBroker(
+            geometry,
+            self.timing,
+            min_benefit_cycles=min_benefit_cycles,
+            session=session,
+        )
+        self.lock_state = LockstepState.cold(
+            geometry.sets, geometry.columns
+        )
+        self.now = 0
+        self.segments = 0
+        self.runtimes: dict[str, _TenantRuntime] = {}
+        self.admitted_count = 0
+        self.rejected_count = 0
+        self.departed_count = 0
+        self.migrations_in = 0
+        self.migrations_out = 0
+        self._pending_remap: dict[str, int] = {}
+        self._service_budget: dict[str, int] = {}
+        self._served_at_admit: dict[str, int] = {}
+        self._rotation: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    @property
+    def residents(self) -> list[str]:
+        """Resident tenant names, admission order."""
+        return self.broker.resident
+
+    def admit(
+        self,
+        spec: TenantSpec,
+        service_instructions: Optional[int] = None,
+    ) -> bool:
+        """Try to admit a tenant now; True on success, False on reject.
+
+        A rejected tenant still gets a telemetry record (status
+        ``REJECTED``), mirroring the offline executor.
+        """
+        runtime = _TenantRuntime(spec, self.geometry, self.config)
+        runtime.telemetry.arrival_time = self.now
+        self.runtimes[spec.name] = runtime
+        try:
+            charges = self.broker.admit(
+                spec.name, spec.run, priority=spec.priority
+            )
+        except FleetAdmissionError:
+            runtime.telemetry.status = TenantStatus.REJECTED
+            runtime.telemetry.rejected_at = self.now
+            self.rejected_count += 1
+            return False
+        runtime.telemetry.status = TenantStatus.RUNNING
+        runtime.telemetry.admitted_at = self.now
+        self.admitted_count += 1
+        if service_instructions is not None:
+            self._service_budget[spec.name] = service_instructions
+        self._served_at_admit[spec.name] = (
+            runtime.telemetry.instructions
+        )
+        self._charge(charges)
+        return True
+
+    def depart(self, name: str) -> None:
+        """Release a resident tenant's columns and re-grant them."""
+        runtime = self.runtimes.get(name)
+        if runtime is None or name not in self.broker.grants:
+            raise KeyError(
+                f"tenant {name!r} is not resident on shard "
+                f"{self.shard_id}"
+            )
+        charges = self.broker.depart(name)
+        runtime.telemetry.status = TenantStatus.DEPARTED
+        runtime.telemetry.departed_at = self.now
+        self.departed_count += 1
+        self._forget(name)
+        self._charge(charges)
+
+    # ------------------------------------------------------------------
+    # Live migration
+    # ------------------------------------------------------------------
+    def extract(self, name: str) -> MigratedTenant:
+        """Remove a resident tenant, preserving its run state.
+
+        The broker releases and re-grants its columns exactly like a
+        departure; the returned :class:`MigratedTenant` carries the
+        trace cursor, telemetry and detector so :meth:`inject` can
+        resume it elsewhere.
+        """
+        runtime = self.runtimes.get(name)
+        if runtime is None or name not in self.broker.grants:
+            raise KeyError(
+                f"tenant {name!r} is not resident on shard "
+                f"{self.shard_id}"
+            )
+        budget = self._service_budget.get(name)
+        remaining: Optional[int] = None
+        if budget is not None:
+            served = (
+                runtime.telemetry.instructions
+                - self._served_at_admit.get(name, 0)
+            )
+            remaining = max(budget - served, 0)
+        charges = self.broker.depart(name)
+        self.migrations_out += 1
+        self._forget(name)
+        self._charge(charges)
+        del self.runtimes[name]
+        return MigratedTenant(
+            spec=runtime.spec,
+            runtime=runtime,
+            service_remaining=remaining,
+        )
+
+    def inject(self, migrant: MigratedTenant) -> bool:
+        """Resume an extracted tenant here; False if admission fails.
+
+        The tenant keeps its telemetry history (its samples now span
+        shards) but starts cold in this shard's cache; the admission
+        path charges the usual tint rewrite, and the cold refill shows
+        up in its next window's misses.
+        """
+        name = migrant.spec.name
+        runtime = migrant.runtime
+        self.runtimes[name] = runtime
+        try:
+            charges = self.broker.admit(
+                name, migrant.spec.run, priority=migrant.spec.priority
+            )
+        except FleetAdmissionError:
+            runtime.telemetry.status = TenantStatus.REJECTED
+            runtime.telemetry.rejected_at = self.now
+            self.rejected_count += 1
+            return False
+        runtime.telemetry.status = TenantStatus.RUNNING
+        runtime.telemetry.remaps += 1  # the migration's tint rewrite
+        self.migrations_in += 1
+        self.admitted_count += 1
+        if migrant.service_remaining is not None:
+            self._service_budget[name] = migrant.service_remaining
+        self._served_at_admit[name] = runtime.telemetry.instructions
+        self._charge(charges)
+        return True
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def advance(self, budget: Optional[int] = None) -> int:
+        """Execute one scheduling segment; returns instructions run.
+
+        With residents, this is one segment of the offline executor's
+        loop: round-robin quanta through the lockstep kernel, one
+        telemetry sample per resident, phase detection feeding broker
+        rebalances, then auto-departure of tenants whose requested
+        service budget is spent.  With no residents the virtual clock
+        still advances by the budget — an idle shard must not stall
+        the service's clock.
+        """
+        config = self.config
+        if budget is None:
+            budget = config.window_instructions
+        if budget < 1:
+            raise ValueError(f"budget must be >= 1, got {budget}")
+        residents = self.broker.resident
+        if not residents:
+            self.now += budget
+            return 0
+
+        start_at = 0
+        if self._rotation in residents:
+            start_at = residents.index(self._rotation)
+        slices: list[tuple[str, int, int]] = []
+        counters = {name: [0, 0, 0] for name in residents}
+        executed = 0
+        turn = start_at
+        while executed < budget:
+            name = residents[turn]
+            runtime = self.runtimes[name]
+            counter = counters[name]
+            counter[2] += 1
+            remaining = config.quantum_instructions
+            while remaining > 0:
+                stop, ran = next_quantum_slice(
+                    runtime.cumulative, runtime.position, remaining
+                )
+                slices.append((name, runtime.position, stop))
+                counter[0] += ran
+                counter[1] += stop - runtime.position
+                remaining -= ran
+                executed += ran
+                runtime.position = stop
+                if stop >= len(runtime.blocks):
+                    runtime.position = 0
+                    runtime.telemetry.wraps += 1
+            turn = (turn + 1) % len(residents)
+        self._rotation = residents[turn]
+        self.now += executed
+
+        hits_by_tenant = self._execute(slices)
+
+        boundary_tenants: list[tuple[str, list]] = []
+        for name in residents:
+            runtime = self.runtimes[name]
+            instructions, accesses, quanta = counters[name]
+            hits = hits_by_tenant.get(name, 0)
+            runtime.telemetry.samples.append(
+                WindowSample(
+                    window_index=self.segments,
+                    columns=self.broker.grants[name].count(),
+                    instructions=instructions,
+                    accesses=accesses,
+                    hits=hits,
+                    misses=accesses - hits,
+                    quanta=quanta,
+                    remap_cycles=self._pending_remap.pop(name, 0),
+                )
+            )
+            if (
+                config.detect_phases
+                and accesses >= config.min_detect_accesses
+            ):
+                tenant_slices = [
+                    (start, stop)
+                    for slice_name, start, stop in slices
+                    if slice_name == name
+                ]
+                blocks = np.concatenate(
+                    [
+                        runtime.blocks[start:stop]
+                        for start, stop in tenant_slices
+                    ]
+                )
+                observation = runtime.detector.observe_window(
+                    blocks, accesses - hits
+                )
+                if observation.boundary:
+                    boundary_tenants.append((name, tenant_slices))
+        for name, tenant_slices in boundary_tenants:
+            if name not in self.broker.grants:
+                continue
+            runtime = self.runtimes[name]
+            charges = self.broker.refresh(
+                name,
+                runtime.spec.run,
+                runtime.window_trace(tenant_slices),
+            )
+            self._charge(charges)
+        self.segments += 1
+        self._auto_depart()
+        return executed
+
+    def exhausted(self) -> list[str]:
+        """Residents whose requested service budget is spent."""
+        done = []
+        for name, budget in self._service_budget.items():
+            runtime = self.runtimes.get(name)
+            if runtime is None:
+                continue
+            served = (
+                runtime.telemetry.instructions
+                - self._served_at_admit.get(name, 0)
+            )
+            if served >= budget:
+                done.append(name)
+        return done
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def check_disjoint(self) -> None:
+        """Assert the shard's disjoint-column invariant."""
+        self.broker.check_disjoint()
+
+    def snapshot(self, queue_depth: int = 0) -> ShardSnapshot:
+        """The shard's live state as one frozen snapshot."""
+        rows = []
+        for name in self.broker.resident:
+            runtime = self.runtimes[name]
+            telemetry = runtime.telemetry
+            rows.append(
+                TenantResidency(
+                    name=name,
+                    priority=telemetry.priority,
+                    columns=self.broker.grants[name].count(),
+                    instructions=telemetry.instructions,
+                    miss_rate=telemetry.miss_rate,
+                    cpi=telemetry.cpi(self.timing),
+                )
+            )
+        instructions = misses = accesses = cycles = 0
+        for runtime in self.runtimes.values():
+            telemetry = runtime.telemetry
+            instructions += telemetry.instructions
+            misses += telemetry.misses
+            accesses += telemetry.accesses
+            cycles += (
+                telemetry.instructions
+                + telemetry.misses * self.timing.miss_penalty
+                + telemetry.quanta * self.timing.context_switch_cycles
+                + telemetry.remap_cycles
+            )
+        return ShardSnapshot(
+            shard=self.shard_id,
+            now=self.now,
+            segments=self.segments,
+            residents=tuple(rows),
+            free_columns=self.broker.free_columns().count(),
+            admitted=self.admitted_count,
+            rejected=self.rejected_count,
+            departed=self.departed_count,
+            migrations_in=self.migrations_in,
+            migrations_out=self.migrations_out,
+            tint_rewrites=len(self.broker.rewrites),
+            queue_depth=queue_depth,
+            cpi=(cycles / instructions) if instructions else 0.0,
+            miss_rate=(misses / accesses) if accesses else 0.0,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _auto_depart(self) -> None:
+        for name in self.exhausted():
+            self.depart(name)
+
+    def _forget(self, name: str) -> None:
+        self._pending_remap.pop(name, None)
+        self._service_budget.pop(name, None)
+        self._served_at_admit.pop(name, None)
+        if self._rotation == name:
+            self._rotation = None
+
+    def _charge(self, charges: dict[str, int]) -> None:
+        for name, cycles in charges.items():
+            self._pending_remap[name] = (
+                self._pending_remap.get(name, 0) + cycles
+            )
+            self.runtimes[name].telemetry.remaps += 1
+
+    def _execute(
+        self, slices: list[tuple[str, int, int]]
+    ) -> dict[str, int]:
+        geometry = self.geometry
+        grants = self.broker.grants
+        block_parts = [
+            self.runtimes[name].blocks[start:stop]
+            for name, start, stop in slices
+        ]
+        mask_parts = [
+            np.full(stop - start, grants[name].bits, dtype=np.int64)
+            for name, start, stop in slices
+        ]
+        blocks = np.concatenate(block_parts)
+        masks = np.concatenate(mask_parts)
+        hit_flags, _ = lockstep_run(
+            blocks & np.int64(geometry.sets - 1),
+            blocks >> np.int64(geometry.index_bits),
+            self.lock_state,
+            mask_bits=masks,
+        )
+        hits_by_tenant: dict[str, int] = {}
+        cursor = 0
+        for name, start, stop in slices:
+            span = stop - start
+            hits_by_tenant[name] = hits_by_tenant.get(name, 0) + int(
+                hit_flags[cursor:cursor + span].sum()
+            )
+            cursor += span
+        return hits_by_tenant

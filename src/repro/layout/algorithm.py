@@ -111,6 +111,18 @@ class LayoutConfig:
             )
 
     @property
+    def sets(self) -> int:
+        """Sets per column (``column_bytes // line_size``).
+
+        The canonical cache-geometry vocabulary is ``columns`` /
+        ``sets`` / ``line_size`` (see
+        :class:`~repro.cache.geometry.CacheGeometry`); the layout
+        algorithm natively thinks in per-column bytes (the paper's S),
+        so this derived accessor bridges the two.
+        """
+        return self.column_bytes // self.line_size
+
+    @property
     def cache_columns(self) -> int:
         """Columns available for normal caching (k - p)."""
         return self.columns - self.scratchpad_columns

@@ -37,15 +37,18 @@ from repro.sim.engine.batched import LockstepCache
 from repro.sim.executor import TraceExecutor
 from repro.sim.memory_system import MemorySystem
 from repro.sim.results import SimulationResult
+from repro.utils.aliases import deprecated_aliases
 from repro.workloads.base import WorkloadRun
 
 
+@deprecated_aliases(window_size="window_accesses")
 @dataclass(frozen=True)
 class AdaptiveConfig:
     """Knobs of the adaptive runtime.
 
     Attributes:
-        window_size: Accesses per detection window.
+        window_accesses: Accesses per detection window (canonical
+            name; ``window_size`` is a deprecated alias).
         signature_threshold: Working-set Jaccard distance that fires a
             boundary.
         miss_rate_threshold: Miss-rate jump that fires a boundary.
@@ -54,16 +57,17 @@ class AdaptiveConfig:
             beyond the remap cost before it is installed.
     """
 
-    window_size: int = 256
+    window_accesses: int = 256
     signature_threshold: float = 0.5
     miss_rate_threshold: float = 0.25
     hysteresis_windows: int = 2
     min_benefit_cycles: int = 0
 
     def __post_init__(self) -> None:
-        if self.window_size < 1:
+        if self.window_accesses < 1:
             raise ValueError(
-                f"window_size must be >= 1, got {self.window_size}"
+                "window_accesses must be >= 1, got "
+                f"{self.window_accesses}"
             )
 
 
@@ -173,7 +177,7 @@ class AdaptiveExecutor:
         # reads a view of it (columnar end to end, no per-window
         # recomputation, no Python-list round-trips).
         blocks = trace.blocks_for(offset_bits)
-        window_size = adaptive.window_size
+        window_size = adaptive.window_accesses
 
         events: list[RemapEvent] = []
         totals: Optional[SimulationResult] = None

@@ -1,7 +1,17 @@
-"""``python -m repro.trace`` forwards to the trace CLI."""
+"""Deprecated entry point: ``python -m repro.trace``.
+
+Kept as a shim for existing scripts; use ``repro trace ...`` (or the
+``repro-trace`` console script) instead.
+"""
 
 import sys
+import warnings
 
 from repro.trace.cli import main
 
-sys.exit(main())
+warnings.warn(
+    "`python -m repro.trace` is deprecated; use `repro trace ...`",
+    DeprecationWarning,
+    stacklevel=1,
+)
+sys.exit(main(prog="python -m repro.trace"))

@@ -2,12 +2,15 @@
 
 Usage::
 
-    python -m repro.trace stats trace.din
-    python -m repro.trace generate --kind zipf --count 10000 out.din
-    python -m repro.trace simulate trace.din --size 2048 --columns 4
-    python -m repro.trace record gzip out.npz --seed 3
-    python -m repro.trace replay out.npz --size 16384 --columns 8
-    python -m repro.trace profile out.npz
+    repro trace stats trace.din
+    repro trace generate --kind zipf --count 10000 out.din
+    repro trace simulate trace.din --size 2048 --columns 4
+    repro trace record gzip out.npz --seed 3
+    repro trace replay out.npz --size 16384 --columns 8
+    repro trace profile out.npz
+
+(``repro-trace`` and the deprecated ``python -m repro.trace`` accept
+the same subcommands.)
 
 ``stats`` prints per-variable access counts and lifetimes; ``generate``
 writes a synthetic trace in dinero format; ``simulate`` runs a trace
@@ -230,11 +233,12 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Sequence[str] | None = None) -> int:
+def main(
+    argv: Sequence[str] | None = None,
+    prog: str = "repro-trace",
+) -> int:
     """CLI entry point; returns a process exit code."""
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.trace", description=__doc__
-    )
+    parser = argparse.ArgumentParser(prog=prog, description=__doc__)
     commands = parser.add_subparsers(dest="command", required=True)
 
     stats = commands.add_parser("stats", help="per-variable statistics")

@@ -1,0 +1,93 @@
+"""Deprecated-alias support for (frozen) config dataclasses.
+
+The config dataclasses grew up in different subsystems and drifted
+apart on names for the same concepts.  The canonical vocabulary is:
+
+* **cache geometry** — ``columns`` / ``sets`` / ``line_size`` (what
+  :class:`~repro.cache.geometry.CacheGeometry` uses); per-column
+  capacity is ``column_bytes = sets * line_size`` (the paper's S);
+* **instruction budgets** — ``horizon_instructions`` for a whole
+  run's budget, ``quantum_instructions`` for a scheduling quantum,
+  ``window_instructions`` for an instruction-bounded telemetry
+  window;
+* **access-bounded windows** — ``window_accesses`` (the adaptive
+  runtime's detection window counts *accesses*, not instructions);
+* **randomness** — ``seed``;
+* **parallelism** — ``workers``.
+
+:func:`deprecated_aliases` retrofits a renamed field without breaking
+callers: the old keyword is still accepted at construction and the
+old attribute still reads, but both emit a :class:`DeprecationWarning`
+pointing at the canonical name.  ``tests/test_config_aliases.py``
+asserts every registered alias warns.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+
+def deprecated_aliases(**aliases: str) -> Callable[[type[T]], type[T]]:
+    """Class decorator mapping deprecated field names to new ones.
+
+    Apply *above* ``@dataclass`` (so it wraps the generated
+    ``__init__``)::
+
+        @deprecated_aliases(window_size="window_accesses")
+        @dataclass(frozen=True)
+        class AdaptiveConfig: ...
+
+    Each ``old="new"`` pair makes the class
+
+    * accept ``old=...`` as a constructor keyword (forwarded to
+      ``new`` with a :class:`DeprecationWarning`; passing both raises
+      :class:`TypeError`), and
+    * expose ``instance.old`` as a read-only property returning
+      ``instance.new`` (also warning).
+    """
+    def decorate(cls: type[T]) -> type[T]:
+        original_init = cls.__init__
+
+        @functools.wraps(original_init)
+        def __init__(self, *args, **kwargs):
+            for old, new in aliases.items():
+                if old in kwargs:
+                    if new in kwargs:
+                        raise TypeError(
+                            f"{cls.__name__}() got both {old!r} "
+                            f"(deprecated) and {new!r}"
+                        )
+                    warnings.warn(
+                        f"{cls.__name__}(..., {old}=...) is "
+                        f"deprecated; use {new}=...",
+                        DeprecationWarning,
+                        stacklevel=2,
+                    )
+                    kwargs[new] = kwargs.pop(old)
+            original_init(self, *args, **kwargs)
+
+        cls.__init__ = __init__
+
+        for old, new in aliases.items():
+            def getter(self, _old: str = old, _new: str = new):
+                warnings.warn(
+                    f"{type(self).__name__}.{_old} is deprecated; "
+                    f"use .{_new}",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                return getattr(self, _new)
+
+            getter.__doc__ = f"Deprecated alias for ``{new}``."
+            setattr(cls, old, property(getter))
+
+        existing = dict(getattr(cls, "__deprecated_aliases__", {}))
+        existing.update(aliases)
+        cls.__deprecated_aliases__ = existing
+        return cls
+
+    return decorate

@@ -168,3 +168,128 @@ class TestExperimentsCLIEngine:
         assert serial.backend == "serial"
         pooled = make_engine(3, None)
         assert pooled.backend == "process" and pooled.workers == 3
+
+    def test_subcommands_share_the_common_parent_flags(self):
+        """Every experiments target accepts --quick/--workers/--cache-dir."""
+        from repro.experiments.cli import build_parser
+
+        parser = build_parser()
+        for target in (
+            "figure4",
+            "figure5",
+            "adaptive",
+            "fleet",
+            "layout-search",
+            "serve",
+            "all",
+        ):
+            arguments = parser.parse_args(
+                [target, "--quick", "--workers", "2",
+                 "--cache-dir", "/tmp/x"]
+            )
+            assert arguments.target == target
+            assert arguments.quick is True
+            assert arguments.workers == 2
+            assert arguments.cache_dir == "/tmp/x"
+
+    def test_serve_takes_bench_out(self, tmp_path):
+        from repro.experiments.cli import build_parser
+
+        arguments = build_parser().parse_args(
+            ["serve", "--quick", "--bench-out",
+             str(tmp_path / "bench.json")]
+        )
+        assert arguments.bench_out == str(tmp_path / "bench.json")
+
+
+class TestUnifiedCLI:
+    """The single ``repro`` entry point fronting every tool."""
+
+    def test_trace_dispatch(self, tmp_path):
+        from repro.cli import main as repro_main
+
+        out = tmp_path / "t.din"
+        code = repro_main(
+            ["trace", "generate", str(out), "--count", "100"]
+        )
+        assert code == 0
+        assert load_trace(out).access_count == 100
+
+    def test_experiments_dispatch(self, capsys):
+        from repro.cli import main as repro_main
+
+        assert repro_main(["experiments", "figure4", "--quick"]) == 0
+        assert "all shape checks passed" in capsys.readouterr().out
+
+    def test_serve_is_experiments_serve_shorthand(self):
+        from repro.cli import build_parser
+
+        arguments = build_parser().parse_args(["serve", "--quick"])
+        assert arguments.command == "serve"
+        assert arguments.rest == ["--quick"]
+
+    def test_unknown_command_rejected(self):
+        from repro.cli import main as repro_main
+
+        with pytest.raises(SystemExit):
+            repro_main(["compile"])
+
+    def test_subtool_prog_names_mention_repro(self, capsys):
+        from repro.cli import main as repro_main
+
+        with pytest.raises(SystemExit):
+            repro_main(["trace", "--help"])
+        assert "repro trace" in capsys.readouterr().out
+
+    def test_module_entry_point(self, tmp_path):
+        import subprocess
+        import sys
+
+        out = tmp_path / "m.din"
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "trace", "generate",
+             str(out), "--count", "50"],
+            capture_output=True,
+            text=True,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert load_trace(out).access_count == 50
+
+
+class TestLegacyEntryPoints:
+    """``python -m repro.trace`` / ``repro.experiments`` still work,
+    but warn once that they are deprecated."""
+
+    @pytest.mark.parametrize(
+        "module,arguments",
+        [
+            ("repro.trace", ["--help"]),
+            ("repro.experiments", ["--help"]),
+        ],
+    )
+    def test_module_forms_warn_but_run(self, module, arguments):
+        import subprocess
+        import sys
+
+        completed = subprocess.run(
+            [sys.executable, "-W", "always::DeprecationWarning",
+             "-m", module, *arguments],
+            capture_output=True,
+            text=True,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "deprecated" in completed.stderr.lower()
+        assert "repro " in completed.stderr  # points at the new form
+
+    def test_legacy_console_mains_do_not_warn(self, recwarn, tmp_path):
+        """Only the module forms are deprecated; the importable
+        ``main`` functions (and the legacy console scripts bound to
+        them) stay warning-free."""
+        import warnings
+
+        out = tmp_path / "t.din"
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert trace_main(
+                ["generate", str(out), "--count", "10"]
+            ) == 0

@@ -1,0 +1,95 @@
+"""Deprecated config-field aliases: still work, always warn.
+
+The naming pass (``repro.utils.aliases``) standardised the config
+vocabulary; the old spellings stay accepted for one release but must
+emit :class:`DeprecationWarning` both as constructor keywords and as
+attribute reads.  Discovering the aliased classes through
+``__deprecated_aliases__`` keeps this test in sync automatically: a
+new ``@deprecated_aliases`` use is covered without editing the test.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.experiments.adaptive import WorkloadCase
+from repro.experiments.figure5 import Figure5Config
+from repro.runtime.adaptive import AdaptiveConfig
+from repro.utils.aliases import deprecated_aliases
+
+#: Every class carrying deprecated aliases, plus whatever required
+#: fields it needs besides the aliased one.
+ALIASED_CLASSES = {
+    AdaptiveConfig: {},
+    WorkloadCase: {"workload": "gzip"},
+    Figure5Config: {},
+}
+
+
+def _cases():
+    for cls, required in ALIASED_CLASSES.items():
+        for old, new in cls.__deprecated_aliases__.items():
+            yield pytest.param(
+                cls, required, old, new, id=f"{cls.__name__}.{old}"
+            )
+
+
+@pytest.mark.parametrize("cls,required,old,new", _cases())
+def test_constructor_alias_warns_and_forwards(cls, required, old, new):
+    with pytest.warns(DeprecationWarning, match=old):
+        instance = cls(**required, **{old: 4096})
+    assert getattr(instance, new) == 4096
+
+
+@pytest.mark.parametrize("cls,required,old,new", _cases())
+def test_attribute_alias_warns_and_reads_canonical(
+    cls, required, old, new
+):
+    instance = cls(**required, **{new: 4096})
+    with pytest.warns(DeprecationWarning, match=new):
+        assert getattr(instance, old) == 4096
+
+
+@pytest.mark.parametrize("cls,required,old,new", _cases())
+def test_passing_both_spellings_is_an_error(cls, required, old, new):
+    with pytest.raises(TypeError, match=old):
+        cls(**required, **{old: 4096, new: 4096})
+
+
+@pytest.mark.parametrize("cls,required,old,new", _cases())
+def test_canonical_name_does_not_warn(cls, required, old, new):
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        instance = cls(**required, **{new: 4096})
+        assert getattr(instance, new) == 4096
+
+
+def test_decorator_registers_alias_table():
+    @deprecated_aliases(old_knob="knob")
+    class Plain:
+        def __init__(self, knob=0):
+            self.knob = knob
+
+    assert Plain.__deprecated_aliases__ == {"old_knob": "knob"}
+    with pytest.warns(DeprecationWarning):
+        assert Plain(old_knob=3).knob == 3
+
+
+def test_registered_classes_all_have_tables():
+    for cls in ALIASED_CLASSES:
+        assert cls.__deprecated_aliases__, cls.__name__
+
+
+def test_expected_alias_vocabulary():
+    """The naming pass's specific renames stay registered."""
+    assert AdaptiveConfig.__deprecated_aliases__ == {
+        "window_size": "window_accesses"
+    }
+    assert WorkloadCase.__deprecated_aliases__ == {
+        "window_size": "window_accesses"
+    }
+    assert Figure5Config.__deprecated_aliases__ == {
+        "budget_instructions": "horizon_instructions"
+    }

@@ -271,7 +271,7 @@ def test_adaptive_fast_matches_reference_mechanism(
         layout,
         TIMING,
         AdaptiveConfig(
-            window_size=window_size,
+            window_accesses=window_size,
             signature_threshold=0.3,
             miss_rate_threshold=0.2,
             hysteresis_windows=hysteresis,

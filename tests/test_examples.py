@@ -57,3 +57,9 @@ class TestExamples:
         assert "broker vs shared cache" in output
         assert "at least as fast under the broker" in output
         assert "-> True" in output
+
+    def test_fleet_service(self):
+        output = run_example("fleet_service.py")
+        assert "Poisson tenants across 4 shards" in output
+        assert "0 violations" in output
+        assert "disjoint under churn -> True" in output

@@ -1,0 +1,77 @@
+"""The ``repro`` facade: every advertised name imports and is real.
+
+The facade (``src/repro/__init__.py``) is the supported front door of
+the stack; these tests pin its contract so a rename deeper in the tree
+cannot silently break ``from repro import X``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import subprocess
+import sys
+
+import repro
+
+
+def test_all_matches_export_table():
+    """``__all__`` is exactly the lazy-export table, sorted."""
+    assert repro.__all__ == sorted(repro._EXPORTS)
+
+
+def test_every_facade_name_resolves():
+    """Each name in ``__all__`` imports and matches its home module."""
+    for name in repro.__all__:
+        value = getattr(repro, name)
+        home = importlib.import_module(repro._EXPORTS[name])
+        assert value is getattr(home, name), name
+
+
+def test_facade_names_cache_after_first_access():
+    """PEP 562 resolution caches into the module dict."""
+    first = repro.CacheGeometry
+    assert repro.__dict__["CacheGeometry"] is first
+
+
+def test_unknown_name_raises_attribute_error():
+    try:
+        repro.definitely_not_exported
+    except AttributeError as error:
+        assert "definitely_not_exported" in str(error)
+    else:  # pragma: no cover - defends the assertion
+        raise AssertionError("expected AttributeError")
+
+
+def test_dir_advertises_the_facade():
+    names = dir(repro)
+    for name in repro.__all__:
+        assert name in names
+
+
+def test_import_repro_is_lazy():
+    """``import repro`` must not drag in the heavy subsystems."""
+    script = (
+        "import sys; import repro; "
+        "heavy = [m for m in sys.modules "
+        "if m.startswith(('repro.sim', 'repro.fleet', "
+        "'repro.layout'))]; "
+        "sys.exit(1 if heavy else 0)"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", script], capture_output=True
+    )
+    assert proc.returncode == 0, proc.stderr.decode()
+
+
+def test_facade_covers_headline_types():
+    """The names the README quickstarts use stay exported."""
+    for name in (
+        "CacheGeometry",
+        "ColumnBroker",
+        "FleetService",
+        "ServiceConfig",
+        "LoadGenConfig",
+        "SweepEngine",
+        "make_workload",
+    ):
+        assert name in repro.__all__, name

@@ -183,7 +183,7 @@ class TestAdaptiveExecutor:
         executor = AdaptiveExecutor(
             LAYOUT,
             EMBEDDED_TIMING,
-            AdaptiveConfig(window_size=2048, signature_threshold=0.15),
+            AdaptiveConfig(window_accesses=2048, signature_threshold=0.15),
         )
         adaptive = executor.run(run)
         static = TraceExecutor(EMBEDDED_TIMING).run(
@@ -197,7 +197,7 @@ class TestAdaptiveExecutor:
         executor = AdaptiveExecutor(
             LAYOUT,
             EMBEDDED_TIMING,
-            AdaptiveConfig(window_size=512, signature_threshold=0.15),
+            AdaptiveConfig(window_accesses=512, signature_threshold=0.15),
         )
         result = executor.run(run)
         assert result.events, "expected at least the initial remap"
@@ -211,7 +211,7 @@ class TestAdaptiveExecutor:
     def test_totals_are_consistent(self):
         run = PhasedFFT(n=128, transforms=1, seed=1).record()
         executor = AdaptiveExecutor(
-            LAYOUT, EMBEDDED_TIMING, AdaptiveConfig(window_size=256)
+            LAYOUT, EMBEDDED_TIMING, AdaptiveConfig(window_accesses=256)
         )
         result = executor.run(run).result
         assert result.accesses == len(run.trace)
@@ -232,15 +232,15 @@ class TestAdaptiveExecutor:
         executor = AdaptiveExecutor(
             LAYOUT,
             EMBEDDED_TIMING,
-            AdaptiveConfig(window_size=256, signature_threshold=0.15),
+            AdaptiveConfig(window_accesses=256, signature_threshold=0.15),
         )
         result = executor.run(run)
         windows = len(result.observations)
         assert result.remap_count <= max(windows // 4, 1)
 
     def test_window_size_validation(self):
-        with pytest.raises(ValueError, match="window_size"):
-            AdaptiveConfig(window_size=0)
+        with pytest.raises(ValueError, match="window_accesses"):
+            AdaptiveConfig(window_accesses=0)
 
     def test_replay_rejects_scratchpad(self):
         run = PhasedFFT(n=64, transforms=1).record()

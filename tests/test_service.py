@@ -1,0 +1,336 @@
+"""The fleet service: shard parity, migration, and the async daemon.
+
+The load-bearing guarantee is that :class:`ShardServer` is the
+offline :class:`FleetExecutor` turned inside out, *not* a second
+scheduler: driving the same population through both must produce
+identical per-tenant telemetry.  On top of that sit the live-only
+behaviours — extract/inject migration, admission queueing with
+patience timeouts, and the disjoint-column audit — exercised here
+through the real asyncio daemon.
+"""
+
+import asyncio
+import dataclasses
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.fleet import (
+    FleetConfig,
+    FleetEvent,
+    FleetExecutor,
+    FleetTrace,
+    TenantSpec,
+    TenantStatus,
+)
+from repro.fleet.service import FleetService, ServiceConfig, ShardServer
+from repro.sim.config import MULTITASK_TIMING
+from repro.workloads.suite import make_workload
+
+TIMING = MULTITASK_TIMING
+
+CONFIG = FleetConfig(quantum_instructions=128, window_instructions=2048)
+
+
+def spec_for(index, workload, priority=1, **kwargs):
+    run = make_workload(workload, seed=10 + index, **kwargs).record()
+    return TenantSpec(
+        name=f"{workload}-{index}",
+        run=run,
+        priority=priority,
+        address_offset=index << 32,
+    )
+
+
+@pytest.fixture(scope="module")
+def trio():
+    return [
+        spec_for(0, "crc32", message_bytes=256),
+        spec_for(1, "histogram", sample_count=256, bin_count=32),
+        spec_for(2, "fir", signal_length=256, tap_count=16),
+    ]
+
+
+@pytest.fixture
+def geometry():
+    return CacheGeometry(line_size=16, sets=32, columns=8)
+
+
+def telemetry_view(telemetry):
+    return {
+        "instructions": telemetry.instructions,
+        "accesses": telemetry.accesses,
+        "hits": telemetry.hits,
+        "misses": telemetry.misses,
+        "quanta": telemetry.quanta,
+        "wraps": telemetry.wraps,
+        "remaps": telemetry.remaps,
+    }
+
+
+class TestShardExecutorParity:
+    def test_identical_telemetry_on_same_population(
+        self, geometry, trio
+    ):
+        """Same tenants, same horizon -> identical per-tenant counts."""
+        horizon = 20_000
+        fleet = FleetTrace(
+            events=tuple(
+                FleetEvent(time=0, kind="arrival", spec=spec)
+                for spec in trio
+            ),
+            horizon_instructions=horizon,
+        )
+        offline = FleetExecutor(geometry, TIMING, CONFIG).run(fleet)
+
+        shard = ShardServer(0, geometry, TIMING, CONFIG)
+        for spec in trio:
+            assert shard.admit(spec)
+        segments = 0
+        while shard.now < horizon:
+            # The offline loop truncates its final segment at the
+            # horizon; hand the same budget to the shard.
+            budget = min(
+                CONFIG.window_instructions, horizon - shard.now
+            )
+            assert shard.advance(budget) > 0
+            segments += 1
+
+        for spec in trio:
+            assert telemetry_view(
+                shard.runtimes[spec.name].telemetry
+            ) == telemetry_view(offline.telemetry[spec.name]), spec.name
+        assert shard.segments == segments
+
+    def test_advance_moves_the_virtual_clock(self, geometry, trio):
+        shard = ShardServer(0, geometry, TIMING, CONFIG)
+        shard.admit(trio[0])
+        executed = shard.advance()
+        assert executed > 0
+        assert shard.now == executed
+
+    def test_idle_shard_still_burns_budget(self, geometry):
+        """An empty shard advances its clock (lockstep with peers)."""
+        shard = ShardServer(0, geometry, TIMING, CONFIG)
+        assert shard.advance(1024) == 0
+        assert shard.now == 1024
+
+
+class TestAdmissionControl:
+    def test_overflow_admission_rejected(self, geometry):
+        """More tenants than columns -> admit returns False."""
+        shard = ShardServer(0, geometry, TIMING, CONFIG)
+        admitted = 0
+        rejected = None
+        for index in range(geometry.columns + 1):
+            spec = spec_for(index, "crc32", message_bytes=256)
+            if shard.admit(spec):
+                admitted += 1
+            else:
+                rejected = spec.name
+                break
+        assert admitted == geometry.columns
+        assert rejected is not None
+        assert (
+            shard.runtimes[rejected].telemetry.status
+            is TenantStatus.REJECTED
+        )
+        assert shard.rejected_count == 1
+
+    def test_service_budget_auto_departs(self, geometry, trio):
+        shard = ShardServer(0, geometry, TIMING, CONFIG)
+        shard.admit(trio[0], service_instructions=1024)
+        while trio[0].name in shard.residents:
+            shard.advance()
+        assert shard.departed_count == 1
+        telemetry = shard.runtimes[trio[0].name].telemetry
+        assert telemetry.status is TenantStatus.DEPARTED
+        assert telemetry.instructions >= 1024
+
+
+class TestMigration:
+    def test_extract_inject_moves_run_state(self, geometry, trio):
+        source = ShardServer(0, geometry, TIMING, CONFIG)
+        target = ShardServer(1, geometry, TIMING, CONFIG)
+        for spec in trio:
+            source.admit(spec, service_instructions=50_000)
+        source.advance()
+        migrant_name = trio[1].name
+        before = source.runtimes[migrant_name].telemetry.instructions
+        assert before > 0
+
+        migrant = source.extract(migrant_name)
+        assert migrant_name not in source.residents
+        assert source.migrations_out == 1
+        assert migrant.service_remaining is not None
+        assert migrant.service_remaining < 50_000
+
+        assert target.inject(migrant)
+        assert migrant_name in target.residents
+        assert target.migrations_in == 1
+        source.broker.check_disjoint()
+        target.broker.check_disjoint()
+
+        target.advance()
+        after = target.runtimes[migrant_name].telemetry.instructions
+        assert after > before  # resumed, not restarted
+
+    def test_inject_charges_a_remap(self, geometry, trio):
+        source = ShardServer(0, geometry, TIMING, CONFIG)
+        target = ShardServer(1, geometry, TIMING, CONFIG)
+        source.admit(trio[0])
+        source.advance()
+        remaps_before = source.runtimes[
+            trio[0].name
+        ].telemetry.remaps
+        migrant = source.extract(trio[0].name)
+        assert target.inject(migrant)
+        # At least the migration's own tint rewrite (the broker's
+        # admission rebalance may add more).
+        assert (
+            target.runtimes[trio[0].name].telemetry.remaps
+            > remaps_before
+        )
+        target.advance()
+        assert (
+            target.runtimes[trio[0].name].telemetry.samples[-1]
+            .remap_cycles
+            > 0
+        )
+
+    def test_inject_into_full_shard_fails_cleanly(
+        self, geometry, trio
+    ):
+        source = ShardServer(0, geometry, TIMING, CONFIG)
+        target = ShardServer(1, geometry, TIMING, CONFIG)
+        source.admit(trio[0])
+        for index in range(3, 3 + geometry.columns):
+            target.admit(spec_for(index, "crc32", message_bytes=256))
+        migrant = source.extract(trio[0].name)
+        assert not target.inject(migrant)
+        assert trio[0].name not in target.residents
+        target.broker.check_disjoint()
+
+
+def small_service_config(**overrides):
+    base = ServiceConfig(
+        shards=2,
+        geometry=CacheGeometry(line_size=16, sets=32, columns=8),
+        timing=TIMING,
+        fleet=FleetConfig(
+            quantum_instructions=128,
+            window_instructions=1024,
+            hysteresis_windows=8,
+            min_detect_accesses=256,
+        ),
+        patience_instructions=8_192,
+        monitor_interval_instructions=2_048,
+    )
+    return dataclasses.replace(base, **overrides)
+
+
+class TestDaemon:
+    def test_submit_serve_drain(self, trio):
+        async def scenario():
+            async with FleetService(small_service_config()) as service:
+                tickets = await asyncio.gather(
+                    *(
+                        service.submit(spec, service_instructions=4096)
+                        for spec in trio
+                    )
+                )
+                await service.drain()
+                return tickets, service.snapshot(), service
+
+        tickets, snapshot, service = asyncio.run(scenario())
+        assert all(ticket.admitted for ticket in tickets)
+        assert {ticket.reason for ticket in tickets} == {"admitted"}
+        for ticket in tickets:
+            assert 0 <= ticket.shard < 2
+            assert ticket.wall_latency_s >= 0.0
+            assert ticket.queue_wait_instructions >= 0
+        # Drained: everyone served their budget and departed.
+        assert all(
+            not shard.residents for shard in snapshot.shards
+        )
+        assert service.invariant_checks > 0
+        assert service.invariant_violations == 0
+
+    def test_patience_timeout_rejects(self):
+        """Saturate one shard; the overflow times out, not hangs."""
+        config = small_service_config(
+            shards=1, patience_instructions=2_048
+        )
+        specs = [
+            spec_for(index, "crc32", message_bytes=256)
+            for index in range(12)
+        ]
+
+        async def scenario():
+            async with FleetService(config) as service:
+                tickets = await asyncio.gather(
+                    *(
+                        service.submit(
+                            spec, service_instructions=500_000
+                        )
+                        for spec in specs
+                    )
+                )
+                return tickets
+
+        tickets = asyncio.run(scenario())
+        reasons = {ticket.reason for ticket in tickets}
+        admitted = [t for t in tickets if t.admitted]
+        timed_out = [t for t in tickets if t.reason == "timeout"]
+        assert admitted and timed_out, reasons
+        for ticket in timed_out:
+            assert ticket.queue_wait_instructions >= 2_048
+
+    def test_shutdown_rejects_queued_requests(self, trio):
+        config = small_service_config(shards=1)
+
+        async def scenario():
+            service = FleetService(config)
+            await service.start()
+            ticket = await service.submit(
+                trio[0], service_instructions=1_000_000
+            )
+            # Queue one more than fits, then stop before it decides.
+            fillers = [
+                asyncio.create_task(
+                    service.submit(
+                        spec_for(
+                            20 + index, "crc32", message_bytes=256
+                        ),
+                        service_instructions=1_000_000,
+                    )
+                )
+                for index in range(10)
+            ]
+            await asyncio.sleep(0.05)
+            await service.stop()
+            filled = await asyncio.gather(*fillers)
+            return ticket, filled
+
+        ticket, filled = asyncio.run(scenario())
+        assert ticket.admitted
+        assert any(t.reason == "shutdown" for t in filled) or all(
+            t.reason in {"admitted", "timeout"} for t in filled
+        )
+
+    def test_explicit_departure_frees_columns(self, trio):
+        config = small_service_config(shards=1)
+
+        async def scenario():
+            async with FleetService(config) as service:
+                ticket = await service.submit(
+                    trio[0], service_instructions=1_000_000
+                )
+                shard = service.shards[ticket.shard]
+                resident_before = trio[0].name in shard.residents
+                await service.depart(trio[0].name)
+                await service.drain()  # departure is queued work
+                return resident_before, trio[0].name in shard.residents
+
+        resident_before, resident_after = asyncio.run(scenario())
+        assert resident_before and not resident_after
