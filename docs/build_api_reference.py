@@ -47,12 +47,18 @@ DOCUMENTED_PACKAGES = [
     "repro.sim.engine",
     "repro.runtime",
     "repro.fleet",
+    "repro.inspect",
     "repro.trace",
 ]
 
 #: Packages whose *public surface* must be fully docstringed
 #: (the ruff D1xx gate covers the same set; see pyproject.toml).
-STRICT_PACKAGES = ("repro.sim.engine", "repro.runtime", "repro.fleet")
+STRICT_PACKAGES = (
+    "repro.sim.engine",
+    "repro.runtime",
+    "repro.fleet",
+    "repro.inspect",
+)
 
 #: Sphinx-style roles validated against the live import graph.
 ROLE_PATTERN = re.compile(

@@ -76,6 +76,16 @@ _EXPORTS = {
     "LoadGenConfig": "repro.fleet.service.loadgen",
     "build_arrivals": "repro.fleet.service.loadgen",
     "run_load": "repro.fleet.service.loadgen",
+    # Live inspection
+    "EventRing": "repro.inspect.events",
+    "EventStream": "repro.inspect.events",
+    "load_event_streams": "repro.inspect.events",
+    "save_event_streams": "repro.inspect.events",
+    "replay_events": "repro.inspect.replay",
+    "diff_replay": "repro.inspect.replay",
+    "occupancy_timeline": "repro.inspect.replay",
+    "FleetSegmentSnapshot": "repro.inspect.snapshots",
+    "column_occupancy": "repro.inspect.snapshots",
 }
 
 __all__ = sorted(_EXPORTS)

@@ -7,12 +7,15 @@ One console script fronts every tool in the stack::
     repro experiments figure4 --quick
     repro experiments all --workers 8 --cache-dir .sweep-cache
     repro serve --quick
+    repro fleet top --once --events-out events.npz
 
 ``repro trace`` and ``repro experiments`` delegate to the existing
 tool parsers unchanged (every subcommand and flag works exactly as it
 does under ``repro-trace`` / ``repro-experiments``); ``repro serve``
 is a shorthand for ``repro experiments serve`` — the fleet-service
 demonstration is the stack's headline, so it gets a top-level verb.
+``repro fleet`` hosts the live-inspection tools (currently ``top``,
+the virtual-clock shard monitor).
 
 The legacy entry points remain: the ``repro-trace`` and
 ``repro-experiments`` console scripts, and the ``python -m
@@ -41,9 +44,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "command",
-        choices=["trace", "experiments", "serve"],
-        help="trace tooling, figure experiments, or the fleet-service "
-        "demonstration",
+        choices=["trace", "experiments", "serve", "fleet"],
+        help="trace tooling, figure experiments, the fleet-service "
+        "demonstration, or the live fleet-inspection tools",
     )
     parser.add_argument(
         "rest",
@@ -62,6 +65,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return experiments_main(
             arguments.rest, prog="repro experiments"
         )
+    if arguments.command == "fleet":
+        from repro.fleet.service.top import main as fleet_main
+
+        return fleet_main(arguments.rest, prog="repro fleet")
     return experiments_main(
         ["serve", *arguments.rest], prog="repro experiments"
     )

@@ -157,10 +157,17 @@ def _run_layout_search(quick: bool, engine: SweepEngine) -> bool:
     return all(check.passed for check in checks)
 
 
-def _run_serve(quick: bool, bench_out: Optional[str]) -> bool:
+def _run_serve(
+    quick: bool,
+    bench_out: Optional[str],
+    events_out: Optional[str] = None,
+    report_out: Optional[str] = None,
+) -> bool:
     config = ServeConfig().quick() if quick else ServeConfig()
     start = time.perf_counter()
-    result = run_serve(config)
+    result = run_serve(
+        config, events_out=Path(events_out) if events_out else None
+    )
     elapsed = time.perf_counter() - start
     print(result.series.to_table())
     checks = check_serve(result)
@@ -169,6 +176,27 @@ def _run_serve(quick: bool, bench_out: Optional[str]) -> bool:
     if bench_out:
         write_bench(result, Path(bench_out))
         print(f"wrote {bench_out}")
+    events_path = result.migration_arm.events_path
+    if events_path is not None:
+        print(f"wrote {events_path}")
+    if report_out:
+        from repro.experiments.report import occupancy_heatmap_html
+        from repro.inspect import load_event_streams
+
+        if events_path is None:
+            print(
+                "--report-out needs --events-out (the heatmap folds "
+                "the flushed event stream)",
+                file=sys.stderr,
+            )
+            return False
+        html = occupancy_heatmap_html(
+            load_event_streams(events_path),
+            columns=config.service.geometry.columns,
+            title="fleet service — column occupancy over virtual time",
+        )
+        Path(report_out).write_text(html, encoding="utf-8")
+        print(f"wrote {report_out}")
     return all(check.passed for check in checks)
 
 
@@ -248,6 +276,20 @@ def build_parser(prog: str = "repro-experiments") -> argparse.ArgumentParser:
                 help="write the service benchmark payload "
                 "(BENCH_fleet.json) to this path",
             )
+            subparser.add_argument(
+                "--events-out",
+                default=None,
+                metavar="PATH",
+                help="flush the migration arm's inspection event "
+                "stream to this mmap-able .npz",
+            )
+            subparser.add_argument(
+                "--report-out",
+                default=None,
+                metavar="PATH",
+                help="write the column-occupancy heatmap HTML here "
+                "(requires --events-out)",
+            )
     subparsers.add_parser(
         "all",
         parents=[common],
@@ -277,7 +319,10 @@ def main(
         ok = _run_layout_search(arguments.quick, engine) and ok
     if arguments.target in ("serve", "all"):
         ok = _run_serve(
-            arguments.quick, getattr(arguments, "bench_out", None)
+            arguments.quick,
+            getattr(arguments, "bench_out", None),
+            getattr(arguments, "events_out", None),
+            getattr(arguments, "report_out", None),
         ) and ok
     executed = engine.stats
     print(

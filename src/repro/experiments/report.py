@@ -12,9 +12,14 @@ and asserts them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+import numpy as np
 
 from repro.utils.tables import format_series, format_table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard only
+    from repro.inspect.events import EventStream
 
 
 @dataclass
@@ -92,3 +97,112 @@ def checks_table(checks: Sequence[ShapeCheck]) -> str:
 def all_passed(checks: Sequence[ShapeCheck]) -> bool:
     """True if every check passed."""
     return all(check.passed for check in checks)
+
+
+# ----------------------------------------------------------------------
+# Column-occupancy heatmaps (zero-dependency HTML)
+# ----------------------------------------------------------------------
+def _heat_color(value: float) -> str:
+    """White (0.0) to deep blue (1.0), as an inline CSS color."""
+    value = min(max(float(value), 0.0), 1.0)
+    red = int(255 - 215 * value)
+    green = int(255 - 180 * value)
+    blue = int(255 - 80 * value)
+    return f"rgb({red},{green},{blue})"
+
+
+def heatmap_grid_html(
+    grid: "np.ndarray", caption: str, cell_px: int = 10
+) -> str:
+    """One ``(rows, buckets)`` grid as an inline-styled HTML table.
+
+    Cell values are clamped to [0, 1] and mapped white -> blue; rows
+    render top-to-bottom in index order (row 0 on top), columns
+    left-to-right in time order.  Inline styles only — the document
+    needs no stylesheet, scripts, or external assets.
+    """
+    rows = []
+    for row_index in range(grid.shape[0]):
+        cells = []
+        for value in grid[row_index]:
+            cells.append(
+                f'<td title="{float(value):.2f}" style="width:'
+                f"{cell_px}px;height:{cell_px}px;padding:0;"
+                f'background:{_heat_color(float(value))}"></td>'
+            )
+        label = (
+            f'<th style="font:10px monospace;text-align:right;'
+            f'padding:0 4px">col {row_index}</th>'
+        )
+        rows.append(f"<tr>{label}{''.join(cells)}</tr>")
+    return (
+        f'<figure style="margin:12px 0">'
+        f'<figcaption style="font:12px monospace;margin-bottom:4px">'
+        f"{caption}</figcaption>"
+        f'<table style="border-collapse:collapse">'
+        f"{''.join(rows)}</table></figure>"
+    )
+
+
+def occupancy_heatmap_html(
+    stream: "EventStream",
+    columns: int,
+    buckets: int = 96,
+    title: str = "column occupancy over virtual time",
+) -> str:
+    """A standalone HTML page of per-shard occupancy heatmaps.
+
+    Folds a flushed :class:`~repro.inspect.events.EventStream` into
+    one columns-by-time grid per shard (via
+    :func:`~repro.inspect.replay.occupancy_timeline`, over a horizon
+    shared by every shard so the grids align) and renders each as an
+    inline-styled heatmap — the live-inspection companion to the
+    text tables: which columns were granted, to what density, when.
+    """
+    from repro.inspect.replay import occupancy_timeline
+
+    horizon = stream.horizon() or None
+    grids = {
+        shard: occupancy_timeline(
+            stream, shard, columns, buckets=buckets, horizon=horizon
+        )
+        for shard in stream.shard_ids
+    }
+    return shard_heatmaps_html(grids, title=title, horizon=horizon)
+
+
+def shard_heatmaps_html(
+    grids: Mapping[int, "np.ndarray"],
+    title: str,
+    horizon: "int | None" = None,
+) -> str:
+    """Wrap per-shard heatmap grids into one standalone HTML page."""
+    figures = []
+    for shard in sorted(grids):
+        grid = grids[shard]
+        mean_fill = float(np.mean(grid)) if grid.size else 0.0
+        figures.append(
+            heatmap_grid_html(
+                grid,
+                caption=(
+                    f"shard {shard} — mean occupied fraction "
+                    f"{mean_fill:.2f}"
+                ),
+            )
+        )
+    subtitle = (
+        f"virtual horizon: {horizon} instructions"
+        if horizon
+        else "no events recorded"
+    )
+    body = "".join(figures) or (
+        '<p style="font:12px monospace">no shards to render</p>'
+    )
+    return (
+        "<!doctype html><html><head><meta charset='utf-8'>"
+        f"<title>{title}</title></head>"
+        '<body style="font-family:monospace;margin:24px">'
+        f"<h1 style='font-size:16px'>{title}</h1>"
+        f"<p style='font:12px monospace'>{subtitle}</p>"
+        f"{body}</body></html>"
+    )

@@ -107,6 +107,8 @@ class ServeArm:
         invariant_violations: Audits that failed (must be zero).
         imbalance_timeline: (virtual time, imbalance) samples from
             the monitor (empty when migration is off).
+        events_path: Where the arm's inspection event stream was
+            flushed (None unless the run asked for it).
     """
 
     migration: bool
@@ -116,6 +118,7 @@ class ServeArm:
     invariant_checks: int
     invariant_violations: int
     imbalance_timeline: list[tuple[int, float]]
+    events_path: Optional[Path] = None
 
     def as_dict(self) -> dict[str, Any]:
         """Structured, JSON-serializable export."""
@@ -129,6 +132,9 @@ class ServeArm:
                 [int(at), round(value, 4)]
                 for at, value in self.imbalance_timeline
             ],
+            "events_path": (
+                str(self.events_path) if self.events_path else None
+            ),
             "fleet": self.snapshot.as_dict(),
         }
 
@@ -170,7 +176,11 @@ class ServeResult:
         }
 
 
-async def _run_arm(config: ServeConfig, migration: bool) -> ServeArm:
+async def _run_arm(
+    config: ServeConfig,
+    migration: bool,
+    events_out: Optional[Path] = None,
+) -> ServeArm:
     """Run one arm: a fresh service, the same arrival schedule."""
     service = FleetService(
         dataclasses.replace(
@@ -182,6 +192,9 @@ async def _run_arm(config: ServeConfig, migration: bool) -> ServeArm:
     async with service:
         report = await run_load(service, arrivals)
         snapshot = service.snapshot()
+    events_path = (
+        service.flush_events(events_out) if events_out else None
+    )
     return ServeArm(
         migration=migration,
         report=report,
@@ -190,16 +203,27 @@ async def _run_arm(config: ServeConfig, migration: bool) -> ServeArm:
         invariant_checks=service.invariant_checks,
         invariant_violations=service.invariant_violations,
         imbalance_timeline=list(service.imbalance_timeline),
+        events_path=events_path,
     )
 
 
-def run_serve(config: Optional[ServeConfig] = None) -> ServeResult:
-    """Run the demonstration (both arms) and build the series."""
+def run_serve(
+    config: Optional[ServeConfig] = None,
+    events_out: Optional[Path] = None,
+) -> ServeResult:
+    """Run the demonstration (both arms) and build the series.
+
+    ``events_out`` flushes the migration arm's inspection event
+    stream (one mmap-able ``.npz`` covering every shard) — the input
+    to offline replay and the occupancy heatmap report.
+    """
     config = config or ServeConfig()
     arms: dict[str, ServeArm] = {}
     if not config.skip_no_migration:
         arms["no-migration"] = asyncio.run(_run_arm(config, False))
-    arms["migration"] = asyncio.run(_run_arm(config, True))
+    arms["migration"] = asyncio.run(
+        _run_arm(config, True, events_out=events_out)
+    )
 
     arm_names = list(arms)
     series = ExperimentSeries(

@@ -260,6 +260,19 @@ class ColumnBroker:
         """The tenant's current column mask."""
         return self.grants[tenant]
 
+    def snapshot(self) -> "BrokerSnapshot":
+        """Frozen ownership map: per-column owners, exact grants.
+
+        The broker's live-inspection surface (see
+        :class:`~repro.inspect.snapshots.BrokerSnapshot`): which
+        tenant owns each column, every resident's exact mask bits and
+        priority, and the rewrite-log length — plain data safe to
+        export while the fleet runs.
+        """
+        from repro.inspect.snapshots import BrokerSnapshot
+
+        return BrokerSnapshot.of(self)
+
     def check_disjoint(self) -> None:
         """Assert the disjointness invariant (used by the tests)."""
         seen = ColumnMask.none(self.geometry.columns)

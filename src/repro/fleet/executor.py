@@ -275,6 +275,7 @@ class FleetExecutor:
         broker: Optional[Any] = None,
         backend: str = "lockstep",
         collect_flags: bool = False,
+        observer: Optional[Any] = None,
     ) -> FleetResult:
         """Execute a fleet trace; returns per-tenant telemetry.
 
@@ -287,6 +288,13 @@ class FleetExecutor:
                 ``"reference"`` (scalar cache); bit-identical.
             collect_flags: Also return the per-access hit stream
                 (differential testing; costs memory).
+            observer: Live-inspection callback invoked after every
+                scheduling segment with a
+                :class:`~repro.inspect.snapshots.FleetSegmentSnapshot`
+                (per-column occupancy, exact grants, per-tenant
+                miss-rate timelines and detector state).  Read-only:
+                the run's results are bit-identical with or without
+                it.
         """
         if backend not in ("lockstep", "reference"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -465,6 +473,17 @@ class FleetExecutor:
                     runtime.window_trace(tenant_slices),
                 )
                 self._charge(charges, runtimes, pending_remap)
+            if observer is not None:
+                observer(
+                    self._segment_snapshot(
+                        segment_index,
+                        now,
+                        broker,
+                        runtimes,
+                        lock_state if backend == "lockstep"
+                        else scalar_cache,
+                    )
+                )
             segment_index += 1
 
         return FleetResult(
@@ -486,6 +505,49 @@ class FleetExecutor:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    @staticmethod
+    def _segment_snapshot(
+        segment: int,
+        now: int,
+        broker: Any,
+        runtimes: dict[str, "_TenantRuntime"],
+        cache: Any,
+    ) -> "FleetSegmentSnapshot":
+        """Build the observer's view of one completed segment."""
+        from repro.inspect.snapshots import (
+            BrokerSnapshot,
+            DetectorSnapshot,
+            FleetSegmentSnapshot,
+            TenantInspectRow,
+            column_occupancy,
+            miss_rate_timeline,
+        )
+
+        rows = []
+        for name in broker.resident:
+            telemetry = runtimes[name].telemetry
+            rows.append(
+                TenantInspectRow(
+                    name=name,
+                    priority=telemetry.priority,
+                    mask_bits=broker.grants[name].bits,
+                    columns=broker.grants[name].count(),
+                    instructions=telemetry.instructions,
+                    miss_rate=telemetry.miss_rate,
+                    timeline=miss_rate_timeline(telemetry.samples),
+                    detector=DetectorSnapshot.of(
+                        runtimes[name].detector
+                    ),
+                )
+            )
+        return FleetSegmentSnapshot(
+            segment=segment,
+            now=now,
+            column_occupancy=column_occupancy(cache),
+            broker=BrokerSnapshot.of(broker),
+            tenants=tuple(rows),
+        )
+
     @staticmethod
     def _charge(
         charges: dict[str, int],

@@ -21,7 +21,10 @@ Layers, bottom up:
 * :mod:`~repro.fleet.service.daemon` — the asyncio service:
   admission, virtual clock, hotspot migration;
 * :mod:`~repro.fleet.service.loadgen` — Poisson tenant sessions
-  driven against a running service.
+  driven against a running service;
+* :mod:`~repro.fleet.service.top` — the ``repro fleet top`` live
+  monitor: per-shard occupancy/queue/latency frames on the virtual
+  clock.
 
 ``repro serve`` (or ``repro experiments serve``) runs the packaged
 demonstration: ≥1000 tenants over ≥4 shards, with migration on/off
@@ -46,6 +49,7 @@ from repro.fleet.service.loadgen import (
 )
 from repro.fleet.service.router import TenantHashRouter, shard_score
 from repro.fleet.service.shard import MigratedTenant, ShardServer
+from repro.fleet.service.top import TopConfig, render_top_frame
 from repro.fleet.service.telemetry import (
     LatencyRecorder,
     ServiceSnapshot,
@@ -70,6 +74,8 @@ __all__ = [
     "shard_score",
     "MigratedTenant",
     "ShardServer",
+    "TopConfig",
+    "render_top_frame",
     "LatencyRecorder",
     "ServiceSnapshot",
     "ShardSnapshot",

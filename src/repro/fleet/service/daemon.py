@@ -37,6 +37,7 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Optional
 
 from repro.cache.geometry import CacheGeometry
@@ -48,6 +49,8 @@ from repro.fleet.service.telemetry import (
     ServiceSnapshot,
 )
 from repro.fleet.tenant import TenantSpec
+from repro.inspect.events import EventRing, save_event_streams
+from repro.inspect.snapshots import FleetSegmentSnapshot
 from repro.layout.session import PlannerSession
 from repro.sim.config import TimingConfig
 
@@ -76,6 +79,10 @@ class ServiceConfig:
             queue backlog.
         min_hot_residents: Never migrate off a shard with fewer
             residents than this.
+        event_capacity: Per-shard bound of the inspection event ring
+            (see :class:`~repro.inspect.events.EventRing`); once full
+            the oldest events are overwritten and the stream stops
+            being a complete, replayable history.
     """
 
     shards: int = 4
@@ -104,6 +111,7 @@ class ServiceConfig:
     monitor_interval_instructions: int = 8_192
     imbalance_threshold: float = 1.5
     min_hot_residents: int = 2
+    event_capacity: int = 65_536
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -112,6 +120,8 @@ class ServiceConfig:
             raise ValueError("admissions_per_segment must be >= 1")
         if self.patience_instructions < 1:
             raise ValueError("patience_instructions must be >= 1")
+        if self.event_capacity < 1:
+            raise ValueError("event_capacity must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -190,6 +200,7 @@ class FleetService:
                 self.config.timing,
                 self.config.fleet,
                 session=self.session,
+                event_capacity=self.config.event_capacity,
             )
             for index in range(self.config.shards)
         ]
@@ -347,6 +358,36 @@ class FleetService:
             ),
             migrations=len(self.migrations),
         )
+
+    def inspect(self) -> dict[int, FleetSegmentSnapshot]:
+        """Deep per-shard inspection (occupancy, grants, detectors).
+
+        Richer than :meth:`snapshot`: exact column ownership maps,
+        per-column valid-line counts, per-tenant miss-rate timelines
+        and phase-detector state — the data ``repro fleet top`` and
+        the heatmap report render.
+        """
+        return {
+            index: shard.inspect()
+            for index, shard in enumerate(self.shards)
+        }
+
+    def event_rings(self) -> dict[int, EventRing]:
+        """Each shard's live inspection event ring, by shard index."""
+        return {
+            index: shard.events
+            for index, shard in enumerate(self.shards)
+        }
+
+    def flush_events(self, path: "str | Path") -> Path:
+        """Flush every shard's event ring to one mmap-able ``.npz``.
+
+        The archive replays offline via
+        :func:`~repro.inspect.replay.replay_events`; when no ring
+        overflowed, the replay reconstructs this service's final
+        :meth:`snapshot` exactly.
+        """
+        return save_event_streams(path, self.event_rings())
 
     # ------------------------------------------------------------------
     # Workers

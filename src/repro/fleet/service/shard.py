@@ -35,6 +35,15 @@ from repro.cache.geometry import CacheGeometry
 from repro.fleet.broker import ColumnBroker, FleetAdmissionError
 from repro.fleet.executor import FleetConfig, _TenantRuntime
 from repro.fleet.service.telemetry import ShardSnapshot, TenantResidency
+from repro.inspect.events import EventKind, EventRing
+from repro.inspect.snapshots import (
+    BrokerSnapshot,
+    DetectorSnapshot,
+    FleetSegmentSnapshot,
+    TenantInspectRow,
+    column_occupancy,
+    miss_rate_timeline,
+)
 from repro.fleet.tenant import TenantSpec, TenantStatus, WindowSample
 from repro.layout.session import PlannerSession
 from repro.sim.config import TimingConfig
@@ -74,6 +83,10 @@ class ShardServer:
             service passes one shared session to every shard.
         min_benefit_cycles: Broker churn hysteresis for phase-change
             rebalances.
+        event_capacity: Bound of the shard's inspection
+            :class:`~repro.inspect.events.EventRing` (older events
+            are overwritten once full; the ring's ``dropped`` counter
+            records how many).
     """
 
     def __init__(
@@ -84,6 +97,7 @@ class ShardServer:
         config: Optional[FleetConfig] = None,
         session: Optional[PlannerSession] = None,
         min_benefit_cycles: int = 0,
+        event_capacity: int = 65_536,
     ):
         self.shard_id = shard_id
         self.geometry = geometry
@@ -100,6 +114,7 @@ class ShardServer:
         )
         self.now = 0
         self.segments = 0
+        self.events = EventRing(event_capacity)
         self.runtimes: dict[str, _TenantRuntime] = {}
         self.admitted_count = 0
         self.rejected_count = 0
@@ -132,6 +147,7 @@ class ShardServer:
         runtime = _TenantRuntime(spec, self.geometry, self.config)
         runtime.telemetry.arrival_time = self.now
         self.runtimes[spec.name] = runtime
+        before = self._grant_bits()
         try:
             charges = self.broker.admit(
                 spec.name, spec.run, priority=spec.priority
@@ -140,6 +156,7 @@ class ShardServer:
             runtime.telemetry.status = TenantStatus.REJECTED
             runtime.telemetry.rejected_at = self.now
             self.rejected_count += 1
+            self.events.record(self.now, EventKind.REJECT, spec.name)
             return False
         runtime.telemetry.status = TenantStatus.RUNNING
         runtime.telemetry.admitted_at = self.now
@@ -149,6 +166,14 @@ class ShardServer:
         self._served_at_admit[spec.name] = (
             runtime.telemetry.instructions
         )
+        self.events.record(
+            self.now,
+            EventKind.ADMIT,
+            spec.name,
+            mask_bits=self.broker.grants[spec.name].bits,
+            detail=charges.get(spec.name, 0),
+        )
+        self._record_grant_changes(before, charges, exclude=spec.name)
         self._charge(charges)
         return True
 
@@ -160,10 +185,13 @@ class ShardServer:
                 f"tenant {name!r} is not resident on shard "
                 f"{self.shard_id}"
             )
+        before = self._grant_bits()
         charges = self.broker.depart(name)
         runtime.telemetry.status = TenantStatus.DEPARTED
         runtime.telemetry.departed_at = self.now
         self.departed_count += 1
+        self.events.record(self.now, EventKind.DEPART, name)
+        self._record_grant_changes(before, charges)
         self._forget(name)
         self._charge(charges)
 
@@ -192,8 +220,11 @@ class ShardServer:
                 - self._served_at_admit.get(name, 0)
             )
             remaining = max(budget - served, 0)
+        before = self._grant_bits()
         charges = self.broker.depart(name)
         self.migrations_out += 1
+        self.events.record(self.now, EventKind.MIGRATE_OUT, name)
+        self._record_grant_changes(before, charges)
         self._forget(name)
         self._charge(charges)
         del self.runtimes[name]
@@ -214,6 +245,7 @@ class ShardServer:
         name = migrant.spec.name
         runtime = migrant.runtime
         self.runtimes[name] = runtime
+        before = self._grant_bits()
         try:
             charges = self.broker.admit(
                 name, migrant.spec.run, priority=migrant.spec.priority
@@ -222,6 +254,7 @@ class ShardServer:
             runtime.telemetry.status = TenantStatus.REJECTED
             runtime.telemetry.rejected_at = self.now
             self.rejected_count += 1
+            self.events.record(self.now, EventKind.REJECT, name)
             return False
         runtime.telemetry.status = TenantStatus.RUNNING
         runtime.telemetry.remaps += 1  # the migration's tint rewrite
@@ -230,6 +263,14 @@ class ShardServer:
         if migrant.service_remaining is not None:
             self._service_budget[name] = migrant.service_remaining
         self._served_at_admit[name] = runtime.telemetry.instructions
+        self.events.record(
+            self.now,
+            EventKind.MIGRATE_IN,
+            name,
+            mask_bits=self.broker.grants[name].bits,
+            detail=charges.get(name, 0),
+        )
+        self._record_grant_changes(before, charges, exclude=name)
         self._charge(charges)
         return True
 
@@ -330,11 +371,14 @@ class ShardServer:
             if name not in self.broker.grants:
                 continue
             runtime = self.runtimes[name]
+            self.events.record(self.now, EventKind.PHASE, name)
+            before = self._grant_bits()
             charges = self.broker.refresh(
                 name,
                 runtime.spec.run,
                 runtime.window_trace(tenant_slices),
             )
+            self._record_grant_changes(before, charges)
             self._charge(charges)
         self.segments += 1
         self._auto_depart()
@@ -405,6 +449,41 @@ class ShardServer:
             queue_depth=queue_depth,
             cpi=(cycles / instructions) if instructions else 0.0,
             miss_rate=(misses / accesses) if accesses else 0.0,
+            events_recorded=self.events.recorded,
+            events_dropped=self.events.dropped,
+        )
+
+    def inspect(self) -> FleetSegmentSnapshot:
+        """Deep inspection: column occupancy, grants, detectors.
+
+        The live-inspection view of this shard — per-column valid
+        lines of its lockstep cache, the broker's exact ownership
+        map, and each resident's miss-rate timeline and phase
+        detector (richer, and costlier, than :meth:`snapshot`).
+        """
+        rows = []
+        for name in self.broker.resident:
+            telemetry = self.runtimes[name].telemetry
+            rows.append(
+                TenantInspectRow(
+                    name=name,
+                    priority=telemetry.priority,
+                    mask_bits=self.broker.grants[name].bits,
+                    columns=self.broker.grants[name].count(),
+                    instructions=telemetry.instructions,
+                    miss_rate=telemetry.miss_rate,
+                    timeline=miss_rate_timeline(telemetry.samples),
+                    detector=DetectorSnapshot.of(
+                        self.runtimes[name].detector
+                    ),
+                )
+            )
+        return FleetSegmentSnapshot(
+            segment=self.segments,
+            now=self.now,
+            column_occupancy=column_occupancy(self.lock_state),
+            broker=BrokerSnapshot.of(self.broker),
+            tenants=tuple(rows),
         )
 
     # ------------------------------------------------------------------
@@ -420,6 +499,45 @@ class ShardServer:
         self._served_at_admit.pop(name, None)
         if self._rotation == name:
             self._rotation = None
+
+    def _grant_bits(self) -> dict[str, int]:
+        return {
+            name: grant.bits
+            for name, grant in self.broker.grants.items()
+        }
+
+    def _record_grant_changes(
+        self,
+        before: dict[str, int],
+        charges: dict[str, int],
+        exclude: Optional[str] = None,
+    ) -> None:
+        """Emit GRANT/RECLAIM events for every changed surviving grant.
+
+        ``before`` is the grant map captured ahead of the broker call
+        that produced ``charges``; the tenant whose arrival/departure
+        caused the rebalance is covered by its own event and passed
+        as ``exclude``.
+        """
+        for name, cycles in charges.items():
+            if name == exclude:
+                continue
+            grant = self.broker.grants.get(name)
+            if grant is None:
+                continue
+            bits = grant.bits
+            old = before.get(name)
+            if old == bits:
+                continue
+            kind = EventKind.GRANT
+            if (
+                old is not None
+                and bits.bit_count() < old.bit_count()
+            ):
+                kind = EventKind.RECLAIM
+            self.events.record(
+                self.now, kind, name, mask_bits=bits, detail=cycles
+            )
 
     def _charge(self, charges: dict[str, int]) -> None:
         for name, cycles in charges.items():

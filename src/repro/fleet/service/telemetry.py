@@ -18,6 +18,7 @@ they can stream to disk or a dashboard without touching live state.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
@@ -25,11 +26,22 @@ from typing import Any, Sequence
 def percentile(samples: Sequence[float], fraction: float) -> float:
     """The ``fraction``-quantile of ``samples`` (nearest-rank).
 
-    Returns 0.0 for an empty sample set — an idle shard has no
-    latency, not an undefined one.
+    Nearest-rank: the smallest sample such that at least
+    ``fraction * n`` of the samples are <= it, i.e. the sample at
+    1-based rank ``ceil(fraction * n)``; ``fraction=0`` selects the
+    first sample.  Returns 0.0 for an empty sample set — an idle
+    shard has no latency, not an undefined one.
 
     >>> percentile([1.0, 2.0, 3.0, 4.0], 0.5)
     2.0
+    >>> percentile([3.0, 1.0, 2.0], 0.5)
+    2.0
+    >>> percentile([1.0, 2.0, 3.0, 4.0], 0.0)
+    1.0
+    >>> percentile([1.0, 2.0, 3.0, 4.0], 1.0)
+    4.0
+    >>> percentile(list(range(1, 101)), 0.99)
+    99
     >>> percentile([], 0.99)
     0.0
     """
@@ -38,8 +50,8 @@ def percentile(samples: Sequence[float], fraction: float) -> float:
     if not 0.0 <= fraction <= 1.0:
         raise ValueError(f"fraction must be in [0, 1], got {fraction}")
     ordered = sorted(samples)
-    index = min(int(fraction * len(ordered)), len(ordered) - 1)
-    return ordered[index]
+    rank = math.ceil(fraction * len(ordered))
+    return ordered[max(rank, 1) - 1]
 
 
 @dataclass
@@ -127,6 +139,10 @@ class ShardSnapshot:
             shard runs synchronously outside the daemon).
         cpi: Aggregate shard CPI over everything it executed.
         miss_rate: Aggregate shard miss rate.
+        events_recorded: Inspection events appended to the shard's
+            ring buffer over its lifetime.
+        events_dropped: Events the bounded ring had to overwrite
+            (0 means the stream is complete and replayable).
     """
 
     shard: int
@@ -143,6 +159,8 @@ class ShardSnapshot:
     queue_depth: int
     cpi: float
     miss_rate: float
+    events_recorded: int = 0
+    events_dropped: int = 0
 
     @property
     def occupancy(self) -> int:
@@ -177,6 +195,8 @@ class ShardSnapshot:
             "queue_depth": self.queue_depth,
             "cpi": self.cpi,
             "miss_rate": self.miss_rate,
+            "events_recorded": self.events_recorded,
+            "events_dropped": self.events_dropped,
         }
 
 

@@ -1,0 +1,337 @@
+"""``repro fleet top`` — a live view of a running fleet service.
+
+The classic ``top(1)`` loop, re-paced to the daemon's *virtual* clock:
+poll a running :class:`~repro.fleet.service.daemon.FleetService` every
+N virtual instructions and render per-shard tables — occupancy,
+admission-queue depth, queue-wait percentiles, migration counters —
+plus a per-column fill gauge and the busiest residents, all from the
+same :meth:`~repro.fleet.service.daemon.FleetService.snapshot` /
+:meth:`~repro.fleet.service.daemon.FleetService.inspect` surface any
+external dashboard would use.  Frames print sequentially (no terminal
+control codes), so the output is equally at home in a TTY, a CI log,
+or a file.
+
+The command drives its own load (the serve demonstration's Poisson
+generator) so it is self-contained::
+
+    repro fleet top --tenants 150 --interval 16384
+    repro fleet top --once --events-out events.npz --report-out top.html
+
+``--once`` skips the intermediate frames and prints a single final
+frame — the CI smoke mode.  ``--events-out`` flushes every shard's
+inspection event ring to a memory-mappable ``.npz`` on exit;
+``--report-out`` renders the column-occupancy-over-time heatmap HTML
+from that same stream.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import dataclasses
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.fleet.service.daemon import FleetService, ServiceConfig
+from repro.fleet.service.loadgen import (
+    LoadGenConfig,
+    build_arrivals,
+    default_workload_pool,
+    run_load,
+)
+from repro.utils.tables import format_table
+
+#: Fill-gauge glyphs, empty to full (one glyph per column).
+_GAUGE = " .:-=+*#%@"
+
+
+@dataclass(frozen=True)
+class TopConfig:
+    """One ``fleet top`` run.
+
+    Attributes:
+        service: Daemon topology and pacing.
+        load: The Poisson population driven through it.
+        interval_instructions: Virtual time between frames.
+        once: Render only the single final frame (CI smoke mode).
+        max_tenant_rows: Busiest-resident rows per frame.
+        events_out: Flush event rings here on exit (optional).
+        report_out: Write the occupancy heatmap HTML here (optional).
+    """
+
+    service: ServiceConfig = dataclasses.field(
+        default_factory=ServiceConfig
+    )
+    load: LoadGenConfig = dataclasses.field(
+        default_factory=lambda: LoadGenConfig(
+            tenants=150, hot_fraction=0.3
+        )
+    )
+    interval_instructions: int = 16_384
+    once: bool = False
+    max_tenant_rows: int = 8
+    events_out: Optional[Path] = None
+    report_out: Optional[Path] = None
+
+    def __post_init__(self) -> None:
+        if self.interval_instructions < 1:
+            raise ValueError("interval_instructions must be >= 1")
+        if self.max_tenant_rows < 0:
+            raise ValueError("max_tenant_rows must be >= 0")
+
+
+def _gauge(fill: float) -> str:
+    """One glyph for a 0..1 column fill fraction."""
+    index = min(int(fill * (len(_GAUGE) - 1) + 0.5), len(_GAUGE) - 1)
+    return _GAUGE[index]
+
+
+def render_top_frame(
+    service: FleetService,
+    frame: Optional[int] = None,
+    max_tenant_rows: int = 8,
+) -> str:
+    """One ``top`` frame of a (running or stopped) service.
+
+    Pure rendering: reads :meth:`FleetService.snapshot`,
+    :meth:`FleetService.inspect` and the per-shard queue-wait
+    recorders; never mutates the service.
+    """
+    snapshot = service.snapshot()
+    inspection = service.inspect()
+    sets = service.config.geometry.sets
+    header = (
+        f"fleet top — clock {service.virtual_now} instr, "
+        f"{len(snapshot.shards)} shards, "
+        f"{snapshot.residents} residents, "
+        f"{snapshot.migrations} migrations, "
+        f"imbalance {snapshot.imbalance:.2f}"
+    )
+    if frame is not None:
+        header = f"[frame {frame}] {header}"
+
+    shard_rows = []
+    for shard in snapshot.shards:
+        waits = service.queue_wait[shard.shard]
+        fills = inspection[shard.shard].column_occupancy
+        shard_rows.append(
+            [
+                shard.shard,
+                shard.now,
+                len(shard.residents),
+                shard.free_columns,
+                shard.queue_depth,
+                shard.admitted,
+                shard.rejected,
+                int(waits.p50()),
+                int(waits.p99()),
+                f"{shard.miss_rate:.3f}",
+                "|" + "".join(
+                    _gauge(fill / sets) for fill in fills
+                ) + "|",
+            ]
+        )
+    shard_table = format_table(
+        [
+            "shard", "now", "res", "free", "queue", "adm", "rej",
+            "p50 wait", "p99 wait", "miss", "columns",
+        ],
+        shard_rows,
+    )
+
+    lines = [header, "", shard_table]
+    tenant_rows = []
+    for shard_index, segment in sorted(inspection.items()):
+        for row in segment.tenants:
+            boundaries = (
+                len(row.detector.boundaries) if row.detector else 0
+            )
+            tenant_rows.append(
+                [
+                    shard_index,
+                    row.name,
+                    row.priority,
+                    row.columns,
+                    format(row.mask_bits, "b"),
+                    row.instructions,
+                    f"{row.miss_rate:.3f}",
+                    boundaries,
+                ]
+            )
+    if tenant_rows and max_tenant_rows:
+        tenant_rows.sort(key=lambda row: -row[5])
+        del tenant_rows[max_tenant_rows:]
+        lines += [
+            "",
+            format_table(
+                [
+                    "shard", "tenant", "pri", "cols", "mask",
+                    "instr", "miss", "phases",
+                ],
+                tenant_rows,
+            ),
+        ]
+    return "\n".join(lines)
+
+
+async def _run_top(config: TopConfig, out) -> int:
+    """Drive the load and render frames until it completes."""
+    service = FleetService(config.service)
+    pool = default_workload_pool(config.load.seed)
+    arrivals = build_arrivals(config.load, service.router, runs=pool)
+    frame = 0
+    async with service:
+        load_task = asyncio.create_task(run_load(service, arrivals))
+        if not config.once:
+            while not load_task.done():
+                target = (
+                    service.virtual_now + config.interval_instructions
+                )
+                clock_task = asyncio.create_task(
+                    service.wait_until(target)
+                )
+                await asyncio.wait(
+                    [load_task, clock_task],
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if not clock_task.done():
+                    clock_task.cancel()
+                print(
+                    render_top_frame(
+                        service, frame, config.max_tenant_rows
+                    ),
+                    file=out,
+                )
+                print(file=out)
+                frame += 1
+        report = await load_task
+    print(
+        render_top_frame(service, frame, config.max_tenant_rows),
+        file=out,
+    )
+    print(
+        f"\nload complete: {report.admitted} admitted, "
+        f"{report.rejected} rejected, "
+        f"{len(service.migrations)} migrations, "
+        f"{service.invariant_violations} invariant violations",
+        file=out,
+    )
+    if config.events_out is not None:
+        path = service.flush_events(config.events_out)
+        print(f"events flushed to {path}", file=out)
+    if config.report_out is not None:
+        # Lazy import: the report module is only needed when asked
+        # for, and keeps this module importable without it.
+        from repro.experiments.report import occupancy_heatmap_html
+        from repro.inspect import load_event_streams
+
+        if config.events_out is not None:
+            stream = load_event_streams(path)
+        else:
+            import tempfile
+
+            with tempfile.TemporaryDirectory() as scratch:
+                flushed = service.flush_events(
+                    Path(scratch) / "events.npz"
+                )
+                stream = load_event_streams(flushed, mmap=False)
+        html = occupancy_heatmap_html(
+            stream,
+            columns=config.service.geometry.columns,
+            title="fleet top — column occupancy over virtual time",
+        )
+        config.report_out.write_text(html, encoding="utf-8")
+        print(f"heatmap report written to {config.report_out}", file=out)
+    return 0 if service.invariant_violations == 0 else 1
+
+
+def build_parser(prog: str = "repro fleet") -> argparse.ArgumentParser:
+    """The ``fleet`` tool parser (subcommand: ``top``)."""
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="Live inspection tools for the fleet service.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    top = commands.add_parser(
+        "top",
+        help="drive a load through a fleet service and render "
+        "per-shard occupancy/queue/latency frames on the virtual "
+        "clock",
+    )
+    top.add_argument(
+        "--tenants",
+        type=int,
+        default=150,
+        help="Poisson tenant sessions to drive (default 150)",
+    )
+    top.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="broker shards (default 4)",
+    )
+    top.add_argument(
+        "--interval",
+        type=int,
+        default=16_384,
+        help="virtual instructions between frames (default 16384)",
+    )
+    top.add_argument(
+        "--hot-fraction",
+        type=float,
+        default=0.3,
+        help="fraction of tenants skewed to the hot shard "
+        "(default 0.3)",
+    )
+    top.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="load-generator seed (default 0)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="render only the single final frame (CI smoke mode)",
+    )
+    top.add_argument(
+        "--events-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="flush every shard's event ring to this .npz on exit",
+    )
+    top.add_argument(
+        "--report-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the column-occupancy heatmap HTML here on exit",
+    )
+    return parser
+
+
+def main(
+    argv: Optional[Sequence[str]] = None, prog: str = "repro fleet"
+) -> int:
+    """Run the ``fleet`` tool; returns a process exit code."""
+    arguments = build_parser(prog).parse_args(argv)
+    config = TopConfig(
+        service=ServiceConfig(shards=arguments.shards),
+        load=LoadGenConfig(
+            tenants=arguments.tenants,
+            hot_fraction=arguments.hot_fraction,
+            seed=arguments.seed,
+        ),
+        interval_instructions=arguments.interval,
+        once=arguments.once,
+        events_out=arguments.events_out,
+        report_out=arguments.report_out,
+    )
+    return asyncio.run(_run_top(config, sys.stdout))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Live inspection: snapshots, event streams, and offline replay.
+
+Per *Observing the Invisible: Live Cache Inspection* (PAPERS.md), a
+software-controlled cache is only operable at serving scale if its
+state — who holds which columns, where the misses go, when phases
+turn — can be observed *while it runs*.  This package is that layer:
+
+* :mod:`repro.inspect.snapshots` — frozen point-in-time views:
+  per-column occupancy of any cache backend, broker ownership maps,
+  phase-detector state, and per-window executor snapshots;
+* :mod:`repro.inspect.events` — a bounded ring buffer of inspection
+  events (admissions, departures, migrations, rebalances, phase
+  boundaries, reclamations) flushable to the memory-mappable ``.npz``
+  format the trace pipeline already uses;
+* :mod:`repro.inspect.replay` — offline reconstruction: fold a
+  flushed event stream back into per-shard state and diff it against
+  a live :class:`~repro.fleet.service.telemetry.ServiceSnapshot`.
+
+Everything here is read-only over live state: taking a snapshot or
+recording an event never changes what the simulator would compute.
+"""
+
+from repro.inspect.events import (
+    Event,
+    EventKind,
+    EventRing,
+    EventStream,
+    load_event_streams,
+    save_event_streams,
+)
+from repro.inspect.replay import (
+    ReplayedShard,
+    diff_replay,
+    occupancy_timeline,
+    replay_events,
+)
+from repro.inspect.snapshots import (
+    BrokerSnapshot,
+    DetectorSnapshot,
+    ExecutorWindowSnapshot,
+    FleetSegmentSnapshot,
+    TenantInspectRow,
+    column_occupancy,
+    miss_rate_timeline,
+)
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "EventRing",
+    "EventStream",
+    "load_event_streams",
+    "save_event_streams",
+    "ReplayedShard",
+    "diff_replay",
+    "occupancy_timeline",
+    "replay_events",
+    "BrokerSnapshot",
+    "DetectorSnapshot",
+    "ExecutorWindowSnapshot",
+    "FleetSegmentSnapshot",
+    "TenantInspectRow",
+    "column_occupancy",
+    "miss_rate_timeline",
+]

@@ -1,0 +1,300 @@
+"""Bounded ring-buffer event streams, flushable to mmap-able ``.npz``.
+
+Each shard (or executor) appends :class:`Event` records — admissions,
+departures, migrations, grant rebalances, reclamations, phase
+boundaries — to an :class:`EventRing`.  The ring is bounded: a
+capacity of N keeps recording cost O(1) and memory flat under any
+load, at the price of overwriting the oldest events once full (the
+``dropped`` counter says exactly how many, so offline replay can tell
+a complete stream from a truncated one).
+
+Flushed streams use the same uncompressed ``.npz`` layout as
+:meth:`~repro.trace.columnar.ColumnarTrace.save_npz`: tenant names
+are interned into one string table, every other column is a flat
+numpy array, and :func:`load_event_streams` can memory-map the
+archive so opening a multi-gigabyte history is O(1).
+
+Events carry the *exact* column mask a tenant holds after the event
+(``mask_bits``), not just a count — that is what lets
+:mod:`repro.inspect.replay` reconstruct per-column occupancy over
+time and diff the result against a live service snapshot.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import IntEnum
+from pathlib import Path
+from typing import Any, Iterator, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.trace.columnar import read_npz_members
+
+EVENT_STREAM_FORMAT_VERSION = 1
+
+
+class EventKind(IntEnum):
+    """What happened to a tenant (the event stream's vocabulary)."""
+
+    #: A tenant was admitted; ``mask_bits`` is its initial grant.
+    ADMIT = 0
+    #: An admission attempt failed (no reclaimable columns).
+    REJECT = 1
+    #: A resident departed; its columns return to the pool.
+    DEPART = 2
+    #: A migrated tenant resumed here; ``mask_bits`` is its grant.
+    MIGRATE_IN = 3
+    #: A resident was extracted for live migration.
+    MIGRATE_OUT = 4
+    #: A rebalance grew (or reshaped) a resident's grant to
+    #: ``mask_bits``.
+    GRANT = 5
+    #: A rebalance reclaimed columns: the grant *shrank* to
+    #: ``mask_bits``.
+    RECLAIM = 6
+    #: A tenant's phase detector flagged a boundary.
+    PHASE = 7
+
+
+@dataclass(frozen=True)
+class Event:
+    """One inspection event.
+
+    Attributes:
+        seq: Per-ring monotonic sequence number (assigned at record
+            time; gaps after a flush mean the ring dropped events).
+        time: The recorder's virtual instruction clock.
+        kind: What happened.
+        tenant: The tenant concerned.
+        mask_bits: The tenant's column mask *after* the event (0 when
+            not applicable, e.g. rejects and phase boundaries).
+        detail: Kind-specific extra (remap cycles charged for grant
+            changes, 0 otherwise).
+    """
+
+    seq: int
+    time: int
+    kind: EventKind
+    tenant: str
+    mask_bits: int = 0
+    detail: int = 0
+
+    def as_dict(self) -> dict[str, Any]:
+        """Structured, JSON-serializable export."""
+        return {
+            "seq": self.seq,
+            "time": self.time,
+            "kind": self.kind.name,
+            "tenant": self.tenant,
+            "mask_bits": self.mask_bits,
+            "detail": self.detail,
+        }
+
+
+class EventRing:
+    """A bounded, drop-oldest buffer of :class:`Event` records.
+
+    Args:
+        capacity: Maximum events retained; older events are
+            overwritten once full.
+
+    >>> ring = EventRing(capacity=2)
+    >>> _ = ring.record(0, EventKind.ADMIT, "a", mask_bits=0b11)
+    >>> _ = ring.record(5, EventKind.DEPART, "a")
+    >>> _ = ring.record(9, EventKind.ADMIT, "b", mask_bits=0b01)
+    >>> [event.kind.name for event in ring.events()]
+    ['DEPART', 'ADMIT']
+    >>> ring.recorded, ring.dropped
+    (3, 1)
+    """
+
+    def __init__(self, capacity: int = 65_536):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: deque[Event] = deque(maxlen=capacity)
+        self.recorded = 0
+
+    def record(
+        self,
+        time: int,
+        kind: EventKind,
+        tenant: str,
+        mask_bits: int = 0,
+        detail: int = 0,
+    ) -> Event:
+        """Append one event; returns it (seq assigned here)."""
+        event = Event(
+            seq=self.recorded,
+            time=time,
+            kind=kind,
+            tenant=tenant,
+            mask_bits=mask_bits,
+            detail=detail,
+        )
+        self._events.append(event)
+        self.recorded += 1
+        return event
+
+    @property
+    def dropped(self) -> int:
+        """Events overwritten by the bounded ring so far."""
+        return self.recorded - len(self._events)
+
+    def events(self) -> list[Event]:
+        """Retained events, oldest first."""
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events())
+
+
+def save_event_streams(
+    path: Union[str, Path], rings: Mapping[int, EventRing]
+) -> Path:
+    """Flush per-shard rings into one uncompressed ``.npz`` archive.
+
+    Tenant names are interned into a shared string table; per-shard
+    ``recorded``/``dropped``/``capacity`` counters ride along so
+    replay can prove stream completeness.  Members are stored (not
+    deflated) so :func:`load_event_streams` can memory-map them.
+    """
+    path = Path(path)
+    shard_ids = sorted(rings)
+    names: list[str] = []
+    name_ids: dict[str, int] = {}
+    columns: dict[str, list[int]] = {
+        "shards": [], "seqs": [], "times": [], "kinds": [],
+        "tenant_ids": [], "mask_bits": [], "details": [],
+    }
+    for shard in shard_ids:
+        for event in rings[shard].events():
+            tenant_id = name_ids.get(event.tenant)
+            if tenant_id is None:
+                tenant_id = name_ids[event.tenant] = len(names)
+                names.append(event.tenant)
+            columns["shards"].append(shard)
+            columns["seqs"].append(event.seq)
+            columns["times"].append(event.time)
+            columns["kinds"].append(int(event.kind))
+            columns["tenant_ids"].append(tenant_id)
+            columns["mask_bits"].append(event.mask_bits)
+            columns["details"].append(event.detail)
+    np.savez(
+        path,
+        format_version=np.int64(EVENT_STREAM_FORMAT_VERSION),
+        shards=np.array(columns["shards"], dtype=np.int32),
+        seqs=np.array(columns["seqs"], dtype=np.int64),
+        times=np.array(columns["times"], dtype=np.int64),
+        kinds=np.array(columns["kinds"], dtype=np.int8),
+        tenant_ids=np.array(columns["tenant_ids"], dtype=np.int32),
+        mask_bits=np.array(columns["mask_bits"], dtype=np.int64),
+        details=np.array(columns["details"], dtype=np.int64),
+        tenant_names=np.array(names, dtype=str),
+        shard_ids=np.array(shard_ids, dtype=np.int32),
+        recorded=np.array(
+            [rings[shard].recorded for shard in shard_ids],
+            dtype=np.int64,
+        ),
+        dropped=np.array(
+            [rings[shard].dropped for shard in shard_ids],
+            dtype=np.int64,
+        ),
+        capacities=np.array(
+            [rings[shard].capacity for shard in shard_ids],
+            dtype=np.int64,
+        ),
+    )
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+class EventStream:
+    """A flushed event-stream archive, decoded lazily.
+
+    Args:
+        arrays: The archive's members (possibly memory-mapped).
+
+    Iterate :meth:`for_shard` to get :class:`Event` objects back, or
+    read the raw arrays directly for vectorized analysis.
+    """
+
+    def __init__(self, arrays: Mapping[str, np.ndarray]):
+        version = int(arrays.get("format_version", np.int64(1)))
+        if version > EVENT_STREAM_FORMAT_VERSION:
+            raise ValueError(
+                f"event stream format version {version} is newer "
+                f"than supported ({EVENT_STREAM_FORMAT_VERSION})"
+            )
+        self.shards = arrays["shards"]
+        self.seqs = arrays["seqs"]
+        self.times = arrays["times"]
+        self.kinds = arrays["kinds"]
+        self.tenant_ids = arrays["tenant_ids"]
+        self.mask_bits = arrays["mask_bits"]
+        self.details = arrays["details"]
+        self.tenant_names = [
+            str(name) for name in arrays["tenant_names"].tolist()
+        ]
+        self.shard_ids = [
+            int(shard) for shard in arrays["shard_ids"].tolist()
+        ]
+        self._recorded = arrays["recorded"]
+        self._dropped = arrays["dropped"]
+        self._capacities = arrays["capacities"]
+
+    def __len__(self) -> int:
+        return len(self.seqs)
+
+    def recorded_for(self, shard: int) -> int:
+        """Events the shard's ring recorded over its lifetime."""
+        return int(self._recorded[self.shard_ids.index(shard)])
+
+    def dropped_for(self, shard: int) -> int:
+        """Events the shard's bounded ring overwrote (0 = complete)."""
+        return int(self._dropped[self.shard_ids.index(shard)])
+
+    def capacity_for(self, shard: int) -> int:
+        """The shard ring's configured capacity."""
+        return int(self._capacities[self.shard_ids.index(shard)])
+
+    def for_shard(self, shard: int) -> list[Event]:
+        """The shard's retained events, oldest first."""
+        selected = np.flatnonzero(self.shards == shard)
+        return [self._event_at(int(row)) for row in selected]
+
+    def events(self) -> Iterator[tuple[int, Event]]:
+        """All ``(shard, event)`` pairs in flush order."""
+        for row in range(len(self)):
+            yield int(self.shards[row]), self._event_at(row)
+
+    def horizon(self, shard: Optional[int] = None) -> int:
+        """The latest event time (optionally for one shard)."""
+        if shard is None:
+            times = self.times
+        else:
+            times = self.times[self.shards == shard]
+        return int(times.max()) if len(times) else 0
+
+    def _event_at(self, row: int) -> Event:
+        return Event(
+            seq=int(self.seqs[row]),
+            time=int(self.times[row]),
+            kind=EventKind(int(self.kinds[row])),
+            tenant=self.tenant_names[int(self.tenant_ids[row])],
+            mask_bits=int(self.mask_bits[row]),
+            detail=int(self.details[row]),
+        )
+
+
+def load_event_streams(
+    path: Union[str, Path], mmap: bool = True
+) -> EventStream:
+    """Open a :func:`save_event_streams` archive (mmap'd by default)."""
+    return EventStream(read_npz_members(path, mmap=mmap))

@@ -1,0 +1,250 @@
+"""Offline replay of flushed event streams.
+
+Folding an :class:`~repro.inspect.events.EventStream` forward
+reconstructs what each shard looked like at the end of its run — who
+was resident with exactly which columns, how many tenants were
+admitted, rejected, departed or migrated — without touching the live
+daemon.  :func:`diff_replay` then compares that reconstruction
+against the :class:`~repro.fleet.service.telemetry.ServiceSnapshot`
+the daemon itself reported: an empty diff proves the event stream is
+a faithful, complete history of the run (the differential test in
+``tests/test_event_stream.py`` asserts exactly this on the
+1000-tenant serve schedule).
+
+:func:`occupancy_timeline` folds the same stream into a
+columns-by-time occupancy grid — the data behind the HTML heatmaps in
+:mod:`repro.experiments.report`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+import numpy as np
+
+from repro.inspect.events import Event, EventKind, EventStream
+
+
+@dataclass
+class ReplayedShard:
+    """One shard's state reconstructed from its event stream.
+
+    Attributes:
+        shard: Shard index.
+        columns: Total columns in the shard's cache.
+        residents: Tenant name -> column mask bits, insertion in
+            admission order.
+        admitted: Admissions (including migrations in).
+        rejected: Failed admission attempts.
+        departed: Departures (migrations out counted separately).
+        migrations_in: Tenants injected by live migration.
+        migrations_out: Tenants extracted by live migration.
+        phase_boundaries: Phase-boundary events observed.
+        reclamations: Rebalances that shrank some tenant's grant.
+        events: Events folded into this reconstruction.
+    """
+
+    shard: int
+    columns: int
+    residents: dict[str, int] = field(default_factory=dict)
+    admitted: int = 0
+    rejected: int = 0
+    departed: int = 0
+    migrations_in: int = 0
+    migrations_out: int = 0
+    phase_boundaries: int = 0
+    reclamations: int = 0
+    events: int = 0
+
+    def apply(self, event: Event) -> None:
+        """Fold one event into the reconstruction."""
+        kind = event.kind
+        if kind is EventKind.ADMIT:
+            self.residents[event.tenant] = event.mask_bits
+            self.admitted += 1
+        elif kind is EventKind.MIGRATE_IN:
+            self.residents[event.tenant] = event.mask_bits
+            self.admitted += 1
+            self.migrations_in += 1
+        elif kind is EventKind.REJECT:
+            self.rejected += 1
+        elif kind is EventKind.DEPART:
+            self.residents.pop(event.tenant, None)
+            self.departed += 1
+        elif kind is EventKind.MIGRATE_OUT:
+            self.residents.pop(event.tenant, None)
+            self.migrations_out += 1
+        elif kind in (EventKind.GRANT, EventKind.RECLAIM):
+            self.residents[event.tenant] = event.mask_bits
+            if kind is EventKind.RECLAIM:
+                self.reclamations += 1
+        elif kind is EventKind.PHASE:
+            self.phase_boundaries += 1
+        self.events += 1
+
+    @property
+    def occupied_mask(self) -> int:
+        """Union of every resident's column mask."""
+        mask = 0
+        for bits in self.residents.values():
+            mask |= bits
+        return mask
+
+    @property
+    def free_columns(self) -> int:
+        """Columns no resident holds."""
+        return self.columns - self.occupied_mask.bit_count()
+
+    def as_dict(self) -> dict[str, Any]:
+        """Structured, JSON-serializable export."""
+        return {
+            "shard": self.shard,
+            "columns": self.columns,
+            "residents": dict(self.residents),
+            "free_columns": self.free_columns,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "departed": self.departed,
+            "migrations_in": self.migrations_in,
+            "migrations_out": self.migrations_out,
+            "phase_boundaries": self.phase_boundaries,
+            "reclamations": self.reclamations,
+            "events": self.events,
+        }
+
+
+def replay_events(
+    stream: EventStream, columns: int
+) -> dict[int, ReplayedShard]:
+    """Reconstruct every shard's final state from a flushed stream."""
+    replayed = {
+        shard: ReplayedShard(shard=shard, columns=columns)
+        for shard in stream.shard_ids
+    }
+    for shard, event in stream.events():
+        replayed[shard].apply(event)
+    return replayed
+
+
+def diff_replay(
+    replayed: Mapping[int, ReplayedShard],
+    snapshot: Mapping[str, Any],
+) -> list[str]:
+    """Differences between a replay and a live service snapshot.
+
+    ``snapshot`` is a
+    :meth:`~repro.fleet.service.telemetry.ServiceSnapshot.as_dict`
+    export.  Compares everything the stream can reconstruct:
+    per-shard resident names and column counts, free columns, and the
+    admitted/rejected/departed/migration counters.  Returns one
+    human-readable line per mismatch; an empty list means the stream
+    replays to exactly the state the daemon reported.
+    """
+    differences: list[str] = []
+    for shard_dict in snapshot["shards"]:
+        shard = shard_dict["shard"]
+        replay = replayed.get(shard)
+        if replay is None:
+            differences.append(f"shard {shard}: no events in stream")
+            continue
+        dropped = shard_dict.get("events_dropped", 0)
+        if dropped:
+            differences.append(
+                f"shard {shard}: ring dropped {dropped} events; "
+                f"the stream is not a complete history"
+            )
+        live_rows = {
+            row["name"]: row["columns"]
+            for row in shard_dict["residents"]
+        }
+        replay_rows = {
+            name: bits.bit_count()
+            for name, bits in replay.residents.items()
+        }
+        if live_rows != replay_rows:
+            differences.append(
+                f"shard {shard}: residents differ "
+                f"(live {live_rows}, replay {replay_rows})"
+            )
+        for label, live_value, replay_value in (
+            ("free_columns", shard_dict["free_columns"],
+             replay.free_columns),
+            ("admitted", shard_dict["admitted"], replay.admitted),
+            ("rejected", shard_dict["rejected"], replay.rejected),
+            ("departed", shard_dict["departed"], replay.departed),
+            ("migrations_in", shard_dict["migrations_in"],
+             replay.migrations_in),
+            ("migrations_out", shard_dict["migrations_out"],
+             replay.migrations_out),
+        ):
+            if live_value != replay_value:
+                differences.append(
+                    f"shard {shard}: {label} differs "
+                    f"(live {live_value}, replay {replay_value})"
+                )
+    return differences
+
+
+def occupancy_timeline(
+    stream: EventStream,
+    shard: int,
+    columns: int,
+    buckets: int = 64,
+    horizon: Optional[int] = None,
+) -> np.ndarray:
+    """A ``(columns, buckets)`` grid of column occupancy over time.
+
+    Each cell is the fraction of the bucket's virtual time during
+    which the column was granted to some tenant — the data a heatmap
+    renders.  Time runs from 0 to ``horizon`` (default: the shard's
+    last event time).
+    """
+    grid = np.zeros((columns, buckets), dtype=np.float64)
+    events = stream.for_shard(shard)
+    if not events:
+        return grid
+    if horizon is None:
+        horizon = events[-1].time
+    if horizon <= 0:
+        return grid
+    scale = buckets / horizon
+
+    def accumulate(mask: int, start: int, stop: int) -> None:
+        if mask == 0 or stop <= start:
+            return
+        left = start * scale
+        right = stop * scale
+        first = min(int(left), buckets - 1)
+        last = min(int(right), buckets - 1)
+        for bucket in range(first, last + 1):
+            overlap = min(right, bucket + 1) - max(left, bucket)
+            if overlap <= 0:
+                continue
+            for column in range(columns):
+                if mask >> column & 1:
+                    grid[column, bucket] += overlap
+
+    residents: dict[str, int] = {}
+    cursor = 0
+    for event in events:
+        union = 0
+        for bits in residents.values():
+            union |= bits
+        accumulate(union, cursor, min(event.time, horizon))
+        cursor = max(cursor, min(event.time, horizon))
+        kind = event.kind
+        if kind in (
+            EventKind.ADMIT,
+            EventKind.MIGRATE_IN,
+            EventKind.GRANT,
+            EventKind.RECLAIM,
+        ):
+            residents[event.tenant] = event.mask_bits
+        elif kind in (EventKind.DEPART, EventKind.MIGRATE_OUT):
+            residents.pop(event.tenant, None)
+    union = 0
+    for bits in residents.values():
+        union |= bits
+    accumulate(union, cursor, horizon)
+    return grid

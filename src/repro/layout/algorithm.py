@@ -480,7 +480,7 @@ def plan_layout(
 ) -> ColumnAssignment:
     """Convenience one-call planner.
 
-    >>> # plan_layout(run, columns=4, column_bytes=512)  # doctest: +SKIP
+    Call as ``plan_layout(run, columns=4, column_bytes=512)``.
     """
     config = LayoutConfig(
         columns=columns,

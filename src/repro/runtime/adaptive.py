@@ -23,9 +23,14 @@ cycle-for-cycle.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 from repro.cache.geometry import CacheGeometry
+from repro.inspect.snapshots import (
+    DetectorSnapshot,
+    ExecutorWindowSnapshot,
+    column_occupancy,
+)
 from repro.layout.algorithm import LayoutConfig
 from repro.layout.assignment import ColumnAssignment
 from repro.mem.page_table import PageTable
@@ -158,8 +163,22 @@ class AdaptiveExecutor:
         self,
         run: WorkloadRun,
         policy: Optional[RepartitionPolicy] = None,
+        observer: Optional[Any] = None,
     ) -> AdaptiveRunResult:
-        """Replay a recorded workload with live repartitioning."""
+        """Replay a recorded workload with live repartitioning.
+
+        Args:
+            run: The recorded workload to replay.
+            policy: Repartitioning policy (default: a fresh one from
+                :meth:`make_policy`).
+            observer: Live-inspection callback invoked after every
+                window with an
+                :class:`~repro.inspect.snapshots.ExecutorWindowSnapshot`
+                — per-column cache occupancy, the window's miss rate,
+                the phase detector's state, and whether the window
+                edge remapped.  Read-only: results are bit-identical
+                with or without it.
+        """
         adaptive = self.adaptive
         timing = self.timing
         if policy is None:
@@ -208,11 +227,13 @@ class AdaptiveExecutor:
             # Window 0 always replans: the initial mapping is the
             # know-nothing standard cache, and the first window is the
             # first evidence to plan from.
+            remapped = False
             if (observation.boundary or window_index == 0) and stop < len(
                 trace
             ):
                 decision = policy.replan(window)
                 if decision.remapped:
+                    remapped = True
                     remap_cycles_total += decision.remap_cycles
                     events.append(
                         RemapEvent(
@@ -222,6 +243,19 @@ class AdaptiveExecutor:
                             remap_cycles=decision.remap_cycles,
                         )
                     )
+            if observer is not None:
+                observer(
+                    ExecutorWindowSnapshot(
+                        window_index=window_index,
+                        start=start,
+                        stop=stop,
+                        accesses=window_result.accesses,
+                        misses=window_result.misses,
+                        column_occupancy=column_occupancy(cache),
+                        detector=DetectorSnapshot.of(detector),
+                        remapped=remapped,
+                    )
+                )
             window_index += 1
 
         if totals is None:

@@ -45,7 +45,7 @@ def working_set_signature(
 ) -> np.ndarray:
     """Fold a window's block numbers into a boolean signature vector.
 
-    >>> working_set_signature([0, 1, 1, 5], bits=8).sum()
+    >>> int(working_set_signature([0, 1, 1, 5], bits=8).sum())
     3
     """
     array = np.asarray(blocks, dtype=np.int64)
@@ -198,6 +198,18 @@ class PhaseDetector:
         self._previous_miss_rate = miss_rate
         self._window_index += 1
         return observation
+
+    def snapshot(self) -> "DetectorSnapshot":
+        """Frozen detector state for live inspection.
+
+        See :class:`~repro.inspect.snapshots.DetectorSnapshot`:
+        windows observed, boundaries fired, the latest signature
+        distance and miss rate, and whether hysteresis is currently
+        suppressing a boundary.
+        """
+        from repro.inspect.snapshots import DetectorSnapshot
+
+        return DetectorSnapshot.of(self)
 
     @property
     def boundary_windows(self) -> list[int]:

@@ -21,12 +21,16 @@ agree cycle-for-cycle.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional
 
 import numpy as np
 
 from repro.cache.fastsim import FastColumnCache
 from repro.cache.geometry import CacheGeometry
+from repro.inspect.snapshots import (
+    ExecutorWindowSnapshot,
+    column_occupancy,
+)
 from repro.layout.assignment import ColumnAssignment, Disposition
 from repro.sim.engine.batched import LockstepCache
 from repro.layout.dynamic import DynamicLayoutPlan
@@ -194,6 +198,69 @@ class TraceExecutor:
             setup_cycles=self._setup_cycles(assignment) if charge_setup else 0,
         )
         return result
+
+    def run_windowed(
+        self,
+        trace: Trace,
+        assignment: ColumnAssignment,
+        window_accesses: int = 4096,
+        cache: Optional[FastColumnCache | LockstepCache] = None,
+        name: Optional[str] = None,
+        charge_setup: bool = True,
+        observer: Optional[Any] = None,
+    ) -> SimulationResult:
+        """Simulate in windows, snapshotting the cache between them.
+
+        Identical accounting to :meth:`run` (one persistent cache
+        spans the windows), but after each window the ``observer``
+        callback receives an
+        :class:`~repro.inspect.snapshots.ExecutorWindowSnapshot` —
+        the window's miss rate plus the cache's per-column valid-line
+        counts at that instant — turning a monolithic vectorized run
+        into a miss-rate timeline with live occupancy, at the cost of
+        one kernel call per window.
+        """
+        if window_accesses < 1:
+            raise ValueError(
+                f"window_accesses must be >= 1, got {window_accesses}"
+            )
+        if cache is None:
+            cache = FastColumnCache(self.geometry_for(assignment))
+        totals: Optional[SimulationResult] = None
+        window_index = 0
+        for start in range(0, max(len(trace), 1), window_accesses):
+            stop = min(start + window_accesses, len(trace))
+            window_result = self.run(
+                trace.slice(start, stop),
+                assignment,
+                cache=cache,
+                charge_setup=False,
+            )
+            totals = (
+                window_result
+                if totals is None
+                else totals.merged_with(window_result)
+            )
+            if observer is not None:
+                observer(
+                    ExecutorWindowSnapshot(
+                        window_index=window_index,
+                        start=start,
+                        stop=stop,
+                        accesses=window_result.accesses,
+                        misses=window_result.misses,
+                        column_occupancy=column_occupancy(cache),
+                    )
+                )
+            window_index += 1
+            if stop >= len(trace):
+                break
+        if totals is None:
+            totals = SimulationResult(name=name or trace.name)
+        totals.name = name or trace.name
+        if charge_setup:
+            totals.setup_cycles = self._setup_cycles(assignment)
+        return totals
 
     # ------------------------------------------------------------------
     # Per-variable attribution (layout debugging)

@@ -423,6 +423,19 @@ def _npz_member_arrays(
     return arrays
 
 
+def read_npz_members(
+    path: Union[str, Path], mmap: bool = False
+) -> dict[str, np.ndarray]:
+    """Read every array member of an uncompressed ``.npz`` archive.
+
+    The public face of the memory-map loader behind :func:`load_npz`:
+    any archive written with uncompressed :func:`numpy.savez` (traces,
+    inspection event streams) can be opened in O(1) with ``mmap=True``
+    and its members paged in on demand.
+    """
+    return _npz_member_arrays(Path(path), mmap=mmap)
+
+
 def load_npz(
     path: Union[str, Path], mmap: bool = False
 ) -> ColumnarTrace:

@@ -1,0 +1,264 @@
+"""Event streams: bounded rings, npz flush, differential replay.
+
+The load-bearing test is differential: flush a live daemon's event
+rings, replay them offline, and the reconstruction must match the
+final :class:`ServiceSnapshot` the daemon itself reported —
+bit-for-bit on the full 1000-tenant serve schedule.  A stream that
+passes that diff is a faithful, complete history; a truncated stream
+(bounded ring overflow) must say so rather than silently diverge.
+"""
+
+import asyncio
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.experiments.serve import ServeConfig
+from repro.fleet import FleetConfig
+from repro.fleet.service import FleetService, ServiceConfig, ShardServer
+from repro.fleet.service.loadgen import (
+    build_arrivals,
+    default_workload_pool,
+    run_load,
+)
+from repro.inspect import (
+    EventKind,
+    EventRing,
+    diff_replay,
+    load_event_streams,
+    occupancy_timeline,
+    replay_events,
+    save_event_streams,
+)
+from repro.sim.config import MULTITASK_TIMING
+from repro.workloads.suite import make_workload
+
+CONFIG = FleetConfig(quantum_instructions=128, window_instructions=2048)
+
+
+def spec_for(index, workload, **kwargs):
+    from repro.fleet import TenantSpec
+
+    run = make_workload(workload, seed=10 + index, **kwargs).record()
+    return TenantSpec(
+        name=f"{workload}-{index}",
+        run=run,
+        priority=1,
+        address_offset=index << 32,
+    )
+
+
+def small_service_config(**overrides):
+    base = ServiceConfig(
+        shards=2,
+        geometry=CacheGeometry(line_size=16, sets=32, columns=8),
+        timing=MULTITASK_TIMING,
+        fleet=dataclasses.replace(
+            CONFIG,
+            window_instructions=1024,
+            hysteresis_windows=8,
+            min_detect_accesses=256,
+        ),
+        patience_instructions=8_192,
+        monitor_interval_instructions=2_048,
+    )
+    return dataclasses.replace(base, **overrides)
+
+
+class TestEventRing:
+    def test_bounded_drop_oldest(self):
+        ring = EventRing(capacity=3)
+        for index in range(5):
+            ring.record(index, EventKind.ADMIT, f"t{index}")
+        assert len(ring) == 3
+        assert ring.recorded == 5
+        assert ring.dropped == 2
+        retained = ring.events()
+        assert [event.tenant for event in retained] == ["t2", "t3", "t4"]
+        # Sequence numbers survive the drop: the gap is visible.
+        assert [event.seq for event in retained] == [2, 3, 4]
+
+    def test_no_drops_under_capacity(self):
+        ring = EventRing(capacity=8)
+        ring.record(0, EventKind.ADMIT, "a", mask_bits=0b11, detail=7)
+        assert ring.dropped == 0
+        (event,) = ring.events()
+        assert event.mask_bits == 0b11
+        assert event.detail == 7
+        assert event.as_dict()["kind"] == "ADMIT"
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            EventRing(capacity=0)
+
+
+class TestSaveLoadRoundtrip:
+    @pytest.fixture
+    def rings(self):
+        rings = {0: EventRing(capacity=16), 2: EventRing(capacity=16)}
+        rings[0].record(0, EventKind.ADMIT, "alpha", mask_bits=0b0011)
+        rings[0].record(40, EventKind.GRANT, "alpha", mask_bits=0b0111,
+                        detail=120)
+        rings[0].record(90, EventKind.PHASE, "alpha")
+        rings[0].record(100, EventKind.DEPART, "alpha")
+        rings[2].record(10, EventKind.REJECT, "beta")
+        rings[2].record(20, EventKind.MIGRATE_IN, "gamma",
+                        mask_bits=0b1100)
+        return rings
+
+    @pytest.mark.parametrize("mmap", [False, True])
+    def test_roundtrip(self, tmp_path, rings, mmap):
+        path = save_event_streams(tmp_path / "events.npz", rings)
+        stream = load_event_streams(path, mmap=mmap)
+        assert stream.shard_ids == [0, 2]
+        assert len(stream) == 6
+        for shard, ring in rings.items():
+            assert stream.for_shard(shard) == ring.events()
+            assert stream.recorded_for(shard) == ring.recorded
+            assert stream.dropped_for(shard) == 0
+            assert stream.capacity_for(shard) == 16
+        assert stream.horizon() == 100
+        assert stream.horizon(shard=2) == 20
+
+    def test_appends_npz_suffix(self, tmp_path, rings):
+        path = save_event_streams(tmp_path / "events", rings)
+        assert path.suffix == ".npz"
+        assert path.exists()
+        assert load_event_streams(path).for_shard(0)
+
+    def test_occupancy_timeline_shape(self, tmp_path, rings):
+        path = save_event_streams(tmp_path / "events.npz", rings)
+        stream = load_event_streams(path)
+        grid = occupancy_timeline(stream, 0, columns=8, buckets=10)
+        assert grid.shape == (8, 10)
+        assert float(grid.max()) <= 1.0 + 1e-9
+        assert float(grid.min()) >= 0.0
+        # alpha held columns 0-1 from t=0 and 0-2 from t=40 to 100:
+        # columns 0 and 1 are occupied the whole horizon.
+        assert np.allclose(grid[0], 1.0)
+        assert np.allclose(grid[1], 1.0)
+        assert float(grid[3].sum()) == 0.0
+
+    def test_empty_rings_flush_cleanly(self, tmp_path):
+        path = save_event_streams(
+            tmp_path / "empty.npz", {0: EventRing(capacity=4)}
+        )
+        stream = load_event_streams(path)
+        assert len(stream) == 0
+        assert stream.for_shard(0) == []
+        assert stream.horizon() == 0
+        assert replay_events(stream, columns=8)[0].residents == {}
+
+
+async def _drive(config, specs, service_instructions=4096):
+    async with FleetService(config) as service:
+        tickets = await asyncio.gather(
+            *(
+                service.submit(
+                    spec, service_instructions=service_instructions
+                )
+                for spec in specs
+            )
+        )
+        await service.drain()
+        return tickets, service.snapshot(), service
+
+
+class TestDifferentialReplay:
+    def test_quick_daemon_replays_exactly(self, tmp_path):
+        specs = [
+            spec_for(0, "crc32", message_bytes=256),
+            spec_for(1, "histogram", sample_count=256, bin_count=32),
+            spec_for(2, "fir", signal_length=256, tap_count=16),
+        ]
+        tickets, snapshot, service = asyncio.run(
+            _drive(small_service_config(), specs)
+        )
+        assert all(ticket.admitted for ticket in tickets)
+        path = service.flush_events(tmp_path / "events.npz")
+        stream = load_event_streams(path)
+        replayed = replay_events(
+            stream, service.config.geometry.columns
+        )
+        assert diff_replay(replayed, snapshot.as_dict()) == []
+        # Everyone departed: the replay agrees nobody is resident.
+        assert all(
+            not shard.residents for shard in replayed.values()
+        )
+        total_admits = sum(
+            shard.admitted for shard in replayed.values()
+        )
+        assert total_admits >= len(specs)
+
+    def test_truncated_stream_reports_itself(self, tmp_path):
+        """A too-small ring must announce incompleteness, not lie."""
+        specs = [
+            spec_for(index, "crc32", message_bytes=256)
+            for index in range(6)
+        ]
+        config = small_service_config(shards=1, event_capacity=2)
+        tickets, snapshot, service = asyncio.run(
+            _drive(config, specs, service_instructions=2048)
+        )
+        ring = service.event_rings()[0]
+        assert ring.dropped > 0
+        assert snapshot.shards[0].events_dropped == ring.dropped
+        path = service.flush_events(tmp_path / "truncated.npz")
+        stream = load_event_streams(path)
+        assert stream.dropped_for(0) == ring.dropped
+        diffs = diff_replay(
+            replay_events(stream, config.geometry.columns),
+            snapshot.as_dict(),
+        )
+        assert any("not a complete history" in line for line in diffs)
+
+    def test_serve_schedule_replays_bit_for_bit(self, tmp_path):
+        """Acceptance: the full 1000-tenant serve schedule."""
+        config = ServeConfig()
+        assert config.load.tenants == 1000
+        service = FleetService(
+            dataclasses.replace(
+                config.service, migration_enabled=True
+            )
+        )
+        pool = default_workload_pool(config.load.seed)
+        arrivals = build_arrivals(
+            config.load, service.router, runs=pool
+        )
+
+        async def scenario():
+            async with service:
+                report = await run_load(service, arrivals)
+                return report, service.snapshot()
+
+        report, snapshot = asyncio.run(scenario())
+        assert report.admitted + report.rejected == 1000
+
+        path = service.flush_events(tmp_path / "serve_events.npz")
+        stream = load_event_streams(path)
+        # Nothing dropped: the default ring holds the whole history.
+        for shard in stream.shard_ids:
+            assert stream.dropped_for(shard) == 0
+        replayed = replay_events(
+            stream, config.service.geometry.columns
+        )
+        assert diff_replay(replayed, snapshot.as_dict()) == []
+        # The stream also carries migrations; the monitor moved some.
+        assert sum(
+            shard.migrations_in for shard in replayed.values()
+        ) == len(service.migrations)
+        # The heatmap grid folds from the same stream without error.
+        for shard in stream.shard_ids:
+            grid = occupancy_timeline(
+                stream,
+                shard,
+                columns=config.service.geometry.columns,
+                buckets=48,
+            )
+            assert grid.shape == (
+                config.service.geometry.columns,
+                48,
+            )
+            assert float(grid.max()) <= 1.0 + 1e-9

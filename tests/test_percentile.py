@@ -1,0 +1,68 @@
+"""Unit tests for nearest-rank percentile (the BENCH p99 fix).
+
+The old implementation indexed with ``int(fraction * n)`` — one rank
+too high — so ``percentile([1, 2, 3, 4], 0.5)`` returned 3.0 and p99
+of 100 samples returned the max.  These tests pin the true
+nearest-rank definition: the sample at 1-based rank
+``ceil(fraction * n)``, with fraction 0 selecting the first sample.
+"""
+
+import pytest
+
+from repro.fleet.service.telemetry import LatencyRecorder, percentile
+
+
+def test_p50_even_count_is_lower_middle():
+    assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.0
+
+
+def test_p50_odd_count_is_middle():
+    assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+
+def test_p50_singleton():
+    assert percentile([7.5], 0.5) == 7.5
+
+
+def test_p99_singleton():
+    assert percentile([7.5], 0.99) == 7.5
+
+
+def test_empty_returns_zero():
+    assert percentile([], 0.5) == 0.0
+    assert percentile([], 0.99) == 0.0
+
+
+def test_p99_of_100_samples_is_rank_99_not_max():
+    samples = [float(value) for value in range(1, 101)]
+    assert percentile(samples, 0.99) == 99.0
+    assert percentile(samples, 1.0) == 100.0
+
+
+def test_p99_even_and_odd_sets():
+    assert percentile([1.0, 2.0, 3.0, 4.0], 0.99) == 4.0
+    assert percentile([1.0, 2.0, 3.0], 0.99) == 3.0
+
+
+def test_fraction_zero_is_first_sample():
+    assert percentile([4.0, 2.0, 9.0], 0.0) == 2.0
+
+
+def test_unsorted_input_is_sorted_first():
+    assert percentile([9.0, 1.0, 5.0, 3.0], 0.5) == 3.0
+
+
+def test_fraction_out_of_range_raises():
+    with pytest.raises(ValueError):
+        percentile([1.0], 1.5)
+    with pytest.raises(ValueError):
+        percentile([1.0], -0.1)
+
+
+def test_latency_recorder_uses_nearest_rank():
+    recorder = LatencyRecorder()
+    for value in [1.0, 2.0, 3.0, 4.0]:
+        recorder.record(value)
+    assert recorder.p50() == 2.0
+    assert recorder.p99() == 4.0
+    assert recorder.as_dict()["p50_s"] == 2.0

@@ -1,0 +1,183 @@
+"""``repro fleet top`` and the occupancy heatmap report."""
+
+import asyncio
+import re
+
+import numpy as np
+
+from repro.cache.geometry import CacheGeometry
+from repro.experiments.report import (
+    heatmap_grid_html,
+    occupancy_heatmap_html,
+    shard_heatmaps_html,
+)
+from repro.fleet import FleetConfig
+from repro.fleet.service import FleetService, ServiceConfig
+from repro.fleet.service.top import main, render_top_frame
+from repro.inspect import load_event_streams
+from repro.sim.config import MULTITASK_TIMING
+from repro.workloads.suite import make_workload
+
+
+def spec_for(index, workload, **kwargs):
+    from repro.fleet import TenantSpec
+
+    run = make_workload(workload, seed=10 + index, **kwargs).record()
+    return TenantSpec(
+        name=f"{workload}-{index}",
+        run=run,
+        priority=1,
+        address_offset=index << 32,
+    )
+
+
+def small_service_config():
+    return ServiceConfig(
+        shards=2,
+        geometry=CacheGeometry(line_size=16, sets=32, columns=8),
+        timing=MULTITASK_TIMING,
+        fleet=FleetConfig(
+            quantum_instructions=128,
+            window_instructions=1024,
+            hysteresis_windows=8,
+            min_detect_accesses=256,
+        ),
+        patience_instructions=8_192,
+        monitor_interval_instructions=2_048,
+    )
+
+
+class TestRenderTopFrame:
+    def test_renders_live_service_state(self):
+        """The frame shows per-shard occupancy and p99 from a running
+        service — the acceptance shape of ``repro fleet top``."""
+        specs = [
+            spec_for(0, "crc32", message_bytes=256),
+            spec_for(1, "histogram", sample_count=256, bin_count=32),
+        ]
+
+        async def scenario():
+            async with FleetService(small_service_config()) as service:
+                await asyncio.gather(
+                    *(
+                        service.submit(spec, service_instructions=None)
+                        for spec in specs
+                    )
+                )
+                # Let the shards execute a few segments so occupancy
+                # and miss rates are non-trivial.
+                await service.wait_until(service.virtual_now + 8_192)
+                frame = render_top_frame(service, frame=3)
+                residents = service.snapshot().residents
+                return frame, residents
+
+        frame, residents = asyncio.run(scenario())
+        assert residents == len(specs)
+        assert "[frame 3] fleet top" in frame
+        assert "p99 wait" in frame and "p50 wait" in frame
+        assert "columns" in frame and "queue" in frame
+        # One 8-column fill gauge per shard, delimited |........|
+        # (glyphs may include spaces for empty columns).
+        gauges = re.findall(r"\|[ .:=+*#%@-]{8}\|", frame)
+        assert len(gauges) == 2
+        # The resident tenants appear in the busiest-tenants table.
+        for spec in specs:
+            assert spec.name in frame
+
+    def test_renders_stopped_service(self):
+        service = FleetService(small_service_config())
+        frame = render_top_frame(service)
+        assert "0 residents" in frame
+        assert "[frame" not in frame
+
+
+class TestFleetTopCli:
+    def test_once_smoke_with_artifacts(self, tmp_path, capsys):
+        events = tmp_path / "events.npz"
+        report = tmp_path / "top.html"
+        code = main(
+            [
+                "top",
+                "--once",
+                "--tenants",
+                "12",
+                "--shards",
+                "2",
+                "--events-out",
+                str(events),
+                "--report-out",
+                str(report),
+            ],
+            prog="repro fleet",
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fleet top" in out
+        assert "load complete:" in out
+        assert "0 invariant violations" in out
+        assert events.exists()
+        assert report.exists()
+        stream = load_event_streams(events)
+        assert stream.shard_ids == [0, 1]
+        assert len(stream) > 0
+        html = report.read_text(encoding="utf-8")
+        assert html.startswith("<!doctype html>")
+        assert "column occupancy" in html
+        assert "shard 0" in html and "shard 1" in html
+
+    def test_frames_mode(self, capsys):
+        code = main(
+            [
+                "top",
+                "--tenants",
+                "8",
+                "--shards",
+                "2",
+                "--interval",
+                "32768",
+            ],
+            prog="repro fleet",
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[frame 0]" in out
+
+
+class TestHeatmapHtml:
+    def test_grid_cells_colored_by_value(self):
+        grid = np.array([[0.0, 1.0], [0.5, 0.25]])
+        html = heatmap_grid_html(grid, caption="shard 0")
+        assert html.count("<tr>") == 2
+        assert html.count("<td") == 4
+        assert "rgb(255,255,255)" in html  # empty cell
+        assert "rgb(40,75,175)" in html  # full cell
+        assert "shard 0" in html
+
+    def test_page_wraps_all_shards(self):
+        grids = {
+            1: np.zeros((4, 8)),
+            0: np.ones((4, 8)) * 0.5,
+        }
+        html = shard_heatmaps_html(grids, title="demo", horizon=1234)
+        assert html.index("shard 0") < html.index("shard 1")
+        assert "1234 instructions" in html
+        assert "<script" not in html and "href=" not in html
+
+    def test_empty_stream_page(self, tmp_path):
+        from repro.inspect import EventRing, save_event_streams
+
+        path = save_event_streams(
+            tmp_path / "empty.npz", {0: EventRing(capacity=4)}
+        )
+        html = occupancy_heatmap_html(
+            load_event_streams(path), columns=8
+        )
+        assert "no events recorded" in html
+
+
+def test_unified_cli_routes_fleet():
+    from repro.cli import build_parser
+
+    arguments = build_parser().parse_args(["fleet", "top", "--once"])
+    assert arguments.command == "fleet"
+    assert arguments.rest == ["top", "--once"]
