@@ -26,6 +26,14 @@ through the sweep engine's batched lockstep hot path — then:
   dropped below the baseline's floor, or if the service ever violated
   the disjoint-column invariant (correctness, never tolerance-scaled).
 
+Every report records the active ``kernel_backend`` (``REPRO_KERNEL``,
+see :mod:`repro.sim.engine.backends`).  When the compiled C kernel is
+active, ``--check`` additionally enforces the absolute
+``compiled_sweep_min_speedup`` floor (10x the pre-columnar sweep
+rate); a numpy-only host gates on the baseline's numpy floor instead.
+The baseline itself must be recorded under ``REPRO_KERNEL=numpy`` so
+its relative floors stay meaningful on hosts without a C compiler.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py             # measure
@@ -48,6 +56,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.cache.geometry import CacheGeometry  # noqa: E402
+from repro.sim.engine import backends  # noqa: E402
 from repro.experiments.figure5 import (  # noqa: E402
     Figure5Config,
     _geometry,
@@ -76,6 +85,12 @@ PRE_COLUMNAR_SWEEP_ACCESSES_PER_SEC = 3_156_705
 #: workloads at default sizes) measured on the pre-planner-engine
 #: tree — the 5x target BENCH_planner.json is scored against.
 PRE_ENGINE_PLANS_PER_SEC = 74
+
+#: Hard floor on ``speedup_vs_pre_columnar`` when the compiled kernel
+#: is the active backend: the Figure 5 sweep must clear 10x the
+#: pre-columnar rate (an absolute target, never tolerance-scaled —
+#: a numpy-only host falls back to the baseline's numpy floor).
+COMPILED_SWEEP_MIN_SPEEDUP = 10.0
 
 #: Best-of-N runs for the columnar sweep number (shared/noisy hosts).
 SWEEP_TRIALS = 3
@@ -163,6 +178,7 @@ def measure(full: bool) -> dict:
     return {
         "sweep": "figure5-matrix" + ("" if full else "-smoke"),
         "full_size": full,
+        "kernel_backend": backends.active_backend(),
         "points": len(config.quanta) * 2 * len(config.cache_sizes_kb),
         "total_accesses": total_accesses,
         "serial_seconds": round(serial_seconds, 3),
@@ -242,6 +258,7 @@ def measure_trace_pipeline(full: bool, total_accesses: int) -> dict:
     return {
         "pipeline": "columnar-trace" + ("" if full else "-smoke"),
         "full_size": full,
+        "kernel_backend": backends.active_backend(),
         "workload": f"gzip/{input_bytes}B",
         "record_accesses": len(trace),
         "record_accesses_per_sec": int(len(trace) / record_seconds),
@@ -448,6 +465,20 @@ def check(
                     f"trace pipeline {key} regressed: "
                     f"{trace_report[key]}/s < {floor_value:.0f}/s"
                 )
+        # The compiled-kernel claim is absolute, not baseline-relative:
+        # with the C kernel active the Figure 5 sweep must clear
+        # COMPILED_SWEEP_MIN_SPEEDUP times the pre-columnar rate.  A
+        # numpy-only run already gated on the baseline floor above.
+        if trace_report.get("kernel_backend") == "compiled":
+            min_speedup = baseline.get(
+                "compiled_sweep_min_speedup", COMPILED_SWEEP_MIN_SPEEDUP
+            )
+            if trace_report["speedup_vs_pre_columnar"] < min_speedup:
+                failures.append(
+                    f"compiled-kernel sweep speedup "
+                    f"{trace_report['speedup_vs_pre_columnar']}x vs "
+                    f"pre-columnar fell below the {min_speedup}x floor"
+                )
     if planner_report is not None:
         floor_value = baseline.get("planner_plans_per_sec")
         if floor_value is not None:
@@ -548,6 +579,16 @@ def main(argv=None) -> int:
     print(f"wrote {FLEET_OUTPUT_PATH}")
 
     if arguments.update_baseline:
+        if report["kernel_backend"] != "numpy":
+            print(
+                "refusing to update the baseline from a "
+                f"{report['kernel_backend']!r} run: the floors must "
+                "hold on hosts without a C compiler.  Re-run with "
+                "REPRO_KERNEL=numpy (the compiled kernel is gated by "
+                "the absolute compiled_sweep_min_speedup instead).",
+                file=sys.stderr,
+            )
+            return 2
         baseline = {
             "sweep": report["sweep"],
             # Headroom below the measuring machine so faster/slower CI
@@ -566,6 +607,7 @@ def main(argv=None) -> int:
             "planner_plans_per_sec": round(
                 planner_report["plans_per_sec"] * 0.85, 1
             ),
+            "compiled_sweep_min_speedup": COMPILED_SWEEP_MIN_SPEEDUP,
             # The asyncio service is noisier than the pure-compute
             # paths (scheduler wakeups, queue timing), so it gets
             # deeper headroom than the 0.85 the others use.
@@ -573,6 +615,7 @@ def main(argv=None) -> int:
                 fleet_report["admissions_per_second"] * 0.5, 1
             ),
             "measured_on": {
+                "kernel_backend": report["kernel_backend"],
                 "accesses_per_sec": report["accesses_per_sec"],
                 "speedup": report["speedup"],
                 "trace_sweep_accesses_per_sec": (

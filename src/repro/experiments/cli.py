@@ -64,6 +64,7 @@ from repro.experiments.serve import (
     run_serve,
     write_bench,
 )
+from repro.sim.engine import backends
 from repro.sim.engine.scheduler import SweepEngine
 
 
@@ -239,6 +240,15 @@ def common_parser() -> argparse.ArgumentParser:
         help="directory for the content-addressed sweep result cache "
         "(repeat runs become incremental)",
     )
+    common.add_argument(
+        "--kernel",
+        choices=backends.KERNEL_BACKENDS + ("auto",),
+        default=None,
+        help="lockstep kernel backend: 'compiled' requires a working "
+        "C compiler and errors if unavailable, 'auto' prefers it with "
+        "a numpy fallback (default: the REPRO_KERNEL environment "
+        "variable, else auto)",
+    )
     return common
 
 
@@ -304,6 +314,10 @@ def main(
 ) -> int:
     """CLI entry point; returns a process exit code."""
     arguments = build_parser(prog).parse_args(argv)
+    if arguments.kernel is not None:
+        # Resolve before building the engine: job content hashes and
+        # worker processes both follow the active backend.
+        backends.set_backend(arguments.kernel)
     engine = make_engine(arguments.workers, arguments.cache_dir)
 
     ok = True

@@ -637,6 +637,10 @@ def trace_sim(
     batched: bool = True,
     trace_path: Optional[str] = None,
     trace_digest: Optional[str] = None,
+    kernel: Optional[str] = None,
+    shards: Optional[int] = None,
+    shard_workers: int = 1,
+    chunk_accesses: Optional[int] = None,
 ) -> dict[str, int]:
     """Simulate a synthetic — or recorded — trace through one cache.
 
@@ -652,10 +656,24 @@ def trace_sim(
     content-derived string — a checksum, an mtime, a generation
     counter); the runner ignores it, but it salts the engine's
     content hash so stale cached results cannot be served.
+
+    ``kernel`` pins the lockstep backend for this job (None follows
+    the session's active backend).  ``shards`` partitions this single
+    point by cache-set index: an ``.npz`` trace with ``shard_workers
+    > 1`` fans the shards over worker processes, each streaming
+    chunks straight off its own memory-mapped archive; otherwise the
+    shards run in one chunk-streamed in-process pass
+    (``chunk_accesses`` bounds the streaming window).  Tallies are
+    bit-identical to the unsharded run either way.
     """
     from repro.cache.fastsim import FastColumnCache, blocks_of
     from repro.cache.geometry import CacheGeometry
     from repro.sim.engine.batched import batched_simulate
+    from repro.sim.engine.sharded import (
+        DEFAULT_CHUNK_ACCESSES,
+        simulate_columnar_sharded,
+        simulate_npz_sharded,
+    )
     from repro.trace import generator
     from repro.trace.columnar import load_npz
     from repro.trace.dinero import load_trace
@@ -691,12 +709,38 @@ def trace_sim(
     geometry = CacheGeometry.from_sizes(
         total_bytes, line_size=line_size, columns=columns
     )
-    blocks = blocks_of(trace.addresses, geometry)
-    if batched:
+    if shards is not None or shard_workers > 1:
+        chunk = (
+            DEFAULT_CHUNK_ACCESSES
+            if chunk_accesses is None
+            else chunk_accesses
+        )
+        if trace_path is not None and trace_path.endswith(".npz"):
+            outcome = simulate_npz_sharded(
+                trace_path,
+                geometry,
+                shards=shards,
+                workers=shard_workers,
+                chunk_accesses=chunk,
+                uniform_mask=uniform_mask,
+                kernel=kernel,
+            )
+        else:
+            outcome = simulate_columnar_sharded(
+                trace,
+                geometry,
+                shards=shards,
+                chunk_accesses=chunk,
+                uniform_mask=uniform_mask,
+                kernel=kernel,
+            )
+    elif batched:
+        blocks = blocks_of(trace.addresses, geometry)
         outcome = batched_simulate(
-            blocks, geometry, uniform_mask=uniform_mask
+            blocks, geometry, uniform_mask=uniform_mask, backend=kernel
         )
     else:
+        blocks = blocks_of(trace.addresses, geometry)
         outcome = FastColumnCache(geometry).run(
             blocks.tolist(), uniform_mask=uniform_mask
         )

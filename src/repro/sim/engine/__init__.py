@@ -9,18 +9,34 @@ declarative sweeps:
 * :mod:`repro.sim.engine.scheduler` — :class:`SweepEngine`, which fans
   jobs over a process/thread pool (or runs them inline) with a
   content-addressed result cache so repeated sweeps are incremental.
+* :mod:`repro.sim.engine.backends` — the kernel-backend registry: the
+  lockstep inner loop runs on the vectorized numpy kernel or on an
+  on-demand-compiled C kernel (``REPRO_KERNEL=auto|numpy|compiled``),
+  bit-identical by construction and locked down by the differential
+  oracle suite.
 * :mod:`repro.sim.engine.batched` — the vectorized lockstep LRU kernel:
   LRU sets are independent, so a block trace sharded by set index can
   advance every set one access per "round" with numpy, bit-identical
   to :class:`~repro.cache.fastsim.FastColumnCache`.
-* :mod:`repro.sim.engine.sharded` — set-sharded simulation fanned over
-  worker processes (each shard owns a disjoint subset of sets).
+* :mod:`repro.sim.engine.sharded` — set-sharded simulation: whole
+  sweeps fanned point-per-process, plus single-point sharding that
+  splits one large trace by ``set_index % shards`` across workers and
+  merges per-shard tallies deterministically.
 * :mod:`repro.sim.engine.multitask_batch` — the Figure 5 hot path: the
   round-robin schedule is computed in closed form (it does not depend
-  on cache contents), the interleaved access stream is materialized
-  with numpy, and whole quantum sweeps run through one lockstep call.
+  on cache contents), and whole quantum sweeps run through one
+  lockstep call (or one fused C walk on the compiled backend).
 """
 
+from repro.sim.engine.backends import (
+    KERNEL_BACKENDS,
+    KernelBackendError,
+    active_backend,
+    compiled_available,
+    reset_backend,
+    resolve_backend,
+    set_backend,
+)
 from repro.sim.engine.batched import (
     LockstepCache,
     LockstepState,
@@ -34,21 +50,34 @@ from repro.sim.engine.multitask_batch import (
     simulate_multitask_sweep,
 )
 from repro.sim.engine.scheduler import JobOutcome, SweepEngine
-from repro.sim.engine.sharded import simulate_trace_sharded
+from repro.sim.engine.sharded import (
+    simulate_columnar_sharded,
+    simulate_npz_sharded,
+    simulate_trace_sharded,
+)
 from repro.sim.engine.spec import SimJob, SweepSpec
 
 __all__ = [
     "JobOutcome",
+    "KERNEL_BACKENDS",
+    "KernelBackendError",
     "LockstepCache",
     "LockstepState",
     "ResultCache",
     "SimJob",
     "SweepEngine",
     "SweepSpec",
+    "active_backend",
     "batched_simulate",
+    "compiled_available",
     "lockstep_run",
+    "reset_backend",
+    "resolve_backend",
+    "set_backend",
+    "simulate_columnar_sharded",
     "simulate_multitask_batched",
     "simulate_multitask_matrix",
     "simulate_multitask_sweep",
+    "simulate_npz_sharded",
     "simulate_trace_sharded",
 ]

@@ -1,0 +1,391 @@
+"""Build, load and wrap the compiled C lockstep kernel.
+
+The kernel source (``_lockstep.c``, shipped next to this module) has
+zero dependencies beyond a C compiler: it is compiled on demand with
+``cc``/``gcc``/``clang`` into a shared library cached under
+``~/.cache/repro/kernels`` (override with ``REPRO_KERNEL_CACHE``) and
+loaded through :mod:`ctypes`.  Nothing here compiles at import time —
+:func:`available` performs the (cached) probe, and
+:mod:`repro.sim.engine.backends` decides when to call it.
+
+When no compiler or loadable library is available the module degrades
+cleanly: :func:`available` returns False and :func:`unavailable_reason`
+says why, so ``REPRO_KERNEL=auto`` can fall back to numpy while
+``REPRO_KERNEL=compiled`` fails loudly.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+_SOURCE = Path(__file__).with_name("_lockstep.c")
+
+#: Compiler candidates, first found wins (``$CC`` overrides).
+_COMPILERS = ("cc", "gcc", "clang")
+
+#: Widest associativity the C kernel handles (mask fits int64).
+MAX_COMPILED_WAYS = 63
+
+_lib: Optional[ctypes.CDLL] = None
+_probe_error: Optional[str] = None
+_probed = False
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get("REPRO_KERNEL_CACHE")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "kernels"
+
+
+def _find_compiler() -> Optional[str]:
+    env = os.environ.get("CC")
+    if env:
+        return shutil.which(env)
+    for name in _COMPILERS:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def _library_path(source: str) -> Path:
+    digest = hashlib.sha256(
+        source.encode("utf-8") + sys.platform.encode("ascii")
+    ).hexdigest()[:16]
+    suffix = ".dll" if sys.platform == "win32" else ".so"
+    return _cache_dir() / f"lockstep-{digest}{suffix}"
+
+
+def _build(compiler: str, source_path: Path, out: Path) -> None:
+    out.parent.mkdir(parents=True, exist_ok=True)
+    handle, temp_name = tempfile.mkstemp(
+        dir=out.parent, suffix=out.suffix
+    )
+    os.close(handle)
+    try:
+        subprocess.run(
+            [
+                compiler,
+                "-O3",
+                "-fPIC",
+                "-shared",
+                "-o",
+                temp_name,
+                str(source_path),
+            ],
+            check=True,
+            capture_output=True,
+            timeout=120,
+        )
+        # Atomic publish: concurrent builders race harmlessly.
+        os.replace(temp_name, out)
+    finally:
+        if os.path.exists(temp_name):
+            os.unlink(temp_name)
+
+
+def _declare(lib: ctypes.CDLL) -> ctypes.CDLL:
+    i64 = ctypes.c_int64
+    i32 = ctypes.c_int32
+    ptr = ctypes.c_void_p
+    lib.repro_lockstep_flags.restype = None
+    lib.repro_lockstep_flags.argtypes = [
+        i64, ptr, ptr, i64, ptr, i64, ptr, ptr, ptr, ptr, ptr,
+    ]
+    lib.repro_blocks_count.restype = None
+    lib.repro_blocks_count.argtypes = [
+        i64, ptr, i32, ptr, ptr, ptr, i64, i64, i64, i64, i64, i64,
+        ptr, ptr, ptr, ptr, ptr,
+    ]
+    lib.repro_schedule_count.restype = None
+    lib.repro_schedule_count.argtypes = [
+        i64, ptr, ptr, ptr, ptr, ptr, ptr, i32, ptr, i64, i64, i64,
+        ptr, ptr, ptr, ptr,
+    ]
+    return lib
+
+
+def _probe() -> tuple[Optional[ctypes.CDLL], Optional[str]]:
+    if not _SOURCE.is_file():
+        return None, f"kernel source missing: {_SOURCE}"
+    source = _SOURCE.read_text(encoding="utf-8")
+    library = _library_path(source)
+    if not library.is_file():
+        compiler = _find_compiler()
+        if compiler is None:
+            return None, (
+                "no C compiler found (tried $CC, "
+                + ", ".join(_COMPILERS)
+                + ")"
+            )
+        try:
+            _build(compiler, _SOURCE, library)
+        except (OSError, subprocess.SubprocessError) as error:
+            detail = ""
+            stderr = getattr(error, "stderr", None)
+            if stderr:
+                detail = ": " + stderr.decode(
+                    "utf-8", "replace"
+                ).strip()
+            return None, f"kernel build failed ({error}){detail}"
+    try:
+        return _declare(ctypes.CDLL(str(library))), None
+    except OSError as error:
+        return None, f"kernel load failed: {error}"
+
+
+def load() -> ctypes.CDLL:
+    """The loaded kernel library, building it on first use.
+
+    Raises:
+        RuntimeError: when the kernel cannot be built or loaded (the
+            message carries :func:`unavailable_reason`).
+    """
+    global _lib, _probe_error, _probed
+    if not _probed:
+        _lib, _probe_error = _probe()
+        _probed = True
+    if _lib is None:
+        raise RuntimeError(
+            f"compiled lockstep kernel unavailable: {_probe_error}"
+        )
+    return _lib
+
+
+def available() -> bool:
+    """True when the compiled kernel builds and loads on this host."""
+    try:
+        load()
+    except RuntimeError:
+        return False
+    return True
+
+
+def unavailable_reason() -> Optional[str]:
+    """Why :func:`available` is False (None when it is True)."""
+    if available():
+        return None
+    return _probe_error
+
+
+def _reset_probe() -> None:
+    """Forget the probe result (tests only)."""
+    global _lib, _probe_error, _probed
+    _lib = None
+    _probe_error = None
+    _probed = False
+
+
+def _addr(array: Optional[np.ndarray]) -> Optional[int]:
+    return None if array is None else array.ctypes.data
+
+
+def supports(ways: int) -> bool:
+    """Whether the C kernel handles this associativity."""
+    return 1 <= ways <= MAX_COMPILED_WAYS
+
+
+def ensure_state_native(state) -> None:
+    """Make a ``LockstepState``'s arrays C-contiguous int64 in place.
+
+    States built by :meth:`LockstepState.cold` already are; this
+    guards callers that assembled states from slices or narrower
+    dtypes.
+    """
+    for field in ("tags", "last_use", "clock"):
+        array = getattr(state, field)
+        if array.dtype != np.int64 or not array.flags.c_contiguous:
+            setattr(
+                state, field, np.ascontiguousarray(array, np.int64)
+            )
+
+
+def lockstep_run_compiled(
+    rows: np.ndarray,
+    tags: np.ndarray,
+    state,
+    mask_bits: Optional[np.ndarray],
+    uniform_mask: Optional[int],
+    collect: str,
+):
+    """Compiled twin of :func:`repro.sim.engine.batched.lockstep_run`.
+
+    Arguments are pre-validated by the dispatching wrapper; state
+    evolution and returned flags/positions are bit-identical to the
+    numpy kernel.
+    """
+    lib = load()
+    n = len(rows)
+    ways = state.ways
+    rows64 = np.ascontiguousarray(rows, dtype=np.int64)
+    tags64 = np.ascontiguousarray(tags, dtype=np.int64)
+    if mask_bits is not None:
+        masks64 = np.ascontiguousarray(mask_bits, dtype=np.int64)
+        uniform = 0
+    else:
+        masks64 = None
+        uniform = (
+            (1 << ways) - 1 if uniform_mask is None else int(uniform_mask)
+        )
+    ensure_state_native(state)
+    hit_flags = np.zeros(n, dtype=np.bool_)
+    bypass_flags = (
+        None if collect == "misses" else np.zeros(n, dtype=np.bool_)
+    )
+    lib.repro_lockstep_flags(
+        n,
+        _addr(rows64),
+        _addr(tags64),
+        ways,
+        _addr(masks64),
+        uniform,
+        _addr(state.tags),
+        _addr(state.last_use),
+        _addr(state.clock),
+        _addr(hit_flags),
+        _addr(bypass_flags),
+    )
+    if collect == "misses":
+        return np.flatnonzero(~hit_flags)
+    return hit_flags, bypass_flags
+
+
+def blocks_count_compiled(
+    blocks: np.ndarray,
+    state,
+    *,
+    sets_mask: int,
+    index_bits: int,
+    jobs: Optional[np.ndarray] = None,
+    mask_table: Optional[np.ndarray] = None,
+    mask_bits: Optional[np.ndarray] = None,
+    uniform_mask: Optional[int] = None,
+    shard: int = 0,
+    shards: int = 1,
+    job_misses: Optional[np.ndarray] = None,
+) -> tuple[int, int, int]:
+    """Count (accesses, hits, bypasses) over raw block numbers.
+
+    Splits row/tag inline and optionally keeps only the accesses of
+    one set shard (``row % shards == shard``); skipped accesses do not
+    touch the state at all.  ``job_misses`` (int64, one slot per job)
+    accumulates per-job misses with bypasses included, matching
+    ``collect="misses"`` accounting.
+    """
+    lib = load()
+    ways = state.ways
+    if blocks.dtype == np.int32:
+        blocks_native = np.ascontiguousarray(blocks)
+        is32 = 1
+    else:
+        blocks_native = np.ascontiguousarray(blocks, dtype=np.int64)
+        is32 = 0
+    jobs64 = (
+        None if jobs is None else np.ascontiguousarray(jobs, np.int64)
+    )
+    table64 = (
+        None
+        if mask_table is None
+        else np.ascontiguousarray(mask_table, np.int64)
+    )
+    masks64 = (
+        None
+        if mask_bits is None
+        else np.ascontiguousarray(mask_bits, np.int64)
+    )
+    uniform = (
+        (1 << ways) - 1 if uniform_mask is None else int(uniform_mask)
+    )
+    ensure_state_native(state)
+    counts = np.zeros(3, dtype=np.int64)
+    lib.repro_blocks_count(
+        len(blocks_native),
+        _addr(blocks_native),
+        is32,
+        _addr(jobs64),
+        _addr(table64),
+        _addr(masks64),
+        uniform,
+        sets_mask,
+        index_bits,
+        ways,
+        shard,
+        shards,
+        _addr(state.tags),
+        _addr(state.last_use),
+        _addr(state.clock),
+        _addr(job_misses),
+        _addr(counts),
+    )
+    return int(counts[0]), int(counts[1]), int(counts[2])
+
+
+def schedule_count_compiled(
+    seg_jobs: np.ndarray,
+    seg_pos: np.ndarray,
+    seg_len: np.ndarray,
+    job_offsets: np.ndarray,
+    job_lengths: np.ndarray,
+    blocks_concat: np.ndarray,
+    mask_table: np.ndarray,
+    state,
+    *,
+    sets_mask: int,
+    index_bits: int,
+    job_misses: np.ndarray,
+) -> None:
+    """Run a quantum schedule without materializing its access stream.
+
+    Segment ``s`` simulates ``seg_len[s]`` accesses of job
+    ``seg_jobs[s]``, walking that job's slice of ``blocks_concat``
+    circularly from ``seg_pos[s]`` — exactly the stream
+    ``_Schedule.access_stream`` would materialize.  Per-job misses
+    (bypasses included) accumulate into ``job_misses``.
+    """
+    lib = load()
+    if blocks_concat.dtype == np.int32:
+        blocks_native = np.ascontiguousarray(blocks_concat)
+        is32 = 1
+    else:
+        blocks_native = np.ascontiguousarray(
+            blocks_concat, dtype=np.int64
+        )
+        is32 = 0
+    seg_jobs64 = np.ascontiguousarray(seg_jobs, np.int64)
+    seg_pos64 = np.ascontiguousarray(seg_pos, np.int64)
+    seg_len64 = np.ascontiguousarray(seg_len, np.int64)
+    offsets64 = np.ascontiguousarray(job_offsets, np.int64)
+    lengths64 = np.ascontiguousarray(job_lengths, np.int64)
+    table64 = np.ascontiguousarray(mask_table, np.int64)
+    ensure_state_native(state)
+    lib.repro_schedule_count(
+        len(seg_jobs64),
+        _addr(seg_jobs64),
+        _addr(seg_pos64),
+        _addr(seg_len64),
+        _addr(offsets64),
+        _addr(lengths64),
+        _addr(blocks_native),
+        is32,
+        _addr(table64),
+        sets_mask,
+        index_bits,
+        state.ways,
+        _addr(state.tags),
+        _addr(state.last_use),
+        _addr(state.clock),
+        _addr(job_misses),
+    )

@@ -1,0 +1,187 @@
+/* Compiled lockstep LRU kernel.
+ *
+ * Scalar C twin of the numpy kernel in batched.py, built on demand by
+ * _compiled.py with the system C compiler and loaded through ctypes.
+ * Semantics are bit-identical to LockstepState / lockstep_run:
+ *
+ *   - per-row clocks: the k-th access (0-based) to a row gets
+ *     timestamp clock[row] + k, and the clock advances on every
+ *     access, including bypasses;
+ *   - a resident tag occupies exactly one way, empty lines hold -1
+ *     and input tags are non-negative, so the first tag match is the
+ *     only one;
+ *   - the victim is the mask-candidate way with the smallest
+ *     last_use, ties resolved toward the lowest way (strict <);
+ *   - a miss whose mask has no candidate way inside the geometry
+ *     (mask & ((1 << ways) - 1) == 0) is a counted bypass: the clock
+ *     still advances, nothing fills.
+ *
+ * All pointers are passed as raw addresses (ctypes c_void_p); arrays
+ * are C-contiguous int64 unless stated otherwise.  Callers guarantee
+ * 1 <= ways <= 63.
+ */
+
+#include <stdint.h>
+
+#define API __attribute__((visibility("default")))
+
+/* One access against one row.  Returns 1 on hit; *bypass is set when
+ * the access missed with an empty candidate mask. */
+static inline int
+step(int64_t row, int64_t tag, int64_t mask, int64_t ways,
+     int64_t *restrict state_tags, int64_t *restrict state_use,
+     int64_t *restrict state_clock, int *restrict bypass)
+{
+    int64_t *line_tags = state_tags + row * ways;
+    int64_t *line_use = state_use + row * ways;
+    int64_t now = state_clock[row];
+    state_clock[row] = now + 1;
+    for (int64_t way = 0; way < ways; way++) {
+        if (line_tags[way] == tag) {
+            line_use[way] = now;
+            *bypass = 0;
+            return 1;
+        }
+    }
+    if (mask == 0) {
+        *bypass = 1;
+        return 0;
+    }
+    int64_t victim = 0;
+    int64_t best = INT64_MAX;
+    for (int64_t way = 0; way < ways; way++) {
+        if (((mask >> way) & 1) && line_use[way] < best) {
+            best = line_use[way];
+            victim = way;
+        }
+    }
+    line_tags[victim] = tag;
+    line_use[victim] = now;
+    *bypass = 0;
+    return 0;
+}
+
+/* Generic per-access entry: rows/tags precomputed by the caller.
+ * mask_bits may be NULL (then uniform_mask applies to every access);
+ * hit_out / bypass_out may be NULL (counting-only callers). */
+API void
+repro_lockstep_flags(int64_t n, const int64_t *rows,
+                     const int64_t *tags, int64_t ways,
+                     const int64_t *mask_bits, int64_t uniform_mask,
+                     int64_t *state_tags, int64_t *state_use,
+                     int64_t *state_clock, uint8_t *hit_out,
+                     uint8_t *bypass_out)
+{
+    int64_t ways_mask = (int64_t)((UINT64_C(1) << ways) - 1);
+    for (int64_t i = 0; i < n; i++) {
+        int64_t mask =
+            (mask_bits ? mask_bits[i] : uniform_mask) & ways_mask;
+        int bypass = 0;
+        int hit = step(rows[i], tags[i], mask, ways, state_tags,
+                       state_use, state_clock, &bypass);
+        if (hit_out)
+            hit_out[i] = (uint8_t)hit;
+        if (bypass_out)
+            bypass_out[i] = (uint8_t)bypass;
+    }
+}
+
+/* Counting entry over raw block numbers: row/tag split happens
+ * inline (row = block & sets_mask, tag = block >> index_bits), with
+ * optional set-shard filtering (shards > 1 keeps only rows where
+ * row % shards == shard; skipped accesses touch nothing, not even
+ * the clock).  blocks is int32 when blocks_is32, else int64.
+ *
+ * Mask priority per access: mask_bits[i] if given, else
+ * mask_table[jobs ? jobs[i] : 0] if given, else uniform_mask.
+ * job_misses (nullable) accumulates per-job misses (bypasses
+ * included, matching collect="misses").  counts accumulates
+ * {accesses simulated, hits, bypasses}. */
+API void
+repro_blocks_count(int64_t n, const void *blocks, int32_t blocks_is32,
+                   const int64_t *jobs, const int64_t *mask_table,
+                   const int64_t *mask_bits, int64_t uniform_mask,
+                   int64_t sets_mask, int64_t index_bits, int64_t ways,
+                   int64_t shard, int64_t shards, int64_t *state_tags,
+                   int64_t *state_use, int64_t *state_clock,
+                   int64_t *job_misses, int64_t *counts)
+{
+    int64_t ways_mask = (int64_t)((UINT64_C(1) << ways) - 1);
+    const int32_t *blocks32 = (const int32_t *)blocks;
+    const int64_t *blocks64 = (const int64_t *)blocks;
+    int64_t seen = 0, hits = 0, bypasses = 0;
+    for (int64_t i = 0; i < n; i++) {
+        int64_t block =
+            blocks_is32 ? (int64_t)blocks32[i] : blocks64[i];
+        int64_t row = block & sets_mask;
+        if (shards > 1 && row % shards != shard)
+            continue;
+        int64_t job = jobs ? jobs[i] : 0;
+        int64_t mask;
+        if (mask_bits)
+            mask = mask_bits[i];
+        else if (mask_table)
+            mask = mask_table[job];
+        else
+            mask = uniform_mask;
+        int bypass = 0;
+        int hit = step(row, block >> index_bits, mask & ways_mask,
+                       ways, state_tags, state_use, state_clock,
+                       &bypass);
+        seen++;
+        hits += hit;
+        bypasses += bypass;
+        if (!hit && job_misses)
+            job_misses[job]++;
+    }
+    counts[0] += seen;
+    counts[1] += hits;
+    counts[2] += bypasses;
+}
+
+/* Fused schedule entry: simulates a round-robin quantum schedule
+ * straight off the per-job block arrays, without materializing the
+ * interleaved access stream.  Segment s runs seg_len[s] accesses of
+ * job seg_jobs[s], walking that job's blocks circularly from
+ * seg_pos[s] (matching (pos + k) % length in _Schedule.access_stream).
+ * blocks is the per-job arrays concatenated in job order
+ * (job_offsets / job_lengths index it).  Per-job misses (bypasses
+ * included) accumulate into job_misses. */
+API void
+repro_schedule_count(int64_t n_segments, const int64_t *seg_jobs,
+                     const int64_t *seg_pos, const int64_t *seg_len,
+                     const int64_t *job_offsets,
+                     const int64_t *job_lengths, const void *blocks,
+                     int32_t blocks_is32, const int64_t *mask_table,
+                     int64_t sets_mask, int64_t index_bits,
+                     int64_t ways, int64_t *state_tags,
+                     int64_t *state_use, int64_t *state_clock,
+                     int64_t *job_misses)
+{
+    int64_t ways_mask = (int64_t)((UINT64_C(1) << ways) - 1);
+    const int32_t *blocks32 = (const int32_t *)blocks;
+    const int64_t *blocks64 = (const int64_t *)blocks;
+    for (int64_t s = 0; s < n_segments; s++) {
+        int64_t job = seg_jobs[s];
+        int64_t length = job_lengths[job];
+        int64_t base = job_offsets[job];
+        int64_t index = seg_pos[s] % length;
+        int64_t count = seg_len[s];
+        int64_t mask = mask_table[job] & ways_mask;
+        int64_t misses = 0;
+        for (int64_t k = 0; k < count; k++) {
+            int64_t block = blocks_is32
+                                ? (int64_t)blocks32[base + index]
+                                : blocks64[base + index];
+            index++;
+            if (index == length)
+                index = 0;
+            int bypass = 0;
+            int hit = step(block & sets_mask, block >> index_bits,
+                           mask, ways, state_tags, state_use,
+                           state_clock, &bypass);
+            misses += !hit;
+        }
+        job_misses[job] += misses;
+    }
+}

@@ -1,0 +1,132 @@
+"""Kernel backend registry: pick the lockstep inner-loop engine.
+
+Two interchangeable backends drive the lockstep LRU hot path:
+
+``numpy``
+    The vectorized round-major kernel in
+    :mod:`repro.sim.engine.batched` — always available, and the
+    bit-identical reference for everything else.
+
+``compiled``
+    A scalar C kernel (:mod:`repro.sim.engine._compiled`) built on
+    demand with the system C compiler and called through ctypes; same
+    per-access outcomes and final cache state, much faster on the
+    counting paths.
+
+Selection follows the ``REPRO_KERNEL`` environment variable
+(``auto`` | ``numpy`` | ``compiled``, default ``auto``), resolved
+lazily on first use and overridable at runtime with
+:func:`set_backend` (the ``--kernel`` CLI flag).  ``auto`` prefers the
+compiled kernel and falls back to numpy — emitting a single
+:class:`RuntimeWarning` the first time it does so — while an explicit
+``compiled`` raises :class:`KernelBackendError` when no C compiler is
+usable, so misconfigured performance runs fail loudly instead of
+silently measuring the wrong kernel.
+
+The active backend is part of a simulation's identity:
+``SimJob.content_hash`` folds it in, so
+:class:`~repro.sim.engine.cache.ResultCache` entries computed under
+different backends never cross-hit.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Optional
+
+#: The selectable backends (``auto`` resolves to one of these).
+KERNEL_BACKENDS = ("numpy", "compiled")
+
+#: Environment variable consulted when no explicit choice was made.
+KERNEL_ENV = "REPRO_KERNEL"
+
+_AUTO = "auto"
+_active: Optional[str] = None
+_warned_fallback = False
+
+
+class KernelBackendError(RuntimeError):
+    """A kernel backend was requested but cannot be used."""
+
+
+def compiled_available() -> bool:
+    """True when the compiled C kernel builds and loads here."""
+    from repro.sim.engine import _compiled
+
+    return _compiled.available()
+
+
+def _fallback_warning_once() -> None:
+    global _warned_fallback
+    if _warned_fallback:
+        return
+    _warned_fallback = True
+    from repro.sim.engine import _compiled
+
+    warnings.warn(
+        "REPRO_KERNEL=auto: compiled lockstep kernel unavailable "
+        f"({_compiled.unavailable_reason()}); using the numpy "
+        "backend",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def resolve_backend(name: Optional[str] = None) -> str:
+    """Resolve a requested backend name to ``numpy`` or ``compiled``.
+
+    ``None`` reads :data:`KERNEL_ENV` (default ``auto``).  ``auto``
+    prefers the compiled kernel, warning once and falling back to
+    numpy when it is unavailable; an explicit ``compiled`` raises
+    :class:`KernelBackendError` instead.
+    """
+    requested = (
+        os.environ.get(KERNEL_ENV, _AUTO) if name is None else name
+    )
+    requested = str(requested).strip().lower()
+    if requested == _AUTO:
+        if compiled_available():
+            return "compiled"
+        _fallback_warning_once()
+        return "numpy"
+    if requested not in KERNEL_BACKENDS:
+        raise KernelBackendError(
+            f"unknown kernel backend {requested!r}; choose one of "
+            f"{(_AUTO,) + KERNEL_BACKENDS}"
+        )
+    if requested == "compiled" and not compiled_available():
+        from repro.sim.engine import _compiled
+
+        raise KernelBackendError(
+            "kernel backend 'compiled' requested but unavailable: "
+            f"{_compiled.unavailable_reason()}"
+        )
+    return requested
+
+
+def active_backend() -> str:
+    """The session's resolved backend (lazily resolved, then cached)."""
+    global _active
+    if _active is None:
+        _active = resolve_backend()
+    return _active
+
+
+def set_backend(name: Optional[str]) -> str:
+    """Override the active backend for this process; returns it.
+
+    ``None`` or ``"auto"`` re-resolves from the environment.  Raises
+    :class:`KernelBackendError` for unknown names or an unavailable
+    explicit choice, leaving the previous selection in place.
+    """
+    global _active
+    _active = resolve_backend(name)
+    return _active
+
+
+def reset_backend() -> None:
+    """Drop the cached selection and fallback warning (tests)."""
+    global _active, _warned_fallback
+    _active = None
+    _warned_fallback = False

@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.cache.fastsim import FastSimResult
 from repro.cache.geometry import CacheGeometry
+from repro.sim.engine import _compiled, backends
 
 #: Default round width below which the scalar tail takes over
 #: (tuned on the Figure 5 matrix; correctness is cutoff-independent).
@@ -224,6 +225,7 @@ def lockstep_run(
     uniform_mask: Optional[int] = None,
     scalar_cutoff: int = DEFAULT_SCALAR_CUTOFF,
     collect: str = "flags",
+    backend: Optional[str] = None,
 ) -> tuple[np.ndarray, np.ndarray] | np.ndarray:
     """Simulate one batch of accesses against a bank of LRU rows.
 
@@ -238,11 +240,19 @@ def lockstep_run(
             with ``mask_bits``); None means all ways.
         scalar_cutoff: Once fewer than this many rows remain active in
             a round, the residual accesses finish in the scalar tail
-            loop (guards against skewed row distributions).
+            loop (guards against skewed row distributions); the
+            compiled backend, being scalar throughout, ignores it.
         collect: ``"flags"`` returns per-access flag arrays;
             ``"misses"`` skips all per-access flag materialization and
             returns only the positions of the misses — the batching
             engine's counting path, measurably faster on huge batches.
+        backend: Kernel backend for this call — ``"numpy"``,
+            ``"compiled"`` or ``"auto"``; None (the default) uses the
+            session's active backend
+            (:func:`repro.sim.engine.backends.active_backend`).  The
+            backends are bit-identical in outcomes and state; an
+            associativity the compiled kernel cannot represent
+            (``ways > 63``) silently runs on numpy.
 
     Returns:
         With ``collect="flags"``: ``(hit_flags, bypass_flags)``
@@ -274,6 +284,17 @@ def lockstep_run(
         raise ValueError("rows and tags length mismatch")
 
     ways = state.ways
+    backend_name = (
+        backends.active_backend()
+        if backend is None
+        else backends.resolve_backend(backend)
+    )
+    if backend_name == "compiled" and _compiled.supports(ways):
+        if mask_bits is not None and len(mask_bits) != n:
+            raise ValueError("mask_bits length mismatch")
+        return _compiled.lockstep_run_compiled(
+            rows, tags, state, mask_bits, uniform_mask, collect
+        )
     full_mask = (1 << ways) - 1
     masks_sorted: Optional[np.ndarray] = None
     uniform_candidates: Optional[tuple[int, ...]] = None
@@ -573,13 +594,22 @@ class LockstepCache:
     per-access outcomes are bit-identical to the scalar model — but
     each call is one vectorized kernel invocation, with no Python-list
     round-trip.
+
+    ``backend`` pins every call to one kernel backend (``"numpy"`` /
+    ``"compiled"`` / ``"auto"``); None follows the session's active
+    backend (see :mod:`repro.sim.engine.backends`).
     """
 
-    def __init__(self, geometry: CacheGeometry):
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        backend: Optional[str] = None,
+    ):
         self.geometry = geometry
         self.sets = geometry.sets
         self.ways = geometry.columns
         self.index_bits = geometry.index_bits
+        self.backend = backend
         self.state = LockstepState.cold(self.sets, self.ways)
         self.hits = 0
         self.misses = 0
@@ -622,6 +652,7 @@ class LockstepCache:
             self.state,
             mask_bits=masks,
             uniform_mask=uniform_mask,
+            backend=self.backend,
         )
         hits = int(hit_flags.sum())
         bypasses = int(bypass_flags.sum())
@@ -652,6 +683,7 @@ def batched_simulate(
     state: Optional[LockstepState] = None,
     scalar_cutoff: int = DEFAULT_SCALAR_CUTOFF,
     return_flags: bool = False,
+    backend: Optional[str] = None,
 ):
     """One-shot lockstep simulation of a block trace.
 
@@ -675,6 +707,7 @@ def batched_simulate(
         mask_bits=masks,
         uniform_mask=uniform_mask,
         scalar_cutoff=scalar_cutoff,
+        backend=backend,
     )
     hits = int(hit_flags.sum())
     result = FastSimResult(

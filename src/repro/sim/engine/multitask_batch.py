@@ -40,6 +40,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.cache.geometry import CacheGeometry
+from repro.sim.engine import _compiled, backends
 from repro.sim.engine.batched import (
     DEFAULT_SCALAR_CUTOFF,
     LockstepState,
@@ -274,9 +275,11 @@ class _KernelGroup:
         capacity: int,
         block_dtype: np.dtype,
         mask_dtype: np.dtype,
+        backend: Optional[str] = None,
     ):
         self.ways = ways
         self.scalar_cutoff = scalar_cutoff
+        self.backend = backend
         self.capacity = capacity
         self._rows = np.empty(capacity, dtype=block_dtype)
         self._tags = np.empty(capacity, dtype=block_dtype)
@@ -349,6 +352,7 @@ class _KernelGroup:
             mask_bits=self._masks[:fill],
             scalar_cutoff=self.scalar_cutoff,
             collect="misses",
+            backend=self.backend,
         )
         accesses = np.bincount(segments, minlength=self.segment_count)
         misses = np.bincount(
@@ -372,6 +376,105 @@ class _KernelGroup:
         self.segment_count = 0
 
 
+def _simulate_matrix_compiled(
+    variants: Sequence[tuple[CacheGeometry, Sequence[Job]]],
+    batch_lists: Sequence[Sequence[_BatchJob]],
+    mask_tables: Sequence[np.ndarray],
+    quanta: Sequence[int],
+    budget_instructions: int,
+    warmup_passes: int,
+) -> list[list[dict[str, JobResult]]]:
+    """Matrix fast path on the compiled kernel: fused schedule walk.
+
+    Instead of materializing each quantum's interleaved access stream
+    and buffering (rows, tags, masks) columns for a stacked lockstep
+    call, the C kernel walks the schedule's quantum segments directly
+    over the concatenated per-job block arrays — zero stream
+    assembly, one call per (variant, quantum).  The warm-up runs
+    through the same entry as one wrap-around segment per job, which
+    reproduces ``_warmup_stream``'s tiling exactly.  Results are
+    bit-identical to the numpy path (the schedule, and therefore each
+    set's access order, is the same).
+    """
+    base_jobs = batch_lists[0]
+    job_count = len(base_jobs)
+    job_lengths = np.array(
+        [len(batch_job.blocks) for batch_job in base_jobs],
+        dtype=np.int64,
+    )
+    job_offsets = np.concatenate(
+        (np.zeros(1, dtype=np.int64), np.cumsum(job_lengths)[:-1])
+    )
+    blocks_concat = np.concatenate(
+        [batch_job.blocks for batch_job in base_jobs]
+    )
+    schedules = [
+        _Schedule(base_jobs, int(quantum), int(budget_instructions))
+        for quantum in quanta
+    ]
+    warm_seg_jobs = np.arange(job_count, dtype=np.int64)
+    warm_seg_pos = np.zeros(job_count, dtype=np.int64)
+    warm_seg_len = job_lengths * np.int64(warmup_passes)
+    results: list[list[dict[str, JobResult]]] = []
+    for variant_index, (geometry, _jobs) in enumerate(variants):
+        sets_mask = geometry.sets - 1
+        index_bits = geometry.index_bits
+        mask_table = np.ascontiguousarray(
+            mask_tables[variant_index], dtype=np.int64
+        )
+        warm = LockstepState.cold(geometry.sets, geometry.columns)
+        if warmup_passes:
+            _compiled.schedule_count_compiled(
+                warm_seg_jobs,
+                warm_seg_pos,
+                warm_seg_len,
+                job_offsets,
+                job_lengths,
+                blocks_concat,
+                mask_table,
+                warm,
+                sets_mask=sets_mask,
+                index_bits=index_bits,
+                job_misses=np.zeros(job_count, dtype=np.int64),
+            )
+        variant_results = []
+        for schedule in schedules:
+            state = LockstepState(
+                tags=warm.tags.copy(),
+                last_use=warm.last_use.copy(),
+                clock=warm.clock.copy(),
+            )
+            job_misses = np.zeros(job_count, dtype=np.int64)
+            _compiled.schedule_count_compiled(
+                schedule.job_ids,
+                schedule.positions,
+                schedule.accesses,
+                job_offsets,
+                job_lengths,
+                blocks_concat,
+                mask_table,
+                state,
+                sets_mask=sets_mask,
+                index_bits=index_bits,
+                job_misses=job_misses,
+            )
+            accesses = np.bincount(
+                schedule.job_ids,
+                weights=schedule.accesses,
+                minlength=job_count,
+            ).astype(np.int64)
+            variant_results.append(
+                _results_for_point(
+                    batch_lists[variant_index],
+                    schedule,
+                    accesses,
+                    job_misses,
+                )
+            )
+        results.append(variant_results)
+    return results
+
+
 # ----------------------------------------------------------------------
 # Public entry points
 # ----------------------------------------------------------------------
@@ -382,6 +485,7 @@ def simulate_multitask_matrix(
     warmup_passes: int = 0,
     max_batch_accesses: int = DEFAULT_MAX_BATCH_ACCESSES,
     scalar_cutoff: int = DEFAULT_SCALAR_CUTOFF,
+    kernel: Optional[str] = None,
 ) -> list[list[dict[str, JobResult]]]:
     """Run a (variant x quantum) experiment matrix through the kernel.
 
@@ -392,6 +496,13 @@ def simulate_multitask_matrix(
     access stream of each quantum are computed once and reused by
     every variant; same-associativity points are stacked into shared
     lockstep calls.
+
+    ``kernel`` selects the lockstep backend for this matrix
+    (``"numpy"`` / ``"compiled"`` / ``"auto"``; None follows the
+    session's active backend).  On the compiled backend the matrix
+    takes a fused fast path — the C kernel walks the schedule
+    directly, no access stream is materialized — with bit-identical
+    results.
 
     Returns ``results[variant_index][quantum_index]``, each entry
     equivalent to ``MultitaskSimulator`` + ``warm_up(warmup_passes)``
@@ -430,7 +541,6 @@ def simulate_multitask_matrix(
                     "address offsets"
                 )
 
-    warm_blocks, warm_jobs = _warmup_stream(base_jobs, warmup_passes)
     # int16 mask palette where the variant's own associativity allows
     # (ways <= 15): per-access mask columns are gathered from these,
     # so the narrow dtype flows through buffering and the kernel.
@@ -441,6 +551,26 @@ def simulate_multitask_matrix(
         )
         for (geometry, _jobs), batch_jobs in zip(variants, batch_lists)
     ]
+
+    kernel_name = (
+        backends.active_backend()
+        if kernel is None
+        else backends.resolve_backend(kernel)
+    )
+    if kernel_name == "compiled" and all(
+        _compiled.supports(geometry.columns)
+        for geometry, _jobs in variants
+    ):
+        return _simulate_matrix_compiled(
+            variants,
+            batch_lists,
+            mask_tables,
+            quanta,
+            budget_instructions,
+            warmup_passes,
+        )
+
+    warm_blocks, warm_jobs = _warmup_stream(base_jobs, warmup_passes)
 
     # The warm-up stream is identical for every quantum of a variant,
     # and cache evolution is a pure function of (state, stream): warm
@@ -477,6 +607,7 @@ def simulate_multitask_matrix(
                 mask_bits=np.concatenate(mask_parts),
                 scalar_cutoff=scalar_cutoff,
                 collect="misses",
+                backend=kernel_name,
             )
             for variant_index, offset in zip(variant_indices, offsets):
                 sets = variants[variant_index][0].sets
@@ -531,6 +662,7 @@ def simulate_multitask_matrix(
             mask_dtype=np.dtype(
                 np.int16 if ways <= 15 else np.int64
             ),
+            backend=kernel_name,
         )
 
     for point_index, schedule in enumerate(schedules):
@@ -566,6 +698,7 @@ def simulate_multitask_sweep(
     warmup_passes: int = 0,
     max_batch_accesses: int = DEFAULT_MAX_BATCH_ACCESSES,
     scalar_cutoff: int = DEFAULT_SCALAR_CUTOFF,
+    kernel: Optional[str] = None,
 ) -> list[dict[str, JobResult]]:
     """Run a whole quantum sweep through the lockstep kernel.
 
@@ -582,6 +715,7 @@ def simulate_multitask_sweep(
         warmup_passes=warmup_passes,
         max_batch_accesses=max_batch_accesses,
         scalar_cutoff=scalar_cutoff,
+        kernel=kernel,
     )[0]
 
 
@@ -591,6 +725,7 @@ def simulate_multitask_batched(
     quantum_instructions: int,
     total_instructions: int,
     warmup_passes: int = 0,
+    kernel: Optional[str] = None,
 ) -> dict[str, JobResult]:
     """Batched equivalent of one ``MultitaskSimulator`` run.
 
@@ -604,4 +739,5 @@ def simulate_multitask_batched(
         [quantum_instructions],
         total_instructions,
         warmup_passes=warmup_passes,
+        kernel=kernel,
     )[0]

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Optional, Sequence, Union
 
+from repro.sim.engine import backends
 from repro.sim.engine.cache import MISS, ResultCache
 from repro.sim.engine.spec import SimJob, SweepSpec, runner_path
 
@@ -173,6 +174,11 @@ class SweepEngine:
     def _make_pool(self) -> Executor:
         if self.backend == "thread":
             return ThreadPoolExecutor(max_workers=self.workers)
+        # Workers must simulate on the same kernel backend the parent
+        # hashed the jobs under (set_backend() overrides are process
+        # state, not environment state): pin the resolved choice into
+        # the environment the pool inherits.
+        os.environ[backends.KERNEL_ENV] = backends.active_backend()
         return ProcessPoolExecutor(max_workers=self.workers)
 
     # ------------------------------------------------------------------

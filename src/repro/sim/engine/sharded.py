@@ -6,22 +6,41 @@ simulated independently — on another core, or simply as a smaller
 in-process run.  Aggregate hit/miss/bypass counts are exact: every
 access lands in exactly one shard, and the per-set access order within
 a shard is the original trace order (boolean selection is stable).
+Per-shard tallies merge deterministically: plain sums, accumulated in
+shard order.
 
-Each worker runs the scalar :class:`~repro.cache.fastsim.
-FastColumnCache` over its shard, which doubles as cross-validation of
-the lockstep kernel: the equivalence suite asserts all three paths
-(scalar, lockstep, sharded) agree bit-for-bit.
+Two generations of sharding live here:
+
+* :func:`simulate_trace_sharded` — the original cross-validation
+  path: each worker runs the scalar
+  :class:`~repro.cache.fastsim.FastColumnCache` over a pre-gathered
+  shard of an in-memory block array.
+* :func:`simulate_columnar_sharded` / :func:`simulate_npz_sharded` —
+  *single-sweep-point* scaling: one large
+  :class:`~repro.trace.columnar.ColumnarTrace` is streamed in bounded
+  chunks (``iter_chunks``, so a memory-mapped ``.npz`` archive keeps
+  every worker's working set cache-resident) and partitioned by set
+  index on the fly, each shard advancing its own lockstep state on
+  the selected kernel backend.  Today the process backend only
+  parallelizes *across* sweep points; this fans the sets of a single
+  point across cores.
+
+The equivalence suite asserts all paths (scalar, lockstep, sharded,
+compiled) agree bit-for-bit.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import Optional, Sequence
+from pathlib import Path
+from typing import Mapping, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.cache.fastsim import FastColumnCache, FastSimResult
 from repro.cache.geometry import CacheGeometry
+from repro.sim.engine import backends
+from repro.sim.engine.batched import LockstepState, lockstep_run
 
 
 def shard_blocks(
@@ -102,3 +121,285 @@ def simulate_trace_sharded(
     misses = sum(count[1] for count in counts)
     bypasses = sum(count[2] for count in counts)
     return FastSimResult(hits=hits, misses=misses, bypasses=bypasses)
+
+
+# ----------------------------------------------------------------------
+# Single-sweep-point sharding: chunk-streamed columnar traces
+# ----------------------------------------------------------------------
+#: Default streaming window (accesses per chunk).  Small enough that a
+#: chunk's columns stay cache-resident, large enough to amortize the
+#: per-chunk kernel dispatch.
+DEFAULT_CHUNK_ACCESSES = 1 << 18
+
+
+def _resolve_masks(
+    window,
+    geometry: CacheGeometry,
+    uniform_mask: Optional[int],
+    variable_masks: Optional[Mapping[str, int]],
+    default_mask: Optional[int],
+) -> tuple[Optional[np.ndarray], Optional[int]]:
+    """(mask_bits, uniform_mask) for one trace window."""
+    if variable_masks is None:
+        return None, uniform_mask
+    default = (
+        (1 << geometry.columns) - 1
+        if default_mask is None
+        else int(default_mask)
+    )
+    return window.mask_bits_for(variable_masks, default), None
+
+
+def _stream_one_shard(
+    trace,
+    geometry: CacheGeometry,
+    shard: int,
+    shards: int,
+    chunk_accesses: int,
+    uniform_mask: Optional[int],
+    variable_masks: Optional[Mapping[str, int]],
+    default_mask: Optional[int],
+    kernel: Optional[str],
+) -> tuple[int, int, int]:
+    """Stream one shard's accesses off a columnar trace.
+
+    Returns ``(accesses, hits, bypasses)`` for the accesses whose set
+    index lands in this shard; all other accesses are skipped without
+    touching the shard's state.
+    """
+    sets = geometry.sets
+    index_bits = geometry.index_bits
+    state = LockstepState.cold(sets, geometry.columns)
+    accesses = hits = bypasses = 0
+    for window in trace.iter_chunks(chunk_accesses):
+        blocks = window.blocks_for(geometry.offset_bits)
+        rows = blocks & np.int64(sets - 1)
+        mask_bits, uniform = _resolve_masks(
+            window, geometry, uniform_mask, variable_masks, default_mask
+        )
+        if shards > 1:
+            keep = np.flatnonzero(rows % np.int64(shards) == shard)
+            if not len(keep):
+                continue
+            blocks = blocks[keep]
+            rows = rows[keep]
+            if mask_bits is not None:
+                mask_bits = mask_bits[keep]
+        hit_flags, bypass_flags = lockstep_run(
+            rows,
+            blocks >> np.int64(index_bits),
+            state,
+            mask_bits=mask_bits,
+            uniform_mask=uniform,
+            backend=kernel,
+        )
+        accesses += len(blocks)
+        hits += int(hit_flags.sum())
+        bypasses += int(bypass_flags.sum())
+    return accesses, hits, bypasses
+
+
+def simulate_columnar_sharded(
+    trace,
+    geometry: CacheGeometry,
+    *,
+    shards: Optional[int] = None,
+    chunk_accesses: int = DEFAULT_CHUNK_ACCESSES,
+    uniform_mask: Optional[int] = None,
+    variable_masks: Optional[Mapping[str, int]] = None,
+    default_mask: Optional[int] = None,
+    kernel: Optional[str] = None,
+) -> FastSimResult:
+    """Simulate one columnar trace set-sharded, in process.
+
+    The trace streams once through bounded ``iter_chunks`` windows;
+    within each window the accesses are partitioned by
+    ``set_index % shards`` and each shard advances its own
+    :class:`~repro.sim.engine.batched.LockstepState`.  Because sets
+    never interact, per-shard hit/miss/bypass tallies merged in shard
+    order (plain sums) are bit-identical to the unsharded run —
+    whatever the shard count or how chunk boundaries fall.
+
+    ``variable_masks`` (with ``default_mask``) derives per-access
+    replacement masks from the trace's variable labels; mutually
+    exclusive with ``uniform_mask``.  ``kernel`` pins the lockstep
+    backend (None follows the session's active backend).
+    """
+    if uniform_mask is not None and variable_masks is not None:
+        raise ValueError(
+            "give either uniform_mask or variable_masks, not both"
+        )
+    shard_count = max(
+        1, min(shards if shards is not None else 1, geometry.sets)
+    )
+    kernel_name = (
+        backends.active_backend()
+        if kernel is None
+        else backends.resolve_backend(kernel)
+    )
+    sets = geometry.sets
+    index_bits = geometry.index_bits
+    states = [
+        LockstepState.cold(sets, geometry.columns)
+        for _ in range(shard_count)
+    ]
+    tallies = np.zeros((shard_count, 3), dtype=np.int64)
+    for window in trace.iter_chunks(chunk_accesses):
+        blocks = window.blocks_for(geometry.offset_bits)
+        rows = blocks & np.int64(sets - 1)
+        mask_bits, uniform = _resolve_masks(
+            window, geometry, uniform_mask, variable_masks, default_mask
+        )
+        if shard_count == 1:
+            assignment = None
+        else:
+            assignment = rows % np.int64(shard_count)
+        for shard in range(shard_count):
+            if assignment is None:
+                shard_blocks_ = blocks
+                shard_rows = rows
+                shard_masks = mask_bits
+            else:
+                keep = np.flatnonzero(assignment == shard)
+                if not len(keep):
+                    continue
+                shard_blocks_ = blocks[keep]
+                shard_rows = rows[keep]
+                shard_masks = (
+                    mask_bits[keep] if mask_bits is not None else None
+                )
+            hit_flags, bypass_flags = lockstep_run(
+                shard_rows,
+                shard_blocks_ >> np.int64(index_bits),
+                states[shard],
+                mask_bits=shard_masks,
+                uniform_mask=uniform,
+                backend=kernel_name,
+            )
+            tallies[shard, 0] += len(shard_blocks_)
+            tallies[shard, 1] += int(hit_flags.sum())
+            tallies[shard, 2] += int(bypass_flags.sum())
+    # Deterministic merge: sums accumulated in shard order.
+    total, hits, bypasses = (int(value) for value in tallies.sum(axis=0))
+    return FastSimResult(
+        hits=hits, misses=total - hits, bypasses=bypasses
+    )
+
+
+def _simulate_npz_shard(
+    payload: tuple[
+        str,
+        CacheGeometry,
+        int,
+        int,
+        int,
+        Optional[int],
+        Optional[dict],
+        Optional[int],
+        str,
+    ],
+) -> tuple[int, int, int]:
+    """Worker: mmap the archive, stream one shard, return tallies."""
+    (
+        path,
+        geometry,
+        shard,
+        shards,
+        chunk_accesses,
+        uniform_mask,
+        variable_masks,
+        default_mask,
+        kernel,
+    ) = payload
+    from repro.trace.columnar import load_npz
+
+    trace = load_npz(path, mmap=True)
+    return _stream_one_shard(
+        trace,
+        geometry,
+        shard,
+        shards,
+        chunk_accesses,
+        uniform_mask,
+        variable_masks,
+        default_mask,
+        kernel,
+    )
+
+
+def simulate_npz_sharded(
+    trace_path: Union[str, Path],
+    geometry: CacheGeometry,
+    *,
+    shards: Optional[int] = None,
+    workers: int = 1,
+    chunk_accesses: int = DEFAULT_CHUNK_ACCESSES,
+    uniform_mask: Optional[int] = None,
+    variable_masks: Optional[Mapping[str, int]] = None,
+    default_mask: Optional[int] = None,
+    kernel: Optional[str] = None,
+) -> FastSimResult:
+    """Shard one ``.npz`` trace's sets across worker processes.
+
+    Each worker memory-maps the archive independently and streams it
+    in bounded chunks (:meth:`ColumnarTrace.iter_chunks`), keeping
+    only the accesses of its set shard — no worker ever materializes
+    the full trace, so working sets stay cache-resident however large
+    the archive is.  ``shards`` defaults to ``workers``; ``workers <=
+    1`` runs the single-pass in-process path
+    (:func:`simulate_columnar_sharded`).  Tallies merge
+    deterministically in shard order and are bit-identical to the
+    unsharded run.
+    """
+    if uniform_mask is not None and variable_masks is not None:
+        raise ValueError(
+            "give either uniform_mask or variable_masks, not both"
+        )
+    from repro.trace.columnar import load_npz
+
+    path = str(trace_path)
+    shard_count = max(
+        1,
+        min(
+            shards if shards is not None else max(workers, 1),
+            geometry.sets,
+        ),
+    )
+    kernel_name = (
+        backends.active_backend()
+        if kernel is None
+        else backends.resolve_backend(kernel)
+    )
+    if workers <= 1 or shard_count == 1:
+        return simulate_columnar_sharded(
+            load_npz(path, mmap=True),
+            geometry,
+            shards=shard_count,
+            chunk_accesses=chunk_accesses,
+            uniform_mask=uniform_mask,
+            variable_masks=variable_masks,
+            default_mask=default_mask,
+            kernel=kernel_name,
+        )
+    payloads = [
+        (
+            path,
+            geometry,
+            shard,
+            shard_count,
+            chunk_accesses,
+            uniform_mask,
+            dict(variable_masks) if variable_masks is not None else None,
+            default_mask,
+            kernel_name,
+        )
+        for shard in range(shard_count)
+    ]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        counts = list(pool.map(_simulate_npz_shard, payloads))
+    total = sum(count[0] for count in counts)
+    hits = sum(count[1] for count in counts)
+    bypasses = sum(count[2] for count in counts)
+    return FastSimResult(
+        hits=hits, misses=total - hits, bypasses=bypasses
+    )

@@ -12,6 +12,14 @@ A :class:`SweepSpec` enumerates the cartesian product of axis values
 over a base parameter set — the declarative
 (workload x geometry x assignment/policy) enumeration the experiments
 submit instead of hand-rolled nested loops.
+
+The content hash also folds in the **active kernel backend**
+(:func:`repro.sim.engine.backends.active_backend`): results computed
+by the numpy and compiled lockstep kernels are defined to be
+bit-identical, but cache entries must never silently vouch for a
+backend that did not actually produce them — a cache hit under
+``REPRO_KERNEL=compiled`` proves the compiled kernel ran, which is
+what the perf gate and the differential oracle rely on.
 """
 
 from __future__ import annotations
@@ -23,8 +31,10 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
+from repro.sim.engine import backends
+
 #: Bump when result semantics change to invalidate old disk caches.
-CACHE_FORMAT_VERSION = 1
+CACHE_FORMAT_VERSION = 2
 
 
 def _canonical(value: Any) -> Any:
@@ -108,10 +118,17 @@ class SimJob:
     label: str = ""
 
     def content_hash(self) -> str:
-        """Stable digest identifying this job's result."""
+        """Stable digest identifying this job's result.
+
+        Covers (format version, kernel backend, runner, params): jobs
+        executed under different kernel backends hash differently, so
+        :class:`~repro.sim.engine.cache.ResultCache` entries never
+        cross-hit between backends.
+        """
         payload = canonical_json(
             {
                 "version": CACHE_FORMAT_VERSION,
+                "kernel": backends.active_backend(),
                 "runner": runner_path(self.runner),
                 "params": dict(self.params),
             }

@@ -19,7 +19,9 @@ through a (standard, full-mask) cache and prints hit/miss totals;
 ``.npz`` on-disk format (or dinero, by extension); ``replay`` streams
 a recorded ``.npz``/dinero trace through the vectorized lockstep
 cache, memory-mapping ``.npz`` archives so arbitrarily long traces
-replay at a flat footprint; ``profile`` dumps the planner-facing
+replay at a flat footprint (``--kernel`` selects the lockstep
+backend; ``--shards``/``--workers`` partition one replay by cache-set
+index over processes, merging tallies bit-identically); ``profile`` dumps the planner-facing
 per-variable profile (counts, density, lifetime) of a recorded
 ``.npz``/dinero trace — the bridge that lets externally captured
 traces feed the layout planner.
@@ -156,22 +158,49 @@ def _cmd_record(args: argparse.Namespace) -> int:
 
 def _cmd_replay(args: argparse.Namespace) -> int:
     from repro.sim.engine.batched import LockstepCache
+    from repro.sim.engine.sharded import (
+        simulate_columnar_sharded,
+        simulate_npz_sharded,
+    )
 
-    trace = _load_any(args.trace, mmap=not args.no_mmap)
     geometry = CacheGeometry.from_sizes(
         args.size, line_size=args.line_size, columns=args.columns
     )
-    cache = LockstepCache(geometry)
-    start = time.perf_counter()
-    # Stream bounded windows: a memory-mapped archive replays at a
-    # flat footprint however long the trace is.
-    for window in trace.iter_chunks(args.chunk_size):
-        cache.run(
-            window.blocks_for(geometry.offset_bits),
-            uniform_mask=args.mask,
-        )
-    elapsed = time.perf_counter() - start
-    result = cache.result()
+    if args.shards is not None or args.workers > 1:
+        start = time.perf_counter()
+        if args.trace.endswith(".npz"):
+            result = simulate_npz_sharded(
+                args.trace,
+                geometry,
+                shards=args.shards,
+                workers=args.workers,
+                chunk_accesses=args.chunk_size,
+                uniform_mask=args.mask,
+                kernel=args.kernel,
+            )
+        else:
+            result = simulate_columnar_sharded(
+                _load_any(args.trace),
+                geometry,
+                shards=args.shards,
+                chunk_accesses=args.chunk_size,
+                uniform_mask=args.mask,
+                kernel=args.kernel,
+            )
+        elapsed = time.perf_counter() - start
+    else:
+        trace = _load_any(args.trace, mmap=not args.no_mmap)
+        cache = LockstepCache(geometry, backend=args.kernel)
+        start = time.perf_counter()
+        # Stream bounded windows: a memory-mapped archive replays at
+        # a flat footprint however long the trace is.
+        for window in trace.iter_chunks(args.chunk_size):
+            cache.run(
+                window.blocks_for(geometry.offset_bits),
+                uniform_mask=args.mask,
+            )
+        elapsed = time.perf_counter() - start
+        result = cache.result()
     print(f"cache: {geometry}")
     print(
         f"accesses={result.accesses} hits={result.hits} "
@@ -300,6 +329,22 @@ def main(
     replay.add_argument(
         "--no-mmap", action="store_true",
         help="load .npz eagerly instead of memory-mapping",
+    )
+    replay.add_argument(
+        "--kernel",
+        choices=("auto", "numpy", "compiled"),
+        default=None,
+        help="lockstep kernel backend (default: REPRO_KERNEL or auto)",
+    )
+    replay.add_argument(
+        "--shards", type=int, default=None,
+        help="partition this replay across N cache-set shards "
+        "(tallies merge bit-identically)",
+    )
+    replay.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for a sharded .npz replay; each "
+        "streams its shard off its own memory map",
     )
     replay.set_defaults(handler=_cmd_replay)
 

@@ -16,6 +16,9 @@ Strategies:
   evictions within short traces.
 * :func:`block_trace_cases` — (geometry, blocks, mask_bits) triples
   with skewed block distributions and occasional empty masks.
+* :func:`sharded_replay_cases` — (geometry, trace, shards, chunk)
+  draws whose shard counts and chunk sizes bracket the degenerate
+  boundaries of the set-sharded single-point simulators.
 * :func:`random_workload` — a memory map + interleaved trace over
   2-5 variables plus a (scratchpad, split) layout draw, as used by
   the executor equivalence suite.
@@ -73,6 +76,20 @@ def record_suite_case(
     return make_workload(name, **kwargs).record()
 
 
+def suite_variable_masks(trace: Trace, columns: int) -> dict[str, int]:
+    """The per-variable mask assignment behind :func:`suite_mask_bits`.
+
+    Exposed separately so runners that accept ``variable_masks``
+    mappings (the set-sharded single-point simulators) can be driven
+    with exactly the masks the per-access oracles used.
+    """
+    full = (1 << columns) - 1
+    return {
+        variable: MASK_PALETTE[index % len(MASK_PALETTE)] & full
+        for index, variable in enumerate(trace.variables())
+    }
+
+
 def suite_mask_bits(trace: Trace, columns: int) -> np.ndarray:
     """Deterministic per-access masks: palette rotated per variable.
 
@@ -80,11 +97,9 @@ def suite_mask_bits(trace: Trace, columns: int) -> np.ndarray:
     modulo the cache's column count so small geometries stay valid.
     """
     full = (1 << columns) - 1
-    variable_masks = {
-        variable: MASK_PALETTE[index % len(MASK_PALETTE)] & full
-        for index, variable in enumerate(trace.variables())
-    }
-    return trace.mask_bits_for(variable_masks, default=full)
+    return trace.mask_bits_for(
+        suite_variable_masks(trace, columns), default=full
+    )
 
 
 @st.composite
@@ -123,6 +138,43 @@ def block_trace_cases(draw, max_length: int = 400):
         palette[int(rng.integers(0, len(palette)))] for _ in range(length)
     ]
     return geometry, blocks.tolist(), mask_bits
+
+
+@st.composite
+def sharded_replay_cases(draw, max_length: int = 500):
+    """A ``(geometry, trace, shards, chunk_accesses)`` case.
+
+    Drives the set-sharded single-point simulators: shard counts
+    deliberately bracket the set count (1, ``sets - 1``, ``sets``,
+    ``sets + 3`` — degenerate partitions a merge bug would hide in)
+    and chunk sizes bracket the trace length (1, ``len - 1``,
+    ``len``, ``len + 1`` plus a mid-trace splitter), so every
+    chunk-boundary alignment the streaming path can see is produced.
+    The merged tallies must equal the unsharded run on every draw.
+    """
+    geometry = draw(small_geometries())
+    length = draw(st.integers(2, max_length))
+    seed = draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(seed)
+    span = geometry.total_lines * draw(st.sampled_from([1, 2, 4]))
+    addresses = (
+        rng.integers(0, max(span, 2), length).astype(np.int64)
+        * geometry.line_size
+    )
+    trace = Trace.from_columns(addresses, name="sharded-case")
+    sets = geometry.sets
+    shards = draw(
+        st.sampled_from(sorted({1, max(sets - 1, 1), sets, sets + 3}))
+    )
+    chunk = draw(
+        st.sampled_from(
+            sorted(
+                {1, max(length - 1, 1), length, length + 1,
+                 max(length // 3, 1)}
+            )
+        )
+    )
+    return geometry, trace, shards, chunk
 
 
 @st.composite

@@ -2,9 +2,10 @@
 
 Random traces and geometries drive the reference
 :class:`~repro.cache.column_cache.ColumnCache`, the scalar
-:class:`~repro.cache.fastsim.FastColumnCache`, the lockstep kernel and
-the set-sharded runner; the *per-access* hit and bypass streams (not
-just totals) must be bit-identical.  The adaptive runtime joins the
+:class:`~repro.cache.fastsim.FastColumnCache`, the numpy lockstep
+kernel, the on-demand-compiled C kernel (skip-marked when no system
+compiler is usable) and the set-sharded runners; the *per-access* hit
+and bypass streams (not just totals) must be bit-identical.  The adaptive runtime joins the
 triangle at the system level: the fast windowed executor and a live
 remap replay through the full TLB/tint/replacement mechanism must
 agree hit-for-hit and cycle-for-cycle.
@@ -31,13 +32,17 @@ from repro.fleet import (
 from repro.layout.algorithm import LayoutConfig
 from repro.runtime import AdaptiveConfig, AdaptiveExecutor, replay_reference
 from repro.sim.config import TimingConfig
+from repro.sim.engine.backends import compiled_available
 from repro.sim.engine.batched import (
     LockstepCache,
     LockstepState,
     batched_simulate,
     lockstep_run,
 )
-from repro.sim.engine.sharded import simulate_trace_sharded
+from repro.sim.engine.sharded import (
+    simulate_columnar_sharded,
+    simulate_trace_sharded,
+)
 
 from repro.utils.bitvector import ColumnMask
 
@@ -47,9 +52,17 @@ from strategies import (
     record_suite_case,
     suite_cases,
     suite_mask_bits,
+    suite_variable_masks,
 )
 
 TIMING = TimingConfig(miss_penalty=13, uncached_penalty=29)
+
+#: The compiled C kernel needs a working system compiler; when there is
+#: none the rest of the oracle still runs and these legs skip cleanly.
+requires_compiled = pytest.mark.skipif(
+    not compiled_available(),
+    reason="compiled lockstep kernel unavailable (no usable C compiler)",
+)
 
 
 def reference_streams(geometry, blocks, mask_bits):
@@ -102,6 +115,50 @@ def test_backends_agree_per_access(case):
     assert reference.stats.hits == expected_hits
     assert reference.stats.misses == len(blocks) - expected_hits
     assert reference.stats.bypasses == expected_bypasses
+
+
+@requires_compiled
+@given(case=block_trace_cases())
+def test_compiled_kernel_agrees_per_access(case):
+    """The compiled C kernel joins the matrix: streams, state, misses.
+
+    Per-access hit/bypass flags, the final cache state arrays, and
+    the ``collect="misses"`` position set must all be bit-identical
+    to the numpy lockstep kernel (itself anchored to the reference
+    model above) on every drawn trace.
+    """
+    geometry, blocks, mask_bits = case
+    blocks = np.asarray(blocks, dtype=np.int64)
+    masks = np.asarray(mask_bits, dtype=np.int64)
+    rows = blocks & (geometry.sets - 1)
+    tags = blocks >> geometry.index_bits
+
+    state_numpy = LockstepState.cold(geometry.sets, geometry.columns)
+    numpy_hits, numpy_bypasses = lockstep_run(
+        rows, tags, state_numpy, mask_bits=masks, backend="numpy"
+    )
+    state_compiled = LockstepState.cold(geometry.sets, geometry.columns)
+    compiled_hits, compiled_bypasses = lockstep_run(
+        rows, tags, state_compiled, mask_bits=masks, backend="compiled"
+    )
+    assert np.array_equal(compiled_hits, numpy_hits)
+    assert np.array_equal(compiled_bypasses, numpy_bypasses)
+    assert np.array_equal(state_compiled.tags, state_numpy.tags)
+    assert np.array_equal(state_compiled.last_use, state_numpy.last_use)
+    assert np.array_equal(state_compiled.clock, state_numpy.clock)
+
+    state_misses = LockstepState.cold(geometry.sets, geometry.columns)
+    miss_positions = lockstep_run(
+        rows,
+        tags,
+        state_misses,
+        mask_bits=masks,
+        collect="misses",
+        backend="compiled",
+    )
+    miss_flags = np.zeros(len(blocks), dtype=bool)
+    miss_flags[np.asarray(miss_positions, dtype=np.int64)] = True
+    assert np.array_equal(miss_flags, ~numpy_hits)
 
 
 @given(case=block_trace_cases(), shards=st.integers(1, 3))
@@ -226,6 +283,61 @@ class TestWorkloadSuiteColumnar:
         )
         assert np.array_equal(ref_hits, scalar_hits[prefix])
         assert np.array_equal(ref_bypasses, scalar_bypasses[prefix])
+
+    @requires_compiled
+    def test_compiled_backend_agrees_on_recorded_trace(self, name, kwargs):
+        """Compiled kernel on real workload traces: streams + shards.
+
+        One-shot flags, the stateful :class:`LockstepCache`, and the
+        chunk-streamed set-sharded single-point runner must match the
+        numpy lockstep kernel access-for-access / count-for-count on
+        every recorded suite workload.
+        """
+        geometry = _SUITE_GEOMETRY
+        trace = record_suite_case(name, kwargs).trace
+        blocks = blocks_of(trace, geometry)
+        mask_bits = suite_mask_bits(trace, geometry.columns)
+
+        reference, numpy_hits, numpy_bypasses = batched_simulate(
+            blocks,
+            geometry,
+            mask_bits=mask_bits,
+            return_flags=True,
+            backend="numpy",
+        )
+        compiled, compiled_hits, compiled_bypasses = batched_simulate(
+            blocks,
+            geometry,
+            mask_bits=mask_bits,
+            return_flags=True,
+            backend="compiled",
+        )
+        assert np.array_equal(compiled_hits, numpy_hits)
+        assert np.array_equal(compiled_bypasses, numpy_bypasses)
+        assert compiled == reference
+
+        stateful = LockstepCache(geometry, backend="compiled")
+        stateful_hits = stateful.run_with_flags(
+            blocks, mask_bits=mask_bits
+        )
+        assert np.array_equal(stateful_hits, numpy_hits)
+
+        # The sharded single-point runner streams chunk windows and
+        # derives masks from variable labels; merged tallies must
+        # equal the one-shot run under both kernels.
+        variable_masks = suite_variable_masks(trace, geometry.columns)
+        for kernel in ("numpy", "compiled"):
+            sharded = simulate_columnar_sharded(
+                trace,
+                geometry,
+                shards=3,
+                chunk_accesses=777,
+                variable_masks=variable_masks,
+                kernel=kernel,
+            )
+            assert sharded.hits == reference.hits, kernel
+            assert sharded.misses == reference.misses, kernel
+            assert sharded.bypasses == reference.bypasses, kernel
 
     def test_fleet_backends_agree_on_workload(self, name, kwargs):
         geometry = CacheGeometry(line_size=16, sets=8, columns=4)
