@@ -49,6 +49,7 @@ DOCUMENTED_PACKAGES = [
     "repro.fleet",
     "repro.inspect",
     "repro.trace",
+    "repro.analysis",
 ]
 
 #: Packages whose *public surface* must be fully docstringed
@@ -58,6 +59,7 @@ STRICT_PACKAGES = (
     "repro.runtime",
     "repro.fleet",
     "repro.inspect",
+    "repro.analysis",
 )
 
 #: Sphinx-style roles validated against the live import graph.

@@ -1,0 +1,61 @@
+"""``repro.analysis``: repo-aware static analysis (``repro lint``).
+
+Generic linters see syntax; this package sees the repo's *contracts*.
+The stack's value proposition is bit-identical reproduction across
+five execution paths, and its worst historical bug classes — a
+dataclass field missing from the cache key, ctypes declarations
+drifting from the C kernel, shared broker state mutated across
+``await`` points — are all statically detectable with a few hundred
+lines of AST work.  ``repro lint`` turns the differential-oracle
+philosophy into a commit-time defense.
+
+The pieces:
+
+* :mod:`~repro.analysis.engine` — one AST walk per module,
+  dispatching nodes to registered rules; inline
+  ``# repro: ignore[RULE] -- reason`` suppressions.
+* :mod:`~repro.analysis.registry` — the :class:`~repro.analysis.registry.Rule`
+  protocol and per-rule metadata (rationale, example, suppression
+  syntax — ``repro lint --explain RULE`` renders it).
+* :mod:`~repro.analysis.rules` — the five built-in rules
+  (R001 determinism, R002 cache-key completeness, R003 FFI drift,
+  R004 await interleaving, R005 env pinning).
+* :mod:`~repro.analysis.cparse` — the tiny C-prototype parser behind
+  R003.
+* :mod:`~repro.analysis.findings` — findings, fingerprints, and the
+  checked-in baseline for grandfathered debt.
+* :mod:`~repro.analysis.formats` — text / JSON / SARIF renderers.
+* :mod:`~repro.analysis.cli` — the ``repro lint`` entry point and
+  its exit-code semantics (0 clean, 1 findings, 2 usage error).
+
+Typical library use::
+
+    from pathlib import Path
+    from repro.analysis import analyze_paths
+
+    report = analyze_paths([Path("src/repro")], root=Path("."))
+    for finding in report.findings:
+        print(finding.render())
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import (
+    AnalysisReport,
+    analyze_module,
+    analyze_paths,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, RuleMeta
+from repro.analysis.rules import default_rules, rule_catalog
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "Rule",
+    "RuleMeta",
+    "analyze_module",
+    "analyze_paths",
+    "default_rules",
+    "rule_catalog",
+]

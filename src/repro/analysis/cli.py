@@ -1,0 +1,218 @@
+"""The ``repro lint`` command: run the analysis, gate on findings.
+
+Usage::
+
+    repro lint                          # analyze src/repro, text out
+    repro lint --format sarif --output repro-lint.sarif
+    repro lint --explain R003           # a rule's rationale + syntax
+    repro lint --list-rules
+    repro lint --write-baseline         # grandfather current findings
+
+Exit codes carry the gate semantics CI relies on:
+
+* ``0`` — clean (no findings beyond the baseline);
+* ``1`` — at least one non-baselined finding;
+* ``2`` — usage or internal error (argparse's own convention).
+
+The baseline (``.repro-lint-baseline.json`` at the repo root) matches
+findings by content fingerprint, not line number, so unrelated edits
+never resurrect a grandfathered finding; intentional violations
+belong in inline ``# repro: ignore[RULE] -- reason`` suppressions,
+not the baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence, TextIO
+
+from repro.analysis.engine import analyze_paths
+from repro.analysis.findings import (
+    BASELINE_NAME,
+    load_baseline,
+    partition_baseline,
+    write_baseline,
+)
+from repro.analysis.formats import (
+    render_json,
+    render_sarif,
+    render_text,
+)
+from repro.analysis.rules import default_rules, rule_catalog
+
+_FORMATS = ("text", "json", "sarif")
+
+
+def repo_root() -> Path:
+    """The repository root, derived from this package's location."""
+    # src/repro/analysis/cli.py -> repo root is four levels up.
+    return Path(__file__).resolve().parents[3]
+
+
+def build_parser(prog: str = "repro lint") -> argparse.ArgumentParser:
+    """The ``lint`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description=(
+            "Repo-aware static analysis: determinism, cache-key "
+            "completeness, FFI drift, await interleaving, env "
+            "pinning."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to analyze "
+        "(default: src/repro under the repo root)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=_FORMATS,
+        default="text",
+        help="output format (default text)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the report here instead of stdout",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=f"baseline file (default <repo>/{BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="RULE",
+        default=None,
+        help="print a rule's rationale, an example finding, and the "
+        "suppression syntax (e.g. --explain R003)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list every rule with its one-line summary",
+    )
+    return parser
+
+
+def explain_rule(rule_id: str, out: TextIO) -> int:
+    """Print one rule's full story; exit 2 for unknown ids."""
+    catalog = rule_catalog()
+    rule = catalog.get(rule_id.strip().upper())
+    if rule is None:
+        known = ", ".join(sorted(catalog))
+        print(
+            f"unknown rule {rule_id!r}; known rules: {known}",
+            file=sys.stderr,
+        )
+        return 2
+    meta = rule.meta
+    print(f"{meta.id} ({meta.name}): {meta.summary}", file=out)
+    print(file=out)
+    print(f"Why it exists:\n  {meta.rationale}", file=out)
+    print(file=out)
+    print(f"Example finding:\n  {meta.example}", file=out)
+    print(file=out)
+    print(
+        "Suppression (inline, with a reason — baselines are for "
+        f"grandfathered debt only):\n  {meta.suppression}",
+        file=out,
+    )
+    return 0
+
+
+def list_rules(out: TextIO) -> int:
+    """Print the rule catalog, one line per rule."""
+    for rule_id, rule in sorted(rule_catalog().items()):
+        print(f"{rule_id}  {rule.meta.name:<20} {rule.meta.summary}",
+              file=out)
+    return 0
+
+
+def main(
+    argv: Optional[Sequence[str]] = None, prog: str = "repro lint"
+) -> int:
+    """Run ``repro lint``; returns a process exit code."""
+    arguments = build_parser(prog).parse_args(argv)
+    if arguments.explain is not None:
+        return explain_rule(arguments.explain, sys.stdout)
+    if arguments.list_rules:
+        return list_rules(sys.stdout)
+
+    root = repo_root()
+    paths = list(arguments.paths) or [root / "src" / "repro"]
+    missing = [path for path in paths if not path.exists()]
+    if missing:
+        for path in missing:
+            print(f"no such path: {path}", file=sys.stderr)
+        return 2
+    report = analyze_paths(paths, root=root, rules=default_rules())
+
+    baseline_path = (
+        arguments.baseline
+        if arguments.baseline is not None
+        else root / BASELINE_NAME
+    )
+    if arguments.write_baseline:
+        write_baseline(baseline_path, list(report.findings))
+        print(
+            f"wrote {len(report.findings)} finding(s) to "
+            f"{baseline_path}"
+        )
+        return 0
+    baseline = (
+        {} if arguments.no_baseline else load_baseline(baseline_path)
+    )
+    new, grandfathered = partition_baseline(
+        list(report.findings), baseline
+    )
+
+    if arguments.format == "text":
+        rendered = render_text(
+            new, report.files, report.suppressed, len(grandfathered)
+        )
+    elif arguments.format == "json":
+        rendered = render_json(
+            new, report.files, report.suppressed, len(grandfathered)
+        )
+    else:
+        rendered = render_sarif(
+            new,
+            {
+                rule_id: rule.meta
+                for rule_id, rule in rule_catalog().items()
+            },
+        )
+    if arguments.output is not None:
+        arguments.output.write_text(
+            rendered + "\n", encoding="utf-8"
+        )
+        print(
+            f"{len(new)} finding(s); report written to "
+            f"{arguments.output}"
+        )
+    else:
+        print(rendered)
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,371 @@
+"""A tiny C-prototype parser for FFI drift checking (rule R003).
+
+The compiled lockstep kernel (``_lockstep.c``) exports a handful of
+plain-C functions marked with the ``API`` visibility macro; the ctypes
+wrapper (``_compiled.py``) mirrors each signature by hand in its
+``argtypes``/``restype`` declarations.  Nothing ties the two together
+at build time — an argument added to the C side silently shifts every
+later parameter on the Python side.  This module parses just enough C
+to compare them:
+
+* :func:`parse_prototypes` extracts exported function definitions
+  (name, return type, parameter list) from C source,
+* :func:`expected_ctype` maps a C parameter declaration onto the
+  ctypes class the wrapper must declare (all pointers cross the FFI
+  as ``c_void_p`` raw addresses in this codebase),
+* :func:`extract_ctypes_declarations` reads the wrapper's AST for
+  ``lib.<name>.argtypes``/``restype`` assignments, resolving local
+  aliases like ``i64 = ctypes.c_int64``,
+* :func:`compare_declarations` reports one drift record per function
+  whose declaration disagrees with its prototype.
+
+The grammar understood is deliberately small: top-level functions
+with scalar/pointer parameters, ``const``/``restrict`` qualifiers,
+line and block comments.  That is exactly what a ctypes-wrapped
+kernel can express, so anything fancier *should* fail loudly.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+#: Exported-function marker in the kernel source.
+API_MARKER = "API"
+
+#: C scalar types -> the ctypes class the wrapper must declare.
+SCALAR_CTYPES = {
+    "int64_t": "c_int64",
+    "uint64_t": "c_uint64",
+    "int32_t": "c_int32",
+    "uint32_t": "c_uint32",
+    "int16_t": "c_int16",
+    "uint16_t": "c_uint16",
+    "int8_t": "c_int8",
+    "uint8_t": "c_uint8",
+    "int": "c_int",
+    "double": "c_double",
+    "float": "c_float",
+}
+
+_COMMENT_PATTERN = re.compile(
+    r"/\*.*?\*/|//[^\n]*", flags=re.DOTALL
+)
+
+#: ``API <return type>\n<name>(<params>)`` with arbitrary whitespace.
+_PROTOTYPE_PATTERN = re.compile(
+    rf"\b{API_MARKER}\s+(?P<ret>[A-Za-z_][A-Za-z0-9_\s\*]*?)\s*"
+    r"\b(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*\((?P<params>[^)]*)\)",
+    flags=re.DOTALL,
+)
+
+
+@dataclass(frozen=True)
+class CParam:
+    """One parsed C parameter.
+
+    Attributes:
+        declaration: The raw text, normalized to single spaces.
+        ctype: The ctypes class name the wrapper must use
+            (``"c_void_p"`` for any pointer), or None when the type
+            is outside the supported grammar.
+    """
+
+    declaration: str
+    ctype: Optional[str]
+
+
+@dataclass(frozen=True)
+class CPrototype:
+    """One exported C function signature.
+
+    Attributes:
+        name: Function name as exported.
+        return_type: Raw return type text (``"void"`` for none).
+        params: Parsed parameters, in order.
+        line: 1-based line of the definition in the C source.
+    """
+
+    name: str
+    return_type: str
+    params: tuple[CParam, ...]
+    line: int
+
+    @property
+    def expected_restype(self) -> Optional[str]:
+        """ctypes restype the wrapper must declare (None = void)."""
+        return expected_ctype(self.return_type)
+
+
+def expected_ctype(declaration: str) -> Optional[str]:
+    """The ctypes class a C declaration must map to.
+
+    Pointers of any pointee type map to ``c_void_p`` (the wrapper
+    passes raw ``ndarray.ctypes.data`` addresses); ``void`` maps to
+    None (a void return / no restype).  Unknown scalar types return
+    None as well — callers treat that as "outside the grammar".
+    """
+    text = declaration.replace("*", " * ")
+    tokens = [
+        token
+        for token in text.split()
+        if token not in ("const", "restrict", "volatile")
+    ]
+    # Drop the trailing parameter name, if any: the last token that
+    # is a plain identifier but not a known type keyword.
+    if "*" in tokens:
+        return "c_void_p"
+    if not tokens:
+        return None
+    if tokens and tokens[-1] not in SCALAR_CTYPES and tokens[-1] != "void":
+        tokens = tokens[:-1]
+    if tokens == ["void"]:
+        return None
+    if len(tokens) == 1:
+        return SCALAR_CTYPES.get(tokens[0])
+    return None
+
+
+def parse_prototypes(source: str) -> list[CPrototype]:
+    """Extract every ``API``-marked function signature from C source.
+
+    Comments are stripped (with newlines preserved, so reported line
+    numbers stay true) before matching; parameters are split on
+    commas, which is sound for the supported grammar (no function
+    pointers, no array-of-pointer declarators).
+    """
+    stripped = _COMMENT_PATTERN.sub(
+        lambda match: re.sub(r"[^\n]", " ", match.group(0)), source
+    )
+    prototypes: list[CPrototype] = []
+    for match in _PROTOTYPE_PATTERN.finditer(stripped):
+        raw_params = match.group("params").strip()
+        params: list[CParam] = []
+        if raw_params and raw_params != "void":
+            for chunk in raw_params.split(","):
+                declaration = " ".join(chunk.split())
+                params.append(
+                    CParam(
+                        declaration=declaration,
+                        ctype=expected_ctype(declaration),
+                    )
+                )
+        line = stripped.count("\n", 0, match.start("name")) + 1
+        prototypes.append(
+            CPrototype(
+                name=match.group("name"),
+                return_type=" ".join(match.group("ret").split()),
+                params=tuple(params),
+                line=line,
+            )
+        )
+    return prototypes
+
+
+@dataclass(frozen=True)
+class CtypesDeclaration:
+    """One ``lib.<name>`` declaration found in wrapper source.
+
+    Attributes:
+        name: The foreign function's name.
+        argtypes: Resolved ctypes class names, in order (None slots
+            mark expressions the extractor could not resolve).
+        restype: Resolved restype class name (None = declared None).
+        line: 1-based line of the ``argtypes`` assignment (or the
+            ``restype`` one when argtypes was never declared).
+    """
+
+    name: str
+    argtypes: tuple[Optional[str], ...]
+    restype: Optional[str]
+    line: int
+
+
+def _resolve_ctype(
+    node: ast.expr, aliases: Mapping[str, str]
+) -> Optional[str]:
+    """A ctypes class name from ``ctypes.c_int64`` / alias / None."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return aliases.get(node.id, node.id)
+    if isinstance(node, ast.Constant) and node.value is None:
+        return None
+    return None
+
+
+def _function_target(node: ast.expr) -> Optional[tuple[str, str]]:
+    """Match ``<lib>.<function>.<argtypes|restype>`` targets."""
+    if not isinstance(node, ast.Attribute):
+        return None
+    if node.attr not in ("argtypes", "restype"):
+        return None
+    inner = node.value
+    if isinstance(inner, ast.Attribute) and isinstance(
+        inner.value, ast.Name
+    ):
+        return inner.attr, node.attr
+    return None
+
+
+def extract_ctypes_declarations(
+    tree: ast.AST,
+) -> dict[str, CtypesDeclaration]:
+    """All ``lib.<fn>.argtypes``/``restype`` declarations in a tree.
+
+    Local aliases (``i64 = ctypes.c_int64``) are resolved through
+    simple assignment tracking, which covers the idiom the wrapper
+    uses; an unresolvable entry surfaces as a None slot and fails the
+    comparison loudly rather than silently passing.
+    """
+    aliases: dict[str, str] = {}
+    argtypes: dict[str, tuple[tuple[Optional[str], ...], int]] = {}
+    restypes: dict[str, tuple[Optional[str], int]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if isinstance(target, ast.Name) and isinstance(
+            node.value, ast.Attribute
+        ):
+            aliases[target.id] = node.value.attr
+            continue
+        matched = _function_target(target)
+        if matched is None:
+            continue
+        function_name, attribute = matched
+        if attribute == "argtypes":
+            if isinstance(node.value, (ast.List, ast.Tuple)):
+                resolved = tuple(
+                    _resolve_ctype(element, aliases)
+                    for element in node.value.elts
+                )
+            else:
+                resolved = ()
+            argtypes[function_name] = (resolved, node.lineno)
+        else:
+            restypes[function_name] = (
+                _resolve_ctype(node.value, aliases),
+                node.lineno,
+            )
+    declarations: dict[str, CtypesDeclaration] = {}
+    for name in sorted(set(argtypes) | set(restypes)):
+        arg_entry = argtypes.get(name)
+        res_entry = restypes.get(name)
+        declarations[name] = CtypesDeclaration(
+            name=name,
+            argtypes=arg_entry[0] if arg_entry else (),
+            restype=res_entry[0] if res_entry else None,
+            line=arg_entry[1] if arg_entry else res_entry[1],  # type: ignore[index]
+        )
+    return declarations
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One function whose declaration disagrees with its prototype.
+
+    Attributes:
+        name: The drifted function.
+        line: Wrapper-side line to anchor the finding at.
+        details: Human-readable mismatch descriptions (one drifted
+            function produces exactly one finding, however many
+            positions disagree, so a swapped pair is one report).
+    """
+
+    name: str
+    line: int
+    details: tuple[str, ...]
+
+    def message(self) -> str:
+        """The finding message for this drift."""
+        return (
+            f"ctypes declaration of {self.name}() drifted from its "
+            f"C prototype: " + "; ".join(self.details)
+        )
+
+
+def compare_declarations(
+    prototypes: Sequence[CPrototype],
+    declarations: Mapping[str, CtypesDeclaration],
+) -> list[Drift]:
+    """Cross-check C prototypes against ctypes declarations.
+
+    Returns one :class:`Drift` per disagreeing function: missing or
+    extra declarations, arity mismatches, per-position type
+    mismatches, and restype mismatches.  Agreeing functions produce
+    nothing.
+    """
+    drifts: list[Drift] = []
+    by_name = {prototype.name: prototype for prototype in prototypes}
+    for prototype in prototypes:
+        declaration = declarations.get(prototype.name)
+        if declaration is None:
+            drifts.append(
+                Drift(
+                    name=prototype.name,
+                    line=1,
+                    details=(
+                        "exported by the C source but never declared "
+                        "in the wrapper",
+                    ),
+                )
+            )
+            continue
+        details: list[str] = []
+        expected = [param.ctype for param in prototype.params]
+        if any(ctype is None for ctype in expected):
+            unsupported = [
+                param.declaration
+                for param in prototype.params
+                if param.ctype is None
+            ]
+            details.append(
+                "C parameter(s) outside the supported grammar: "
+                + ", ".join(unsupported)
+            )
+        elif len(expected) != len(declaration.argtypes):
+            details.append(
+                f"arity mismatch: C takes {len(expected)} "
+                f"argument(s), argtypes declares "
+                f"{len(declaration.argtypes)}"
+            )
+        else:
+            for index, (want, got) in enumerate(
+                zip(expected, declaration.argtypes)
+            ):
+                if want != got:
+                    param = prototype.params[index].declaration
+                    details.append(
+                        f"argument {index} ({param}) expects "
+                        f"{want}, argtypes declares {got}"
+                    )
+        want_restype = prototype.expected_restype
+        if want_restype != declaration.restype:
+            details.append(
+                f"restype mismatch: C returns "
+                f"{prototype.return_type!r} ({want_restype}), "
+                f"wrapper declares {declaration.restype}"
+            )
+        if details:
+            drifts.append(
+                Drift(
+                    name=prototype.name,
+                    line=declaration.line,
+                    details=tuple(details),
+                )
+            )
+    for name in sorted(set(declarations) - set(by_name)):
+        drifts.append(
+            Drift(
+                name=name,
+                line=declarations[name].line,
+                details=(
+                    "declared in the wrapper but not exported by "
+                    "any sibling C source",
+                ),
+            )
+        )
+    return drifts

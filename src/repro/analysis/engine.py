@@ -1,0 +1,212 @@
+"""The analysis engine: one AST walk, rule dispatch, suppression.
+
+:func:`analyze_paths` is the entry point: it collects ``.py`` files,
+parses each one once, and performs a single recursive traversal per
+module, dispatching nodes to the rules whose ``interests`` match.
+Findings pass through the module's inline suppressions
+(:class:`~repro.analysis.findings.Suppressions`) before they are
+returned; baseline filtering is the caller's concern (the CLI and the
+self-check test apply it).
+
+The walk order is evaluation-order-aware where it matters: the
+operand of an ``await`` is traversed *before* the ``Await`` node
+itself is dispatched, so a rule observing the event stream (R004) sees
+reads that happen before the suspension point in their true order.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.findings import (
+    Finding,
+    Suppressions,
+    filter_suppressed,
+)
+from repro.analysis.registry import Rule
+
+_FUNCTION_NODES = (
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.ClassDef,
+    ast.Lambda,
+)
+
+
+@dataclass
+class ModuleContext:
+    """Everything rules know about the module being analyzed.
+
+    Attributes:
+        path: Absolute path of the source file (fixture modules made
+            from strings use a synthetic path).
+        relpath: Repo-relative POSIX path — what findings report and
+            what path-scoped checks match against.
+        tree: The parsed module.
+        lines: Raw source lines (1-based access via ``lines[n - 1]``).
+        findings: Accumulates findings during the walk.
+    """
+
+    path: Path
+    relpath: str
+    tree: ast.Module
+    lines: Sequence[str]
+    findings: list[Finding] = field(default_factory=list)
+
+    def report(
+        self,
+        rule: str,
+        node: ast.AST,
+        message: str,
+        line: Optional[int] = None,
+    ) -> None:
+        """Record one finding anchored at ``node`` (or ``line``)."""
+        self.findings.append(
+            Finding(
+                rule=rule,
+                path=self.relpath,
+                line=line if line is not None else node.lineno,
+                column=getattr(node, "col_offset", 0) + 1,
+                message=message,
+            )
+        )
+
+
+class _Walker:
+    """One evaluation-ordered traversal dispatching to the rules."""
+
+    def __init__(
+        self, rules: Sequence[Rule], ctx: ModuleContext
+    ) -> None:
+        self.ctx = ctx
+        self.stack: list[ast.AST] = []
+        self._dispatch: dict[type, list[Rule]] = {}
+        for rule in rules:
+            for node_type in rule.interests:
+                self._dispatch.setdefault(node_type, []).append(rule)
+
+    def walk(self, node: ast.AST) -> None:
+        """Visit ``node`` then its children, awaits operand-first."""
+        for rule in self._dispatch.get(type(node), ()):
+            rule.visit(self.ctx, node, tuple(self.stack))
+        is_scope = isinstance(node, _FUNCTION_NODES)
+        if is_scope:
+            self.stack.append(node)
+        try:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.Await):
+                    # Evaluation order: the awaited operand's reads
+                    # happen before the coroutine suspends.
+                    self.walk(child.value)
+                    for rule in self._dispatch.get(ast.Await, ()):
+                        rule.visit(
+                            self.ctx, child, tuple(self.stack)
+                        )
+                else:
+                    self.walk(child)
+        finally:
+            if is_scope:
+                self.stack.pop()
+
+
+def analyze_module(
+    source: str,
+    relpath: str,
+    rules: Sequence[Rule],
+    path: Optional[Path] = None,
+) -> tuple[list[Finding], int]:
+    """Analyze one module's source; returns (findings, suppressed).
+
+    ``relpath`` drives path-scoped checks and appears in findings;
+    ``path`` (when the module really lives on disk) lets file-pair
+    rules like R003 find sibling artifacts.
+    """
+    tree = ast.parse(source, filename=relpath)
+    lines = source.splitlines()
+    ctx = ModuleContext(
+        path=path if path is not None else Path(relpath),
+        relpath=relpath,
+        tree=tree,
+        lines=lines,
+    )
+    for rule in rules:
+        rule.start_module(ctx)
+    walker = _Walker(rules, ctx)
+    walker.walk(tree)
+    for rule in rules:
+        rule.finish_module(ctx)
+    ctx.findings.sort(key=lambda f: (f.line, f.column, f.rule))
+    return filter_suppressed(ctx.findings, Suppressions(lines))
+
+
+def iter_python_files(paths: Iterable[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            out.update(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            out.add(path)
+    return sorted(out)
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """The outcome of one analysis run.
+
+    Attributes:
+        findings: Active findings (suppressions already applied),
+            sorted by (path, line, column, rule).
+        files: Number of modules analyzed.
+        suppressed: Findings silenced by inline suppressions.
+    """
+
+    findings: tuple[Finding, ...]
+    files: int
+    suppressed: int
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+    root: Path,
+    rules: Optional[Sequence[Rule]] = None,
+) -> AnalysisReport:
+    """Analyze every ``.py`` file under ``paths``.
+
+    Args:
+        paths: Files or directories to analyze.
+        root: Repo root; findings report paths relative to it.
+        rules: Rule instances (default: a fresh
+            :func:`repro.analysis.rules.default_rules` set).
+    """
+    if rules is None:
+        from repro.analysis.rules import default_rules
+
+        rules = default_rules()
+    findings: list[Finding] = []
+    suppressed = 0
+    files = iter_python_files(paths)
+    for file_path in files:
+        try:
+            relpath = file_path.resolve().relative_to(
+                root.resolve()
+            ).as_posix()
+        except ValueError:
+            relpath = file_path.as_posix()
+        kept, dropped = analyze_module(
+            file_path.read_text(encoding="utf-8"),
+            relpath,
+            rules,
+            path=file_path,
+        )
+        findings.extend(kept)
+        suppressed += dropped
+    findings.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
+    return AnalysisReport(
+        findings=tuple(findings),
+        files=len(files),
+        suppressed=suppressed,
+    )

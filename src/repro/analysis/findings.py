@@ -1,0 +1,186 @@
+"""Findings, inline suppressions, and the checked-in baseline.
+
+A :class:`Finding` is one rule violation at one source location.  Two
+escape hatches keep the lint gate honest without blocking work:
+
+* **Inline suppression** — ``# repro: ignore[R001] -- reason`` on the
+  offending line (or on its own line immediately above) silences that
+  rule there.  The reason string is mandatory by convention: a
+  suppression documents a *decision*, not an annoyance.
+* **Baseline** — a checked-in JSON file of grandfathered findings
+  (:func:`load_baseline` / :func:`write_baseline`).  Baselined
+  findings do not fail the gate, but new ones do, so the tree can be
+  ratcheted clean without a flag-day fix.
+
+Baseline entries match by :meth:`Finding.fingerprint` — rule, path and
+message, deliberately *not* the line number, so unrelated edits that
+shift a grandfathered finding up or down do not break the gate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+#: Inline suppression syntax: ``# repro: ignore[R001] -- reason`` or
+#: ``# repro: ignore[R001, R004] -- reason`` (the reason is mandatory
+#: by convention; the self-check test enforces it).
+SUPPRESSION_PATTERN = re.compile(
+    r"#\s*repro:\s*ignore\[([A-Z0-9,\s]+)\]"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        rule: Rule identifier (``"R001"`` .. ``"R005"``).
+        path: Repo-relative POSIX path of the offending file.
+        line: 1-based line of the finding.
+        column: 1-based column of the finding.
+        message: Human-readable description of the violation.
+    """
+
+    rule: str
+    path: str
+    line: int
+    column: int
+    message: str
+
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching.
+
+        Hashes (rule, path, message) but *not* the line number, so a
+        baselined finding survives unrelated edits that move it.
+        """
+        payload = f"{self.rule}|{self.path}|{self.message}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def render(self) -> str:
+        """The classic one-line compiler format."""
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.rule} {self.message}"
+        )
+
+
+class Suppressions:
+    """Per-file map of suppressed (line, rule) pairs.
+
+    Built once per module from its raw source lines; a suppression
+    comment covers the line it shares with code, or — when it stands
+    alone — the next line below it.
+    """
+
+    def __init__(self, lines: Sequence[str]) -> None:
+        self._by_line: dict[int, set[str]] = {}
+        for number, text in enumerate(lines, start=1):
+            match = SUPPRESSION_PATTERN.search(text)
+            if match is None:
+                continue
+            rules = {
+                part.strip()
+                for part in match.group(1).split(",")
+                if part.strip()
+            }
+            code = text[: match.start()].strip()
+            target = number if code else number + 1
+            self._by_line.setdefault(target, set()).update(rules)
+
+    def covers(self, line: int, rule: str) -> bool:
+        """True when ``rule`` is suppressed on ``line``."""
+        return rule in self._by_line.get(line, ())
+
+    def __len__(self) -> int:
+        return sum(len(rules) for rules in self._by_line.values())
+
+
+def filter_suppressed(
+    findings: Iterable[Finding], suppressions: Suppressions
+) -> tuple[list[Finding], int]:
+    """Split findings into (kept, suppressed-count) for one module."""
+    kept: list[Finding] = []
+    dropped = 0
+    for finding in findings:
+        if suppressions.covers(finding.line, finding.rule):
+            dropped += 1
+        else:
+            kept.append(finding)
+    return kept, dropped
+
+
+#: Default baseline location, relative to the repo root.
+BASELINE_NAME = ".repro-lint-baseline.json"
+
+
+def load_baseline(path: Path) -> dict[str, Mapping[str, str]]:
+    """Load a baseline file; ``{}`` when it does not exist.
+
+    Returns a mapping from :meth:`Finding.fingerprint` to the stored
+    entry (rule/path/message plus an optional ``justification``).
+    """
+    if not path.is_file():
+        return {}
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("version") != 1:
+        raise ValueError(
+            f"unsupported baseline version in {path}: "
+            f"{payload.get('version')!r}"
+        )
+    entries: dict[str, Mapping[str, str]] = {}
+    for entry in payload.get("findings", []):
+        finding = Finding(
+            rule=entry["rule"],
+            path=entry["path"],
+            line=0,
+            column=0,
+            message=entry["message"],
+        )
+        entries[finding.fingerprint()] = entry
+    return entries
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Write the current findings as the new baseline.
+
+    Entries are sorted (path, rule, message) so the file diffs
+    cleanly; a ``justification`` field may be added by hand afterward
+    (it is preserved only until the next ``--write-baseline``).
+    """
+    entries = sorted(
+        (
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "message": finding.message,
+            }
+            for finding in findings
+        ),
+        key=lambda entry: (
+            entry["path"], entry["rule"], entry["message"]
+        ),
+    )
+    payload = {"version": 1, "findings": entries}
+    path.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def partition_baseline(
+    findings: Sequence[Finding],
+    baseline: Mapping[str, Mapping[str, str]],
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into (new, baselined) against a baseline map."""
+    new: list[Finding] = []
+    grandfathered: list[Finding] = []
+    for finding in findings:
+        if finding.fingerprint() in baseline:
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    return new, grandfathered

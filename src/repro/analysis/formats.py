@@ -1,0 +1,146 @@
+"""Render analysis reports as text, JSON, or SARIF.
+
+Three audiences, three formats:
+
+* ``text`` — the classic ``path:line:col: RULE message`` lines plus a
+  summary, for humans and CI logs;
+* ``json`` — a stable machine-readable envelope for scripting;
+* ``sarif`` — SARIF 2.1.0, the interchange format code-scanning UIs
+  ingest (the ``lint-analysis`` CI job uploads this artifact so
+  findings annotate pull requests).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping, Sequence
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import RuleMeta
+
+#: SARIF schema pinned by the renderer.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render_text(
+    findings: Sequence[Finding],
+    files: int,
+    suppressed: int,
+    baselined: int,
+) -> str:
+    """One line per finding plus a summary tail."""
+    lines = [finding.render() for finding in findings]
+    summary = (
+        f"{len(findings)} finding(s) in {files} file(s)"
+        f" ({suppressed} suppressed inline, {baselined} baselined)"
+    )
+    lines.append(summary if lines else f"clean: {summary}")
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding],
+    files: int,
+    suppressed: int,
+    baselined: int,
+) -> str:
+    """A stable machine-readable envelope."""
+    return json.dumps(
+        {
+            "version": 1,
+            "files": files,
+            "suppressed": suppressed,
+            "baselined": baselined,
+            "findings": [
+                {
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "line": finding.line,
+                    "column": finding.column,
+                    "message": finding.message,
+                    "fingerprint": finding.fingerprint(),
+                }
+                for finding in findings
+            ],
+        },
+        indent=2,
+    )
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    rules: Mapping[str, RuleMeta],
+) -> str:
+    """SARIF 2.1.0 for code-scanning ingestion.
+
+    Every registered rule is described in the tool metadata (so UIs
+    can show rationale even for rules with no current findings);
+    each finding becomes one ``result`` with a physical location.
+    """
+    driver_rules = [
+        {
+            "id": meta.id,
+            "name": meta.name,
+            "shortDescription": {"text": meta.summary},
+            "fullDescription": {"text": meta.rationale},
+            "help": {
+                "text": (
+                    f"{meta.rationale}\n\nSuppress with: "
+                    f"{meta.suppression}"
+                )
+            },
+            "defaultConfiguration": {"level": "error"},
+        }
+        for meta in sorted(rules.values(), key=lambda meta: meta.id)
+    ]
+    results = [
+        {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "partialFingerprints": {
+                "reproLint/v1": finding.fingerprint()
+            },
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.column,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://example.invalid/column-cache-repro"
+                        ),
+                        "rules": driver_rules,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": "file:///"}
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2)

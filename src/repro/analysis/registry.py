@@ -1,0 +1,84 @@
+"""The rule protocol and registry.
+
+A rule is a small object with :class:`RuleMeta` metadata and visitor
+hooks the single-walk engine (:mod:`repro.analysis.engine`) dispatches
+to.  Rules never walk the whole tree themselves — they declare the
+node types they care about and receive exactly those nodes, in source
+order, during the engine's one traversal.  (A rule *may* run a local
+sub-walk of a node it received — R004 analyzes the body of each async
+function it is handed — but never a second pass over the module.)
+
+To add a rule:
+
+1. Subclass :class:`Rule`, set ``meta`` (id, name, rationale, an
+   example finding for ``repro lint --explain``).
+2. Declare ``interests`` — the :mod:`ast` node classes to receive —
+   and implement :meth:`Rule.visit`; or hook
+   :meth:`Rule.finish_module` for whole-module checks.
+3. Register it in :func:`default_rules`
+   (:mod:`repro.analysis.rules`) and add positive/negative fixture
+   tests in ``tests/test_analysis_rules.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.engine import ModuleContext
+
+
+@dataclass(frozen=True)
+class RuleMeta:
+    """Static metadata describing one rule.
+
+    Attributes:
+        id: Stable identifier (``"R001"``).
+        name: Short kebab-case name (``"determinism"``).
+        summary: One-line description shown in listings.
+        rationale: Why the rule exists — which bug class it prevents,
+            in this repo specifically.
+        example: A representative finding message, shown by
+            ``repro lint --explain``.
+    """
+
+    id: str
+    name: str
+    summary: str
+    rationale: str
+    example: str
+
+    @property
+    def suppression(self) -> str:
+        """The inline suppression syntax for this rule."""
+        return f"# repro: ignore[{self.id}] -- <reason>"
+
+
+class Rule:
+    """Base class for analysis rules (see module docstring)."""
+
+    #: Static metadata; every concrete rule must override this.
+    meta: RuleMeta
+
+    #: AST node classes this rule wants :meth:`visit` called for.
+    interests: tuple[type[ast.AST], ...] = ()
+
+    def start_module(self, ctx: "ModuleContext") -> None:
+        """Hook called before the engine walks a module."""
+
+    def visit(
+        self,
+        ctx: "ModuleContext",
+        node: ast.AST,
+        stack: Sequence[ast.AST],
+    ) -> None:
+        """Hook called for each node matching :attr:`interests`.
+
+        ``stack`` is the chain of enclosing function/class definition
+        nodes, outermost first (empty at module level).
+        """
+
+    def finish_module(self, ctx: "ModuleContext") -> None:
+        """Hook called after the engine finished walking a module."""

@@ -1,0 +1,59 @@
+"""The built-in rule set.
+
+Five repo-aware rules, each encoding one bug class this codebase has
+actually hit (or is structurally exposed to):
+
+========  ===================  =========================================
+ id        name                 guards against
+========  ===================  =========================================
+ R001      determinism          unseeded RNG, wall-clock reads in
+                                simulation paths, set-iteration order
+ R002      cache-key            dataclass fields that never reach
+                                ``content_hash()`` (the PR 8 bug)
+ R003      ffi-drift            ctypes declarations drifting from the
+                                C kernel's real signatures
+ R004      await-interleaving   stale shared-state reads across
+                                ``await`` in the fleet service
+ R005      env-pinning          process pools spawned without pinning
+                                behavior-selecting env vars
+========  ===================  =========================================
+
+:func:`default_rules` builds a fresh instance of each (rules are
+stateful per-module, so analyses must not share instances across
+concurrent runs).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.registry import Rule
+from repro.analysis.rules.cache_key import CacheKeyCompleteness
+from repro.analysis.rules.determinism import Determinism
+from repro.analysis.rules.env_pinning import EnvPinning
+from repro.analysis.rules.ffi_drift import FfiDrift
+from repro.analysis.rules.interleaving import AwaitInterleaving
+
+__all__ = [
+    "AwaitInterleaving",
+    "CacheKeyCompleteness",
+    "Determinism",
+    "EnvPinning",
+    "FfiDrift",
+    "default_rules",
+    "rule_catalog",
+]
+
+
+def default_rules() -> list[Rule]:
+    """Fresh instances of every built-in rule, id order."""
+    return [
+        Determinism(),
+        CacheKeyCompleteness(),
+        FfiDrift(),
+        AwaitInterleaving(),
+        EnvPinning(),
+    ]
+
+
+def rule_catalog() -> dict[str, Rule]:
+    """The built-in rules keyed by rule id (``"R001"`` ...)."""
+    return {rule.meta.id: rule for rule in default_rules()}

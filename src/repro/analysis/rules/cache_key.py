@@ -1,0 +1,132 @@
+"""R002: cache-key completeness — every field reaches content_hash.
+
+PR 8's worst bug: :class:`~repro.sim.engine.spec.SimJob` gained
+kernel-backend-dependent results, but ``content_hash()`` still hashed
+only (runner, params) — so the :class:`ResultCache` happily served a
+numpy-kernel result to a compiled-kernel run.  The runtime fix was to
+fold the backend into the hash; the *structural* fix is this rule:
+any ``@dataclass`` that defines a ``content_hash`` method must
+reference **every** field inside it (as ``self.<field>``), so a field
+added later cannot silently stay outside the cache key.
+
+Fields that are genuinely display-only (``SimJob.label``) are
+excluded with an inline ``# repro: ignore[R002] -- reason`` on the
+field's line — the exclusion is then a visible, justified decision
+next to the field itself, exactly where the next editor will look.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Sequence
+
+from repro.analysis.engine import ModuleContext
+from repro.analysis.registry import Rule, RuleMeta
+
+_DATACLASS_NAMES = ("dataclass",)
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    """True when the class carries a ``@dataclass`` decorator."""
+    for decorator in node.decorator_list:
+        target = decorator
+        if isinstance(target, ast.Call):
+            target = target.func
+        if isinstance(target, ast.Attribute):
+            if target.attr in _DATACLASS_NAMES:
+                return True
+        elif isinstance(target, ast.Name):
+            if target.id in _DATACLASS_NAMES:
+                return True
+    return False
+
+
+def _field_names(node: ast.ClassDef) -> list[tuple[str, ast.AnnAssign]]:
+    """Annotated dataclass fields, skipping ClassVar declarations."""
+    fields: list[tuple[str, ast.AnnAssign]] = []
+    for statement in node.body:
+        if not isinstance(statement, ast.AnnAssign):
+            continue
+        if not isinstance(statement.target, ast.Name):
+            continue
+        annotation = ast.dump(statement.annotation)
+        if "ClassVar" in annotation:
+            continue
+        fields.append((statement.target.id, statement))
+    return fields
+
+
+def _hash_method(node: ast.ClassDef) -> ast.FunctionDef | None:
+    """The class's ``content_hash`` method, when defined."""
+    for statement in node.body:
+        if (
+            isinstance(statement, ast.FunctionDef)
+            and statement.name == "content_hash"
+        ):
+            return statement
+    return None
+
+
+def _self_attributes(function: ast.FunctionDef) -> set[str]:
+    """Every ``self.<name>`` attribute referenced in a method."""
+    names: set[str] = set()
+    for node in ast.walk(function):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            names.add(node.attr)
+    return names
+
+
+class CacheKeyCompleteness(Rule):
+    """Flag dataclass fields missing from ``content_hash()``."""
+
+    meta = RuleMeta(
+        id="R002",
+        name="cache-key",
+        summary=(
+            "every dataclass field must flow into the class's "
+            "content_hash()"
+        ),
+        rationale=(
+            "A content-addressed ResultCache is only sound if the "
+            "hash covers everything that changes the result.  A "
+            "field outside the hash means two different jobs share "
+            "one cache entry — the exact cross-kernel cache-serving "
+            "bug PR 8 had to retrofit away."
+        ),
+        example=(
+            "dataclass field 'kernel' of SimJob does not flow into "
+            "content_hash(); hash it or justify its exclusion with "
+            "an inline suppression"
+        ),
+    )
+
+    interests = (ast.ClassDef,)
+
+    def visit(
+        self,
+        ctx: ModuleContext,
+        node: ast.AST,
+        stack: Sequence[ast.AST],
+    ) -> None:
+        """Check one class: dataclass + content_hash => audit fields."""
+        assert isinstance(node, ast.ClassDef)
+        if not _is_dataclass(node):
+            return
+        method = _hash_method(node)
+        if method is None:
+            return
+        referenced = _self_attributes(method)
+        for name, statement in _field_names(node):
+            if name not in referenced:
+                ctx.report(
+                    self.meta.id,
+                    statement,
+                    f"dataclass field {name!r} of {node.name} does "
+                    "not flow into content_hash(); a result cache "
+                    "keyed by this hash will cross-serve jobs that "
+                    "differ only in this field",
+                )

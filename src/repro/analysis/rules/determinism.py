@@ -1,0 +1,240 @@
+"""R001: determinism — no ambient randomness or wall-clock in results.
+
+Every execution path in this repo is defined to be bit-identical to
+its references; the differential oracle enforces that at runtime, and
+this rule enforces the preconditions at commit time:
+
+* **Unseeded module-level RNG** (``random.choice(...)``,
+  ``np.random.shuffle(...)``) draws from interpreter-global state —
+  results then depend on import order and whatever ran before.
+  Seeded generator objects (``random.Random(seed)``,
+  ``np.random.default_rng(seed)``, ``SeedSequence``) are the
+  sanctioned alternative and are never flagged.
+* **Wall-clock reads** (``time.time()``, ``time.perf_counter()``,
+  ``datetime.now()``) inside the simulation paths (``sim/``,
+  ``fleet/``, ``runtime/``) smuggle host timing into layers that are
+  specified to run on the virtual instruction clock.  Timing
+  *telemetry* is legitimate — suppress those sites inline with a
+  reason.
+* **Set iteration** feeding loops or comprehensions
+  (``for x in set(...)``) orders by hash seed; a merge or report fed
+  from it differs between interpreter launches.  Wrap in
+  ``sorted(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional, Sequence, Union
+
+from repro.analysis.engine import ModuleContext
+from repro.analysis.registry import Rule, RuleMeta
+
+#: Module-level :mod:`random` functions that draw global state.
+RANDOM_FUNCTIONS = frozenset(
+    {
+        "betavariate", "choice", "choices", "expovariate", "gauss",
+        "getrandbits", "normalvariate", "paretovariate", "randbytes",
+        "randint", "random", "randrange", "sample", "seed",
+        "shuffle", "triangular", "uniform", "vonmisesvariate",
+    }
+)
+
+#: Legacy ``numpy.random`` module functions backed by the global
+#: ``RandomState`` (``default_rng``/``SeedSequence``/``Generator``
+#: are deliberately absent — they are the fix, not the bug).
+NUMPY_RANDOM_FUNCTIONS = frozenset(
+    {
+        "choice", "exponential", "normal", "permutation", "poisson",
+        "rand", "randint", "randn", "random", "random_sample",
+        "ranf", "seed", "shuffle", "standard_normal", "uniform",
+    }
+)
+
+#: ``(module, attribute)`` calls that read the host clock.
+WALL_CLOCK_FUNCTIONS = frozenset(
+    {
+        ("time", "time"),
+        ("time", "time_ns"),
+        ("time", "perf_counter"),
+        ("time", "perf_counter_ns"),
+        ("time", "monotonic"),
+        ("time", "monotonic_ns"),
+        ("time", "process_time"),
+    }
+)
+
+#: ``datetime``-ish constructors that read the host clock.
+DATETIME_FUNCTIONS = frozenset({"now", "utcnow", "today"})
+
+#: Path fragments whose modules must run on the virtual clock.
+CLOCKED_PATHS = ("/sim/", "/fleet/", "/runtime/")
+
+
+def _is_clocked_path(relpath: str) -> bool:
+    """True when wall-clock reads are banned in this module."""
+    return any(fragment in f"/{relpath}" for fragment in CLOCKED_PATHS)
+
+
+class Determinism(Rule):
+    """Flag ambient randomness, wall-clock reads, set iteration."""
+
+    meta = RuleMeta(
+        id="R001",
+        name="determinism",
+        summary=(
+            "no unseeded RNG, wall-clock reads in simulation paths, "
+            "or set-iteration order dependence"
+        ),
+        rationale=(
+            "The repo's contract is bit-identical reproduction "
+            "across five execution paths; any ambient-state read "
+            "(global RNG, host clock, hash-seeded set order) breaks "
+            "it in ways the differential oracle only catches at "
+            "runtime, on the lucky host."
+        ),
+        example=(
+            "call to random.shuffle() draws from the global RNG; "
+            "use a seeded random.Random(seed) instance"
+        ),
+    )
+
+    interests = (
+        ast.Import,
+        ast.ImportFrom,
+        ast.Call,
+        ast.For,
+        ast.comprehension,
+    )
+
+    def __init__(self) -> None:
+        self._module_aliases: dict[str, str] = {}
+
+    def start_module(self, ctx: ModuleContext) -> None:
+        """Reset the per-module import-alias map."""
+        self._module_aliases = {}
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def visit(
+        self,
+        ctx: ModuleContext,
+        node: ast.AST,
+        stack: Sequence[ast.AST],
+    ) -> None:
+        """Record imports; check calls and iteration sites."""
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                self._module_aliases[
+                    alias.asname or alias.name.partition(".")[0]
+                ] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.module in ("numpy", "datetime"):
+                for alias in node.names:
+                    self._module_aliases[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+        elif isinstance(node, ast.Call):
+            self._check_call(ctx, node)
+        elif isinstance(node, ast.For):
+            self._check_iteration(ctx, node.iter)
+        elif isinstance(node, ast.comprehension):
+            self._check_iteration(ctx, node.iter)
+
+    # ------------------------------------------------------------------
+    # Checks
+    # ------------------------------------------------------------------
+    def _resolve_chain(self, node: ast.expr) -> Optional[str]:
+        """Dotted name of an attribute chain, aliases resolved."""
+        parts: list[str] = []
+        current: ast.expr = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        root = self._module_aliases.get(current.id, current.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def _check_call(self, ctx: ModuleContext, node: ast.Call) -> None:
+        """Flag global-RNG and wall-clock calls."""
+        chain = (
+            self._resolve_chain(node.func)
+            if isinstance(node.func, ast.Attribute)
+            else None
+        )
+        if chain is None:
+            return
+        parts = chain.split(".")
+        if (
+            len(parts) == 2
+            and parts[0] == "random"
+            and parts[1] in RANDOM_FUNCTIONS
+        ):
+            ctx.report(
+                self.meta.id,
+                node,
+                f"call to random.{parts[1]}() draws from the "
+                "process-global RNG; use a seeded "
+                "random.Random(seed) instance",
+            )
+            return
+        if (
+            len(parts) == 3
+            and parts[0] == "numpy"
+            and parts[1] == "random"
+            and parts[2] in NUMPY_RANDOM_FUNCTIONS
+        ):
+            ctx.report(
+                self.meta.id,
+                node,
+                f"call to numpy.random.{parts[2]}() draws from the "
+                "global RandomState; use "
+                "numpy.random.default_rng(seed)",
+            )
+            return
+        if not _is_clocked_path(ctx.relpath):
+            return
+        if tuple(parts) in WALL_CLOCK_FUNCTIONS:
+            ctx.report(
+                self.meta.id,
+                node,
+                f"wall-clock read {'.'.join(parts)}() in a "
+                "virtual-clock path; simulation layers must derive "
+                "time from the instruction clock (suppress with a "
+                "reason if this is pure telemetry)",
+            )
+            return
+        if (
+            parts[-1] in DATETIME_FUNCTIONS
+            and parts[0].startswith("datetime")
+        ):
+            ctx.report(
+                self.meta.id,
+                node,
+                f"wall-clock read {'.'.join(parts)}() in a "
+                "virtual-clock path; simulation layers must derive "
+                "time from the instruction clock",
+            )
+
+    def _check_iteration(
+        self,
+        ctx: ModuleContext,
+        iterable: Union[ast.expr, ast.AST],
+    ) -> None:
+        """Flag loops whose iterable is an unordered set."""
+        is_set = isinstance(iterable, (ast.Set, ast.SetComp)) or (
+            isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Name)
+            and iterable.func.id in ("set", "frozenset")
+        )
+        if is_set:
+            ctx.report(
+                self.meta.id,
+                iterable,
+                "iterating a set: element order depends on hash "
+                "seeding and can differ between interpreter "
+                "launches; wrap in sorted(...)",
+            )

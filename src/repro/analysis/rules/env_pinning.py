@@ -1,0 +1,141 @@
+"""R005: env pinning — worker processes must inherit resolved env.
+
+Process-pool workers re-import the world.  Anything the parent
+resolved at runtime — most importantly the kernel backend, where
+``set_backend()`` overrides live in *process* state, not the
+environment — silently re-resolves in each worker from whatever
+``os.environ`` happens to say.  A parent running
+``set_backend("numpy")`` under ``REPRO_KERNEL=auto`` would hash jobs
+as numpy while its workers simulate compiled: the content-addressed
+cache then vouches for results the named kernel never produced.
+
+The rule flags every ``ProcessPoolExecutor(...)`` construction whose
+enclosing function does not first pin the resolved backend into the
+environment (an ``os.environ[...]`` assignment whose key is
+``REPRO_KERNEL`` — literally or via
+:data:`repro.sim.engine.backends.KERNEL_ENV`).  The same reasoning
+applies to any behavior-selecting variable a worker consults
+(``HYPOTHESIS_PROFILE`` in test-support helpers); pinning either
+recognized key before the spawn satisfies the rule.  Pools whose
+workers provably never touch the kernel (scalar reference paths)
+suppress inline with a reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Sequence
+
+from repro.analysis.engine import ModuleContext
+from repro.analysis.registry import Rule, RuleMeta
+
+#: Environment keys whose assignment counts as pinning.
+PINNED_KEYS = frozenset({"REPRO_KERNEL", "HYPOTHESIS_PROFILE"})
+
+#: Attribute names that resolve to a recognized key
+#: (``backends.KERNEL_ENV`` is the canonical spelling).
+PINNED_KEY_ATTRIBUTES = frozenset({"KERNEL_ENV"})
+
+
+def _is_environ_subscript(node: ast.expr) -> bool:
+    """Match ``os.environ[...]`` / ``environ[...]`` targets."""
+    if not isinstance(node, ast.Subscript):
+        return False
+    value = node.value
+    if isinstance(value, ast.Attribute):
+        return value.attr == "environ"
+    if isinstance(value, ast.Name):
+        return value.id == "environ"
+    return False
+
+
+def _is_recognized_key(node: ast.expr) -> bool:
+    """True when a subscript key names a pinned env variable."""
+    if isinstance(node, ast.Constant):
+        return node.value in PINNED_KEYS
+    if isinstance(node, ast.Attribute):
+        return node.attr in PINNED_KEY_ATTRIBUTES
+    if isinstance(node, ast.Name):
+        return node.id in PINNED_KEY_ATTRIBUTES
+    return False
+
+
+def _pins_environment(scope: ast.AST, before_line: int) -> bool:
+    """Any recognized ``os.environ[key] = ...`` before this line?"""
+    for node in ast.walk(scope):
+        if not isinstance(node, ast.Assign):
+            continue
+        if node.lineno >= before_line:
+            continue
+        for target in node.targets:
+            if _is_environ_subscript(target) and _is_recognized_key(
+                target.slice
+            ):
+                return True
+    return False
+
+
+class EnvPinning(Rule):
+    """Flag process-pool spawns that do not pin worker env vars."""
+
+    meta = RuleMeta(
+        id="R005",
+        name="env-pinning",
+        summary=(
+            "ProcessPoolExecutor spawn sites must pin REPRO_KERNEL "
+            "(and other behavior-selecting env vars) into workers"
+        ),
+        rationale=(
+            "Workers re-resolve their kernel backend from the "
+            "environment; runtime set_backend() overrides are "
+            "process state and do not cross the fork/spawn.  An "
+            "unpinned pool can simulate on a different kernel than "
+            "the parent hashed the jobs under, poisoning the "
+            "content-addressed result cache."
+        ),
+        example=(
+            "ProcessPoolExecutor spawned without pinning "
+            "REPRO_KERNEL: assign "
+            "os.environ[backends.KERNEL_ENV] = "
+            "backends.active_backend() before creating the pool"
+        ),
+    )
+
+    interests = (ast.Call,)
+
+    def visit(
+        self,
+        ctx: ModuleContext,
+        node: ast.AST,
+        stack: Sequence[ast.AST],
+    ) -> None:
+        """Check one call site for an unpinned pool construction."""
+        assert isinstance(node, ast.Call)
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name != "ProcessPoolExecutor":
+            return
+        enclosing = [
+            frame
+            for frame in stack
+            if isinstance(
+                frame, (ast.FunctionDef, ast.AsyncFunctionDef)
+            )
+        ]
+        scope: ast.AST = enclosing[-1] if enclosing else ctx.tree
+        if _pins_environment(scope, node.lineno + 1):
+            return
+        ctx.report(
+            self.meta.id,
+            node,
+            "ProcessPoolExecutor spawned without pinning "
+            "REPRO_KERNEL into the worker environment; assign "
+            "os.environ[backends.KERNEL_ENV] = "
+            "backends.active_backend() (or the resolved kernel) "
+            "before creating the pool so workers simulate on the "
+            "backend the parent hashed jobs under",
+        )

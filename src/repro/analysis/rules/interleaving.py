@@ -1,0 +1,236 @@
+"""R004: await interleaving — no stale reads across suspension points.
+
+The fleet daemon (:mod:`repro.fleet.service.daemon`) is cooperative:
+between two ``await`` points, a coroutine owns the world; *across*
+one, any other worker may have admitted, departed, or migrated a
+tenant.  The classic bug is read-check-await-write: a decision made
+from pre-``await`` state applied to post-``await`` state.
+
+Within each ``async def`` in ``fleet/service/`` modules, this rule
+linearizes the body into an event stream of attribute-chain READs,
+WRITEs (assignments, augmented assignments, and mutating method
+calls like ``.append()``/``.clear()``), and AWAIT barriers — in
+evaluation order, the engine traverses an ``await``'s operand before
+the suspension.  A WRITE to a chain whose **last prior READ sits
+before an intervening AWAIT** is flagged: the state that justified
+the write may no longer hold.  Re-reading the chain after the await
+(re-validation) clears the finding, which is why the daemon's
+loop-top re-checks pass without suppressions.
+
+Loop bodies are analyzed linearly (no wrap-around edge): a loop that
+awaits at the bottom and re-reads its state at the top is exactly
+the re-validation pattern this rule wants to encourage.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.engine import ModuleContext
+from repro.analysis.registry import Rule, RuleMeta
+
+#: Method names that mutate their receiver in place.
+MUTATING_METHODS = frozenset(
+    {
+        "add", "append", "clear", "discard", "extend", "insert",
+        "pop", "popitem", "remove", "setdefault", "sort", "update",
+    }
+)
+
+#: Path fragments where the rule applies (async shared-state layers).
+ASYNC_PATHS = ("fleet/service/",)
+
+_READ, _WRITE, _AWAIT = "read", "write", "await"
+
+
+@dataclass(frozen=True)
+class _Event:
+    """One entry in a coroutine's linearized event stream."""
+
+    kind: str
+    chain: Optional[str]
+    node: ast.AST
+
+
+def _chain_of(node: ast.expr) -> Optional[str]:
+    """Dotted chain of an attribute access rooted at a plain name.
+
+    Subscripts are collapsed (``self._pending[i]`` reads chain
+    ``self._pending``); chains not rooted at a name (call results,
+    literals) return None and are not tracked.
+    """
+    parts: list[str] = []
+    current: ast.expr = node
+    while True:
+        if isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        elif isinstance(current, ast.Subscript):
+            current = current.value
+        elif isinstance(current, ast.Name):
+            parts.append(current.id)
+            break
+        else:
+            return None
+    if len(parts) < 2:
+        return None  # bare locals are not shared state
+    return ".".join(reversed(parts))
+
+
+class _EventCollector(ast.NodeVisitor):
+    """Linearize one async function body in evaluation order."""
+
+    def __init__(self) -> None:
+        self.events: list[_Event] = []
+
+    # -- barriers ------------------------------------------------------
+    def visit_Await(self, node: ast.Await) -> None:
+        """Operand first (its reads precede the suspension)."""
+        self.visit(node.value)
+        self.events.append(_Event(_AWAIT, None, node))
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        """Each iteration resumption is a barrier."""
+        self.visit(node.iter)
+        self.events.append(_Event(_AWAIT, None, node))
+        for statement in node.body + node.orelse:
+            self.visit(statement)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        """``__aenter__`` awaits before the body runs."""
+        for item in node.items:
+            self.visit(item.context_expr)
+        self.events.append(_Event(_AWAIT, None, node))
+        for statement in node.body:
+            self.visit(statement)
+
+    # -- writes --------------------------------------------------------
+    def _record_write(self, target: ast.expr, node: ast.AST) -> None:
+        chain = _chain_of(target)
+        if chain is not None:
+            self.events.append(_Event(_WRITE, chain, node))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        """Value reads happen before the target writes."""
+        self.visit(node.value)
+        for target in node.targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                self._record_write(target, node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        """``x += v`` reads then writes x, with no await between."""
+        self.visit(node.value)
+        if isinstance(node.target, (ast.Attribute, ast.Subscript)):
+            chain = _chain_of(node.target)
+            if chain is not None:
+                self.events.append(_Event(_READ, chain, node))
+                self.events.append(_Event(_WRITE, chain, node))
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Mutating method calls write their receiver."""
+        self.generic_visit(node)
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in MUTATING_METHODS
+        ):
+            self._record_write(node.func.value, node)
+
+    # -- reads ---------------------------------------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        """Attribute loads are reads of their full chain."""
+        if isinstance(node.ctx, ast.Load):
+            chain = _chain_of(node)
+            if chain is not None:
+                self.events.append(_Event(_READ, chain, node))
+        self.generic_visit(node.value)
+
+    # Nested function definitions run on their own schedule; their
+    # bodies do not belong in this coroutine's event stream.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        """Skip nested defs."""
+
+    def visit_AsyncFunctionDef(
+        self, node: ast.AsyncFunctionDef
+    ) -> None:
+        """Skip nested async defs."""
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        """Skip lambda bodies."""
+
+
+class AwaitInterleaving(Rule):
+    """Flag read → await → write on one chain without re-validation."""
+
+    meta = RuleMeta(
+        id="R004",
+        name="await-interleaving",
+        summary=(
+            "shared attribute state read before an await must be "
+            "re-read before it is written after the await"
+        ),
+        rationale=(
+            "Between awaits a coroutine owns the daemon's shared "
+            "state; across one, any shard worker may have changed "
+            "it.  A write justified by a pre-await read applies a "
+            "stale decision — the bug class behind lost admissions "
+            "and double-granted columns in async brokers."
+        ),
+        example=(
+            "'self._tasks' is written here, but its last read is "
+            "before an await; re-read it after the suspension "
+            "point or restructure to detach-then-await"
+        ),
+    )
+
+    interests = (ast.AsyncFunctionDef,)
+
+    def visit(
+        self,
+        ctx: ModuleContext,
+        node: ast.AST,
+        stack: Sequence[ast.AST],
+    ) -> None:
+        """Analyze one coroutine's body."""
+        assert isinstance(node, ast.AsyncFunctionDef)
+        if not any(
+            fragment in ctx.relpath for fragment in ASYNC_PATHS
+        ):
+            return
+        collector = _EventCollector()
+        for statement in node.body:
+            collector.visit(statement)
+        events = collector.events
+        await_positions = [
+            index
+            for index, event in enumerate(events)
+            if event.kind == _AWAIT
+        ]
+        if not await_positions:
+            return
+        for index, event in enumerate(events):
+            if event.kind != _WRITE:
+                continue
+            reads = [
+                position
+                for position in range(index)
+                if events[position].kind == _READ
+                and events[position].chain == event.chain
+            ]
+            if not reads:
+                continue  # blind write: no stale justification
+            last_read = max(reads)
+            stale = any(
+                last_read < barrier < index
+                for barrier in await_positions
+            )
+            if stale:
+                ctx.report(
+                    self.meta.id,
+                    event.node,
+                    f"{event.chain!r} is written here, but its last "
+                    "read is before an await: another coroutine may "
+                    "have changed it; re-read it after the "
+                    "suspension point (or detach before awaiting)",
+                )

@@ -8,6 +8,7 @@ One console script fronts every tool in the stack::
     repro experiments all --workers 8 --cache-dir .sweep-cache
     repro serve --quick
     repro fleet top --once --events-out events.npz
+    repro lint --format sarif --output repro-lint.sarif
 
 ``repro trace`` and ``repro experiments`` delegate to the existing
 tool parsers unchanged (every subcommand and flag works exactly as it
@@ -15,7 +16,8 @@ does under ``repro-trace`` / ``repro-experiments``); ``repro serve``
 is a shorthand for ``repro experiments serve`` — the fleet-service
 demonstration is the stack's headline, so it gets a top-level verb.
 ``repro fleet`` hosts the live-inspection tools (currently ``top``,
-the virtual-clock shard monitor).
+the virtual-clock shard monitor); ``repro lint`` runs the repo-aware
+static analysis (:mod:`repro.analysis`).
 
 The legacy entry points remain: the ``repro-trace`` and
 ``repro-experiments`` console scripts, and the ``python -m
@@ -44,9 +46,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "command",
-        choices=["trace", "experiments", "serve", "fleet"],
+        choices=["trace", "experiments", "serve", "fleet", "lint"],
         help="trace tooling, figure experiments, the fleet-service "
-        "demonstration, or the live fleet-inspection tools",
+        "demonstration, the live fleet-inspection tools, or the "
+        "repo-aware static analysis",
     )
     parser.add_argument(
         "rest",
@@ -69,6 +72,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.fleet.service.top import main as fleet_main
 
         return fleet_main(arguments.rest, prog="repro fleet")
+    if arguments.command == "lint":
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(arguments.rest, prog="repro lint")
     return experiments_main(
         ["serve", *arguments.rest], prog="repro experiments"
     )

@@ -244,10 +244,13 @@ class FleetService:
     async def stop(self) -> None:
         """Stop workers; reject whatever is still queued."""
         self._running = False
-        for task in self._tasks:
+        # Detach the task list before awaiting: after the gather any
+        # coroutine may have observed the service as stopped, and the
+        # list must not be re-cleared from stale state.
+        tasks, self._tasks = self._tasks, []
+        for task in tasks:
             task.cancel()
-        await asyncio.gather(*self._tasks, return_exceptions=True)
-        self._tasks = []
+        await asyncio.gather(*tasks, return_exceptions=True)
         for shard_index, pending in enumerate(self._pending):
             for request in pending:
                 self._resolve(
@@ -314,7 +317,7 @@ class FleetService:
         request = _PendingAdmission(
             spec=spec,
             service_instructions=service_instructions,
-            submitted_wall=time.perf_counter(),
+            submitted_wall=time.perf_counter(),  # repro: ignore[R001] -- wall latency is reported telemetry (AdmissionTicket.wall_latency_s), never simulation state
             submitted_virtual=self.virtual_now,
             deadline_virtual=(
                 self.virtual_now + self.config.patience_instructions
@@ -568,7 +571,7 @@ class FleetService:
         admitted: bool,
         reason: str,
     ) -> None:
-        wall = time.perf_counter() - request.submitted_wall
+        wall = time.perf_counter() - request.submitted_wall  # repro: ignore[R001] -- wall latency is reported telemetry, never simulation state
         waited = max(
             self.shards[shard_index].now - request.submitted_virtual, 0
         )

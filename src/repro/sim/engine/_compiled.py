@@ -24,7 +24,10 @@ import subprocess
 import sys
 import tempfile
 from pathlib import Path
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Union
+
+if TYPE_CHECKING:
+    from repro.sim.engine.batched import LockstepState
 
 import numpy as np
 
@@ -198,7 +201,7 @@ def supports(ways: int) -> bool:
     return 1 <= ways <= MAX_COMPILED_WAYS
 
 
-def ensure_state_native(state) -> None:
+def ensure_state_native(state: "LockstepState") -> None:
     """Make a ``LockstepState``'s arrays C-contiguous int64 in place.
 
     States built by :meth:`LockstepState.cold` already are; this
@@ -216,11 +219,11 @@ def ensure_state_native(state) -> None:
 def lockstep_run_compiled(
     rows: np.ndarray,
     tags: np.ndarray,
-    state,
+    state: "LockstepState",
     mask_bits: Optional[np.ndarray],
     uniform_mask: Optional[int],
     collect: str,
-):
+) -> Union[np.ndarray, tuple[np.ndarray, Optional[np.ndarray]]]:
     """Compiled twin of :func:`repro.sim.engine.batched.lockstep_run`.
 
     Arguments are pre-validated by the dispatching wrapper; state
@@ -265,7 +268,7 @@ def lockstep_run_compiled(
 
 def blocks_count_compiled(
     blocks: np.ndarray,
-    state,
+    state: "LockstepState",
     *,
     sets_mask: int,
     index_bits: int,
@@ -341,7 +344,7 @@ def schedule_count_compiled(
     job_lengths: np.ndarray,
     blocks_concat: np.ndarray,
     mask_table: np.ndarray,
-    state,
+    state: "LockstepState",
     *,
     sets_mask: int,
     index_bits: int,

@@ -36,7 +36,7 @@ traces and assert equal per-access outcomes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -604,7 +604,7 @@ class LockstepCache:
         self,
         geometry: CacheGeometry,
         backend: Optional[str] = None,
-    ):
+    ) -> None:
         self.geometry = geometry
         self.sets = geometry.sets
         self.ways = geometry.columns
@@ -639,7 +639,12 @@ class LockstepCache:
         )
         return hit_flags
 
-    def _run(self, blocks, mask_bits, uniform_mask):
+    def _run(
+        self,
+        blocks: np.ndarray | Sequence[int],
+        mask_bits: Optional[np.ndarray | Sequence[int]],
+        uniform_mask: Optional[int],
+    ) -> tuple[FastSimResult, np.ndarray, np.ndarray]:
         blocks = np.ascontiguousarray(blocks, dtype=np.int64)
         masks = (
             None
@@ -684,7 +689,9 @@ def batched_simulate(
     scalar_cutoff: int = DEFAULT_SCALAR_CUTOFF,
     return_flags: bool = False,
     backend: Optional[str] = None,
-):
+) -> Union[
+    FastSimResult, tuple[FastSimResult, np.ndarray, np.ndarray]
+]:
     """One-shot lockstep simulation of a block trace.
 
     Drop-in counterpart of

@@ -35,7 +35,7 @@ class ResultCache:
         self,
         directory: Optional[str | Path] = None,
         max_memory_entries: Optional[int] = None,
-    ):
+    ) -> None:
         if max_memory_entries is not None and max_memory_entries < 1:
             raise ValueError(
                 f"max_memory_entries must be >= 1, got "

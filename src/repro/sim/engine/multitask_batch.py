@@ -60,7 +60,7 @@ DEFAULT_MAX_BATCH_ACCESSES = 64_000_000
 class _BatchJob:
     """Precomputed per-job arrays shared by every sweep point."""
 
-    def __init__(self, job: Job, geometry: CacheGeometry):
+    def __init__(self, job: Job, geometry: CacheGeometry) -> None:
         if len(job.trace) == 0:
             raise ValueError(f"job {job.name!r} has an empty trace")
         blocks = job.trace.blocks_for(
@@ -146,7 +146,7 @@ class _Schedule:
 
     def __init__(
         self, batch_jobs: Sequence[_BatchJob], quantum: int, budget: int
-    ):
+    ) -> None:
         if quantum < 1:
             raise ValueError(f"quantum must be >= 1, got {quantum}")
         if budget < 1:
@@ -276,7 +276,7 @@ class _KernelGroup:
         block_dtype: np.dtype,
         mask_dtype: np.dtype,
         backend: Optional[str] = None,
-    ):
+    ) -> None:
         self.ways = ways
         self.scalar_cutoff = scalar_cutoff
         self.backend = backend

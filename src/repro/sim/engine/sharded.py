@@ -33,9 +33,12 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
-from typing import Mapping, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence, Union
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.trace.columnar import ColumnarTrace
 
 from repro.cache.fastsim import FastColumnCache, FastSimResult
 from repro.cache.geometry import CacheGeometry
@@ -113,7 +116,7 @@ def simulate_trace_sharded(
         if len(shard_positions)
     ]
     if workers > 1 and len(payloads) > 1:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        with ProcessPoolExecutor(max_workers=workers) as pool:  # repro: ignore[R005] -- scalar FastColumnCache workers never consult the kernel backend
             counts = list(pool.map(_simulate_shard, payloads))
     else:
         counts = [_simulate_shard(payload) for payload in payloads]
@@ -133,7 +136,7 @@ DEFAULT_CHUNK_ACCESSES = 1 << 18
 
 
 def _resolve_masks(
-    window,
+    window: "ColumnarTrace",
     geometry: CacheGeometry,
     uniform_mask: Optional[int],
     variable_masks: Optional[Mapping[str, int]],
@@ -151,7 +154,7 @@ def _resolve_masks(
 
 
 def _stream_one_shard(
-    trace,
+    trace: "ColumnarTrace",
     geometry: CacheGeometry,
     shard: int,
     shards: int,
@@ -200,7 +203,7 @@ def _stream_one_shard(
 
 
 def simulate_columnar_sharded(
-    trace,
+    trace: "ColumnarTrace",
     geometry: CacheGeometry,
     *,
     shards: Optional[int] = None,
@@ -395,7 +398,7 @@ def simulate_npz_sharded(
         )
         for shard in range(shard_count)
     ]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    with ProcessPoolExecutor(max_workers=workers) as pool:  # repro: ignore[R005] -- resolved kernel name travels in each shard payload, stronger than env pinning
         counts = list(pool.map(_simulate_npz_shard, payloads))
     total = sum(count[0] for count in counts)
     hits = sum(count[1] for count in counts)

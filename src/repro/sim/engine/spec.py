@@ -115,7 +115,7 @@ class SimJob:
 
     runner: str | Callable[..., Any]
     params: Mapping[str, Any] = field(default_factory=dict)
-    label: str = ""
+    label: str = ""  # repro: ignore[R002] -- display-only name; excluding it lets relabeled sweeps share cached results
 
     def content_hash(self) -> str:
         """Stable digest identifying this job's result.

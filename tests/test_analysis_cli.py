@@ -1,0 +1,162 @@
+"""The ``repro lint`` command surface: formats, explain, exit codes."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main as lint_main
+from repro.cli import main as repro_main
+
+DIRTY_SOURCE = (
+    "import random\n"
+    "\n"
+    "\n"
+    "def pick(items):\n"
+    '    """Draw one item."""\n'
+    "    return random.choice(items)\n"
+)
+
+
+@pytest.fixture
+def dirty_file(tmp_path: Path) -> Path:
+    """A module with one guaranteed R001 finding."""
+    path = tmp_path / "dirty.py"
+    path.write_text(DIRTY_SOURCE, encoding="utf-8")
+    return path
+
+
+class TestExitCodes:
+    """0 clean, 1 findings, 2 usage error."""
+
+    def test_findings_exit_one(self, dirty_file: Path, capsys):
+        """A real finding fails the gate."""
+        code = lint_main(["--no-baseline", str(dirty_file)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "R001" in out
+
+    def test_clean_exit_zero(self, tmp_path: Path, capsys):
+        """An empty tree is clean."""
+        clean = tmp_path / "clean.py"
+        clean.write_text('"""Nothing here."""\n', encoding="utf-8")
+        assert lint_main(["--no-baseline", str(clean)]) == 0
+
+    def test_missing_path_exit_two(self, tmp_path: Path, capsys):
+        """A nonexistent path is a usage error, not 'clean'."""
+        code = lint_main([str(tmp_path / "no_such_dir")])
+        assert code == 2
+
+
+class TestFormats:
+    """text / json / sarif renderings of the same findings."""
+
+    def test_json_envelope(self, dirty_file: Path, capsys):
+        """The JSON format carries findings plus counters."""
+        lint_main(
+            ["--no-baseline", "--format", "json", str(dirty_file)]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["files"] == 1
+        [finding] = payload["findings"]
+        assert finding["rule"] == "R001"
+        assert finding["fingerprint"]
+
+    def test_sarif_run(self, dirty_file: Path, capsys):
+        """SARIF 2.1.0 with rule metadata and one result."""
+        lint_main(
+            ["--no-baseline", "--format", "sarif", str(dirty_file)]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        [run] = payload["runs"]
+        rule_ids = [
+            rule["id"] for rule in run["tool"]["driver"]["rules"]
+        ]
+        assert rule_ids == ["R001", "R002", "R003", "R004", "R005"]
+        [result] = run["results"]
+        assert result["ruleId"] == "R001"
+        assert result["partialFingerprints"]["reproLint/v1"]
+
+    def test_output_file(
+        self, dirty_file: Path, tmp_path: Path, capsys
+    ):
+        """--output writes the report instead of printing it."""
+        target = tmp_path / "report.sarif"
+        code = lint_main(
+            [
+                "--no-baseline",
+                "--format",
+                "sarif",
+                "--output",
+                str(target),
+                str(dirty_file),
+            ]
+        )
+        assert code == 1
+        assert json.loads(target.read_text(encoding="utf-8"))["runs"]
+
+
+class TestBaselineFlow:
+    """--write-baseline grandfathers; the next run passes."""
+
+    def test_write_then_pass(
+        self, dirty_file: Path, tmp_path: Path, capsys
+    ):
+        """Baselined findings no longer fail the gate."""
+        baseline = tmp_path / "baseline.json"
+        assert (
+            lint_main(
+                [
+                    "--baseline",
+                    str(baseline),
+                    "--write-baseline",
+                    str(dirty_file),
+                ]
+            )
+            == 0
+        )
+        assert (
+            lint_main(["--baseline", str(baseline), str(dirty_file)])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "1 baselined" in out
+
+
+class TestExplainAndList:
+    """--explain and --list-rules document the rule set."""
+
+    @pytest.mark.parametrize(
+        "rule", ["R001", "R002", "R003", "R004", "R005"]
+    )
+    def test_explain_known_rule(self, rule: str, capsys):
+        """Each rule explains itself with suppression syntax."""
+        assert lint_main(["--explain", rule]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith(rule)
+        assert "Why it exists:" in out
+        assert f"# repro: ignore[{rule}]" in out
+
+    def test_explain_unknown_rule(self, capsys):
+        """Unknown ids are a usage error listing the catalog."""
+        assert lint_main(["--explain", "R999"]) == 2
+        assert "R001" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        """One line per rule."""
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 5
+
+
+class TestTopLevelVerb:
+    """``repro lint`` dispatches through the umbrella CLI."""
+
+    def test_dispatch(self, capsys):
+        """The top-level command reaches the analysis CLI."""
+        assert repro_main(["lint", "--list-rules"]) == 0
+        assert "R003" in capsys.readouterr().out

@@ -1,0 +1,493 @@
+"""Per-rule positive/negative fixtures for ``repro.analysis``.
+
+Each rule gets at least one fixture that must trigger it and one
+near-miss that must stay silent; the suppression and baseline
+machinery is exercised on top of real findings.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.engine import analyze_module
+from repro.analysis.findings import (
+    Finding,
+    load_baseline,
+    partition_baseline,
+    write_baseline,
+)
+from repro.analysis.rules import default_rules
+from repro.analysis.rules.cache_key import CacheKeyCompleteness
+from repro.analysis.rules.determinism import Determinism
+from repro.analysis.rules.env_pinning import EnvPinning
+from repro.analysis.rules.interleaving import AwaitInterleaving
+
+SIM_PATH = "src/repro/sim/engine/fixture.py"
+FLEET_PATH = "src/repro/fleet/service/fixture.py"
+NEUTRAL_PATH = "src/repro/trace/fixture.py"
+
+
+def run(source: str, relpath: str = SIM_PATH, rules=None):
+    """Analyze dedented fixture source; returns (findings, count)."""
+    findings, suppressed = analyze_module(
+        textwrap.dedent(source),
+        relpath,
+        rules if rules is not None else default_rules(),
+    )
+    return findings, suppressed
+
+
+def rules_of(findings) -> list[str]:
+    """The rule ids of a findings list, in order."""
+    return [finding.rule for finding in findings]
+
+
+# ----------------------------------------------------------------------
+# R001: determinism
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    """Unseeded RNG, wall-clock reads, set iteration."""
+
+    def test_global_random_call_flagged(self):
+        """Module-level random.* draws global state."""
+        findings, _ = run(
+            """
+            import random
+
+            def pick(items):
+                return random.choice(items)
+            """
+        )
+        assert rules_of(findings) == ["R001"]
+        assert "random.choice" in findings[0].message
+
+    def test_seeded_random_instance_clean(self):
+        """A seeded Random instance is the sanctioned pattern."""
+        findings, _ = run(
+            """
+            import random
+
+            def pick(items, seed):
+                rng = random.Random(seed)
+                return rng.choice(items)
+            """
+        )
+        assert findings == []
+
+    def test_numpy_global_rng_flagged_and_default_rng_clean(self):
+        """Legacy np.random.* is flagged; default_rng is the fix."""
+        findings, _ = run(
+            """
+            import numpy as np
+
+            def bad(values):
+                np.random.shuffle(values)
+
+            def good(values, seed):
+                return np.random.default_rng(seed).permutation(values)
+            """
+        )
+        assert rules_of(findings) == ["R001"]
+        assert "numpy.random.shuffle" in findings[0].message
+
+    def test_wall_clock_flagged_in_sim_path_only(self):
+        """perf_counter is banned under sim/, legal elsewhere."""
+        source = """
+            import time
+
+            def stamp():
+                return time.perf_counter()
+            """
+        flagged, _ = run(source, relpath=SIM_PATH)
+        clean, _ = run(source, relpath=NEUTRAL_PATH)
+        assert rules_of(flagged) == ["R001"]
+        assert "wall-clock" in flagged[0].message
+        assert clean == []
+
+    def test_datetime_now_flagged_in_fleet_path(self):
+        """datetime.now() reads the host clock."""
+        findings, _ = run(
+            """
+            from datetime import datetime
+
+            def stamp():
+                return datetime.now()
+            """,
+            relpath=FLEET_PATH,
+        )
+        assert rules_of(findings) == ["R001"]
+
+    def test_set_iteration_flagged(self):
+        """for-over-set and set comprehensions order by hash seed."""
+        findings, _ = run(
+            """
+            def merge(shards):
+                out = []
+                for shard in set(shards):
+                    out.append(shard)
+                return [item for item in {1, 2, 3}] + out
+            """,
+            relpath=NEUTRAL_PATH,
+        )
+        assert rules_of(findings) == ["R001", "R001"]
+
+    def test_sorted_set_iteration_clean(self):
+        """sorted(...) around the set restores a stable order."""
+        findings, _ = run(
+            """
+            def merge(shards):
+                return [shard for shard in sorted(set(shards))]
+            """,
+            relpath=NEUTRAL_PATH,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# R002: cache-key completeness
+# ----------------------------------------------------------------------
+class TestCacheKey:
+    """Every dataclass field must flow into content_hash()."""
+
+    def test_missing_field_flagged(self):
+        """A field absent from content_hash names itself."""
+        findings, _ = run(
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Job:
+                runner: str
+                kernel: str
+
+                def content_hash(self):
+                    return hash(self.runner)
+            """,
+            rules=[CacheKeyCompleteness()],
+        )
+        assert rules_of(findings) == ["R002"]
+        assert "'kernel'" in findings[0].message
+
+    def test_complete_hash_clean(self):
+        """All fields referenced: nothing to report."""
+        findings, _ = run(
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Job:
+                runner: str
+                kernel: str
+
+                def content_hash(self):
+                    return hash((self.runner, self.kernel))
+            """,
+            rules=[CacheKeyCompleteness()],
+        )
+        assert findings == []
+
+    def test_class_without_content_hash_ignored(self):
+        """Only classes that define the contract are audited."""
+        findings, _ = run(
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Plain:
+                value: int
+            """,
+            rules=[CacheKeyCompleteness()],
+        )
+        assert findings == []
+
+    def test_classvar_fields_skipped(self):
+        """ClassVar declarations are not dataclass fields."""
+        findings, _ = run(
+            """
+            from dataclasses import dataclass
+            from typing import ClassVar
+
+            @dataclass
+            class Job:
+                VERSION: ClassVar[int] = 2
+                runner: str
+
+                def content_hash(self):
+                    return hash(self.runner)
+            """,
+            rules=[CacheKeyCompleteness()],
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# R004: await interleaving
+# ----------------------------------------------------------------------
+class TestAwaitInterleaving:
+    """Read -> await -> write without re-validation."""
+
+    def test_stale_write_after_await_flagged(self):
+        """The daemon-stop shape: gather over state, then clear it."""
+        findings, _ = run(
+            """
+            import asyncio
+
+            async def stop(self):
+                await asyncio.gather(*self._tasks)
+                self._tasks = []
+            """,
+            relpath=FLEET_PATH,
+            rules=[AwaitInterleaving()],
+        )
+        assert rules_of(findings) == ["R004"]
+        assert "'self._tasks'" in findings[0].message
+
+    def test_detach_then_await_clean(self):
+        """Detaching before the await removes the stale window."""
+        findings, _ = run(
+            """
+            import asyncio
+
+            async def stop(self):
+                tasks, self._tasks = self._tasks, []
+                await asyncio.gather(*tasks)
+            """,
+            relpath=FLEET_PATH,
+            rules=[AwaitInterleaving()],
+        )
+        assert findings == []
+
+    def test_revalidation_after_await_clean(self):
+        """Re-reading the chain after the await is the fix pattern."""
+        findings, _ = run(
+            """
+            import asyncio
+
+            async def drain(self):
+                backlog = len(self._pending)
+                await asyncio.sleep(0)
+                if self._pending:
+                    self._pending = []
+                return backlog
+            """,
+            relpath=FLEET_PATH,
+            rules=[AwaitInterleaving()],
+        )
+        assert findings == []
+
+    def test_mutating_method_counts_as_write(self):
+        """``.clear()`` after an await is as stale as assignment."""
+        findings, _ = run(
+            """
+            import asyncio
+
+            async def flush(self):
+                count = len(self._queue)
+                await asyncio.sleep(0)
+                self._queue.clear()
+                return count
+            """,
+            relpath=FLEET_PATH,
+            rules=[AwaitInterleaving()],
+        )
+        assert rules_of(findings) == ["R004"]
+
+    def test_rule_scoped_to_fleet_service_paths(self):
+        """The same shape outside fleet/service/ is out of scope."""
+        findings, _ = run(
+            """
+            import asyncio
+
+            async def stop(self):
+                await asyncio.gather(*self._tasks)
+                self._tasks = []
+            """,
+            relpath=SIM_PATH,
+            rules=[AwaitInterleaving()],
+        )
+        assert findings == []
+
+    def test_loop_top_reread_is_revalidation(self):
+        """Await at loop bottom + re-read at loop top stays clean."""
+        findings, _ = run(
+            """
+            import asyncio
+
+            async def worker(self):
+                while True:
+                    if not self._running:
+                        break
+                    self._served += 1
+                    await asyncio.sleep(0)
+            """,
+            relpath=FLEET_PATH,
+            rules=[AwaitInterleaving()],
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# R005: env pinning
+# ----------------------------------------------------------------------
+class TestEnvPinning:
+    """ProcessPoolExecutor spawn sites must pin worker env."""
+
+    def test_unpinned_pool_flagged(self):
+        """No environ assignment before the spawn: flagged."""
+        findings, _ = run(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def fan_out(jobs):
+                with ProcessPoolExecutor(max_workers=4) as pool:
+                    return list(pool.map(len, jobs))
+            """,
+            rules=[EnvPinning()],
+        )
+        assert rules_of(findings) == ["R005"]
+        assert "REPRO_KERNEL" in findings[0].message
+
+    def test_kernel_env_attribute_pin_clean(self):
+        """Pinning via backends.KERNEL_ENV satisfies the rule."""
+        findings, _ = run(
+            """
+            import os
+            from concurrent.futures import ProcessPoolExecutor
+            from repro.sim.engine import backends
+
+            def fan_out(jobs):
+                os.environ[backends.KERNEL_ENV] = backends.active_backend()
+                with ProcessPoolExecutor(max_workers=4) as pool:
+                    return list(pool.map(len, jobs))
+            """,
+            rules=[EnvPinning()],
+        )
+        assert findings == []
+
+    def test_literal_key_pin_clean(self):
+        """A literal REPRO_KERNEL assignment also counts."""
+        findings, _ = run(
+            """
+            import os
+            from concurrent.futures import ProcessPoolExecutor
+
+            def fan_out(jobs, kernel):
+                os.environ["REPRO_KERNEL"] = kernel
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(len, jobs))
+            """,
+            rules=[EnvPinning()],
+        )
+        assert findings == []
+
+    def test_thread_pool_not_flagged(self):
+        """Thread pools share the parent process: out of scope."""
+        findings, _ = run(
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            def fan_out(jobs):
+                with ThreadPoolExecutor() as pool:
+                    return list(pool.map(len, jobs))
+            """,
+            rules=[EnvPinning()],
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Suppressions and baseline
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    """Inline ``# repro: ignore[RULE]`` semantics."""
+
+    def test_same_line_suppression(self):
+        """A trailing comment silences that line's finding."""
+        findings, suppressed = run(
+            """
+            import random
+
+            def pick(items):
+                return random.choice(items)  # repro: ignore[R001] -- fixture
+            """
+        )
+        assert findings == []
+        assert suppressed == 1
+
+    def test_standalone_suppression_covers_next_line(self):
+        """A comment on its own line covers the line below."""
+        findings, suppressed = run(
+            """
+            import random
+
+            def pick(items):
+                # repro: ignore[R001] -- fixture
+                return random.choice(items)
+            """
+        )
+        assert findings == []
+        assert suppressed == 1
+
+    def test_wrong_rule_does_not_suppress(self):
+        """Suppressing R002 does not hide an R001 finding."""
+        findings, suppressed = run(
+            """
+            import random
+
+            def pick(items):
+                return random.choice(items)  # repro: ignore[R002] -- wrong rule
+            """
+        )
+        assert rules_of(findings) == ["R001"]
+        assert suppressed == 0
+
+    def test_multi_rule_suppression(self):
+        """``ignore[R001, R002]`` silences both rules on the line."""
+        findings, suppressed = run(
+            """
+            import random
+
+            def pick(items):
+                return random.choice(items)  # repro: ignore[R001, R002] -- fixture
+            """
+        )
+        assert findings == []
+        assert suppressed == 1
+
+
+class TestBaseline:
+    """Fingerprint-matched grandfathering."""
+
+    def test_round_trip_and_partition(self, tmp_path: Path):
+        """Write, reload, and split new vs grandfathered."""
+        old = Finding(
+            rule="R001", path="src/a.py", line=10, column=1,
+            message="call to random.choice() draws ...",
+        )
+        new = Finding(
+            rule="R005", path="src/b.py", line=3, column=1,
+            message="ProcessPoolExecutor spawned without ...",
+        )
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, [old])
+        baseline = load_baseline(baseline_path)
+        fresh, grandfathered = partition_baseline([old, new], baseline)
+        assert fresh == [new]
+        assert grandfathered == [old]
+
+    def test_fingerprint_survives_line_moves(self):
+        """The fingerprint hashes content, not position."""
+        here = Finding(
+            rule="R001", path="src/a.py", line=10, column=1,
+            message="same message",
+        )
+        moved = Finding(
+            rule="R001", path="src/a.py", line=99, column=5,
+            message="same message",
+        )
+        assert here.fingerprint() == moved.fingerprint()
+
+    def test_missing_baseline_is_empty(self, tmp_path: Path):
+        """No file means no grandfathered findings."""
+        assert load_baseline(tmp_path / "absent.json") == {}

@@ -1,0 +1,88 @@
+"""Tier-1 gate: ``repro lint`` must run clean on this repository.
+
+The analysis subsystem is only honest if the tree it ships in passes
+it.  This suite runs the full rule set over ``src/repro`` exactly as
+the CLI does and fails on any finding that is neither suppressed
+inline (with a reason) nor grandfathered in the checked-in baseline —
+so a regression in determinism, cache-key coverage, FFI sync, await
+discipline, or env pinning fails the ordinary test run, not just CI.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths, default_rules
+from repro.analysis.cli import main as lint_main
+from repro.analysis.findings import (
+    BASELINE_NAME,
+    SUPPRESSION_PATTERN,
+    load_baseline,
+    partition_baseline,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SOURCE_ROOT = REPO_ROOT / "src" / "repro"
+
+
+@pytest.fixture(scope="module")
+def report():
+    """One full-analysis run shared by the checks below."""
+    return analyze_paths(
+        [SOURCE_ROOT], root=REPO_ROOT, rules=default_rules()
+    )
+
+
+def test_source_tree_is_clean(report):
+    """No findings beyond the baseline anywhere under src/repro."""
+    baseline = load_baseline(REPO_ROOT / BASELINE_NAME)
+    new, _ = partition_baseline(list(report.findings), baseline)
+    assert new == [], "\n" + "\n".join(
+        finding.render() for finding in new
+    )
+
+
+def test_analysis_covers_the_tree(report):
+    """The run actually visited the codebase, not an empty glob."""
+    assert report.files > 100
+
+
+def test_baseline_is_empty_or_justified():
+    """Grandfathered debt must carry a written justification."""
+    payload = json.loads(
+        (REPO_ROOT / BASELINE_NAME).read_text(encoding="utf-8")
+    )
+    assert payload["version"] == 1
+    for entry in payload["findings"]:
+        assert entry.get("justification", "").strip(), (
+            f"baseline entry without justification: {entry}"
+        )
+
+
+def test_every_inline_suppression_has_a_reason():
+    """``# repro: ignore[...]`` without ``-- reason`` is a smell."""
+    bare: list[str] = []
+    for path in sorted(SOURCE_ROOT.rglob("*.py")):
+        for number, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            match = SUPPRESSION_PATTERN.search(line)
+            if match is None:
+                continue
+            tail = line[match.end():]
+            if not re.match(r"\s*--\s*\S", tail):
+                bare.append(f"{path.relative_to(REPO_ROOT)}:{number}")
+    assert bare == [], (
+        "suppressions without a reason string: " + ", ".join(bare)
+    )
+
+
+def test_cli_gate_passes(capsys):
+    """The exact CI invocation exits 0 on this tree."""
+    assert lint_main([]) == 0
+    out = capsys.readouterr().out
+    assert "clean:" in out
