@@ -19,9 +19,14 @@ through the sweep engine's batched lockstep hot path — then:
   quick Poisson population with migration enabled — and writes
   ``BENCH_fleet.json`` (sustained admissions/sec, migrations,
   invariant audit counts);
-* with ``--check``, fails if sweep, trace-pipeline, planner or
-  fleet-service throughput regressed more than ``tolerance`` (default
-  30%) against the checked-in baseline
+* runs the fleet hot-path micro-benchmark
+  (:mod:`fleet_hotpath`) — fused quantum-scheduled kernel walks vs
+  the legacy per-quantum-sliced arm, plus batched demand-curve
+  pricing — and merges it into ``BENCH_fleet.json`` under
+  ``"hotpath"``;
+* with ``--check``, fails if sweep, trace-pipeline, planner,
+  fleet-service or fleet hot-path throughput regressed more than
+  ``tolerance`` (default 30%) against the checked-in baseline
   ``benchmarks/perf_baseline.json``, if the batched/serial speedup
   dropped below the baseline's floor, or if the service ever violated
   the disjoint-column invariant (correctness, never tolerance-scaled).
@@ -54,6 +59,9 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import fleet_hotpath  # noqa: E402
 
 from repro.cache.geometry import CacheGeometry  # noqa: E402
 from repro.sim.engine import backends  # noqa: E402
@@ -91,6 +99,13 @@ PRE_ENGINE_PLANS_PER_SEC = 74
 #: pre-columnar rate (an absolute target, never tolerance-scaled —
 #: a numpy-only host falls back to the baseline's numpy floor).
 COMPILED_SWEEP_MIN_SPEEDUP = 10.0
+
+#: Hard floor on the fused fleet walk's advantage over the legacy
+#: per-quantum-sliced arm when the compiled kernel is active.  On
+#: numpy both arms pay the same vectorized kernel cost and fusion only
+#: strips Python slicing overhead (~1.4x), so the floor — like the
+#: sweep's compiled floor — is absolute and compiled-only.
+FLEET_FUSED_MIN_SPEEDUP = 5.0
 
 #: Best-of-N runs for the columnar sweep number (shared/noisy hosts).
 SWEEP_TRIALS = 3
@@ -508,6 +523,35 @@ def check(
                     f"{fleet_report['admissions_per_second']} "
                     f"admissions/s < {floor_value:.1f} admissions/s"
                 )
+        hotpath = fleet_report.get("hotpath")
+        if hotpath is not None:
+            floor_value = baseline.get(
+                "fleet_tenant_instructions_per_sec"
+            )
+            if floor_value is not None:
+                floor_value *= 1.0 - tolerance
+                if (
+                    hotpath["tenant_instructions_per_sec"]
+                    < floor_value
+                ):
+                    failures.append(
+                        f"fleet hot path regressed: "
+                        f"{hotpath['tenant_instructions_per_sec']} "
+                        f"tenant-instructions/s < {floor_value:.0f}/s"
+                    )
+            # Absolute compiled-only floor, like the sweep's: the
+            # fused walk must beat the per-quantum-sliced arm 5x.
+            if hotpath.get("kernel_backend") == "compiled":
+                min_speedup = baseline.get(
+                    "fleet_fused_min_speedup", FLEET_FUSED_MIN_SPEEDUP
+                )
+                if hotpath["fused_vs_legacy_speedup"] < min_speedup:
+                    failures.append(
+                        f"fused fleet walk speedup "
+                        f"{hotpath['fused_vs_legacy_speedup']}x vs "
+                        f"the per-quantum arm fell below the "
+                        f"{min_speedup}x floor"
+                    )
     return failures
 
 
@@ -563,6 +607,7 @@ def main(argv=None) -> int:
     print(f"wrote {PLANNER_OUTPUT_PATH}")
 
     fleet_report = measure_fleet_service()
+    fleet_report["hotpath"] = fleet_hotpath.measure_hotpath()
     FLEET_OUTPUT_PATH.write_text(
         json.dumps(fleet_report, indent=2) + "\n", encoding="utf-8"
     )
@@ -614,6 +659,11 @@ def main(argv=None) -> int:
             "fleet_admissions_per_sec": round(
                 fleet_report["admissions_per_second"] * 0.5, 1
             ),
+            "fleet_tenant_instructions_per_sec": int(
+                fleet_report["hotpath"]["tenant_instructions_per_sec"]
+                * 0.5
+            ),
+            "fleet_fused_min_speedup": FLEET_FUSED_MIN_SPEEDUP,
             "measured_on": {
                 "kernel_backend": report["kernel_backend"],
                 "accesses_per_sec": report["accesses_per_sec"],
@@ -626,6 +676,14 @@ def main(argv=None) -> int:
                 ),
                 "fleet_admissions_per_sec": (
                     fleet_report["admissions_per_second"]
+                ),
+                "fleet_tenant_instructions_per_sec": (
+                    fleet_report["hotpath"][
+                        "tenant_instructions_per_sec"
+                    ]
+                ),
+                "fleet_fused_speedup": (
+                    fleet_report["hotpath"]["fused_vs_legacy_speedup"]
                 ),
                 "python": report["python"],
                 "machine": report["machine"],
@@ -661,7 +719,11 @@ def main(argv=None) -> int:
             f"trace sweep {trace_report['sweep_accesses_per_sec']}/s, "
             f"planner {planner_report['plans_per_sec']} plans/s, "
             f"service {fleet_report['admissions_per_second']} "
-            f"admissions/s"
+            f"admissions/s, hot path "
+            f"{fleet_report['hotpath']['tenant_instructions_per_sec']}"
+            f" tenant-instructions/s "
+            f"({fleet_report['hotpath']['fused_vs_legacy_speedup']}x "
+            f"fused)"
         )
     return 0
 

@@ -39,6 +39,7 @@ from repro.fleet.broker import (
     StaticEqualSplit,
     TintRewrite,
     demand_curve,
+    demand_curves,
 )
 from repro.fleet.executor import (
     FleetConfig,
@@ -77,6 +78,7 @@ __all__ = [
     "WindowSample",
     "WorkloadMixEntry",
     "demand_curve",
+    "demand_curves",
     "generate_fleet_trace",
     "single_tenant_trace",
 ]

@@ -38,7 +38,9 @@ it as :attr:`~repro.fleet.tenant.TenantStatus.REJECTED`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.cache.geometry import CacheGeometry
 from repro.layout.algorithm import LayoutConfig
@@ -50,7 +52,7 @@ from repro.layout.session import (
 )
 from repro.mem.tint import TintTable
 from repro.sim.config import TimingConfig
-from repro.sim.engine.batched import batched_simulate
+from repro.sim.engine.batched import LockstepState, lockstep_run
 from repro.trace.trace import Trace
 from repro.utils.bitvector import ColumnMask
 from repro.workloads.base import WorkloadRun
@@ -114,6 +116,136 @@ class ColumnDemand:
         )
 
 
+def demand_curves(
+    probes: Sequence[tuple[WorkloadRun, Optional[Trace]]],
+    geometry: CacheGeometry,
+    profile_accesses: int = DEFAULT_PROFILE_ACCESSES,
+    session: Optional[PlannerSession] = None,
+) -> list[ColumnDemand]:
+    """Estimate demand curves for a batch of prospective tenants.
+
+    Every probe is a ``(run, window)`` pair — ``window=None`` profiles
+    the run's trace prefix (the admission path), a concrete window
+    profiles the slice that revealed a phase change.  Curves are
+    content-cached on the session
+    (:meth:`~repro.layout.session.PlannerSession.memo_batch`); all
+    cache-missing probes' **measured** curves are then evaluated in
+    *one* lockstep kernel call: a ``c``-column grant behaves exactly
+    like a solo ``c``-way cache with the same sets (fills are
+    restricted to the granted columns and nobody else touches them),
+    and a ``c``-way cache is in turn a bank of a ``columns``-way state
+    whose replacement mask is ``(1 << c) - 1`` — ways outside the mask
+    start cold and are never filled, so they cannot hit or be chosen
+    as victims.  Stacking every (probe, candidate) pair as a distinct
+    row bank therefore prices all candidate grant sizes for all
+    pending admissions in one kernel batch, bit-identical to simulating
+    each candidate geometry by itself.
+
+    Args:
+        probes: ``(run, window)`` pairs to price.
+        geometry: The shared cache; ``c`` ranges over
+            ``1..geometry.columns``.
+        profile_accesses: Trace-prefix bound per probe (keeps
+            admission cost independent of trace length).
+        session: Planner session the probes run through; re-probing an
+            identical window (a recurring phase, or re-admission of
+            the same workload) recomputes nothing.
+
+    Returns:
+        One :class:`ColumnDemand` per probe, in probe order.
+    """
+    session = session if session is not None else PlannerSession()
+    column_bytes = geometry.sets * geometry.line_size
+    units_list = []
+    traces = []
+    keys = []
+    for run, window in probes:
+        units = split_for_columns(run.memory_map.symbols, column_bytes)
+        trace = window if window is not None else run.trace
+        if len(trace) > profile_accesses:
+            trace = trace.slice(0, profile_accesses)
+        units_list.append(units)
+        traces.append(trace)
+        keys.append(
+            f"demand:{trace_digest(trace)}:{units_digest(units)}:"
+            f"{geometry.line_size}:{geometry.sets}:{geometry.columns}"
+        )
+
+    def compute(indices: list[int]) -> list[ColumnDemand]:
+        candidates = geometry.columns
+        sets = geometry.sets
+        rows_parts = []
+        tags_parts = []
+        mask_parts = []
+        starts = []
+        cursor = 0
+        bank = 0
+        for index in indices:
+            blocks = traces[index].addresses >> np.int64(
+                geometry.offset_bits
+            )
+            local_rows = blocks & np.int64(sets - 1)
+            local_tags = blocks >> np.int64(geometry.index_bits)
+            for columns in range(1, candidates + 1):
+                rows_parts.append(local_rows + bank * sets)
+                tags_parts.append(local_tags)
+                mask_parts.append(
+                    np.full(
+                        len(blocks), (1 << columns) - 1, dtype=np.int64
+                    )
+                )
+                starts.append(cursor)
+                cursor += len(blocks)
+                bank += 1
+        state = LockstepState.cold(bank * sets, candidates)
+        miss_positions = lockstep_run(
+            np.concatenate(rows_parts),
+            np.concatenate(tags_parts),
+            state,
+            mask_bits=np.concatenate(mask_parts),
+            collect="misses",
+        )
+        per_bank = np.bincount(
+            np.searchsorted(
+                np.asarray(starts, dtype=np.int64),
+                miss_positions,
+                side="right",
+            )
+            - 1,
+            minlength=bank,
+        )
+        curves = []
+        for slot, index in enumerate(indices):
+            profile = session.profile(
+                traces[index], units_list[index], by_address=True
+            )
+            plan_costs = []
+            for columns in range(1, candidates + 1):
+                config = LayoutConfig(
+                    columns=columns,
+                    column_bytes=column_bytes,
+                    line_size=geometry.line_size,
+                    split_oversized=False,
+                )
+                assignment = session.plan_from_profile(
+                    config, profile, units_list[index]
+                )
+                plan_costs.append(int(assignment.predicted_cost))
+            base = slot * candidates
+            curves.append(
+                ColumnDemand(
+                    plan_costs=tuple(plan_costs),
+                    measured_costs=tuple(
+                        int(per_bank[base + c])
+                        for c in range(candidates)
+                    ),
+                )
+            )
+        return curves
+
+    return session.memo_batch(keys, compute)
+
+
 def demand_curve(
     run: WorkloadRun,
     geometry: CacheGeometry,
@@ -121,7 +253,11 @@ def demand_curve(
     window: Optional[Trace] = None,
     session: Optional[PlannerSession] = None,
 ) -> ColumnDemand:
-    """Estimate a tenant's demand curve: plan costs + measured misses.
+    """Estimate one tenant's demand curve: plan costs + measured misses.
+
+    The single-probe face of :func:`demand_curves` (same cache keys,
+    same kernel batch — a probe already primed by a batched call is a
+    pure cache hit here).
 
     Args:
         run: The tenant's recorded workload (symbols + trace).
@@ -137,48 +273,12 @@ def demand_curve(
             window (a recurring phase, or re-admission of the same
             workload) recomputes nothing.
     """
-    session = session if session is not None else PlannerSession()
-    column_bytes = geometry.sets * geometry.line_size
-    units = split_for_columns(run.memory_map.symbols, column_bytes)
-    trace = window if window is not None else run.trace
-    if len(trace) > profile_accesses:
-        trace = trace.slice(0, profile_accesses)
-    key = (
-        f"demand:{trace_digest(trace)}:{units_digest(units)}:"
-        f"{geometry.line_size}:{geometry.sets}:{geometry.columns}"
-    )
-
-    def compute() -> ColumnDemand:
-        profile = session.profile(trace, units, by_address=True)
-        blocks = trace.addresses >> geometry.offset_bits
-        plan_costs = []
-        measured_costs = []
-        for columns in range(1, geometry.columns + 1):
-            config = LayoutConfig(
-                columns=columns,
-                column_bytes=column_bytes,
-                line_size=geometry.line_size,
-                split_oversized=False,
-            )
-            assignment = session.plan_from_profile(config, profile, units)
-            plan_costs.append(int(assignment.predicted_cost))
-            # A c-column grant behaves exactly like a solo c-way cache
-            # with the same sets: fills are restricted to the granted
-            # columns and nobody else touches them.
-            candidate = CacheGeometry(
-                line_size=geometry.line_size,
-                sets=geometry.sets,
-                columns=columns,
-            )
-            measured_costs.append(
-                int(batched_simulate(blocks, candidate).misses)
-            )
-        return ColumnDemand(
-            plan_costs=tuple(plan_costs),
-            measured_costs=tuple(measured_costs),
-        )
-
-    return session.memo(key, compute)
+    return demand_curves(
+        [(run, window)],
+        geometry,
+        profile_accesses,
+        session=session,
+    )[0]
 
 
 @dataclass(frozen=True)
@@ -289,6 +389,24 @@ class ColumnBroker:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    def prime(self, runs: Sequence[WorkloadRun]) -> None:
+        """Precompute demand curves for prospective tenants, batched.
+
+        One :func:`demand_curves` call prices every not-yet-cached
+        workload's candidate grant sizes in a single kernel batch and
+        seeds the session cache, so the subsequent one-by-one
+        :meth:`admit` decisions are pure cache hits.  Safe to call
+        speculatively: a primed workload that is never admitted just
+        leaves a warm cache entry.
+        """
+        if runs:
+            demand_curves(
+                [(run, None) for run in runs],
+                self.geometry,
+                self.profile_accesses,
+                session=self.session,
+            )
+
     def admit(
         self,
         name: str,

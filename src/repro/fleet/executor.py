@@ -13,12 +13,20 @@ segments.
 
 Two interchangeable backends execute the identical schedule:
 
-* ``"lockstep"`` (the fast path) materializes each segment's
-  interleaved access stream with numpy and advances a persistent
-  :class:`~repro.sim.engine.batched.LockstepState` in one
-  :func:`~repro.sim.engine.batched.lockstep_run` call per segment;
-* ``"reference"`` steps the same slices through the scalar
-  :class:`~repro.cache.fastsim.FastColumnCache`.
+* ``"lockstep"`` (the fast path) computes each segment's round-robin
+  quantum schedule in closed form
+  (:func:`~repro.sim.multitask.quantum_schedule`) and runs the whole
+  segment through the fused multi-tenant kernel entry
+  (:func:`~repro.sim.engine.fused.fused_multitask_run`) — one kernel
+  call per segment, never re-entering Python per quantum, and on the
+  compiled kernel never materializing the interleaved access stream;
+* ``"reference"`` steps the same schedule slice-by-slice through the
+  scalar :class:`~repro.cache.fastsim.FastColumnCache` — the
+  independent oracle the differential suite holds the fused path to.
+
+Segment budgets are **exact**: the final quantum of a segment is cut
+to the remaining instruction budget, so events and the horizon land on
+their scheduled instruction counts to within one atomic access.
 
 Both see the same cache state across broker-driven tint rewrites
 (resident lines stay put — repartitioning is graceful), and the
@@ -44,8 +52,9 @@ from repro.fleet.tenant import (
 )
 from repro.runtime.detector import PhaseDetector
 from repro.sim.config import TimingConfig
-from repro.sim.engine.batched import LockstepState, lockstep_run
-from repro.sim.multitask import next_quantum_slice
+from repro.sim.engine.batched import LockstepState
+from repro.sim.engine.fused import TenantBatch, fused_multitask_run
+from repro.sim.multitask import next_quantum_slice, quantum_schedule
 from repro.trace.filters import concatenate
 from repro.trace.trace import Trace
 
@@ -166,7 +175,9 @@ class FleetResult:
         telemetry: Per-tenant telemetry, keyed by name (includes
             rejected and departed tenants).
         total_instructions: Instructions actually executed (the
-            horizon, plus at most one quantum of overshoot).
+            horizon, plus at most one access's atomic overshoot —
+            segment budgets are exact, so the final quantum is cut to
+            the remaining budget rather than running in full).
         segments: Scheduling segments executed.
         rewrites: The broker's tint-rewrite log.
         rejected: Names of tenants refused admission.
@@ -316,6 +327,10 @@ class FleetExecutor:
         scalar_cache = FastColumnCache(geometry)
         flag_parts: list[np.ndarray] = [] if collect_flags else None
         rotation: Optional[str] = None
+        # The fused path's concatenated per-tenant blocks, rebuilt only
+        # when the resident set changes (tenant traces are immutable).
+        batch_key: Optional[tuple[str, ...]] = None
+        batch: Optional[TenantBatch] = None
 
         def apply_event(event: FleetEvent) -> None:
             nonlocal rotation
@@ -374,54 +389,119 @@ class FleetExecutor:
                 )
 
             # --------------------------------------------------------
-            # Schedule the segment: round-robin quanta, atomic slices.
+            # Schedule + execute the segment (exact budget boundary:
+            # the final quantum is cut to the remaining budget).
             # --------------------------------------------------------
             start_at = 0
             if rotation in residents:
                 start_at = residents.index(rotation)
-            slices: list[tuple[str, int, int]] = []
+            budget = segment_end - now
             counters = {
                 name: [0, 0, 0]  # instructions, accesses, quanta
                 for name in residents
             }
-            executed = 0
-            budget = segment_end - now
-            turn = start_at
-            while executed < budget:
-                name = residents[turn]
-                runtime = runtimes[name]
-                counter = counters[name]
-                counter[2] += 1
-                remaining = config.quantum_instructions
-                while remaining > 0:
-                    stop, ran = next_quantum_slice(
-                        runtime.cumulative, runtime.position, remaining
+            slices_by_tenant: dict[str, list[tuple[int, int]]]
+            if backend == "lockstep":
+                schedule = quantum_schedule(
+                    [runtimes[name].cumulative for name in residents],
+                    [runtimes[name].position for name in residents],
+                    config.quantum_instructions,
+                    budget,
+                    start_at,
+                )
+                key = tuple(residents)
+                if key != batch_key:
+                    batch = TenantBatch.build(
+                        [runtimes[name].blocks for name in residents]
                     )
-                    slices.append((name, runtime.position, stop))
-                    counter[0] += ran
-                    counter[1] += stop - runtime.position
-                    remaining -= ran
-                    executed += ran
-                    runtime.position = stop
-                    if stop >= len(runtime.blocks):
-                        runtime.position = 0
-                        runtime.telemetry.wraps += 1
-                turn = (turn + 1) % len(residents)
-            rotation = residents[turn]
+                    batch_key = key
+                assert batch is not None
+                mask_table = np.array(
+                    [broker.grants[name].bits for name in residents],
+                    dtype=np.int64,
+                )
+                outcome = fused_multitask_run(
+                    batch,
+                    schedule,
+                    mask_table,
+                    lock_state,
+                    sets_mask=geometry.sets - 1,
+                    index_bits=geometry.index_bits,
+                    collect_flags=collect_flags,
+                )
+                if flag_parts is not None:
+                    flag_parts.append(outcome.hit_flags)
+                tenant_count = len(residents)
+                instr_per = np.zeros(tenant_count, dtype=np.int64)
+                np.add.at(instr_per, schedule.tenant_ids, schedule.ran)
+                wraps_per = np.zeros(tenant_count, dtype=np.int64)
+                np.add.at(
+                    wraps_per, schedule.tenant_ids, schedule.wraps
+                )
+                quanta_per = np.bincount(
+                    schedule.tenant_ids, minlength=tenant_count
+                )
+                hits_by_tenant = {}
+                slices_by_tenant = {}
+                for index, name in enumerate(residents):
+                    runtime = runtimes[name]
+                    runtime.position = int(
+                        schedule.next_positions[index]
+                    )
+                    runtime.telemetry.wraps += int(wraps_per[index])
+                    counters[name] = [
+                        int(instr_per[index]),
+                        int(outcome.accesses[index]),
+                        int(quanta_per[index]),
+                    ]
+                    hits_by_tenant[name] = int(outcome.hits[index])
+                    slices_by_tenant[name] = schedule.tenant_slices(
+                        index, len(runtime.blocks)
+                    )
+                executed = schedule.executed
+                rotation = residents[schedule.next_turn]
+            else:
+                slices: list[tuple[str, int, int]] = []
+                executed = 0
+                turn = start_at
+                while executed < budget:
+                    name = residents[turn]
+                    runtime = runtimes[name]
+                    counter = counters[name]
+                    counter[2] += 1
+                    remaining = min(
+                        config.quantum_instructions, budget - executed
+                    )
+                    while remaining > 0:
+                        stop, ran = next_quantum_slice(
+                            runtime.cumulative,
+                            runtime.position,
+                            remaining,
+                        )
+                        slices.append((name, runtime.position, stop))
+                        counter[0] += ran
+                        counter[1] += stop - runtime.position
+                        remaining -= ran
+                        executed += ran
+                        runtime.position = stop
+                        if stop >= len(runtime.blocks):
+                            runtime.position = 0
+                            runtime.telemetry.wraps += 1
+                    turn = (turn + 1) % len(residents)
+                rotation = residents[turn]
+                hits_by_tenant = self._execute(
+                    slices,
+                    runtimes,
+                    broker.grants,
+                    scalar_cache,
+                    flag_parts,
+                )
+                slices_by_tenant = {}
+                for name, start, stop in slices:
+                    slices_by_tenant.setdefault(name, []).append(
+                        (start, stop)
+                    )
             now += executed
-
-            # --------------------------------------------------------
-            # Execute the slices through the selected backend.
-            # --------------------------------------------------------
-            hits_by_tenant = self._execute(
-                slices,
-                runtimes,
-                broker.grants,
-                lock_state,
-                scalar_cache,
-                backend,
-                flag_parts,
-            )
 
             # --------------------------------------------------------
             # Telemetry + phase detection per resident tenant.
@@ -447,11 +527,7 @@ class FleetExecutor:
                     config.detect_phases
                     and accesses >= config.min_detect_accesses
                 ):
-                    tenant_slices = [
-                        (start, stop)
-                        for slice_name, start, stop in slices
-                        if slice_name == name
-                    ]
+                    tenant_slices = slices_by_tenant.get(name, [])
                     blocks = np.concatenate(
                         [
                             runtime.blocks[start:stop]
@@ -564,61 +640,33 @@ class FleetExecutor:
         slices: list[tuple[str, int, int]],
         runtimes: dict[str, _TenantRuntime],
         grants: dict[str, Any],
-        lock_state: LockstepState,
         scalar_cache: FastColumnCache,
-        backend: str,
         flag_parts: Optional[list[np.ndarray]],
     ) -> dict[str, int]:
-        """Run one segment's slices; returns hits per tenant."""
-        geometry = self.geometry
-        hits_by_tenant: dict[str, int] = {}
-        if backend == "reference":
-            for name, start, stop in slices:
-                runtime = runtimes[name]
-                bits = grants[name].bits
-                if flag_parts is not None:
-                    flags = scalar_cache.run_with_flags(
-                        runtime.blocks_list[start:stop],
-                        uniform_mask=bits,
-                    )
-                    flag_parts.append(flags)
-                    hits = int(flags.sum())
-                else:
-                    outcome = scalar_cache.run(
-                        runtime.blocks_list,
-                        uniform_mask=bits,
-                        start=start,
-                        stop=stop,
-                    )
-                    hits = outcome.hits
-                hits_by_tenant[name] = (
-                    hits_by_tenant.get(name, 0) + hits
-                )
-            return hits_by_tenant
+        """Run one segment's slices through the scalar reference cache.
 
-        block_parts = [
-            runtimes[name].blocks[start:stop]
-            for name, start, stop in slices
-        ]
-        mask_parts = [
-            np.full(stop - start, grants[name].bits, dtype=np.int64)
-            for name, start, stop in slices
-        ]
-        blocks = np.concatenate(block_parts)
-        masks = np.concatenate(mask_parts)
-        hit_flags, _ = lockstep_run(
-            blocks & np.int64(geometry.sets - 1),
-            blocks >> np.int64(geometry.index_bits),
-            lock_state,
-            mask_bits=masks,
-        )
-        if flag_parts is not None:
-            flag_parts.append(hit_flags)
-        cursor = 0
+        The fused lockstep path never comes here — it runs the whole
+        segment in one kernel call; this slice loop is the independent
+        oracle the differential suite compares it against.
+        """
+        hits_by_tenant: dict[str, int] = {}
         for name, start, stop in slices:
-            span = stop - start
-            hits_by_tenant[name] = hits_by_tenant.get(name, 0) + int(
-                hit_flags[cursor:cursor + span].sum()
-            )
-            cursor += span
+            runtime = runtimes[name]
+            bits = grants[name].bits
+            if flag_parts is not None:
+                flags = scalar_cache.run_with_flags(
+                    runtime.blocks_list[start:stop],
+                    uniform_mask=bits,
+                )
+                flag_parts.append(flags)
+                hits = int(flags.sum())
+            else:
+                outcome = scalar_cache.run(
+                    runtime.blocks_list,
+                    uniform_mask=bits,
+                    start=start,
+                    stop=stop,
+                )
+                hits = outcome.hits
+            hits_by_tenant[name] = hits_by_tenant.get(name, 0) + hits
         return hits_by_tenant

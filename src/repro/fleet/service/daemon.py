@@ -96,13 +96,6 @@ class ServiceConfig:
         default_factory=lambda: FleetConfig(
             quantum_instructions=128,
             window_instructions=4096,
-            # Damped relative to the offline executor's defaults: a
-            # daemon pays a fresh demand-curve probe per phase
-            # boundary (live windows never repeat content-wise, so
-            # the planner cache cannot absorb them), and interleaved
-            # wrapping traces flag spurious boundaries constantly.
-            hysteresis_windows=8,
-            min_detect_accesses=256,
         )
     )
     admissions_per_segment: int = 4
@@ -412,7 +405,22 @@ class FleetService:
                             shard.depart(payload)
                 # Decide queued admissions, oldest first, while the
                 # shard has capacity and the segment's decision budget
-                # lasts.
+                # lasts.  Everything about to be decided is primed
+                # first: one batched kernel call prices all candidate
+                # grant sizes for all of them, so the per-request
+                # admits below are pure demand-cache hits.
+                upcoming = pending[
+                    : min(
+                        self.config.admissions_per_segment,
+                        max(
+                            columns - len(shard.broker.resident), 0
+                        ),
+                    )
+                ]
+                if len(upcoming) > 1:
+                    shard.prime_admissions(
+                        [request.spec for request in upcoming]
+                    )
                 decisions = 0
                 while (
                     pending

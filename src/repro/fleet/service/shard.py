@@ -4,12 +4,14 @@
 :class:`~repro.fleet.executor.FleetTrace` offline.  A daemon cannot:
 arrivals and departures come from live requests, so the serving loop
 must interleave scheduling with admission control.  :class:`ShardServer`
-is the executor's segment loop turned inside out — the same round-robin
-quantum schedule, the same lockstep kernel, the same per-segment
-telemetry and phase detection (``tests/test_service.py`` drives a
-recorded fleet trace through both and asserts identical per-tenant
-hit/miss/instruction counts) — but exposed as three small calls a
-daemon can make between requests:
+is the executor's segment loop turned inside out — the same closed-form
+round-robin quantum schedule, the same fused multi-tenant kernel walk
+(:func:`~repro.sim.engine.fused.fused_multitask_run` over persistent
+per-shard batch state), the same per-segment telemetry and phase
+detection (``tests/test_service.py`` drives a recorded fleet trace
+through both and asserts identical per-tenant hit/miss/instruction
+counts) — but exposed as three small calls a daemon can make between
+requests:
 
 * :meth:`admit` / :meth:`depart` — population changes, effective at
   the current virtual clock (the broker rebalances immediately);
@@ -27,7 +29,7 @@ shard, which is exactly the cost the migration policy must price.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -47,8 +49,9 @@ from repro.inspect.snapshots import (
 from repro.fleet.tenant import TenantSpec, TenantStatus, WindowSample
 from repro.layout.session import PlannerSession
 from repro.sim.config import TimingConfig
-from repro.sim.engine.batched import LockstepState, lockstep_run
-from repro.sim.multitask import next_quantum_slice
+from repro.sim.engine.batched import LockstepState
+from repro.sim.engine.fused import TenantBatch, fused_multitask_run
+from repro.sim.multitask import quantum_schedule
 
 
 @dataclass
@@ -125,6 +128,11 @@ class ShardServer:
         self._service_budget: dict[str, int] = {}
         self._served_at_admit: dict[str, int] = {}
         self._rotation: Optional[str] = None
+        # Persistent fused-path state: the residents' concatenated
+        # block arrays survive across advance() calls and rebuild only
+        # when the population changes (tenant traces are immutable).
+        self._batch: Optional[TenantBatch] = None
+        self._batch_key: Optional[tuple[str, ...]] = None
 
     # ------------------------------------------------------------------
     # Population
@@ -133,6 +141,16 @@ class ShardServer:
     def residents(self) -> list[str]:
         """Resident tenant names, admission order."""
         return self.broker.resident
+
+    def prime_admissions(self, specs: Sequence[TenantSpec]) -> None:
+        """Batch-price pending admissions' demand curves up front.
+
+        The daemon calls this with everything it is about to decide
+        this segment; the broker evaluates all candidate grant sizes
+        for all specs in one kernel batch, so each following
+        :meth:`admit` finds its curve already cached.
+        """
+        self.broker.prime([spec.run for spec in specs])
 
     def admit(
         self,
@@ -301,40 +319,53 @@ class ShardServer:
         start_at = 0
         if self._rotation in residents:
             start_at = residents.index(self._rotation)
-        slices: list[tuple[str, int, int]] = []
-        counters = {name: [0, 0, 0] for name in residents}
-        executed = 0
-        turn = start_at
-        while executed < budget:
-            name = residents[turn]
-            runtime = self.runtimes[name]
-            counter = counters[name]
-            counter[2] += 1
-            remaining = config.quantum_instructions
-            while remaining > 0:
-                stop, ran = next_quantum_slice(
-                    runtime.cumulative, runtime.position, remaining
-                )
-                slices.append((name, runtime.position, stop))
-                counter[0] += ran
-                counter[1] += stop - runtime.position
-                remaining -= ran
-                executed += ran
-                runtime.position = stop
-                if stop >= len(runtime.blocks):
-                    runtime.position = 0
-                    runtime.telemetry.wraps += 1
-            turn = (turn + 1) % len(residents)
-        self._rotation = residents[turn]
+        schedule = quantum_schedule(
+            [self.runtimes[name].cumulative for name in residents],
+            [self.runtimes[name].position for name in residents],
+            config.quantum_instructions,
+            budget,
+            start_at,
+        )
+        key = tuple(residents)
+        if key != self._batch_key:
+            self._batch = TenantBatch.build(
+                [self.runtimes[name].blocks for name in residents]
+            )
+            self._batch_key = key
+        assert self._batch is not None
+        mask_table = np.array(
+            [self.broker.grants[name].bits for name in residents],
+            dtype=np.int64,
+        )
+        outcome = fused_multitask_run(
+            self._batch,
+            schedule,
+            mask_table,
+            self.lock_state,
+            sets_mask=self.geometry.sets - 1,
+            index_bits=self.geometry.index_bits,
+        )
+        tenant_count = len(residents)
+        instr_per = np.zeros(tenant_count, dtype=np.int64)
+        np.add.at(instr_per, schedule.tenant_ids, schedule.ran)
+        wraps_per = np.zeros(tenant_count, dtype=np.int64)
+        np.add.at(wraps_per, schedule.tenant_ids, schedule.wraps)
+        quanta_per = np.bincount(
+            schedule.tenant_ids, minlength=tenant_count
+        )
+        executed = schedule.executed
+        self._rotation = residents[schedule.next_turn]
         self.now += executed
 
-        hits_by_tenant = self._execute(slices)
-
         boundary_tenants: list[tuple[str, list]] = []
-        for name in residents:
+        for index, name in enumerate(residents):
             runtime = self.runtimes[name]
-            instructions, accesses, quanta = counters[name]
-            hits = hits_by_tenant.get(name, 0)
+            runtime.position = int(schedule.next_positions[index])
+            runtime.telemetry.wraps += int(wraps_per[index])
+            instructions = int(instr_per[index])
+            accesses = int(outcome.accesses[index])
+            quanta = int(quanta_per[index])
+            hits = int(outcome.hits[index])
             runtime.telemetry.samples.append(
                 WindowSample(
                     window_index=self.segments,
@@ -351,11 +382,9 @@ class ShardServer:
                 config.detect_phases
                 and accesses >= config.min_detect_accesses
             ):
-                tenant_slices = [
-                    (start, stop)
-                    for slice_name, start, stop in slices
-                    if slice_name == name
-                ]
+                tenant_slices = schedule.tenant_slices(
+                    index, len(runtime.blocks)
+                )
                 blocks = np.concatenate(
                     [
                         runtime.blocks[start:stop]
@@ -545,34 +574,3 @@ class ShardServer:
                 self._pending_remap.get(name, 0) + cycles
             )
             self.runtimes[name].telemetry.remaps += 1
-
-    def _execute(
-        self, slices: list[tuple[str, int, int]]
-    ) -> dict[str, int]:
-        geometry = self.geometry
-        grants = self.broker.grants
-        block_parts = [
-            self.runtimes[name].blocks[start:stop]
-            for name, start, stop in slices
-        ]
-        mask_parts = [
-            np.full(stop - start, grants[name].bits, dtype=np.int64)
-            for name, start, stop in slices
-        ]
-        blocks = np.concatenate(block_parts)
-        masks = np.concatenate(mask_parts)
-        hit_flags, _ = lockstep_run(
-            blocks & np.int64(geometry.sets - 1),
-            blocks >> np.int64(geometry.index_bits),
-            self.lock_state,
-            mask_bits=masks,
-        )
-        hits_by_tenant: dict[str, int] = {}
-        cursor = 0
-        for name, start, stop in slices:
-            span = stop - start
-            hits_by_tenant[name] = hits_by_tenant.get(name, 0) + int(
-                hit_flags[cursor:cursor + span].sum()
-            )
-            cursor += span
-        return hits_by_tenant

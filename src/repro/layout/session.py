@@ -22,7 +22,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-from typing import TYPE_CHECKING, Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence
 
 from repro.layout.algorithm import DataLayoutPlanner, LayoutConfig
 from repro.layout.assignment import ColumnAssignment
@@ -158,6 +158,43 @@ class PlannerSession:
         if value is self._miss:
             value = self.cache.put(key, self._memo_job, compute())
         return value
+
+    def memo_batch(
+        self,
+        keys: Sequence[str],
+        compute: Callable[[list[int]], list[Any]],
+    ) -> list[Any]:
+        """Batched memoization: compute all missing keys in one call.
+
+        Every key is looked up first; ``compute`` then receives the
+        *indices* of the distinct missing keys (first-occurrence
+        order) and must return one value per index.  The computed
+        values are cached and the full value list returned in key
+        order — so a consumer with a batchable kernel (the fleet
+        broker's demand probes) pays one fused computation for all
+        misses instead of one per key, while hits stay free.
+        """
+        values = [self.cache.get(key) for key in keys]
+        missing: dict[str, int] = {}
+        for index, key in enumerate(keys):
+            if values[index] is self._miss and key not in missing:
+                missing[key] = index
+        if missing:
+            computed = compute(list(missing.values()))
+            if len(computed) != len(missing):
+                raise ValueError(
+                    f"compute returned {len(computed)} values for "
+                    f"{len(missing)} missing keys"
+                )
+            by_key = {
+                key: self.cache.put(key, self._memo_job, value)
+                for key, value in zip(missing, computed)
+            }
+            values = [
+                by_key[key] if value is self._miss else value
+                for key, value in zip(keys, values)
+            ]
+        return values
 
     # ------------------------------------------------------------------
     # The profile → graph → plan chain

@@ -23,6 +23,7 @@ import shutil
 import subprocess
 import sys
 import tempfile
+import weakref
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional, Union
 
@@ -118,6 +119,11 @@ def _declare(lib: ctypes.CDLL) -> ctypes.CDLL:
         i64, ptr, ptr, ptr, ptr, ptr, ptr, i32, ptr, i64, i64, i64,
         ptr, ptr, ptr, ptr,
     ]
+    lib.repro_fused_multitask.restype = None
+    lib.repro_fused_multitask.argtypes = [
+        i64, ptr, ptr, ptr, ptr, ptr, ptr, i32, ptr, i64, i64, i64,
+        ptr, ptr, ptr, ptr, ptr,
+    ]
     return lib
 
 
@@ -192,8 +198,29 @@ def _reset_probe() -> None:
     _probed = False
 
 
+#: Identity-checked buffer-address memo.  ``array.ctypes.data``
+#: rebuilds the ctypes helper (and the array-interface dict) on every
+#: access — microseconds that dominate small fused windows where one
+#: kernel call passes a dozen long-lived arrays.  An ndarray's buffer
+#: never moves while the object lives (nothing here calls in-place
+#: ``ndarray.resize``), and the weakref identity check rejects any
+#: recycled ``id()`` after an array dies.
+_ADDR_CACHE: dict[int, tuple["weakref.ref[np.ndarray]", int]] = {}
+_ADDR_CACHE_MAX = 256
+
+
 def _addr(array: Optional[np.ndarray]) -> Optional[int]:
-    return None if array is None else array.ctypes.data
+    if array is None:
+        return None
+    key = id(array)
+    entry = _ADDR_CACHE.get(key)
+    if entry is not None and entry[0]() is array:
+        return entry[1]
+    address = array.ctypes.data
+    if len(_ADDR_CACHE) >= _ADDR_CACHE_MAX:
+        _ADDR_CACHE.clear()  # mostly dead per-call arrays; refill cheap
+    _ADDR_CACHE[key] = (weakref.ref(array), address)
+    return address
 
 
 def supports(ways: int) -> bool:
@@ -391,4 +418,67 @@ def schedule_count_compiled(
         _addr(state.last_use),
         _addr(state.clock),
         _addr(job_misses),
+    )
+
+
+def fused_multitask_compiled(
+    seg_jobs: np.ndarray,
+    seg_pos: np.ndarray,
+    seg_len: np.ndarray,
+    job_offsets: np.ndarray,
+    job_lengths: np.ndarray,
+    blocks_concat: np.ndarray,
+    mask_table: np.ndarray,
+    state: "LockstepState",
+    *,
+    sets_mask: int,
+    index_bits: int,
+    job_hits: np.ndarray,
+    hit_flags: Optional[np.ndarray] = None,
+) -> None:
+    """Run a fleet quantum schedule, accumulating per-tenant hits.
+
+    The compiled twin of the fused fleet walk
+    (:func:`repro.sim.engine.fused.fused_multitask_run`'s hot path):
+    segment ``s`` simulates ``seg_len[s]`` accesses of tenant
+    ``seg_jobs[s]``, walking that tenant's slice of ``blocks_concat``
+    circularly from ``seg_pos[s]``.  Per-tenant hits accumulate into
+    ``job_hits``; when ``hit_flags`` (uint8, one slot per scheduled
+    access) is given, per-access hit flags are written in global
+    schedule order.
+    """
+    lib = load()
+    if blocks_concat.dtype == np.int32:
+        blocks_native = np.ascontiguousarray(blocks_concat)
+        is32 = 1
+    else:
+        blocks_native = np.ascontiguousarray(
+            blocks_concat, dtype=np.int64
+        )
+        is32 = 0
+    seg_jobs64 = np.ascontiguousarray(seg_jobs, np.int64)
+    seg_pos64 = np.ascontiguousarray(seg_pos, np.int64)
+    seg_len64 = np.ascontiguousarray(seg_len, np.int64)
+    offsets64 = np.ascontiguousarray(job_offsets, np.int64)
+    lengths64 = np.ascontiguousarray(job_lengths, np.int64)
+    table64 = np.ascontiguousarray(mask_table, np.int64)
+    ensure_state_native(state)
+    lib.repro_fused_multitask(
+        len(seg_jobs64),
+        _addr(seg_jobs64),
+        _addr(seg_pos64),
+        _addr(seg_len64),
+        _addr(offsets64),
+        _addr(lengths64),
+        _addr(blocks_native),
+        is32,
+        _addr(table64),
+        sets_mask,
+        index_bits,
+        state.ways,
+        _addr(state.tags),
+        _addr(state.last_use),
+        _addr(state.clock),
+        _addr(job_hits),
+        _addr(hit_flags),
     )

@@ -46,7 +46,12 @@ from repro.sim.engine.batched import (
     LockstepState,
     lockstep_run,
 )
-from repro.sim.multitask import Job, JobResult
+from repro.sim.multitask import (
+    Job,
+    JobResult,
+    orbit_positions as _orbit_positions,
+    quantum_tables as _quantum_tables,
+)
 
 #: Flush lockstep batches beyond this many buffered accesses.  Kernel
 #: wall time scales with *rounds* (the max accesses landing on one
@@ -78,57 +83,9 @@ class _BatchJob:
 
 
 # ----------------------------------------------------------------------
-# Closed-form schedule
+# Closed-form schedule (the tables themselves live in sim/multitask —
+# the fused fleet hot path consumes them too)
 # ----------------------------------------------------------------------
-def _quantum_tables(
-    cum: np.ndarray, quantum: int
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """One quantum from *every* start position, vectorized.
-
-    For start position ``p`` with ``I(p)`` instructions already
-    consumed this pass, the quantum ends at the first access whose
-    cumulative instruction count reaches ``I(p) + quantum`` — counting
-    across wraps.  Returns ``(next_pos, accesses, ran, wraps)`` arrays
-    indexed by start position, where ``ran`` includes the atomic
-    overshoot of the final access, exactly like
-    :meth:`~repro.sim.multitask.MultitaskSimulator._run_quantum`.
-    """
-    n = len(cum)
-    total = int(cum[-1])
-    cum_prev = np.concatenate((np.zeros(1, dtype=np.int64), cum[:-1]))
-    target = cum_prev + np.int64(quantum)
-    full_passes = (target - 1) // total
-    within = target - full_passes * total  # in [1, total]
-    end = np.searchsorted(cum, within, side="left")
-    next_raw = end + 1
-    wrap_extra = next_raw >= n
-    next_pos = np.where(wrap_extra, 0, next_raw)
-    wraps = full_passes + wrap_extra
-    accesses = full_passes * n + next_raw - np.arange(n, dtype=np.int64)
-    ran = full_passes * total + cum[end] - cum_prev
-    return next_pos.astype(np.int64), accesses, ran, wraps
-
-
-def _orbit_positions(
-    next_pos: np.ndarray, count: int, start: int = 0
-) -> np.ndarray:
-    """The successor map's first ``count`` orbit positions.
-
-    Binary doubling: a length-``m`` prefix extends to ``2m`` by
-    applying the composed map ``next^m`` to itself, so this is
-    O(count + n log count) vectorized gathers instead of a Python
-    pointer chase — repeats in the orbit are simply carried along, no
-    cycle bookkeeping needed.
-    """
-    sequence = np.array([start], dtype=np.int64)
-    jump = next_pos  # next^(2^k), composed as the prefix doubles
-    while len(sequence) < count:
-        sequence = np.concatenate((sequence, jump[sequence]))
-        if len(sequence) < count:
-            jump = jump[jump]
-    return sequence[:count]
-
-
 def _job_quanta(
     batch_job: _BatchJob, quantum: int, count: int
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:

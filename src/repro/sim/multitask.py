@@ -10,10 +10,23 @@ destroy a job's cache contents unless the column cache isolates it.
 Per-job column masks express the mapped configuration: job A gets its
 own columns, B and C share the rest.  ``mask = None`` means the full
 cache (the standard shared configuration).
+
+Besides the scalar reference simulator, this module owns the
+**closed-form quantum schedule**: because a quantum ends after a fixed
+number of instructions and instruction counts come from the trace
+alone, where every quantum starts and stops is a pure function of
+(traces, quantum, budget) — no cache state involved.
+:func:`quantum_tables` computes one quantum from *every* start
+position at once, :func:`orbit_positions` unrolls the successor map,
+and :func:`quantum_schedule` assembles a whole round-robin scheduling
+window (with exact, instruction-precise budget boundaries) that the
+batched sweep engine (:mod:`repro.sim.engine.multitask_batch`) and the
+fused fleet hot path (:mod:`repro.sim.engine.fused`) both consume.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -53,6 +66,317 @@ def next_quantum_slice(
     stop = min(stop, len(cumulative))
     ran = int(cumulative[stop - 1]) - done_before
     return stop, ran
+
+
+# ----------------------------------------------------------------------
+# Closed-form schedule
+# ----------------------------------------------------------------------
+def quantum_tables(
+    cumulative: np.ndarray, quantum: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """One quantum from *every* start position, vectorized.
+
+    For start position ``p`` with ``I(p)`` instructions already
+    consumed this pass, the quantum ends at the first access whose
+    cumulative instruction count reaches ``I(p) + quantum`` — counting
+    across wraps.  Returns ``(next_pos, accesses, ran, wraps)`` arrays
+    indexed by start position, where ``ran`` includes the atomic
+    overshoot of the final access, exactly like the iterative
+    :func:`next_quantum_slice` loop in
+    :meth:`MultitaskSimulator._run_quantum`.
+    """
+    n = len(cumulative)
+    total = int(cumulative[-1])
+    cum_prev = np.concatenate(
+        (np.zeros(1, dtype=np.int64), cumulative[:-1])
+    )
+    target = cum_prev + np.int64(quantum)
+    full_passes = (target - 1) // total
+    within = target - full_passes * total  # in [1, total]
+    end = np.searchsorted(cumulative, within, side="left")
+    next_raw = end + 1
+    wrap_extra = next_raw >= n
+    next_pos = np.where(wrap_extra, 0, next_raw)
+    wraps = full_passes + wrap_extra
+    accesses = full_passes * n + next_raw - np.arange(n, dtype=np.int64)
+    ran = full_passes * total + cumulative[end] - cum_prev
+    return next_pos.astype(np.int64), accesses, ran, wraps
+
+
+def orbit_positions(
+    next_pos: np.ndarray, count: int, start: int = 0
+) -> np.ndarray:
+    """The successor map's first ``count`` orbit positions.
+
+    Binary doubling: a length-``m`` prefix extends to ``2m`` by
+    applying the composed map ``next^m`` to itself, so this is
+    O(count + n log count) vectorized gathers instead of a Python
+    pointer chase — repeats in the orbit are simply carried along, no
+    cycle bookkeeping needed.
+    """
+    sequence = np.array([start], dtype=np.int64)
+    jump = next_pos  # next^(2^k), composed as the prefix doubles
+    while len(sequence) < count:
+        sequence = np.concatenate((sequence, jump[sequence]))
+        if len(sequence) < count:
+            jump = jump[jump]
+    return sequence[:count]
+
+
+class QuantumWalkTables:
+    """Memoized closed-form tables for one ``(trace, quantum)`` pair.
+
+    Holds the per-start-position quantum tables plus the composed
+    successor powers ``next^(2^k)`` that orbit unrolling needs.  A
+    steady-state caller (the fleet executor's segment loop, the shard
+    server's ``advance``) schedules hundreds of windows over the same
+    resident traces; rebuilding the O(trace)-sized tables and
+    re-composing the doubling maps every window would dwarf the kernel
+    walk itself at small windows.  Through :func:`walk_tables` the
+    build happens once per resident trace and every subsequent window
+    costs only O(quanta) gathers.
+    """
+
+    def __init__(self, cumulative: np.ndarray, quantum: int):
+        (
+            self.next_pos,
+            self.accesses,
+            self.ran,
+            self.wraps,
+        ) = quantum_tables(cumulative, quantum)
+        self._powers = [self.next_pos]
+
+    def orbit(self, start: int, count: int) -> np.ndarray:
+        """First ``count`` orbit positions from ``start``.
+
+        Same binary doubling as :func:`orbit_positions`, but the
+        composed ``next^(2^k)`` maps persist across calls, so repeat
+        windows skip the O(trace) ``jump[jump]`` compositions.
+        """
+        out = np.empty(count, dtype=np.int64)
+        out[0] = start
+        filled = 1
+        step = 0
+        while filled < count:
+            if step == len(self._powers):
+                last = self._powers[-1]
+                self._powers.append(last[last])
+            take = min(filled, count - filled)
+            out[filled : filled + take] = self._powers[step][out[:take]]
+            filled += take
+            step += 1
+        return out
+
+
+#: Bounded identity-keyed cache of :class:`QuantumWalkTables`.  An
+#: entry pins its cumulative array, so while it lives no *different*
+#: array can occupy the same ``id()``; lookups still re-check identity
+#: so a recycled id after eviction can never alias.
+_WALK_TABLES: (
+    "OrderedDict[tuple[int, int], tuple[np.ndarray, QuantumWalkTables]]"
+) = OrderedDict()
+_WALK_TABLES_MAX = 64
+
+
+def walk_tables(
+    cumulative: np.ndarray, quantum: int
+) -> QuantumWalkTables:
+    """The memoized :class:`QuantumWalkTables` for this trace + quantum."""
+    key = (id(cumulative), quantum)
+    entry = _WALK_TABLES.get(key)
+    if entry is not None and entry[0] is cumulative:
+        _WALK_TABLES.move_to_end(key)
+        return entry[1]
+    tables = QuantumWalkTables(cumulative, quantum)
+    _WALK_TABLES[key] = (cumulative, tables)
+    if len(_WALK_TABLES) > _WALK_TABLES_MAX:
+        _WALK_TABLES.popitem(last=False)
+    return tables
+
+
+def single_quantum(
+    cumulative: np.ndarray, position: int, amount: int
+) -> tuple[int, int, int, int]:
+    """One quantum of ``amount`` instructions from one start position.
+
+    The scalar counterpart of :func:`quantum_tables` — same formula,
+    one position — used to re-cut the final quantum of a scheduling
+    window when the remaining budget is smaller than the full quantum.
+    Returns ``(next_pos, accesses, ran, wraps)``.
+    """
+    n = len(cumulative)
+    total = int(cumulative[-1])
+    done = 0 if position == 0 else int(cumulative[position - 1])
+    target = done + amount
+    full_passes = (target - 1) // total
+    within = target - full_passes * total
+    end = int(np.searchsorted(cumulative, within, side="left"))
+    next_raw = end + 1
+    wrapped = next_raw >= n
+    next_pos = 0 if wrapped else next_raw
+    accesses = full_passes * n + next_raw - position
+    ran = full_passes * total + int(cumulative[end]) - done
+    wraps = full_passes + (1 if wrapped else 0)
+    return next_pos, accesses, ran, wraps
+
+
+@dataclass(frozen=True)
+class QuantumSchedule:
+    """A whole round-robin scheduling window in closed form.
+
+    Arrays are indexed by scheduled quantum (global round-robin
+    order); ``tenant_ids[q]`` indexes the caller's tenant list.  The
+    window honours **exact budget boundaries**: the final quantum is
+    cut to the remaining instruction budget, so ``executed`` overshoots
+    the budget by at most the atomic final access — never by a whole
+    quantum.
+
+    Attributes:
+        tenant_ids: Tenant index of each scheduled quantum.
+        positions: Trace cursor each quantum starts from.
+        accesses: Accesses each quantum performs (wraps included).
+        ran: Instructions each quantum runs.
+        wraps: Trace wraps each quantum causes.
+        next_positions: Per-tenant trace cursor after the window.
+        executed: Total instructions the window runs.
+        next_turn: Round-robin index due after the window.
+        total_accesses: Sum of ``accesses``.
+    """
+
+    tenant_ids: np.ndarray
+    positions: np.ndarray
+    accesses: np.ndarray
+    ran: np.ndarray
+    wraps: np.ndarray
+    next_positions: np.ndarray
+    executed: int
+    next_turn: int
+    total_accesses: int
+
+    def tenant_slices(
+        self, tenant: int, length: int
+    ) -> list[tuple[int, int]]:
+        """The tenant's trace slices, in execution order.
+
+        Decomposes each of the tenant's quanta into the exact
+        ``[start, stop)`` cuts the iterative executor would have made
+        (cuts happen only at the end of the trace), so slice-consuming
+        paths — phase-detection windows, ``window_trace`` — see the
+        same pieces the per-quantum loop produced.
+        """
+        chosen = self.tenant_ids == tenant
+        slices: list[tuple[int, int]] = []
+        for position, accesses in zip(
+            self.positions[chosen], self.accesses[chosen]
+        ):
+            position = int(position)
+            remaining = int(accesses)
+            while remaining > 0:
+                stop = min(position + remaining, length)
+                slices.append((position, stop))
+                remaining -= stop - position
+                position = 0
+        return slices
+
+
+def quantum_schedule(
+    cumulatives: Sequence[np.ndarray],
+    positions: Sequence[int],
+    quantum: int,
+    budget: int,
+    start_at: int = 0,
+) -> QuantumSchedule:
+    """Schedule a round-robin window over ``cumulatives`` in closed form.
+
+    Tenants run in index order starting from ``start_at``, each for
+    ``quantum`` instructions (atomic-access overshoot included), until
+    at least ``budget`` instructions have run — except the **final**
+    quantum, which is scheduled with the *remaining* budget when that
+    is smaller than the quantum, making the window boundary exact.
+    This matches the fleet executor's segment loop access-for-access.
+    """
+    count = len(cumulatives)
+    if count == 0:
+        raise ValueError("need at least one tenant")
+    if quantum < 1:
+        raise ValueError(f"quantum must be >= 1, got {quantum}")
+    if budget < 1:
+        raise ValueError(f"budget must be >= 1, got {budget}")
+    if not 0 <= start_at < count:
+        raise ValueError(f"start_at {start_at} out of range 0..{count - 1}")
+    # Every full quantum runs >= `quantum` instructions, so this bounds
+    # the number of quanta the budget can demand.
+    global_bound = -(-budget // quantum)
+    per_tenant = -(-global_bound // count) + 1
+    order = [(start_at + offset) % count for offset in range(count)]
+    # Interleaved (round, slot) matrices: row r is round-robin round r.
+    starts_mat = np.empty((per_tenant, count), dtype=np.int64)
+    accesses_mat = np.empty((per_tenant, count), dtype=np.int64)
+    ran_mat = np.empty((per_tenant, count), dtype=np.int64)
+    wraps_mat = np.empty((per_tenant, count), dtype=np.int64)
+    orbits: dict[int, np.ndarray] = {}
+    for slot, tenant in enumerate(order):
+        tables = walk_tables(cumulatives[tenant], quantum)
+        orbit = tables.orbit(int(positions[tenant]), per_tenant + 1)
+        orbits[tenant] = orbit
+        starts = orbit[:-1]
+        starts_mat[:, slot] = starts
+        accesses_mat[:, slot] = tables.accesses[starts]
+        ran_mat[:, slot] = tables.ran[starts]
+        wraps_mat[:, slot] = tables.wraps[starts]
+    ran_flat = ran_mat.ravel()
+    executed_cum = np.cumsum(ran_flat)
+    total_quanta = int(np.searchsorted(executed_cum, budget, "left")) + 1
+    take = slice(0, total_quanta)
+    tenant_ids = np.resize(
+        np.array(order, dtype=np.int64), total_quanta
+    )
+    sched_positions = starts_mat.ravel()[take].copy()
+    sched_accesses = accesses_mat.ravel()[take].copy()
+    sched_ran = ran_flat[take].copy()
+    sched_wraps = wraps_mat.ravel()[take].copy()
+    # Exact boundary: re-cut the final quantum to the remaining budget.
+    done_before_last = (
+        int(executed_cum[total_quanta - 2]) if total_quanta > 1 else 0
+    )
+    remaining_budget = budget - done_before_last
+    last_tenant = int(tenant_ids[-1])
+    truncated_next: Optional[int] = None
+    if remaining_budget < quantum:
+        next_pos_last, accesses_last, ran_last, wraps_last = (
+            single_quantum(
+                cumulatives[last_tenant],
+                int(sched_positions[-1]),
+                remaining_budget,
+            )
+        )
+        sched_accesses[-1] = accesses_last
+        sched_ran[-1] = ran_last
+        sched_wraps[-1] = wraps_last
+        truncated_next = next_pos_last
+    executed = done_before_last + int(sched_ran[-1])
+    # Per-tenant cursors after the window: the orbit entry right after
+    # the tenant's last scheduled quantum (the truncated final quantum
+    # overrides its tenant's cursor).
+    next_positions = np.array(positions, dtype=np.int64)
+    quanta_per_tenant = np.bincount(tenant_ids, minlength=count)
+    for tenant in order:
+        ran_count = int(quanta_per_tenant[tenant])
+        if ran_count:
+            next_positions[tenant] = orbits[tenant][ran_count]
+    if truncated_next is not None:
+        next_positions[last_tenant] = truncated_next
+    return QuantumSchedule(
+        tenant_ids=tenant_ids,
+        positions=sched_positions,
+        accesses=sched_accesses,
+        ran=sched_ran,
+        wraps=sched_wraps,
+        next_positions=next_positions,
+        executed=executed,
+        next_turn=(start_at + total_quanta) % count,
+        total_accesses=int(sched_accesses.sum()),
+    )
 
 
 @dataclass

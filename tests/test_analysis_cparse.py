@@ -33,6 +33,7 @@ EXPORTED = {
     "repro_lockstep_flags": 11,
     "repro_blocks_count": 17,
     "repro_schedule_count": 16,
+    "repro_fused_multitask": 17,
 }
 
 
@@ -78,7 +79,7 @@ class TestRealKernelPair:
             ), f"{name}: unparsed parameter"
 
     def test_wrapper_declarations_extracted(self):
-        """argtypes/restype for all three functions, aliases resolved."""
+        """argtypes/restype for every export, aliases resolved."""
         import ast
 
         tree = ast.parse(WRAPPER_PY.read_text(encoding="utf-8"))

@@ -23,6 +23,7 @@ from repro.cache.column_cache import ColumnCache
 from repro.cache.fastsim import FastColumnCache, blocks_of
 from repro.cache.geometry import CacheGeometry
 from repro.fleet import (
+    ColumnBroker,
     FleetConfig,
     FleetEvent,
     FleetExecutor,
@@ -32,7 +33,11 @@ from repro.fleet import (
 from repro.layout.algorithm import LayoutConfig
 from repro.runtime import AdaptiveConfig, AdaptiveExecutor, replay_reference
 from repro.sim.config import TimingConfig
-from repro.sim.engine.backends import compiled_available
+from repro.sim.engine.backends import (
+    compiled_available,
+    reset_backend,
+    set_backend,
+)
 from repro.sim.engine.batched import (
     LockstepCache,
     LockstepState,
@@ -48,6 +53,7 @@ from repro.utils.bitvector import ColumnMask
 
 from strategies import (
     block_trace_cases,
+    fleet_scenario,
     phased_workload,
     record_suite_case,
     suite_cases,
@@ -358,6 +364,96 @@ class TestWorkloadSuiteColumnar:
             fleet, backend="reference", collect_flags=True
         )
         assert np.array_equal(fast.hit_stream, reference.hit_stream)
+
+
+# ----------------------------------------------------------------------
+# Fused fleet oracle: the multi-tenant kernel walk, both kernels
+# ----------------------------------------------------------------------
+def _run_fleet(case, backend, kernel=None, observer=None):
+    """One executor run with the session kernel pinned for its span."""
+    geometry, fleet, config = case
+    executor = FleetExecutor(geometry, TIMING, config)
+    if kernel is not None:
+        set_backend(kernel)
+    try:
+        return executor.run(
+            fleet,
+            broker=ColumnBroker(geometry, TIMING),
+            backend=backend,
+            collect_flags=True,
+            observer=observer,
+        )
+    finally:
+        if kernel is not None:
+            reset_backend()
+
+
+def _assert_fleet_identical(fast, reference):
+    assert np.array_equal(fast.hit_stream, reference.hit_stream)
+    assert fast.total_instructions == reference.total_instructions
+    assert set(fast.telemetry) == set(reference.telemetry)
+    for name, telemetry in fast.telemetry.items():
+        expected = reference.telemetry[name]
+        assert telemetry.samples == expected.samples
+        assert telemetry.status is expected.status
+        assert telemetry.wraps == expected.wraps
+
+
+class TestFusedFleetOracle:
+    """The fused multi-tenant walk joins the differential matrix.
+
+    Both kernel backends run whole scheduling windows in one entry
+    (:func:`~repro.sim.engine.fused.fused_multitask_run`); against any
+    drawn fleet scenario — mid-window arrivals and departures, broker
+    rebalances, wrapping traces — the per-access hit stream and every
+    per-tenant counter must be bit-identical to the scalar reference
+    executor's per-quantum slice loop.
+    """
+
+    @settings(max_examples=15, deadline=None)
+    @given(case=fleet_scenario())
+    def test_fused_numpy_matches_reference(self, case):
+        fast = _run_fleet(case, "lockstep", kernel="numpy")
+        reference = _run_fleet(case, "reference")
+        _assert_fleet_identical(fast, reference)
+
+    @requires_compiled
+    @settings(max_examples=15, deadline=None)
+    @given(case=fleet_scenario())
+    def test_fused_compiled_matches_reference(self, case):
+        fast = _run_fleet(case, "lockstep", kernel="compiled")
+        reference = _run_fleet(case, "reference")
+        _assert_fleet_identical(fast, reference)
+
+    @settings(max_examples=10, deadline=None)
+    @given(case=fleet_scenario())
+    def test_observer_attached_run_is_bit_identical(self, case):
+        """The live-inspection observer is read-only on the fused
+        path: attaching one changes no result, and it sees exactly
+        one snapshot per scheduling segment."""
+        kernels = ["numpy"]
+        if compiled_available():
+            kernels.append("compiled")
+        plain = _run_fleet(case, "lockstep", kernel=kernels[0])
+        for kernel in kernels:
+            snapshots = []
+            observed = _run_fleet(
+                case, "lockstep", kernel=kernel,
+                observer=snapshots.append,
+            )
+            _assert_fleet_identical(observed, plain)
+            assert len(snapshots) == observed.segments
+            resident_names = {
+                row.name
+                for snapshot in snapshots
+                for row in snapshot.tenants
+            }
+            running = {
+                name
+                for name, telemetry in observed.telemetry.items()
+                if telemetry.samples
+            }
+            assert running <= resident_names
 
 
 @given(

@@ -5,12 +5,18 @@ import pytest
 from repro.cache.geometry import CacheGeometry
 from repro.fleet import (
     ColumnBroker,
+    ColumnDemand,
     FleetAdmissionError,
     SharedPool,
     StaticEqualSplit,
     demand_curve,
+    demand_curves,
 )
+from repro.layout.algorithm import LayoutConfig
+from repro.layout.partition import split_for_columns
+from repro.layout.session import PlannerSession
 from repro.sim.config import MULTITASK_TIMING
+from repro.sim.engine.batched import batched_simulate
 from repro.utils.bitvector import ColumnMask
 from repro.workloads.suite import make_workload
 
@@ -71,6 +77,107 @@ class TestDemandCurve:
             demand.marginal_benefit(1)
         with pytest.raises(ValueError):
             demand.cost(0)
+
+
+def per_candidate_demand(run, geometry, profile_accesses=8192):
+    """The pre-batching reference: one solo simulation per candidate
+    grant size, each against its own ``c``-column geometry."""
+    session = PlannerSession()
+    column_bytes = geometry.sets * geometry.line_size
+    units = split_for_columns(run.memory_map.symbols, column_bytes)
+    trace = run.trace
+    if len(trace) > profile_accesses:
+        trace = trace.slice(0, profile_accesses)
+    profile = session.profile(trace, units, by_address=True)
+    blocks = trace.addresses >> geometry.offset_bits
+    plan_costs = []
+    measured_costs = []
+    for columns in range(1, geometry.columns + 1):
+        config = LayoutConfig(
+            columns=columns,
+            column_bytes=column_bytes,
+            line_size=geometry.line_size,
+            split_oversized=False,
+        )
+        assignment = session.plan_from_profile(config, profile, units)
+        plan_costs.append(int(assignment.predicted_cost))
+        candidate = CacheGeometry(
+            line_size=geometry.line_size,
+            sets=geometry.sets,
+            columns=columns,
+        )
+        measured_costs.append(
+            int(batched_simulate(blocks, candidate).misses)
+        )
+    return ColumnDemand(
+        plan_costs=tuple(plan_costs),
+        measured_costs=tuple(measured_costs),
+    )
+
+
+class TestBatchedDemandCurves:
+    """One fused kernel batch == one solo simulation per candidate."""
+
+    def test_batch_matches_per_candidate_loop(
+        self, small_runs, geometry
+    ):
+        """All tenants x all candidate grant sizes in one kernel call
+        must price identically to simulating every candidate geometry
+        by itself."""
+        runs = list(small_runs.values())
+        batched = demand_curves(
+            [(run, None) for run in runs], geometry
+        )
+        for run, got in zip(runs, batched):
+            assert got == per_candidate_demand(run, geometry)
+
+    def test_batch_seeds_the_session_cache(self, small_runs, geometry):
+        """A curve priced in a batch is a pure cache hit afterwards —
+        for the singular API and for a repeated batch alike."""
+        session = PlannerSession()
+        runs = list(small_runs.values())
+        batched = demand_curves(
+            [(run, None) for run in runs], geometry, session=session
+        )
+        misses_after_batch = session.cache.misses
+        again = demand_curve(runs[0], geometry, session=session)
+        assert again == batched[0]
+        assert demand_curves(
+            [(run, None) for run in runs], geometry, session=session
+        ) == batched
+        assert session.cache.misses == misses_after_batch
+
+    def test_duplicate_probes_collapse(self, small_runs, geometry):
+        """The same workload twice in one batch computes once."""
+        session = PlannerSession()
+        run = small_runs["crc"]
+        first, second = demand_curves(
+            [(run, None), (run, None)], geometry, session=session
+        )
+        assert first == second == per_candidate_demand(run, geometry)
+
+    def test_prime_makes_admissions_cache_hits(
+        self, small_runs, geometry
+    ):
+        """`ColumnBroker.prime` batch-prices prospective tenants so
+        the subsequent one-by-one admits recompute nothing."""
+        broker = ColumnBroker(geometry, MULTITASK_TIMING)
+        runs = {
+            "a": small_runs["gzip"],
+            "b": small_runs["crc"],
+            "c": small_runs["hist"],
+        }
+        broker.prime(list(runs.values()))
+        misses_after_prime = broker.session.cache.misses
+        for name, run in runs.items():
+            broker.admit(name, run)
+        assert broker.session.cache.misses == misses_after_prime
+        broker.check_disjoint()
+        # The primed curves are the ones admission would have computed.
+        for name, run in runs.items():
+            assert broker.demands[name] == per_candidate_demand(
+                run, geometry
+            )
 
 
 class TestColumnBroker:
